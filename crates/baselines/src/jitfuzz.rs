@@ -1,0 +1,183 @@
+//! A faithful-mechanism reimplementation of **JITFuzz** (Wu et al.,
+//! ICSE'23) on the shared substrate, per the paper's §2.5 description:
+//! optimization-targeting mutators for inlining, simplification, scalar
+//! replacement / escape analysis, plus two control-flow-reshaping
+//! mutators; a *random* mutation point every iteration; and
+//! coverage-driven seed acceptance. Inserted snippets are independent of
+//! each other — precisely why it under-explores optimization
+//! *interactions* (paper §4.3).
+
+use crate::BaselineOutcome;
+use jprofile::Obv;
+use jvmsim::{Area, CoverageMap, JvmSpec, RunOptions, Verdict};
+use mjava::{BinOp, Block, Expr, Program, Stmt};
+use mopfuzzer::mutators::{all_mutators, Mutator, MutatorKind};
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// JITFuzz configuration.
+#[derive(Debug, Clone)]
+pub struct JitFuzzConfig {
+    /// Mutation rounds per seed (JITFuzz's default is 1000; experiments
+    /// scale this down uniformly with the other tools' budgets).
+    pub rounds: usize,
+    /// Target JVM.
+    pub guidance: JvmSpec,
+    /// RNG seed.
+    pub rng_seed: u64,
+}
+
+fn opt_mutators() -> Vec<Box<dyn Mutator>> {
+    all_mutators()
+        .into_iter()
+        .filter(|m| {
+            matches!(
+                m.kind(),
+                // Function inlining, simplification, and escape analysis /
+                // scalar replacement — JITFuzz's four optimization targets
+                // (escape analysis and scalar replacement share one evoke
+                // shape on this substrate).
+                MutatorKind::Inlining
+                    | MutatorKind::AlgebraicSimplification
+                    | MutatorKind::EscapeAnalysis
+            )
+        })
+        .collect()
+}
+
+/// CFG mutator 1: wrap the statement in a trivially-true branch.
+fn wrap_if(program: &Program, mp: &mjava::StmtPath) -> Option<Program> {
+    let stmt = mjava::path::stmt_at(program, mp)?.clone();
+    if matches!(stmt, Stmt::Decl { .. }) {
+        return None; // would hide the declaration
+    }
+    let mut mutant = program.clone();
+    let wrapped = Stmt::If {
+        cond: Expr::bin(BinOp::Lt, Expr::Int(0), Expr::Int(1)),
+        then_b: Block(vec![stmt]),
+        else_b: None,
+    };
+    mjava::path::replace_stmt(&mut mutant, mp, vec![wrapped]).then_some(mutant)
+}
+
+/// CFG mutator 2: hoist the statement into a nested block.
+fn wrap_block(program: &Program, mp: &mjava::StmtPath) -> Option<Program> {
+    let stmt = mjava::path::stmt_at(program, mp)?.clone();
+    if matches!(stmt, Stmt::Decl { .. }) {
+        return None;
+    }
+    let mut mutant = program.clone();
+    let wrapped = Stmt::Block(Block(vec![stmt]));
+    mjava::path::replace_stmt(&mut mutant, mp, vec![wrapped]).then_some(mutant)
+}
+
+/// Runs JITFuzz on one seed.
+pub fn jitfuzz(seed: &Program, config: &JitFuzzConfig) -> BaselineOutcome {
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let mutators = opt_mutators();
+    // JITFuzz drives a default-configuration JVM (no -Xcomp): methods tier
+    // up through C1 and C2 by hotness, which is what lets it reach
+    // C1-resident defects the -Xcomp tools skip past.
+    let mut options = RunOptions::fuzzing();
+    options.xcomp = false;
+
+    let mut outcome = BaselineOutcome::new(seed.clone());
+    let seed_run = jvmsim::run_jvm(seed, &config.guidance, &options);
+    outcome.executions += 1;
+    outcome.steps += seed_run.steps;
+    outcome.coverage.merge(&seed_run.coverage);
+    outcome.seed_obv = Obv::from_log(&seed_run.log);
+    outcome.final_obv = outcome.seed_obv;
+    if let Verdict::CompilerCrash(report) = seed_run.verdict {
+        outcome.crash = Some(report);
+        return outcome;
+    }
+    let mut covered_total = total_covered(&outcome.coverage);
+    let mut parent = seed.clone();
+
+    for _round in 0..config.rounds {
+        // Random mutation point each round (no fixed-MP strategy).
+        let Some(mp) = mopfuzzer::fuzzer::select_mp(&parent, &mut rng) else {
+            break;
+        };
+        // Random mutator: 3 optimization-evoking + 2 CFG.
+        let pick = rng.gen_range(0..mutators.len() + 2);
+        let child: Option<Program> = if pick < mutators.len() {
+            let m = &mutators[pick];
+            m.is_applicable(&parent, &mp)
+                .then(|| m.apply(&parent, &mp, &mut rng).map(|mu| mu.program))
+                .flatten()
+        } else if pick == mutators.len() {
+            wrap_if(&parent, &mp)
+        } else {
+            wrap_block(&parent, &mp)
+        };
+        let Some(child) = child else {
+            continue;
+        };
+        let run = jvmsim::run_jvm(&child, &config.guidance, &options);
+        outcome.executions += 1;
+        outcome.steps += run.steps;
+        outcome.coverage.merge(&run.coverage);
+        if let Verdict::CompilerCrash(report) = run.verdict {
+            outcome.crash = Some(report);
+            outcome.final_mutant = child;
+            outcome.final_obv = Obv::from_log(&run.log);
+            return outcome;
+        }
+        // Coverage-driven acceptance: keep the child only if it covered
+        // new blocks.
+        let now_covered = total_covered(&outcome.coverage);
+        if now_covered > covered_total {
+            covered_total = now_covered;
+            parent = child;
+            outcome.final_mutant = parent.clone();
+            outcome.final_obv = Obv::from_log(&run.log);
+        }
+    }
+    outcome
+}
+
+fn total_covered(coverage: &CoverageMap) -> u32 {
+    Area::ALL.iter().map(|&a| coverage.covered(a)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvmsim::Version;
+
+    fn config(rounds: usize) -> JitFuzzConfig {
+        JitFuzzConfig {
+            rounds,
+            guidance: JvmSpec::hotspur(Version::V17).without_bugs(),
+            rng_seed: 5,
+        }
+    }
+
+    #[test]
+    fn produces_valid_mutants() {
+        let seed = mjava::samples::arith_loop().program;
+        let out = jitfuzz(&seed, &config(12));
+        let printed = mjava::print(&out.final_mutant);
+        assert_eq!(mjava::parse(&printed).unwrap(), out.final_mutant);
+        assert!(out.executions >= 1);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let seed = mjava::samples::call_chain().program;
+        let a = jitfuzz(&seed, &config(8));
+        let b = jitfuzz(&seed, &config(8));
+        assert_eq!(a.final_mutant, b.final_mutant);
+        assert_eq!(a.executions, b.executions);
+    }
+
+    #[test]
+    fn coverage_gating_keeps_or_discards() {
+        let seed = mjava::samples::listing2().program;
+        let out = jitfuzz(&seed, &config(15));
+        // Accumulated coverage is at least the seed's.
+        assert!(total_covered(&out.coverage) > 0);
+    }
+}

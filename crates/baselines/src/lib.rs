@@ -1,0 +1,83 @@
+//! # baselines — JITFuzz and Artemis reimplementations
+//!
+//! The two state-of-the-art comparators of the paper's RQ2 (§2.5, §4.3),
+//! rebuilt mechanism-for-mechanism on the shared substrate so the
+//! comparison is apples-to-apples:
+//!
+//! * [`jitfuzz`] — optimization-targeting mutators + CFG reshaping,
+//!   random mutation points, coverage-driven acceptance, many rounds per
+//!   seed;
+//! * [`artemis`] — three mutation templates (method calls, loops,
+//!   uncommon traps), applied non-iteratively;
+//! * [`tool_campaign`] — equal-budget campaigns producing
+//!   [`mopfuzzer::CampaignResult`]s for all three tools.
+
+pub mod artemis;
+pub mod campaign;
+pub mod jitfuzz;
+
+use jprofile::Obv;
+use jvmsim::{CoverageMap, CrashReport};
+use mjava::Program;
+
+/// What one baseline run over one seed produced — the common shape the
+/// equal-budget campaigns consume.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The final (or crashing) mutant.
+    pub final_mutant: Program,
+    /// Compiler crash observed, if any.
+    pub crash: Option<CrashReport>,
+    /// JVM executions performed.
+    pub executions: u64,
+    /// Interpreter steps consumed.
+    pub steps: u64,
+    /// Accumulated coverage.
+    pub coverage: CoverageMap,
+    /// The seed's OBV.
+    pub seed_obv: Obv,
+    /// The final mutant's OBV.
+    pub final_obv: Obv,
+}
+
+impl BaselineOutcome {
+    /// A fresh outcome for a seed (no executions yet).
+    pub fn new(seed: Program) -> BaselineOutcome {
+        BaselineOutcome {
+            final_mutant: seed,
+            crash: None,
+            executions: 0,
+            steps: 0,
+            coverage: CoverageMap::new(),
+            seed_obv: Obv::zero(),
+            final_obv: Obv::zero(),
+        }
+    }
+
+    /// Adapts a MopFuzzer outcome into the common shape.
+    pub fn from_fuzz(outcome: mopfuzzer::FuzzOutcome) -> BaselineOutcome {
+        let final_obv = outcome
+            .records
+            .last()
+            .map(|r| r.obv)
+            .unwrap_or(outcome.seed_obv);
+        BaselineOutcome {
+            final_mutant: outcome.final_mutant,
+            crash: outcome.crash,
+            executions: outcome.executions,
+            steps: outcome.steps,
+            coverage: outcome.coverage,
+            seed_obv: outcome.seed_obv,
+            final_obv,
+        }
+    }
+
+    /// Δ between seed and final mutant.
+    pub fn final_delta(&self) -> f64 {
+        Obv::delta(&self.seed_obv, &self.final_obv)
+    }
+}
+
+pub use artemis::{artemis, ArtemisConfig};
+pub use campaign::{tool_campaign, Tool, ToolCampaignConfig};
+pub use jitfuzz::{jitfuzz, JitFuzzConfig};

@@ -1,0 +1,158 @@
+//! One Criterion benchmark per paper table/figure: each measures a
+//! scaled-down instance of the experiment the corresponding
+//! `cargo run -p bench --bin …` binary runs at full size. These keep the
+//! regeneration code exercised and timed under `cargo bench`.
+
+use baselines::{tool_campaign, Tool, ToolCampaignConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mopfuzzer::{fuzz, run_campaign, CampaignConfig, FuzzConfig, Variant};
+use std::hint::black_box;
+
+fn seeds() -> Vec<mopfuzzer::Seed> {
+    mopfuzzer::corpus::builtin()
+}
+
+fn tiny_campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        iterations_per_seed: 8,
+        rounds: 2,
+        ..CampaignConfig::new(0)
+    }
+}
+
+fn tiny_tool_config() -> ToolCampaignConfig {
+    ToolCampaignConfig {
+        max_executions: 40,
+        mop_iterations: 8,
+        jitfuzz_rounds: 8,
+        ..ToolCampaignConfig::with_budget(0)
+    }
+}
+
+/// Tables 2–4 are slices of the same campaign; one measurement covers
+/// their shared engine.
+fn bench_tables_2_3_4(c: &mut Criterion) {
+    let seeds = seeds();
+    let config = tiny_campaign_config();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2_3_4_campaign_slice", |b| {
+        b.iter(|| run_campaign(black_box(&seeds), &config))
+    });
+    group.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let seeds = seeds();
+    let config = tiny_campaign_config();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table5_mutator_ratio_slice", |b| {
+        b.iter(|| {
+            let result = run_campaign(&seeds, &config);
+            (
+                mopfuzzer::stats::mutator_ratios(&result.bugs),
+                mopfuzzer::stats::pair_ratios(&result.bugs),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let seeds = seeds();
+    let config = tiny_tool_config();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table6_three_tool_slice", |b| {
+        b.iter(|| {
+            for tool in [
+                Tool::MopFuzzer(Variant::Full),
+                Tool::Artemis,
+                Tool::JitFuzz,
+            ] {
+                black_box(tool_campaign(tool, &seeds, &config));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let seed = mjava::samples::listing2().program;
+    let config = FuzzConfig {
+        max_iterations: 10,
+        variant: Variant::Full,
+        guidance: jvmsim::JvmSpec::hotspur(jvmsim::Version::Mainline),
+        rng_seed: 31,
+        weight_scheme: Default::default(),
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_trajectory_slice", |b| {
+        b.iter(|| {
+            let outcome = fuzz(black_box(&seed), &config);
+            mopfuzzer::stats::trajectory(&outcome.seed_obv, &outcome.records)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig2_coverage(c: &mut Criterion) {
+    let seeds = seeds();
+    let config = tiny_tool_config();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_coverage_slice", |b| {
+        b.iter(|| {
+            let result = tool_campaign(Tool::MopFuzzer(Variant::Full), &seeds, &config);
+            jvmsim::Area::ALL.map(|a| result.coverage.percent(a))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig3_fig4_deltas(c: &mut Criterion) {
+    let seeds = seeds();
+    let config = tiny_tool_config();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3_fig4_delta_slice", |b| {
+        b.iter(|| {
+            let mut medians = Vec::new();
+            for variant in Variant::ALL {
+                let r = tool_campaign(Tool::MopFuzzer(variant), &seeds, &config);
+                medians.push(r.median_delta());
+            }
+            medians
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5_overlap(c: &mut Criterion) {
+    let seeds = seeds();
+    let config = tiny_tool_config();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig5_overlap_slice", |b| {
+        b.iter(|| {
+            let full = tool_campaign(Tool::MopFuzzer(Variant::Full), &seeds, &config);
+            let g = tool_campaign(Tool::MopFuzzer(Variant::NoGuidance), &seeds, &config);
+            (full.bugs.len(), g.bugs.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_tables_2_3_4,
+    bench_table5,
+    bench_table6,
+    bench_fig1,
+    bench_fig2_coverage,
+    bench_fig3_fig4_deltas,
+    bench_fig5_overlap,
+);
+criterion_main!(experiments);

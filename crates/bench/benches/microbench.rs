@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the substrate: parsing, execution, JIT pipeline,
+//! mutation, and profile-data scraping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng as _;
+use std::hint::black_box;
+
+fn bench_parse_print(c: &mut Criterion) {
+    let src = mjava::print(&mjava::samples::listing2().program);
+    c.bench_function("parse_listing2", |b| {
+        b.iter(|| mjava::parse(black_box(&src)).unwrap())
+    });
+    let program = mjava::samples::listing2().program;
+    c.bench_function("print_listing2", |b| b.iter(|| mjava::print(black_box(&program))));
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let program = mjava::samples::arith_loop().program;
+    let image = jexec::Image::build(&program).unwrap();
+    let config = jexec::ExecConfig::default();
+    c.bench_function("interpret_arith_loop", |b| {
+        b.iter(|| jexec::run(black_box(&image), &config))
+    });
+}
+
+fn bench_jit_pipeline(c: &mut Criterion) {
+    let program = mjava::samples::sync_counter().program;
+    c.bench_function("optimize_sync_counter_main", |b| {
+        b.iter(|| {
+            jopt::optimize(
+                black_box(&program),
+                "C",
+                "main",
+                &jopt::PhaseId::DEFAULT_ORDER,
+                jopt::OptLimits::default(),
+                &jopt::FlagSet::all(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_tiered_run(c: &mut Criterion) {
+    let program = mjava::samples::call_chain().program;
+    let spec = jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs();
+    let options = jvmsim::RunOptions::fuzzing();
+    c.bench_function("tiered_run_call_chain", |b| {
+        b.iter(|| jvmsim::run_jvm(black_box(&program), &spec, &options))
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let program = mjava::samples::listing2().program;
+    let mutators = mopfuzzer::all_mutators();
+    let paths = mjava::path::all_paths(&program);
+    c.bench_function("apply_all_applicable_mutators", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+            let mut count = 0;
+            for mp in &paths {
+                for m in &mutators {
+                    if m.is_applicable(&program, mp) {
+                        if let Some(mu) = m.apply(&program, mp, &mut rng) {
+                            count += mu.program.stmt_count();
+                        }
+                    }
+                }
+            }
+            count
+        })
+    });
+}
+
+fn bench_obv_scrape(c: &mut Criterion) {
+    let program = mjava::samples::sync_counter().program;
+    let spec = jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs();
+    let run = jvmsim::run_jvm(&program, &spec, &jvmsim::RunOptions::fuzzing());
+    c.bench_function("obv_from_log", |b| {
+        b.iter(|| jprofile::Obv::from_log(black_box(&run.log)))
+    });
+}
+
+fn bench_fuzz_iteration(c: &mut Criterion) {
+    let seed = mjava::samples::listing2().program;
+    let config = mopfuzzer::FuzzConfig {
+        max_iterations: 3,
+        variant: mopfuzzer::Variant::Full,
+        guidance: jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+        rng_seed: 7,
+        weight_scheme: Default::default(),
+    };
+    let mut group = c.benchmark_group("fuzz");
+    group.sample_size(10);
+    group.bench_function("three_iterations_listing2", |b| {
+        b.iter(|| mopfuzzer::fuzz(black_box(&seed), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse_print,
+    bench_interpreter,
+    bench_jit_pipeline,
+    bench_tiered_run,
+    bench_mutation,
+    bench_obv_scrape,
+    bench_fuzz_iteration,
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 1 — the Euclidean-distance trajectory of a bug-triggering run:
+//! Δ(OBVᵢ, OBV_seed) per iteration, with "large jump" iterations marked.
+//!
+//! The paper's case study (JDK-8312741) crashes at the 48th mutant after
+//! a rising, jumpy curve. This binary searches RNG seeds for a run that
+//! ends in a crash and prints its curve.
+
+use bench::{scale_from_args, sparkline};
+use mopfuzzer::stats::{large_jumps, trajectory};
+use mopfuzzer::{fuzz, FuzzConfig, Variant};
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds = bench::experiment_seeds(4);
+    let pool = jvmsim::JvmSpec::differential_pool();
+    let mut chosen = None;
+    'search: for round in 0..(200 * scale) {
+        let seed = &seeds[round as usize % seeds.len()];
+        let guidance = pool[round as usize % pool.len()].clone();
+        let config = FuzzConfig {
+            max_iterations: 50,
+            variant: Variant::Full,
+            guidance,
+            rng_seed: 31 + round,
+            weight_scheme: Default::default(),
+        };
+        let outcome = fuzz(&seed.program, &config);
+        if outcome.crash.is_some() && outcome.records.len() >= 10 {
+            chosen = Some((seed.name.clone(), config, outcome));
+            break 'search;
+        }
+    }
+    let Some((seed_name, config, outcome)) = chosen else {
+        println!("no crashing run found at this scale; rerun with a larger scale argument");
+        return;
+    };
+    let crash = outcome.crash.as_ref().expect("crashing run selected");
+    let curve = trajectory(&outcome.seed_obv, &outcome.records);
+    let jumps = large_jumps(&curve, 4.0);
+
+    println!("== Figure 1: Δ(OBV_i, OBV_seed) per iteration ==");
+    println!(
+        "seed: {seed_name}, guidance JVM: {}, crash at mutant {}: {} ({})",
+        config.guidance.name(),
+        outcome.records.len(),
+        crash.bug_id,
+        crash.component.label()
+    );
+    println!("{}", sparkline(&curve));
+    println!("iter, delta, mutator, jump");
+    for (i, record) in outcome.records.iter().enumerate() {
+        println!(
+            "{:4}, {:8.2}, {:24}, {}",
+            record.iteration,
+            curve[i],
+            record.mutator.label(),
+            if jumps.contains(&i) { "JUMP" } else { "" }
+        );
+    }
+    println!(
+        "shape check: starts at {:.1}, ends at {:.1}, {} large jumps — paper: low start, high end, several jumps, crash after accumulation",
+        curve.first().copied().unwrap_or(0.0),
+        curve.last().copied().unwrap_or(0.0),
+        jumps.len()
+    );
+}

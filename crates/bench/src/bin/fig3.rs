@@ -1,0 +1,41 @@
+//! Figure 3 — distribution of the final-mutant Euclidean distance
+//! (Δ between the final mutant's OBV and the seed's) per tool.
+//!
+//! Paper reference: medians MopFuzzer 3881, JITFuzz 1192, Artemis in
+//! between — absolute values depend on the substrate; the ordering is
+//! the reproducible shape.
+
+use baselines::{tool_campaign, Tool, ToolCampaignConfig};
+use bench::{experiment_seeds, format_box, render_table, scale_from_args};
+use mopfuzzer::Variant;
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds = experiment_seeds(8);
+    let config = ToolCampaignConfig::with_budget(1_500 * scale);
+    let tools = [
+        Tool::MopFuzzer(Variant::Full),
+        Tool::JitFuzz,
+        Tool::Artemis,
+    ];
+    let mut rows = Vec::new();
+    let mut medians = Vec::new();
+    for tool in tools {
+        eprintln!("running {tool} ...");
+        let result = tool_campaign(tool, &seeds, &config);
+        rows.push(format_box(&tool.to_string(), &result.final_deltas));
+        medians.push((tool.to_string(), result.median_delta()));
+    }
+    println!(
+        "{}",
+        render_table(
+            "Figure 3: final-mutant Δ distribution per tool (box plot numbers)",
+            &["Tool", "min", "q1", "median", "q3", "max", "n"],
+            &rows
+        )
+    );
+    for (tool, median) in &medians {
+        println!("median {tool}: {median:.1}");
+    }
+    println!("paper reference ordering: MopFuzzer > Artemis > JITFuzz (medians 3881 / – / 1192)");
+}

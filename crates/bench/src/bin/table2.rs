@@ -1,0 +1,110 @@
+//! Table 2 — status of the reported bugs.
+//!
+//! The injected-bug library *is* the paper's reported-bug population, so
+//! the "paper" column regenerates exactly; the "found" column shows how
+//! much of it a budget-limited campaign rediscovers.
+
+use bench::{dual_family_campaign, experiment_seeds, render_table, scale_from_args};
+use jvmsim::{BugKind, Family, ReportStatus};
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds = experiment_seeds(6);
+    let rounds = (40 * scale) as usize;
+    eprintln!(
+        "running one campaign per JVM family: {rounds} rounds each over {} seeds ...",
+        seeds.len()
+    );
+    let result = dual_family_campaign(&seeds, rounds);
+
+    let library = jvmsim::bugs::library();
+    let in_library = |id: &str| library.iter().any(|b| b.id == id);
+    let found: Vec<_> = result
+        .bugs
+        .iter()
+        .filter(|b| in_library(&b.id))
+        .collect();
+    let found_ids: std::collections::HashSet<&str> =
+        found.iter().map(|b| b.id.as_str()).collect();
+
+    let count = |family: Family, pred: &dyn Fn(&jvmsim::InjectedBug) -> bool| {
+        library
+            .iter()
+            .filter(|b| b.family == family && pred(b))
+            .count()
+    };
+    let found_count = |family: Family, pred: &dyn Fn(&jvmsim::InjectedBug) -> bool| {
+        library
+            .iter()
+            .filter(|b| b.family == family && pred(b) && found_ids.contains(b.id))
+            .count()
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let statuses: [(&str, Box<dyn Fn(&jvmsim::InjectedBug) -> bool>); 5] = [
+        ("Confirmed", Box::new(|_| true)),
+        (
+            "In Progress",
+            Box::new(|b| b.status == ReportStatus::InProgress),
+        ),
+        ("Fixed", Box::new(|b| b.status == ReportStatus::Fixed)),
+        (
+            "Duplicate",
+            Box::new(|b| b.status == ReportStatus::Duplicate),
+        ),
+        (
+            "Not Backportable",
+            Box::new(|b| b.status == ReportStatus::NotBackportable),
+        ),
+    ];
+    for (label, pred) in &statuses {
+        rows.push(vec![
+            label.to_string(),
+            count(Family::HotSpur, pred).to_string(),
+            count(Family::J9, pred).to_string(),
+            (count(Family::HotSpur, pred) + count(Family::J9, pred)).to_string(),
+            format!(
+                "{}+{}",
+                found_count(Family::HotSpur, pred),
+                found_count(Family::J9, pred)
+            ),
+        ]);
+    }
+    rows.push(vec!["--- types ---".into(), String::new(), String::new(), String::new(), String::new()]);
+    let kinds: [(&str, Box<dyn Fn(&jvmsim::InjectedBug) -> bool>); 2] = [
+        ("Crash", Box::new(|b| matches!(b.kind, BugKind::Crash))),
+        (
+            "Miscompilation",
+            Box::new(|b| matches!(b.kind, BugKind::Miscompile(_))),
+        ),
+    ];
+    for (label, pred) in &kinds {
+        rows.push(vec![
+            label.to_string(),
+            count(Family::HotSpur, pred).to_string(),
+            count(Family::J9, pred).to_string(),
+            (count(Family::HotSpur, pred) + count(Family::J9, pred)).to_string(),
+            format!(
+                "{}+{}",
+                found_count(Family::HotSpur, pred),
+                found_count(Family::J9, pred)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 2: Status of the reported bugs (paper columns regenerate from the bug library; 'found' = rediscovered in this campaign)",
+            &["Category", "OpenJDK", "OpenJ9", "Total", "found"],
+            &rows
+        )
+    );
+    println!(
+        "campaign: 2×{} rounds, {} executions, {} unique bugs found ({} crash / {} miscompile)",
+        rounds,
+        result.executions,
+        found.len(),
+        found.iter().filter(|b| b.is_crash).count(),
+        found.iter().filter(|b| !b.is_crash).count(),
+    );
+}

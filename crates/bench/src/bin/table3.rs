@@ -1,0 +1,63 @@
+//! Table 3 — distribution of the detected bugs across OpenJDK LTS and
+//! mainline versions (one bug may affect several versions).
+
+use bench::{experiment_seeds, render_table, scale_from_args};
+use jvmsim::{Family, ReportStatus, Version};
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds = experiment_seeds(6);
+    let rounds = (40 * scale) as usize;
+    eprintln!("running one campaign per JVM family: {rounds} rounds each ...");
+    let result = bench::dual_family_campaign(&seeds, rounds);
+    let library = jvmsim::bugs::library();
+    let found_ids: std::collections::HashSet<&str> = result
+        .bugs
+        .iter()
+        .map(|b| b.id.as_str())
+        .collect();
+
+    let hotspur = |v: Version| {
+        library
+            .iter()
+            .filter(move |b| b.family == Family::HotSpur && b.affected.contains(&v))
+    };
+    let mut header = vec!["Affected Version"];
+    let mut bugs_row = vec!["#Bugs (paper)".to_string()];
+    let mut nb_row = vec!["#Not Backportable (paper)".to_string()];
+    let mut found_row = vec!["#found (this campaign)".to_string()];
+    for v in Version::ALL {
+        header.push(match v {
+            Version::V8 => "JDK-8",
+            Version::V11 => "JDK-11",
+            Version::V17 => "JDK-17",
+            Version::V21 => "JDK-21",
+            Version::Mainline => "Mainline",
+        });
+        bugs_row.push(hotspur(v).count().to_string());
+        // The paper counts each not-backportable bug once, at the highest
+        // version it affects (12 at JDK-8, 2 at JDK-11).
+        nb_row.push(
+            hotspur(v)
+                .filter(|b| b.status == ReportStatus::NotBackportable)
+                .filter(|b| b.affected.iter().max() == Some(&v))
+                .count()
+                .to_string(),
+        );
+        found_row.push(
+            hotspur(v)
+                .filter(|b| found_ids.contains(b.id))
+                .count()
+                .to_string(),
+        );
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 3: Bug distribution across OpenJDK versions",
+            &header,
+            &[bugs_row, nb_row, found_row]
+        )
+    );
+    println!("campaign executions: {}", result.executions);
+}

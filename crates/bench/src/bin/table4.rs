@@ -1,0 +1,55 @@
+//! Table 4 — distribution of the affected JIT components
+//! (HotSpot-analogue on the left, OpenJ9-analogue on the right).
+
+use bench::{experiment_seeds, render_table, scale_from_args};
+use jvmsim::{Component, Family};
+use std::collections::HashSet;
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds = experiment_seeds(6);
+    let rounds = (40 * scale) as usize;
+    eprintln!("running one campaign per JVM family: {rounds} rounds each ...");
+    let result = bench::dual_family_campaign(&seeds, rounds);
+    let library = jvmsim::bugs::library();
+    let found_ids: HashSet<&str> = result.bugs.iter().map(|b| b.id.as_str()).collect();
+
+    let rows_for = |family: Family| -> Vec<Vec<String>> {
+        let mut per: Vec<(Component, usize, usize)> = Vec::new();
+        for bug in library.iter().filter(|b| b.family == family) {
+            match per.iter_mut().find(|(c, _, _)| *c == bug.component) {
+                Some(entry) => {
+                    entry.1 += 1;
+                    entry.2 += usize::from(found_ids.contains(bug.id));
+                }
+                None => per.push((
+                    bug.component,
+                    1,
+                    usize::from(found_ids.contains(bug.id)),
+                )),
+            }
+        }
+        per.sort_by_key(|(_, n, _)| std::cmp::Reverse(*n));
+        per.into_iter()
+            .map(|(c, n, f)| vec![c.label().to_string(), n.to_string(), f.to_string()])
+            .collect()
+    };
+
+    println!(
+        "{}",
+        render_table(
+            "Table 4 (left): HotSpot components",
+            &["HotSpot Component", "# (paper)", "# found"],
+            &rows_for(Family::HotSpur)
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "Table 4 (right): OpenJ9 components",
+            &["OpenJ9 Component", "# (paper)", "# found"],
+            &rows_for(Family::J9)
+        )
+    );
+    println!("campaign executions: {}", result.executions);
+}

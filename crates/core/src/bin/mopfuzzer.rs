@@ -1,0 +1,287 @@
+//! The MopFuzzer command-line tool — the analogue of the artifact's
+//! `MopFuzzer.jar` (paper Appendix A.5).
+//!
+//! ```text
+//! mopfuzzer --project_path benchmarks/ --target_case Test0001 \
+//!           --jdk HotSpur-17,J9-17 --enable_profile_guide true \
+//!           [--iterations 50] [--rng 0] [--out mutants/]
+//! ```
+//!
+//! `--project_path` is a directory of `.java` files in the MiniJava
+//! subset (or is omitted to use the built-in corpus); `--target_case`
+//! picks one file/seed by name; `--jdk` names the simulated JVMs to
+//! test, `family-version` style. Mutants and per-mutant logs are written
+//! under `--out` (default `mutants/`), mirroring the artifact's layout.
+
+use jvmsim::{JvmSpec, RunOptions, Version};
+use mopfuzzer::{differential, fuzz, FuzzConfig, OracleVerdict, Variant};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "MopFuzzer (Rust reproduction)\n\
+         \n\
+         USAGE:\n\
+           mopfuzzer [--project_path DIR] [--target_case NAME]\n\
+                     [--jdk SPEC[,SPEC..]] [--enable_profile_guide true|false]\n\
+                     [--iterations N] [--rng SEED] [--out DIR]\n\
+         \n\
+         OPTIONS:\n\
+           --project_path DIR      directory of .java seed files (MiniJava subset);\n\
+                                   omitted = built-in corpus\n\
+           --target_case NAME      fuzz only the named seed/file\n\
+           --jdk SPEC,..           simulated JVMs, e.g. HotSpur-17,HotSpur-mainline,J9-11\n\
+                                   (default: the full differential pool)\n\
+           --enable_profile_guide  true (default) = Eq.1-3 guidance; false = MopFuzzer_g\n\
+           --iterations N          mutation iterations per seed (default 50)\n\
+           --rng SEED              RNG seed (default 0)\n\
+           --out DIR               where mutants and logs are written (default mutants/)"
+    );
+}
+
+struct CliOptions {
+    project_path: Option<PathBuf>,
+    target_case: Option<String>,
+    jdks: Vec<JvmSpec>,
+    guided: bool,
+    iterations: usize,
+    rng: u64,
+    out: PathBuf,
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut map: HashMap<&str, &str> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument {key:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let key: &'static str = match name {
+            "project_path" => "project_path",
+            "target_case" => "target_case",
+            "jdk" => "jdk",
+            "enable_profile_guide" => "enable_profile_guide",
+            "iterations" => "iterations",
+            "rng" => "rng",
+            "out" => "out",
+            other => return Err(format!("unknown option --{other}")),
+        };
+        map.insert(key, value);
+    }
+    let jdks = match map.get("jdk") {
+        None => JvmSpec::differential_pool(),
+        Some(spec) => spec
+            .split(',')
+            .map(parse_jvm)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(CliOptions {
+        project_path: map.get("project_path").map(PathBuf::from),
+        target_case: map.get("target_case").map(|s| s.to_string()),
+        jdks,
+        guided: map
+            .get("enable_profile_guide")
+            .map_or(true, |v| *v != "false"),
+        iterations: map
+            .get("iterations")
+            .map_or(Ok(50), |v| v.parse().map_err(|_| "bad --iterations"))?,
+        rng: map
+            .get("rng")
+            .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --rng"))?,
+        out: map.get("out").map_or_else(|| PathBuf::from("mutants"), PathBuf::from),
+    })
+}
+
+fn parse_jvm(spec: &str) -> Result<JvmSpec, String> {
+    let (family, version) = spec
+        .split_once('-')
+        .ok_or_else(|| format!("bad JVM spec {spec:?} (expected e.g. HotSpur-17)"))?;
+    let version = match version {
+        "8" => Version::V8,
+        "11" => Version::V11,
+        "17" => Version::V17,
+        "21" => Version::V21,
+        "mainline" | "23" => Version::Mainline,
+        other => return Err(format!("unknown version {other:?}")),
+    };
+    match family {
+        "HotSpur" => Ok(JvmSpec::hotspur(version)),
+        "J9" => {
+            if matches!(version, Version::V21 | Version::Mainline) {
+                return Err(format!("J9 ships versions 8, 11 and 17, not {version}"));
+            }
+            Ok(JvmSpec::j9(version))
+        }
+        other => Err(format!("unknown family {other:?} (HotSpur or J9)")),
+    }
+}
+
+fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
+    let mut seeds = match &options.project_path {
+        None => mopfuzzer::corpus::builtin(),
+        Some(dir) => {
+            let mut out = Vec::new();
+            let entries = std::fs::read_dir(dir)
+                .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let mut paths: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "java"))
+                .collect();
+            paths.sort();
+            for path in paths {
+                let src = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let program = mjava::parse(&src)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                out.push(mopfuzzer::Seed {
+                    name: path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "case".into()),
+                    program,
+                });
+            }
+            out
+        }
+    };
+    if let Some(case) = &options.target_case {
+        seeds.retain(|s| &s.name == case);
+        if seeds.is_empty() {
+            return Err(format!("no seed named {case:?}"));
+        }
+    }
+    if seeds.is_empty() {
+        return Err("no seeds to fuzz".into());
+    }
+    Ok(seeds)
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let seeds = load_seeds(options)?;
+    std::fs::create_dir_all(&options.out)
+        .map_err(|e| format!("cannot create {}: {e}", options.out.display()))?;
+    println!(
+        "fuzzing {} seed(s), {} iterations each, guidance {}, JVMs: {}",
+        seeds.len(),
+        options.iterations,
+        if options.guided { "on" } else { "off (MopFuzzer_g)" },
+        options
+            .jdks
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let mut bugs = 0usize;
+    for (i, seed) in seeds.iter().enumerate() {
+        let guidance = options.jdks[i % options.jdks.len()].clone();
+        let config = FuzzConfig {
+            max_iterations: options.iterations,
+            variant: if options.guided {
+                Variant::Full
+            } else {
+                Variant::NoGuidance
+            },
+            guidance: guidance.clone(),
+            rng_seed: options.rng.wrapping_add(i as u64),
+            weight_scheme: Default::default(),
+        };
+        let outcome = fuzz(&seed.program, &config);
+        let mutant_path = options.out.join(format!("{}_final.java", seed.name));
+        write_text(&mutant_path, &mjava::print(&outcome.final_mutant))?;
+        let mut log = Vec::new();
+        log.push(format!(
+            "seed: {} | guidance: {} | iterations: {} | final delta: {:.2}",
+            seed.name,
+            guidance.name(),
+            outcome.records.len(),
+            outcome.final_delta()
+        ));
+        for record in &outcome.records {
+            log.push(format!(
+                "iter {:3}: {:26} delta={:.2}",
+                record.iteration,
+                record.mutator.label(),
+                record.delta_vs_parent
+            ));
+        }
+        let verdict = if let Some(crash) = &outcome.crash {
+            bugs += 1;
+            write_text(
+                &options.out.join(format!("{}_hs_err.log", seed.name)),
+                &crash.hs_err,
+            )?;
+            format!("CRASH {} in {}", crash.bug_id, crash.component.label())
+        } else {
+            let diff = differential(
+                &outcome.final_mutant,
+                &options.jdks,
+                &RunOptions::fuzzing(),
+            );
+            match diff.verdict {
+                OracleVerdict::Pass => "pass".to_string(),
+                OracleVerdict::Inconclusive(reason) => format!("inconclusive: {reason}"),
+                OracleVerdict::Crash { jvm, report } => {
+                    bugs += 1;
+                    write_text(
+                        &options.out.join(format!("{}_hs_err.log", seed.name)),
+                        &report.hs_err,
+                    )?;
+                    format!("CRASH {} on {jvm}", report.bug_id)
+                }
+                OracleVerdict::Miscompile { outputs, .. } => {
+                    bugs += 1;
+                    let mut s = String::from("MISCOMPILE:\n");
+                    for (jvm, obs) in outputs {
+                        s.push_str(&format!("  {jvm}: {obs:?}\n"));
+                    }
+                    s
+                }
+            }
+        };
+        log.push(format!("verdict: {verdict}"));
+        write_text(
+            &options.out.join(format!("{}.log", seed.name)),
+            &log.join("\n"),
+        )?;
+        println!("[{}/{}] {} → {}", i + 1, seeds.len(), seed.name, verdict);
+    }
+    println!(
+        "done: {} bug-revealing case(s); mutants and logs in {}",
+        bugs,
+        options.out.display()
+    );
+    Ok(())
+}
+
+fn write_text(path: &Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}

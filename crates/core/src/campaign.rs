@@ -1,0 +1,252 @@
+//! Campaign driver: many fuzzing rounds over a seed corpus, bug
+//! collection with root-cause deduplication, coverage accumulation, and a
+//! simulated clock (interpreter steps stand in for wall-clock time).
+
+use crate::corpus::Seed;
+use crate::fuzzer::{fuzz, FuzzConfig};
+use crate::mutators::MutatorKind;
+use crate::oracle::{differential, OracleVerdict};
+use crate::variant::Variant;
+use jvmsim::{Component, CoverageMap, JvmSpec, RunOptions};
+use mjava::Program;
+use std::collections::HashSet;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Mutation iterations per seed (paper: 50).
+    pub iterations_per_seed: usize,
+    /// Variant under test.
+    pub variant: Variant,
+    /// Number of fuzzing rounds (each round fuzzes one seed to completion
+    /// and differential-tests the final mutant).
+    pub rounds: usize,
+    /// The differential pool (§3.5).
+    pub pool: Vec<JvmSpec>,
+    /// Base RNG seed; round `r` derives its own seed from it.
+    pub rng_seed: u64,
+}
+
+impl CampaignConfig {
+    /// A small default campaign against the full pool.
+    pub fn new(rounds: usize) -> CampaignConfig {
+        CampaignConfig {
+            iterations_per_seed: 50,
+            variant: Variant::Full,
+            rounds,
+            pool: JvmSpec::differential_pool(),
+            rng_seed: 2024,
+        }
+    }
+}
+
+/// One deduplicated bug discovery.
+#[derive(Debug, Clone)]
+pub struct FoundBug {
+    /// The injected bug's id — the root cause (two findings with the same
+    /// id are the same bug, as in the paper's Fig. 5b analysis).
+    pub id: String,
+    /// The affected JIT component.
+    pub component: Component,
+    /// True for crashes, false for miscompilations.
+    pub is_crash: bool,
+    /// The JVM the bug was first observed on.
+    pub jvm: String,
+    /// The seed whose mutation chain found it.
+    pub seed: String,
+    /// Mutators applied to the seed up to the finding.
+    pub mutators: Vec<MutatorKind>,
+    /// Cumulative JVM executions when found.
+    pub at_execs: u64,
+    /// Cumulative simulated time (interpreter steps) when found.
+    pub at_steps: u64,
+    /// The bug-triggering mutant.
+    pub mutant: Program,
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Deduplicated bugs in discovery order.
+    pub bugs: Vec<FoundBug>,
+    /// Total JVM executions.
+    pub executions: u64,
+    /// Total simulated time.
+    pub steps: u64,
+    /// Coverage over all executions.
+    pub coverage: CoverageMap,
+    /// Final-mutant Δ for every completed round (Figures 3/4 data).
+    pub final_deltas: Vec<f64>,
+}
+
+impl CampaignResult {
+    /// Median of the final deltas.
+    pub fn median_delta(&self) -> f64 {
+        crate::stats::median(&self.final_deltas)
+    }
+}
+
+fn component_of_miscompile(id: &str) -> Option<Component> {
+    jvmsim::bugs::library()
+        .into_iter()
+        .find(|b| b.id == id)
+        .map(|b| b.component)
+}
+
+/// Runs a fuzzing campaign.
+pub fn run_campaign(seeds: &[Seed], config: &CampaignConfig) -> CampaignResult {
+    let mut result = CampaignResult::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    if seeds.is_empty() || config.pool.is_empty() {
+        return result;
+    }
+    for round in 0..config.rounds {
+        let seed = &seeds[round % seeds.len()];
+        let guidance = config.pool[round % config.pool.len()].clone();
+        let fuzz_config = FuzzConfig {
+            max_iterations: config.iterations_per_seed,
+            variant: config.variant,
+            guidance,
+            rng_seed: config
+                .rng_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(round as u64),
+            weight_scheme: Default::default(),
+        };
+        let outcome = fuzz(&seed.program, &fuzz_config);
+        result.executions += outcome.executions;
+        result.steps += outcome.steps;
+        result.coverage.merge(&outcome.coverage);
+        result.final_deltas.push(outcome.final_delta());
+
+        // Crash during guidance runs (Algorithm 1's early exit).
+        if let Some(report) = &outcome.crash {
+            if seen.insert(report.bug_id.clone()) {
+                result.bugs.push(FoundBug {
+                    id: report.bug_id.clone(),
+                    component: report.component,
+                    is_crash: true,
+                    jvm: fuzz_config.guidance.name(),
+                    seed: seed.name.clone(),
+                    mutators: outcome.mutator_history(),
+                    at_execs: result.executions,
+                    at_steps: result.steps,
+                    mutant: outcome.final_mutant.clone(),
+                });
+            }
+            continue;
+        }
+
+        // Differential testing of the final mutant over the whole pool.
+        let diff = differential(&outcome.final_mutant, &config.pool, &RunOptions::fuzzing());
+        result.executions += diff.executions;
+        result.steps += diff.steps;
+        result.coverage.merge(&diff.coverage);
+        match diff.verdict {
+            OracleVerdict::Crash { jvm, report } => {
+                if seen.insert(report.bug_id.clone()) {
+                    result.bugs.push(FoundBug {
+                        id: report.bug_id.clone(),
+                        component: report.component,
+                        is_crash: true,
+                        jvm,
+                        seed: seed.name.clone(),
+                        mutators: outcome.mutator_history(),
+                        at_execs: result.executions,
+                        at_steps: result.steps,
+                        mutant: outcome.final_mutant.clone(),
+                    });
+                }
+            }
+            OracleVerdict::Miscompile { outputs, culprits } => {
+                for id in culprits {
+                    if seen.insert(id.clone()) {
+                        let component = component_of_miscompile(&id)
+                            .unwrap_or(Component::OtherJit);
+                        result.bugs.push(FoundBug {
+                            id,
+                            component,
+                            is_crash: false,
+                            jvm: outputs
+                                .first()
+                                .map(|(j, _)| j.clone())
+                                .unwrap_or_default(),
+                            seed: seed.name.clone(),
+                            mutators: outcome.mutator_history(),
+                            at_execs: result.executions,
+                            at_steps: result.steps,
+                            mutant: outcome.final_mutant.clone(),
+                        });
+                    }
+                }
+            }
+            OracleVerdict::Pass | OracleVerdict::Inconclusive(_) => {}
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn small_campaign_finds_at_least_one_bug() {
+        let seeds = corpus::builtin();
+        let config = CampaignConfig {
+            iterations_per_seed: 25,
+            rounds: 6,
+            ..CampaignConfig::new(6)
+        };
+        let result = run_campaign(&seeds, &config);
+        assert!(result.executions > 0);
+        assert!(
+            !result.bugs.is_empty(),
+            "a guided campaign over the corpus should find something"
+        );
+        // Dedup: ids unique.
+        let mut ids: Vec<_> = result.bugs.iter().map(|b| b.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), result.bugs.len());
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let seeds = corpus::builtin();
+        let config = CampaignConfig {
+            iterations_per_seed: 10,
+            rounds: 3,
+            ..CampaignConfig::new(3)
+        };
+        let a = run_campaign(&seeds, &config);
+        let b = run_campaign(&seeds, &config);
+        assert_eq!(a.executions, b.executions);
+        assert_eq!(a.final_deltas, b.final_deltas);
+        assert_eq!(
+            a.bugs.iter().map(|x| x.id.clone()).collect::<Vec<_>>(),
+            b.bugs.iter().map(|x| x.id.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_result() {
+        let result = run_campaign(&[], &CampaignConfig::new(2));
+        assert!(result.bugs.is_empty());
+        assert_eq!(result.executions, 0);
+    }
+
+    #[test]
+    fn bug_discovery_times_are_monotone() {
+        let seeds = corpus::builtin();
+        let config = CampaignConfig {
+            iterations_per_seed: 25,
+            rounds: 8,
+            ..CampaignConfig::new(8)
+        };
+        let result = run_campaign(&seeds, &config);
+        let times: Vec<u64> = result.bugs.iter().map(|b| b.at_steps).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+}

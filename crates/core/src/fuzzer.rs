@@ -1,0 +1,361 @@
+//! The fuzzing loop — Algorithm 1 of the paper.
+//!
+//! One run takes a seed, picks a mutation point, and iterates: select a
+//! mutator by weight (Eq. 1), apply it at the MP, execute the mutant with
+//! all trace flags to obtain profile data, scrape the OBV, and bump the
+//! chosen mutator's weight by the behaviour increment (Eq. 2 + Eq. 3).
+//! The loop stops at the iteration cap or on a compiler crash.
+
+use crate::mutators::{all_mutators, Mutation, Mutator, MutatorKind};
+use crate::variant::Variant;
+use jprofile::Obv;
+use jvmsim::{CrashReport, JvmSpec, RunOptions, Verdict};
+use mjava::{Program, StmtPath};
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::collections::HashMap;
+
+/// How mutator weights grow with observed behaviour (paper §3.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Eq. 3: multiplicative bump by Δ normalized by ‖OBV_c‖ — the
+    /// paper's choice, rewarding behaviour *diversity*.
+    #[default]
+    NormalizedDelta,
+    /// The rejected alternative: weights grow by the raw sum of
+    /// behaviour increases, which high-frequency behaviours dominate.
+    /// Kept for the ablation experiment.
+    RawSum,
+}
+
+/// Configuration of one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Maximum mutation iterations (the paper uses 50).
+    pub max_iterations: usize,
+    /// Which variant runs (full / no-guidance / random-MP).
+    pub variant: Variant,
+    /// The JVM whose profile data guides the run.
+    pub guidance: JvmSpec,
+    /// RNG seed — every run is deterministic given its seed.
+    pub rng_seed: u64,
+    /// Weight-update scheme (§3.4's Eq. 3 by default).
+    pub weight_scheme: WeightScheme,
+}
+
+impl FuzzConfig {
+    /// The paper's default configuration against a given guidance JVM.
+    pub fn new(guidance: JvmSpec) -> FuzzConfig {
+        FuzzConfig {
+            max_iterations: 50,
+            variant: Variant::Full,
+            guidance,
+            rng_seed: 0x4D4F_5046,
+            weight_scheme: WeightScheme::NormalizedDelta,
+        }
+    }
+}
+
+/// One iteration's bookkeeping (drives Figure 1 and the ablations).
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// The mutator applied.
+    pub mutator: MutatorKind,
+    /// The child's OBV.
+    pub obv: Obv,
+    /// Δ between parent and child (Eq. 2).
+    pub delta_vs_parent: f64,
+    /// Δ between the original seed and this child.
+    pub delta_vs_seed: f64,
+}
+
+/// The result of one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The last mutant generated (`c*` in Algorithm 1).
+    pub final_mutant: Program,
+    /// Its mutation point.
+    pub final_mp: StmtPath,
+    /// Crash observed during a guidance execution, if any.
+    pub crash: Option<CrashReport>,
+    /// Per-iteration records, in order.
+    pub records: Vec<IterationRecord>,
+    /// The seed's OBV under the guidance JVM.
+    pub seed_obv: Obv,
+    /// Final mutator weights.
+    pub weights: HashMap<MutatorKind, f64>,
+    /// JVM executions performed.
+    pub executions: u64,
+    /// Total interpreter steps consumed (the simulated-time unit).
+    pub steps: u64,
+    /// Coverage accumulated over all guidance executions.
+    pub coverage: jvmsim::CoverageMap,
+}
+
+impl FuzzOutcome {
+    /// Δ between the seed and the final mutant — the headline metric of
+    /// Figures 3 and 4.
+    pub fn final_delta(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.delta_vs_seed)
+    }
+
+    /// The sequence of applied mutators.
+    pub fn mutator_history(&self) -> Vec<MutatorKind> {
+        self.records.iter().map(|r| r.mutator).collect()
+    }
+}
+
+/// Picks a random statement of the program as mutation point.
+pub fn select_mp(program: &Program, rng: &mut SmallRng) -> Option<StmtPath> {
+    let paths = mjava::path::all_paths(program);
+    if paths.is_empty() {
+        return None;
+    }
+    Some(paths[rng.gen_range(0..paths.len())].clone())
+}
+
+/// The `Class::method` containing a mutation point.
+fn method_of(program: &Program, mp: &StmtPath) -> Option<(String, String)> {
+    let class = program.classes.get(mp.class)?;
+    let method = class.methods.get(mp.method)?;
+    Some((class.name.clone(), method.name.clone()))
+}
+
+fn run_options(program: &Program, mp: &StmtPath) -> RunOptions {
+    let mut options = RunOptions::fuzzing();
+    options.compile_only = method_of(program, mp);
+    options
+}
+
+/// Weighted random selection per Eq. 1:
+/// `potential(mᵢ) = wᵢ / Σⱼ wⱼ`.
+fn select_weighted(
+    candidates: &[usize],
+    weights: &HashMap<MutatorKind, f64>,
+    mutators: &[Box<dyn Mutator>],
+    rng: &mut SmallRng,
+) -> usize {
+    let total: f64 = candidates
+        .iter()
+        .map(|&i| weights[&mutators[i].kind()])
+        .sum();
+    let mut point = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for &i in candidates {
+        let w = weights[&mutators[i].kind()];
+        if point < w {
+            return i;
+        }
+        point -= w;
+    }
+    *candidates.last().expect("non-empty candidates")
+}
+
+/// Runs Algorithm 1 on one seed.
+pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let mutators = all_mutators();
+    let mut weights: HashMap<MutatorKind, f64> =
+        MutatorKind::ALL.iter().map(|&k| (k, 1.0)).collect();
+
+    let mut outcome = FuzzOutcome {
+        final_mutant: seed.clone(),
+        final_mp: StmtPath::top_level(0, 0, 0),
+        crash: None,
+        records: Vec::new(),
+        seed_obv: Obv::zero(),
+        weights: weights.clone(),
+        executions: 0,
+        steps: 0,
+        coverage: jvmsim::CoverageMap::new(),
+    };
+    let Some(mut mp) = select_mp(seed, &mut rng) else {
+        return outcome;
+    };
+    outcome.final_mp = mp.clone();
+
+    // Execute the seed to obtain the parent's profile data.
+    let seed_run = jvmsim::run_jvm(seed, &config.guidance, &run_options(seed, &mp));
+    outcome.executions += 1;
+    outcome.steps += seed_run.steps;
+    outcome.coverage.merge(&seed_run.coverage);
+    let seed_obv = Obv::from_log(&seed_run.log);
+    outcome.seed_obv = seed_obv;
+    if let Verdict::CompilerCrash(report) = seed_run.verdict {
+        // A seed that crashes the JVM is already a find.
+        outcome.crash = Some(report);
+        return outcome;
+    }
+    let mut parent = seed.clone();
+    let mut parent_obv = seed_obv;
+
+    for iteration in 1..=config.max_iterations {
+        if config.variant == Variant::RandomMp {
+            if let Some(fresh) = select_mp(&parent, &mut rng) {
+                mp = fresh;
+            }
+        }
+        // Applicable mutators at the MP (paper §3.3).
+        let mut candidates: Vec<usize> = (0..mutators.len())
+            .filter(|&i| mutators[i].is_applicable(&parent, &mp))
+            .collect();
+        let mutation: Option<(usize, Mutation)> = loop {
+            if candidates.is_empty() {
+                break None;
+            }
+            let pick = if config.variant == Variant::Full {
+                select_weighted(&candidates, &weights, &mutators, &mut rng)
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            };
+            match mutators[pick].apply(&parent, &mp, &mut rng) {
+                Some(m) => break Some((pick, m)),
+                None => candidates.retain(|&i| i != pick),
+            }
+        };
+        let Some((pick, mutation)) = mutation else {
+            break;
+        };
+        let kind = mutators[pick].kind();
+
+        let child_run = jvmsim::run_jvm(
+            &mutation.program,
+            &config.guidance,
+            &run_options(&mutation.program, &mutation.mp),
+        );
+        outcome.executions += 1;
+        outcome.steps += child_run.steps;
+        outcome.coverage.merge(&child_run.coverage);
+        let child_obv = Obv::from_log(&child_run.log);
+        let delta = Obv::delta(&parent_obv, &child_obv);
+        outcome.records.push(IterationRecord {
+            iteration,
+            mutator: kind,
+            obv: child_obv,
+            delta_vs_parent: delta,
+            delta_vs_seed: Obv::delta(&seed_obv, &child_obv),
+        });
+        if config.variant == Variant::Full {
+            let w = weights.get_mut(&kind).expect("all kinds present");
+            *w = match config.weight_scheme {
+                WeightScheme::NormalizedDelta => {
+                    jprofile::update_weight(*w, delta, &child_obv)
+                }
+                WeightScheme::RawSum => {
+                    jprofile::update_weight_raw_sum(*w, &parent_obv, &child_obv)
+                }
+            };
+        }
+        outcome.final_mutant = mutation.program.clone();
+        outcome.final_mp = mutation.mp.clone();
+        if let Verdict::CompilerCrash(report) = child_run.verdict {
+            outcome.crash = Some(report);
+            break;
+        }
+        parent = mutation.program;
+        mp = mutation.mp;
+        parent_obv = child_obv;
+    }
+    outcome.weights = weights;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guidance() -> JvmSpec {
+        jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs()
+    }
+
+    fn config(seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            max_iterations: 8,
+            variant: Variant::Full,
+            guidance: guidance(),
+            rng_seed: seed,
+            weight_scheme: Default::default(),
+        }
+    }
+
+    #[test]
+    fn fuzzing_is_deterministic() {
+        let seed = mjava::samples::listing2().program;
+        let a = fuzz(&seed, &config(7));
+        let b = fuzz(&seed, &config(7));
+        assert_eq!(a.final_mutant, b.final_mutant);
+        assert_eq!(a.mutator_history(), b.mutator_history());
+        assert_eq!(a.final_delta(), b.final_delta());
+    }
+
+    #[test]
+    fn different_rng_seeds_diverge() {
+        let seed = mjava::samples::listing2().program;
+        let a = fuzz(&seed, &config(1));
+        let b = fuzz(&seed, &config(2));
+        assert_ne!(
+            (a.mutator_history(), a.final_mutant),
+            (b.mutator_history(), b.final_mutant)
+        );
+    }
+
+    #[test]
+    fn iterations_accumulate_behaviour() {
+        let seed = mjava::samples::sync_counter().program;
+        let out = fuzz(&seed, &config(3));
+        assert!(!out.records.is_empty());
+        assert!(out.final_delta() > 0.0, "no behaviour increment at all");
+        // Executions: 1 seed + 1 per completed iteration.
+        assert_eq!(out.executions, out.records.len() as u64 + 1);
+    }
+
+    #[test]
+    fn guidance_grows_weights_only_in_full_variant() {
+        let seed = mjava::samples::listing2().program;
+        let full = fuzz(&seed, &config(5));
+        let grew = full.weights.values().any(|&w| w > 1.0);
+        assert!(grew, "full variant should bump weights: {:?}", full.weights);
+
+        let mut cfg = config(5);
+        cfg.variant = Variant::NoGuidance;
+        let unguided = fuzz(&seed, &cfg);
+        assert!(
+            unguided.weights.values().all(|&w| (w - 1.0).abs() < 1e-12),
+            "no-guidance variant must not touch weights"
+        );
+    }
+
+    #[test]
+    fn raw_sum_scheme_is_selectable_and_diverges() {
+        let seed = mjava::samples::listing2().program;
+        let mut cfg = config(5);
+        cfg.max_iterations = 10;
+        cfg.weight_scheme = crate::fuzzer::WeightScheme::RawSum;
+        let raw = fuzz(&seed, &cfg);
+        cfg.weight_scheme = crate::fuzzer::WeightScheme::NormalizedDelta;
+        let eq3 = fuzz(&seed, &cfg);
+        // Same RNG seed, different weight dynamics → the selection
+        // sequences eventually diverge (weights feed Eq. 1).
+        assert_ne!(raw.weights, eq3.weights);
+    }
+
+    #[test]
+    fn mutants_stay_valid_programs() {
+        let seed = mjava::samples::boxing_mix().program;
+        let out = fuzz(&seed, &config(11));
+        let printed = mjava::print(&out.final_mutant);
+        let reparsed = mjava::parse(&printed).expect("final mutant must reparse");
+        assert_eq!(reparsed, out.final_mutant);
+    }
+
+    #[test]
+    fn random_mp_variant_moves_the_point() {
+        let seed = mjava::samples::field_state().program;
+        let mut cfg = config(13);
+        cfg.variant = Variant::RandomMp;
+        cfg.max_iterations = 6;
+        let out = fuzz(&seed, &cfg);
+        assert!(!out.records.is_empty());
+    }
+}

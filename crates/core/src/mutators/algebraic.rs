@@ -1,0 +1,112 @@
+//! AlgebraicSimplification-evoke: wraps the MP's first `int` expression in
+//! a value-preserving algebraic identity (`e * 1 + 0`, `e ^ 0`, `e << 0`,
+//! `e | 0`, `e / 1`) for the simplifier to fold away.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{BinOp, Expr, Program, StmtPath};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlgebraicSimplificationEvoke;
+
+fn identity(e: Expr, choice: u8) -> Expr {
+    match choice {
+        0 => Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, e, Expr::Int(1)),
+            Expr::Int(0),
+        ),
+        1 => Expr::bin(BinOp::BitXor, e, Expr::Int(0)),
+        2 => Expr::bin(BinOp::Shl, e, Expr::Int(0)),
+        3 => Expr::bin(BinOp::BitOr, e, Expr::Int(0)),
+        _ => Expr::bin(BinOp::Div, e, Expr::Int(1)),
+    }
+}
+
+impl Mutator for AlgebraicSimplificationEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::AlgebraicSimplification
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        util::has_int_expr(program, mp)
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let mut stmt = util::stmt_at(program, mp)?;
+        let choice = rng.gen_range(0..5u8);
+        if !util::rewrite_first_int_expr(program, mp, &mut stmt, |e| identity(e, choice)) {
+            return None;
+        }
+        let mut mutant = program.clone();
+        if !mjava::path::replace_stmt(&mut mutant, mp, vec![stmt]) {
+            return None;
+        }
+        Some(Mutation {
+            program: mutant,
+            mp: mp.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+    use rand::SeedableRng as _;
+
+    const SRC: &str = r#"
+        class T {
+            static void main() {
+                int a = 6;
+                int m = a * 7;
+                System.out.println(m);
+            }
+        }
+    "#;
+
+    #[test]
+    fn wraps_expression_value_preserving() {
+        let (program, mp) = program_and_mp(SRC, "int m = a * 7;");
+        // Try every identity variant deterministically.
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mutation = AlgebraicSimplificationEvoke
+                .apply(&program, &mp, &mut rng)
+                .unwrap();
+            let out =
+                jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+            assert_eq!(out.output, vec!["42"], "identity changed value");
+        }
+    }
+
+    #[test]
+    fn evokes_simplification_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "int m = a * 7;");
+        let mutation = apply_checked(&AlgebraicSimplificationEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::AlgebraicSimplify),
+            "no simplification events: {:?}",
+            run.events
+        );
+    }
+
+    #[test]
+    fn not_applicable_without_int_expr() {
+        let (program, mp) = program_and_mp(
+            "class T { static void main() { boolean b = false; System.out.println(b); } }",
+            "boolean b = false;",
+        );
+        assert!(!AlgebraicSimplificationEvoke.is_applicable(&program, &mp));
+    }
+}

@@ -1,0 +1,103 @@
+//! AutoboxElimination-evoke: routes the MP's first `int` expression
+//! through a box/unbox round-trip (`Integer.valueOf(e).intValue()`), the
+//! pattern autobox elimination removes.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{Expr, Program, StmtPath};
+use rand::rngs::SmallRng;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoboxEliminationEvoke;
+
+impl Mutator for AutoboxEliminationEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::AutoboxElimination
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        util::has_int_expr(program, mp)
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, _rng: &mut SmallRng) -> Option<Mutation> {
+        let mut stmt = util::stmt_at(program, mp)?;
+        if !util::rewrite_first_int_expr(program, mp, &mut stmt, |e| {
+            Expr::UnboxInt(Box::new(Expr::BoxInt(Box::new(e))))
+        }) {
+            return None;
+        }
+        let mut mutant = program.clone();
+        if !mjava::path::replace_stmt(&mut mutant, mp, vec![stmt]) {
+            return None;
+        }
+        Some(Mutation {
+            program: mutant,
+            mp: mp.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static void main() {
+                int a = 4;
+                int m = a * 5;
+                System.out.println(m);
+            }
+        }
+    "#;
+
+    #[test]
+    fn wraps_int_expr_in_roundtrip() {
+        let (program, mp) = program_and_mp(SRC, "int m = a * 5;");
+        let mutation = apply_checked(&AutoboxEliminationEvoke, &program, &mp);
+        let printed =
+            mjava::print_stmt(mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap());
+        assert!(printed.contains("Integer.valueOf("), "{printed}");
+        assert!(printed.contains(".intValue()"), "{printed}");
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["20"]);
+    }
+
+    #[test]
+    fn not_applicable_without_int_expr() {
+        let (program, mp) = program_and_mp(
+            "class T { static void main() { boolean b = true; System.out.println(b); } }",
+            "boolean b = true;",
+        );
+        assert!(!AutoboxEliminationEvoke.is_applicable(&program, &mp));
+    }
+
+    #[test]
+    fn evokes_autobox_elimination_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "int m = a * 5;");
+        let mutation = apply_checked(&AutoboxEliminationEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::AutoboxEliminate),
+            "no autobox events: {:?}",
+            run.events
+        );
+    }
+
+    #[test]
+    fn stacking_roundtrips_composes() {
+        let (program, mp) = program_and_mp(SRC, "int m = a * 5;");
+        let m1 = apply_checked(&AutoboxEliminationEvoke, &program, &mp);
+        let m2 = apply_checked(&AutoboxEliminationEvoke, &m1.program, &m1.mp);
+        let out = jexec::run_program(&m2.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["20"]);
+    }
+}

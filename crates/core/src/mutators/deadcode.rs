@@ -1,0 +1,94 @@
+//! DeadCodeElimination-evoke: surrounds the MP with writes to a fresh,
+//! never-read variable — straightforward food for dead code elimination.
+
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{Expr, LValue, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadCodeEliminationEvoke;
+
+impl Mutator for DeadCodeEliminationEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::DeadCodeElimination
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        mjava::path::stmt_at(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let mut mutant = program.clone();
+        let dead = mutant.fresh_name("d");
+        let insert = vec![
+            Stmt::Decl {
+                name: dead.clone(),
+                ty: Type::Int,
+                init: Some(Expr::Int(rng.gen_range(0..100))),
+            },
+            Stmt::Assign {
+                target: LValue::Var(dead),
+                value: Expr::Int(rng.gen_range(100..200)),
+            },
+        ];
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, insert)?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static void main() {
+                int x = 7;
+                System.out.println(x);
+            }
+        }
+    "#;
+
+    #[test]
+    fn inserts_never_read_variable() {
+        let (program, mp) = program_and_mp(SRC, "System.out.println");
+        let mutation = apply_checked(&DeadCodeEliminationEvoke, &program, &mp);
+        let printed = mjava::print(&mutation.program);
+        assert!(printed.contains("int d0 ="), "{printed}");
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["7"]);
+    }
+
+    #[test]
+    fn evokes_dce_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "System.out.println");
+        let mutation = apply_checked(&DeadCodeEliminationEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::DceRemove),
+            "no DCE events: {:?}",
+            run.events
+        );
+    }
+
+    #[test]
+    fn repeated_application_uses_fresh_names() {
+        let (program, mp) = program_and_mp(SRC, "System.out.println");
+        let m1 = apply_checked(&DeadCodeEliminationEvoke, &program, &mp);
+        let m2 = apply_checked(&DeadCodeEliminationEvoke, &m1.program, &m1.mp);
+        let printed = mjava::print(&m2.program);
+        assert!(printed.contains("int d0 =") && printed.contains("int d1 ="), "{printed}");
+    }
+}

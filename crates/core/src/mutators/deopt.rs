@@ -1,0 +1,125 @@
+//! Deoptimization-evoke: guards a copy of the MP with an equality check
+//! against an improbable constant — the branch-profile heuristic marks it
+//! rarely-taken and the compiler plants an uncommon trap (and, inside
+//! loops, a planned deoptimization).
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{BinOp, Block, Expr, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeoptimizationEvoke;
+
+fn int_vars(program: &Program, mp: &StmtPath) -> Vec<String> {
+    let Some((scope, _)) = util::typing(program, mp) else {
+        return Vec::new();
+    };
+    scope
+        .vars_of_type(&Type::Int)
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+}
+
+impl Mutator for DeoptimizationEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::Deoptimization
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        !int_vars(program, mp).is_empty()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let stmt = util::stmt_at(program, mp)?;
+        let vars = int_vars(program, mp);
+        if vars.is_empty() {
+            return None;
+        }
+        let var = vars[rng.gen_range(0..vars.len())].clone();
+        let sentinel = 1_000_003 + rng.gen_range(0..1_000) * 7;
+        let guarded = if matches!(stmt, Stmt::Return(_)) {
+            Block::new()
+        } else {
+            Block(vec![stmt])
+        };
+        let guard = Stmt::If {
+            cond: Expr::bin(BinOp::Eq, Expr::var(var), Expr::Int(sentinel)),
+            then_b: guarded,
+            else_b: None,
+        };
+        let mut mutant = program.clone();
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, vec![guard])?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp, rng};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static int s;
+            static void main() {
+                for (int i = 0; i < 500; i++) {
+                    s = s + i % 3;
+                }
+                System.out.println(s);
+            }
+        }
+    "#;
+
+    #[test]
+    fn guards_copy_with_rare_equality() {
+        let (program, mp) = program_and_mp(SRC, "s = s + i % 3;");
+        let mutation = apply_checked(&DeoptimizationEvoke, &program, &mp);
+        let printed = mjava::print(&mutation.program);
+        assert!(printed.contains("== 100"), "rare constant expected: {printed}");
+        // The guard never fires at runtime, so output is unchanged.
+        let before = jexec::run_program(&program, &jexec::ExecConfig::default()).unwrap();
+        let after =
+            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(before.output, after.output);
+    }
+
+    #[test]
+    fn requires_int_var_in_scope() {
+        let (program, mp) = program_and_mp(
+            "class T { static void main() { System.out.println(1); } }",
+            "println",
+        );
+        assert!(!DeoptimizationEvoke.is_applicable(&program, &mp));
+        assert!(DeoptimizationEvoke.apply(&program, &mp, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn evokes_uncommon_trap_and_deopt_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "s = s + i % 3;");
+        let mutation = apply_checked(&DeoptimizationEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::UncommonTrap),
+            "no trap events: {:?}",
+            run.events
+        );
+        assert!(
+            run.events.iter().any(|e| e.kind == jopt::OptEventKind::Deopt),
+            "guard is inside a loop, deopt expected: {:?}",
+            run.events
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! DeReflection-evoke (paper Table 1): replaces the MP's first direct
+//! method call with a `Class.forName(..).getDeclaredMethod(..).invoke(..)`
+//! chain, forcing the JVM through the reflection slow path that
+//! de-reflection then removes.
+//!
+//! Deviation from the paper: Table 1 also allows converting *field
+//! accesses* to reflection; MiniJava models reflective method invocation
+//! only, so this mutator is restricted to calls (documented in DESIGN.md).
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::scope::infer_expr;
+use mjava::visit::rewrite_first_expr_in_stmt;
+use mjava::{CallTarget, Expr, Program, Reflect, StmtPath, Type};
+use rand::rngs::SmallRng;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeReflectionEvoke;
+
+impl DeReflectionEvoke {
+    /// Resolves the target class of a direct call at the MP, if the call
+    /// is convertible to reflection.
+    fn convertible(
+        program: &Program,
+        mp: &StmtPath,
+        e: &Expr,
+    ) -> Option<(String, Option<Expr>)> {
+        let Expr::Call(call) = e else {
+            return None;
+        };
+        match &call.target {
+            CallTarget::Static(class) => {
+                program.class(class)?.method(&call.method)?;
+                Some((class.clone(), None))
+            }
+            CallTarget::Instance(recv) => {
+                let (scope, ctx) = util::typing(program, mp)?;
+                match infer_expr(&ctx, &scope, recv)? {
+                    Type::Ref(class) => {
+                        program.class(&class)?.method(&call.method)?;
+                        Some((class, Some(recv.as_ref().clone())))
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+impl Mutator for DeReflectionEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::DeReflection
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        let Some(stmt) = mjava::path::stmt_at(program, mp) else {
+            return false;
+        };
+        let mut found = false;
+        mjava::visit::for_each_expr_in_stmt(stmt, &mut |e| {
+            if !found && Self::convertible(program, mp, e).is_some() {
+                found = true;
+            }
+        });
+        found
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, _rng: &mut SmallRng) -> Option<Mutation> {
+        let mut stmt = util::stmt_at(program, mp)?;
+        let mut changed = false;
+        rewrite_first_expr_in_stmt(&mut stmt, &mut |e| {
+            let Some((class, receiver)) = Self::convertible(program, mp, e) else {
+                return false;
+            };
+            let Expr::Call(call) = e else {
+                return false;
+            };
+            *e = Expr::Reflect(Reflect {
+                class,
+                method: call.method.clone(),
+                receiver: receiver.map(Box::new),
+                args: call.args.clone(),
+            });
+            changed = true;
+            true
+        });
+        if !changed {
+            return None;
+        }
+        let mut mutant = program.clone();
+        if !mjava::path::replace_stmt(&mut mutant, mp, vec![stmt]) {
+            return None;
+        }
+        Some(Mutation {
+            program: mutant,
+            mp: mp.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            int f;
+            int g(int d) { return f + d; }
+            static int h(int v) { return v * 2; }
+            static void main() {
+                T t = new T();
+                t.f = 4;
+                int m = t.g(2);
+                int k = T.h(m);
+                System.out.println(k);
+            }
+        }
+    "#;
+
+    #[test]
+    fn converts_instance_call_to_reflection() {
+        let (program, mp) = program_and_mp(SRC, "int m = t.g(2);");
+        let mutation = apply_checked(&DeReflectionEvoke, &program, &mp);
+        let stmt = mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap();
+        let printed = mjava::print_stmt(stmt);
+        assert!(
+            printed.contains("Class.forName(\"T\").getDeclaredMethod(\"g\").invoke(t, 2)"),
+            "{printed}"
+        );
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["12"]);
+        assert_eq!(out.stats.reflective_calls, 1);
+    }
+
+    #[test]
+    fn converts_static_call_with_null_receiver() {
+        let (program, mp) = program_and_mp(SRC, "int k = T.h(m);");
+        let mutation = apply_checked(&DeReflectionEvoke, &program, &mp);
+        let printed = mjava::print_stmt(
+            mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap(),
+        );
+        assert!(printed.contains(".invoke(null, m)"), "{printed}");
+    }
+
+    #[test]
+    fn not_applicable_without_calls() {
+        let (program, mp) = program_and_mp(SRC, "t.f = 4;");
+        assert!(!DeReflectionEvoke.is_applicable(&program, &mp));
+    }
+
+    #[test]
+    fn dereflection_phase_restores_direct_call() {
+        let (program, mp) = program_and_mp(SRC, "int m = t.g(2);");
+        let mutation = apply_checked(&DeReflectionEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::Dereflect),
+            "no dereflect events: {:?}",
+            run.events
+        );
+    }
+}

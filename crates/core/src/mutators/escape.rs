@@ -1,0 +1,166 @@
+//! EscapeAnalysis-evoke: plants a fresh, provably non-escaping allocation
+//! next to the MP, with field traffic for scalar replacement to consume.
+//! If the enclosing class has no `int` instance field, one is added.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{BinOp, Expr, Field, LValue, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EscapeAnalysisEvoke;
+
+impl Mutator for EscapeAnalysisEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::EscapeAnalysis
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        mjava::path::stmt_at(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let class_name = util::enclosing_class(program, mp)?;
+        let mut mutant = program.clone();
+        // Ensure an int instance field exists to talk to.
+        let field_name = {
+            let class = mutant.class(&class_name)?;
+            match class
+                .fields
+                .iter()
+                .find(|f| !f.is_static && f.ty == Type::Int)
+            {
+                Some(f) => f.name.clone(),
+                None => {
+                    let name = mutant.fresh_name("v");
+                    mutant.classes[mp.class].fields.push(Field {
+                        name: name.clone(),
+                        ty: Type::Int,
+                        is_static: false,
+                        init: None,
+                    });
+                    name
+                }
+            }
+        };
+        let obj = mutant.fresh_name("o");
+        let tmp = mutant.fresh_name("g");
+        let k = rng.gen_range(1..50);
+        let insert = vec![
+            // o = new C();          (non-escaping)
+            Stmt::Decl {
+                name: obj.clone(),
+                ty: Type::Ref(class_name),
+                init: Some(Expr::New(
+                    mutant.classes[mp.class].name.clone(),
+                )),
+            },
+            // o.v = k;
+            Stmt::Assign {
+                target: LValue::Field(Expr::var(obj.clone()), field_name.clone()),
+                value: Expr::Int(k),
+            },
+            // int g = o.v + 1;
+            Stmt::Decl {
+                name: tmp.clone(),
+                ty: Type::Int,
+                init: Some(Expr::bin(
+                    BinOp::Add,
+                    Expr::Field(Box::new(Expr::var(obj.clone())), field_name.clone()),
+                    Expr::Int(1),
+                )),
+            },
+            // o.v = g;              (keeps g live, object still local)
+            Stmt::Assign {
+                target: LValue::Field(Expr::var(obj), field_name),
+                value: Expr::var(tmp),
+            },
+        ];
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, insert)?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static int s;
+            static void main() {
+                s = s + 3;
+                System.out.println(s);
+            }
+        }
+    "#;
+
+    #[test]
+    fn inserts_local_allocation_with_field_traffic() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 3;");
+        let mutation = apply_checked(&EscapeAnalysisEvoke, &program, &mp);
+        let printed = mjava::print(&mutation.program);
+        assert!(printed.contains("new T()"), "{printed}");
+        // T had no int instance field; one was added.
+        assert!(mutation.program.classes[0]
+            .fields
+            .iter()
+            .any(|f| !f.is_static && f.ty == Type::Int));
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["3"]);
+    }
+
+    #[test]
+    fn reuses_existing_int_field() {
+        let src = r#"
+            class T {
+                int w;
+                static void main() {
+                    System.out.println(9);
+                }
+            }
+        "#;
+        let (program, mp) = program_and_mp(src, "println");
+        let mutation = apply_checked(&EscapeAnalysisEvoke, &program, &mp);
+        assert_eq!(
+            mutation.program.classes[0]
+                .fields
+                .iter()
+                .filter(|f| !f.is_static)
+                .count(),
+            1,
+            "no extra field should be added"
+        );
+    }
+
+    #[test]
+    fn evokes_escape_analysis_and_scalar_replacement() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 3;");
+        let mutation = apply_checked(&EscapeAnalysisEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::EaNoEscape),
+            "no EA events: {:?}",
+            run.events
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::ScalarReplace),
+            "no scalar-replacement events: {:?}",
+            run.events
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Inlining-evoke (paper Table 1): extracts the first binary expression of
+//! the MP into a fresh small static method, replacing it with a call —
+//! exactly the shape the JIT's inliner will fold back in, exercising the
+//! inlining machinery.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::scope::infer_expr;
+use mjava::visit::rewrite_first_expr_in_stmt;
+use mjava::{BinOp, Block, Call, CallTarget, Expr, Method, Param, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InliningEvoke;
+
+fn numeric(ty: &Option<Type>) -> bool {
+    matches!(ty, Some(Type::Int) | Some(Type::Long))
+}
+
+impl Mutator for InliningEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::Inlining
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        let Some(stmt) = mjava::path::stmt_at(program, mp) else {
+            return false;
+        };
+        let Some((scope, ctx)) = util::typing(program, mp) else {
+            return false;
+        };
+        let mut found = false;
+        mjava::visit::for_each_expr_in_stmt(stmt, &mut |e| {
+            if found {
+                return;
+            }
+            if let Expr::Binary(op, lhs, rhs) = e {
+                if op.is_arithmetic()
+                    && numeric(&infer_expr(&ctx, &scope, lhs))
+                    && numeric(&infer_expr(&ctx, &scope, rhs))
+                {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, _rng: &mut SmallRng) -> Option<Mutation> {
+        let mut stmt = util::stmt_at(program, mp)?;
+        let class_name = util::enclosing_class(program, mp)?;
+        let (scope, ctx) = util::typing(program, mp)?;
+        let method_name = program.fresh_name("foo");
+
+        let mut extracted: Option<(BinOp, Type, Type)> = None;
+        rewrite_first_expr_in_stmt(&mut stmt, &mut |e| {
+            if extracted.is_some() {
+                return false;
+            }
+            let Expr::Binary(op, lhs, rhs) = e else {
+                return false;
+            };
+            if !op.is_arithmetic() {
+                return false;
+            }
+            let (lt, rt) = (
+                infer_expr(&ctx, &scope, lhs),
+                infer_expr(&ctx, &scope, rhs),
+            );
+            if !(numeric(&lt) && numeric(&rt)) {
+                return false;
+            }
+            let (lt, rt) = (lt.expect("numeric"), rt.expect("numeric"));
+            extracted = Some((*op, lt.clone(), rt.clone()));
+            let (lhs, rhs) = (lhs.as_ref().clone(), rhs.as_ref().clone());
+            *e = Expr::Call(Call {
+                target: CallTarget::Static(class_name.clone()),
+                method: method_name.clone(),
+                args: vec![lhs, rhs],
+            });
+            true
+        });
+        let (op, lt, rt) = extracted?;
+        let ret = if lt == Type::Long || rt == Type::Long {
+            Type::Long
+        } else {
+            Type::Int
+        };
+        let helper = Method {
+            name: method_name,
+            params: vec![
+                Param {
+                    name: "x".into(),
+                    ty: lt,
+                },
+                Param {
+                    name: "y".into(),
+                    ty: rt,
+                },
+            ],
+            ret,
+            is_static: true,
+            is_sync: false,
+            body: Block(vec![Stmt::Return(Some(Expr::bin(
+                op,
+                Expr::var("x"),
+                Expr::var("y"),
+            )))]),
+        };
+        let mut mutant = program.clone();
+        if !mjava::path::replace_stmt(&mut mutant, mp, vec![stmt]) {
+            return None;
+        }
+        mutant.classes[mp.class].methods.push(helper);
+        Some(Mutation {
+            program: mutant,
+            mp: mp.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            int f;
+            int g() { return f + 1; }
+            static void main() {
+                T t = new T();
+                int a = 3;
+                int m = a + t.g();
+                System.out.println(m);
+            }
+        }
+    "#;
+
+    #[test]
+    fn replaces_binary_with_call_and_adds_helper() {
+        // The paper's running example: m = a + t.g() → m = foo0(a, t.g()).
+        let (program, mp) = program_and_mp(SRC, "int m = a + t.g();");
+        let mutation = apply_checked(&InliningEvoke, &program, &mp);
+        let stmt = mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap();
+        let printed = mjava::print_stmt(stmt);
+        assert!(printed.contains("T.foo0(a, t.g())"), "{printed}");
+        assert!(mutation.program.classes[0].method("foo0").is_some());
+        let out =
+            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["4"]);
+    }
+
+    #[test]
+    fn not_applicable_without_binary_expression() {
+        let (program, mp) = program_and_mp(SRC, "T t = new T();");
+        assert!(!InliningEvoke.is_applicable(&program, &mp));
+    }
+
+    #[test]
+    fn long_operands_widen_helper_signature() {
+        let src = r#"
+            class T {
+                static void main() {
+                    long a = 5L;
+                    long m = a * 3L;
+                    System.out.println(m);
+                }
+            }
+        "#;
+        let (program, mp) = program_and_mp(src, "long m = a * 3L;");
+        let mutation = apply_checked(&InliningEvoke, &program, &mp);
+        let helper = mutation.program.classes[0].method("foo0").unwrap();
+        assert_eq!(helper.ret, Type::Long);
+        let out =
+            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["15"]);
+    }
+
+    #[test]
+    fn repeated_application_nests_calls() {
+        let (program, mp) = program_and_mp(SRC, "int m = a + t.g();");
+        let m1 = apply_checked(&InliningEvoke, &program, &mp);
+        // After the first extraction the MP no longer contains a binary
+        // expression at the top — but the helper body does; applicability
+        // on the MP depends on what remains.
+        let printed = mjava::print(&m1.program);
+        assert!(printed.contains("foo0"), "{printed}");
+    }
+
+    #[test]
+    fn evokes_inlining_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "int m = a + t.g();");
+        let mutation = apply_checked(&InliningEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::Inline),
+            "no inline events: {:?}",
+            run.events
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! LockElimination-evoke (paper Table 1): wraps the MP in a
+//! `synchronized` body. The lock object is a fresh thread-local object
+//! (provably eliminable), `this`, or the class constant, chosen at
+//! random; nested applications produce the nested monitor regions the
+//! lock phases must then handle.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::path::Region;
+use mjava::{Block, Expr, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockEliminationEvoke;
+
+impl Mutator for LockEliminationEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::LockElimination
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        mjava::path::stmt_at(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let stmt = util::stmt_at(program, mp)?;
+        let class = util::enclosing_class(program, mp)?;
+        let mut mutant = program.clone();
+
+        // Wrapping a declaration would hide it from later statements.
+        if matches!(stmt, Stmt::Decl { .. }) {
+            return None;
+        }
+
+        let use_this = !util::in_static_method(program, mp);
+        let (prefix, lock): (Option<Stmt>, Expr) = match rng.gen_range(0..3u8) {
+            0 => {
+                let name = mutant.fresh_name("l");
+                let decl = Stmt::Decl {
+                    name: name.clone(),
+                    ty: Type::Ref(class.clone()),
+                    init: Some(Expr::New(class.clone())),
+                };
+                (Some(decl), Expr::var(name))
+            }
+            1 if use_this => (None, Expr::This),
+            _ => (None, Expr::ClassLit(class)),
+        };
+        let sync = Stmt::Sync {
+            lock,
+            body: Block(vec![stmt]),
+        };
+        let replacement: Vec<Stmt> = prefix.into_iter().chain([sync]).collect();
+        let offset = replacement.len() - 1;
+        if !mjava::path::replace_stmt(&mut mutant, mp, replacement) {
+            return None;
+        }
+        // The MP moves inside the synchronized body.
+        let mut new_mp = mp.clone();
+        new_mp.steps.last_mut().expect("non-empty path").index += offset;
+        let new_mp = new_mp.child(Region::Body, 0);
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp, rng};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            int f;
+            static void main() {
+                T t = new T();
+                t.foo(5);
+                System.out.println(t.f);
+            }
+            void foo(int i) { f = f + i; }
+        }
+    "#;
+
+    #[test]
+    fn wraps_mp_in_synchronized() {
+        let (program, mp) = program_and_mp(SRC, "f = f + i;");
+        let mutation = apply_checked(&LockEliminationEvoke, &program, &mp);
+        let stmt = mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap();
+        assert_eq!(mjava::print_stmt(stmt).trim(), "f = f + i;");
+        assert!(
+            mjava::path::enclosing_sync(&mutation.program, &mutation.mp).is_some(),
+            "MP must now be inside a synchronized body"
+        );
+    }
+
+    #[test]
+    fn nested_application_creates_nested_monitors() {
+        let (program, mp) = program_and_mp(SRC, "f = f + i;");
+        let m1 = apply_checked(&LockEliminationEvoke, &program, &mp);
+        let m2 = apply_checked(&LockEliminationEvoke, &m1.program, &m1.mp);
+        let m3 = apply_checked(&LockEliminationEvoke, &m2.program, &m2.mp);
+        assert_eq!(mjava::path::sync_nesting_depth(&m3.program, &m3.mp), 3);
+    }
+
+    #[test]
+    fn declaration_mp_is_rejected() {
+        let (program, mp) = program_and_mp(SRC, "T t = new T();");
+        let mut r = rng();
+        assert!(LockEliminationEvoke.apply(&program, &mp, &mut r).is_none());
+    }
+
+    #[test]
+    fn semantics_of_output_unchanged() {
+        // Wrapping in a monitor must not change observable behaviour.
+        let (program, mp) = program_and_mp(SRC, "t.foo(5);");
+        let before = jexec::run_program(&program, &jexec::ExecConfig::default())
+            .unwrap()
+            .observable();
+        let mutation = apply_checked(&LockEliminationEvoke, &program, &mp);
+        let after = jexec::run_program(&mutation.program, &jexec::ExecConfig::default())
+            .unwrap()
+            .observable();
+        assert_eq!(before, after);
+    }
+}

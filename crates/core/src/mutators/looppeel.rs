@@ -1,0 +1,115 @@
+//! LoopPeeling-evoke: inserts before the MP a variable-bound loop whose
+//! first iteration is special-cased — the shape loop peeling hoists.
+//! The bound is a local variable (not a constant), so the loop cannot be
+//! fully unrolled and must go through the peeling path.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{BinOp, Block, Expr, LValue, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopPeelingEvoke;
+
+impl Mutator for LoopPeelingEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::LoopPeeling
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        mjava::path::stmt_at(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let stmt = util::stmt_at(program, mp)?;
+        let mut mutant = program.clone();
+        let trip = util::loop_trip(rng);
+        let bound = mutant.fresh_name("n");
+        let var = mutant.fresh_name("i");
+        let first_iter_body = if matches!(stmt, Stmt::Return(_)) {
+            Block::new()
+        } else {
+            Block(vec![stmt])
+        };
+        let decl_bound = Stmt::Decl {
+            name: bound.clone(),
+            ty: Type::Int,
+            init: Some(Expr::Int(trip)),
+        };
+        let loop_stmt = Stmt::For {
+            init: Some(Box::new(Stmt::Decl {
+                name: var.clone(),
+                ty: Type::Int,
+                init: Some(Expr::Int(0)),
+            })),
+            cond: Expr::bin(BinOp::Lt, Expr::var(var.clone()), Expr::var(bound)),
+            update: Some(Box::new(Stmt::Assign {
+                target: LValue::Var(var.clone()),
+                value: Expr::bin(BinOp::Add, Expr::var(var.clone()), Expr::Int(1)),
+            })),
+            body: Block(vec![Stmt::If {
+                cond: Expr::bin(BinOp::Eq, Expr::var(var), Expr::Int(0)),
+                then_b: first_iter_body,
+                else_b: None,
+            }]),
+        };
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, vec![decl_bound, loop_stmt])?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static int s;
+            static void main() {
+                s = s + 2;
+                System.out.println(s);
+            }
+        }
+    "#;
+
+    #[test]
+    fn inserts_variable_bound_loop() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 2;");
+        let mutation = apply_checked(&LoopPeelingEvoke, &program, &mp);
+        let printed = mjava::print(&mutation.program);
+        assert!(printed.contains("i0 < n0"), "{printed}");
+        assert!(printed.contains("if (i0 == 0)"), "{printed}");
+        // First-iteration body contains a copy of the MP; copy runs once.
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["4"]); // s bumped by copy, then by MP
+    }
+
+    #[test]
+    fn evokes_peeling_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 2;");
+        let mutation = apply_checked(&LoopPeelingEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events.iter().any(|e| e.kind == jopt::OptEventKind::Peel),
+            "no peel events: {:?}",
+            run.events
+        );
+    }
+
+    #[test]
+    fn mp_remains_the_original_statement() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 2;");
+        let mutation = apply_checked(&LoopPeelingEvoke, &program, &mp);
+        let stmt = mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap();
+        assert_eq!(mjava::print_stmt(stmt).trim(), "s = s + 2;");
+    }
+}

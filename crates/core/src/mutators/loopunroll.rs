@@ -1,0 +1,137 @@
+//! LoopUnrolling-evoke (paper Table 1): inserts a counted loop wrapping a
+//! copy of the MP *before* the MP. The copy is not used as the new MP, so
+//! repeated applications produce adjacent — not nested — loops (the
+//! paper's performance consideration).
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{BinOp, Block, Expr, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopUnrollingEvoke;
+
+impl Mutator for LoopUnrollingEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::LoopUnrolling
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        mjava::path::stmt_at(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let stmt = util::stmt_at(program, mp)?;
+        let mut mutant = program.clone();
+        let trip = util::loop_trip(rng);
+        let var = mutant.fresh_name("i");
+        // A copied `return` would exit the method on iteration one; loop
+        // with an empty body instead (still a loop to unroll).
+        let body = if matches!(stmt, Stmt::Return(_)) {
+            Block::new()
+        } else {
+            Block(vec![stmt])
+        };
+        let loop_stmt = Stmt::For {
+            init: Some(Box::new(Stmt::Decl {
+                name: var.clone(),
+                ty: Type::Int,
+                init: Some(Expr::Int(0)),
+            })),
+            cond: Expr::bin(BinOp::Lt, Expr::var(var.clone()), Expr::Int(trip)),
+            update: Some(Box::new(Stmt::Assign {
+                target: mjava::LValue::Var(var.clone()),
+                value: Expr::bin(BinOp::Add, Expr::var(var), Expr::Int(1)),
+            })),
+            body,
+        };
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, vec![loop_stmt])?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            int f;
+            static void main() {
+                T t = new T();
+                t.foo(3);
+                System.out.println(t.f);
+            }
+            void foo(int i) { f = f + i; }
+        }
+    "#;
+
+    #[test]
+    fn inserts_loop_before_mp() {
+        let (program, mp) = program_and_mp(SRC, "t.foo(3);");
+        let mutation = apply_checked(&LoopUnrollingEvoke, &program, &mp);
+        let printed = mjava::print(&mutation.program);
+        assert!(printed.contains("for (int i0 = 0;"), "{printed}");
+        // The MP itself is still the original call, after the loop.
+        let stmt = mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap();
+        assert_eq!(mjava::print_stmt(stmt).trim(), "t.foo(3);");
+    }
+
+    #[test]
+    fn repeated_application_produces_adjacent_loops() {
+        let (program, mp) = program_and_mp(SRC, "t.foo(3);");
+        let m1 = apply_checked(&LoopUnrollingEvoke, &program, &mp);
+        let m2 = apply_checked(&LoopUnrollingEvoke, &m1.program, &m1.mp);
+        let printed = mjava::print(&m2.program);
+        // Two loops at the same nesting level, not one inside the other.
+        let main = &m2.program.classes[0].methods[0].body;
+        let loops = main
+            .0
+            .iter()
+            .filter(|s| matches!(s, Stmt::For { .. }))
+            .count();
+        assert_eq!(loops, 2, "{printed}");
+    }
+
+    #[test]
+    fn return_mp_gets_empty_loop_body() {
+        let (program, mp) = program_and_mp(
+            "class T { static int g() { return 4; } static void main() { System.out.println(T.g()); } }",
+            "return 4;",
+        );
+        let mutation = apply_checked(&LoopUnrollingEvoke, &program, &mp);
+        let outcome =
+            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(outcome.output, vec!["4"]);
+    }
+
+    #[test]
+    fn evokes_unroll_events_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "f = f + i;");
+        let mut current = Mutation {
+            program: program.clone(),
+            mp: mp.clone(),
+        };
+        for _ in 0..2 {
+            current = apply_checked(&LoopUnrollingEvoke, &current.program, &current.mp);
+        }
+        let run = jvmsim::run_jvm(
+            &current.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::Unroll
+                    || e.kind == jopt::OptEventKind::Peel),
+            "no loop events: {:?}",
+            run.events
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! LoopUnswitching-evoke: inserts before the MP a loop whose body is a
+//! single branch on a loop-invariant boolean — the exact shape loop
+//! unswitching hoists out of the loop.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::{BinOp, Block, Expr, LValue, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopUnswitchingEvoke;
+
+impl Mutator for LoopUnswitchingEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::LoopUnswitching
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        mjava::path::stmt_at(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let stmt = util::stmt_at(program, mp)?;
+        let mut mutant = program.clone();
+        let trip = util::loop_trip(rng);
+        let flag = mutant.fresh_name("b");
+        let var = mutant.fresh_name("i");
+        let copy_body = if matches!(stmt, Stmt::Return(_)) {
+            Block::new()
+        } else {
+            Block(vec![stmt])
+        };
+        let decl_flag = Stmt::Decl {
+            name: flag.clone(),
+            ty: Type::Bool,
+            init: Some(Expr::Bool(rng.gen())),
+        };
+        let loop_stmt = Stmt::For {
+            init: Some(Box::new(Stmt::Decl {
+                name: var.clone(),
+                ty: Type::Int,
+                init: Some(Expr::Int(0)),
+            })),
+            cond: Expr::bin(BinOp::Lt, Expr::var(var.clone()), Expr::Int(trip)),
+            update: Some(Box::new(Stmt::Assign {
+                target: LValue::Var(var.clone()),
+                value: Expr::bin(BinOp::Add, Expr::var(var), Expr::Int(1)),
+            })),
+            body: Block(vec![Stmt::If {
+                cond: Expr::var(flag),
+                then_b: copy_body,
+                else_b: None,
+            }]),
+        };
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, vec![decl_flag, loop_stmt])?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static int s;
+            static void main() {
+                s = s + 1;
+                System.out.println(s);
+            }
+        }
+    "#;
+
+    #[test]
+    fn inserts_invariant_branch_loop() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 1;");
+        let mutation = apply_checked(&LoopUnswitchingEvoke, &program, &mp);
+        let printed = mjava::print(&mutation.program);
+        assert!(printed.contains("boolean b0 ="), "{printed}");
+        assert!(printed.contains("if (b0)"), "{printed}");
+    }
+
+    #[test]
+    fn evokes_unswitching_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "s = s + 1;");
+        let mutation = apply_checked(&LoopUnswitchingEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::Unswitch),
+            "no unswitch events: {:?}",
+            run.events
+        );
+    }
+}

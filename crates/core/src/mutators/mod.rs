@@ -1,0 +1,329 @@
+//! The 13 optimization-evoking mutators (paper §3.2, Table 1).
+//!
+//! Every mutator targets the *same* mutation point across iterations: the
+//! code it inserts is adjacent to or nested around the MP, which is the
+//! paper's strategy for maximizing optimization interactions. Six
+//! mutators are unconditional; seven require the MP (or its context) to
+//! contain specific code elements.
+
+mod algebraic;
+mod autobox;
+mod deadcode;
+mod deopt;
+mod dereflect;
+mod escape;
+mod inline;
+mod lockcoarsen;
+mod lockelim;
+mod looppeel;
+mod loopunroll;
+mod loopunswitch;
+mod store;
+
+use mjava::{Program, StmtPath};
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// Identifies one of the 13 mutators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutatorKind {
+    LoopUnrolling,
+    LockElimination,
+    LockCoarsening,
+    Inlining,
+    DeReflection,
+    LoopPeeling,
+    LoopUnswitching,
+    Deoptimization,
+    AutoboxElimination,
+    RedundantStoreElimination,
+    AlgebraicSimplification,
+    EscapeAnalysis,
+    DeadCodeElimination,
+}
+
+impl MutatorKind {
+    /// All 13 kinds in a stable order.
+    pub const ALL: [MutatorKind; 13] = [
+        MutatorKind::LoopUnrolling,
+        MutatorKind::LockElimination,
+        MutatorKind::LockCoarsening,
+        MutatorKind::Inlining,
+        MutatorKind::DeReflection,
+        MutatorKind::LoopPeeling,
+        MutatorKind::LoopUnswitching,
+        MutatorKind::Deoptimization,
+        MutatorKind::AutoboxElimination,
+        MutatorKind::RedundantStoreElimination,
+        MutatorKind::AlgebraicSimplification,
+        MutatorKind::EscapeAnalysis,
+        MutatorKind::DeadCodeElimination,
+    ];
+
+    /// The paper's "-evoke" display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutatorKind::LoopUnrolling => "LoopUnrolling-evoke",
+            MutatorKind::LockElimination => "LockElimination-evoke",
+            MutatorKind::LockCoarsening => "LockCoarsening-evoke",
+            MutatorKind::Inlining => "Inlining-evoke",
+            MutatorKind::DeReflection => "DeReflection-evoke",
+            MutatorKind::LoopPeeling => "LoopPeeling-evoke",
+            MutatorKind::LoopUnswitching => "LoopUnswitching-evoke",
+            MutatorKind::Deoptimization => "Deoptimization-evoke",
+            MutatorKind::AutoboxElimination => "AutoboxElimination-evoke",
+            MutatorKind::RedundantStoreElimination => "RedundantStoreElim-evoke",
+            MutatorKind::AlgebraicSimplification => "AlgebraicSimplif-evoke",
+            MutatorKind::EscapeAnalysis => "EscapeAnalysis-evoke",
+            MutatorKind::DeadCodeElimination => "DeadCodeElim-evoke",
+        }
+    }
+}
+
+impl fmt::Display for MutatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The result of one mutator application: the mutant and the updated
+/// mutation point (`MPₙ` in the paper's Table 1).
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// The mutated program.
+    pub program: Program,
+    /// Where subsequent iterations mutate.
+    pub mp: StmtPath,
+}
+
+/// An optimization-evoking mutator.
+pub trait Mutator: Send + Sync {
+    /// Which of the 13 this is.
+    fn kind(&self) -> MutatorKind;
+
+    /// Whether the mutator's condition holds at the MP (paper §3.3).
+    /// Unconditional mutators return true for any valid MP.
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool;
+
+    /// Applies the mutator, returning the mutant and updated MP, or `None`
+    /// when the transformation turns out to be impossible despite
+    /// `is_applicable` (applicability is a cheap approximation).
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation>;
+}
+
+/// All 13 mutators.
+pub fn all_mutators() -> Vec<Box<dyn Mutator>> {
+    vec![
+        Box::new(loopunroll::LoopUnrollingEvoke),
+        Box::new(lockelim::LockEliminationEvoke),
+        Box::new(lockcoarsen::LockCoarseningEvoke),
+        Box::new(inline::InliningEvoke),
+        Box::new(dereflect::DeReflectionEvoke),
+        Box::new(looppeel::LoopPeelingEvoke),
+        Box::new(loopunswitch::LoopUnswitchingEvoke),
+        Box::new(deopt::DeoptimizationEvoke),
+        Box::new(autobox::AutoboxEliminationEvoke),
+        Box::new(store::RedundantStoreEliminationEvoke),
+        Box::new(algebraic::AlgebraicSimplificationEvoke),
+        Box::new(escape::EscapeAnalysisEvoke),
+        Box::new(deadcode::DeadCodeEliminationEvoke),
+    ]
+}
+
+// ---- shared helpers used by the mutator implementations ----
+
+pub(crate) mod util {
+    use mjava::scope::{infer_expr, scope_at, Scope, TypeCtx};
+    use mjava::visit::rewrite_first_expr_in_stmt;
+    use mjava::{Expr, Program, Stmt, StmtPath, Type};
+
+    /// The statement at the MP, cloned.
+    pub fn stmt_at(program: &Program, mp: &StmtPath) -> Option<Stmt> {
+        mjava::path::stmt_at(program, mp).cloned()
+    }
+
+    /// Name of the class enclosing the MP.
+    pub fn enclosing_class(program: &Program, mp: &StmtPath) -> Option<String> {
+        program.classes.get(mp.class).map(|c| c.name.clone())
+    }
+
+    /// True if the enclosing method of the MP is static.
+    pub fn in_static_method(program: &Program, mp: &StmtPath) -> bool {
+        program
+            .classes
+            .get(mp.class)
+            .and_then(|c| c.methods.get(mp.method))
+            .is_none_or(|m| m.is_static)
+    }
+
+    /// Scope and type context at the MP.
+    pub fn typing<'p>(
+        program: &'p Program,
+        mp: &StmtPath,
+    ) -> Option<(Scope, TypeCtx<'p>)> {
+        let scope = scope_at(program, mp)?;
+        let ctx = TypeCtx::for_path(program, mp)?;
+        Some((scope, ctx))
+    }
+
+    /// True when the MP statement contains an `int`-typed sub-expression
+    /// that is not a bare literal.
+    pub fn has_int_expr(program: &Program, mp: &StmtPath) -> bool {
+        let Some(stmt) = mjava::path::stmt_at(program, mp) else {
+            return false;
+        };
+        let Some((scope, ctx)) = typing(program, mp) else {
+            return false;
+        };
+        let mut found = false;
+        mjava::visit::for_each_expr_in_stmt(stmt, &mut |e| {
+            if !found
+                && !e.is_literal()
+                && infer_expr(&ctx, &scope, e) == Some(Type::Int)
+            {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Rewrites (in place) the first `int`-typed non-literal expression of
+    /// the MP statement using `make`. Returns true on success.
+    pub fn rewrite_first_int_expr(
+        program: &Program,
+        mp: &StmtPath,
+        stmt: &mut Stmt,
+        make: impl Fn(Expr) -> Expr,
+    ) -> bool {
+        let Some((scope, ctx)) = typing(program, mp) else {
+            return false;
+        };
+        rewrite_first_expr_in_stmt(stmt, &mut |e| {
+            if !e.is_literal() && infer_expr(&ctx, &scope, e) == Some(Type::Int) {
+                let old = e.clone();
+                *e = make(old);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// A loop-iteration count for inserted loops — kept modest so mutants
+    /// stay within the execution budget even after many iterations (the
+    /// paper caps iterations at 50 for the same reason).
+    pub fn loop_trip(rng: &mut rand::rngs::SmallRng) -> i64 {
+        use rand::Rng as _;
+        *[4i64, 6, 8, 16, 32, 64]
+            .get(rng.gen_range(0..6))
+            .expect("index in range")
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    /// Parses a program, picks the statement path whose printed form
+    /// contains `marker`, and returns both.
+    pub fn program_and_mp(src: &str, marker: &str) -> (Program, StmtPath) {
+        let program = mjava::parse(src).unwrap();
+        let mp = mjava::path::all_paths(&program)
+            .into_iter()
+            .find(|p| {
+                mjava::path::stmt_at(&program, p)
+                    .map(mjava::print_stmt)
+                    .is_some_and(|s| s.lines().next().unwrap_or("").contains(marker))
+            })
+            .unwrap_or_else(|| panic!("no statement matching {marker:?}"));
+        (program, mp)
+    }
+
+    pub fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    /// Applies a mutator and validates the core invariants every mutation
+    /// must uphold: the mutant reparses (print→parse round-trip), the new
+    /// MP resolves, and the mutant still builds and executes on the
+    /// reference interpreter.
+    pub fn apply_checked(
+        mutator: &dyn Mutator,
+        program: &Program,
+        mp: &StmtPath,
+    ) -> Mutation {
+        let mut rng = rng();
+        assert!(mutator.is_applicable(program, mp), "not applicable");
+        let mutation = mutator
+            .apply(program, mp, &mut rng)
+            .expect("applicable mutator must apply");
+        let printed = mjava::print(&mutation.program);
+        let reparsed = mjava::parse(&printed)
+            .unwrap_or_else(|e| panic!("mutant does not reparse: {e}\n{printed}"));
+        assert_eq!(reparsed, mutation.program, "print/parse mismatch");
+        assert!(
+            mjava::path::stmt_at(&mutation.program, &mutation.mp).is_some(),
+            "updated MP is stale\n{printed}"
+        );
+        let outcome = jexec::run_program(&mutation.program, &jexec::ExecConfig::default())
+            .unwrap_or_else(|e| panic!("mutant does not build: {e}\n{printed}"));
+        assert!(
+            outcome.error.is_none()
+                || outcome.error.as_ref().is_some_and(|e| e.is_program_level()),
+            "mutant hit a VM-level error {:?}\n{printed}",
+            outcome.error
+        );
+        mutation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_mutators_with_unique_kinds() {
+        let mutators = all_mutators();
+        assert_eq!(mutators.len(), 13);
+        let mut kinds: Vec<_> = mutators.iter().map(|m| m.kind()).collect();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 13);
+    }
+
+    #[test]
+    fn six_mutators_are_unconditional() {
+        // §3.3: six of the 13 are unconditional — applicable at any MP,
+        // including the most barren statement imaginable.
+        let (program, mp) = testutil::program_and_mp(
+            "class T { static void main() { return; } }",
+            "return",
+        );
+        let applicable: Vec<_> = all_mutators()
+            .into_iter()
+            .filter(|m| m.is_applicable(&program, &mp))
+            .map(|m| m.kind())
+            .collect();
+        assert_eq!(applicable.len(), 6, "{applicable:?}");
+        for kind in [
+            MutatorKind::LoopUnrolling,
+            MutatorKind::LockElimination,
+            MutatorKind::LoopPeeling,
+            MutatorKind::LoopUnswitching,
+            MutatorKind::EscapeAnalysis,
+            MutatorKind::DeadCodeElimination,
+        ] {
+            assert!(applicable.contains(&kind), "{kind} should be unconditional");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_evoke_suffixed() {
+        let mut labels: Vec<_> = MutatorKind::ALL.iter().map(|k| k.label()).collect();
+        assert!(labels.iter().all(|l| l.ends_with("-evoke")));
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 13);
+    }
+}

@@ -1,0 +1,149 @@
+//! RedundantStoreElim-evoke: inserts a dead store to the MP's assignment
+//! target immediately before the MP, creating the
+//! store-immediately-overwritten pattern redundant-store elimination
+//! removes.
+
+use super::util;
+use super::{Mutation, Mutator, MutatorKind};
+use mjava::scope::infer_expr;
+use mjava::{Expr, LValue, Program, Stmt, StmtPath, Type};
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RedundantStoreEliminationEvoke;
+
+/// The type of the MP's assignment target, when the MP is an assignment
+/// to a primitive-typed location.
+fn target_type(program: &Program, mp: &StmtPath) -> Option<Type> {
+    let Stmt::Assign { target, .. } = mjava::path::stmt_at(program, mp)? else {
+        return None;
+    };
+    let (scope, ctx) = util::typing(program, mp)?;
+    let ty = match target {
+        LValue::Var(name) => scope.lookup(name).cloned().or_else(|| {
+            // Bare names may resolve to fields of the enclosing class.
+            let class = program.classes.get(mp.class)?;
+            class.field(name).map(|f| f.ty.clone())
+        })?,
+        LValue::StaticField(class, name) => program.class(class)?.field(name)?.ty.clone(),
+        LValue::Field(obj, name) => match infer_expr(&ctx, &scope, obj)? {
+            Type::Ref(class) => program.class(&class)?.field(name)?.ty.clone(),
+            _ => return None,
+        },
+    };
+    ty.is_numeric().then_some(ty.clone()).or(match ty {
+        Type::Bool => Some(Type::Bool),
+        _ => None,
+    })
+}
+
+impl Mutator for RedundantStoreEliminationEvoke {
+    fn kind(&self) -> MutatorKind {
+        MutatorKind::RedundantStoreElimination
+    }
+
+    fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
+        target_type(program, mp).is_some()
+    }
+
+    fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
+        let ty = target_type(program, mp)?;
+        let Some(Stmt::Assign { target, .. }) = mjava::path::stmt_at(program, mp) else {
+            return None;
+        };
+        let value = match ty {
+            Type::Int => Expr::Int(rng.gen_range(0..100)),
+            Type::Long => Expr::Long(rng.gen_range(0..100)),
+            Type::Bool => Expr::Bool(rng.gen()),
+            _ => return None,
+        };
+        let dead_store = Stmt::Assign {
+            target: target.clone(),
+            value,
+        };
+        let mut mutant = program.clone();
+        let new_mp = mjava::path::insert_before(&mut mutant, mp, vec![dead_store])?;
+        Some(Mutation {
+            program: mutant,
+            mp: new_mp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{apply_checked, program_and_mp};
+    use super::*;
+
+    const SRC: &str = r#"
+        class T {
+            static int s;
+            static void main() {
+                s = 41;
+                System.out.println(s + 1);
+            }
+        }
+    "#;
+
+    #[test]
+    fn inserts_dead_store_before_assignment() {
+        let (program, mp) = program_and_mp(SRC, "s = 41;");
+        let mutation = apply_checked(&RedundantStoreEliminationEvoke, &program, &mp);
+        // The dead store is overwritten by the MP, so output is unchanged.
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["42"]);
+        // Two consecutive stores to `s` now exist.
+        let main = &mutation.program.classes[0].methods[0].body;
+        let stores = main
+            .0
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { .. }))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn not_applicable_to_non_assignment() {
+        let (program, mp) = program_and_mp(SRC, "System.out.println");
+        assert!(!RedundantStoreEliminationEvoke.is_applicable(&program, &mp));
+    }
+
+    #[test]
+    fn evokes_store_elimination_on_jvm() {
+        let (program, mp) = program_and_mp(SRC, "s = 41;");
+        let mutation = apply_checked(&RedundantStoreEliminationEvoke, &program, &mp);
+        let run = jvmsim::run_jvm(
+            &mutation.program,
+            &jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
+            &jvmsim::RunOptions::fuzzing(),
+        );
+        assert!(
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::StoreEliminate),
+            "no store-elimination events: {:?}",
+            run.events
+        );
+    }
+
+    #[test]
+    fn works_on_instance_field_targets() {
+        let src = r#"
+            class T {
+                int f;
+                void set() { f = 9; }
+                static void main() {
+                    T t = new T();
+                    t.set();
+                    System.out.println(t.f);
+                }
+            }
+        "#;
+        let (program, mp) = program_and_mp(src, "f = 9;");
+        let mutation = apply_checked(&RedundantStoreEliminationEvoke, &program, &mp);
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec!["9"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Statistics over fuzzing results: the mutator/pair involvement ratios of
+//! Table 5, the Δ trajectory of Figure 1, and small numeric helpers.
+
+use crate::campaign::FoundBug;
+use crate::fuzzer::IterationRecord;
+use crate::mutators::MutatorKind;
+use jprofile::Obv;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Median of a sample (0 for an empty one).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN deltas"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Five-number summary (min, q1, median, q3, max) for box plots.
+pub fn five_numbers(values: &[f64]) -> [f64; 5] {
+    if values.is_empty() {
+        return [0.0; 5];
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN deltas"));
+    let q = |p: f64| -> f64 {
+        let pos = p * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+        }
+    };
+    [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)]
+}
+
+/// Fraction of bug-triggering cases each mutator is involved in,
+/// descending — Table 5's left half.
+pub fn mutator_ratios(bugs: &[FoundBug]) -> Vec<(MutatorKind, f64)> {
+    let total = bugs.len().max(1) as f64;
+    let mut counts: BTreeMap<MutatorKind, usize> = BTreeMap::new();
+    for bug in bugs {
+        let distinct: BTreeSet<MutatorKind> = bug.mutators.iter().copied().collect();
+        for kind in distinct {
+            *counts.entry(kind).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(MutatorKind, f64)> = counts
+        .into_iter()
+        .map(|(k, c)| (k, c as f64 / total))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
+    out
+}
+
+/// Fraction of bug-triggering cases each unordered mutator *pair* is
+/// involved in, descending — Table 5's right half.
+pub fn pair_ratios(bugs: &[FoundBug]) -> Vec<((MutatorKind, MutatorKind), f64)> {
+    let total = bugs.len().max(1) as f64;
+    let mut counts: BTreeMap<(MutatorKind, MutatorKind), usize> = BTreeMap::new();
+    for bug in bugs {
+        let distinct: Vec<MutatorKind> = {
+            let s: BTreeSet<MutatorKind> = bug.mutators.iter().copied().collect();
+            s.into_iter().collect()
+        };
+        for (i, &a) in distinct.iter().enumerate() {
+            for &b in &distinct[i + 1..] {
+                *counts.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<_> = counts
+        .into_iter()
+        .map(|(pair, c)| (pair, c as f64 / total))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
+    out
+}
+
+/// Figure 1's curve: per-iteration Δ between the i-th mutant's OBV and
+/// the original seed's.
+pub fn trajectory(seed_obv: &Obv, records: &[IterationRecord]) -> Vec<f64> {
+    records
+        .iter()
+        .map(|r| Obv::delta(seed_obv, &r.obv))
+        .collect()
+}
+
+/// Indices of "large jumps" in a trajectory: iterations whose increment
+/// over the previous point exceeds `threshold` (Figure 1's red marks).
+pub fn large_jumps(trajectory: &[f64], threshold: f64) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 1..trajectory.len() {
+        if trajectory[i] - trajectory[i - 1] > threshold {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvmsim::Component;
+
+    fn bug(mutators: &[MutatorKind]) -> FoundBug {
+        FoundBug {
+            id: "X".into(),
+            component: Component::OtherJit,
+            is_crash: true,
+            jvm: "HotSpur-17".into(),
+            seed: "s".into(),
+            mutators: mutators.to_vec(),
+            at_execs: 0,
+            at_steps: 0,
+            mutant: mjava::Program::new(),
+        }
+    }
+
+    #[test]
+    fn median_and_quartiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        let f = five_numbers(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(f, [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn mutator_ratios_count_distinct_involvement() {
+        use MutatorKind::*;
+        let bugs = vec![
+            bug(&[LoopUnrolling, LockElimination, LoopUnrolling]),
+            bug(&[LoopUnrolling]),
+        ];
+        let ratios = mutator_ratios(&bugs);
+        assert_eq!(ratios[0], (LoopUnrolling, 1.0));
+        let lock = ratios.iter().find(|(k, _)| *k == LockElimination).unwrap();
+        assert!((lock.1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_ratios_are_unordered() {
+        use MutatorKind::*;
+        let bugs = vec![bug(&[LockElimination, LoopUnrolling])];
+        let pairs = pair_ratios(&bugs);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jumps_detected_above_threshold() {
+        let t = vec![1.0, 1.5, 6.0, 6.2, 12.0];
+        assert_eq!(large_jumps(&t, 3.0), vec![2, 4]);
+    }
+}

@@ -1,0 +1,45 @@
+//! MopFuzzer variants for the ablation study (paper §4.4).
+
+use std::fmt;
+
+/// Which configuration of MopFuzzer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The full system: fixed mutation point + profile-data guidance.
+    Full,
+    /// MopFuzzer_g: mutators chosen uniformly at random (no profile-data
+    /// guidance).
+    NoGuidance,
+    /// MopFuzzer_r: a fresh random statement is mutated each iteration
+    /// (no fixed mutation point), so inserted code neither nests nor
+    /// adjoins previous insertions.
+    RandomMp,
+}
+
+impl Variant {
+    /// All variants in display order.
+    pub const ALL: [Variant; 3] = [Variant::Full, Variant::NoGuidance, Variant::RandomMp];
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Full => write!(f, "MopFuzzer"),
+            Variant::NoGuidance => write!(f, "MopFuzzer_g"),
+            Variant::RandomMp => write!(f, "MopFuzzer_r"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_match_paper_names() {
+        assert_eq!(Variant::Full.to_string(), "MopFuzzer");
+        assert_eq!(Variant::NoGuidance.to_string(), "MopFuzzer_g");
+        assert_eq!(Variant::RandomMp.to_string(), "MopFuzzer_r");
+        assert_eq!(Variant::ALL.len(), 3);
+    }
+}

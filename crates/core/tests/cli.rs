@@ -1,0 +1,101 @@
+//! Integration test of the `mopfuzzer` CLI binary (the `MopFuzzer.jar`
+//! analogue of the paper's Appendix A.5).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mopfuzzer"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--project_path"));
+    assert!(text.contains("--enable_profile_guide"));
+}
+
+#[test]
+fn unknown_option_fails_with_usage() {
+    let out = bin().args(["--bogus", "1"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn fuzzes_a_project_directory_and_writes_mutants() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_{}", std::process::id()));
+    let proj = dir.join("proj");
+    let out_dir = dir.join("mutants");
+    std::fs::create_dir_all(&proj).unwrap();
+    std::fs::write(
+        proj.join("Test0001.java"),
+        r#"
+        class T {
+            static int s;
+            static void main() {
+                for (int i = 0; i < 1_000; i++) { s = s + i % 5; }
+                System.out.println(s);
+            }
+        }
+        "#,
+    )
+    .unwrap();
+
+    let out = bin()
+        .args([
+            "--project_path",
+            proj.to_str().unwrap(),
+            "--target_case",
+            "Test0001",
+            "--jdk",
+            "HotSpur-17,J9-17",
+            "--enable_profile_guide",
+            "true",
+            "--iterations",
+            "6",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("Test0001"));
+
+    // The final mutant was written and is a valid MiniJava program.
+    let mutant = std::fs::read_to_string(out_dir.join("Test0001_final.java"))
+        .expect("mutant file written");
+    mjava::parse(&mutant).expect("mutant parses");
+    // The per-case log records the applied mutators and the verdict.
+    let log = std::fs::read_to_string(out_dir.join("Test0001.log")).expect("log written");
+    assert!(log.contains("verdict:"));
+    assert!(log.contains("iter"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_jvm_spec() {
+    let out = bin()
+        .args(["--jdk", "Frobnicator-17"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown family"));
+}
+
+#[test]
+fn j9_mainline_is_rejected() {
+    let out = bin()
+        .args(["--jdk", "J9-mainline"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("J9 ships versions"));
+}

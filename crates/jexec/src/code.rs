@@ -1,0 +1,208 @@
+//! The stack-machine bytecode executed by the interpreter.
+
+use crate::value::ClassId;
+use std::fmt;
+
+/// Identifier of a method in the global method table of an image.
+pub type MethodId = usize;
+
+/// A bytecode instruction. Jump targets are absolute instruction indices
+/// within the owning method's code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an `int` constant.
+    ConstI(i32),
+    /// Push a `long` constant.
+    ConstL(i64),
+    /// Push a boolean constant.
+    ConstB(bool),
+    /// Push `null`.
+    ConstNull,
+    /// Push the per-class lock object of a class (`T.class`).
+    ClassObj(ClassId),
+    /// Load a local slot.
+    Load(u16),
+    /// Store into a local slot.
+    Store(u16),
+    /// Pop an object reference and push the named field's value.
+    GetField(String),
+    /// Pop a value then an object reference; store into the named field.
+    PutField(String),
+    /// Push a static field (class id + slot resolved at compile time).
+    GetStatic(ClassId, u16),
+    /// Pop into a static field.
+    PutStatic(ClassId, u16),
+    /// Binary arithmetic on the top two stack values.
+    Arith(ArithOp),
+    /// Comparison of the top two stack values, pushing a boolean.
+    Cmp(CmpOp),
+    /// Arithmetic negation of the top value.
+    Neg,
+    /// Boolean negation of the top value.
+    Not,
+    /// Unconditional jump.
+    Jump(usize),
+    /// Pop a boolean; jump when false.
+    JumpIfFalse(usize),
+    /// Call a statically resolved method. The receiver (for instance
+    /// methods) sits below the arguments on the stack.
+    Invoke {
+        /// Target method.
+        method: MethodId,
+        /// Number of declared parameters (excluding the receiver).
+        argc: u8,
+        /// Whether a receiver must be popped below the arguments.
+        has_recv: bool,
+    },
+    /// Call a method by dynamic name lookup on the receiver's class.
+    InvokeVirtual {
+        /// Method name, resolved against the runtime class of the receiver.
+        method: String,
+        /// Number of declared parameters.
+        argc: u8,
+    },
+    /// Reflective call: `Class.forName(class).getDeclaredMethod(method)
+    /// .invoke(recv, args..)`; class and method resolve at runtime.
+    InvokeReflect {
+        /// Class name string.
+        class: String,
+        /// Method name string.
+        method: String,
+        /// Whether a receiver is passed (instance target).
+        has_recv: bool,
+        /// Number of arguments (excluding the receiver).
+        argc: u8,
+    },
+    /// Allocate an instance of a class.
+    New(ClassId),
+    /// Box the top `int` into an `Integer`.
+    BoxInt,
+    /// Unbox the top `Integer` into an `int`.
+    UnboxInt,
+    /// Pop an object reference and enter its monitor.
+    MonitorEnter,
+    /// Pop an object reference and exit its monitor.
+    MonitorExit,
+    /// Pop a value and append its textual form to the program output.
+    Print,
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Return with the top of stack as value.
+    ReturnV,
+    /// Return without a value.
+    Return,
+}
+
+/// Arithmetic opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "add",
+            ArithOp::Sub => "sub",
+            ArithOp::Mul => "mul",
+            ArithOp::Div => "div",
+            ArithOp::Rem => "rem",
+            ArithOp::And => "and",
+            ArithOp::Or => "or",
+            ArithOp::Xor => "xor",
+            ArithOp::Shl => "shl",
+            ArithOp::Shr => "shr",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Compiled code of one method.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Code {
+    /// Instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// Number of local slots (parameters included).
+    pub n_locals: u16,
+}
+
+impl Code {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the method has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Renders a human-readable listing, one instruction per line.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{i:4}: {instr:?}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_numbers_instructions() {
+        let code = Code {
+            instrs: vec![Instr::ConstI(1), Instr::Print, Instr::Return],
+            n_locals: 0,
+        };
+        let listing = code.listing();
+        assert!(listing.contains("0: ConstI(1)"));
+        assert!(listing.contains("2: Return"));
+        assert_eq!(code.len(), 3);
+        assert!(!code.is_empty());
+    }
+
+    #[test]
+    fn op_displays() {
+        assert_eq!(ArithOp::Add.to_string(), "add");
+        assert_eq!(CmpOp::Ne.to_string(), "ne");
+    }
+}

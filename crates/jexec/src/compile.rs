@@ -1,0 +1,623 @@
+//! AST-to-bytecode compiler.
+//!
+//! Used twice in the simulated JVM: once at class-load time for the
+//! interpreter tier, and again by the JIT tier to lower an *optimized*
+//! method AST back to executable code. Keeping one lowering path means any
+//! semantic change observed after optimization is attributable to the
+//! optimizer, exactly the property differential testing needs.
+
+use crate::code::{ArithOp, Code, CmpOp, Instr};
+use crate::error::BuildError;
+use crate::image::Image;
+use crate::value::ClassId;
+use mjava::{BinOp, Block, CallTarget, Expr, LValue, Method, Stmt, UnOp};
+use std::collections::HashMap;
+
+/// Compiles a method AST against an image's resolved class skeletons.
+///
+/// `class` is the id of the class the method belongs to (it resolves bare
+/// field references and `this`).
+///
+/// # Errors
+///
+/// Returns [`BuildError`] for unresolved names, unknown classes/members in
+/// static references, `this` in static context, or arity mismatches on
+/// statically resolved calls.
+pub fn compile_method_ast(
+    image: &Image,
+    class: ClassId,
+    method: &Method,
+) -> Result<Code, BuildError> {
+    let mut c = Compiler {
+        image,
+        class,
+        method_name: method.name.clone(),
+        is_static: method.is_static,
+        scopes: vec![HashMap::new()],
+        next_slot: 0,
+        instrs: Vec::new(),
+        active_monitors: Vec::new(),
+    };
+    if !method.is_static {
+        c.next_slot = 1; // slot 0 = this
+    }
+    for p in &method.params {
+        let slot = c.alloc_slot();
+        c.scopes.last_mut().expect("scope").insert(p.name.clone(), slot);
+    }
+    // Synchronized methods lock `this` (instance) or the class object
+    // (static) around the whole body.
+    let method_lock = if method.is_sync {
+        let slot = c.alloc_slot();
+        if method.is_static {
+            c.emit(Instr::ClassObj(class));
+        } else {
+            c.emit(Instr::Load(0));
+        }
+        c.emit(Instr::Store(slot));
+        c.emit(Instr::Load(slot));
+        c.emit(Instr::MonitorEnter);
+        c.active_monitors.push(slot);
+        Some(slot)
+    } else {
+        None
+    };
+    c.block(&method.body)?;
+    if let Some(slot) = method_lock {
+        c.emit(Instr::Load(slot));
+        c.emit(Instr::MonitorExit);
+        c.active_monitors.pop();
+    }
+    // Fall-through return (void methods and defensive default).
+    c.emit(Instr::Return);
+    Ok(Code {
+        instrs: c.instrs,
+        n_locals: c.next_slot,
+    })
+}
+
+struct Compiler<'i> {
+    image: &'i Image,
+    class: ClassId,
+    method_name: String,
+    is_static: bool,
+    scopes: Vec<HashMap<String, u16>>,
+    next_slot: u16,
+    instrs: Vec<Instr>,
+    /// Slots holding the lock objects of currently open `synchronized`
+    /// scopes; `return` must release them innermost-first.
+    active_monitors: Vec<u16>,
+}
+
+impl<'i> Compiler<'i> {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        match &mut self.instrs[at] {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn alloc_slot(&mut self) -> u16 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
+    }
+
+    fn unresolved(&self, name: &str) -> BuildError {
+        BuildError::UnresolvedName {
+            method: self.method_name.clone(),
+            name: name.to_string(),
+        }
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), BuildError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &b.0 {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), BuildError> {
+        match stmt {
+            Stmt::Decl { name, ty, init } => {
+                match init {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let default = crate::value::Value::default_of(ty);
+                        self.emit_const(default);
+                    }
+                }
+                let slot = self.alloc_slot();
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), slot);
+                self.emit(Instr::Store(slot));
+            }
+            Stmt::Assign { target, value } => match target {
+                LValue::Var(name) => {
+                    if let Some(slot) = self.lookup_local(name) {
+                        self.expr(value)?;
+                        self.emit(Instr::Store(slot));
+                    } else if !self.is_static
+                        && self.image.classes[self.class].instance_offset(name).is_some()
+                    {
+                        self.emit(Instr::Load(0));
+                        self.expr(value)?;
+                        self.emit(Instr::PutField(name.clone()));
+                    } else if let Some(off) = self.image.classes[self.class].static_offset(name) {
+                        self.expr(value)?;
+                        self.emit(Instr::PutStatic(self.class, off as u16));
+                    } else {
+                        return Err(self.unresolved(name));
+                    }
+                }
+                LValue::Field(obj, name) => {
+                    self.expr(obj)?;
+                    self.expr(value)?;
+                    self.emit(Instr::PutField(name.clone()));
+                }
+                LValue::StaticField(class, name) => {
+                    let (cid, off) = self.resolve_static(class, name)?;
+                    self.expr(value)?;
+                    self.emit(Instr::PutStatic(cid, off));
+                }
+            },
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.emit(Instr::Pop);
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                self.expr(cond)?;
+                let jf = self.emit(Instr::JumpIfFalse(0));
+                self.block(then_b)?;
+                match else_b {
+                    Some(else_b) => {
+                        let jend = self.emit(Instr::Jump(0));
+                        let else_at = self.here();
+                        self.patch_jump(jf, else_at);
+                        self.block(else_b)?;
+                        let end = self.here();
+                        self.patch_jump(jend, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch_jump(jf, end);
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                let start = self.here();
+                self.expr(cond)?;
+                let jf = self.emit(Instr::JumpIfFalse(0));
+                self.block(body)?;
+                self.emit(Instr::Jump(start));
+                let end = self.here();
+                self.patch_jump(jf, end);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                // The header declaration scopes over the whole loop.
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let start = self.here();
+                self.expr(cond)?;
+                let jf = self.emit(Instr::JumpIfFalse(0));
+                self.block(body)?;
+                if let Some(u) = update {
+                    self.stmt(u)?;
+                }
+                self.emit(Instr::Jump(start));
+                let end = self.here();
+                self.patch_jump(jf, end);
+                self.scopes.pop();
+            }
+            Stmt::Sync { lock, body } => {
+                self.expr(lock)?;
+                let slot = self.alloc_slot();
+                self.emit(Instr::Store(slot));
+                self.emit(Instr::Load(slot));
+                self.emit(Instr::MonitorEnter);
+                self.active_monitors.push(slot);
+                self.block(body)?;
+                self.active_monitors.pop();
+                self.emit(Instr::Load(slot));
+                self.emit(Instr::MonitorExit);
+            }
+            Stmt::Block(b) => self.block(b)?,
+            Stmt::Return(value) => {
+                match value {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.release_monitors_for_return();
+                        self.emit(Instr::ReturnV);
+                    }
+                    None => {
+                        self.release_monitors_for_return();
+                        self.emit(Instr::Return);
+                    }
+                };
+            }
+            Stmt::Print(e) => {
+                self.expr(e)?;
+                self.emit(Instr::Print);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits monitor exits for every open `synchronized` scope — a `return`
+    /// leaves them all.
+    fn release_monitors_for_return(&mut self) {
+        for slot in self.active_monitors.clone().into_iter().rev() {
+            self.emit(Instr::Load(slot));
+            self.emit(Instr::MonitorExit);
+        }
+    }
+
+    fn emit_const(&mut self, v: crate::value::Value) {
+        use crate::value::Value;
+        match v {
+            Value::Int(i) => self.emit(Instr::ConstI(i)),
+            Value::Long(l) => self.emit(Instr::ConstL(l)),
+            Value::Bool(b) => self.emit(Instr::ConstB(b)),
+            Value::Boxed(i) => {
+                self.emit(Instr::ConstI(i));
+                self.emit(Instr::BoxInt)
+            }
+            Value::Null | Value::Ref(_) => self.emit(Instr::ConstNull),
+        };
+    }
+
+    fn resolve_static(&self, class: &str, member: &str) -> Result<(ClassId, u16), BuildError> {
+        let cid = self
+            .image
+            .class_id(class)
+            .ok_or_else(|| BuildError::UnknownClass(class.to_string()))?;
+        let off = self.image.classes[cid]
+            .static_offset(member)
+            .ok_or_else(|| BuildError::UnknownStatic {
+                class: class.to_string(),
+                member: member.to_string(),
+            })?;
+        Ok((cid, off as u16))
+    }
+
+    /// Compiles an expression; exactly one value is left on the stack
+    /// (calls to void methods push `null`).
+    fn expr(&mut self, e: &Expr) -> Result<(), BuildError> {
+        match e {
+            Expr::Int(v) => {
+                self.emit(Instr::ConstI(*v as i32));
+            }
+            Expr::Long(v) => {
+                self.emit(Instr::ConstL(*v));
+            }
+            Expr::Bool(b) => {
+                self.emit(Instr::ConstB(*b));
+            }
+            Expr::Null => {
+                self.emit(Instr::ConstNull);
+            }
+            Expr::This => {
+                if self.is_static {
+                    return Err(BuildError::ThisInStatic {
+                        method: self.method_name.clone(),
+                    });
+                }
+                self.emit(Instr::Load(0));
+            }
+            Expr::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    self.emit(Instr::Load(slot));
+                } else if !self.is_static
+                    && self.image.classes[self.class].instance_offset(name).is_some()
+                {
+                    self.emit(Instr::Load(0));
+                    self.emit(Instr::GetField(name.clone()));
+                } else if let Some(off) = self.image.classes[self.class].static_offset(name) {
+                    self.emit(Instr::GetStatic(self.class, off as u16));
+                } else {
+                    return Err(self.unresolved(name));
+                }
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner)?;
+                match op {
+                    UnOp::Neg => self.emit(Instr::Neg),
+                    UnOp::Not => self.emit(Instr::Not),
+                };
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                let instr = match op {
+                    BinOp::Add => Instr::Arith(ArithOp::Add),
+                    BinOp::Sub => Instr::Arith(ArithOp::Sub),
+                    BinOp::Mul => Instr::Arith(ArithOp::Mul),
+                    BinOp::Div => Instr::Arith(ArithOp::Div),
+                    BinOp::Rem => Instr::Arith(ArithOp::Rem),
+                    BinOp::BitAnd => Instr::Arith(ArithOp::And),
+                    BinOp::BitOr => Instr::Arith(ArithOp::Or),
+                    BinOp::BitXor => Instr::Arith(ArithOp::Xor),
+                    BinOp::Shl => Instr::Arith(ArithOp::Shl),
+                    BinOp::Shr => Instr::Arith(ArithOp::Shr),
+                    BinOp::Lt => Instr::Cmp(CmpOp::Lt),
+                    BinOp::Le => Instr::Cmp(CmpOp::Le),
+                    BinOp::Gt => Instr::Cmp(CmpOp::Gt),
+                    BinOp::Ge => Instr::Cmp(CmpOp::Ge),
+                    BinOp::Eq => Instr::Cmp(CmpOp::Eq),
+                    BinOp::Ne => Instr::Cmp(CmpOp::Ne),
+                };
+                self.emit(instr);
+            }
+            Expr::Call(call) => match &call.target {
+                CallTarget::Static(class) => {
+                    let mid = self
+                        .image
+                        .method_id(class, &call.method)
+                        .ok_or_else(|| BuildError::UnknownStatic {
+                            class: class.clone(),
+                            member: call.method.clone(),
+                        })?;
+                    if self.image.methods[mid].params.len() != call.args.len() {
+                        return Err(BuildError::ArityMismatch {
+                            class: class.clone(),
+                            method: call.method.clone(),
+                        });
+                    }
+                    for a in &call.args {
+                        self.expr(a)?;
+                    }
+                    self.emit(Instr::Invoke {
+                        method: mid,
+                        argc: call.args.len() as u8,
+                        has_recv: false,
+                    });
+                }
+                CallTarget::Instance(recv) => {
+                    self.expr(recv)?;
+                    for a in &call.args {
+                        self.expr(a)?;
+                    }
+                    self.emit(Instr::InvokeVirtual {
+                        method: call.method.clone(),
+                        argc: call.args.len() as u8,
+                    });
+                }
+            },
+            Expr::Reflect(r) => {
+                let has_recv = r.receiver.is_some();
+                if let Some(recv) = &r.receiver {
+                    self.expr(recv)?;
+                }
+                for a in &r.args {
+                    self.expr(a)?;
+                }
+                self.emit(Instr::InvokeReflect {
+                    class: r.class.clone(),
+                    method: r.method.clone(),
+                    has_recv,
+                    argc: r.args.len() as u8,
+                });
+            }
+            Expr::Field(obj, name) => {
+                self.expr(obj)?;
+                self.emit(Instr::GetField(name.clone()));
+            }
+            Expr::StaticField(class, name) => {
+                let (cid, off) = self.resolve_static(class, name)?;
+                self.emit(Instr::GetStatic(cid, off));
+            }
+            Expr::New(class) => {
+                let cid = self
+                    .image
+                    .class_id(class)
+                    .ok_or_else(|| BuildError::UnknownClass(class.clone()))?;
+                self.emit(Instr::New(cid));
+            }
+            Expr::BoxInt(inner) => {
+                self.expr(inner)?;
+                self.emit(Instr::BoxInt);
+            }
+            Expr::UnboxInt(inner) => {
+                self.expr(inner)?;
+                self.emit(Instr::UnboxInt);
+            }
+            Expr::ClassLit(class) => {
+                let cid = self
+                    .image
+                    .class_id(class)
+                    .ok_or_else(|| BuildError::UnknownClass(class.clone()))?;
+                self.emit(Instr::ClassObj(cid));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_of(src: &str) -> Image {
+        Image::build(&mjava::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiles_loop_with_backward_jump() {
+        let image = image_of(
+            "class T { static void main() { for (int i = 0; i < 3; i++) { System.out.println(i); } } }",
+        );
+        let code = &image.methods[image.main()].code;
+        let has_backjump = code
+            .instrs
+            .iter()
+            .enumerate()
+            .any(|(pc, i)| matches!(i, Instr::Jump(t) if *t <= pc));
+        assert!(has_backjump, "loop must compile to a backward jump:\n{}", code.listing());
+    }
+
+    #[test]
+    fn bare_field_resolves_to_this_getfield() {
+        let image = image_of("class T { int f; void g() { f = f + 1; } static void main() { } }");
+        let g = image.method_id("T", "g").unwrap();
+        let code = &image.methods[g].code;
+        assert!(code.instrs.iter().any(|i| matches!(i, Instr::GetField(n) if n == "f")));
+        assert!(code.instrs.iter().any(|i| matches!(i, Instr::PutField(n) if n == "f")));
+    }
+
+    #[test]
+    fn bare_static_field_resolves_to_getstatic() {
+        let image =
+            image_of("class T { static int s; static void main() { s = s + 1; } }");
+        let code = &image.methods[image.main()].code;
+        assert!(code.instrs.iter().any(|i| matches!(i, Instr::GetStatic(0, 0))));
+        assert!(code.instrs.iter().any(|i| matches!(i, Instr::PutStatic(0, 0))));
+    }
+
+    #[test]
+    fn sync_block_is_balanced() {
+        let image = image_of(
+            "class T { static void main() { synchronized (T.class) { int x = 1; } } }",
+        );
+        let code = &image.methods[image.main()].code;
+        let enters = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorEnter)).count();
+        let exits = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorExit)).count();
+        assert_eq!((enters, exits), (1, 1));
+    }
+
+    #[test]
+    fn return_inside_sync_releases_monitors() {
+        let image = image_of(
+            r#"
+            class T {
+                static int g() {
+                    synchronized (T.class) {
+                        synchronized (T.class) {
+                            return 1;
+                        }
+                    }
+                }
+                static void main() { }
+            }
+            "#,
+        );
+        let g = image.method_id("T", "g").unwrap();
+        let code = &image.methods[g].code;
+        // Two enters; the return path releases both, and the normal path
+        // also emits its two exits (unreachable after return, but present).
+        let enters = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorEnter)).count();
+        let exits = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorExit)).count();
+        assert_eq!(enters, 2);
+        assert_eq!(exits, 4);
+    }
+
+    #[test]
+    fn synchronized_method_wraps_body() {
+        let image = image_of(
+            "class T { synchronized void g() { } static synchronized void h() { } static void main() { } }",
+        );
+        for name in ["g", "h"] {
+            let mid = image.method_id("T", name).unwrap();
+            let code = &image.methods[mid].code;
+            assert!(code.instrs.iter().any(|i| matches!(i, Instr::MonitorEnter)), "{name}");
+            assert!(code.instrs.iter().any(|i| matches!(i, Instr::MonitorExit)), "{name}");
+        }
+    }
+
+    #[test]
+    fn static_call_resolves_to_invoke() {
+        let image = image_of(
+            "class T { static int f(int a, int b) { return a + b; } static void main() { int x = T.f(1, 2); } }",
+        );
+        let code = &image.methods[image.main()].code;
+        assert!(code
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Invoke { argc: 2, has_recv: false, .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p = mjava::parse(
+            "class T { static int f(int a) { return a; } static void main() { int x = T.f(1, 2); } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            Image::build(&p),
+            Err(BuildError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn this_in_static_rejected() {
+        let p =
+            mjava::parse("class T { int f; static void main() { int x = this.f; } }").unwrap();
+        assert!(matches!(Image::build(&p), Err(BuildError::ThisInStatic { .. })));
+    }
+
+    #[test]
+    fn unresolved_name_rejected() {
+        let p = mjava::parse("class T { static void main() { x = 1; } }").unwrap();
+        assert!(matches!(
+            Image::build(&p),
+            Err(BuildError::UnresolvedName { .. })
+        ));
+    }
+
+    #[test]
+    fn shadowing_in_nested_blocks() {
+        let image = image_of(
+            r#"
+            class T {
+                static void main() {
+                    int x = 1;
+                    { int x2 = 2; System.out.println(x2); }
+                    System.out.println(x);
+                }
+            }
+            "#,
+        );
+        // Just checking it compiles and uses distinct slots.
+        let code = &image.methods[image.main()].code;
+        let stores: Vec<u16> = code
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Store(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores.len(), 2);
+        assert_ne!(stores[0], stores[1]);
+    }
+}

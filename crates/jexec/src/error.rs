@@ -1,0 +1,175 @@
+//! Error types for image building and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error detected while resolving a program into an executable image —
+/// the analogue of a class-loading/verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two classes share a name.
+    DuplicateClass(String),
+    /// Two members of one class share a name.
+    DuplicateMember { class: String, member: String },
+    /// No `static main()` method exists.
+    NoMain,
+    /// A `Ref` type names a class that does not exist.
+    UnknownClass(String),
+    /// A static member reference cannot be resolved.
+    UnknownStatic { class: String, member: String },
+    /// A name used as a variable is not a local, parameter or field.
+    UnresolvedName { method: String, name: String },
+    /// `this` used in a static method.
+    ThisInStatic { method: String },
+    /// A statically resolved call passes the wrong number of arguments.
+    ArityMismatch { class: String, method: String },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateClass(c) => write!(f, "duplicate class {c}"),
+            BuildError::DuplicateMember { class, member } => {
+                write!(f, "duplicate member {member} in class {class}")
+            }
+            BuildError::NoMain => write!(f, "no static main() method"),
+            BuildError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            BuildError::UnknownStatic { class, member } => {
+                write!(f, "unknown static member {class}.{member}")
+            }
+            BuildError::UnresolvedName { method, name } => {
+                write!(f, "unresolved name {name} in method {method}")
+            }
+            BuildError::ThisInStatic { method } => {
+                write!(f, "`this` used in static method {method}")
+            }
+            BuildError::ArityMismatch { class, method } => {
+                write!(f, "wrong number of arguments for {class}.{method}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// A runtime failure. The variants mirror the Java exceptions the paper's
+/// test programs can raise plus the VM-internal states that a broken JIT
+/// can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Integer division or remainder by zero (`ArithmeticException`).
+    DivisionByZero,
+    /// Dereference of `null` (`NullPointerException`).
+    NullReference,
+    /// `Class.forName` on a missing class (`ClassNotFoundException`).
+    NoSuchClass(String),
+    /// Reflective lookup of a missing method (`NoSuchMethodException`).
+    NoSuchMethod { class: String, method: String },
+    /// Access of a missing field (only reachable through VM corruption).
+    NoSuchField { class: String, field: String },
+    /// Monitor exited more often than entered, or left locked at method
+    /// exit (`IllegalMonitorStateException`) — the signature symptom of a
+    /// broken lock optimization.
+    IllegalMonitorState,
+    /// Call stack exceeded the configured limit (`StackOverflowError`).
+    StackOverflow,
+    /// Execution exceeded the instruction budget; treated as a timeout.
+    OutOfFuel,
+    /// An operand had the wrong kind — a VM-level verification failure that
+    /// well-formed programs cannot reach.
+    TypeMismatch(&'static str),
+    /// Operand stack or local slot misuse — likewise VM-internal.
+    VmCorrupt(&'static str),
+}
+
+impl ExecError {
+    /// True for errors a conforming JVM surfaces as Java exceptions — these
+    /// are deterministic program behaviour, not VM defects.
+    pub fn is_program_level(&self) -> bool {
+        matches!(
+            self,
+            ExecError::DivisionByZero
+                | ExecError::NullReference
+                | ExecError::NoSuchClass(_)
+                | ExecError::NoSuchMethod { .. }
+                | ExecError::StackOverflow
+        )
+    }
+
+    /// The Java exception name used when reporting program-level errors in
+    /// the output stream.
+    pub fn java_name(&self) -> &'static str {
+        match self {
+            ExecError::DivisionByZero => "java.lang.ArithmeticException",
+            ExecError::NullReference => "java.lang.NullPointerException",
+            ExecError::NoSuchClass(_) => "java.lang.ClassNotFoundException",
+            ExecError::NoSuchMethod { .. } => "java.lang.NoSuchMethodException",
+            ExecError::NoSuchField { .. } => "java.lang.NoSuchFieldException",
+            ExecError::IllegalMonitorState => "java.lang.IllegalMonitorStateException",
+            ExecError::StackOverflow => "java.lang.StackOverflowError",
+            ExecError::OutOfFuel => "<timeout>",
+            ExecError::TypeMismatch(_) | ExecError::VmCorrupt(_) => "<vm-internal-error>",
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::NullReference => write!(f, "null reference"),
+            ExecError::NoSuchClass(c) => write!(f, "class not found: {c}"),
+            ExecError::NoSuchMethod { class, method } => {
+                write!(f, "no such method: {class}.{method}")
+            }
+            ExecError::NoSuchField { class, field } => {
+                write!(f, "no such field: {class}.{field}")
+            }
+            ExecError::IllegalMonitorState => write!(f, "illegal monitor state"),
+            ExecError::StackOverflow => write!(f, "stack overflow"),
+            ExecError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            ExecError::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
+            ExecError::VmCorrupt(what) => write!(f, "vm corrupt: {what}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_level_classification() {
+        assert!(ExecError::DivisionByZero.is_program_level());
+        assert!(ExecError::NullReference.is_program_level());
+        assert!(!ExecError::OutOfFuel.is_program_level());
+        assert!(!ExecError::IllegalMonitorState.is_program_level());
+        assert!(!ExecError::TypeMismatch("x").is_program_level());
+    }
+
+    #[test]
+    fn java_names_present() {
+        assert_eq!(
+            ExecError::DivisionByZero.java_name(),
+            "java.lang.ArithmeticException"
+        );
+        assert_eq!(ExecError::OutOfFuel.java_name(), "<timeout>");
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            ExecError::DivisionByZero,
+            ExecError::NullReference,
+            ExecError::NoSuchClass("X".into()),
+            ExecError::IllegalMonitorState,
+            ExecError::StackOverflow,
+            ExecError::OutOfFuel,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(!BuildError::NoMain.to_string().is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Executable image: the resolved, loaded form of a program.
+//!
+//! Building an image performs the work of class loading and verification:
+//! duplicate detection, member resolution, and compilation of every method
+//! body to bytecode. The JIT tier later *re*-compiles individual methods
+//! from their (optimized) ASTs and swaps the code in via
+//! [`Image::install_code`].
+
+use crate::code::{Code, MethodId};
+use crate::compile::compile_method_ast;
+use crate::error::BuildError;
+use crate::value::{ClassId, Value};
+use std::collections::HashMap;
+
+/// One field in a class layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: mjava::Type,
+    /// Initial value (from the literal initializer, or the type default).
+    pub init: Value,
+}
+
+/// The loaded form of one class.
+#[derive(Debug, Clone)]
+pub struct ClassImage {
+    /// Class name.
+    pub name: String,
+    /// Instance field layout.
+    pub instance_fields: Vec<FieldLayout>,
+    /// Static field layout.
+    pub static_fields: Vec<FieldLayout>,
+    /// Methods by name (MiniJava has no overloading).
+    pub method_index: HashMap<String, MethodId>,
+}
+
+impl ClassImage {
+    /// Offset of an instance field.
+    pub fn instance_offset(&self, name: &str) -> Option<usize> {
+        self.instance_fields.iter().position(|f| f.name == name)
+    }
+
+    /// Offset of a static field.
+    pub fn static_offset(&self, name: &str) -> Option<usize> {
+        self.static_fields.iter().position(|f| f.name == name)
+    }
+
+    /// Default instance field values for allocation.
+    pub fn field_defaults(&self) -> Vec<Value> {
+        self.instance_fields.iter().map(|f| f.init).collect()
+    }
+}
+
+/// The loaded form of one method.
+#[derive(Debug, Clone)]
+pub struct MethodImage {
+    /// Owning class.
+    pub class: ClassId,
+    /// Method name.
+    pub name: String,
+    /// True for static methods.
+    pub is_static: bool,
+    /// True for `synchronized` methods.
+    pub is_sync: bool,
+    /// Parameter types.
+    pub params: Vec<mjava::Type>,
+    /// Return type.
+    pub ret: mjava::Type,
+    /// Currently installed executable code (interpreter tier at load time;
+    /// the JIT tier replaces this).
+    pub code: Code,
+    /// The source AST, retained for the JIT.
+    pub source: mjava::Method,
+    /// True once JIT-compiled code has been installed.
+    pub is_compiled: bool,
+}
+
+/// A fully resolved, executable program image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Classes; the index is the [`ClassId`].
+    pub classes: Vec<ClassImage>,
+    /// Global method table; the index is the [`MethodId`].
+    pub methods: Vec<MethodImage>,
+    class_index: HashMap<String, ClassId>,
+    main: MethodId,
+}
+
+impl Image {
+    /// Resolves and compiles `program` into an executable image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for duplicate classes or members, a missing
+    /// `static main()`, unresolved names, or ill-formed calls — the
+    /// MiniJava analogue of a class-loading/verification failure.
+    pub fn build(program: &mjava::Program) -> Result<Image, BuildError> {
+        // Pass 1: class and member skeletons.
+        let mut class_index = HashMap::new();
+        for (ci, class) in program.classes.iter().enumerate() {
+            if class_index.insert(class.name.clone(), ci).is_some() {
+                return Err(BuildError::DuplicateClass(class.name.clone()));
+            }
+        }
+        let mut classes = Vec::with_capacity(program.classes.len());
+        let mut methods: Vec<MethodImage> = Vec::new();
+        for (ci, class) in program.classes.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            let mut instance_fields = Vec::new();
+            let mut static_fields = Vec::new();
+            for field in &class.fields {
+                if !seen.insert(field.name.clone()) {
+                    return Err(BuildError::DuplicateMember {
+                        class: class.name.clone(),
+                        member: field.name.clone(),
+                    });
+                }
+                let init = match &field.init {
+                    Some(mjava::Expr::Int(v)) => Value::Int(*v as i32),
+                    Some(mjava::Expr::Long(v)) => Value::Long(*v),
+                    Some(mjava::Expr::Bool(b)) => Value::Bool(*b),
+                    Some(mjava::Expr::Null) | None => Value::default_of(&field.ty),
+                    Some(_) => Value::default_of(&field.ty),
+                };
+                let layout = FieldLayout {
+                    name: field.name.clone(),
+                    ty: field.ty.clone(),
+                    init,
+                };
+                if field.is_static {
+                    static_fields.push(layout);
+                } else {
+                    instance_fields.push(layout);
+                }
+            }
+            let mut method_index = HashMap::new();
+            for method in &class.methods {
+                if !seen.insert(method.name.clone()) {
+                    return Err(BuildError::DuplicateMember {
+                        class: class.name.clone(),
+                        member: method.name.clone(),
+                    });
+                }
+                let mid = methods.len();
+                method_index.insert(method.name.clone(), mid);
+                methods.push(MethodImage {
+                    class: ci,
+                    name: method.name.clone(),
+                    is_static: method.is_static,
+                    is_sync: method.is_sync,
+                    params: method.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: method.ret.clone(),
+                    code: Code::default(),
+                    source: method.clone(),
+                    is_compiled: false,
+                });
+            }
+            classes.push(ClassImage {
+                name: class.name.clone(),
+                instance_fields,
+                static_fields,
+                method_index,
+            });
+        }
+        let main = program
+            .main_method()
+            .and_then(|(ci, mi_local)| {
+                let class = &program.classes[ci];
+                classes[ci].method_index.get(&class.methods[mi_local].name)
+            })
+            .copied()
+            .ok_or(BuildError::NoMain)?;
+
+        let mut image = Image {
+            classes,
+            methods,
+            class_index,
+            main,
+        };
+
+        // Pass 2: compile every body against the resolved skeletons.
+        for mid in 0..image.methods.len() {
+            let source = image.methods[mid].source.clone();
+            let class = image.methods[mid].class;
+            let code = compile_method_ast(&image, class, &source)?;
+            image.methods[mid].code = code;
+        }
+        Ok(image)
+    }
+
+    /// Looks up a class id by name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_index.get(name).copied()
+    }
+
+    /// Looks up a method id by class and method name.
+    pub fn method_id(&self, class: &str, method: &str) -> Option<MethodId> {
+        let cid = self.class_id(class)?;
+        self.classes[cid].method_index.get(method).copied()
+    }
+
+    /// The entry point (`static main`).
+    pub fn main(&self) -> MethodId {
+        self.main
+    }
+
+    /// Replaces a method's executable code — the tier-up operation the
+    /// simulated JIT performs after optimizing the method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range.
+    pub fn install_code(&mut self, method: MethodId, code: Code) {
+        self.methods[method].code = code;
+        self.methods[method].is_compiled = true;
+    }
+
+    /// Initial static field values, per class, for interpreter start-up.
+    pub fn static_defaults(&self) -> Vec<Vec<Value>> {
+        self.classes
+            .iter()
+            .map(|c| c.static_fields.iter().map(|f| f.init).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> Result<Image, BuildError> {
+        Image::build(&mjava::parse(src).unwrap())
+    }
+
+    #[test]
+    fn builds_simple_program() {
+        let image = build(
+            "class T { int f; static long s = 9L; static void main() { } int g(int a) { return a; } }",
+        )
+        .unwrap();
+        assert_eq!(image.classes.len(), 1);
+        assert_eq!(image.methods.len(), 2);
+        assert_eq!(image.methods[image.main()].name, "main");
+        let t = &image.classes[0];
+        assert_eq!(t.instance_offset("f"), Some(0));
+        assert_eq!(t.static_offset("s"), Some(0));
+        assert_eq!(t.static_fields[0].init, Value::Long(9));
+        assert!(image.method_id("T", "g").is_some());
+        assert!(image.method_id("T", "nope").is_none());
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert_eq!(build("class T { }"), err_kind(BuildError::NoMain));
+    }
+
+    fn err_kind(e: BuildError) -> Result<Image, BuildError> {
+        Err(e)
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let r = build("class T { static void main() { } } class T { }");
+        assert!(matches!(r, Err(BuildError::DuplicateClass(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_member() {
+        let r = build("class T { int f; int f; static void main() { } }");
+        assert!(matches!(r, Err(BuildError::DuplicateMember { .. })));
+    }
+
+    #[test]
+    fn install_code_marks_compiled() {
+        let mut image = build("class T { static void main() { } }").unwrap();
+        assert!(!image.methods[0].is_compiled);
+        let code = image.methods[0].code.clone();
+        image.install_code(0, code);
+        assert!(image.methods[0].is_compiled);
+    }
+
+    #[test]
+    fn static_defaults_cover_all_classes() {
+        let image = build(
+            "class A { static int x = 4; static void main() { } } class B { static boolean b; }",
+        )
+        .unwrap();
+        let defaults = image.static_defaults();
+        assert_eq!(defaults[0], vec![Value::Int(4)]);
+        assert_eq!(defaults[1], vec![Value::Bool(false)]);
+    }
+}
+
+impl PartialEq for Image {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality over names is enough for tests.
+        self.class_index == other.class_index && self.main == other.main
+    }
+}

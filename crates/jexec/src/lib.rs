@@ -1,0 +1,48 @@
+//! # jexec — the MiniJava execution substrate
+//!
+//! This crate is the reproduction's analogue of the JVM's loading,
+//! verification and interpreter tiers:
+//!
+//! * [`Image`] — the resolved, executable form of an [`mjava::Program`]
+//!   (class loading + verification);
+//! * [`code`] — a stack-machine bytecode, plus [`compile_method_ast`] which
+//!   lowers method ASTs to it (used both at load time and by the JIT tier
+//!   after optimization);
+//! * [`run`] — the profiling interpreter, whose per-method invocation and
+//!   back-edge counters drive tiered compilation in `jvmsim`;
+//! * [`ops`] — shared operator semantics so the optimizer's constant folder
+//!   can never diverge from the interpreter.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = mjava::parse(r#"
+//!     class T {
+//!         static void main() {
+//!             int s = 0;
+//!             for (int i = 0; i < 10; i++) { s = s + i; }
+//!             System.out.println(s);
+//!         }
+//!     }
+//! "#).unwrap();
+//! let image = jexec::Image::build(&program)?;
+//! let outcome = jexec::run(&image, &jexec::ExecConfig::default());
+//! assert_eq!(outcome.output, vec!["45"]);
+//! assert!(outcome.is_clean());
+//! # Ok::<(), jexec::BuildError>(())
+//! ```
+
+pub mod code;
+pub mod compile;
+pub mod error;
+pub mod image;
+pub mod interp;
+pub mod ops;
+pub mod value;
+
+pub use code::{ArithOp, CmpOp, Code, Instr, MethodId};
+pub use compile::compile_method_ast;
+pub use error::{BuildError, ExecError};
+pub use image::{ClassImage, FieldLayout, Image, MethodImage};
+pub use interp::{run, run_program, ExecConfig, ExecStats, Outcome, Profile};
+pub use value::{ClassId, Heap, ObjId, Object, Value};

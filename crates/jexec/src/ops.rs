@@ -1,0 +1,257 @@
+//! Value-level operator semantics, shared by the interpreter and the JIT's
+//! constant folder.
+//!
+//! Keeping a single implementation guarantees the optimizer folds constants
+//! with exactly the semantics the interpreter executes — a divergence here
+//! would be a genuine miscompilation, not a modelling artifact.
+
+use crate::code::{ArithOp, CmpOp};
+use crate::error::ExecError;
+use crate::value::Value;
+
+/// Applies a binary arithmetic operator with Java numeric semantics:
+/// 32-bit wrapping for `int`, 64-bit for `long`, promotion when either
+/// operand is `long`, masked shift counts, and `&`/`|`/`^` on booleans.
+///
+/// # Errors
+///
+/// [`ExecError::DivisionByZero`] on zero division/remainder and
+/// [`ExecError::TypeMismatch`] for operand kinds outside the table.
+pub fn arith(op: ArithOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => arith_i32(op, x, y),
+        (Value::Long(x), Value::Long(y)) => arith_i64(op, x, y),
+        (Value::Long(x), Value::Int(y)) => arith_i64(op, x, y as i64),
+        (Value::Int(x), Value::Long(y)) => arith_i64(op, x as i64, y),
+        (Value::Bool(x), Value::Bool(y)) => match op {
+            ArithOp::And => Ok(Value::Bool(x & y)),
+            ArithOp::Or => Ok(Value::Bool(x | y)),
+            ArithOp::Xor => Ok(Value::Bool(x ^ y)),
+            _ => Err(ExecError::TypeMismatch("arithmetic on booleans")),
+        },
+        _ => Err(ExecError::TypeMismatch("arithmetic operand kinds")),
+    }
+}
+
+fn arith_i32(op: ArithOp, x: i32, y: i32) -> Result<Value, ExecError> {
+    let v = match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        ArithOp::Rem => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        ArithOp::And => x & y,
+        ArithOp::Or => x | y,
+        ArithOp::Xor => x ^ y,
+        ArithOp::Shl => x.wrapping_shl((y & 31) as u32),
+        ArithOp::Shr => x.wrapping_shr((y & 31) as u32),
+    };
+    Ok(Value::Int(v))
+}
+
+fn arith_i64(op: ArithOp, x: i64, y: i64) -> Result<Value, ExecError> {
+    let v = match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        ArithOp::Rem => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        ArithOp::And => x & y,
+        ArithOp::Or => x | y,
+        ArithOp::Xor => x ^ y,
+        ArithOp::Shl => x.wrapping_shl((y & 63) as u32),
+        ArithOp::Shr => x.wrapping_shr((y & 63) as u32),
+    };
+    Ok(Value::Long(v))
+}
+
+/// Applies a comparison operator. Numeric operands compare after promotion
+/// to 64 bits; `==`/`!=` additionally compare booleans, boxed integers (by
+/// value) and references (by identity).
+///
+/// # Errors
+///
+/// [`ExecError::TypeMismatch`] for incomparable kinds.
+pub fn compare(op: CmpOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    let numeric = |v: Value| -> Option<i64> {
+        match v {
+            Value::Int(x) => Some(x as i64),
+            Value::Long(x) => Some(x),
+            _ => None,
+        }
+    };
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        let r = match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        };
+        return Ok(Value::Bool(r));
+    }
+    let eq = match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Boxed(x), Value::Boxed(y)) => x == y,
+        (Value::Ref(x), Value::Ref(y)) => x == y,
+        (Value::Null, Value::Null) => true,
+        (Value::Null, _) | (_, Value::Null) => false,
+        _ => return Err(ExecError::TypeMismatch("comparison operand kinds")),
+    };
+    match op {
+        CmpOp::Eq => Ok(Value::Bool(eq)),
+        CmpOp::Ne => Ok(Value::Bool(!eq)),
+        _ => Err(ExecError::TypeMismatch("ordering on non-numeric values")),
+    }
+}
+
+/// Arithmetic negation.
+///
+/// # Errors
+///
+/// [`ExecError::TypeMismatch`] for non-numeric operands.
+pub fn negate(v: Value) -> Result<Value, ExecError> {
+    match v {
+        Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
+        Value::Long(x) => Ok(Value::Long(x.wrapping_neg())),
+        _ => Err(ExecError::TypeMismatch("negation operand kind")),
+    }
+}
+
+/// Boolean negation.
+///
+/// # Errors
+///
+/// [`ExecError::TypeMismatch`] for non-boolean operands.
+pub fn boolean_not(v: Value) -> Result<Value, ExecError> {
+    match v {
+        Value::Bool(b) => Ok(Value::Bool(!b)),
+        _ => Err(ExecError::TypeMismatch("not operand kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arithmetic_wraps() {
+        assert_eq!(
+            arith(ArithOp::Add, Value::Int(i32::MAX), Value::Int(1)).unwrap(),
+            Value::Int(i32::MIN)
+        );
+        assert_eq!(
+            arith(ArithOp::Mul, Value::Int(1 << 20), Value::Int(1 << 20)).unwrap(),
+            Value::Int((1i64 << 40) as i32)
+        );
+    }
+
+    #[test]
+    fn long_promotion() {
+        assert_eq!(
+            arith(ArithOp::Add, Value::Int(1), Value::Long(2)).unwrap(),
+            Value::Long(3)
+        );
+        assert_eq!(
+            arith(ArithOp::Add, Value::Long(1), Value::Int(2)).unwrap(),
+            Value::Long(3)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_detected() {
+        assert_eq!(
+            arith(ArithOp::Div, Value::Int(1), Value::Int(0)),
+            Err(ExecError::DivisionByZero)
+        );
+        assert_eq!(
+            arith(ArithOp::Rem, Value::Long(1), Value::Long(0)),
+            Err(ExecError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn int_min_div_minus_one_wraps() {
+        // Java: Integer.MIN_VALUE / -1 == Integer.MIN_VALUE.
+        assert_eq!(
+            arith(ArithOp::Div, Value::Int(i32::MIN), Value::Int(-1)).unwrap(),
+            Value::Int(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn shift_counts_are_masked() {
+        assert_eq!(
+            arith(ArithOp::Shl, Value::Int(1), Value::Int(33)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            arith(ArithOp::Shr, Value::Long(4), Value::Long(65)).unwrap(),
+            Value::Long(2)
+        );
+    }
+
+    #[test]
+    fn boolean_bitops() {
+        assert_eq!(
+            arith(ArithOp::Xor, Value::Bool(true), Value::Bool(true)).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(arith(ArithOp::Add, Value::Bool(true), Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn numeric_comparisons_promote() {
+        assert_eq!(
+            compare(CmpOp::Lt, Value::Int(1), Value::Long(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            compare(CmpOp::Eq, Value::Int(-1), Value::Long(-1)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn reference_equality() {
+        assert_eq!(
+            compare(CmpOp::Eq, Value::Ref(1), Value::Ref(1)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            compare(CmpOp::Ne, Value::Ref(1), Value::Null).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(compare(CmpOp::Lt, Value::Ref(1), Value::Ref(2)).is_err());
+    }
+
+    #[test]
+    fn negate_and_not() {
+        assert_eq!(negate(Value::Int(i32::MIN)).unwrap(), Value::Int(i32::MIN));
+        assert_eq!(negate(Value::Long(-7)).unwrap(), Value::Long(7));
+        assert!(negate(Value::Bool(true)).is_err());
+        assert_eq!(boolean_not(Value::Bool(true)).unwrap(), Value::Bool(false));
+        assert!(boolean_not(Value::Int(0)).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Runtime values and the object heap.
+
+use std::fmt;
+
+/// Identifier of a heap object.
+pub type ObjId = usize;
+
+/// Identifier of a class in the [`crate::image::Image`].
+pub type ClassId = usize;
+
+/// A runtime value. MiniJava `int` has Java's 32-bit wrapping semantics;
+/// `long` is 64-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 32-bit integer.
+    Int(i32),
+    /// 64-bit integer.
+    Long(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Boxed integer (`java.lang.Integer`); boxing identity is not modelled.
+    Boxed(i32),
+    /// Heap reference.
+    Ref(ObjId),
+    /// Null reference.
+    Null,
+}
+
+impl Value {
+    /// Default value for a type: 0 / false / null.
+    pub fn default_of(ty: &mjava::Type) -> Value {
+        match ty {
+            mjava::Type::Int => Value::Int(0),
+            mjava::Type::Long => Value::Long(0),
+            mjava::Type::Bool => Value::Bool(false),
+            mjava::Type::Integer | mjava::Type::Ref(_) | mjava::Type::Void => Value::Null,
+        }
+    }
+
+    /// One-word tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Long(_) => "long",
+            Value::Bool(_) => "boolean",
+            Value::Boxed(_) => "Integer",
+            Value::Ref(_) => "object",
+            Value::Null => "null",
+        }
+    }
+
+    /// True if the value is a reference (object, boxed, or null).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Value::Ref(_) | Value::Boxed(_) | Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Boxed(v) => write!(f, "{v}"),
+            // Identity hashes are intentionally not printed: scalar
+            // replacement may legally change allocation order, which must
+            // not look like a miscompilation to the differential oracle.
+            Value::Ref(_) => write!(f, "<object>"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A heap object: its class, named fields, and a monitor.
+///
+/// Execution is single-threaded (the paper's generated tests are too), so
+/// the monitor tracks only re-entrancy depth; unbalanced enter/exit —
+/// e.g. produced by a broken lock optimization — is still detectable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// The object's class.
+    pub class: ClassId,
+    /// Field values, indexed by the class's field layout.
+    pub fields: Vec<Value>,
+    /// Monitor re-entrancy depth.
+    pub monitor_depth: u32,
+}
+
+/// The object heap. Object ids are allocation-ordered and never reused.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+    /// Total allocations performed (== `objects.len()`, kept for clarity).
+    allocated: u64,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates an object of `class` with `n_fields` default-initialized
+    /// fields, returning its id.
+    pub fn alloc(&mut self, class: ClassId, field_defaults: Vec<Value>) -> ObjId {
+        let id = self.objects.len();
+        self.objects.push(Object {
+            class,
+            fields: field_defaults,
+            monitor_depth: 0,
+        });
+        self.allocated += 1;
+        id
+    }
+
+    /// Accesses an object.
+    pub fn get(&self, id: ObjId) -> Option<&Object> {
+        self.objects.get(id)
+    }
+
+    /// Accesses an object mutably.
+    pub fn get_mut(&mut self, id: ObjId) -> Option<&mut Object> {
+        self.objects.get_mut(id)
+    }
+
+    /// Number of live objects (nothing is ever collected; the simulated GC
+    /// in `jvmsim` works from allocation statistics).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no object has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total allocations performed.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_java() {
+        assert_eq!(Value::default_of(&mjava::Type::Int), Value::Int(0));
+        assert_eq!(Value::default_of(&mjava::Type::Long), Value::Long(0));
+        assert_eq!(Value::default_of(&mjava::Type::Bool), Value::Bool(false));
+        assert_eq!(Value::default_of(&mjava::Type::Integer), Value::Null);
+        assert_eq!(
+            Value::default_of(&mjava::Type::Ref("T".into())),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn display_hides_object_identity() {
+        assert_eq!(Value::Ref(3).to_string(), "<object>");
+        assert_eq!(Value::Ref(7).to_string(), "<object>");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::Boxed(9).to_string(), "9");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn heap_allocates_sequential_ids() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(0, vec![Value::Int(0)]);
+        let b = heap.alloc(1, vec![]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(heap.len(), 2);
+        assert_eq!(heap.allocated(), 2);
+        assert_eq!(heap.get(a).unwrap().class, 0);
+        assert!(heap.get(99).is_none());
+    }
+
+    #[test]
+    fn monitor_depth_tracks() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(0, vec![]);
+        heap.get_mut(a).unwrap().monitor_depth += 2;
+        assert_eq!(heap.get(a).unwrap().monitor_depth, 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! Optimization events, trace flags and log-line rendering.
+//!
+//! The paper's guidance signal is *profile data*: text printed by JVM flags
+//! such as `-XX:+TraceLoopOpts`, scraped back out with regular-expression
+//! rules (paper §3.4, Listing 4). This module reproduces that loop
+//! faithfully: phases emit [`OptEvent`]s, each event renders to a HotSpot-
+//! style log line *only if* its governing [`TraceFlag`] is enabled, and the
+//! `jprofile` crate recovers behaviour counts from the text.
+
+use std::fmt;
+
+/// The kinds of optimization behaviour the simulated JIT can perform.
+///
+/// Nineteen of these are observable through trace flags and form the
+/// dimensions of the Optimization Behavior Vector; [`Dereflect`] is
+/// intentionally *not* logged by any flag, mirroring the paper's remark
+/// that the JVM offers no flag for de-reflection (§5.1).
+///
+/// [`Dereflect`]: OptEventKind::Dereflect
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptEventKind {
+    /// A call site was inlined.
+    Inline,
+    /// Inlining was considered and rejected (depth/size).
+    InlineReject,
+    /// A loop was unrolled.
+    Unroll,
+    /// A loop's first iteration was peeled.
+    Peel,
+    /// A loop-invariant branch was unswitched out of a loop.
+    Unswitch,
+    /// A monitor was proven thread-local and removed.
+    LockEliminate,
+    /// Two adjacent monitor regions were merged.
+    LockCoarsen,
+    /// A nested monitor region was analysed.
+    NestedLock,
+    /// Escape analysis proved an allocation non-escaping.
+    EaNoEscape,
+    /// Escape analysis found an allocation escaping through an argument.
+    EaArgEscape,
+    /// A non-escaping allocation was replaced by scalars.
+    ScalarReplace,
+    /// Dead code was removed.
+    DceRemove,
+    /// Global value numbering commoned an expression.
+    GvnHit,
+    /// An algebraic identity was simplified.
+    AlgebraicSimplify,
+    /// A constant expression was folded.
+    ConstFold,
+    /// A box/unbox round-trip was eliminated.
+    AutoboxEliminate,
+    /// A redundant store was eliminated.
+    StoreEliminate,
+    /// An uncommon trap was placed on a rarely taken branch.
+    UncommonTrap,
+    /// The compiler planned a deoptimization point.
+    Deopt,
+    /// A reflective call was devirtualized to a direct call (not logged).
+    Dereflect,
+}
+
+impl OptEventKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [OptEventKind; 20] = [
+        OptEventKind::Inline,
+        OptEventKind::InlineReject,
+        OptEventKind::Unroll,
+        OptEventKind::Peel,
+        OptEventKind::Unswitch,
+        OptEventKind::LockEliminate,
+        OptEventKind::LockCoarsen,
+        OptEventKind::NestedLock,
+        OptEventKind::EaNoEscape,
+        OptEventKind::EaArgEscape,
+        OptEventKind::ScalarReplace,
+        OptEventKind::DceRemove,
+        OptEventKind::GvnHit,
+        OptEventKind::AlgebraicSimplify,
+        OptEventKind::ConstFold,
+        OptEventKind::AutoboxEliminate,
+        OptEventKind::StoreEliminate,
+        OptEventKind::UncommonTrap,
+        OptEventKind::Deopt,
+        OptEventKind::Dereflect,
+    ];
+
+    /// The 19 kinds observable through trace flags (everything except
+    /// de-reflection).
+    pub fn observable() -> impl Iterator<Item = OptEventKind> {
+        Self::ALL
+            .into_iter()
+            .filter(|k| !matches!(k, OptEventKind::Dereflect))
+    }
+
+    /// The flag whose output records this behaviour, if any.
+    pub fn flag(&self) -> Option<TraceFlag> {
+        use OptEventKind::*;
+        Some(match self {
+            Unroll | Peel | Unswitch => TraceFlag::TraceLoopOpts,
+            Inline | InlineReject => TraceFlag::PrintInlining,
+            LockEliminate | LockCoarsen => TraceFlag::PrintEliminateLocks,
+            NestedLock => TraceFlag::TraceMonitorNesting,
+            EaNoEscape | EaArgEscape => TraceFlag::PrintEscapeAnalysis,
+            ScalarReplace => TraceFlag::PrintEliminateAllocations,
+            DceRemove => TraceFlag::TraceDeadCodeElimination,
+            GvnHit => TraceFlag::PrintOptoStatistics,
+            AlgebraicSimplify => TraceFlag::PrintIdeal,
+            ConstFold => TraceFlag::TraceIterativeGvn,
+            AutoboxEliminate => TraceFlag::PrintEliminateAutobox,
+            StoreEliminate => TraceFlag::TraceRedundantStores,
+            UncommonTrap => TraceFlag::TraceUncommonTraps,
+            Deopt => TraceFlag::TraceDeoptimization,
+            Dereflect => return None,
+        })
+    }
+
+    /// Stable snake_case name (used in reports).
+    pub fn name(&self) -> &'static str {
+        use OptEventKind::*;
+        match self {
+            Inline => "inline",
+            InlineReject => "inline_reject",
+            Unroll => "unroll",
+            Peel => "peel",
+            Unswitch => "unswitch",
+            LockEliminate => "lock_eliminate",
+            LockCoarsen => "lock_coarsen",
+            NestedLock => "nested_lock",
+            EaNoEscape => "ea_no_escape",
+            EaArgEscape => "ea_arg_escape",
+            ScalarReplace => "scalar_replace",
+            DceRemove => "dce_remove",
+            GvnHit => "gvn_hit",
+            AlgebraicSimplify => "algebraic_simplify",
+            ConstFold => "const_fold",
+            AutoboxEliminate => "autobox_eliminate",
+            StoreEliminate => "store_eliminate",
+            UncommonTrap => "uncommon_trap",
+            Deopt => "deopt",
+            Dereflect => "dereflect",
+        }
+    }
+}
+
+impl fmt::Display for OptEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The 15 diagnostic print flags the simulated JVMs support — the analogue
+/// of `-XX:+Trace...`/`-XX:+Print...` options (paper §2.2, §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceFlag {
+    TraceLoopOpts,
+    PrintInlining,
+    PrintEliminateLocks,
+    TraceMonitorNesting,
+    PrintEscapeAnalysis,
+    PrintEliminateAllocations,
+    TraceDeadCodeElimination,
+    PrintOptoStatistics,
+    PrintIdeal,
+    TraceIterativeGvn,
+    PrintEliminateAutobox,
+    TraceRedundantStores,
+    TraceUncommonTraps,
+    TraceDeoptimization,
+    /// Per-method compilation banner; carries no OBV dimension but scopes
+    /// the log.
+    PrintCompilation,
+}
+
+impl TraceFlag {
+    /// All 15 flags.
+    pub const ALL: [TraceFlag; 15] = [
+        TraceFlag::TraceLoopOpts,
+        TraceFlag::PrintInlining,
+        TraceFlag::PrintEliminateLocks,
+        TraceFlag::TraceMonitorNesting,
+        TraceFlag::PrintEscapeAnalysis,
+        TraceFlag::PrintEliminateAllocations,
+        TraceFlag::TraceDeadCodeElimination,
+        TraceFlag::PrintOptoStatistics,
+        TraceFlag::PrintIdeal,
+        TraceFlag::TraceIterativeGvn,
+        TraceFlag::PrintEliminateAutobox,
+        TraceFlag::TraceRedundantStores,
+        TraceFlag::TraceUncommonTraps,
+        TraceFlag::TraceDeoptimization,
+        TraceFlag::PrintCompilation,
+    ];
+
+    /// The `-XX:+Name` spelling.
+    pub fn option_name(&self) -> &'static str {
+        match self {
+            TraceFlag::TraceLoopOpts => "TraceLoopOpts",
+            TraceFlag::PrintInlining => "PrintInlining",
+            TraceFlag::PrintEliminateLocks => "PrintEliminateLocks",
+            TraceFlag::TraceMonitorNesting => "TraceMonitorNesting",
+            TraceFlag::PrintEscapeAnalysis => "PrintEscapeAnalysis",
+            TraceFlag::PrintEliminateAllocations => "PrintEliminateAllocations",
+            TraceFlag::TraceDeadCodeElimination => "TraceDeadCodeElimination",
+            TraceFlag::PrintOptoStatistics => "PrintOptoStatistics",
+            TraceFlag::PrintIdeal => "PrintIdeal",
+            TraceFlag::TraceIterativeGvn => "TraceIterativeGVN",
+            TraceFlag::PrintEliminateAutobox => "PrintEliminateAutobox",
+            TraceFlag::TraceRedundantStores => "TraceRedundantStores",
+            TraceFlag::TraceUncommonTraps => "TraceUncommonTraps",
+            TraceFlag::TraceDeoptimization => "TraceDeoptimization",
+            TraceFlag::PrintCompilation => "PrintCompilation",
+        }
+    }
+
+    fn bit(&self) -> u16 {
+        1 << (Self::ALL.iter().position(|f| f == self).expect("in ALL") as u16)
+    }
+}
+
+impl fmt::Display for TraceFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "-XX:+{}", self.option_name())
+    }
+}
+
+/// A set of enabled trace flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FlagSet(u16);
+
+impl FlagSet {
+    /// No flags enabled.
+    pub fn none() -> FlagSet {
+        FlagSet(0)
+    }
+
+    /// All 15 flags enabled — the configuration MopFuzzer runs with.
+    pub fn all() -> FlagSet {
+        let mut s = FlagSet(0);
+        for f in TraceFlag::ALL {
+            s.enable(f);
+        }
+        s
+    }
+
+    /// Enables one flag.
+    pub fn enable(&mut self, flag: TraceFlag) {
+        self.0 |= flag.bit();
+    }
+
+    /// Disables one flag.
+    pub fn disable(&mut self, flag: TraceFlag) {
+        self.0 &= !flag.bit();
+    }
+
+    /// Tests one flag.
+    pub fn contains(&self, flag: TraceFlag) -> bool {
+        self.0 & flag.bit() != 0
+    }
+
+    /// Number of enabled flags.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no flag is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl FromIterator<TraceFlag> for FlagSet {
+    fn from_iter<I: IntoIterator<Item = TraceFlag>>(iter: I) -> FlagSet {
+        let mut s = FlagSet::none();
+        for f in iter {
+            s.enable(f);
+        }
+        s
+    }
+}
+
+/// One optimization behaviour performed by the JIT on a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptEvent {
+    /// What happened.
+    pub kind: OptEventKind,
+    /// `Class::method` the behaviour applied to.
+    pub method: String,
+    /// Free-form detail (count, names), embedded in the log line.
+    pub detail: String,
+}
+
+impl OptEvent {
+    /// Renders the HotSpot-style log line for this event, if its governing
+    /// flag is in `flags`. De-reflection renders nothing under any flags.
+    pub fn log_line(&self, flags: &FlagSet) -> Option<String> {
+        let flag = self.kind.flag()?;
+        if !flags.contains(flag) {
+            return None;
+        }
+        use OptEventKind::*;
+        let line = match self.kind {
+            Unroll => format!("Unroll {}", self.detail),
+            Peel => format!("Peel {}", self.detail),
+            Unswitch => format!("Unswitch {}", self.detail),
+            Inline => format!("@ inlined {} ({})", self.method, self.detail),
+            InlineReject => format!("@ {} failed to inline: {}", self.method, self.detail),
+            LockEliminate => format!("++++ Eliminated: Lock ({})", self.detail),
+            LockCoarsen => format!("Coarsened {} locks in {}", self.detail, self.method),
+            NestedLock => format!("NestedLock depth {} in {}", self.detail, self.method),
+            EaNoEscape => format!("{} is NoEscape", self.detail),
+            EaArgEscape => format!("{} is ArgEscape", self.detail),
+            ScalarReplace => format!("Scalar replaced allocation {}", self.detail),
+            DceRemove => format!("DCE removed {} nodes", self.detail),
+            GvnHit => format!("GVN hit {}", self.detail),
+            AlgebraicSimplify => format!("Simplified {}", self.detail),
+            ConstFold => format!("IGVN folded constant {}", self.detail),
+            AutoboxEliminate => format!("EliminateAutobox {}", self.detail),
+            StoreEliminate => format!("RedundantStore eliminated {}", self.detail),
+            UncommonTrap => format!("uncommon_trap reason={} in {}", self.detail, self.method),
+            Deopt => format!("Deoptimize method {} reason {}", self.method, self.detail),
+            Dereflect => unreachable!("dereflect has no flag"),
+        };
+        Some(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_observable_kinds() {
+        assert_eq!(OptEventKind::observable().count(), 19);
+        assert_eq!(OptEventKind::ALL.len(), 20);
+    }
+
+    #[test]
+    fn fifteen_flags() {
+        assert_eq!(TraceFlag::ALL.len(), 15);
+        assert_eq!(FlagSet::all().len(), 15);
+    }
+
+    #[test]
+    fn every_observable_kind_has_a_flag() {
+        for kind in OptEventKind::observable() {
+            assert!(kind.flag().is_some(), "{kind} lacks a flag");
+        }
+        assert!(OptEventKind::Dereflect.flag().is_none());
+    }
+
+    #[test]
+    fn flagset_enable_disable() {
+        let mut s = FlagSet::none();
+        assert!(s.is_empty());
+        s.enable(TraceFlag::TraceLoopOpts);
+        assert!(s.contains(TraceFlag::TraceLoopOpts));
+        assert!(!s.contains(TraceFlag::PrintInlining));
+        s.disable(TraceFlag::TraceLoopOpts);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn flagset_from_iterator() {
+        let s: FlagSet = [TraceFlag::PrintInlining, TraceFlag::PrintIdeal]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn log_lines_gated_by_flags() {
+        let e = OptEvent {
+            kind: OptEventKind::Unroll,
+            method: "T::foo".into(),
+            detail: "4".into(),
+        };
+        assert_eq!(e.log_line(&FlagSet::all()).unwrap(), "Unroll 4");
+        assert_eq!(e.log_line(&FlagSet::none()), None);
+        let only_inline: FlagSet = [TraceFlag::PrintInlining].into_iter().collect();
+        assert_eq!(e.log_line(&only_inline), None);
+    }
+
+    #[test]
+    fn dereflect_never_logs() {
+        let e = OptEvent {
+            kind: OptEventKind::Dereflect,
+            method: "T::foo".into(),
+            detail: "T::g".into(),
+        };
+        assert_eq!(e.log_line(&FlagSet::all()), None);
+    }
+
+    #[test]
+    fn option_names_match_display() {
+        assert_eq!(
+            TraceFlag::TraceLoopOpts.to_string(),
+            "-XX:+TraceLoopOpts"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Uncommon-trap placement and deoptimization planning.
+//!
+//! The simulated compiler cannot actually deoptimize (there is no tier-down
+//! at runtime), so this phase is observational: it recognizes branches the
+//! profile heuristic considers rarely taken — equality guards against
+//! improbable constants, the pattern the Deoptimization-evoke mutator
+//! plants — and records the trap sites and planned deoptimizations the
+//! real compiler would emit. The events feed the OBV and the injected-bug
+//! trigger predicates exactly like any rewriting phase's events do.
+
+use crate::event::OptEventKind;
+use crate::pipeline::OptCx;
+use mjava::{BinOp, Block, Expr, Method, Stmt};
+
+/// Equality guards against constants at or above this magnitude are deemed
+/// rarely true by the branch-profile heuristic.
+const RARE_CONSTANT: i64 = 256;
+
+/// Runs the uncommon-trap phase.
+pub fn run(method: &mut Method, cx: &mut OptCx) {
+    let mut site = 0u32;
+    scan_block(&method.body, false, &mut site, cx);
+}
+
+fn is_rare_guard(cond: &Expr) -> bool {
+    match cond {
+        Expr::Binary(BinOp::Eq, lhs, rhs) => {
+            constant_magnitude(rhs) >= RARE_CONSTANT || constant_magnitude(lhs) >= RARE_CONSTANT
+        }
+        _ => false,
+    }
+}
+
+fn constant_magnitude(e: &Expr) -> i64 {
+    match e {
+        Expr::Int(v) => v.abs(),
+        Expr::Long(v) => v.abs(),
+        _ => 0,
+    }
+}
+
+fn scan_block(block: &Block, in_loop: bool, site: &mut u32, cx: &mut OptCx) {
+    for stmt in &block.0 {
+        match stmt {
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                if is_rare_guard(cond) {
+                    let here = *site;
+                    *site += 1;
+                    cx.cover(0);
+                    cx.emit_once(OptEventKind::UncommonTrap, format!("unstable_if@{here}"));
+                    if in_loop {
+                        // A trap inside compiled loop code forces a planned
+                        // deoptimization point on entry.
+                        cx.cover(1);
+                        cx.emit_once(OptEventKind::Deopt, format!("unstable_if@{here}"));
+                    }
+                }
+                scan_block(then_b, in_loop, site, cx);
+                if let Some(e) = else_b {
+                    scan_block(e, in_loop, site, cx);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                scan_block(body, true, site, cx)
+            }
+            Stmt::Sync { body, .. } => scan_block(body, in_loop, site, cx),
+            Stmt::Block(b) => scan_block(b, in_loop, site, cx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::testutil::opt_main;
+    use crate::pipeline::PhaseId;
+
+    const DEOPT: &[PhaseId] = &[PhaseId::Deopt];
+
+    fn count(outcome: &crate::pipeline::OptOutcome, kind: OptEventKind) -> usize {
+        outcome.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    #[test]
+    fn detects_rare_guard_outside_loop() {
+        let src = r#"
+            class T {
+                static void main() {
+                    int x = 3;
+                    if (x == 123456) { System.out.println(1); }
+                    System.out.println(2);
+                }
+            }
+        "#;
+        let out = opt_main(src, DEOPT, 1);
+        assert_eq!(count(&out, OptEventKind::UncommonTrap), 1);
+        assert_eq!(count(&out, OptEventKind::Deopt), 0);
+    }
+
+    #[test]
+    fn rare_guard_in_loop_plans_deopt() {
+        let src = r#"
+            class T {
+                static void main() {
+                    for (int i = 0; i < 100; i++) {
+                        if (i == 99999) { System.out.println(i); }
+                    }
+                    System.out.println(0);
+                }
+            }
+        "#;
+        let out = opt_main(src, DEOPT, 1);
+        assert_eq!(count(&out, OptEventKind::UncommonTrap), 1);
+        assert_eq!(count(&out, OptEventKind::Deopt), 1);
+        assert!(out.log.iter().any(|l| l.contains("uncommon_trap")));
+        assert!(out.log.iter().any(|l| l.contains("Deoptimize")));
+    }
+
+    #[test]
+    fn common_guards_do_not_trap() {
+        let src = r#"
+            class T {
+                static void main() {
+                    for (int i = 0; i < 100; i++) {
+                        if (i == 3) { System.out.println(i); }
+                        if (i < 50) { System.out.println(0); }
+                    }
+                }
+            }
+        "#;
+        let out = opt_main(src, DEOPT, 1);
+        assert_eq!(count(&out, OptEventKind::UncommonTrap), 0);
+    }
+
+    #[test]
+    fn phase_never_rewrites() {
+        let src = r#"
+            class T {
+                static void main() {
+                    for (int i = 0; i < 10; i++) {
+                        if (i == 99999) { System.out.println(i); }
+                    }
+                }
+            }
+        "#;
+        let out = opt_main(src, DEOPT, 3);
+        let original = mjava::parse(src).unwrap();
+        assert_eq!(out.method.body, original.classes[0].methods[0].body);
+    }
+}

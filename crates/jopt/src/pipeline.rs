@@ -1,0 +1,340 @@
+//! The optimization pipeline: phase scheduling, context, limits.
+//!
+//! The simulated JIT mirrors HotSpot's C2 structure: a fixed sequence of
+//! phases applied for several *rounds*, so that one phase's rewrite changes
+//! what later phases (and later rounds) see. This iteration is what makes
+//! optimization *interactions* (the paper's subject) real in the model: a
+//! peeled loop can be unswitched next round, an inlined synchronized callee
+//! exposes a nested monitor to the lock phases, and so on.
+
+use crate::analysis::block_size;
+use crate::event::{FlagSet, OptEvent, OptEventKind};
+use crate::phases;
+use std::collections::HashSet;
+
+/// Identifies one optimizer phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PhaseId {
+    /// Method inlining (incl. synchronized-callee handling).
+    Inline,
+    /// Escape analysis + scalar replacement.
+    Escape,
+    /// Lock elimination, lock coarsening, nested-lock analysis.
+    Locks,
+    /// Loop unswitching, peeling, unrolling.
+    Loops,
+    /// GVN, constant folding, algebraic simplification.
+    Gvn,
+    /// Redundant store elimination.
+    Store,
+    /// Autobox elimination.
+    Autobox,
+    /// Dead code elimination.
+    Dce,
+    /// Reflection devirtualization.
+    Dereflect,
+    /// Uncommon-trap placement / deoptimization planning.
+    Deopt,
+}
+
+impl PhaseId {
+    /// All phases in the default C2-style order.
+    pub const DEFAULT_ORDER: [PhaseId; 10] = [
+        PhaseId::Inline,
+        PhaseId::Dereflect,
+        PhaseId::Escape,
+        PhaseId::Locks,
+        PhaseId::Loops,
+        PhaseId::Gvn,
+        PhaseId::Store,
+        PhaseId::Autobox,
+        PhaseId::Dce,
+        PhaseId::Deopt,
+    ];
+
+    /// Human-readable phase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhaseId::Inline => "inline",
+            PhaseId::Escape => "escape_analysis",
+            PhaseId::Locks => "lock_opts",
+            PhaseId::Loops => "ideal_loop",
+            PhaseId::Gvn => "iterative_gvn",
+            PhaseId::Store => "redundant_store",
+            PhaseId::Autobox => "autobox",
+            PhaseId::Dce => "dead_code",
+            PhaseId::Dereflect => "dereflection",
+            PhaseId::Deopt => "uncommon_trap",
+        }
+    }
+
+    /// Base of this phase's coverage-block id range (each phase owns 100
+    /// ids; the simulated JVM maps them into its component coverage).
+    pub fn coverage_base(&self) -> u32 {
+        match self {
+            PhaseId::Inline => 0,
+            PhaseId::Escape => 100,
+            PhaseId::Locks => 200,
+            PhaseId::Loops => 300,
+            PhaseId::Gvn => 400,
+            PhaseId::Store => 500,
+            PhaseId::Autobox => 600,
+            PhaseId::Dce => 700,
+            PhaseId::Dereflect => 800,
+            PhaseId::Deopt => 900,
+        }
+    }
+}
+
+/// Tunable limits, corresponding to HotSpot options like
+/// `-XX:LoopUnrollLimit` and `-XX:MaxInlineSize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptLimits {
+    /// Maximum constant trip count fully unrolled.
+    pub unroll_limit: u64,
+    /// Maximum callee size (statements) eligible for inlining.
+    pub inline_max_stmts: usize,
+    /// Maximum number of inlinings per compilation (depth proxy).
+    pub inline_budget: usize,
+    /// Number of pipeline rounds.
+    pub rounds: usize,
+    /// Method size (statements) above which expanding phases stop.
+    pub max_method_size: usize,
+}
+
+impl Default for OptLimits {
+    fn default() -> OptLimits {
+        OptLimits {
+            unroll_limit: 8,
+            inline_max_stmts: 12,
+            inline_budget: 24,
+            rounds: 3,
+            max_method_size: 3000,
+        }
+    }
+}
+
+/// Mutable state threaded through the phases of one method compilation.
+#[derive(Debug)]
+pub struct OptCx<'p> {
+    /// The whole (pre-optimization) program, for callee lookup and class
+    /// layouts.
+    pub program: &'p mjava::Program,
+    /// Limits in force.
+    pub limits: OptLimits,
+    /// `Class::method` label for event attribution.
+    pub method_label: String,
+    /// Events emitted so far.
+    pub events: Vec<OptEvent>,
+    /// Coverage blocks touched (phase-relative ids offset by
+    /// [`PhaseId::coverage_base`]).
+    pub covered: HashSet<u32>,
+    /// Remaining inline budget.
+    pub inline_budget_left: usize,
+    current_phase: PhaseId,
+    fresh: u32,
+}
+
+impl<'p> OptCx<'p> {
+    /// Creates a context for compiling one method.
+    pub fn new(
+        program: &'p mjava::Program,
+        class_name: &str,
+        method_name: &str,
+        limits: OptLimits,
+    ) -> OptCx<'p> {
+        OptCx {
+            program,
+            limits,
+            method_label: format!("{class_name}::{method_name}"),
+            events: Vec::new(),
+            covered: HashSet::new(),
+            inline_budget_left: limits.inline_budget,
+            current_phase: PhaseId::Inline,
+            fresh: 0,
+        }
+    }
+
+    /// Records an optimization behaviour.
+    pub fn emit(&mut self, kind: OptEventKind, detail: impl Into<String>) {
+        self.events.push(OptEvent {
+            kind,
+            method: self.method_label.clone(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Records an optimization behaviour at most once per (kind, detail)
+    /// pair. Observational phases (escape analysis, trap placement,
+    /// nested-monitor reports) re-run every round without consuming their
+    /// pattern; deduplicating keeps event counts proportional to program
+    /// structure rather than to the round count.
+    pub fn emit_once(&mut self, kind: OptEventKind, detail: impl Into<String>) {
+        let detail = detail.into();
+        if self
+            .events
+            .iter()
+            .any(|e| e.kind == kind && e.detail == detail)
+        {
+            return;
+        }
+        self.emit(kind, detail);
+    }
+
+    /// Marks a coverage block of the current phase as executed.
+    pub fn cover(&mut self, local_block: u32) {
+        debug_assert!(local_block < 100, "phase block ids are 0..100");
+        self.covered
+            .insert(self.current_phase.coverage_base() + local_block);
+    }
+
+    /// Produces an optimizer-private identifier. The `$` makes collisions
+    /// with mutator- and user-written names impossible (those come from
+    /// `Program::fresh_name`, which never emits `$`).
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{prefix}${n}")
+    }
+
+    /// Count of events of one kind emitted so far.
+    pub fn count(&self, kind: OptEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// The result of optimizing one method.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// The optimized method (same name/signature, rewritten body).
+    pub method: mjava::Method,
+    /// Every optimization behaviour performed.
+    pub events: Vec<OptEvent>,
+    /// The trace log as rendered under the given flags (profile data).
+    pub log: Vec<String>,
+    /// Coverage blocks touched during compilation.
+    pub covered: HashSet<u32>,
+}
+
+/// Optimizes one method of `program` through `phase_order`, repeated for
+/// `limits.rounds` rounds.
+///
+/// Returns `None` when the class or method does not exist.
+pub fn optimize(
+    program: &mjava::Program,
+    class_name: &str,
+    method_name: &str,
+    phase_order: &[PhaseId],
+    limits: OptLimits,
+    flags: &FlagSet,
+) -> Option<OptOutcome> {
+    let class = program.class(class_name)?;
+    let method = class.method(method_name)?;
+    let mut method = method.clone();
+    let mut cx = OptCx::new(program, class_name, method_name, limits);
+    for _round in 0..limits.rounds {
+        for &phase in phase_order {
+            if block_size(&method.body) > limits.max_method_size {
+                break;
+            }
+            cx.current_phase = phase;
+            run_phase(phase, &mut method, class, &mut cx);
+        }
+    }
+    let mut log = Vec::new();
+    if flags.contains(crate::event::TraceFlag::PrintCompilation) {
+        log.push(format!("Compiled method {}", cx.method_label));
+    }
+    for e in &cx.events {
+        if let Some(line) = e.log_line(flags) {
+            log.push(line);
+        }
+    }
+    Some(OptOutcome {
+        method,
+        events: cx.events,
+        log,
+        covered: cx.covered,
+    })
+}
+
+fn run_phase(phase: PhaseId, method: &mut mjava::Method, class: &mjava::Class, cx: &mut OptCx) {
+    match phase {
+        PhaseId::Inline => phases::inline::run(method, class, cx),
+        PhaseId::Escape => phases::escape::run(method, class, cx),
+        PhaseId::Locks => phases::locks::run(method, cx),
+        PhaseId::Loops => phases::loops::run(method, cx),
+        PhaseId::Gvn => phases::gvn::run(method, cx),
+        PhaseId::Store => phases::store::run(method, cx),
+        PhaseId::Autobox => phases::autobox::run(method, cx),
+        PhaseId::Dce => phases::dce::run(method, cx),
+        PhaseId::Dereflect => phases::dereflect::run(method, cx),
+        PhaseId::Deopt => phases::deopt::run(method, cx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_order_contains_every_phase_once() {
+        let mut order = PhaseId::DEFAULT_ORDER.to_vec();
+        order.sort();
+        order.dedup();
+        assert_eq!(order.len(), 10);
+    }
+
+    #[test]
+    fn coverage_bases_are_disjoint() {
+        let bases: HashSet<u32> = PhaseId::DEFAULT_ORDER
+            .iter()
+            .map(|p| p.coverage_base())
+            .collect();
+        assert_eq!(bases.len(), 10);
+    }
+
+    #[test]
+    fn fresh_names_use_dollar() {
+        let p = mjava::parse("class T { static void main() { } }").unwrap();
+        let mut cx = OptCx::new(&p, "T", "main", OptLimits::default());
+        let a = cx.fresh("u");
+        let b = cx.fresh("u");
+        assert_ne!(a, b);
+        assert!(a.contains('$'));
+    }
+
+    #[test]
+    fn optimize_missing_method_is_none() {
+        let p = mjava::parse("class T { static void main() { } }").unwrap();
+        assert!(optimize(
+            &p,
+            "T",
+            "nope",
+            &PhaseId::DEFAULT_ORDER,
+            OptLimits::default(),
+            &FlagSet::all()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn optimize_trivial_method_is_stable() {
+        let p = mjava::parse(
+            "class T { static void main() { System.out.println(1); } }",
+        )
+        .unwrap();
+        let out = optimize(
+            &p,
+            "T",
+            "main",
+            &PhaseId::DEFAULT_ORDER,
+            OptLimits::default(),
+            &FlagSet::all(),
+        )
+        .unwrap();
+        assert_eq!(out.method.body, p.classes[0].methods[0].body);
+        // PrintCompilation banner is always present under all-flags.
+        assert!(out.log[0].starts_with("Compiled method"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # jprofile — the profile-data model
+//!
+//! Implements the paper's §3.4 guidance machinery end-to-end:
+//!
+//! * [`pattern`] — a tiny regex subset (literals + `[0-9]+`) sufficient
+//!   for the extraction rules of Listing 4;
+//! * [`rules`] — 19 extraction rules, one per observable optimization
+//!   behaviour, matched against the trace-log text the JVM prints under
+//!   its 15 diagnostic flags;
+//! * [`Obv`] — the 19-dimensional Optimization Behavior Vector, with the
+//!   increase-only Euclidean distance Δ (Eq. 2) and the normalized
+//!   multiplicative weight update (Eq. 3).
+//!
+//! The fuzzer never sees optimizer internals — only text. `Obv::from_log`
+//! is the single point where text becomes guidance, exactly mirroring the
+//! paper's design (and its limitation: de-reflection, having no flag,
+//! is invisible here).
+//!
+//! # Examples
+//!
+//! ```
+//! use jprofile::Obv;
+//!
+//! let parent = Obv::from_log(&["Unroll 2"]);
+//! let child = Obv::from_log(&["Unroll 2", "Unroll 4", "Peel 1", "Coarsened 2 locks in T::m"]);
+//! let delta = Obv::delta(&parent, &child);
+//! assert!((delta - (1.0f64 + 1.0 + 1.0).sqrt()).abs() < 1e-12);
+//! let w = jprofile::update_weight(1.0, delta, &child);
+//! assert!(w > 1.0);
+//! ```
+
+pub mod obv;
+pub mod pattern;
+pub mod rules;
+
+pub use obv::{sum_increase, update_weight, update_weight_raw_sum, Obv, DIMS};
+pub use pattern::Pattern;
+pub use rules::{classify, rules, Rule};

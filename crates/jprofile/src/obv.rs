@@ -1,0 +1,290 @@
+//! The Optimization Behavior Vector and the paper's guidance metrics.
+//!
+//! An [`Obv`] is the 19-dimensional vector of behaviour frequencies
+//! extracted from profile data (paper §3.4). [`Obv::delta`] is Eq. 2 —
+//! the Euclidean distance over *increases* only — and [`update_weight`]
+//! is Eq. 3, the multiplicative weight bump normalized by the child's
+//! magnitude.
+
+use crate::rules::{classify, rules};
+use jopt::OptEventKind;
+use std::fmt;
+use std::ops::Index;
+
+/// Number of OBV dimensions.
+pub const DIMS: usize = 19;
+
+/// The 19-dimensional Optimization Behavior Vector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Obv([u64; DIMS]);
+
+impl Obv {
+    /// The zero vector.
+    pub fn zero() -> Obv {
+        Obv::default()
+    }
+
+    /// Builds an OBV by scraping profile-data log lines with the
+    /// extraction rules — the fuzzer's view of the JVM.
+    pub fn from_log<S: AsRef<str>>(lines: &[S]) -> Obv {
+        let rules = rules();
+        let mut obv = Obv::zero();
+        for line in lines {
+            if let Some(kind) = classify(line.as_ref(), &rules) {
+                obv.bump(kind);
+            }
+        }
+        obv
+    }
+
+    /// Builds an OBV from raw optimizer events (ground truth; used by
+    /// analysis and tests, never by the guided fuzzer itself).
+    pub fn from_events(events: &[jopt::OptEvent]) -> Obv {
+        let mut obv = Obv::zero();
+        for e in events {
+            if dim_of(e.kind).is_some() {
+                obv.bump(e.kind);
+            }
+        }
+        obv
+    }
+
+    /// Increments the dimension of `kind` (no-op for the unobservable
+    /// de-reflection kind).
+    pub fn bump(&mut self, kind: OptEventKind) {
+        if let Some(d) = dim_of(kind) {
+            self.0[d] += 1;
+        }
+    }
+
+    /// The count recorded for a behaviour kind.
+    pub fn count(&self, kind: OptEventKind) -> u64 {
+        dim_of(kind).map_or(0, |d| self.0[d])
+    }
+
+    /// Sum over all dimensions.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Number of distinct behaviours observed.
+    pub fn distinct(&self) -> usize {
+        self.0.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Euclidean magnitude ‖OBV‖.
+    pub fn norm(&self) -> f64 {
+        self.0
+            .iter()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Eq. 2: Δ = √( Σᵢ max(0, childᵢ − parentᵢ)² ).
+    ///
+    /// Only increases count; behaviours that *decreased* contribute
+    /// nothing, so Δ measures newly induced optimization activity.
+    pub fn delta(parent: &Obv, child: &Obv) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..DIMS {
+            let inc = child.0[i].saturating_sub(parent.0[i]) as f64;
+            sum += inc * inc;
+        }
+        sum.sqrt()
+    }
+
+    /// Iterates `(kind, count)` in dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = (OptEventKind, u64)> + '_ {
+        OptEventKind::observable().zip(self.0.iter().copied())
+    }
+}
+
+impl Index<usize> for Obv {
+    type Output = u64;
+
+    fn index(&self, i: usize) -> &u64 {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Obv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+fn dim_of(kind: OptEventKind) -> Option<usize> {
+    OptEventKind::observable().position(|k| k == kind)
+}
+
+/// Eq. 3: wₘ ← wₘ · (1 + Δ / ‖OBV_c‖).
+///
+/// Normalizing by the child's magnitude rewards *relative* growth in
+/// behaviour diversity, preventing high-frequency behaviours (e.g.
+/// inlining) from dominating the weights (paper §3.4, "Rationale Behind
+/// the Weighting Scheme"). When the child's OBV is zero, the weight is
+/// unchanged.
+pub fn update_weight(weight: f64, delta: f64, child: &Obv) -> f64 {
+    let norm = child.norm();
+    if norm == 0.0 {
+        weight
+    } else {
+        weight * (1.0 + delta / norm)
+    }
+}
+
+/// Total (unnormalized) behaviour increase between parent and child —
+/// the raw-sum signal of the weighting scheme the paper *rejected*
+/// because high-frequency behaviours (inlining) drown out rare ones.
+/// Kept for the ablation experiment.
+pub fn sum_increase(parent: &Obv, child: &Obv) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..DIMS {
+        sum += child[i].saturating_sub(parent[i]);
+    }
+    sum
+}
+
+/// The rejected raw-sum weight update: the weight grows by the absolute
+/// behaviour increment, unnormalized.
+pub fn update_weight_raw_sum(weight: f64, parent: &Obv, child: &Obv) -> f64 {
+    weight + sum_increase(parent, child) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jopt::OptEventKind::*;
+
+    #[test]
+    fn paper_example_delta() {
+        // §3.4: parent (1,0,0,…), child (2,2,2,0,…) → Δ = 3.
+        let mut parent = Obv::zero();
+        parent.bump(Inline);
+        let mut child = Obv::zero();
+        for _ in 0..2 {
+            child.bump(Inline);
+            child.bump(InlineReject);
+            child.bump(Unroll);
+        }
+        assert_eq!(Obv::delta(&parent, &child), 3.0);
+    }
+
+    #[test]
+    fn delta_ignores_decreases() {
+        let mut parent = Obv::zero();
+        for _ in 0..5 {
+            parent.bump(Unroll);
+        }
+        let child = Obv::zero();
+        assert_eq!(Obv::delta(&parent, &child), 0.0);
+    }
+
+    #[test]
+    fn from_log_counts_frequencies() {
+        let log = vec![
+            "Compiled method T::main",
+            "Unroll 4",
+            "Unroll 2",
+            "Peel 1",
+            "++++ Eliminated: Lock (l)",
+            "noise line",
+        ];
+        let obv = Obv::from_log(&log);
+        assert_eq!(obv.count(Unroll), 2);
+        assert_eq!(obv.count(Peel), 1);
+        assert_eq!(obv.count(LockEliminate), 1);
+        assert_eq!(obv.total(), 4);
+        assert_eq!(obv.distinct(), 3);
+    }
+
+    #[test]
+    fn dereflect_is_invisible() {
+        let mut obv = Obv::zero();
+        obv.bump(Dereflect);
+        assert_eq!(obv.total(), 0);
+        assert_eq!(obv.count(Dereflect), 0);
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let mut obv = Obv::zero();
+        for _ in 0..3 {
+            obv.bump(Unroll);
+        }
+        for _ in 0..4 {
+            obv.bump(Inline);
+        }
+        assert!((obv.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_update_matches_eq3() {
+        let mut child = Obv::zero();
+        for _ in 0..4 {
+            child.bump(Unroll);
+        }
+        for _ in 0..3 {
+            child.bump(Peel);
+        }
+        // ‖child‖ = 5, Δ = 5 → w · 2.
+        let w = update_weight(1.5, 5.0, &child);
+        assert!((w - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_unchanged_on_zero_child() {
+        assert_eq!(update_weight(2.0, 1.0, &Obv::zero()), 2.0);
+    }
+
+    #[test]
+    fn rationale_example_prefers_diversity() {
+        // §3.4 rationale: +100 Inline alone vs. +1 each of three rare
+        // behaviours. The normalized bump must favour the diverse child.
+        let parent = Obv::zero();
+        let mut inline_heavy = Obv::zero();
+        for _ in 0..100 {
+            inline_heavy.bump(Inline);
+        }
+        let mut diverse = Obv::zero();
+        diverse.bump(Unswitch);
+        diverse.bump(LockCoarsen);
+        diverse.bump(NestedLock);
+
+        let w_heavy = update_weight(
+            1.0,
+            Obv::delta(&parent, &inline_heavy),
+            &inline_heavy,
+        );
+        let w_diverse = update_weight(1.0, Obv::delta(&parent, &diverse), &diverse);
+        // Both get boosted, but the diverse child's *relative* boost is
+        // (1 + √3/√3) = 2 while the heavy child's is (1 + 100/100) = 2:
+        // equal relative growth — whereas a raw-sum scheme would favour the
+        // heavy child 100:3. Verify the normalization equalizes them.
+        assert!((w_heavy - w_diverse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_and_index() {
+        let mut obv = Obv::zero();
+        obv.bump(Inline);
+        assert!(obv.to_string().starts_with("(1, "));
+        assert_eq!(obv[0], 1);
+    }
+
+    #[test]
+    fn iter_pairs_kinds_with_counts() {
+        let mut obv = Obv::zero();
+        obv.bump(Unroll);
+        let pairs: Vec<_> = obv.iter().filter(|(_, c)| *c > 0).collect();
+        assert_eq!(pairs, vec![(Unroll, 1)]);
+    }
+}

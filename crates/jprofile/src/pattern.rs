@@ -1,0 +1,154 @@
+//! A minimal regular-expression engine for the extraction rules.
+//!
+//! The paper derives behaviour counts from JVM log text with rules like
+//! `Unroll [0-9]+` (Listing 4). The full generality of a regex crate is
+//! unnecessary — the rules only use literals, the digit class, and `+` —
+//! so this module implements exactly that subset, unanchored, with no
+//! dependencies.
+
+use std::fmt;
+
+/// One element of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Part {
+    /// A literal substring.
+    Lit(String),
+    /// `[0-9]+` — one or more ASCII digits.
+    Digits,
+}
+
+/// A compiled extraction pattern (literals and `[0-9]+` only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    parts: Vec<Part>,
+    source: String,
+}
+
+impl Pattern {
+    /// Compiles a pattern. The only recognized metasyntax is the exact
+    /// token `[0-9]+`; everything else matches literally.
+    pub fn new(source: &str) -> Pattern {
+        let mut parts = Vec::new();
+        let mut rest = source;
+        while !rest.is_empty() {
+            match rest.find("[0-9]+") {
+                Some(0) => {
+                    parts.push(Part::Digits);
+                    rest = &rest["[0-9]+".len()..];
+                }
+                Some(idx) => {
+                    parts.push(Part::Lit(rest[..idx].to_string()));
+                    rest = &rest[idx..];
+                }
+                None => {
+                    parts.push(Part::Lit(rest.to_string()));
+                    rest = "";
+                }
+            }
+        }
+        Pattern {
+            parts,
+            source: source.to_string(),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Unanchored match: does the pattern occur anywhere in `line`?
+    pub fn is_match(&self, line: &str) -> bool {
+        if self.parts.is_empty() {
+            return true;
+        }
+        let bytes = line.as_bytes();
+        (0..=bytes.len()).any(|start| self.match_at(bytes, start))
+    }
+
+    fn match_at(&self, bytes: &[u8], mut pos: usize) -> bool {
+        for (i, part) in self.parts.iter().enumerate() {
+            match part {
+                Part::Lit(lit) => {
+                    let lit = lit.as_bytes();
+                    if pos + lit.len() > bytes.len() || &bytes[pos..pos + lit.len()] != lit {
+                        return false;
+                    }
+                    pos += lit.len();
+                }
+                Part::Digits => {
+                    let run = bytes[pos..]
+                        .iter()
+                        .take_while(|b| b.is_ascii_digit())
+                        .count();
+                    if run == 0 {
+                        return false;
+                    }
+                    // Greedy is fine: no later part can start with a digit
+                    // class here, and a literal starting with a digit after
+                    // `[0-9]+` would be ambiguous — we simply take the full
+                    // run, matching how the rules are written.
+                    if let Some(Part::Lit(_)) = self.parts.get(i + 1) {
+                        pos += run;
+                    } else {
+                        pos += run;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_substring_match() {
+        let p = Pattern::new("Coarsened");
+        assert!(p.is_match("xx Coarsened 2 locks"));
+        assert!(!p.is_match("coarsened"));
+    }
+
+    #[test]
+    fn digit_class_requires_digits() {
+        let p = Pattern::new("Unroll [0-9]+");
+        assert!(p.is_match("Unroll 4"));
+        assert!(p.is_match("Unroll 16(12)"));
+        assert!(p.is_match("  Unroll 2"));
+        assert!(!p.is_match("Unroll "));
+        assert!(!p.is_match("Unrol 4"));
+    }
+
+    #[test]
+    fn digits_then_literal() {
+        let p = Pattern::new("Coarsened [0-9]+ locks");
+        assert!(p.is_match("Coarsened 12 locks in T::main"));
+        assert!(!p.is_match("Coarsened x locks"));
+    }
+
+    #[test]
+    fn unanchored_anywhere() {
+        let p = Pattern::new("is NoEscape");
+        assert!(p.is_match("alloc e is NoEscape"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(Pattern::new("").is_match("anything"));
+    }
+
+    #[test]
+    fn source_roundtrip() {
+        let p = Pattern::new("Peel [0-9]+");
+        assert_eq!(p.source(), "Peel [0-9]+");
+        assert_eq!(p.to_string(), "Peel [0-9]+");
+    }
+}

@@ -1,0 +1,118 @@
+//! The extraction rules: one pattern per observable optimization
+//! behaviour, hand-derived from the trace-line formats the simulated JVMs
+//! print — the analogue of the paper's manual investigation of the 15
+//! flags (§3.4).
+
+use crate::pattern::Pattern;
+use jopt::{OptEventKind, TraceFlag};
+
+/// One extraction rule: a behaviour kind, the flag whose output carries
+/// it, and the matching pattern.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The behaviour this rule detects.
+    pub kind: OptEventKind,
+    /// The flag that must be enabled for the line to be printed at all.
+    pub flag: TraceFlag,
+    /// The line pattern.
+    pub pattern: Pattern,
+}
+
+/// The 19 extraction rules, in OBV dimension order.
+pub fn rules() -> Vec<Rule> {
+    use OptEventKind::*;
+    let rule = |kind: OptEventKind, pattern: &str| Rule {
+        kind,
+        flag: kind.flag().expect("observable kinds have flags"),
+        pattern: Pattern::new(pattern),
+    };
+    vec![
+        rule(Inline, "@ inlined "),
+        rule(InlineReject, "failed to inline"),
+        rule(Unroll, "Unroll [0-9]+"),
+        rule(Peel, "Peel [0-9]+"),
+        rule(Unswitch, "Unswitch [0-9]+"),
+        rule(LockEliminate, "++++ Eliminated: Lock"),
+        rule(LockCoarsen, "Coarsened [0-9]+ locks"),
+        rule(NestedLock, "NestedLock depth "),
+        rule(EaNoEscape, "is NoEscape"),
+        rule(EaArgEscape, "is ArgEscape"),
+        rule(ScalarReplace, "Scalar replaced allocation "),
+        rule(DceRemove, "DCE removed [0-9]+ nodes"),
+        rule(GvnHit, "GVN hit "),
+        rule(AlgebraicSimplify, "Simplified "),
+        rule(ConstFold, "IGVN folded constant "),
+        rule(AutoboxEliminate, "EliminateAutobox "),
+        rule(StoreEliminate, "RedundantStore eliminated "),
+        rule(UncommonTrap, "uncommon_trap reason="),
+        rule(Deopt, "Deoptimize method "),
+    ]
+}
+
+/// Classifies one log line, returning the behaviour it records (if any).
+pub fn classify(line: &str, rules: &[Rule]) -> Option<OptEventKind> {
+    rules
+        .iter()
+        .find(|r| r.pattern.is_match(line))
+        .map(|r| r.kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jopt::{FlagSet, OptEvent};
+
+    #[test]
+    fn nineteen_rules_in_obv_order() {
+        let rules = rules();
+        assert_eq!(rules.len(), 19);
+        let kinds: Vec<_> = rules.iter().map(|r| r.kind).collect();
+        let expected: Vec<_> = OptEventKind::observable().collect();
+        assert_eq!(kinds, expected);
+    }
+
+    #[test]
+    fn every_rendered_log_line_classifies_to_its_kind() {
+        // Round-trip: event → log line → rule → same kind, for every
+        // observable behaviour. This pins the printer and scraper together.
+        let rules = rules();
+        let flags = FlagSet::all();
+        for kind in OptEventKind::observable() {
+            let detail = match kind {
+                OptEventKind::Unroll
+                | OptEventKind::Peel
+                | OptEventKind::Unswitch
+                | OptEventKind::DceRemove
+                | OptEventKind::LockCoarsen => "4".to_string(),
+                OptEventKind::NestedLock => "2@0".to_string(),
+                _ => "x7".to_string(),
+            };
+            let event = OptEvent {
+                kind,
+                method: "T::foo".into(),
+                detail,
+            };
+            let line = event.log_line(&flags).expect("observable event logs");
+            assert_eq!(
+                classify(&line, &rules),
+                Some(kind),
+                "line {line:?} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn unrelated_lines_classify_to_none() {
+        let rules = rules();
+        assert_eq!(classify("Compiled method T::main", &rules), None);
+        assert_eq!(classify("", &rules), None);
+        assert_eq!(classify("hello world", &rules), None);
+    }
+
+    #[test]
+    fn rules_carry_their_flag() {
+        for r in rules() {
+            assert_eq!(Some(r.flag), r.kind.flag());
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! # jreduce — syntax-guided test-case reduction
+//!
+//! The reproduction's stand-in for `perses` (paper §3.5): given a
+//! bug-triggering program and a caller-supplied oracle ("does this
+//! candidate still trigger?"), repeatedly tries syntax-aware shrinking
+//! steps — removing statements, unwrapping compound statements, and
+//! dropping unused methods and fields — keeping every candidate the
+//! oracle accepts, until a fixpoint.
+//!
+//! The oracle receives whole programs; invalid candidates simply fail the
+//! oracle (a JVM run on them reports a verification error), so reduction
+//! never needs its own validity checker.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = mjava::parse(r#"
+//!     class T {
+//!         static void main() {
+//!             int keep = 1;
+//!             int noise = 2;
+//!             System.out.println(keep);
+//!         }
+//!     }
+//! "#).unwrap();
+//! // Oracle: the program still prints "1".
+//! let (reduced, stats) = jreduce::reduce(&program, &mut |p| {
+//!     jexec::run_program(p, &jexec::ExecConfig::default())
+//!         .map(|o| o.output == vec!["1"])
+//!         .unwrap_or(false)
+//! });
+//! assert!(stats.accepted > 0);
+//! assert!(!mjava::print(&reduced).contains("noise"));
+//! ```
+
+use mjava::path::{all_paths, region_of, regions_of, remove_stmt, replace_stmt, stmt_at};
+use mjava::{Expr, Program, Stmt};
+use std::collections::HashSet;
+
+/// Counters describing one reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Oracle invocations.
+    pub oracle_calls: u64,
+    /// Accepted shrinking steps.
+    pub accepted: u64,
+    /// Statements in the input program.
+    pub before_stmts: usize,
+    /// Statements in the reduced program.
+    pub after_stmts: usize,
+}
+
+/// Reduces `program` while `oracle` keeps returning true.
+///
+/// The oracle must accept the original program; otherwise the input is
+/// returned unchanged.
+pub fn reduce(
+    program: &Program,
+    oracle: &mut dyn FnMut(&Program) -> bool,
+) -> (Program, ReduceStats) {
+    let mut stats = ReduceStats {
+        before_stmts: program.stmt_count(),
+        ..ReduceStats::default()
+    };
+    stats.oracle_calls += 1;
+    if !oracle(program) {
+        stats.after_stmts = stats.before_stmts;
+        return (program.clone(), stats);
+    }
+    let mut current = program.clone();
+    loop {
+        let mut changed = false;
+        changed |= shrink_statements(&mut current, oracle, &mut stats);
+        changed |= drop_unused_members(&mut current, oracle, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    stats.after_stmts = current.stmt_count();
+    (current, stats)
+}
+
+/// One pass of statement-level shrinking: try to delete or unwrap each
+/// statement, biggest subtrees first. Returns true if anything shrank.
+fn shrink_statements(
+    current: &mut Program,
+    oracle: &mut dyn FnMut(&Program) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut any = false;
+    'retry: loop {
+        let mut paths = all_paths(current);
+        // Biggest subtrees first: deleting an outer loop beats deleting
+        // its body statements one by one.
+        paths.sort_by_key(|p| {
+            std::cmp::Reverse(stmt_at(current, p).map_or(0, subtree_size))
+        });
+        for path in paths {
+            // Candidate 1: delete the statement outright.
+            let mut candidate = current.clone();
+            if remove_stmt(&mut candidate, &path).is_some() {
+                stats.oracle_calls += 1;
+                if oracle(&candidate) {
+                    *current = candidate;
+                    stats.accepted += 1;
+                    any = true;
+                    continue 'retry;
+                }
+            }
+            // Candidate 2: unwrap a compound statement into its body.
+            let Some(stmt) = stmt_at(current, &path) else {
+                continue;
+            };
+            for region in regions_of(stmt) {
+                let Some(block) = region_of(stmt, region) else {
+                    continue;
+                };
+                let replacement = block.0.clone();
+                let mut candidate = current.clone();
+                if replace_stmt(&mut candidate, &path, replacement) {
+                    stats.oracle_calls += 1;
+                    if oracle(&candidate) {
+                        *current = candidate;
+                        stats.accepted += 1;
+                        any = true;
+                        continue 'retry;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    any
+}
+
+/// Drops methods no one calls and fields no one references.
+fn drop_unused_members(
+    current: &mut Program,
+    oracle: &mut dyn FnMut(&Program) -> bool,
+    stats: &mut ReduceStats,
+) -> bool {
+    let mut any = false;
+    let used = used_names(current);
+    // Methods.
+    let method_targets: Vec<(usize, String)> = current
+        .classes
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| {
+            c.methods
+                .iter()
+                .filter(|m| m.name != "main" && !used.contains(&m.name))
+                .map(move |m| (ci, m.name.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (ci, name) in method_targets {
+        let mut candidate = current.clone();
+        candidate.classes[ci].methods.retain(|m| m.name != name);
+        stats.oracle_calls += 1;
+        if oracle(&candidate) {
+            *current = candidate;
+            stats.accepted += 1;
+            any = true;
+        }
+    }
+    // Fields.
+    let used = used_names(current);
+    let field_targets: Vec<(usize, String)> = current
+        .classes
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| {
+            c.fields
+                .iter()
+                .filter(|f| !used.contains(&f.name))
+                .map(move |f| (ci, f.name.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (ci, name) in field_targets {
+        let mut candidate = current.clone();
+        candidate.classes[ci].fields.retain(|f| f.name != name);
+        stats.oracle_calls += 1;
+        if oracle(&candidate) {
+            *current = candidate;
+            stats.accepted += 1;
+            any = true;
+        }
+    }
+    any
+}
+
+fn subtree_size(stmt: &Stmt) -> usize {
+    let mut n = 1;
+    for region in regions_of(stmt) {
+        if let Some(b) = region_of(stmt, region) {
+            n += b.0.iter().map(subtree_size).sum::<usize>();
+        }
+    }
+    n
+}
+
+/// Every identifier that appears anywhere in expressions, call targets,
+/// or member references — the conservative "might be used" set.
+fn used_names(program: &Program) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for class in &program.classes {
+        for method in &class.methods {
+            collect_block(&method.body, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_block(block: &mjava::Block, out: &mut HashSet<String>) {
+    for stmt in &block.0 {
+        collect_stmt(stmt, out);
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, out: &mut HashSet<String>) {
+    use mjava::LValue;
+    match stmt {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                collect_expr(e, out);
+            }
+        }
+        Stmt::Assign { target, value } => {
+            match target {
+                LValue::Var(n) => {
+                    out.insert(n.clone());
+                }
+                LValue::Field(obj, n) => {
+                    collect_expr(obj, out);
+                    out.insert(n.clone());
+                }
+                LValue::StaticField(_, n) => {
+                    out.insert(n.clone());
+                }
+            }
+            collect_expr(value, out);
+        }
+        Stmt::Expr(e) | Stmt::Print(e) => collect_expr(e, out),
+        Stmt::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            collect_expr(cond, out);
+            collect_block(then_b, out);
+            if let Some(b) = else_b {
+                collect_block(b, out);
+            }
+        }
+        Stmt::While { cond, body } => {
+            collect_expr(cond, out);
+            collect_block(body, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            if let Some(i) = init {
+                collect_stmt(i, out);
+            }
+            collect_expr(cond, out);
+            if let Some(u) = update {
+                collect_stmt(u, out);
+            }
+            collect_block(body, out);
+        }
+        Stmt::Sync { lock, body } => {
+            collect_expr(lock, out);
+            collect_block(body, out);
+        }
+        Stmt::Block(b) => collect_block(b, out),
+        Stmt::Return(Some(e)) => collect_expr(e, out),
+        Stmt::Return(None) => {}
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::Var(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Unary(_, inner) | Expr::BoxInt(inner) | Expr::UnboxInt(inner) => {
+            collect_expr(inner, out)
+        }
+        Expr::Binary(_, l, r) => {
+            collect_expr(l, out);
+            collect_expr(r, out);
+        }
+        Expr::Call(call) => {
+            out.insert(call.method.clone());
+            if let mjava::CallTarget::Instance(recv) = &call.target {
+                collect_expr(recv, out);
+            }
+            for a in &call.args {
+                collect_expr(a, out);
+            }
+        }
+        Expr::Reflect(r) => {
+            out.insert(r.method.clone());
+            if let Some(recv) = &r.receiver {
+                collect_expr(recv, out);
+            }
+            for a in &r.args {
+                collect_expr(a, out);
+            }
+        }
+        Expr::Field(obj, n) => {
+            collect_expr(obj, out);
+            out.insert(n.clone());
+        }
+        Expr::StaticField(_, n) => {
+            out.insert(n.clone());
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output_oracle(expected: &'static [&'static str]) -> impl FnMut(&Program) -> bool {
+        move |p: &Program| {
+            jexec::run_program(p, &jexec::ExecConfig::default())
+                .map(|o| o.output == expected)
+                .unwrap_or(false)
+        }
+    }
+
+    #[test]
+    fn removes_noise_statements() {
+        let p = mjava::parse(
+            r#"
+            class T {
+                static int s;
+                static void main() {
+                    int a = 1;
+                    int b = 2;
+                    s = s + 40;
+                    int c = a + b;
+                    s = s + 2;
+                    System.out.println(s);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut oracle = output_oracle(&["42"]);
+        let (reduced, stats) = reduce(&p, &mut oracle);
+        let printed = mjava::print(&reduced);
+        assert!(!printed.contains("int a"), "{printed}");
+        assert!(!printed.contains("int c"), "{printed}");
+        assert!(stats.after_stmts < stats.before_stmts);
+    }
+
+    #[test]
+    fn unwraps_pointless_wrappers() {
+        let p = mjava::parse(
+            r#"
+            class T {
+                static void main() {
+                    synchronized (T.class) {
+                        if (1 < 2) {
+                            System.out.println(5);
+                        }
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut oracle = output_oracle(&["5"]);
+        let (reduced, _) = reduce(&p, &mut oracle);
+        let printed = mjava::print(&reduced);
+        assert!(!printed.contains("synchronized"), "{printed}");
+        assert!(!printed.contains("if ("), "{printed}");
+    }
+
+    #[test]
+    fn drops_unused_methods_and_fields() {
+        let p = mjava::parse(
+            r#"
+            class T {
+                int unusedField;
+                static int helper(int x) { return x; }
+                static void main() { System.out.println(3); }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut oracle = output_oracle(&["3"]);
+        let (reduced, _) = reduce(&p, &mut oracle);
+        assert!(reduced.classes[0].methods.len() == 1);
+        assert!(reduced.classes[0].fields.is_empty());
+    }
+
+    #[test]
+    fn returns_input_when_oracle_rejects_original() {
+        let p = mjava::parse("class T { static void main() { } }").unwrap();
+        let (reduced, stats) = reduce(&p, &mut |_| false);
+        assert_eq!(reduced, p);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.oracle_calls, 1);
+    }
+
+    #[test]
+    fn preserves_the_triggering_property() {
+        // Oracle: output still contains the marker value. Everything not
+        // needed for it must go; what remains must still satisfy it.
+        let p = mjava::parse(
+            r#"
+            class T {
+                static int s;
+                static void pad() { s = s + 0; }
+                static void main() {
+                    for (int i = 0; i < 10; i++) { T.pad(); }
+                    int x = 9 * 9;
+                    System.out.println(x);
+                    System.out.println(81);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut oracle = |p: &Program| {
+            jexec::run_program(p, &jexec::ExecConfig::default())
+                .map(|o| o.output.contains(&"81".to_string()))
+                .unwrap_or(false)
+        };
+        let (reduced, stats) = reduce(&p, &mut oracle);
+        assert!(oracle(&reduced), "reduction broke the property");
+        assert!(stats.after_stmts <= 2, "{}", mjava::print(&reduced));
+    }
+}

@@ -1,0 +1,149 @@
+//! JIT-component taxonomy for bug attribution and coverage accounting.
+//!
+//! The component lists mirror the paper's Table 4 (HotSpot components on
+//! the left, OpenJ9 on the right) plus the four coarse coverage components
+//! of Figure 2 (C1, C2, Runtime, GC).
+
+use std::fmt;
+
+/// A coarse JVM area used for coverage accounting (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Area {
+    /// The client compiler tier.
+    C1,
+    /// The server compiler tier.
+    C2,
+    /// Interpreter + VM runtime.
+    Runtime,
+    /// Garbage collection.
+    Gc,
+}
+
+impl Area {
+    /// All four areas in display order.
+    pub const ALL: [Area; 4] = [Area::C1, Area::C2, Area::Runtime, Area::Gc];
+
+    /// Total instrumented blocks of the area (the denominator of the
+    /// coverage percentage).
+    pub fn total_blocks(&self) -> u32 {
+        match self {
+            Area::C1 => 320,
+            Area::C2 => 1000,
+            Area::Runtime => 96,
+            Area::Gc => 72,
+        }
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Area::C1 => "C1",
+            Area::C2 => "C2",
+            Area::Runtime => "Runtime",
+            Area::Gc => "GC",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A fine-grained JIT component, the unit of bug attribution (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    // HotSpur (HotSpot-analogue) components.
+    GlobalValueNumberingC2,
+    IdealLoopOptimizationC2,
+    CodeGenerationC2,
+    IdealGraphBuildingC2,
+    MacroExpansionC2,
+    CondConstPropagationC2,
+    RegisterAllocationC2,
+    ValueMappingC1,
+    HotSpurRuntime,
+    OtherJit,
+    // J9 components.
+    RedundancyElimination,
+    LoopOptimization,
+    PatternRecognition,
+    DeadCodeElimination,
+    EscapeAnalysisJ9,
+    SimdSupport,
+    ValuePropagation,
+    J9Runtime,
+}
+
+impl Component {
+    /// Paper-style display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::GlobalValueNumberingC2 => "Global Value Number., C2",
+            Component::IdealLoopOptimizationC2 => "Ideal Loop Optimizat., C2",
+            Component::CodeGenerationC2 => "Code Generation, C2",
+            Component::IdealGraphBuildingC2 => "Ideal Graph Building, C2",
+            Component::MacroExpansionC2 => "Macro Expansion, C2",
+            Component::CondConstPropagationC2 => "Cond. Const. Prop., C2",
+            Component::RegisterAllocationC2 => "Register Allocation, C2",
+            Component::ValueMappingC1 => "Value Mapping, C1",
+            Component::HotSpurRuntime => "Runtime",
+            Component::OtherJit => "Other JIT Compone.",
+            Component::RedundancyElimination => "Redundancy Elimination",
+            Component::LoopOptimization => "Loop Optimization",
+            Component::PatternRecognition => "Pattern Recognition",
+            Component::DeadCodeElimination => "Dead Code Elimination",
+            Component::EscapeAnalysisJ9 => "Escape Analysis",
+            Component::SimdSupport => "SIMD Support",
+            Component::ValuePropagation => "Value propagation",
+            Component::J9Runtime => "Runtime",
+        }
+    }
+
+    /// True for components of the HotSpur family.
+    pub fn is_hotspur(&self) -> bool {
+        matches!(
+            self,
+            Component::GlobalValueNumberingC2
+                | Component::IdealLoopOptimizationC2
+                | Component::CodeGenerationC2
+                | Component::IdealGraphBuildingC2
+                | Component::MacroExpansionC2
+                | Component::CondConstPropagationC2
+                | Component::RegisterAllocationC2
+                | Component::ValueMappingC1
+                | Component::HotSpurRuntime
+                | Component::OtherJit
+        )
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_have_positive_totals() {
+        for a in Area::ALL {
+            assert!(a.total_blocks() > 0, "{a}");
+        }
+    }
+
+    #[test]
+    fn component_family_split() {
+        assert!(Component::MacroExpansionC2.is_hotspur());
+        assert!(!Component::RedundancyElimination.is_hotspur());
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(
+            Component::GlobalValueNumberingC2.label(),
+            "Global Value Number., C2"
+        );
+        assert_eq!(Component::J9Runtime.label(), "Runtime");
+    }
+}

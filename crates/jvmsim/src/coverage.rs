@@ -1,0 +1,127 @@
+//! Block-coverage accounting over the four JVM areas.
+//!
+//! The substitute for the paper's `--enable-native-coverage` builds: every
+//! optimizer phase and runtime facility owns a range of block ids; an
+//! execution marks the blocks it touches, and campaigns union the maps.
+
+use crate::component::Area;
+use std::collections::HashSet;
+
+/// Coverage over the four areas (C1, C2, Runtime, GC).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    c1: HashSet<u32>,
+    c2: HashSet<u32>,
+    runtime: HashSet<u32>,
+    gc: HashSet<u32>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Marks one block of an area.
+    pub fn mark(&mut self, area: Area, block: u32) {
+        self.set_mut(area).insert(block % area_cap(area));
+    }
+
+    /// Marks many blocks of an area.
+    pub fn mark_all(&mut self, area: Area, blocks: impl IntoIterator<Item = u32>) {
+        for b in blocks {
+            self.mark(area, b);
+        }
+    }
+
+    /// Unions another map into this one.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.c1.extend(&other.c1);
+        self.c2.extend(&other.c2);
+        self.runtime.extend(&other.runtime);
+        self.gc.extend(&other.gc);
+    }
+
+    /// Number of covered blocks in an area.
+    pub fn covered(&self, area: Area) -> u32 {
+        self.set(area).len() as u32
+    }
+
+    /// Covered fraction of an area, in percent.
+    pub fn percent(&self, area: Area) -> f64 {
+        100.0 * self.covered(area) as f64 / area.total_blocks() as f64
+    }
+
+    /// Average percentage over the four areas — the paper's "Summary" bar.
+    pub fn summary_percent(&self) -> f64 {
+        Area::ALL.iter().map(|&a| self.percent(a)).sum::<f64>() / Area::ALL.len() as f64
+    }
+
+    fn set(&self, area: Area) -> &HashSet<u32> {
+        match area {
+            Area::C1 => &self.c1,
+            Area::C2 => &self.c2,
+            Area::Runtime => &self.runtime,
+            Area::Gc => &self.gc,
+        }
+    }
+
+    fn set_mut(&mut self, area: Area) -> &mut HashSet<u32> {
+        match area {
+            Area::C1 => &mut self.c1,
+            Area::C2 => &mut self.c2,
+            Area::Runtime => &mut self.runtime,
+            Area::Gc => &mut self.gc,
+        }
+    }
+}
+
+/// Blocks are clamped into the area's instrumented range so percentages
+/// never exceed 100.
+fn area_cap(area: Area) -> u32 {
+    area.total_blocks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_percent() {
+        let mut m = CoverageMap::new();
+        m.mark(Area::Runtime, 0);
+        m.mark(Area::Runtime, 1);
+        m.mark(Area::Runtime, 1); // duplicate
+        assert_eq!(m.covered(Area::Runtime), 2);
+        let expected = 100.0 * 2.0 / Area::Runtime.total_blocks() as f64;
+        assert!((m.percent(Area::Runtime) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_wrap_into_range() {
+        let mut m = CoverageMap::new();
+        m.mark(Area::Gc, Area::Gc.total_blocks() + 5);
+        m.mark(Area::Gc, 5);
+        assert_eq!(m.covered(Area::Gc), 1);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = CoverageMap::new();
+        a.mark(Area::C2, 1);
+        let mut b = CoverageMap::new();
+        b.mark(Area::C2, 2);
+        b.mark(Area::C1, 3);
+        a.merge(&b);
+        assert_eq!(a.covered(Area::C2), 2);
+        assert_eq!(a.covered(Area::C1), 1);
+    }
+
+    #[test]
+    fn summary_averages_areas() {
+        let mut m = CoverageMap::new();
+        m.mark_all(Area::Gc, 0..Area::Gc.total_blocks());
+        assert!((m.percent(Area::Gc) - 100.0).abs() < 1e-9);
+        assert!((m.summary_percent() - 25.0).abs() < 1e-9);
+    }
+}

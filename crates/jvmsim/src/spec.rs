@@ -1,0 +1,231 @@
+//! Simulated JVM implementations and versions.
+//!
+//! Two families stand in for the paper's targets: **HotSpur** (the
+//! HotSpot/OpenJDK analogue, LTS versions 8/11/17/21 plus the mainline)
+//! and **J9** (the OpenJ9 analogue, versions 8/11/17). Families and
+//! versions differ in phase order, tier thresholds, optimizer limits, and
+//! — crucially — in which injected bugs they carry, so differential
+//! testing across them is meaningful.
+
+use jopt::{OptLimits, PhaseId};
+use std::fmt;
+
+/// JVM implementation family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// The HotSpot/OpenJDK analogue.
+    HotSpur,
+    /// The OpenJ9 analogue.
+    J9,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Family::HotSpur => write!(f, "HotSpur"),
+            Family::J9 => write!(f, "J9"),
+        }
+    }
+}
+
+/// JVM version: the LTS line plus the development mainline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Version {
+    V8,
+    V11,
+    V17,
+    V21,
+    /// The development mainline (23 at the paper's time).
+    Mainline,
+}
+
+impl Version {
+    /// All versions, oldest first.
+    pub const ALL: [Version; 5] = [
+        Version::V8,
+        Version::V11,
+        Version::V17,
+        Version::V21,
+        Version::Mainline,
+    ];
+
+    /// Display number ("8", "11", …, "23").
+    pub fn number(&self) -> &'static str {
+        match self {
+            Version::V8 => "8",
+            Version::V11 => "11",
+            Version::V17 => "17",
+            Version::V21 => "21",
+            Version::Mainline => "23",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if matches!(self, Version::Mainline) {
+            write!(f, "mainline")
+        } else {
+            write!(f, "{}", self.number())
+        }
+    }
+}
+
+/// The full configuration of one simulated JVM.
+#[derive(Debug, Clone)]
+pub struct JvmSpec {
+    /// Implementation family.
+    pub family: Family,
+    /// Version.
+    pub version: Version,
+    /// Invocation count promoting a method to the C1 tier.
+    pub c1_threshold: u64,
+    /// Invocation count promoting a method to the C2 tier.
+    pub c2_threshold: u64,
+    /// Back-edge count promoting a method (OSR analogue).
+    pub backedge_threshold: u64,
+    /// Phase order of the C1 tier (a cheap subset).
+    pub c1_phases: Vec<PhaseId>,
+    /// Phase order of the C2 tier.
+    pub c2_phases: Vec<PhaseId>,
+    /// Optimizer limits.
+    pub limits: OptLimits,
+    /// Whether the version's injected bugs are armed. Disable to obtain a
+    /// reference ("fixed") JVM for semantics testing.
+    pub bugs_armed: bool,
+}
+
+impl JvmSpec {
+    /// A HotSpur JVM of the given version.
+    pub fn hotspur(version: Version) -> JvmSpec {
+        let mut c2 = PhaseId::DEFAULT_ORDER.to_vec();
+        // Version differences: V8 lacks de-reflection; V8/V11 run the
+        // autobox eliminator before GVN (older pipeline shape).
+        match version {
+            Version::V8 => {
+                c2.retain(|p| *p != PhaseId::Dereflect);
+            }
+            Version::V11 => {
+                c2.retain(|p| *p != PhaseId::Autobox);
+                let gvn = c2.iter().position(|p| *p == PhaseId::Gvn).expect("gvn");
+                c2.insert(gvn, PhaseId::Autobox);
+            }
+            _ => {}
+        }
+        let rounds = match version {
+            Version::V8 | Version::V11 => 2,
+            _ => 3,
+        };
+        JvmSpec {
+            family: Family::HotSpur,
+            version,
+            c1_threshold: 200,
+            c2_threshold: 1_000,
+            backedge_threshold: 2_000,
+            c1_phases: vec![PhaseId::Gvn, PhaseId::Store, PhaseId::Dce],
+            c2_phases: c2,
+            limits: OptLimits {
+                rounds,
+                ..OptLimits::default()
+            },
+            bugs_armed: true,
+        }
+    }
+
+    /// A J9 JVM of the given version (J9 ships 8, 11 and 17).
+    pub fn j9(version: Version) -> JvmSpec {
+        let c2 = vec![
+            PhaseId::Inline,
+            PhaseId::Gvn,
+            PhaseId::Dereflect,
+            PhaseId::Escape,
+            PhaseId::Locks,
+            PhaseId::Loops,
+            PhaseId::Store,
+            PhaseId::Dce,
+            PhaseId::Autobox,
+            PhaseId::Deopt,
+        ];
+        JvmSpec {
+            family: Family::J9,
+            version,
+            c1_threshold: 150,
+            c2_threshold: 800,
+            backedge_threshold: 1_500,
+            c1_phases: vec![PhaseId::Gvn, PhaseId::Dce],
+            c2_phases: c2,
+            limits: OptLimits {
+                rounds: 2,
+                unroll_limit: 4,
+                ..OptLimits::default()
+            },
+            bugs_armed: true,
+        }
+    }
+
+    /// The default differential-testing pool: all HotSpur LTS + mainline
+    /// versions and the three J9 versions — the paper's §3.5 setup.
+    pub fn differential_pool() -> Vec<JvmSpec> {
+        let mut pool: Vec<JvmSpec> = Version::ALL.iter().map(|&v| JvmSpec::hotspur(v)).collect();
+        for v in [Version::V8, Version::V11, Version::V17] {
+            pool.push(JvmSpec::j9(v));
+        }
+        pool
+    }
+
+    /// A copy with injected bugs disarmed — a hypothetical fully-fixed JVM,
+    /// used as the reference in semantics-preservation tests.
+    pub fn without_bugs(mut self) -> JvmSpec {
+        self.bugs_armed = false;
+        self
+    }
+
+    /// Short display name, e.g. `HotSpur-17`.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.family, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspur_v8_lacks_dereflection() {
+        let spec = JvmSpec::hotspur(Version::V8);
+        assert!(!spec.c2_phases.contains(&PhaseId::Dereflect));
+        assert!(JvmSpec::hotspur(Version::V17)
+            .c2_phases
+            .contains(&PhaseId::Dereflect));
+    }
+
+    #[test]
+    fn families_differ_in_phase_order() {
+        let hs = JvmSpec::hotspur(Version::V17);
+        let j9 = JvmSpec::j9(Version::V17);
+        assert_ne!(hs.c2_phases, j9.c2_phases);
+        assert_ne!(hs.limits.unroll_limit, j9.limits.unroll_limit);
+    }
+
+    #[test]
+    fn differential_pool_has_eight_jvms() {
+        let pool = JvmSpec::differential_pool();
+        assert_eq!(pool.len(), 8);
+        assert_eq!(
+            pool.iter().filter(|s| s.family == Family::HotSpur).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(JvmSpec::hotspur(Version::Mainline).name(), "HotSpur-mainline");
+        assert_eq!(JvmSpec::j9(Version::V8).name(), "J9-8");
+    }
+
+    #[test]
+    fn without_bugs_disarms() {
+        let spec = JvmSpec::hotspur(Version::V17).without_bugs();
+        assert!(!spec.bugs_armed);
+    }
+}

@@ -1,0 +1,675 @@
+//! Abstract syntax tree for MiniJava, the Java subset that MopFuzzer's
+//! optimization-evoking mutators transform.
+//!
+//! The subset deliberately covers exactly the constructs the paper's 13
+//! mutators need: classes with static/instance fields and methods,
+//! `synchronized` blocks and methods, counted `for` loops, `while` loops,
+//! branches, autoboxing (`Integer.valueOf` / `intValue`), reflective calls
+//! (`Class.forName("T").getDeclaredMethod("f").invoke(..)`), and integer
+//! arithmetic.
+
+use std::fmt;
+
+/// A MiniJava type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 32-bit integer, stored as `i64` internally but wrapped to 32 bits.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// Boolean.
+    Bool,
+    /// Boxed integer (`java.lang.Integer`).
+    Integer,
+    /// Reference to a user class by name.
+    Ref(String),
+    /// No value; only valid as a method return type.
+    Void,
+}
+
+impl Type {
+    /// Returns true if the type is a primitive numeric type (`int` or `long`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Long)
+    }
+
+    /// Returns true if values of this type live on the heap.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Integer | Type::Ref(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Long => write!(f, "long"),
+            Type::Bool => write!(f, "boolean"),
+            Type::Integer => write!(f, "Integer"),
+            Type::Ref(name) => write!(f, "{name}"),
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Boolean negation `!e`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// A binary operator. MiniJava has no short-circuit operators; `&`, `|` and
+/// `^` operate on both integers and booleans as in Java.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// Returns true for operators producing a boolean result.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Returns true for arithmetic operators (including bitwise and shifts).
+    pub fn is_arithmetic(&self) -> bool {
+        !self.is_comparison()
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The target of a direct (non-reflective) method call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CallTarget {
+    /// `ClassName.method(..)`.
+    Static(String),
+    /// `expr.method(..)`.
+    Instance(Box<Expr>),
+}
+
+/// A direct method call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Call {
+    /// Receiver of the call.
+    pub target: CallTarget,
+    /// Method name.
+    pub method: String,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// A reflective call, printed as
+/// `Class.forName("C").getDeclaredMethod("m").invoke(recv, args..)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Reflect {
+    /// Class name looked up via `Class.forName`.
+    pub class: String,
+    /// Method name looked up via `getDeclaredMethod`.
+    pub method: String,
+    /// Receiver expression; `None` for static methods (printed as `null`).
+    pub receiver: Option<Box<Expr>>,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// A MiniJava expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// `int` literal.
+    Int(i64),
+    /// `long` literal, printed with an `L` suffix.
+    Long(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// The `this` reference (only valid in instance methods).
+    This,
+    /// Local variable or parameter reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Direct method call.
+    Call(Call),
+    /// Reflective method call.
+    Reflect(Reflect),
+    /// Instance field access `expr.field`.
+    Field(Box<Expr>, String),
+    /// Static field access `ClassName.field`.
+    StaticField(String, String),
+    /// Object allocation `new ClassName()`.
+    New(String),
+    /// Autoboxing `Integer.valueOf(e)`.
+    BoxInt(Box<Expr>),
+    /// Unboxing `e.intValue()`.
+    UnboxInt(Box<Expr>),
+    /// Class literal `ClassName.class`, usable as a lock object.
+    ClassLit(String),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a local-variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Returns true if the expression is a literal constant.
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self,
+            Expr::Int(_) | Expr::Long(_) | Expr::Bool(_) | Expr::Null
+        )
+    }
+}
+
+/// The left-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LValue {
+    /// Local variable.
+    Var(String),
+    /// Instance field `expr.field`.
+    Field(Expr, String),
+    /// Static field `ClassName.field`.
+    StaticField(String, String),
+}
+
+/// A MiniJava statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// Local variable declaration, optionally with an initializer.
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer expression.
+        init: Option<Expr>,
+    },
+    /// Assignment `target = value;`.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// Expression statement (a call evaluated for effect).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_b: Block,
+        /// Optional else branch.
+        else_b: Option<Block>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// Counted `for` loop. `init` and `update` are restricted to
+    /// declarations/assignments, which is all the mutators generate.
+    For {
+        /// Loop initializer.
+        init: Option<Box<Stmt>>,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop update statement.
+        update: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `synchronized (lock) { .. }`.
+    Sync {
+        /// Monitor object expression.
+        lock: Expr,
+        /// Protected body.
+        body: Block,
+    },
+    /// A free-standing block `{ .. }`.
+    Block(Block),
+    /// `return;` or `return expr;`.
+    Return(Option<Expr>),
+    /// `System.out.println(expr);` — the observable program output used by
+    /// the differential oracle.
+    Print(Expr),
+}
+
+impl Stmt {
+    /// Short lowercase tag for diagnostics and statistics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Stmt::Decl { .. } => "decl",
+            Stmt::Assign { .. } => "assign",
+            Stmt::Expr(_) => "expr",
+            Stmt::If { .. } => "if",
+            Stmt::While { .. } => "while",
+            Stmt::For { .. } => "for",
+            Stmt::Sync { .. } => "sync",
+            Stmt::Block(_) => "block",
+            Stmt::Return(_) => "return",
+            Stmt::Print(_) => "print",
+        }
+    }
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Block(pub Vec<Stmt>);
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Block {
+        Block(Vec::new())
+    }
+
+    /// Number of statements directly in this block.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns true if the block has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<Stmt>> for Block {
+    fn from(stmts: Vec<Stmt>) -> Block {
+        Block(stmts)
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<I: IntoIterator<Item = Stmt>>(iter: I) -> Block {
+        Block(iter.into_iter().collect())
+    }
+}
+
+/// A method parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A method definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// True for `static` methods.
+    pub is_static: bool,
+    /// True for `synchronized` methods.
+    pub is_sync: bool,
+    /// Method body.
+    pub body: Block,
+}
+
+impl Method {
+    /// Creates a new non-synchronized method.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<Param>,
+        ret: Type,
+        is_static: bool,
+        body: Block,
+    ) -> Method {
+        Method {
+            name: name.into(),
+            params,
+            ret,
+            is_static,
+            is_sync: false,
+            body,
+        }
+    }
+}
+
+/// A field definition. Initializers are restricted to literals so class
+/// loading needs no evaluation order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// True for `static` fields.
+    pub is_static: bool,
+    /// Optional literal initializer.
+    pub init: Option<Expr>,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Class {
+    /// Class name.
+    pub name: String,
+    /// Field definitions.
+    pub fields: Vec<Field>,
+    /// Method definitions.
+    pub methods: Vec<Method>,
+}
+
+impl Class {
+    /// Creates an empty class.
+    pub fn new(name: impl Into<String>) -> Class {
+        Class {
+            name: name.into(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a method by name, mutably.
+    pub fn method_mut(&mut self, name: &str) -> Option<&mut Method> {
+        self.methods.iter_mut().find(|m| m.name == name)
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A whole MiniJava program: one or more classes, one of which must define
+/// `static void main()`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Program {
+    /// Class definitions.
+    pub classes: Vec<Class>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&Class> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a class by name, mutably.
+    pub fn class_mut(&mut self, name: &str) -> Option<&mut Class> {
+        self.classes.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Finds the `(class index, method index)` of `static main`, if any.
+    pub fn main_method(&self) -> Option<(usize, usize)> {
+        for (ci, class) in self.classes.iter().enumerate() {
+            for (mi, method) in class.methods.iter().enumerate() {
+                if method.name == "main" && method.is_static {
+                    return Some((ci, mi));
+                }
+            }
+        }
+        None
+    }
+
+    /// Generates an identifier with the given prefix that collides with no
+    /// identifier currently used anywhere in the program.
+    ///
+    /// Mutators use this to introduce fresh locals, fields and helper
+    /// methods without tracking allocation state between iterations.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let used = self.collect_identifiers();
+        let mut n = 0usize;
+        loop {
+            let candidate = format!("{prefix}{n}");
+            if !used.contains(&candidate) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
+    fn collect_identifiers(&self) -> std::collections::HashSet<String> {
+        let mut out = std::collections::HashSet::new();
+        for class in &self.classes {
+            out.insert(class.name.clone());
+            for field in &class.fields {
+                out.insert(field.name.clone());
+            }
+            for method in &class.methods {
+                out.insert(method.name.clone());
+                for p in &method.params {
+                    out.insert(p.name.clone());
+                }
+                collect_block_idents(&method.body, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Total number of statements in the program (all nesting levels).
+    pub fn stmt_count(&self) -> usize {
+        self.classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| count_block(&m.body))
+            .sum()
+    }
+}
+
+fn count_block(block: &Block) -> usize {
+    block.0.iter().map(count_stmt).sum()
+}
+
+fn count_stmt(stmt: &Stmt) -> usize {
+    1 + match stmt {
+        Stmt::If {
+            then_b, else_b, ..
+        } => count_block(then_b) + else_b.as_ref().map_or(0, count_block),
+        Stmt::While { body, .. } | Stmt::Sync { body, .. } => count_block(body),
+        Stmt::For {
+            init, update, body, ..
+        } => {
+            init.as_deref().map_or(0, count_stmt)
+                + update.as_deref().map_or(0, count_stmt)
+                + count_block(body)
+        }
+        Stmt::Block(b) => count_block(b),
+        _ => 0,
+    }
+}
+
+fn collect_block_idents(block: &Block, out: &mut std::collections::HashSet<String>) {
+    for stmt in &block.0 {
+        collect_stmt_idents(stmt, out);
+    }
+}
+
+fn collect_stmt_idents(stmt: &Stmt, out: &mut std::collections::HashSet<String>) {
+    match stmt {
+        Stmt::Decl { name, .. } => {
+            out.insert(name.clone());
+        }
+        Stmt::Assign { target, .. } => {
+            if let LValue::Var(name) = target {
+                out.insert(name.clone());
+            }
+        }
+        Stmt::If {
+            then_b, else_b, ..
+        } => {
+            collect_block_idents(then_b, out);
+            if let Some(e) = else_b {
+                collect_block_idents(e, out);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::Sync { body, .. } => collect_block_idents(body, out),
+        Stmt::For {
+            init, update, body, ..
+        } => {
+            if let Some(i) = init {
+                collect_stmt_idents(i, out);
+            }
+            if let Some(u) = update {
+                collect_stmt_idents(u, out);
+            }
+            collect_block_idents(body, out);
+        }
+        Stmt::Block(b) => collect_block_idents(b, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        let mut class = Class::new("T");
+        class.methods.push(Method::new(
+            "main",
+            vec![],
+            Type::Void,
+            true,
+            Block(vec![
+                Stmt::Decl {
+                    name: "x".into(),
+                    ty: Type::Int,
+                    init: Some(Expr::Int(1)),
+                },
+                Stmt::Print(Expr::var("x")),
+            ]),
+        ));
+        Program {
+            classes: vec![class],
+        }
+    }
+
+    #[test]
+    fn main_method_found() {
+        let p = tiny_program();
+        assert_eq!(p.main_method(), Some((0, 0)));
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let p = tiny_program();
+        let n = p.fresh_name("x");
+        assert_ne!(n, "x");
+        assert!(n.starts_with('x'));
+    }
+
+    #[test]
+    fn stmt_count_counts_nested() {
+        let mut p = tiny_program();
+        let m = &mut p.classes[0].methods[0];
+        m.body.0.push(Stmt::If {
+            cond: Expr::Bool(true),
+            then_b: Block(vec![Stmt::Print(Expr::Int(0))]),
+            else_b: Some(Block(vec![Stmt::Print(Expr::Int(1))])),
+        });
+        assert_eq!(p.stmt_count(), 5);
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::Int.is_numeric());
+        assert!(!Type::Bool.is_numeric());
+        assert!(Type::Integer.is_reference());
+        assert!(Type::Ref("T".into()).is_reference());
+        assert!(!Type::Int.is_reference());
+    }
+
+    #[test]
+    fn binop_predicates() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn class_lookup() {
+        let p = tiny_program();
+        assert!(p.class("T").is_some());
+        assert!(p.class("U").is_none());
+        assert!(p.class("T").unwrap().method("main").is_some());
+    }
+
+    #[test]
+    fn display_of_types_and_ops() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Integer.to_string(), "Integer");
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+        assert_eq!(UnOp::Not.to_string(), "!");
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for parsing MiniJava source.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing MiniJava source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: u32,
+    message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given 1-based source line.
+    pub fn new(line: u32, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line the error was detected on.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_message() {
+        let e = ParseError::new(3, "oops");
+        assert_eq!(e.to_string(), "parse error at line 3: oops");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.message(), "oops");
+    }
+}

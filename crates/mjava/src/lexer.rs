@@ -1,0 +1,351 @@
+//! Hand-written lexer for MiniJava source text.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword-like word; keywords are distinguished by the
+    /// parser so that mutator-generated names can never collide with tokens.
+    Ident(String),
+    /// Integer literal (`int`).
+    Int(i64),
+    /// Integer literal with `L` suffix (`long`).
+    Long(i64),
+    /// Double-quoted string literal (only used inside reflective calls).
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Long(v) => write!(f, "{v}L"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Bang => write!(f, "!"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+            Token::PlusPlus => write!(f, "++"),
+            Token::MinusMinus => write!(f, "--"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes MiniJava source text.
+///
+/// Line (`//`) and block (`/* */`) comments are skipped. Numeric literals may
+/// use `_` separators as in Java (`50_000`).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings or comments, malformed
+/// numbers, and characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new(start, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => return Err(ParseError::new(start, "newline in string literal")),
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).copied().ok_or_else(|| {
+                                ParseError::new(start, "dangling escape in string literal")
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(ParseError::new(
+                                        start,
+                                        format!("unknown escape \\{}", other as char),
+                                    ))
+                                }
+                            });
+                            i += 2;
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text: String = src[start..i].chars().filter(|&c| c != '_').collect();
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(line, format!("bad integer literal {text}")))?;
+                let token = if i < bytes.len() && (bytes[i] == b'L' || bytes[i] == b'l') {
+                    i += 1;
+                    Token::Long(value)
+                } else {
+                    Token::Int(value)
+                };
+                out.push(Spanned { token, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                let (token, advance) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    ('<', Some('=')) => (Token::Le, 2),
+                    ('<', Some('<')) => (Token::Shl, 2),
+                    ('>', Some('=')) => (Token::Ge, 2),
+                    ('>', Some('>')) => (Token::Shr, 2),
+                    ('=', Some('=')) => (Token::EqEq, 2),
+                    ('!', Some('=')) => (Token::Ne, 2),
+                    ('+', Some('+')) => (Token::PlusPlus, 2),
+                    ('-', Some('-')) => (Token::MinusMinus, 2),
+                    ('(', _) => (Token::LParen, 1),
+                    (')', _) => (Token::RParen, 1),
+                    ('{', _) => (Token::LBrace, 1),
+                    ('}', _) => (Token::RBrace, 1),
+                    (';', _) => (Token::Semi, 1),
+                    (',', _) => (Token::Comma, 1),
+                    ('.', _) => (Token::Dot, 1),
+                    ('=', _) => (Token::Assign, 1),
+                    ('+', _) => (Token::Plus, 1),
+                    ('-', _) => (Token::Minus, 1),
+                    ('*', _) => (Token::Star, 1),
+                    ('/', _) => (Token::Slash, 1),
+                    ('%', _) => (Token::Percent, 1),
+                    ('&', _) => (Token::Amp, 1),
+                    ('|', _) => (Token::Pipe, 1),
+                    ('^', _) => (Token::Caret, 1),
+                    ('!', _) => (Token::Bang, 1),
+                    ('<', _) => (Token::Lt, 1),
+                    ('>', _) => (Token::Gt, 1),
+                    other => {
+                        return Err(ParseError::new(
+                            line,
+                            format!("unexpected character {:?}", other.0),
+                        ))
+                    }
+                };
+                out.push(Spanned { token, line });
+                i += advance;
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        assert_eq!(
+            kinds("int x = 1;"),
+            vec![
+                Token::Ident("int".into()),
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Int(1),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_underscore_and_long_literals() {
+        assert_eq!(
+            kinds("50_000 7L"),
+            vec![Token::Int(50_000), Token::Long(7), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> ++ --"),
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::EqEq,
+                Token::Ne,
+                Token::Shl,
+                Token::Shr,
+                Token::PlusPlus,
+                Token::MinusMinus,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 // comment\n 2 /* multi\nline */ 3"),
+            vec![Token::Int(1), Token::Int(2), Token::Int(3), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("1\n2\n3").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn lexes_string_literals_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\n""#),
+            vec![Token::Str("a\"b\n".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("#").is_err());
+    }
+}

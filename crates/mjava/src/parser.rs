@@ -1,0 +1,874 @@
+//! Recursive-descent parser for MiniJava.
+//!
+//! The grammar is the Java subset produced by [`crate::printer`]; the two are
+//! kept round-trip compatible (`parse(print(p)) == p`), which the property
+//! tests in this crate enforce.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{lex, Spanned, Token};
+use std::collections::HashSet;
+
+/// Parses a full MiniJava program from source text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// let src = "class T { static void main() { int x = 1; System.out.println(x); } }";
+/// let program = mjava::parse(src)?;
+/// assert_eq!(program.classes.len(), 1);
+/// # Ok::<(), mjava::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(tokens);
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    class_names: HashSet<String>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Parser {
+        // Pre-scan for class names so that `T.f` can be resolved to a static
+        // access without symbol tables.
+        let mut class_names = HashSet::new();
+        for pair in tokens.windows(2) {
+            if let (Token::Ident(kw), Token::Ident(name)) = (&pair[0].token, &pair[1].token) {
+                if kw == "class" {
+                    class_names.insert(name.clone());
+                }
+            }
+        }
+        Parser {
+            tokens,
+            pos: 0,
+            class_names,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), ParseError> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{expected}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found `{other}`"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Str(s) => Ok(s),
+            other => Err(self.err(format!("expected string literal, found `{other}`"))),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line(), message)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut classes = Vec::new();
+        while !matches!(self.peek(), Token::Eof) {
+            classes.push(self.class()?);
+        }
+        Ok(Program { classes })
+    }
+
+    fn class(&mut self) -> Result<Class, ParseError> {
+        self.eat_kw("class")?;
+        let name = self.ident()?;
+        self.eat(&Token::LBrace)?;
+        let mut class = Class::new(name);
+        while !matches!(self.peek(), Token::RBrace) {
+            self.member(&mut class)?;
+        }
+        self.eat(&Token::RBrace)?;
+        Ok(class)
+    }
+
+    fn member(&mut self, class: &mut Class) -> Result<(), ParseError> {
+        let mut is_static = false;
+        let mut is_sync = false;
+        loop {
+            if self.at_kw("static") {
+                self.bump();
+                is_static = true;
+            } else if self.at_kw("synchronized") {
+                self.bump();
+                is_sync = true;
+            } else {
+                break;
+            }
+        }
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        if matches!(self.peek(), Token::LParen) {
+            // Method.
+            self.eat(&Token::LParen)?;
+            let mut params = Vec::new();
+            if !matches!(self.peek(), Token::RParen) {
+                loop {
+                    let pty = self.parse_type()?;
+                    let pname = self.ident()?;
+                    params.push(Param {
+                        name: pname,
+                        ty: pty,
+                    });
+                    if matches!(self.peek(), Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat(&Token::RParen)?;
+            let body = self.block()?;
+            class.methods.push(Method {
+                name,
+                params,
+                ret: ty,
+                is_static,
+                is_sync,
+                body,
+            });
+        } else {
+            // Field.
+            if is_sync {
+                return Err(self.err("fields cannot be synchronized"));
+            }
+            let init = if matches!(self.peek(), Token::Assign) {
+                self.bump();
+                Some(self.literal()?)
+            } else {
+                None
+            };
+            self.eat(&Token::Semi)?;
+            class.fields.push(Field {
+                name,
+                ty,
+                is_static,
+                init,
+            });
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self) -> Result<Expr, ParseError> {
+        let negative = if matches!(self.peek(), Token::Minus) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let e = match self.bump() {
+            Token::Int(v) => Expr::Int(if negative { -v } else { v }),
+            Token::Long(v) => Expr::Long(if negative { -v } else { v }),
+            Token::Ident(s) if s == "true" && !negative => Expr::Bool(true),
+            Token::Ident(s) if s == "false" && !negative => Expr::Bool(false),
+            Token::Ident(s) if s == "null" && !negative => Expr::Null,
+            other => return Err(self.err(format!("expected literal, found `{other}`"))),
+        };
+        Ok(e)
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "int" => Type::Int,
+            "long" => Type::Long,
+            "boolean" => Type::Bool,
+            "void" => Type::Void,
+            "Integer" => Type::Integer,
+            _ => Type::Ref(name),
+        })
+    }
+
+    fn is_type_start(&self) -> bool {
+        match self.peek() {
+            Token::Ident(s) => match s.as_str() {
+                "int" | "long" | "boolean" => true,
+                // `Integer x` is a declaration, but `Integer.valueOf(..)`
+                // is an expression — require a following identifier.
+                "Integer" => matches!(self.peek2(), Token::Ident(_)),
+                // `T x` declaration: an identifier followed by another
+                // identifier (and the first names a class).
+                name if self.class_names.contains(name) => {
+                    matches!(self.peek2(), Token::Ident(_))
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Token::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Token::RBrace)?;
+        Ok(Block(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Token::LBrace => Ok(Stmt::Block(self.block()?)),
+            Token::Ident(kw) => match kw.as_str() {
+                "if" => self.if_stmt(),
+                "while" => self.while_stmt(),
+                "for" => self.for_stmt(),
+                "synchronized" => self.sync_stmt(),
+                "return" => self.return_stmt(),
+                "System" => self.println_stmt(),
+                _ => self.simple_stmt_semi(),
+            },
+            // Anything else — `(expr).f = ..;`, a call on a literal
+            // receiver, a unary-headed assignment target — parses as a
+            // simple statement, as in Java's expression-statement grammar.
+            _ => self.simple_stmt_semi(),
+        }
+    }
+
+    fn simple_stmt_semi(&mut self) -> Result<Stmt, ParseError> {
+        let s = self.simple_stmt()?;
+        self.eat(&Token::Semi)?;
+        Ok(s)
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_kw("if")?;
+        self.eat(&Token::LParen)?;
+        let cond = self.expr()?;
+        self.eat(&Token::RParen)?;
+        let then_b = self.block()?;
+        let else_b = if self.at_kw("else") {
+            self.bump();
+            Some(self.block()?)
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_b,
+            else_b,
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_kw("while")?;
+        self.eat(&Token::LParen)?;
+        let cond = self.expr()?;
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_kw("for")?;
+        self.eat(&Token::LParen)?;
+        let init = if matches!(self.peek(), Token::Semi) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.eat(&Token::Semi)?;
+        let cond = self.expr()?;
+        self.eat(&Token::Semi)?;
+        let update = if matches!(self.peek(), Token::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        })
+    }
+
+    fn sync_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_kw("synchronized")?;
+        self.eat(&Token::LParen)?;
+        let lock = self.expr()?;
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::Sync { lock, body })
+    }
+
+    fn return_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_kw("return")?;
+        let value = if matches!(self.peek(), Token::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.eat(&Token::Semi)?;
+        Ok(Stmt::Return(value))
+    }
+
+    fn println_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_kw("System")?;
+        self.eat(&Token::Dot)?;
+        self.eat_kw("out")?;
+        self.eat(&Token::Dot)?;
+        self.eat_kw("println")?;
+        self.eat(&Token::LParen)?;
+        let e = self.expr()?;
+        self.eat(&Token::RParen)?;
+        self.eat(&Token::Semi)?;
+        Ok(Stmt::Print(e))
+    }
+
+    /// A "simple" statement: declaration, assignment, increment/decrement or
+    /// expression statement. Used in blocks and in `for` headers.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_type_start() {
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            let init = if matches!(self.peek(), Token::Assign) {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl { name, ty, init });
+        }
+        let e = self.expr()?;
+        match self.peek() {
+            Token::Assign => {
+                self.bump();
+                let value = self.expr()?;
+                let target = self.expr_to_lvalue(e)?;
+                Ok(Stmt::Assign { target, value })
+            }
+            Token::PlusPlus | Token::MinusMinus => {
+                let op = if matches!(self.bump(), Token::PlusPlus) {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                let target = self.expr_to_lvalue(e.clone())?;
+                Ok(Stmt::Assign {
+                    target,
+                    value: Expr::bin(op, e, Expr::Int(1)),
+                })
+            }
+            _ => Ok(Stmt::Expr(e)),
+        }
+    }
+
+    fn expr_to_lvalue(&self, e: Expr) -> Result<LValue, ParseError> {
+        match e {
+            Expr::Var(name) => Ok(LValue::Var(name)),
+            Expr::Field(obj, name) => Ok(LValue::Field(*obj, name)),
+            Expr::StaticField(class, name) => Ok(LValue::StaticField(class, name)),
+            other => Err(self.err(format!("not an assignable target: {other:?}"))),
+        }
+    }
+
+    // ---- expressions, lowest to highest precedence ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bit_or()
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_xor()?;
+        while matches!(self.peek(), Token::Pipe) {
+            self.bump();
+            let rhs = self.bit_xor()?;
+            lhs = Expr::bin(BinOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_and()?;
+        while matches!(self.peek(), Token::Caret) {
+            self.bump();
+            let rhs = self.bit_and()?;
+            lhs = Expr::bin(BinOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while matches!(self.peek(), Token::Amp) {
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::bin(BinOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Token::EqEq => BinOp::Eq,
+                Token::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Token::Lt => BinOp::Lt,
+                Token::Le => BinOp::Le,
+                Token::Gt => BinOp::Gt,
+                Token::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Token::Shl => BinOp::Shl,
+                Token::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+            }
+            Token::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while matches!(self.peek(), Token::Dot) {
+            self.bump();
+            let name = self.ident()?;
+            if matches!(self.peek(), Token::LParen) {
+                if name == "intValue" {
+                    self.eat(&Token::LParen)?;
+                    self.eat(&Token::RParen)?;
+                    e = Expr::UnboxInt(Box::new(e));
+                } else {
+                    let args = self.args()?;
+                    e = Expr::Call(Call {
+                        target: CallTarget::Instance(Box::new(e)),
+                        method: name,
+                        args,
+                    });
+                }
+            } else {
+                e = Expr::Field(Box::new(e), name);
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.eat(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Token::Long(v) => {
+                self.bump();
+                Ok(Expr::Long(v))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "this" => {
+                    self.bump();
+                    Ok(Expr::This)
+                }
+                "new" => {
+                    self.bump();
+                    let class = self.ident()?;
+                    self.eat(&Token::LParen)?;
+                    self.eat(&Token::RParen)?;
+                    Ok(Expr::New(class))
+                }
+                "Integer" if matches!(self.peek2(), Token::Dot) => {
+                    self.bump();
+                    self.eat(&Token::Dot)?;
+                    self.eat_kw("valueOf")?;
+                    self.eat(&Token::LParen)?;
+                    let inner = self.expr()?;
+                    self.eat(&Token::RParen)?;
+                    Ok(Expr::BoxInt(Box::new(inner)))
+                }
+                "Class" if matches!(self.peek2(), Token::Dot) => self.reflect_chain(),
+                _ => {
+                    self.bump();
+                    // `T.class`, `T.f`, `T.m(..)` — static references when
+                    // the identifier names a class.
+                    if self.class_names.contains(&name) && matches!(self.peek(), Token::Dot) {
+                        self.bump();
+                        let member = self.ident()?;
+                        if member == "class" {
+                            return Ok(Expr::ClassLit(name));
+                        }
+                        if matches!(self.peek(), Token::LParen) {
+                            let args = self.args()?;
+                            return Ok(Expr::Call(Call {
+                                target: CallTarget::Static(name),
+                                method: member,
+                                args,
+                            }));
+                        }
+                        return Ok(Expr::StaticField(name, member));
+                    }
+                    Ok(Expr::Var(name))
+                }
+            },
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+
+    /// Parses `Class.forName("C").getDeclaredMethod("m").invoke(recv, args..)`.
+    fn reflect_chain(&mut self) -> Result<Expr, ParseError> {
+        self.eat_kw("Class")?;
+        self.eat(&Token::Dot)?;
+        self.eat_kw("forName")?;
+        self.eat(&Token::LParen)?;
+        let class = self.string_lit()?;
+        self.eat(&Token::RParen)?;
+        self.eat(&Token::Dot)?;
+        self.eat_kw("getDeclaredMethod")?;
+        self.eat(&Token::LParen)?;
+        let method = self.string_lit()?;
+        self.eat(&Token::RParen)?;
+        self.eat(&Token::Dot)?;
+        self.eat_kw("invoke")?;
+        let mut args = self.args()?;
+        if args.is_empty() {
+            return Err(self.err("reflective invoke needs at least a receiver argument"));
+        }
+        let receiver = match args.remove(0) {
+            Expr::Null => None,
+            recv => Some(Box::new(recv)),
+        };
+        Ok(Expr::Reflect(Reflect {
+            class,
+            method,
+            receiver,
+            args,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_main(body: &str) -> Program {
+        parse(&format!(
+            "class T {{ int f; static int s; static void main() {{ {body} }} int g(int a) {{ return a; }} }}"
+        ))
+        .unwrap()
+    }
+
+    fn main_stmts(p: &Program) -> &Vec<Stmt> {
+        &p.classes[0].methods[0].body.0
+    }
+
+    #[test]
+    fn parses_decl_and_print() {
+        let p = parse_main("int x = 1 + 2; System.out.println(x);");
+        let stmts = main_stmts(&p);
+        assert!(matches!(&stmts[0], Stmt::Decl { name, .. } if name == "x"));
+        assert!(matches!(&stmts[1], Stmt::Print(_)));
+    }
+
+    #[test]
+    fn parses_for_with_increment() {
+        let p = parse_main("for (int i = 0; i < 10; i++) { System.out.println(i); }");
+        match &main_stmts(&p)[0] {
+            Stmt::For { init, update, .. } => {
+                assert!(init.is_some());
+                assert!(matches!(update.as_deref(), Some(Stmt::Assign { .. })));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_synchronized_on_class_literal() {
+        let p = parse_main("synchronized (T.class) { int y = 1; }");
+        match &main_stmts(&p)[0] {
+            Stmt::Sync { lock, .. } => assert_eq!(lock, &Expr::ClassLit("T".into())),
+            other => panic!("expected sync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reflective_call() {
+        let p = parse_main(
+            "T t = new T(); int m = Class.forName(\"T\").getDeclaredMethod(\"g\").invoke(t, 3);",
+        );
+        match &main_stmts(&p)[1] {
+            Stmt::Decl {
+                init: Some(Expr::Reflect(r)),
+                ..
+            } => {
+                assert_eq!(r.class, "T");
+                assert_eq!(r.method, "g");
+                assert!(r.receiver.is_some());
+                assert_eq!(r.args.len(), 1);
+            }
+            other => panic!("expected reflect decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_static_reflective_call_with_null_receiver() {
+        let p =
+            parse_main("int m = Class.forName(\"T\").getDeclaredMethod(\"g\").invoke(null, 3);");
+        match &main_stmts(&p)[0] {
+            Stmt::Decl {
+                init: Some(Expr::Reflect(r)),
+                ..
+            } => assert!(r.receiver.is_none()),
+            other => panic!("expected reflect decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boxing_chain() {
+        let p = parse_main("Integer b = Integer.valueOf(41); int x = b.intValue() + 1;");
+        match &main_stmts(&p)[0] {
+            Stmt::Decl {
+                init: Some(Expr::BoxInt(_)),
+                ..
+            } => {}
+            other => panic!("expected boxed decl, got {other:?}"),
+        }
+        match &main_stmts(&p)[1] {
+            Stmt::Decl {
+                init: Some(Expr::Binary(BinOp::Add, lhs, _)),
+                ..
+            } => assert!(matches!(**lhs, Expr::UnboxInt(_))),
+            other => panic!("expected unbox add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_vs_instance_disambiguation() {
+        let p = parse_main("int a = T.s; T t = new T(); int b = t.f;");
+        assert!(matches!(
+            &main_stmts(&p)[0],
+            Stmt::Decl {
+                init: Some(Expr::StaticField(..)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &main_stmts(&p)[2],
+            Stmt::Decl {
+                init: Some(Expr::Field(..)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_main("int x = 1 + 2 * 3;");
+        match &main_stmts(&p)[0] {
+            Stmt::Decl {
+                init: Some(Expr::Binary(BinOp::Add, _, rhs)),
+                ..
+            } => assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_parentheses_override() {
+        let p = parse_main("int x = (1 + 2) * 3;");
+        match &main_stmts(&p)[0] {
+            Stmt::Decl {
+                init: Some(Expr::Binary(BinOp::Mul, lhs, _)),
+                ..
+            } => assert!(matches!(**lhs, Expr::Binary(BinOp::Add, _, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_synchronized_method_modifier() {
+        let p = parse("class T { synchronized int g() { return 1; } static void main() { } }")
+            .unwrap();
+        assert!(p.classes[0].methods[0].is_sync);
+        assert!(!p.classes[0].methods[0].is_static);
+    }
+
+    #[test]
+    fn parses_field_with_negative_initializer() {
+        let p = parse("class T { static int s = -5; static void main() { } }").unwrap();
+        assert_eq!(p.classes[0].fields[0].init, Some(Expr::Int(-5)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("class T {").is_err());
+        assert!(parse("klass T {}").is_err());
+        assert!(parse("class T { static void main() { 1 = 2; } }").is_err());
+    }
+
+    #[test]
+    fn parses_if_else_and_while() {
+        let p = parse_main("if (1 < 2) { int a = 1; } else { int b = 2; } while (false) { }");
+        assert!(matches!(
+            &main_stmts(&p)[0],
+            Stmt::If {
+                else_b: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(&main_stmts(&p)[1], Stmt::While { .. }));
+    }
+}

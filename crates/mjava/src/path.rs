@@ -1,0 +1,415 @@
+//! Stable addressing of statements inside a program.
+//!
+//! MopFuzzer applies every mutator to the *same* mutation point across
+//! iterations (the paper's key strategy, §3), so mutators need a durable way
+//! to name "this statement in this method" that survives edits around it.
+//! [`StmtPath`] is that address: a class index, a method index, and a chain
+//! of block-descent steps.
+
+use crate::ast::{Block, Program, Stmt};
+
+/// Which nested block of a compound statement a path descends into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// The `then` branch of an `if`.
+    Then,
+    /// The `else` branch of an `if`.
+    Else,
+    /// The body of a `while`/`for`/`synchronized`/bare block.
+    Body,
+}
+
+/// One navigation step: pick the statement at `index` in the current block
+/// and, unless this is the final step, descend into one of its regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// Index of the statement within the current block.
+    pub index: usize,
+    /// Region to descend into; `None` only on the final step.
+    pub into: Option<Region>,
+}
+
+/// The address of a single statement: the mutation point abstraction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StmtPath {
+    /// Index of the class in [`Program::classes`].
+    pub class: usize,
+    /// Index of the method in the class.
+    pub method: usize,
+    /// Descent steps; the last step's `into` must be `None`.
+    pub steps: Vec<Step>,
+}
+
+impl StmtPath {
+    /// Creates a path to a top-level statement of a method body.
+    pub fn top_level(class: usize, method: usize, index: usize) -> StmtPath {
+        StmtPath {
+            class,
+            method,
+            steps: vec![Step { index, into: None }],
+        }
+    }
+
+    /// Returns the path to this statement's enclosing statement, if the
+    /// statement is nested (i.e. not directly in the method body).
+    pub fn parent(&self) -> Option<StmtPath> {
+        if self.steps.len() < 2 {
+            return None;
+        }
+        let mut steps = self.steps.clone();
+        steps.pop();
+        let last = steps.last_mut().expect("len checked above");
+        last.into = None;
+        Some(StmtPath {
+            class: self.class,
+            method: self.method,
+            steps,
+        })
+    }
+
+    /// Extends this path one level deeper: the statement itself becomes an
+    /// intermediate step into `region`, addressing `index` inside it.
+    pub fn child(&self, region: Region, index: usize) -> StmtPath {
+        let mut steps = self.steps.clone();
+        let last = steps.last_mut().expect("paths are never empty");
+        last.into = Some(region);
+        steps.push(Step { index, into: None });
+        StmtPath {
+            class: self.class,
+            method: self.method,
+            steps,
+        }
+    }
+
+    /// Nesting depth (1 = directly in the method body).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Returns the nested block of `stmt` selected by `region`, if it exists.
+pub fn region_of(stmt: &Stmt, region: Region) -> Option<&Block> {
+    match (stmt, region) {
+        (Stmt::If { then_b, .. }, Region::Then) => Some(then_b),
+        (Stmt::If { else_b, .. }, Region::Else) => else_b.as_ref(),
+        (Stmt::While { body, .. }, Region::Body)
+        | (Stmt::For { body, .. }, Region::Body)
+        | (Stmt::Sync { body, .. }, Region::Body)
+        | (Stmt::Block(body), Region::Body) => Some(body),
+        _ => None,
+    }
+}
+
+/// Mutable variant of [`region_of`].
+pub fn region_of_mut(stmt: &mut Stmt, region: Region) -> Option<&mut Block> {
+    match (stmt, region) {
+        (Stmt::If { then_b, .. }, Region::Then) => Some(then_b),
+        (Stmt::If { else_b, .. }, Region::Else) => else_b.as_mut(),
+        (Stmt::While { body, .. }, Region::Body)
+        | (Stmt::For { body, .. }, Region::Body)
+        | (Stmt::Sync { body, .. }, Region::Body)
+        | (Stmt::Block(body), Region::Body) => Some(body),
+        _ => None,
+    }
+}
+
+/// All regions a statement actually has, in a fixed order.
+pub fn regions_of(stmt: &Stmt) -> Vec<Region> {
+    match stmt {
+        Stmt::If { else_b, .. } => {
+            if else_b.is_some() {
+                vec![Region::Then, Region::Else]
+            } else {
+                vec![Region::Then]
+            }
+        }
+        Stmt::While { .. } | Stmt::For { .. } | Stmt::Sync { .. } | Stmt::Block(_) => {
+            vec![Region::Body]
+        }
+        _ => vec![],
+    }
+}
+
+/// Resolves the block that directly contains the statement addressed by
+/// `path`, along with the statement's index in it.
+pub fn containing_block<'p>(program: &'p Program, path: &StmtPath) -> Option<(&'p Block, usize)> {
+    let method = program
+        .classes
+        .get(path.class)?
+        .methods
+        .get(path.method)?;
+    let mut block = &method.body;
+    let (last, inner) = path.steps.split_last()?;
+    for step in inner {
+        let stmt = block.0.get(step.index)?;
+        block = region_of(stmt, step.into?)?;
+    }
+    if last.into.is_some() || last.index >= block.0.len() {
+        return None;
+    }
+    Some((block, last.index))
+}
+
+/// Mutable variant of [`containing_block`].
+pub fn containing_block_mut<'p>(
+    program: &'p mut Program,
+    path: &StmtPath,
+) -> Option<(&'p mut Block, usize)> {
+    let method = program
+        .classes
+        .get_mut(path.class)?
+        .methods
+        .get_mut(path.method)?;
+    let mut block = &mut method.body;
+    let (last, inner) = path.steps.split_last()?;
+    for step in inner {
+        let stmt = block.0.get_mut(step.index)?;
+        block = region_of_mut(stmt, step.into?)?;
+    }
+    if last.into.is_some() || last.index >= block.0.len() {
+        return None;
+    }
+    Some((block, last.index))
+}
+
+/// Resolves the statement addressed by `path`.
+pub fn stmt_at<'p>(program: &'p Program, path: &StmtPath) -> Option<&'p Stmt> {
+    let (block, index) = containing_block(program, path)?;
+    block.0.get(index)
+}
+
+/// Mutable variant of [`stmt_at`].
+pub fn stmt_at_mut<'p>(program: &'p mut Program, path: &StmtPath) -> Option<&'p mut Stmt> {
+    let (block, index) = containing_block_mut(program, path)?;
+    block.0.get_mut(index)
+}
+
+/// Inserts `stmts` immediately before the addressed statement and returns
+/// the updated path of the original statement (shifted right).
+///
+/// Returns `None` (and leaves the program unchanged) if the path is stale.
+pub fn insert_before(
+    program: &mut Program,
+    path: &StmtPath,
+    stmts: Vec<Stmt>,
+) -> Option<StmtPath> {
+    let n = stmts.len();
+    let (block, index) = containing_block_mut(program, path)?;
+    for (k, s) in stmts.into_iter().enumerate() {
+        block.0.insert(index + k, s);
+    }
+    let mut new_path = path.clone();
+    new_path.steps.last_mut().expect("non-empty").index = index + n;
+    Some(new_path)
+}
+
+/// Replaces the addressed statement with `replacement` statements.
+/// Returns `true` on success, `false` if the path is stale.
+pub fn replace_stmt(program: &mut Program, path: &StmtPath, replacement: Vec<Stmt>) -> bool {
+    let Some((block, index)) = containing_block_mut(program, path) else {
+        return false;
+    };
+    block.0.splice(index..=index, replacement);
+    true
+}
+
+/// Removes the addressed statement. Returns the removed statement, or `None`
+/// if the path is stale.
+pub fn remove_stmt(program: &mut Program, path: &StmtPath) -> Option<Stmt> {
+    let (block, index) = containing_block_mut(program, path)?;
+    Some(block.0.remove(index))
+}
+
+/// Enumerates the paths of every statement in the method, in source order
+/// (pre-order: a compound statement precedes its children).
+pub fn paths_in_method(program: &Program, class: usize, method: usize) -> Vec<StmtPath> {
+    let Some(m) = program
+        .classes
+        .get(class)
+        .and_then(|c| c.methods.get(method))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, _) in m.body.0.iter().enumerate() {
+        let path = StmtPath::top_level(class, method, i);
+        collect_paths(&m.body.0[i], &path, &mut out);
+    }
+    out
+}
+
+/// Enumerates every statement path in the whole program, in source order.
+pub fn all_paths(program: &Program) -> Vec<StmtPath> {
+    let mut out = Vec::new();
+    for (ci, class) in program.classes.iter().enumerate() {
+        for (mi, _) in class.methods.iter().enumerate() {
+            out.extend(paths_in_method(program, ci, mi));
+        }
+    }
+    out
+}
+
+fn collect_paths(stmt: &Stmt, path: &StmtPath, out: &mut Vec<StmtPath>) {
+    out.push(path.clone());
+    for region in regions_of(stmt) {
+        if let Some(block) = region_of(stmt, region) {
+            for (i, child) in block.0.iter().enumerate() {
+                let child_path = path.child(region, i);
+                collect_paths(child, &child_path, out);
+            }
+        }
+    }
+}
+
+/// Finds the innermost `synchronized` statement strictly enclosing `path`.
+pub fn enclosing_sync(program: &Program, path: &StmtPath) -> Option<StmtPath> {
+    let mut cursor = path.parent();
+    while let Some(p) = cursor {
+        if matches!(stmt_at(program, &p), Some(Stmt::Sync { .. })) {
+            return Some(p);
+        }
+        cursor = p.parent();
+    }
+    None
+}
+
+/// Counts how many `synchronized` statements (transitively) enclose `path`.
+pub fn sync_nesting_depth(program: &Program, path: &StmtPath) -> usize {
+    let mut depth = 0;
+    let mut cursor = path.parent();
+    while let Some(p) = cursor {
+        if matches!(stmt_at(program, &p), Some(Stmt::Sync { .. })) {
+            depth += 1;
+        }
+        cursor = p.parent();
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sample() -> Program {
+        parse(
+            r#"
+            class T {
+                static void main() {
+                    int x = 0;
+                    synchronized (T.class) {
+                        if (x < 1) {
+                            x = 1;
+                        } else {
+                            x = 2;
+                        }
+                        while (x < 10) {
+                            x = x + 1;
+                        }
+                    }
+                    System.out.println(x);
+                }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_paths_enumerates_every_statement() {
+        let p = sample();
+        let paths = all_paths(&p);
+        assert_eq!(paths.len(), p.stmt_count());
+        for path in &paths {
+            assert!(stmt_at(&p, path).is_some(), "stale path {path:?}");
+        }
+    }
+
+    #[test]
+    fn resolves_nested_statement() {
+        let p = sample();
+        // main[1] = sync; sync.body[0] = if; if.then[0] = `x = 1;`
+        let path = StmtPath::top_level(0, 0, 1)
+            .child(Region::Body, 0)
+            .child(Region::Then, 0);
+        assert!(matches!(stmt_at(&p, &path), Some(Stmt::Assign { .. })));
+    }
+
+    #[test]
+    fn parent_and_child_are_inverse() {
+        let p = sample();
+        for path in all_paths(&p) {
+            if let Some(parent) = path.parent() {
+                assert!(stmt_at(&p, &parent).is_some());
+                assert!(path.depth() == parent.depth() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_before_shifts_path() {
+        let mut p = sample();
+        let path = StmtPath::top_level(0, 0, 2); // the println
+        let new_path = insert_before(
+            &mut p,
+            &path,
+            vec![Stmt::Expr(crate::ast::Expr::Int(7)), Stmt::Expr(crate::ast::Expr::Int(8))],
+        )
+        .unwrap();
+        assert!(matches!(stmt_at(&p, &new_path), Some(Stmt::Print(_))));
+        assert_eq!(new_path.steps[0].index, 4);
+    }
+
+    #[test]
+    fn replace_stmt_swaps_in_multiple() {
+        let mut p = sample();
+        let path = StmtPath::top_level(0, 0, 0);
+        assert!(replace_stmt(
+            &mut p,
+            &path,
+            vec![
+                Stmt::Expr(crate::ast::Expr::Int(1)),
+                Stmt::Expr(crate::ast::Expr::Int(2))
+            ]
+        ));
+        assert_eq!(p.classes[0].methods[0].body.len(), 4);
+    }
+
+    #[test]
+    fn remove_stmt_returns_removed() {
+        let mut p = sample();
+        let path = StmtPath::top_level(0, 0, 0);
+        let removed = remove_stmt(&mut p, &path).unwrap();
+        assert!(matches!(removed, Stmt::Decl { .. }));
+        assert_eq!(p.classes[0].methods[0].body.len(), 2);
+    }
+
+    #[test]
+    fn enclosing_sync_found_for_nested_statement() {
+        let p = sample();
+        let inner = StmtPath::top_level(0, 0, 1)
+            .child(Region::Body, 1)
+            .child(Region::Body, 0); // while body: x = x + 1
+        let sync = enclosing_sync(&p, &inner).unwrap();
+        assert!(matches!(stmt_at(&p, &sync), Some(Stmt::Sync { .. })));
+        assert_eq!(sync_nesting_depth(&p, &inner), 1);
+    }
+
+    #[test]
+    fn enclosing_sync_absent_at_top_level() {
+        let p = sample();
+        let path = StmtPath::top_level(0, 0, 0);
+        assert!(enclosing_sync(&p, &path).is_none());
+        assert_eq!(sync_nesting_depth(&p, &path), 0);
+    }
+
+    #[test]
+    fn stale_paths_resolve_to_none() {
+        let p = sample();
+        let stale = StmtPath::top_level(0, 0, 99);
+        assert!(stmt_at(&p, &stale).is_none());
+        let mut p2 = p.clone();
+        assert!(insert_before(&mut p2, &stale, vec![]).is_none());
+        assert_eq!(p, p2);
+    }
+}

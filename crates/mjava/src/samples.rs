@@ -1,0 +1,314 @@
+//! Built-in seed programs.
+//!
+//! The paper seeds MopFuzzer with OpenJDK's regression test suites; this
+//! module provides a corpus of MiniJava programs of the same flavour — small
+//! deterministic programs with a hot loop in `main` so the simulated JIT
+//! compiles the interesting method.
+
+use crate::ast::Program;
+use crate::parser::parse;
+
+/// A named seed program.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// Stable seed name used in reports and statistics.
+    pub name: &'static str,
+    /// The parsed program.
+    pub program: Program,
+}
+
+fn seed(name: &'static str, src: &str) -> Seed {
+    Seed {
+        name,
+        program: parse(src).unwrap_or_else(|e| panic!("builtin seed {name} is invalid: {e}")),
+    }
+}
+
+/// The paper's Listing 2: the motivating seed whose mutation chain triggers
+/// the JDK-8312744 analogue.
+pub fn listing2() -> Seed {
+    seed(
+        "listing2",
+        r#"
+        class T {
+            int f;
+            static void main() {
+                T t = new T();
+                for (int i = 0; i < 5_000; i++) {
+                    t.foo(i);
+                }
+                System.out.println(t.f);
+            }
+            void foo(int i) {
+                f = f + i % 7;
+            }
+        }
+        "#,
+    )
+}
+
+/// Arithmetic kernel: exercises GVN, algebraic simplification and loop
+/// optimizations.
+pub fn arith_loop() -> Seed {
+    seed(
+        "arith_loop",
+        r#"
+        class A {
+            static int acc;
+            static void main() {
+                for (int i = 0; i < 4_000; i++) {
+                    A.step(i);
+                }
+                System.out.println(A.acc);
+            }
+            static void step(int i) {
+                int a = i * 2 + 1;
+                int b = a - i;
+                acc = acc + b % 13 + (a & 7);
+            }
+        }
+        "#,
+    )
+}
+
+/// Synchronized counter: exercises lock elimination/coarsening and nested
+/// monitors.
+pub fn sync_counter() -> Seed {
+    seed(
+        "sync_counter",
+        r#"
+        class C {
+            int n;
+            static void main() {
+                C c = new C();
+                for (int i = 0; i < 3_000; i++) {
+                    c.bump(i);
+                }
+                System.out.println(c.n);
+            }
+            void bump(int i) {
+                synchronized (this) {
+                    n = n + 1;
+                }
+                synchronized (this) {
+                    n = n + i % 3;
+                }
+            }
+        }
+        "#,
+    )
+}
+
+/// Boxing round-trips: exercises autobox elimination.
+pub fn boxing_mix() -> Seed {
+    seed(
+        "boxing_mix",
+        r#"
+        class B {
+            static void main() {
+                int total = 0;
+                for (int i = 0; i < 3_000; i++) {
+                    total = total + B.round(i);
+                }
+                System.out.println(total);
+            }
+            static int round(int v) {
+                Integer b = Integer.valueOf(v % 11);
+                return b.intValue() + 1;
+            }
+        }
+        "#,
+    )
+}
+
+/// Reflection hot path: exercises de-reflection.
+pub fn reflective_call() -> Seed {
+    seed(
+        "reflective_call",
+        r#"
+        class R {
+            int f;
+            int get(int d) { return f + d; }
+            static void main() {
+                R r = new R();
+                r.f = 5;
+                int sum = 0;
+                for (int i = 0; i < 2_000; i++) {
+                    sum = sum + Class.forName("R").getDeclaredMethod("get").invoke(r, i % 4);
+                }
+                System.out.println(sum);
+            }
+        }
+        "#,
+    )
+}
+
+/// Branchy method with a rare path: exercises uncommon traps and
+/// deoptimization.
+pub fn rare_branch() -> Seed {
+    seed(
+        "rare_branch",
+        r#"
+        class D {
+            static int hits;
+            static void main() {
+                for (int i = 0; i < 4_000; i++) {
+                    D.probe(i);
+                }
+                System.out.println(D.hits);
+            }
+            static void probe(int i) {
+                if (i % 997 == 3) {
+                    hits = hits + 100;
+                } else {
+                    hits = hits + 1;
+                }
+            }
+        }
+        "#,
+    )
+}
+
+/// Escaping vs non-escaping allocations: exercises escape analysis and
+/// scalar replacement.
+pub fn alloc_local() -> Seed {
+    seed(
+        "alloc_local",
+        r#"
+        class E {
+            int v;
+            static int out;
+            static void main() {
+                for (int i = 0; i < 3_000; i++) {
+                    E.work(i);
+                }
+                System.out.println(E.out);
+            }
+            static void work(int i) {
+                E e = new E();
+                e.v = i * 3;
+                out = out + e.v % 17;
+            }
+        }
+        "#,
+    )
+}
+
+/// Call-heavy pipeline: exercises inlining across small helpers.
+pub fn call_chain() -> Seed {
+    seed(
+        "call_chain",
+        r#"
+        class K {
+            static int acc;
+            static int add(int x, int y) { return x + y; }
+            static int twist(int x) { return K.add(x, 3) * 2; }
+            static void main() {
+                for (int i = 0; i < 4_000; i++) {
+                    acc = acc + K.twist(i) % 9;
+                }
+                System.out.println(acc);
+            }
+        }
+        "#,
+    )
+}
+
+/// Nested loop with inner dependent bound: exercises unrolling and peeling.
+pub fn nested_loops() -> Seed {
+    seed(
+        "nested_loops",
+        r#"
+        class N {
+            static long total;
+            static void main() {
+                for (int i = 0; i < 600; i++) {
+                    N.row(i);
+                }
+                System.out.println(total);
+            }
+            static void row(int i) {
+                for (int j = 0; j < 8; j++) {
+                    total = total + i * j;
+                }
+            }
+        }
+        "#,
+    )
+}
+
+/// Stateful instance fields plus while loop: mixed shape.
+pub fn field_state() -> Seed {
+    seed(
+        "field_state",
+        r#"
+        class S {
+            int a;
+            int b;
+            static void main() {
+                S s = new S();
+                int i = 0;
+                while (i < 3_000) {
+                    s.shuffle(i);
+                    i = i + 1;
+                }
+                System.out.println(s.a + s.b);
+            }
+            void shuffle(int i) {
+                a = a + i % 5;
+                b = b + a % 3;
+                a = a - b % 2;
+            }
+        }
+        "#,
+    )
+}
+
+/// Returns the full built-in corpus, in a stable order.
+pub fn all_seeds() -> Vec<Seed> {
+    vec![
+        listing2(),
+        arith_loop(),
+        sync_counter(),
+        boxing_mix(),
+        reflective_call(),
+        rare_branch(),
+        alloc_local(),
+        call_chain(),
+        nested_loops(),
+        field_state(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print;
+
+    #[test]
+    fn all_seeds_parse_and_roundtrip() {
+        for s in all_seeds() {
+            let printed = print(&s.program);
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("seed {} does not round-trip: {e}", s.name));
+            assert_eq!(reparsed, s.program, "round-trip mismatch for seed {}", s.name);
+        }
+    }
+
+    #[test]
+    fn all_seeds_have_main_and_hot_loop() {
+        for s in all_seeds() {
+            assert!(s.program.main_method().is_some(), "{} lacks main", s.name);
+            assert!(s.program.stmt_count() >= 4, "{} too trivial", s.name);
+        }
+    }
+
+    #[test]
+    fn seed_names_are_unique() {
+        let mut names: Vec<_> = all_seeds().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_seeds().len());
+    }
+}

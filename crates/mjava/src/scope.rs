@@ -1,0 +1,333 @@
+//! Scope analysis and expression type inference.
+//!
+//! Mutator applicability checks (paper §3.3) need to know which locals are
+//! visible at a mutation point and what type an expression has — e.g.
+//! Inlining-evoke only fires on binary expressions over primitive operands,
+//! and DeReflection-evoke needs the receiver's class.
+
+use crate::ast::*;
+use crate::path::{region_of, Region, StmtPath};
+
+/// The set of variables visible at a program point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scope {
+    vars: Vec<(String, Type)>,
+}
+
+impl Scope {
+    /// Creates an empty scope.
+    pub fn new() -> Scope {
+        Scope::default()
+    }
+
+    /// Adds a binding, shadowing any earlier one of the same name.
+    pub fn bind(&mut self, name: impl Into<String>, ty: Type) {
+        self.vars.push((name.into(), ty));
+    }
+
+    /// Looks up the type of a variable (innermost binding wins).
+    pub fn lookup(&self, name: &str) -> Option<&Type> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// Iterates over all bindings, outermost first.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Type)> {
+        self.vars.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Number of visible bindings (including shadowed ones).
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns true if no variable is visible.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// All visible variables of a given type, innermost last.
+    pub fn vars_of_type(&self, ty: &Type) -> Vec<&str> {
+        self.vars
+            .iter()
+            .filter(|(_, t)| t == ty)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// Computes the variables visible *at* (i.e. just before executing) the
+/// statement addressed by `path`: method parameters plus every declaration
+/// that precedes the path at each nesting level, including `for` headers.
+///
+/// Returns `None` if the path does not resolve.
+pub fn scope_at(program: &Program, path: &StmtPath) -> Option<Scope> {
+    let class = program.classes.get(path.class)?;
+    let method = class.methods.get(path.method)?;
+    let mut scope = Scope::new();
+    for p in &method.params {
+        scope.bind(p.name.clone(), p.ty.clone());
+    }
+    let mut block = &method.body;
+    for (level, step) in path.steps.iter().enumerate() {
+        if step.index >= block.0.len() {
+            return None;
+        }
+        // Declarations preceding this step in the current block.
+        for stmt in &block.0[..step.index] {
+            if let Stmt::Decl { name, ty, .. } = stmt {
+                scope.bind(name.clone(), ty.clone());
+            }
+        }
+        let stmt = &block.0[step.index];
+        match step.into {
+            None => {
+                debug_assert_eq!(level + 1, path.steps.len());
+                return Some(scope);
+            }
+            Some(region) => {
+                // Entering a for-loop body brings its header variable into
+                // scope.
+                if let (Stmt::For { init: Some(init), .. }, Region::Body) = (stmt, region) {
+                    if let Stmt::Decl { name, ty, .. } = init.as_ref() {
+                        scope.bind(name.clone(), ty.clone());
+                    }
+                }
+                block = region_of(stmt, region)?;
+            }
+        }
+    }
+    None
+}
+
+/// Context for type inference: the program plus the enclosing class (for
+/// `this`) and staticness.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeCtx<'p> {
+    /// The program providing class and method signatures.
+    pub program: &'p Program,
+    /// Index of the class the expression appears in.
+    pub class: usize,
+    /// True when the enclosing method is static (`this` is unavailable).
+    pub is_static: bool,
+}
+
+impl<'p> TypeCtx<'p> {
+    /// Builds a context for the method a [`StmtPath`] points into.
+    pub fn for_path(program: &'p Program, path: &StmtPath) -> Option<TypeCtx<'p>> {
+        let method = program.classes.get(path.class)?.methods.get(path.method)?;
+        Some(TypeCtx {
+            program,
+            class: path.class,
+            is_static: method.is_static,
+        })
+    }
+
+    fn class_name(&self) -> Option<&str> {
+        self.program.classes.get(self.class).map(|c| c.name.as_str())
+    }
+}
+
+/// Infers the type of `expr` under `scope`.
+///
+/// Returns `None` for expressions whose type cannot be determined (unknown
+/// identifiers, `null`, calls to missing methods) — applicability checks
+/// treat those conservatively as "not applicable".
+pub fn infer_expr(ctx: &TypeCtx<'_>, scope: &Scope, expr: &Expr) -> Option<Type> {
+    match expr {
+        Expr::Int(_) => Some(Type::Int),
+        Expr::Long(_) => Some(Type::Long),
+        Expr::Bool(_) => Some(Type::Bool),
+        Expr::Null => None,
+        Expr::This => {
+            if ctx.is_static {
+                None
+            } else {
+                Some(Type::Ref(ctx.class_name()?.to_string()))
+            }
+        }
+        Expr::Var(name) => scope.lookup(name).cloned(),
+        Expr::Unary(UnOp::Neg, inner) => infer_expr(ctx, scope, inner),
+        Expr::Unary(UnOp::Not, _) => Some(Type::Bool),
+        Expr::Binary(op, lhs, rhs) => {
+            if op.is_comparison() {
+                return Some(Type::Bool);
+            }
+            let lt = infer_expr(ctx, scope, lhs)?;
+            let rt = infer_expr(ctx, scope, rhs)?;
+            match (&lt, &rt) {
+                (Type::Bool, Type::Bool) => Some(Type::Bool),
+                (Type::Long, _) | (_, Type::Long) => Some(Type::Long),
+                _ => Some(Type::Int),
+            }
+        }
+        Expr::Call(call) => {
+            let class_name = match &call.target {
+                CallTarget::Static(c) => c.clone(),
+                CallTarget::Instance(recv) => match infer_expr(ctx, scope, recv)? {
+                    Type::Ref(c) => c,
+                    _ => return None,
+                },
+            };
+            let method = ctx.program.class(&class_name)?.method(&call.method)?;
+            Some(method.ret.clone())
+        }
+        Expr::Reflect(r) => {
+            // The simulated reflective `invoke` yields the target method's
+            // declared type directly (no Object boxing in MiniJava).
+            let method = ctx.program.class(&r.class)?.method(&r.method)?;
+            Some(method.ret.clone())
+        }
+        Expr::Field(obj, name) => match infer_expr(ctx, scope, obj)? {
+            Type::Ref(c) => Some(ctx.program.class(&c)?.field(name)?.ty.clone()),
+            _ => None,
+        },
+        Expr::StaticField(class, name) => {
+            Some(ctx.program.class(class)?.field(name)?.ty.clone())
+        }
+        Expr::New(class) => Some(Type::Ref(class.clone())),
+        Expr::BoxInt(_) => Some(Type::Integer),
+        Expr::UnboxInt(_) => Some(Type::Int),
+        Expr::ClassLit(_) => Some(Type::Ref("Class".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::path::{all_paths, stmt_at};
+
+    fn sample() -> Program {
+        parse(
+            r#"
+            class T {
+                int f;
+                static long s;
+                int g(int a) { return a + 1; }
+                static void main() {
+                    int x = 1;
+                    T t = new T();
+                    for (int i = 0; i < 3; i++) {
+                        long y = x + i;
+                        System.out.println(y);
+                    }
+                    System.out.println(x);
+                }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scope_sees_preceding_decls_only() {
+        let p = sample();
+        // main is method index 1; statement 1 is `T t = new T();`
+        let path = StmtPath::top_level(0, 1, 1);
+        let scope = scope_at(&p, &path).unwrap();
+        assert_eq!(scope.lookup("x"), Some(&Type::Int));
+        assert_eq!(scope.lookup("t"), None);
+    }
+
+    #[test]
+    fn scope_includes_for_header_inside_body() {
+        let p = sample();
+        let for_path = StmtPath::top_level(0, 1, 2);
+        let inner = for_path.child(Region::Body, 0);
+        assert!(matches!(stmt_at(&p, &inner), Some(Stmt::Decl { .. })));
+        let scope = scope_at(&p, &inner).unwrap();
+        assert_eq!(scope.lookup("i"), Some(&Type::Int));
+        assert_eq!(scope.lookup("t"), Some(&Type::Ref("T".into())));
+        // `y` is declared *at* the inner path, not before it.
+        assert_eq!(scope.lookup("y"), None);
+    }
+
+    #[test]
+    fn scope_at_every_path_resolves() {
+        let p = sample();
+        for path in all_paths(&p) {
+            assert!(scope_at(&p, &path).is_some(), "no scope for {path:?}");
+        }
+    }
+
+    #[test]
+    fn infers_arithmetic_widening() {
+        let p = sample();
+        let path = StmtPath::top_level(0, 1, 2).child(Region::Body, 1);
+        let scope = scope_at(&p, &path).unwrap();
+        let ctx = TypeCtx::for_path(&p, &path).unwrap();
+        let int_plus_int = Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("i"));
+        assert_eq!(infer_expr(&ctx, &scope, &int_plus_int), Some(Type::Int));
+        let long_plus_int = Expr::bin(BinOp::Add, Expr::var("y"), Expr::var("i"));
+        assert_eq!(infer_expr(&ctx, &scope, &long_plus_int), Some(Type::Long));
+        let cmp = Expr::bin(BinOp::Lt, Expr::var("x"), Expr::var("i"));
+        assert_eq!(infer_expr(&ctx, &scope, &cmp), Some(Type::Bool));
+    }
+
+    #[test]
+    fn infers_calls_fields_and_boxing() {
+        let p = sample();
+        let path = StmtPath::top_level(0, 1, 2);
+        let scope = scope_at(&p, &path).unwrap();
+        let ctx = TypeCtx::for_path(&p, &path).unwrap();
+
+        let call = Expr::Call(Call {
+            target: CallTarget::Instance(Box::new(Expr::var("t"))),
+            method: "g".into(),
+            args: vec![Expr::Int(1)],
+        });
+        assert_eq!(infer_expr(&ctx, &scope, &call), Some(Type::Int));
+
+        let field = Expr::Field(Box::new(Expr::var("t")), "f".into());
+        assert_eq!(infer_expr(&ctx, &scope, &field), Some(Type::Int));
+
+        let sfield = Expr::StaticField("T".into(), "s".into());
+        assert_eq!(infer_expr(&ctx, &scope, &sfield), Some(Type::Long));
+
+        let boxed = Expr::BoxInt(Box::new(Expr::Int(1)));
+        assert_eq!(infer_expr(&ctx, &scope, &boxed), Some(Type::Integer));
+        let unboxed = Expr::UnboxInt(Box::new(boxed));
+        assert_eq!(infer_expr(&ctx, &scope, &unboxed), Some(Type::Int));
+    }
+
+    #[test]
+    fn this_unavailable_in_static_context() {
+        let p = sample();
+        let main_path = StmtPath::top_level(0, 1, 0);
+        let scope = scope_at(&p, &main_path).unwrap();
+        let ctx = TypeCtx::for_path(&p, &main_path).unwrap();
+        assert_eq!(infer_expr(&ctx, &scope, &Expr::This), None);
+
+        // In the instance method `g`, `this` has type T.
+        let g_path = StmtPath::top_level(0, 0, 0);
+        let g_scope = scope_at(&p, &g_path).unwrap();
+        let g_ctx = TypeCtx::for_path(&p, &g_path).unwrap();
+        assert_eq!(
+            infer_expr(&g_ctx, &g_scope, &Expr::This),
+            Some(Type::Ref("T".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_identifiers_infer_to_none() {
+        let p = sample();
+        let path = StmtPath::top_level(0, 1, 0);
+        let scope = scope_at(&p, &path).unwrap();
+        let ctx = TypeCtx::for_path(&p, &path).unwrap();
+        assert_eq!(infer_expr(&ctx, &scope, &Expr::var("nope")), None);
+        assert_eq!(infer_expr(&ctx, &scope, &Expr::Null), None);
+    }
+
+    #[test]
+    fn vars_of_type_filters() {
+        let p = sample();
+        let path = StmtPath::top_level(0, 1, 3); // println(x) after the for
+        let scope = scope_at(&p, &path).unwrap();
+        assert_eq!(scope.vars_of_type(&Type::Int), vec!["x"]);
+        assert_eq!(scope.vars_of_type(&Type::Ref("T".into())), vec!["t"]);
+    }
+}

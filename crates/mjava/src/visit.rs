@@ -1,0 +1,237 @@
+//! Expression visitors over single statements.
+//!
+//! Mutator applicability (paper Table 1, "Cond" column) is decided by what a
+//! mutation-point statement *itself* contains — a binary expression, a call,
+//! a field access — so these walkers cover the statement's own expressions
+//! (condition, initializer, arguments, …) but do not descend into nested
+//! statement blocks.
+
+use crate::ast::*;
+
+/// Visits every expression (pre-order) contained directly in `stmt`.
+pub fn for_each_expr_in_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match stmt {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::Assign { target, value } => {
+            match target {
+                LValue::Field(obj, _) => walk_expr(obj, f),
+                LValue::Var(_) | LValue::StaticField(..) => {}
+            }
+            walk_expr(value, f);
+        }
+        Stmt::Expr(e) | Stmt::Print(e) => walk_expr(e, f),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => walk_expr(cond, f),
+        Stmt::For {
+            init, cond, update, ..
+        } => {
+            if let Some(i) = init {
+                for_each_expr_in_stmt(i, f);
+            }
+            walk_expr(cond, f);
+            if let Some(u) = update {
+                for_each_expr_in_stmt(u, f);
+            }
+        }
+        Stmt::Sync { lock, .. } => walk_expr(lock, f),
+        Stmt::Return(Some(e)) => walk_expr(e, f),
+        Stmt::Return(None) | Stmt::Block(_) => {}
+    }
+}
+
+/// Visits `expr` and all sub-expressions, pre-order.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    match expr {
+        Expr::Unary(_, inner) | Expr::BoxInt(inner) | Expr::UnboxInt(inner) => walk_expr(inner, f),
+        Expr::Binary(_, lhs, rhs) => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Call(call) => {
+            if let CallTarget::Instance(recv) = &call.target {
+                walk_expr(recv, f);
+            }
+            for a in &call.args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Reflect(r) => {
+            if let Some(recv) = &r.receiver {
+                walk_expr(recv, f);
+            }
+            for a in &r.args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field(obj, _) => walk_expr(obj, f),
+        _ => {}
+    }
+}
+
+/// Rewrites expressions inside `stmt` pre-order; `f` returns `true` once it
+/// has rewritten an expression, which stops the traversal. Returns whether
+/// any rewrite happened.
+pub fn rewrite_first_expr_in_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr) -> bool) -> bool {
+    match stmt {
+        Stmt::Decl { init, .. } => init.as_mut().is_some_and(|e| rewrite_expr(e, f)),
+        Stmt::Assign { target, value } => {
+            let hit = match target {
+                LValue::Field(obj, _) => rewrite_expr(obj, f),
+                LValue::Var(_) | LValue::StaticField(..) => false,
+            };
+            hit || rewrite_expr(value, f)
+        }
+        Stmt::Expr(e) | Stmt::Print(e) => rewrite_expr(e, f),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => rewrite_expr(cond, f),
+        Stmt::For {
+            init, cond, update, ..
+        } => {
+            (init.as_mut().is_some_and(|i| rewrite_first_expr_in_stmt(i, f)))
+                || rewrite_expr(cond, f)
+                || (update
+                    .as_mut()
+                    .is_some_and(|u| rewrite_first_expr_in_stmt(u, f)))
+        }
+        Stmt::Sync { lock, .. } => rewrite_expr(lock, f),
+        Stmt::Return(Some(e)) => rewrite_expr(e, f),
+        Stmt::Return(None) | Stmt::Block(_) => false,
+    }
+}
+
+fn rewrite_expr(expr: &mut Expr, f: &mut impl FnMut(&mut Expr) -> bool) -> bool {
+    if f(expr) {
+        return true;
+    }
+    match expr {
+        Expr::Unary(_, inner) | Expr::BoxInt(inner) | Expr::UnboxInt(inner) => {
+            rewrite_expr(inner, f)
+        }
+        Expr::Binary(_, lhs, rhs) => rewrite_expr(lhs, f) || rewrite_expr(rhs, f),
+        Expr::Call(call) => {
+            let hit = match &mut call.target {
+                CallTarget::Instance(recv) => rewrite_expr(recv, f),
+                CallTarget::Static(_) => false,
+            };
+            hit || call.args.iter_mut().any(|a| rewrite_expr(a, f))
+        }
+        Expr::Reflect(r) => {
+            let hit = r.receiver.as_mut().is_some_and(|recv| rewrite_expr(recv, f));
+            hit || r.args.iter_mut().any(|a| rewrite_expr(a, f))
+        }
+        Expr::Field(obj, _) => rewrite_expr(obj, f),
+        _ => false,
+    }
+}
+
+/// Returns true if the statement directly contains an expression matching
+/// the predicate.
+pub fn stmt_contains(stmt: &Stmt, mut pred: impl FnMut(&Expr) -> bool) -> bool {
+    let mut found = false;
+    for_each_expr_in_stmt(stmt, &mut |e| {
+        if !found && pred(e) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Returns true if `stmt` contains a binary arithmetic expression — the
+/// condition of Inlining-evoke.
+pub fn contains_binary(stmt: &Stmt) -> bool {
+    stmt_contains(stmt, |e| {
+        matches!(e, Expr::Binary(op, _, _) if op.is_arithmetic())
+    })
+}
+
+/// Returns true if `stmt` contains a direct method call or instance field
+/// access — the condition of DeReflection-evoke.
+pub fn contains_call_or_field(stmt: &Stmt) -> bool {
+    stmt_contains(stmt, |e| matches!(e, Expr::Call(_) | Expr::Field(..)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn stmt_of(body: &str) -> Stmt {
+        let p = parse(&format!(
+            "class T {{ int f; int g(int a) {{ return a; }} static void main() {{ T t = new T(); {body} }} }}"
+        ))
+        .unwrap();
+        p.classes[0].methods[1].body.0[1].clone()
+    }
+
+    #[test]
+    fn finds_binary_in_decl_init() {
+        assert!(contains_binary(&stmt_of("int m = 1 + 2;")));
+        assert!(!contains_binary(&stmt_of("int m = 5;")));
+    }
+
+    #[test]
+    fn comparison_does_not_count_as_arithmetic_binary() {
+        assert!(!contains_binary(&stmt_of("boolean b = true;")));
+        // The `if` condition is a comparison, not arithmetic.
+        assert!(!contains_binary(&stmt_of("if (1 < 2) { }")));
+        // But an arithmetic subexpression inside the comparison counts.
+        assert!(contains_binary(&stmt_of("if (1 + 1 < 2) { }")));
+    }
+
+    #[test]
+    fn finds_call_and_field() {
+        assert!(contains_call_or_field(&stmt_of("int m = t.g(1);")));
+        assert!(contains_call_or_field(&stmt_of("int m = t.f;")));
+        assert!(!contains_call_or_field(&stmt_of("int m = 1 + 2;")));
+    }
+
+    #[test]
+    fn visits_for_header_expressions() {
+        let stmt = stmt_of("for (int i = t.g(0); i < 3; i++) { }");
+        assert!(contains_call_or_field(&stmt));
+    }
+
+    #[test]
+    fn does_not_descend_into_nested_blocks() {
+        let stmt = stmt_of("while (true) { int m = t.g(1); }");
+        assert!(!contains_call_or_field(&stmt));
+    }
+
+    #[test]
+    fn rewrite_first_replaces_only_one() {
+        let mut stmt = stmt_of("int m = 1 + 2 + 3;");
+        let n = std::cell::Cell::new(0);
+        rewrite_first_expr_in_stmt(&mut stmt, &mut |e| {
+            if matches!(e, Expr::Binary(BinOp::Add, _, _)) {
+                n.set(n.get() + 1);
+                *e = Expr::Int(99);
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(n.get(), 1);
+        match stmt {
+            Stmt::Decl { init: Some(Expr::Int(99)), .. } => {}
+            other => panic!("outermost binary should be replaced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrite_reaches_sync_lock_and_print() {
+        let mut stmt = stmt_of("synchronized (t) { }");
+        let hit = rewrite_first_expr_in_stmt(&mut stmt, &mut |e| {
+            if matches!(e, Expr::Var(_)) {
+                *e = Expr::ClassLit("T".into());
+                true
+            } else {
+                false
+            }
+        });
+        assert!(hit);
+        assert!(matches!(stmt, Stmt::Sync { lock: Expr::ClassLit(_), .. }));
+    }
+}

@@ -1,0 +1,61 @@
+//! A miniature fuzzing campaign: many seeds, rotating guidance JVMs,
+//! crash + differential oracles, root-cause deduplication, coverage, and
+//! mutator statistics — everything §4's experiments are built from.
+//!
+//! Run with: `cargo run --release --example campaign`
+
+use jvmsim::Area;
+use mopfuzzer::stats::{mutator_ratios, pair_ratios};
+use mopfuzzer::{run_campaign, CampaignConfig, Variant};
+
+fn main() {
+    let seeds = mopfuzzer::corpus::corpus(5, 42);
+    let config = CampaignConfig {
+        iterations_per_seed: 50,
+        variant: Variant::Full,
+        rounds: 30,
+        ..CampaignConfig::new(0)
+    };
+    println!(
+        "campaign: {} rounds × {} iterations over {} seeds, {} JVMs in the pool",
+        config.rounds,
+        config.iterations_per_seed,
+        seeds.len(),
+        config.pool.len()
+    );
+    let result = run_campaign(&seeds, &config);
+
+    println!(
+        "\n{} JVM executions, {} simulated steps, median final Δ {:.1}",
+        result.executions,
+        result.steps,
+        result.median_delta()
+    );
+    println!("\ncoverage:");
+    for area in Area::ALL {
+        println!("  {area:8} {:5.1}%", result.coverage.percent(area));
+    }
+
+    println!("\nbugs found ({}):", result.bugs.len());
+    for bug in &result.bugs {
+        println!(
+            "  {:12} {:26} {:12} via seed {:14} after {:>9} execs",
+            bug.id,
+            bug.component.label(),
+            if bug.is_crash { "crash" } else { "miscompile" },
+            bug.seed,
+            bug.at_execs,
+        );
+    }
+
+    if !result.bugs.is_empty() {
+        println!("\ntop mutators involved in bug-triggering cases:");
+        for (kind, ratio) in mutator_ratios(&result.bugs).into_iter().take(5) {
+            println!("  {:26} {:5.1}%", kind.label(), ratio * 100.0);
+        }
+        println!("\ntop mutator pairs:");
+        for ((a, b), ratio) in pair_ratios(&result.bugs).into_iter().take(5) {
+            println!("  {:22} + {:22} {:5.1}%", a.label(), b.label(), ratio * 100.0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Differential testing across the JVM pool (paper §3.5): run one program
+//! on every HotSpur LTS/mainline version and every J9 version, compare
+//! observable behaviour, and report miscompilations.
+//!
+//! Run with: `cargo run --release --example differential`
+
+use jvmsim::{JvmSpec, RunOptions};
+use mopfuzzer::{differential, fuzz, FuzzConfig, OracleVerdict, Variant};
+
+fn main() {
+    let pool = JvmSpec::differential_pool();
+    println!("differential pool:");
+    for spec in &pool {
+        println!("  {}", spec.name());
+    }
+
+    // A healthy program: every JVM must agree.
+    let healthy = mjava::samples::boxing_mix().program;
+    let result = differential(&healthy, &pool, &RunOptions::fuzzing());
+    println!("\nhealthy seed verdict: {:?}", discriminant_name(&result.verdict));
+
+    // Hunt for a miscompilation: fuzz and differential-test final mutants.
+    let seeds = mopfuzzer::corpus::builtin();
+    for round in 0u64..300 {
+        let seed = &seeds[round as usize % seeds.len()];
+        let config = FuzzConfig {
+            max_iterations: 50,
+            variant: Variant::Full,
+            guidance: pool[round as usize % pool.len()].clone(),
+            rng_seed: 7_000 + round,
+            weight_scheme: Default::default(),
+        };
+        let outcome = fuzz(&seed.program, &config);
+        if outcome.crash.is_some() {
+            continue; // crashes are the other oracle's business today
+        }
+        let diff = differential(&outcome.final_mutant, &pool, &RunOptions::fuzzing());
+        if let OracleVerdict::Miscompile { outputs, culprits } = diff.verdict {
+            println!("\nmiscompilation detected after fuzzing seed {}:", seed.name);
+            for (jvm, obs) in &outputs {
+                println!("  {jvm:16} → {:?}", truncated(obs));
+            }
+            println!("ground-truth culprit bug(s): {culprits:?}");
+            return;
+        }
+    }
+    println!("\nno miscompilation found in this search window — rerun with more rounds");
+}
+
+fn discriminant_name(v: &OracleVerdict) -> &'static str {
+    match v {
+        OracleVerdict::Pass => "Pass",
+        OracleVerdict::Crash { .. } => "Crash",
+        OracleVerdict::Miscompile { .. } => "Miscompile",
+        OracleVerdict::Inconclusive(_) => "Inconclusive",
+    }
+}
+
+fn truncated(lines: &[String]) -> Vec<String> {
+    lines.iter().take(3).cloned().collect()
+}

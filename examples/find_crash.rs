@@ -1,0 +1,66 @@
+//! Reproduces the paper's motivating scenario (§2.4): iterated mutation
+//! at a fixed mutation point until a mutant crashes a JVM's JIT compiler
+//! — the analogue of finding JDK-8312744 — then prints the `hs_err`
+//! report and the reduced test case.
+//!
+//! Run with: `cargo run --release --example find_crash`
+
+use jvmsim::{JvmSpec, RunOptions, Verdict};
+use mopfuzzer::{fuzz, FuzzConfig, Variant};
+
+fn main() {
+    let seeds = mopfuzzer::corpus::builtin();
+    let pool = JvmSpec::differential_pool();
+
+    // Fuzz seeds against rotating guidance JVMs until a crash shows up.
+    let mut found = None;
+    'search: for round in 0u64..400 {
+        let seed = &seeds[round as usize % seeds.len()];
+        let guidance = pool[round as usize % pool.len()].clone();
+        let config = FuzzConfig {
+            max_iterations: 50,
+            variant: Variant::Full,
+            guidance,
+            rng_seed: 1000 + round,
+            weight_scheme: Default::default(),
+        };
+        let outcome = fuzz(&seed.program, &config);
+        if outcome.crash.is_some() {
+            found = Some((seed.name.clone(), config, outcome));
+            break 'search;
+        }
+    }
+    let Some((seed_name, config, outcome)) = found else {
+        println!("no crash found in this search window — rerun with more rounds");
+        return;
+    };
+    let crash = outcome.crash.as_ref().expect("crash found");
+    println!(
+        "crash found: {} in component \"{}\" on {} (seed {}, {} iterations)",
+        crash.bug_id,
+        crash.component.label(),
+        config.guidance.name(),
+        seed_name,
+        outcome.records.len(),
+    );
+    println!("\nmutators applied:");
+    for record in &outcome.records {
+        println!("  {:2}. {}", record.iteration, record.mutator.label());
+    }
+    println!("\nhs_err report:\n{}", crash.hs_err);
+
+    // Reduce the mutant while the same bug still crashes the same JVM.
+    let bug_id = crash.bug_id.clone();
+    let spec = config.guidance.clone();
+    let mut oracle = |candidate: &mjava::Program| {
+        let run = jvmsim::run_jvm(candidate, &spec, &RunOptions::fuzzing());
+        matches!(&run.verdict, Verdict::CompilerCrash(r) if r.bug_id == bug_id)
+    };
+    println!("reducing ({} statements) ...", outcome.final_mutant.stmt_count());
+    let (reduced, stats) = jreduce::reduce(&outcome.final_mutant, &mut oracle);
+    println!(
+        "reduced {} → {} statements in {} oracle calls",
+        stats.before_stmts, stats.after_stmts, stats.oracle_calls
+    );
+    println!("\nreduced bug-triggering test case:\n{}", mjava::print(&reduced));
+}

@@ -1,0 +1,17 @@
+//! Workspace root crate: re-exports the full stack for the integration
+//! tests in `tests/` and the runnable examples in `examples/`.
+//!
+//! See the individual crates for the real APIs:
+//! [`mjava`] (language), [`jexec`] (interpreter), [`jopt`] (JIT),
+//! [`jvmsim`] (simulated JVMs), [`jprofile`] (profile data),
+//! [`mopfuzzer`] (the fuzzer), [`jreduce`] (reduction), and
+//! [`baselines`] (JITFuzz/Artemis).
+
+pub use baselines;
+pub use jexec;
+pub use jopt;
+pub use jprofile;
+pub use jreduce;
+pub use jvmsim;
+pub use mjava;
+pub use mopfuzzer;

@@ -1,0 +1,293 @@
+//! End-to-end integration: the full MopFuzzer pipeline from seed to
+//! reduced, reproducible bug report — the flow of the paper's §2.4
+//! motivating example and §3.5 oracles.
+
+use jvmsim::{JvmSpec, RunOptions, Verdict, Version};
+use mopfuzzer::{fuzz, FuzzConfig, Variant};
+
+/// The analogue of the paper's Listing 3: a hand-built mutant combining
+/// nested monitors, an unrollable loop, and adjacent monitor regions —
+/// which together (and only together) crash the mainline JVM in macro
+/// expansion (MOP-8312744, the JDK-8312744 analogue).
+fn listing3_analogue() -> mjava::Program {
+    mjava::parse(
+        r#"
+        class T {
+            static int s;
+            static void main() {
+                synchronized (T.class) {
+                    synchronized (T.class) {
+                        s = s + 1;
+                    }
+                }
+                int i = 0;
+                // Body size 8: the 2x-unroller fires exactly twice across
+                // the rounds (8 → 17 → 35 > unroll body limit), giving the
+                // two Unroll events MOP-8312744's trigger needs without
+                // reaching MOP-9014's three.
+                while (i < 64) {
+                    s = s + i;
+                    s = s + 1;
+                    s = s - 2;
+                    s = s + 5;
+                    s = s - 4;
+                    s = s + 7;
+                    s = s - 6;
+                    i = i + 1;
+                }
+                synchronized (T.class) { s = s + 3; }
+                synchronized (T.class) { s = s + 4; }
+                System.out.println(s);
+            }
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn listing3_crashes_mainline_in_macro_expansion() {
+    let program = listing3_analogue();
+    let spec = JvmSpec::hotspur(Version::Mainline);
+    let run = jvmsim::run_jvm(&program, &spec, &RunOptions::fuzzing());
+    match &run.verdict {
+        Verdict::CompilerCrash(report) => {
+            assert_eq!(report.bug_id, "MOP-8312744", "wrong bug: {report:?}");
+            assert!(report.hs_err.contains("Macro Expansion"));
+        }
+        other => panic!("expected the JDK-8312744 analogue, got {other:?}"),
+    }
+}
+
+#[test]
+fn listing3_needs_every_ingredient() {
+    // The paper stresses that removing any injected structure defuses the
+    // crash. Ablate each ingredient on the AST and verify MOP-8312744 no
+    // longer fires.
+    use mjava::Stmt;
+    let no_nesting = {
+        // Flatten the nested monitor: the outer sync keeps the inner body.
+        let mut p = listing3_analogue();
+        let main = &mut p.classes[0].methods[0].body;
+        let Stmt::Sync { body, .. } = &mut main.0[0] else {
+            panic!("statement 0 is the nested sync");
+        };
+        let Stmt::Sync { body: inner, .. } = body.0[0].clone() else {
+            panic!("inner sync expected");
+        };
+        *body = inner;
+        p
+    };
+    let no_loop = {
+        let mut p = listing3_analogue();
+        let main = &mut p.classes[0].methods[0].body;
+        main.0.retain(|s| !matches!(s, Stmt::While { .. }));
+        p
+    };
+    let no_adjacency = {
+        // Drop the last synchronized region so none are adjacent.
+        let mut p = listing3_analogue();
+        let main = &mut p.classes[0].methods[0].body;
+        let last_sync = main
+            .0
+            .iter()
+            .rposition(|s| matches!(s, Stmt::Sync { .. }))
+            .expect("trailing sync exists");
+        main.0.remove(last_sync);
+        p
+    };
+    let spec = JvmSpec::hotspur(Version::Mainline);
+    for (i, program) in [no_nesting, no_loop, no_adjacency].iter().enumerate() {
+        let run = jvmsim::run_jvm(program, &spec, &RunOptions::fuzzing());
+        if let Verdict::CompilerCrash(report) = &run.verdict {
+            assert_ne!(
+                report.bug_id, "MOP-8312744",
+                "ablation {i} should defuse the interaction"
+            );
+        }
+    }
+}
+
+#[test]
+fn jdk8324174_analogue_needs_three_nested_locks() {
+    // Paper §3.4: "JDK-8324174 exposes the bug through the use of three
+    // nested locks." Its analogue additionally needs an eliminable
+    // (thread-local) monitor in the same compilation.
+    let program = mjava::parse(
+        r#"
+        class T {
+            static int s;
+            static void main() {
+                T local = new T();
+                synchronized (local) { s = s + 1; }
+                synchronized (T.class) {
+                    synchronized (T.class) {
+                        synchronized (T.class) {
+                            s = s + 2;
+                        }
+                    }
+                }
+                System.out.println(s);
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let spec = JvmSpec::hotspur(Version::V17);
+    let run = jvmsim::run_jvm(&program, &spec, &RunOptions::fuzzing());
+    match &run.verdict {
+        Verdict::CompilerCrash(report) => assert_eq!(report.bug_id, "MOP-8324174"),
+        other => panic!("expected the JDK-8324174 analogue, got {other:?}"),
+    }
+    // With only two nested levels the bug stays dormant.
+    let two_levels = mjava::parse(
+        r#"
+        class T {
+            static int s;
+            static void main() {
+                T local = new T();
+                synchronized (local) { s = s + 1; }
+                synchronized (T.class) {
+                    synchronized (T.class) {
+                        s = s + 2;
+                    }
+                }
+                System.out.println(s);
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let run = jvmsim::run_jvm(&two_levels, &spec, &RunOptions::fuzzing());
+    if let Verdict::CompilerCrash(report) = &run.verdict {
+        assert_ne!(report.bug_id, "MOP-8324174");
+    }
+}
+
+#[test]
+fn jdk8322743_analogue_needs_four_way_interaction() {
+    // Paper §4.2: JDK-8322743's trigger involves escape analysis, lock
+    // elimination, autobox elimination, and deoptimization together.
+    let program = mjava::parse(
+        r#"
+        class T {
+            int v;
+            static int s;
+            static void main() {
+                T o = new T();
+                o.v = 3;
+                synchronized (o) {
+                    s = s + o.v;
+                }
+                int b = Integer.valueOf(s).intValue();
+                // The loop body is bulky on purpose: after peeling it
+                // exceeds the 2x-unroll size limit, so no Unroll events
+                // occur and the loop-heavy bugs (e.g. MOP-9015) stay
+                // quiet — isolating the four-way interaction under test.
+                for (int i = 0; i < 200; i++) {
+                    if (i == 1_000_003) { s = s + b; }
+                    s = s + i; s = s + 1; s = s + 2; s = s + 3;
+                    s = s + 4; s = s + 5; s = s + 6; s = s + 7;
+                    s = s + 8; s = s + 9; s = s + 10; s = s + 11;
+                    s = s + 12; s = s + 13; s = s + 14; s = s + 15;
+                    s = s + 16; s = s + 17; s = s + 18; s = s + 19;
+                    s = s + 20; s = s + 21; s = s + 22; s = s + 23;
+                }
+                System.out.println(s);
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let spec = JvmSpec::hotspur(Version::Mainline);
+    let run = jvmsim::run_jvm(&program, &spec, &RunOptions::fuzzing());
+    match &run.verdict {
+        Verdict::CompilerCrash(report) => assert_eq!(report.bug_id, "MOP-8322743"),
+        other => panic!("expected the JDK-8322743 analogue, got {other:?}"),
+    }
+}
+
+#[test]
+fn fuzzing_discovers_a_crash_and_reduction_keeps_it() {
+    let seeds = mopfuzzer::corpus::builtin();
+    let pool = JvmSpec::differential_pool();
+    let mut found = None;
+    for round in 0u64..120 {
+        let seed = &seeds[round as usize % seeds.len()];
+        let config = FuzzConfig {
+            max_iterations: 50,
+            variant: Variant::Full,
+            guidance: pool[round as usize % pool.len()].clone(),
+            rng_seed: 555 + round,
+            weight_scheme: Default::default(),
+        };
+        let outcome = fuzz(&seed.program, &config);
+        if outcome.crash.is_some() {
+            found = Some((config, outcome));
+            break;
+        }
+    }
+    let (config, outcome) = found.expect("a guided run should crash within the window");
+    assert!(outcome.crash.is_some());
+
+    // The crash reproduces on a fresh run of the final mutant. (Without
+    // the fuzzer's `compileonly` restriction every method compiles, so a
+    // different injected bug may fire first — but the VM must still
+    // crash.)
+    let rerun = jvmsim::run_jvm(
+        &outcome.final_mutant,
+        &config.guidance,
+        &RunOptions::fuzzing(),
+    );
+    let Verdict::CompilerCrash(report) = &rerun.verdict else {
+        panic!("crash did not reproduce: {:?}", rerun.verdict);
+    };
+
+    // Reduction shrinks the mutant while preserving the crash.
+    let bug_id = report.bug_id.clone();
+    let spec = config.guidance.clone();
+    let mut oracle = |p: &mjava::Program| {
+        matches!(
+            &jvmsim::run_jvm(p, &spec, &RunOptions::fuzzing()).verdict,
+            Verdict::CompilerCrash(r) if r.bug_id == bug_id
+        )
+    };
+    let (reduced, stats) = jreduce::reduce(&outcome.final_mutant, &mut oracle);
+    assert!(oracle(&reduced), "reduced case must still crash");
+    assert!(
+        stats.after_stmts <= stats.before_stmts,
+        "reduction must never grow the case"
+    );
+}
+
+#[test]
+fn fixed_mp_beats_random_mp_on_behaviour_increment() {
+    // The §4.4 ablation shape at miniature scale: over the same seeds and
+    // RNG seeds, the fixed-MP strategy accumulates more behaviour change
+    // than random-MP.
+    let seeds = mopfuzzer::corpus::builtin();
+    let guidance = JvmSpec::hotspur(Version::V17).without_bugs();
+    let mut full_total = 0.0;
+    let mut random_total = 0.0;
+    for (i, seed) in seeds.iter().enumerate().take(6) {
+        for variant in [Variant::Full, Variant::RandomMp] {
+            let config = FuzzConfig {
+                max_iterations: 20,
+                variant,
+                guidance: guidance.clone(),
+                rng_seed: 40 + i as u64,
+                weight_scheme: Default::default(),
+            };
+            let outcome = fuzz(&seed.program, &config);
+            match variant {
+                Variant::Full => full_total += outcome.final_delta(),
+                Variant::RandomMp => random_total += outcome.final_delta(),
+                Variant::NoGuidance => unreachable!(),
+            }
+        }
+    }
+    assert!(
+        full_total > random_total,
+        "fixed MP {full_total:.1} should beat random MP {random_total:.1}"
+    );
+}

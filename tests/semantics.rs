@@ -1,0 +1,146 @@
+//! Soundness integration tests: on bug-free JVMs, the whole optimizing
+//! stack must preserve the observable semantics of seeds *and* of
+//! arbitrarily mutated programs — otherwise the differential oracle would
+//! drown in false positives.
+
+use jvmsim::{JvmSpec, RunOptions, Verdict, Version};
+use mopfuzzer::all_mutators;
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+fn bug_free_pool() -> Vec<JvmSpec> {
+    JvmSpec::differential_pool()
+        .into_iter()
+        .map(JvmSpec::without_bugs)
+        .collect()
+}
+
+/// Applies `steps` random mutator applications at a random fixed MP.
+fn random_mutant(seed: &mjava::Program, steps: usize, rng_seed: u64) -> mjava::Program {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mutators = all_mutators();
+    let mut program = seed.clone();
+    let Some(mut mp) = mopfuzzer::fuzzer::select_mp(&program, &mut rng) else {
+        return program;
+    };
+    for _ in 0..steps {
+        let applicable: Vec<_> = mutators
+            .iter()
+            .filter(|m| m.is_applicable(&program, &mp))
+            .collect();
+        if applicable.is_empty() {
+            break;
+        }
+        let pick = applicable[rng.gen_range(0..applicable.len())];
+        if let Some(mutation) = pick.apply(&program, &mp, &mut rng) {
+            program = mutation.program;
+            mp = mutation.mp;
+        }
+    }
+    program
+}
+
+#[test]
+fn optimizers_preserve_mutant_semantics_across_bug_free_pool() {
+    let seeds = mopfuzzer::corpus::builtin();
+    let pool = bug_free_pool();
+    for (i, seed) in seeds.iter().enumerate() {
+        let mutant = random_mutant(&seed.program, 8, 900 + i as u64);
+        // Reference: pure interpretation.
+        let reference = jexec::run_program(&mutant, &jexec::ExecConfig::default())
+            .expect("mutant builds")
+            .observable();
+        for spec in &pool {
+            let run = jvmsim::run_jvm(&mutant, spec, &RunOptions::fuzzing());
+            let Verdict::Completed(_) = &run.verdict else {
+                panic!(
+                    "bug-free {} failed on mutant of {}: {:?}",
+                    spec.name(),
+                    seed.name,
+                    run.verdict
+                );
+            };
+            assert_eq!(
+                run.observable().expect("completed"),
+                reference,
+                "bug-free {} changed semantics of a mutant of {}:\n{}",
+                spec.name(),
+                seed.name,
+                mjava::print(&mutant)
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_corpus_mutants_also_preserved() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let pool = [
+        JvmSpec::hotspur(Version::Mainline).without_bugs(),
+        JvmSpec::j9(Version::V17).without_bugs(),
+    ];
+    for case in 0..8 {
+        let seed = mopfuzzer::corpus::generate(&mut rng);
+        let mutant = random_mutant(&seed, 6, 7_000 + case);
+        let reference = jexec::run_program(&mutant, &jexec::ExecConfig::default())
+            .expect("mutant builds")
+            .observable();
+        for spec in &pool {
+            let run = jvmsim::run_jvm(&mutant, spec, &RunOptions::fuzzing());
+            assert_eq!(
+                run.observable().expect("completed"),
+                reference,
+                "{} diverged on generated mutant:\n{}",
+                spec.name(),
+                mjava::print(&mutant)
+            );
+        }
+    }
+}
+
+#[test]
+fn mutation_chains_round_trip_through_source_text() {
+    // Mutants are reported as source text; the chain print → parse must
+    // lose nothing, however deep the mutation stack.
+    let seeds = mopfuzzer::corpus::builtin();
+    for (i, seed) in seeds.iter().enumerate() {
+        let mutant = random_mutant(&seed.program, 12, 400 + i as u64);
+        let printed = mjava::print(&mutant);
+        let reparsed = mjava::parse(&printed)
+            .unwrap_or_else(|e| panic!("mutant of {} unparseable: {e}\n{printed}", seed.name));
+        assert_eq!(reparsed, mutant, "round-trip mismatch for {}", seed.name);
+    }
+}
+
+#[test]
+fn armed_and_disarmed_jvms_agree_unless_a_bug_fires() {
+    // With bugs armed, behaviour may only differ when a bug actually
+    // fired (crash or recorded corruption) — never silently.
+    let seeds = mopfuzzer::corpus::builtin();
+    for (i, seed) in seeds.iter().enumerate() {
+        let mutant = random_mutant(&seed.program, 8, 1_300 + i as u64);
+        for spec in JvmSpec::differential_pool() {
+            let armed = jvmsim::run_jvm(&mutant, &spec, &RunOptions::fuzzing());
+            let disarmed = jvmsim::run_jvm(
+                &mutant,
+                &spec.clone().without_bugs(),
+                &RunOptions::fuzzing(),
+            );
+            match (&armed.verdict, &disarmed.verdict) {
+                (Verdict::CompilerCrash(_), _) => {} // bug fired: fine
+                (Verdict::Completed(_), Verdict::Completed(_)) => {
+                    if armed.miscompiled_by.is_empty() {
+                        assert_eq!(
+                            armed.observable(),
+                            disarmed.observable(),
+                            "silent divergence on {} for mutant of {}",
+                            spec.name(),
+                            seed.name
+                        );
+                    }
+                }
+                (a, d) => panic!("unexpected verdict pair: {a:?} vs {d:?}"),
+            }
+        }
+    }
+}
