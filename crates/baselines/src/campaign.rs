@@ -86,6 +86,8 @@ pub fn tool_campaign(tool: Tool, seeds: &[Seed], config: &ToolCampaignConfig) ->
                     guidance,
                     rng_seed,
                     weight_scheme: Default::default(),
+                    banned: Vec::new(),
+                    fault: None,
                 };
                 let out = mopfuzzer::fuzz(&seed.program, &cfg);
                 let history = out.mutator_history();
@@ -195,11 +197,7 @@ mod tests {
     #[test]
     fn all_tools_run_within_budget_shape() {
         let seeds = mopfuzzer::corpus::builtin();
-        for tool in [
-            Tool::MopFuzzer(Variant::Full),
-            Tool::JitFuzz,
-            Tool::Artemis,
-        ] {
+        for tool in [Tool::MopFuzzer(Variant::Full), Tool::JitFuzz, Tool::Artemis] {
             let result = tool_campaign(tool, &seeds, &tiny_config());
             assert!(result.executions >= 120, "{tool}: {}", result.executions);
             assert!(!result.final_deltas.is_empty(), "{tool}");
@@ -215,11 +213,7 @@ mod tests {
         let mop = tool_campaign(Tool::MopFuzzer(Variant::Full), &seeds, &config);
         let jit = tool_campaign(Tool::JitFuzz, &seeds, &config);
         let art = tool_campaign(Tool::Artemis, &seeds, &config);
-        let (m, j, a) = (
-            mop.median_delta(),
-            jit.median_delta(),
-            art.median_delta(),
-        );
+        let (m, j, a) = (mop.median_delta(), jit.median_delta(), art.median_delta());
         assert!(m > j, "MopFuzzer {m} vs JITFuzz {j}");
         assert!(m > a, "MopFuzzer {m} vs Artemis {a}");
     }

@@ -66,11 +66,7 @@ fn bench_table6(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("table6_three_tool_slice", |b| {
         b.iter(|| {
-            for tool in [
-                Tool::MopFuzzer(Variant::Full),
-                Tool::Artemis,
-                Tool::JitFuzz,
-            ] {
+            for tool in [Tool::MopFuzzer(Variant::Full), Tool::Artemis, Tool::JitFuzz] {
                 black_box(tool_campaign(tool, &seeds, &config));
             }
         })
@@ -86,6 +82,8 @@ fn bench_fig1(c: &mut Criterion) {
         guidance: jvmsim::JvmSpec::hotspur(jvmsim::Version::Mainline),
         rng_seed: 31,
         weight_scheme: Default::default(),
+        banned: Vec::new(),
+        fault: None,
     };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);

@@ -11,7 +11,9 @@ fn bench_parse_print(c: &mut Criterion) {
         b.iter(|| mjava::parse(black_box(&src)).unwrap())
     });
     let program = mjava::samples::listing2().program;
-    c.bench_function("print_listing2", |b| b.iter(|| mjava::print(black_box(&program))));
+    c.bench_function("print_listing2", |b| {
+        b.iter(|| mjava::print(black_box(&program)))
+    });
 }
 
 fn bench_interpreter(c: &mut Criterion) {
@@ -88,6 +90,8 @@ fn bench_fuzz_iteration(c: &mut Criterion) {
         guidance: jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs(),
         rng_seed: 7,
         weight_scheme: Default::default(),
+        banned: Vec::new(),
+        fault: None,
     };
     let mut group = c.benchmark_group("fuzz");
     group.sample_size(10);

@@ -34,23 +34,16 @@ fn main() {
                 guidance: pool[round as usize % pool.len()].clone().without_bugs(),
                 rng_seed: 17 + round,
                 weight_scheme: scheme,
+                banned: Vec::new(),
+                fault: None,
             };
             let outcome = fuzz(&seed.program, &config);
             deltas.push(outcome.final_delta());
-            distinct.push(
-                outcome
-                    .records
-                    .last()
-                    .map_or(0, |r| r.obv.distinct()) as f64,
-            );
+            distinct.push(outcome.records.last().map_or(0, |r| r.obv.distinct()) as f64);
             // Weight concentration: share of total weight held by the
             // single heaviest mutator (1/13 ≈ 0.077 = uniform).
             let total: f64 = outcome.weights.values().sum();
-            let max = outcome
-                .weights
-                .values()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let max = outcome.weights.values().cloned().fold(0.0f64, f64::max);
             concentration.push(max / total.max(f64::MIN_POSITIVE));
         }
         rows.push(vec![

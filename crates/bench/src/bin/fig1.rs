@@ -23,6 +23,8 @@ fn main() {
             guidance,
             rng_seed: 31 + round,
             weight_scheme: Default::default(),
+            banned: Vec::new(),
+            fault: None,
         };
         let outcome = fuzz(&seed.program, &config);
         if outcome.crash.is_some() && outcome.records.len() >= 10 {

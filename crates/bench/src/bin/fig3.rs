@@ -13,11 +13,7 @@ fn main() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(8);
     let config = ToolCampaignConfig::with_budget(1_500 * scale);
-    let tools = [
-        Tool::MopFuzzer(Variant::Full),
-        Tool::JitFuzz,
-        Tool::Artemis,
-    ];
+    let tools = [Tool::MopFuzzer(Variant::Full), Tool::JitFuzz, Tool::Artemis];
     let mut rows = Vec::new();
     let mut medians = Vec::new();
     for tool in tools {

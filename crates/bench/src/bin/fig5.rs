@@ -40,7 +40,12 @@ fn main() {
         let mut row = vec![variant.to_string()];
         for decile in 1..=10u64 {
             let cutoff = max_steps * decile / 10;
-            row.push(bugs.iter().filter(|(t, _)| *t <= cutoff).count().to_string());
+            row.push(
+                bugs.iter()
+                    .filter(|(t, _)| *t <= cutoff)
+                    .count()
+                    .to_string(),
+            );
         }
         rows.push(row);
     }

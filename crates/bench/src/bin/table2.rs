@@ -7,6 +7,8 @@
 use bench::{dual_family_campaign, experiment_seeds, render_table, scale_from_args};
 use jvmsim::{BugKind, Family, ReportStatus};
 
+type BugPred = Box<dyn Fn(&jvmsim::InjectedBug) -> bool>;
+
 fn main() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(6);
@@ -19,13 +21,8 @@ fn main() {
 
     let library = jvmsim::bugs::library();
     let in_library = |id: &str| library.iter().any(|b| b.id == id);
-    let found: Vec<_> = result
-        .bugs
-        .iter()
-        .filter(|b| in_library(&b.id))
-        .collect();
-    let found_ids: std::collections::HashSet<&str> =
-        found.iter().map(|b| b.id.as_str()).collect();
+    let found: Vec<_> = result.bugs.iter().filter(|b| in_library(&b.id)).collect();
+    let found_ids: std::collections::HashSet<&str> = found.iter().map(|b| b.id.as_str()).collect();
 
     let count = |family: Family, pred: &dyn Fn(&jvmsim::InjectedBug) -> bool| {
         library
@@ -41,7 +38,7 @@ fn main() {
     };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let statuses: [(&str, Box<dyn Fn(&jvmsim::InjectedBug) -> bool>); 5] = [
+    let statuses: [(&str, BugPred); 5] = [
         ("Confirmed", Box::new(|_| true)),
         (
             "In Progress",
@@ -70,8 +67,14 @@ fn main() {
             ),
         ]);
     }
-    rows.push(vec!["--- types ---".into(), String::new(), String::new(), String::new(), String::new()]);
-    let kinds: [(&str, Box<dyn Fn(&jvmsim::InjectedBug) -> bool>); 2] = [
+    rows.push(vec![
+        "--- types ---".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    let kinds: [(&str, BugPred); 2] = [
         ("Crash", Box::new(|b| matches!(b.kind, BugKind::Crash))),
         (
             "Miscompilation",

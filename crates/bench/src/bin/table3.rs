@@ -11,11 +11,8 @@ fn main() {
     eprintln!("running one campaign per JVM family: {rounds} rounds each ...");
     let result = bench::dual_family_campaign(&seeds, rounds);
     let library = jvmsim::bugs::library();
-    let found_ids: std::collections::HashSet<&str> = result
-        .bugs
-        .iter()
-        .map(|b| b.id.as_str())
-        .collect();
+    let found_ids: std::collections::HashSet<&str> =
+        result.bugs.iter().map(|b| b.id.as_str()).collect();
 
     let hotspur = |v: Version| {
         library

@@ -22,11 +22,7 @@ fn main() {
                     entry.1 += 1;
                     entry.2 += usize::from(found_ids.contains(bug.id));
                 }
-                None => per.push((
-                    bug.component,
-                    1,
-                    usize::from(found_ids.contains(bug.id)),
-                )),
+                None => per.push((bug.component, 1, usize::from(found_ids.contains(bug.id)))),
             }
         }
         per.sort_by_key(|(_, n, _)| std::cmp::Reverse(*n));

@@ -22,14 +22,13 @@ fn main() {
         pool,
         ..ToolCampaignConfig::with_budget(0)
     };
-    let tools = [
-        Tool::MopFuzzer(Variant::Full),
-        Tool::Artemis,
-        Tool::JitFuzz,
-    ];
+    let tools = [Tool::MopFuzzer(Variant::Full), Tool::Artemis, Tool::JitFuzz];
     let mut per_tool: Vec<(String, BTreeMap<Component, Vec<String>>)> = Vec::new();
     for tool in tools {
-        eprintln!("running {tool} (budget {} executions) ...", config.max_executions);
+        eprintln!(
+            "running {tool} (budget {} executions) ...",
+            config.max_executions
+        );
         let result = tool_campaign(tool, &seeds, &config);
         let mut by_component: BTreeMap<Component, Vec<String>> = BTreeMap::new();
         for bug in &result.bugs {

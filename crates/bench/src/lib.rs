@@ -54,6 +54,8 @@ pub fn dual_family_campaign(seeds: &[Seed], rounds_per_family: usize) -> DualRes
             rounds: rounds_per_family,
             pool,
             rng_seed: 2024 + salt,
+            supervisor: Default::default(),
+            fault: None,
         };
         let result = run_campaign(seeds, &config);
         merged.executions += result.executions;
@@ -161,7 +163,10 @@ mod tests {
         let t = render_table(
             "T",
             &["a", "bb"],
-            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["long".into(), "z".into()],
+            ],
         );
         assert!(t.contains("== T =="));
         assert!(t.contains("long"));

@@ -12,9 +12,17 @@
 //! picks one file/seed by name; `--jdk` names the simulated JVMs to
 //! test, `family-version` style. Mutants and per-mutant logs are written
 //! under `--out` (default `mutants/`), mirroring the artifact's layout.
+//!
+//! Passing `--rounds N` switches to supervised-campaign mode: rounds run
+//! inside a fault boundary with budgets and quarantine, optionally
+//! checkpointed to a JSONL journal (`--journal FILE`) that
+//! `--resume FILE` continues with bit-identical results.
 
-use jvmsim::{JvmSpec, RunOptions, Version};
-use mopfuzzer::{differential, fuzz, FuzzConfig, OracleVerdict, Variant};
+use jvmsim::{FaultPlan, JvmSpec, RunOptions};
+use mopfuzzer::{
+    differential, fuzz, resume_campaign, run_campaign, run_campaign_with_journal, CampaignConfig,
+    CampaignResult, FuzzConfig, OracleVerdict, SupervisorConfig, Variant,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -33,7 +41,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&options) {
+    let outcome = if let Some(journal) = &options.resume {
+        run_resume(journal)
+    } else if options.rounds.is_some() {
+        run_campaign_mode(&options)
+    } else {
+        run(&options)
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -50,6 +65,8 @@ fn print_usage() {
            mopfuzzer [--project_path DIR] [--target_case NAME]\n\
                      [--jdk SPEC[,SPEC..]] [--enable_profile_guide true|false]\n\
                      [--iterations N] [--rng SEED] [--out DIR]\n\
+           mopfuzzer --rounds N [--journal FILE] [campaign options..]\n\
+           mopfuzzer --resume FILE\n\
          \n\
          OPTIONS:\n\
            --project_path DIR      directory of .java seed files (MiniJava subset);\n\
@@ -60,7 +77,20 @@ fn print_usage() {
            --enable_profile_guide  true (default) = Eq.1-3 guidance; false = MopFuzzer_g\n\
            --iterations N          mutation iterations per seed (default 50)\n\
            --rng SEED              RNG seed (default 0)\n\
-           --out DIR               where mutants and logs are written (default mutants/)"
+           --out DIR               where mutants and logs are written (default mutants/)\n\
+         \n\
+         CAMPAIGN MODE (fault-supervised):\n\
+           --rounds N              run a supervised campaign of N rounds\n\
+           --journal FILE          checkpoint every round to a JSONL journal\n\
+           --resume FILE           resume a journaled campaign (bit-identical)\n\
+           --max-steps N           stop after N interpreter steps (simulated time)\n\
+           --max-execs N           stop after N JVM executions\n\
+           --round-deadline N      fail rounds exceeding N steps\n\
+           --retries N             retries per faulted round (default 2)\n\
+           --quarantine-threshold N  failed rounds before a (seed, mutator)\n\
+                                   pair is quarantined (default 2)\n\
+           --fault-rate F          inject faults at rate F (0.0-1.0; testing)\n\
+           --fault-seed SEED       fault-injection seed (default 0)"
     );
 }
 
@@ -72,6 +102,11 @@ struct CliOptions {
     iterations: usize,
     rng: u64,
     out: PathBuf,
+    rounds: Option<usize>,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    supervisor: SupervisorConfig,
+    fault: Option<FaultPlan>,
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -81,9 +116,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("unexpected argument {key:?}"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         let key: &'static str = match name {
             "project_path" => "project_path",
             "target_case" => "target_case",
@@ -92,6 +125,16 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "iterations" => "iterations",
             "rng" => "rng",
             "out" => "out",
+            "rounds" => "rounds",
+            "journal" => "journal",
+            "resume" => "resume",
+            "max-steps" => "max-steps",
+            "max-execs" => "max-execs",
+            "round-deadline" => "round-deadline",
+            "retries" => "retries",
+            "quarantine-threshold" => "quarantine-threshold",
+            "fault-rate" => "fault-rate",
+            "fault-seed" => "fault-seed",
             other => return Err(format!("unknown option --{other}")),
         };
         map.insert(key, value);
@@ -100,8 +143,35 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         None => JvmSpec::differential_pool(),
         Some(spec) => spec
             .split(',')
-            .map(parse_jvm)
+            .map(JvmSpec::from_name)
             .collect::<Result<Vec<_>, _>>()?,
+    };
+    fn num<T: std::str::FromStr>(
+        map: &HashMap<&str, &str>,
+        key: &str,
+    ) -> Result<Option<T>, String> {
+        map.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad --{key}")))
+            .transpose()
+    }
+    let mut supervisor = SupervisorConfig {
+        max_steps: num(&map, "max-steps")?,
+        max_executions: num(&map, "max-execs")?,
+        round_step_deadline: num(&map, "round-deadline")?,
+        ..SupervisorConfig::default()
+    };
+    if let Some(retries) = num(&map, "retries")? {
+        supervisor.max_retries = retries;
+    }
+    if let Some(threshold) = num(&map, "quarantine-threshold")? {
+        supervisor.quarantine_threshold = threshold;
+    }
+    let fault = match num::<f64>(&map, "fault-rate")? {
+        None => None,
+        Some(rate) if (0.0..=1.0).contains(&rate) => {
+            Some(FaultPlan::new(num(&map, "fault-seed")?.unwrap_or(0), rate))
+        }
+        Some(_) => return Err("bad --fault-rate (expected 0.0-1.0)".to_string()),
     };
     Ok(CliOptions {
         project_path: map.get("project_path").map(PathBuf::from),
@@ -109,39 +179,18 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         jdks,
         guided: map
             .get("enable_profile_guide")
-            .map_or(true, |v| *v != "false"),
-        iterations: map
-            .get("iterations")
-            .map_or(Ok(50), |v| v.parse().map_err(|_| "bad --iterations"))?,
-        rng: map
-            .get("rng")
-            .map_or(Ok(0), |v| v.parse().map_err(|_| "bad --rng"))?,
-        out: map.get("out").map_or_else(|| PathBuf::from("mutants"), PathBuf::from),
+            .is_none_or(|v| *v != "false"),
+        iterations: num(&map, "iterations")?.unwrap_or(50),
+        rng: num(&map, "rng")?.unwrap_or(0),
+        out: map
+            .get("out")
+            .map_or_else(|| PathBuf::from("mutants"), PathBuf::from),
+        rounds: num(&map, "rounds")?,
+        journal: map.get("journal").map(PathBuf::from),
+        resume: map.get("resume").map(PathBuf::from),
+        supervisor,
+        fault,
     })
-}
-
-fn parse_jvm(spec: &str) -> Result<JvmSpec, String> {
-    let (family, version) = spec
-        .split_once('-')
-        .ok_or_else(|| format!("bad JVM spec {spec:?} (expected e.g. HotSpur-17)"))?;
-    let version = match version {
-        "8" => Version::V8,
-        "11" => Version::V11,
-        "17" => Version::V17,
-        "21" => Version::V21,
-        "mainline" | "23" => Version::Mainline,
-        other => return Err(format!("unknown version {other:?}")),
-    };
-    match family {
-        "HotSpur" => Ok(JvmSpec::hotspur(version)),
-        "J9" => {
-            if matches!(version, Version::V21 | Version::Mainline) {
-                return Err(format!("J9 ships versions 8, 11 and 17, not {version}"));
-            }
-            Ok(JvmSpec::j9(version))
-        }
-        other => Err(format!("unknown family {other:?} (HotSpur or J9)")),
-    }
 }
 
 fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
@@ -159,8 +208,7 @@ fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
             for path in paths {
                 let src = std::fs::read_to_string(&path)
                     .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                let program = mjava::parse(&src)
-                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let program = mjava::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
                 out.push(mopfuzzer::Seed {
                     name: path
                         .file_stem()
@@ -184,6 +232,83 @@ fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
     Ok(seeds)
 }
 
+fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
+    let seeds = load_seeds(options)?;
+    let config = CampaignConfig {
+        iterations_per_seed: options.iterations,
+        variant: if options.guided {
+            Variant::Full
+        } else {
+            Variant::NoGuidance
+        },
+        rounds: options.rounds.unwrap_or(0),
+        pool: options.jdks.clone(),
+        rng_seed: options.rng,
+        supervisor: options.supervisor.clone(),
+        fault: options.fault.clone(),
+    };
+    println!(
+        "campaign: {} supervised rounds × {} iterations over {} seed(s), {} JVMs",
+        config.rounds,
+        config.iterations_per_seed,
+        seeds.len(),
+        config.pool.len()
+    );
+    let result = match &options.journal {
+        None => run_campaign(&seeds, &config),
+        Some(path) => {
+            println!("journal: {}", path.display());
+            run_campaign_with_journal(&seeds, &config, path)?
+        }
+    };
+    print_campaign_summary(&result);
+    Ok(())
+}
+
+fn run_resume(journal: &Path) -> Result<(), String> {
+    println!("resuming campaign from {}", journal.display());
+    let result = resume_campaign(journal)?;
+    print_campaign_summary(&result);
+    Ok(())
+}
+
+fn print_campaign_summary(result: &CampaignResult) {
+    println!(
+        "done: {} bug(s), {} executions, {} steps, {} round(s) completed",
+        result.bugs.len(),
+        result.executions,
+        result.steps,
+        result.completed_rounds()
+    );
+    for bug in &result.bugs {
+        println!(
+            "  bug {} ({}) on {} via seed {}",
+            bug.id,
+            if bug.is_crash { "crash" } else { "miscompile" },
+            bug.jvm,
+            bug.seed
+        );
+    }
+    if result.inconclusive_rounds > 0 {
+        println!("  inconclusive rounds: {}", result.inconclusive_rounds);
+    }
+    if result.errored_rounds + result.skipped_rounds + result.retried_attempts > 0 {
+        println!(
+            "  faults: {} errored round(s), {} skipped, {} retried attempt(s)",
+            result.errored_rounds, result.skipped_rounds, result.retried_attempts
+        );
+    }
+    for (seed, mutator) in &result.quarantined {
+        match mutator {
+            Some(m) => println!("  quarantined: {seed} × {m}"),
+            None => println!("  quarantined: {seed} (whole seed)"),
+        }
+    }
+    if let Some(stop) = &result.stopped {
+        println!("  stopped early at round {}: {}", stop.round, stop.error);
+    }
+}
+
 fn run(options: &CliOptions) -> Result<(), String> {
     let seeds = load_seeds(options)?;
     std::fs::create_dir_all(&options.out)
@@ -192,7 +317,11 @@ fn run(options: &CliOptions) -> Result<(), String> {
         "fuzzing {} seed(s), {} iterations each, guidance {}, JVMs: {}",
         seeds.len(),
         options.iterations,
-        if options.guided { "on" } else { "off (MopFuzzer_g)" },
+        if options.guided {
+            "on"
+        } else {
+            "off (MopFuzzer_g)"
+        },
         options
             .jdks
             .iter()
@@ -213,6 +342,8 @@ fn run(options: &CliOptions) -> Result<(), String> {
             guidance: guidance.clone(),
             rng_seed: options.rng.wrapping_add(i as u64),
             weight_scheme: Default::default(),
+            banned: Vec::new(),
+            fault: None,
         };
         let outcome = fuzz(&seed.program, &config);
         let mutant_path = options.out.join(format!("{}_final.java", seed.name));
@@ -241,11 +372,7 @@ fn run(options: &CliOptions) -> Result<(), String> {
             )?;
             format!("CRASH {} in {}", crash.bug_id, crash.component.label())
         } else {
-            let diff = differential(
-                &outcome.final_mutant,
-                &options.jdks,
-                &RunOptions::fuzzing(),
-            );
+            let diff = differential(&outcome.final_mutant, &options.jdks, &RunOptions::fuzzing());
             match diff.verdict {
                 OracleVerdict::Pass => "pass".to_string(),
                 OracleVerdict::Inconclusive(reason) => format!("inconclusive: {reason}"),

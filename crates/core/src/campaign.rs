@@ -1,15 +1,21 @@
 //! Campaign driver: many fuzzing rounds over a seed corpus, bug
 //! collection with root-cause deduplication, coverage accumulation, and a
 //! simulated clock (interpreter steps stand in for wall-clock time).
+//!
+//! Since the supervisor rework, every round runs inside a fault boundary
+//! (see [`crate::supervisor`]): panics are contained and classified,
+//! faulting rounds are retried and eventually quarantined, budgets stop
+//! the campaign gracefully, and an optional JSONL journal makes a killed
+//! campaign resumable with bit-identical results.
 
 use crate::corpus::Seed;
-use crate::fuzzer::{fuzz, FuzzConfig};
+use crate::journal::{self, JournalWriter};
 use crate::mutators::MutatorKind;
-use crate::oracle::{differential, OracleVerdict};
+use crate::supervisor::{run_supervised, RoundFailure, SupervisorConfig};
 use crate::variant::Variant;
-use jvmsim::{Component, CoverageMap, JvmSpec, RunOptions};
+use jvmsim::{Component, CoverageMap, FaultPlan, JvmSpec};
 use mjava::Program;
-use std::collections::HashSet;
+use std::path::Path;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +31,10 @@ pub struct CampaignConfig {
     pub pool: Vec<JvmSpec>,
     /// Base RNG seed; round `r` derives its own seed from it.
     pub rng_seed: u64,
+    /// Fault-handling policy: retries, quarantine, budgets.
+    pub supervisor: SupervisorConfig,
+    /// Optional deterministic fault injection (robustness testing).
+    pub fault: Option<FaultPlan>,
 }
 
 impl CampaignConfig {
@@ -36,12 +46,14 @@ impl CampaignConfig {
             rounds,
             pool: JvmSpec::differential_pool(),
             rng_seed: 2024,
+            supervisor: SupervisorConfig::default(),
+            fault: None,
         }
     }
 }
 
 /// One deduplicated bug discovery.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FoundBug {
     /// The injected bug's id — the root cause (two findings with the same
     /// id are the same bug, as in the paper's Fig. 5b analysis).
@@ -65,7 +77,7 @@ pub struct FoundBug {
 }
 
 /// The result of one campaign.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignResult {
     /// Deduplicated bugs in discovery order.
     pub bugs: Vec<FoundBug>,
@@ -77,6 +89,22 @@ pub struct CampaignResult {
     pub coverage: CoverageMap,
     /// Final-mutant Δ for every completed round (Figures 3/4 data).
     pub final_deltas: Vec<f64>,
+    /// Rounds whose differential verdict was inconclusive (fewer than two
+    /// comparable outputs).
+    pub inconclusive_rounds: u64,
+    /// Rounds that exhausted every retry and contributed nothing.
+    pub errored_rounds: u64,
+    /// Rounds skipped because their seed was quarantined whole.
+    pub skipped_rounds: u64,
+    /// Total extra attempts spent retrying faulted rounds.
+    pub retried_attempts: u64,
+    /// Every classified failure, in occurrence order.
+    pub round_errors: Vec<RoundFailure>,
+    /// `(seed, mutator)` pairs quarantined during the campaign; a `None`
+    /// mutator means the seed as a whole.
+    pub quarantined: Vec<(String, Option<MutatorKind>)>,
+    /// Set when a campaign-wide budget stopped the campaign early.
+    pub stopped: Option<RoundFailure>,
 }
 
 impl CampaignResult {
@@ -84,112 +112,64 @@ impl CampaignResult {
     pub fn median_delta(&self) -> f64 {
         crate::stats::median(&self.final_deltas)
     }
+
+    /// Rounds that completed normally (executed, not errored or skipped).
+    pub fn completed_rounds(&self) -> usize {
+        self.final_deltas.len()
+    }
 }
 
-fn component_of_miscompile(id: &str) -> Option<Component> {
+pub(crate) fn component_of_miscompile(id: &str) -> Option<Component> {
     jvmsim::bugs::library()
         .into_iter()
         .find(|b| b.id == id)
         .map(|b| b.component)
 }
 
-/// Runs a fuzzing campaign.
+/// Runs a fuzzing campaign under the fault supervisor.
 pub fn run_campaign(seeds: &[Seed], config: &CampaignConfig) -> CampaignResult {
-    let mut result = CampaignResult::default();
-    let mut seen: HashSet<String> = HashSet::new();
-    if seeds.is_empty() || config.pool.is_empty() {
-        return result;
-    }
-    for round in 0..config.rounds {
-        let seed = &seeds[round % seeds.len()];
-        let guidance = config.pool[round % config.pool.len()].clone();
-        let fuzz_config = FuzzConfig {
-            max_iterations: config.iterations_per_seed,
-            variant: config.variant,
-            guidance,
-            rng_seed: config
-                .rng_seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(round as u64),
-            weight_scheme: Default::default(),
-        };
-        let outcome = fuzz(&seed.program, &fuzz_config);
-        result.executions += outcome.executions;
-        result.steps += outcome.steps;
-        result.coverage.merge(&outcome.coverage);
-        result.final_deltas.push(outcome.final_delta());
+    run_supervised(seeds, config, None, &[])
+}
 
-        // Crash during guidance runs (Algorithm 1's early exit).
-        if let Some(report) = &outcome.crash {
-            if seen.insert(report.bug_id.clone()) {
-                result.bugs.push(FoundBug {
-                    id: report.bug_id.clone(),
-                    component: report.component,
-                    is_crash: true,
-                    jvm: fuzz_config.guidance.name(),
-                    seed: seed.name.clone(),
-                    mutators: outcome.mutator_history(),
-                    at_execs: result.executions,
-                    at_steps: result.steps,
-                    mutant: outcome.final_mutant.clone(),
-                });
-            }
-            continue;
-        }
+/// Runs a campaign while checkpointing every round to a JSONL journal at
+/// `path` (created or truncated). The journal is self-contained:
+/// [`resume_campaign`] needs nothing else.
+pub fn run_campaign_with_journal(
+    seeds: &[Seed],
+    config: &CampaignConfig,
+    path: &Path,
+) -> Result<CampaignResult, String> {
+    let mut writer = JournalWriter::create(path, config, seeds)?;
+    Ok(run_supervised(seeds, config, Some(&mut writer), &[]))
+}
 
-        // Differential testing of the final mutant over the whole pool.
-        let diff = differential(&outcome.final_mutant, &config.pool, &RunOptions::fuzzing());
-        result.executions += diff.executions;
-        result.steps += diff.steps;
-        result.coverage.merge(&diff.coverage);
-        match diff.verdict {
-            OracleVerdict::Crash { jvm, report } => {
-                if seen.insert(report.bug_id.clone()) {
-                    result.bugs.push(FoundBug {
-                        id: report.bug_id.clone(),
-                        component: report.component,
-                        is_crash: true,
-                        jvm,
-                        seed: seed.name.clone(),
-                        mutators: outcome.mutator_history(),
-                        at_execs: result.executions,
-                        at_steps: result.steps,
-                        mutant: outcome.final_mutant.clone(),
-                    });
-                }
-            }
-            OracleVerdict::Miscompile { outputs, culprits } => {
-                for id in culprits {
-                    if seen.insert(id.clone()) {
-                        let component = component_of_miscompile(&id)
-                            .unwrap_or(Component::OtherJit);
-                        result.bugs.push(FoundBug {
-                            id,
-                            component,
-                            is_crash: false,
-                            jvm: outputs
-                                .first()
-                                .map(|(j, _)| j.clone())
-                                .unwrap_or_default(),
-                            seed: seed.name.clone(),
-                            mutators: outcome.mutator_history(),
-                            at_execs: result.executions,
-                            at_steps: result.steps,
-                            mutant: outcome.final_mutant.clone(),
-                        });
-                    }
-                }
-            }
-            OracleVerdict::Pass | OracleVerdict::Inconclusive(_) => {}
-        }
+/// Resumes a journaled campaign: checkpointed rounds are replayed from the
+/// journal (no re-execution), the rest are run and appended. The combined
+/// result is bit-identical to an uninterrupted run because replay and live
+/// execution share one accounting code path. A truncated trailing line
+/// (killed mid-write) is dropped and its round re-executed.
+pub fn resume_campaign(path: &Path) -> Result<CampaignResult, String> {
+    let contents = journal::read_journal(path)?;
+    // Rewrite the journal up to the last intact record so a previously
+    // truncated tail can never corrupt the middle of the resumed file.
+    let mut writer = JournalWriter::create(path, &contents.config, &contents.seeds)?;
+    for record in &contents.records {
+        writer.write_round(record)?;
     }
-    result
+    Ok(run_supervised(
+        &contents.seeds,
+        &contents.config,
+        Some(&mut writer),
+        &contents.records,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus;
+    use crate::supervisor::{BudgetKind, RoundError};
+    use jvmsim::VmFault;
 
     #[test]
     fn small_campaign_finds_at_least_one_bug() {
@@ -210,6 +190,12 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), result.bugs.len());
+        // A fault-free campaign reports a clean supervisor ledger.
+        assert_eq!(result.errored_rounds, 0);
+        assert_eq!(result.skipped_rounds, 0);
+        assert!(result.round_errors.is_empty());
+        assert!(result.quarantined.is_empty());
+        assert!(result.stopped.is_none());
     }
 
     #[test]
@@ -222,12 +208,7 @@ mod tests {
         };
         let a = run_campaign(&seeds, &config);
         let b = run_campaign(&seeds, &config);
-        assert_eq!(a.executions, b.executions);
-        assert_eq!(a.final_deltas, b.final_deltas);
-        assert_eq!(
-            a.bugs.iter().map(|x| x.id.clone()).collect::<Vec<_>>(),
-            b.bugs.iter().map(|x| x.id.clone()).collect::<Vec<_>>()
-        );
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -248,5 +229,76 @@ mod tests {
         let result = run_campaign(&seeds, &config);
         let times: Vec<u64> = result.bugs.iter().map(|b| b.at_steps).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn execution_budget_stops_campaign_gracefully() {
+        let seeds = corpus::builtin();
+        let mut config = CampaignConfig {
+            iterations_per_seed: 10,
+            rounds: 50,
+            ..CampaignConfig::new(50)
+        };
+        config.supervisor.max_executions = Some(1);
+        let result = run_campaign(&seeds, &config);
+        // Round 0 runs (budget not yet exceeded), round 1 is refused.
+        assert_eq!(result.completed_rounds(), 1);
+        let stopped = result.stopped.expect("campaign must report the stop");
+        assert_eq!(stopped.round, 1);
+        assert!(matches!(
+            stopped.error,
+            RoundError::BudgetExhausted {
+                budget: BudgetKind::CampaignExecutions,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn round_deadline_faults_heavy_rounds() {
+        let seeds = corpus::builtin();
+        let mut config = CampaignConfig {
+            iterations_per_seed: 10,
+            rounds: 2,
+            ..CampaignConfig::new(2)
+        };
+        config.supervisor.round_step_deadline = Some(1); // nothing fits
+        config.supervisor.max_retries = 1;
+        config.supervisor.quarantine_threshold = 1;
+        let result = run_campaign(&seeds, &config);
+        assert_eq!(result.completed_rounds(), 0);
+        assert!(result.errored_rounds + result.skipped_rounds == 2);
+        assert!(result.round_errors.iter().any(|f| matches!(
+            f.error,
+            RoundError::BudgetExhausted {
+                budget: BudgetKind::RoundSteps,
+                ..
+            }
+        )));
+        // Deadline faults are unattributable to a mutator, so the seed as
+        // a whole is quarantined and later rounds on it are skipped.
+        assert!(result.quarantined.iter().any(|(_, m)| m.is_none()));
+    }
+
+    #[test]
+    fn injected_build_failures_are_contained() {
+        let seeds = corpus::builtin();
+        let mut config = CampaignConfig {
+            iterations_per_seed: 5,
+            rounds: 4,
+            ..CampaignConfig::new(4)
+        };
+        // Every VM run reports a build failure → every seed looks invalid.
+        config.fault = Some(FaultPlan::new(11, 1.0).with_only(VmFault::BuildFailure));
+        config.supervisor.max_retries = 1;
+        config.supervisor.quarantine_threshold = 1;
+        let result = run_campaign(&seeds, &config);
+        assert_eq!(result.completed_rounds(), 0);
+        assert!(result.errored_rounds > 0);
+        assert!(result
+            .round_errors
+            .iter()
+            .all(|f| matches!(f.error, RoundError::BuildFailure { .. })));
+        assert!(result.bugs.is_empty());
     }
 }

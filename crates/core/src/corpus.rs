@@ -206,7 +206,11 @@ mod tests {
             assert_eq!(reparsed, p);
             let out = jexec::run_program(&p, &jexec::ExecConfig::default())
                 .expect("generated seed builds");
-            assert!(out.is_clean(), "generated seed errored: {:?}\n{printed}", out.error);
+            assert!(
+                out.is_clean(),
+                "generated seed errored: {:?}\n{printed}",
+                out.error
+            );
             assert_eq!(out.output.len(), 1);
         }
     }

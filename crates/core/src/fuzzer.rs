@@ -9,7 +9,8 @@
 use crate::mutators::{all_mutators, Mutation, Mutator, MutatorKind};
 use crate::variant::Variant;
 use jprofile::Obv;
-use jvmsim::{CrashReport, JvmSpec, RunOptions, Verdict};
+use jvmsim::fault::MUTATOR_PANIC_MARKER;
+use jvmsim::{CrashReport, FaultPlan, JvmSpec, RunOptions, Verdict};
 use mjava::{Program, StmtPath};
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng as _};
@@ -41,6 +42,11 @@ pub struct FuzzConfig {
     pub rng_seed: u64,
     /// Weight-update scheme (§3.4's Eq. 3 by default).
     pub weight_scheme: WeightScheme,
+    /// Mutators excluded from selection (the supervisor's quarantine).
+    pub banned: Vec<MutatorKind>,
+    /// Deterministic fault injection, forwarded to every JVM execution
+    /// and rolled at each mutator application (robustness testing only).
+    pub fault: Option<FaultPlan>,
 }
 
 impl FuzzConfig {
@@ -52,6 +58,8 @@ impl FuzzConfig {
             guidance,
             rng_seed: 0x4D4F_5046,
             weight_scheme: WeightScheme::NormalizedDelta,
+            banned: Vec::new(),
+            fault: None,
         }
     }
 }
@@ -92,6 +100,12 @@ pub struct FuzzOutcome {
     pub steps: u64,
     /// Coverage accumulated over all guidance executions.
     pub coverage: jvmsim::CoverageMap,
+    /// Children whose execution reported `InvalidProgram` (class-loading
+    /// failures). Such children are discarded, never adopted as parents.
+    pub build_failures: u64,
+    /// Set when the *seed itself* failed to build — the round is useless
+    /// and the supervisor classifies it as a build failure.
+    pub seed_invalid: Option<String>,
 }
 
 impl FuzzOutcome {
@@ -123,27 +137,30 @@ fn method_of(program: &Program, mp: &StmtPath) -> Option<(String, String)> {
     Some((class.name.clone(), method.name.clone()))
 }
 
-fn run_options(program: &Program, mp: &StmtPath) -> RunOptions {
+fn run_options(program: &Program, mp: &StmtPath, fault: &Option<FaultPlan>) -> RunOptions {
     let mut options = RunOptions::fuzzing();
     options.compile_only = method_of(program, mp);
+    options.fault = fault.clone();
     options
 }
 
 /// Weighted random selection per Eq. 1:
 /// `potential(mᵢ) = wᵢ / Σⱼ wⱼ`.
+///
+/// Weights are clamped into `jprofile`'s finite positive range before the
+/// sum, so a poisoned weight (NaN/∞ from corrupted profile data) degrades
+/// to a bounded bias instead of an invalid sampling range.
 fn select_weighted(
     candidates: &[usize],
     weights: &HashMap<MutatorKind, f64>,
     mutators: &[Box<dyn Mutator>],
     rng: &mut SmallRng,
 ) -> usize {
-    let total: f64 = candidates
-        .iter()
-        .map(|&i| weights[&mutators[i].kind()])
-        .sum();
+    let clamped = |i: usize| jprofile::clamp_weight(weights[&mutators[i].kind()]);
+    let total: f64 = candidates.iter().map(|&i| clamped(i)).sum();
     let mut point = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
     for &i in candidates {
-        let w = weights[&mutators[i].kind()];
+        let w = clamped(i);
         if point < w {
             return i;
         }
@@ -169,6 +186,8 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
         executions: 0,
         steps: 0,
         coverage: jvmsim::CoverageMap::new(),
+        build_failures: 0,
+        seed_invalid: None,
     };
     let Some(mut mp) = select_mp(seed, &mut rng) else {
         return outcome;
@@ -176,7 +195,11 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
     outcome.final_mp = mp.clone();
 
     // Execute the seed to obtain the parent's profile data.
-    let seed_run = jvmsim::run_jvm(seed, &config.guidance, &run_options(seed, &mp));
+    let seed_run = jvmsim::run_jvm(
+        seed,
+        &config.guidance,
+        &run_options(seed, &mp, &config.fault),
+    );
     outcome.executions += 1;
     outcome.steps += seed_run.steps;
     outcome.coverage.merge(&seed_run.coverage);
@@ -185,6 +208,11 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
     if let Verdict::CompilerCrash(report) = seed_run.verdict {
         // A seed that crashes the JVM is already a find.
         outcome.crash = Some(report);
+        return outcome;
+    }
+    if let Verdict::InvalidProgram(e) = &seed_run.verdict {
+        // A seed that does not build cannot be mutated meaningfully.
+        outcome.seed_invalid = Some(e.to_string());
         return outcome;
     }
     let mut parent = seed.clone();
@@ -196,8 +224,10 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
                 mp = fresh;
             }
         }
-        // Applicable mutators at the MP (paper §3.3).
+        // Applicable mutators at the MP (paper §3.3), minus any the
+        // supervisor has quarantined for this seed.
         let mut candidates: Vec<usize> = (0..mutators.len())
+            .filter(|&i| !config.banned.contains(&mutators[i].kind()))
             .filter(|&i| mutators[i].is_applicable(&parent, &mp))
             .collect();
         let mutation: Option<(usize, Mutation)> = loop {
@@ -218,15 +248,27 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
             break;
         };
         let kind = mutators[pick].kind();
+        if let Some(plan) = &config.fault {
+            if plan.mutator_fault(config.rng_seed, iteration, &format!("{kind:?}")) {
+                panic!("{MUTATOR_PANIC_MARKER}:{kind:?}: injected mutator panic");
+            }
+        }
 
         let child_run = jvmsim::run_jvm(
             &mutation.program,
             &config.guidance,
-            &run_options(&mutation.program, &mutation.mp),
+            &run_options(&mutation.program, &mutation.mp, &config.fault),
         );
         outcome.executions += 1;
         outcome.steps += child_run.steps;
         outcome.coverage.merge(&child_run.coverage);
+        if matches!(child_run.verdict, Verdict::InvalidProgram(_)) {
+            // The child failed class loading: discard it. The previous
+            // parent (and MP) stay in place, so later iterations keep
+            // mutating a program that actually builds.
+            outcome.build_failures += 1;
+            continue;
+        }
         let child_obv = Obv::from_log(&child_run.log);
         let delta = Obv::delta(&parent_obv, &child_obv);
         outcome.records.push(IterationRecord {
@@ -239,9 +281,7 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
         if config.variant == Variant::Full {
             let w = weights.get_mut(&kind).expect("all kinds present");
             *w = match config.weight_scheme {
-                WeightScheme::NormalizedDelta => {
-                    jprofile::update_weight(*w, delta, &child_obv)
-                }
+                WeightScheme::NormalizedDelta => jprofile::update_weight(*w, delta, &child_obv),
                 WeightScheme::RawSum => {
                     jprofile::update_weight_raw_sum(*w, &parent_obv, &child_obv)
                 }
@@ -273,9 +313,8 @@ mod tests {
         FuzzConfig {
             max_iterations: 8,
             variant: Variant::Full,
-            guidance: guidance(),
             rng_seed: seed,
-            weight_scheme: Default::default(),
+            ..FuzzConfig::new(guidance())
         }
     }
 
@@ -347,6 +386,89 @@ mod tests {
         let printed = mjava::print(&out.final_mutant);
         let reparsed = mjava::parse(&printed).expect("final mutant must reparse");
         assert_eq!(reparsed, out.final_mutant);
+    }
+
+    #[test]
+    fn invalid_seed_short_circuits() {
+        // Every execution (including the seed's) reports a class-loading
+        // failure: the run is useless and must say so instead of mutating.
+        let seed = mjava::samples::listing2().program;
+        let mut cfg = config(1);
+        cfg.fault = Some(jvmsim::FaultPlan::new(0, 1.0).with_only(jvmsim::VmFault::BuildFailure));
+        let out = fuzz(&seed, &cfg);
+        assert!(out.seed_invalid.is_some());
+        assert_eq!(out.executions, 1);
+        assert!(out.records.is_empty());
+        assert_eq!(out.final_mutant, seed);
+    }
+
+    /// Regression test for the invalid-parent bug: a child whose execution
+    /// reports `InvalidProgram` used to be adopted as the next parent (and
+    /// as `final_mutant`) with a zeroed OBV. Discarded children must leave
+    /// no record and the accounting identity must hold.
+    #[test]
+    fn invalid_children_are_discarded_not_adopted() {
+        let seed = mjava::samples::listing2().program;
+        let guidance = guidance();
+        let printed = mjava::print(&seed);
+        // Find a plan that spares the seed program itself but fails the
+        // build of ~80% of mutated children.
+        let plan = (0..1000u64)
+            .map(|s| jvmsim::FaultPlan::new(s, 0.8).with_only(jvmsim::VmFault::BuildFailure))
+            .find(|p| p.vm_fault(&guidance.name(), &printed).is_none())
+            .expect("some plan spares the seed");
+        let mut cfg = config(17);
+        cfg.max_iterations = 12;
+        cfg.fault = Some(plan);
+        let out = fuzz(&seed, &cfg);
+        assert!(out.seed_invalid.is_none());
+        assert!(out.build_failures > 0, "faults at 80% must hit some child");
+        // One seed execution + one per recorded child + one per discard.
+        assert_eq!(
+            out.executions,
+            1 + out.records.len() as u64 + out.build_failures
+        );
+        // The surviving final mutant is a program that actually builds.
+        assert!(jexec::Image::build(&out.final_mutant).is_ok());
+        // Discarding is deterministic.
+        let again = fuzz(&seed, &cfg);
+        assert_eq!(again.build_failures, out.build_failures);
+        assert_eq!(again.final_mutant, out.final_mutant);
+        assert_eq!(again.mutator_history(), out.mutator_history());
+    }
+
+    #[test]
+    fn banned_mutators_are_never_selected() {
+        let seed = mjava::samples::listing2().program;
+        let mut cfg = config(5);
+        cfg.max_iterations = 10;
+        let baseline = fuzz(&seed, &cfg);
+        let used: Vec<MutatorKind> = baseline.mutator_history();
+        assert!(!used.is_empty());
+        // Ban everything the baseline used; the run must avoid all of it.
+        cfg.banned = used.clone();
+        let restricted = fuzz(&seed, &cfg);
+        for kind in restricted.mutator_history() {
+            assert!(!used.contains(&kind), "banned mutator {kind:?} selected");
+        }
+    }
+
+    #[test]
+    fn poisoned_weights_do_not_break_selection() {
+        // select_weighted must tolerate NaN/∞ weights (e.g. scraped from
+        // corrupted profile logs) without panicking in gen_range.
+        let mutators = all_mutators();
+        let mut weights: HashMap<MutatorKind, f64> =
+            MutatorKind::ALL.iter().map(|&k| (k, 1.0)).collect();
+        weights.insert(MutatorKind::LoopUnrolling, f64::NAN);
+        weights.insert(MutatorKind::Inlining, f64::INFINITY);
+        weights.insert(MutatorKind::Deoptimization, -7.0);
+        let candidates: Vec<usize> = (0..mutators.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let pick = select_weighted(&candidates, &weights, &mutators, &mut rng);
+            assert!(pick < mutators.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,1053 @@
+//! JSONL campaign journal — the checkpoint/resume format.
+//!
+//! A journal is one header line (the full campaign configuration plus the
+//! seed corpus, so the file is self-contained) followed by one line per
+//! executed round. The writer flushes after every line, so a killed
+//! campaign loses at most the round that was mid-write; the reader drops a
+//! truncated trailing line and [`crate::campaign::resume_campaign`] simply
+//! re-executes that round.
+//!
+//! The workspace deliberately has no serde dependency, so the format is a
+//! small hand-rolled JSON subset: objects, arrays, strings, bools, nulls,
+//! and numbers kept as raw text (`u64` and `f64` round-trip exactly —
+//! floats are printed with `{:?}`, Rust's shortest-exact representation).
+
+use crate::campaign::CampaignConfig;
+use crate::corpus::Seed;
+use crate::mutators::MutatorKind;
+use crate::supervisor::{BudgetKind, RoundError, RoundFailure, SupervisorConfig};
+use crate::variant::Variant;
+use jvmsim::{Area, Component, CoverageMap, FaultPlan, JvmSpec, VmFault};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Bumped when the line format changes incompatibly.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One bug observation inside a round, before campaign-level dedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugSighting {
+    /// Ground-truth bug id.
+    pub id: String,
+    /// Affected component.
+    pub component: Component,
+    /// Crash vs. miscompilation.
+    pub is_crash: bool,
+    /// JVM it was observed on.
+    pub jvm: String,
+    /// Mutation chain up to the sighting.
+    pub mutators: Vec<MutatorKind>,
+    /// The triggering mutant.
+    pub mutant: mjava::Program,
+}
+
+/// How a supervised round ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The round executed and its totals count.
+    Ok,
+    /// Every attempt faulted; the round contributed nothing.
+    Errored,
+    /// The round's seed was quarantined, so it never ran.
+    Skipped,
+}
+
+/// Everything one round produced — the unit of journaling and of result
+/// accounting (see [`crate::supervisor::apply_record`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: usize,
+    /// Seed name.
+    pub seed: String,
+    /// How the round ended.
+    pub disposition: Disposition,
+    /// Executions spent fuzzing.
+    pub fuzz_execs: u64,
+    /// Steps spent fuzzing.
+    pub fuzz_steps: u64,
+    /// `(executions, steps)` of the differential stage, when it ran.
+    pub diff: Option<(u64, u64)>,
+    /// Final-mutant Δ (meaningful for `Ok` rounds).
+    pub final_delta: f64,
+    /// Whether the differential verdict was inconclusive.
+    pub inconclusive: bool,
+    /// Faulted attempts preceding the outcome.
+    pub errors: Vec<RoundFailure>,
+    /// Crash found during guidance runs, if any.
+    pub crash: Option<BugSighting>,
+    /// Bugs found by the differential stage.
+    pub diff_bugs: Vec<BugSighting>,
+    /// Coverage of the whole round (fuzzing + differential).
+    pub coverage: CoverageMap,
+    /// Set on `Errored` rounds: the `(seed, mutator)` pair charged with
+    /// the failure (`None` mutator = the seed as a whole).
+    pub fault_pair: Option<(String, Option<MutatorKind>)>,
+}
+
+/// Appends journal lines, flushing each one.
+pub struct JournalWriter {
+    out: File,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal at `path` and writes the header.
+    pub fn create(
+        path: &Path,
+        config: &CampaignConfig,
+        seeds: &[Seed],
+    ) -> Result<JournalWriter, String> {
+        let out =
+            File::create(path).map_err(|e| format!("journal create {}: {e}", path.display()))?;
+        let mut writer = JournalWriter { out };
+        writer.line(&encode_header(config, seeds))?;
+        Ok(writer)
+    }
+
+    /// Appends one round record as a single flushed line.
+    pub fn write_round(&mut self, record: &RoundRecord) -> Result<(), String> {
+        self.line(&encode_record(record))
+    }
+
+    fn line(&mut self, json: &str) -> Result<(), String> {
+        self.out
+            .write_all(json.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| format!("journal write: {e}"))
+    }
+}
+
+/// A parsed journal.
+pub struct JournalContents {
+    /// The campaign configuration from the header.
+    pub config: CampaignConfig,
+    /// The seed corpus from the header.
+    pub seeds: Vec<Seed>,
+    /// Intact round records, in round order.
+    pub records: Vec<RoundRecord>,
+    /// True when a truncated trailing line was dropped.
+    pub truncated_tail: bool,
+}
+
+/// Reads a journal back. A mangled *final* line is tolerated (the writer
+/// was killed mid-line); corruption anywhere else is an error.
+pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("journal read {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let Some((&first, rest)) = lines.split_first() else {
+        return Err("journal is empty".to_string());
+    };
+    let (config, seeds) = decode_header(first)?;
+    let mut records = Vec::new();
+    let mut truncated_tail = false;
+    for (i, line) in rest.iter().enumerate() {
+        match parse_json(line).and_then(|v| decode_record(&v)) {
+            Ok(record) => {
+                if record.round != records.len() {
+                    return Err(format!(
+                        "journal out of order: line {} has round {}, expected {}",
+                        i + 2,
+                        record.round,
+                        records.len()
+                    ));
+                }
+                records.push(record);
+            }
+            Err(e) if i + 1 == rest.len() => {
+                // Killed mid-write: drop the tail, the round re-executes.
+                truncated_tail = true;
+                let _ = e;
+            }
+            Err(e) => return Err(format!("journal line {}: {e}", i + 2)),
+        }
+    }
+    Ok(JournalContents {
+        config,
+        seeds,
+        records,
+        truncated_tail,
+    })
+}
+
+// ---- encoding ----
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", esc(s))
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |n| n.to_string())
+}
+
+fn join<T>(items: &[T], f: impl Fn(&T) -> String) -> String {
+    items.iter().map(f).collect::<Vec<_>>().join(",")
+}
+
+fn encode_header(config: &CampaignConfig, seeds: &[Seed]) -> String {
+    let supervisor = format!(
+        "{{\"max_retries\":{},\"quarantine_threshold\":{},\"max_steps\":{},\
+         \"max_executions\":{},\"round_step_deadline\":{}}}",
+        config.supervisor.max_retries,
+        config.supervisor.quarantine_threshold,
+        opt_u64(config.supervisor.max_steps),
+        opt_u64(config.supervisor.max_executions),
+        opt_u64(config.supervisor.round_step_deadline),
+    );
+    let fault = match &config.fault {
+        None => "null".to_string(),
+        Some(plan) => format!(
+            "{{\"seed\":{},\"rate_ppm\":{},\"only\":{}}}",
+            plan.seed,
+            plan.rate_ppm,
+            plan.only
+                .map_or("null".to_string(), |k| json_str(&format!("{k:?}"))),
+        ),
+    };
+    let seeds_json = join(seeds, |s| {
+        format!(
+            "{{\"name\":{},\"source\":{}}}",
+            json_str(&s.name),
+            json_str(&mjava::print(&s.program))
+        )
+    });
+    format!(
+        "{{\"type\":\"header\",\"version\":{JOURNAL_VERSION},\"rounds\":{},\
+         \"iterations_per_seed\":{},\"variant\":{},\"rng_seed\":{},\"pool\":[{}],\
+         \"supervisor\":{},\"fault\":{},\"seeds\":[{}]}}",
+        config.rounds,
+        config.iterations_per_seed,
+        json_str(&format!("{:?}", config.variant)),
+        config.rng_seed,
+        join(&config.pool, |s| json_str(&s.name())),
+        supervisor,
+        fault,
+        seeds_json,
+    )
+}
+
+fn encode_sighting(s: &BugSighting) -> String {
+    format!(
+        "{{\"id\":{},\"component\":{},\"is_crash\":{},\"jvm\":{},\
+         \"mutators\":[{}],\"mutant\":{}}}",
+        json_str(&s.id),
+        json_str(&format!("{:?}", s.component)),
+        s.is_crash,
+        json_str(&s.jvm),
+        join(&s.mutators, |m| json_str(&format!("{m:?}"))),
+        json_str(&mjava::print(&s.mutant)),
+    )
+}
+
+fn encode_failure(f: &RoundFailure) -> String {
+    match &f.error {
+        RoundError::MutatorPanic { mutator, message } => format!(
+            "{{\"kind\":\"mutator_panic\",\"attempt\":{},\"mutator\":{},\"message\":{}}}",
+            f.attempt,
+            mutator.map_or("null".to_string(), |m| json_str(&format!("{m:?}"))),
+            json_str(message),
+        ),
+        RoundError::VmPanic { message } => format!(
+            "{{\"kind\":\"vm_panic\",\"attempt\":{},\"message\":{}}}",
+            f.attempt,
+            json_str(message),
+        ),
+        RoundError::BuildFailure { message } => format!(
+            "{{\"kind\":\"build_failure\",\"attempt\":{},\"message\":{}}}",
+            f.attempt,
+            json_str(message),
+        ),
+        RoundError::BudgetExhausted {
+            budget,
+            limit,
+            used,
+        } => format!(
+            "{{\"kind\":\"budget\",\"attempt\":{},\"budget\":{},\"limit\":{},\"used\":{}}}",
+            f.attempt,
+            json_str(budget_name(*budget)),
+            limit,
+            used,
+        ),
+    }
+}
+
+fn budget_name(kind: BudgetKind) -> &'static str {
+    match kind {
+        BudgetKind::RoundSteps => "round_steps",
+        BudgetKind::CampaignSteps => "campaign_steps",
+        BudgetKind::CampaignExecutions => "campaign_executions",
+    }
+}
+
+fn budget_from_name(name: &str) -> Result<BudgetKind, String> {
+    match name {
+        "round_steps" => Ok(BudgetKind::RoundSteps),
+        "campaign_steps" => Ok(BudgetKind::CampaignSteps),
+        "campaign_executions" => Ok(BudgetKind::CampaignExecutions),
+        other => Err(format!("unknown budget kind {other:?}")),
+    }
+}
+
+fn encode_coverage(map: &CoverageMap) -> String {
+    let area = |a: Area| join(&map.blocks(a), u32::to_string);
+    format!(
+        "{{\"c1\":[{}],\"c2\":[{}],\"runtime\":[{}],\"gc\":[{}]}}",
+        area(Area::C1),
+        area(Area::C2),
+        area(Area::Runtime),
+        area(Area::Gc),
+    )
+}
+
+fn encode_record(r: &RoundRecord) -> String {
+    let disposition = match r.disposition {
+        Disposition::Ok => "ok",
+        Disposition::Errored => "errored",
+        Disposition::Skipped => "skipped",
+    };
+    let diff = r.diff.map_or("null".to_string(), |(execs, steps)| {
+        format!("{{\"execs\":{execs},\"steps\":{steps}}}")
+    });
+    let fault_pair = r.fault_pair.as_ref().map_or("null".to_string(), |(s, m)| {
+        format!(
+            "{{\"seed\":{},\"mutator\":{}}}",
+            json_str(s),
+            m.map_or("null".to_string(), |m| json_str(&format!("{m:?}"))),
+        )
+    });
+    format!(
+        "{{\"type\":\"round\",\"round\":{},\"seed\":{},\"disposition\":{},\
+         \"fuzz_execs\":{},\"fuzz_steps\":{},\"diff\":{},\"final_delta\":{:?},\
+         \"inconclusive\":{},\"errors\":[{}],\"crash\":{},\"diff_bugs\":[{}],\
+         \"coverage\":{},\"fault_pair\":{}}}",
+        r.round,
+        json_str(&r.seed),
+        json_str(disposition),
+        r.fuzz_execs,
+        r.fuzz_steps,
+        diff,
+        r.final_delta,
+        r.inconclusive,
+        join(&r.errors, encode_failure),
+        r.crash.as_ref().map_or("null".to_string(), encode_sighting),
+        join(&r.diff_bugs, encode_sighting),
+        encode_coverage(&r.coverage),
+        fault_pair,
+    )
+}
+
+// ---- a minimal JSON value + recursive-descent parser ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Numbers stay raw text so u64 and f64 both round-trip exactly.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str_(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn bool_(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn u64_(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn u32_(&self) -> Option<u32> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn usize_(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn f64_(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+fn req<'j>(obj: &'j Json, key: &str) -> Result<&'j Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, String> {
+    req(obj, key)?
+        .str_()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field {key:?} is not a string"))
+}
+
+fn req_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    req(obj, key)?
+        .u64_()
+        .ok_or_else(|| format!("field {key:?} is not a u64"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err("trailing bytes after JSON value".to_string());
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.pos)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.pos)),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9' | b'N' | b'a' | b'n' | b'i' | b'f')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        let raw =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "non-utf8 number")?;
+        // Validate now so corruption surfaces at parse time: every number
+        // must at least read back as f64 (NaN/inf spellings included,
+        // since `{:?}` emits them for degenerate deltas).
+        raw.parse::<f64>()
+            .map_err(|_| format!("bad number {raw:?}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos = end;
+                            // We only ever emit \u for control characters,
+                            // so surrogate pairs never occur.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("invalid codepoint {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Multi-byte UTF-8: width from the leading byte.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("invalid utf-8 in string".to_string()),
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("invalid utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+}
+
+// ---- decoding ----
+
+fn variant_from_name(name: &str) -> Result<Variant, String> {
+    Variant::ALL
+        .into_iter()
+        .find(|v| format!("{v:?}") == name)
+        .ok_or_else(|| format!("unknown variant {name:?}"))
+}
+
+fn mutator_from_json(v: &Json) -> Result<Option<MutatorKind>, String> {
+    if v.is_null() {
+        return Ok(None);
+    }
+    let name = v.str_().ok_or("mutator is not a string")?;
+    MutatorKind::from_debug_name(name)
+        .map(Some)
+        .ok_or_else(|| format!("unknown mutator {name:?}"))
+}
+
+fn vm_fault_from_name(name: &str) -> Result<VmFault, String> {
+    [
+        VmFault::Panic,
+        VmFault::BuildFailure,
+        VmFault::FuelExhaustion,
+        VmFault::LogCorruption,
+    ]
+    .into_iter()
+    .find(|k| format!("{k:?}") == name)
+    .ok_or_else(|| format!("unknown fault kind {name:?}"))
+}
+
+fn decode_header(line: &str) -> Result<(CampaignConfig, Vec<Seed>), String> {
+    let v = parse_json(line)?;
+    if req_str(&v, "type")? != "header" {
+        return Err("first journal line is not a header".to_string());
+    }
+    let version = req_u64(&v, "version")?;
+    if version != JOURNAL_VERSION {
+        return Err(format!(
+            "journal version {version} unsupported (expected {JOURNAL_VERSION})"
+        ));
+    }
+    let sup = req(&v, "supervisor")?;
+    let opt = |key: &str| -> Result<Option<u64>, String> {
+        let field = req(sup, key)?;
+        if field.is_null() {
+            Ok(None)
+        } else {
+            field
+                .u64_()
+                .map(Some)
+                .ok_or_else(|| format!("field {key:?} is not a u64"))
+        }
+    };
+    let supervisor = SupervisorConfig {
+        max_retries: req_u64(sup, "max_retries")? as u32,
+        quarantine_threshold: req_u64(sup, "quarantine_threshold")? as u32,
+        max_steps: opt("max_steps")?,
+        max_executions: opt("max_executions")?,
+        round_step_deadline: opt("round_step_deadline")?,
+    };
+    let fault_field = req(&v, "fault")?;
+    let fault = if fault_field.is_null() {
+        None
+    } else {
+        let only_field = req(fault_field, "only")?;
+        let only = if only_field.is_null() {
+            None
+        } else {
+            Some(vm_fault_from_name(
+                only_field.str_().ok_or("fault.only is not a string")?,
+            )?)
+        };
+        Some(FaultPlan {
+            seed: req_u64(fault_field, "seed")?,
+            rate_ppm: req_u64(fault_field, "rate_ppm")? as u32,
+            only,
+        })
+    };
+    let pool = req(&v, "pool")?
+        .arr()
+        .ok_or("pool is not an array")?
+        .iter()
+        .map(|j| {
+            let name = j.str_().ok_or("pool entry is not a string")?;
+            JvmSpec::from_name(name)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let seeds = req(&v, "seeds")?
+        .arr()
+        .ok_or("seeds is not an array")?
+        .iter()
+        .map(|j| {
+            let name = req_str(j, "name")?;
+            let source = req_str(j, "source")?;
+            let program =
+                mjava::parse(&source).map_err(|e| format!("seed {name:?} does not parse: {e}"))?;
+            Ok(Seed { name, program })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let config = CampaignConfig {
+        iterations_per_seed: req(&v, "iterations_per_seed")?
+            .usize_()
+            .ok_or("iterations_per_seed is not a number")?,
+        variant: variant_from_name(&req_str(&v, "variant")?)?,
+        rounds: req(&v, "rounds")?
+            .usize_()
+            .ok_or("rounds is not a number")?,
+        pool,
+        rng_seed: req_u64(&v, "rng_seed")?,
+        supervisor,
+        fault,
+    };
+    Ok((config, seeds))
+}
+
+fn decode_sighting(v: &Json) -> Result<BugSighting, String> {
+    let component_name = req_str(v, "component")?;
+    let component = Component::from_debug_name(&component_name)
+        .ok_or_else(|| format!("unknown component {component_name:?}"))?;
+    let mutators = req(v, "mutators")?
+        .arr()
+        .ok_or("mutators is not an array")?
+        .iter()
+        .map(|m| mutator_from_json(m)?.ok_or_else(|| "null in mutator chain".to_string()))
+        .collect::<Result<Vec<_>, String>>()?;
+    let source = req_str(v, "mutant")?;
+    let mutant = mjava::parse(&source).map_err(|e| format!("mutant does not parse: {e}"))?;
+    Ok(BugSighting {
+        id: req_str(v, "id")?,
+        component,
+        is_crash: req(v, "is_crash")?
+            .bool_()
+            .ok_or("is_crash is not a bool")?,
+        jvm: req_str(v, "jvm")?,
+        mutators,
+        mutant,
+    })
+}
+
+fn decode_failure(v: &Json, round: usize) -> Result<RoundFailure, String> {
+    let attempt = req_u64(v, "attempt")? as u32;
+    let error = match req_str(v, "kind")?.as_str() {
+        "mutator_panic" => RoundError::MutatorPanic {
+            mutator: mutator_from_json(req(v, "mutator")?)?,
+            message: req_str(v, "message")?,
+        },
+        "vm_panic" => RoundError::VmPanic {
+            message: req_str(v, "message")?,
+        },
+        "build_failure" => RoundError::BuildFailure {
+            message: req_str(v, "message")?,
+        },
+        "budget" => RoundError::BudgetExhausted {
+            budget: budget_from_name(&req_str(v, "budget")?)?,
+            limit: req_u64(v, "limit")?,
+            used: req_u64(v, "used")?,
+        },
+        other => return Err(format!("unknown error kind {other:?}")),
+    };
+    Ok(RoundFailure {
+        round,
+        attempt,
+        error,
+    })
+}
+
+fn decode_coverage(v: &Json) -> Result<CoverageMap, String> {
+    let mut map = CoverageMap::new();
+    for (key, area) in [
+        ("c1", Area::C1),
+        ("c2", Area::C2),
+        ("runtime", Area::Runtime),
+        ("gc", Area::Gc),
+    ] {
+        let blocks = req(v, key)?
+            .arr()
+            .ok_or_else(|| format!("coverage {key:?} is not an array"))?
+            .iter()
+            .map(|b| b.u32_().ok_or_else(|| format!("bad block in {key:?}")))
+            .collect::<Result<Vec<u32>, String>>()?;
+        map.mark_all(area, blocks);
+    }
+    Ok(map)
+}
+
+fn decode_record(v: &Json) -> Result<RoundRecord, String> {
+    if req_str(v, "type")? != "round" {
+        return Err("not a round record".to_string());
+    }
+    let round = req(v, "round")?.usize_().ok_or("round is not a number")?;
+    let disposition = match req_str(v, "disposition")?.as_str() {
+        "ok" => Disposition::Ok,
+        "errored" => Disposition::Errored,
+        "skipped" => Disposition::Skipped,
+        other => return Err(format!("unknown disposition {other:?}")),
+    };
+    let diff_field = req(v, "diff")?;
+    let diff = if diff_field.is_null() {
+        None
+    } else {
+        Some((req_u64(diff_field, "execs")?, req_u64(diff_field, "steps")?))
+    };
+    let errors = req(v, "errors")?
+        .arr()
+        .ok_or("errors is not an array")?
+        .iter()
+        .map(|e| decode_failure(e, round))
+        .collect::<Result<Vec<_>, _>>()?;
+    let crash_field = req(v, "crash")?;
+    let crash = if crash_field.is_null() {
+        None
+    } else {
+        Some(decode_sighting(crash_field)?)
+    };
+    let diff_bugs = req(v, "diff_bugs")?
+        .arr()
+        .ok_or("diff_bugs is not an array")?
+        .iter()
+        .map(decode_sighting)
+        .collect::<Result<Vec<_>, _>>()?;
+    let pair_field = req(v, "fault_pair")?;
+    let fault_pair = if pair_field.is_null() {
+        None
+    } else {
+        Some((
+            req_str(pair_field, "seed")?,
+            mutator_from_json(req(pair_field, "mutator")?)?,
+        ))
+    };
+    Ok(RoundRecord {
+        round,
+        seed: req_str(v, "seed")?,
+        disposition,
+        fuzz_execs: req_u64(v, "fuzz_execs")?,
+        fuzz_steps: req_u64(v, "fuzz_steps")?,
+        diff,
+        final_delta: req(v, "final_delta")?
+            .f64_()
+            .ok_or("final_delta is not a number")?,
+        inconclusive: req(v, "inconclusive")?
+            .bool_()
+            .ok_or("inconclusive is not a bool")?,
+        errors,
+        crash,
+        diff_bugs,
+        coverage: decode_coverage(req(v, "coverage")?)?,
+        fault_pair,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    fn sample_record(round: usize) -> RoundRecord {
+        let mutant = mjava::samples::listing2().program;
+        let mut coverage = CoverageMap::new();
+        coverage.mark_all(Area::C2, [3, 1, 4, 1, 5]);
+        coverage.mark(Area::Gc, 9);
+        RoundRecord {
+            round,
+            seed: "listing2".to_string(),
+            disposition: Disposition::Ok,
+            fuzz_execs: 42,
+            fuzz_steps: 123_456,
+            diff: Some((8, 98_765)),
+            final_delta: 13.625,
+            inconclusive: true,
+            errors: vec![
+                RoundFailure {
+                    round,
+                    attempt: 0,
+                    error: RoundError::MutatorPanic {
+                        mutator: Some(MutatorKind::Inlining),
+                        message: "mop-fault:mutator:Inlining: \"quoted\"\nline".to_string(),
+                    },
+                },
+                RoundFailure {
+                    round,
+                    attempt: 1,
+                    error: RoundError::BudgetExhausted {
+                        budget: BudgetKind::RoundSteps,
+                        limit: 10,
+                        used: u64::MAX,
+                    },
+                },
+            ],
+            crash: Some(BugSighting {
+                id: "H205".to_string(),
+                component: Component::IdealLoopOptimizationC2,
+                is_crash: true,
+                jvm: "HotSpur-17".to_string(),
+                mutators: vec![MutatorKind::LoopPeeling, MutatorKind::Inlining],
+                mutant: mutant.clone(),
+            }),
+            diff_bugs: vec![BugSighting {
+                id: "J101".to_string(),
+                component: Component::OtherJit,
+                is_crash: false,
+                jvm: "J9-8".to_string(),
+                mutators: vec![],
+                mutant,
+            }],
+            coverage,
+            fault_pair: Some(("listing2".to_string(), None)),
+        }
+    }
+
+    fn sample_config() -> CampaignConfig {
+        let mut config = CampaignConfig::new(7);
+        config.rng_seed = u64::MAX - 3; // exercise exact u64 round-trip
+        config.supervisor.max_steps = Some(123);
+        config.fault = Some(FaultPlan::new(5, 0.05).with_only(VmFault::LogCorruption));
+        config
+    }
+
+    #[test]
+    fn record_roundtrips_exactly() {
+        let record = sample_record(3);
+        let line = encode_record(&record);
+        let decoded = decode_record(&parse_json(&line).unwrap()).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn header_roundtrips_exactly() {
+        let config = sample_config();
+        let seeds: Vec<Seed> = corpus::builtin().into_iter().take(3).collect();
+        let line = encode_header(&config, &seeds);
+        let (dconfig, dseeds) = decode_header(&line).unwrap();
+        assert_eq!(dconfig.iterations_per_seed, config.iterations_per_seed);
+        assert_eq!(dconfig.variant, config.variant);
+        assert_eq!(dconfig.rounds, config.rounds);
+        assert_eq!(dconfig.rng_seed, config.rng_seed);
+        assert_eq!(dconfig.supervisor, config.supervisor);
+        assert_eq!(dconfig.fault, config.fault);
+        assert_eq!(
+            dconfig.pool.iter().map(JvmSpec::name).collect::<Vec<_>>(),
+            config.pool.iter().map(JvmSpec::name).collect::<Vec<_>>()
+        );
+        assert_eq!(dseeds.len(), seeds.len());
+        for (d, s) in dseeds.iter().zip(&seeds) {
+            assert_eq!(d.name, s.name);
+            assert_eq!(d.program, s.program);
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for nasty in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab and \r return",
+            "control \u{1} char and unicode \u{fffd} é 日本",
+            "",
+        ] {
+            let parsed = parse_json(&json_str(nasty)).unwrap();
+            assert_eq!(parsed.str_(), Some(nasty), "{nasty:?}");
+        }
+    }
+
+    #[test]
+    fn journal_file_roundtrip_and_truncation_tolerance() {
+        let dir = std::env::temp_dir().join("mopfuzzer-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let config = sample_config();
+        let seeds: Vec<Seed> = corpus::builtin().into_iter().take(2).collect();
+        let records = [sample_record(0), sample_record(1)];
+        let mut writer = JournalWriter::create(&path, &config, &seeds).unwrap();
+        for r in &records {
+            writer.write_round(r).unwrap();
+        }
+        drop(writer);
+        let contents = read_journal(&path).unwrap();
+        assert!(!contents.truncated_tail);
+        assert_eq!(contents.records, records);
+        assert_eq!(contents.seeds.len(), 2);
+
+        // Chop the last line in half: reader drops it, keeps the rest.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 40;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert!(contents.truncated_tail);
+        assert_eq!(contents.records, records[..1]);
+
+        // Corruption in the middle is an error, not silently dropped.
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = format!("{}\n{}\n{}\n", lines[0], "{broken", lines[2]);
+        std::fs::write(&path, mangled).unwrap();
+        assert!(read_journal(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_order_rounds_are_rejected() {
+        let dir = std::env::temp_dir().join("mopfuzzer-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("order.jsonl");
+        let config = sample_config();
+        let seeds: Vec<Seed> = corpus::builtin().into_iter().take(1).collect();
+        let mut writer = JournalWriter::create(&path, &config, &seeds).unwrap();
+        writer.write_round(&sample_record(0)).unwrap();
+        writer.write_round(&sample_record(5)).unwrap();
+        writer.write_round(&sample_record(1)).unwrap();
+        drop(writer);
+        // Bad round index in the middle → hard error (only a bad *tail*
+        // may be dropped).
+        assert!(read_journal(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

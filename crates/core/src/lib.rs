@@ -12,6 +12,10 @@
 //!   simulated JVM pool (§3.5);
 //! * [`campaign`] — multi-seed campaigns with root-cause deduplication,
 //!   coverage accounting, and a simulated clock;
+//! * [`supervisor`] — the fault-isolated campaign loop: panic
+//!   containment, bounded retries, quarantine, and budgets;
+//! * [`journal`] — JSONL checkpoints making campaigns resumable with
+//!   bit-identical results;
 //! * [`variant`] — the §4.4 ablations (`MopFuzzer_g`, `MopFuzzer_r`);
 //! * [`corpus`] — built-in and generated regression-test-style seeds;
 //! * [`stats`] — Table 5 mutator/pair ratios and Figure 1 trajectories.
@@ -34,14 +38,23 @@
 pub mod campaign;
 pub mod corpus;
 pub mod fuzzer;
+pub mod journal;
 pub mod mutators;
 pub mod oracle;
 pub mod stats;
+pub mod supervisor;
 pub mod variant;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FoundBug};
+pub use campaign::{
+    resume_campaign, run_campaign, run_campaign_with_journal, CampaignConfig, CampaignResult,
+    FoundBug,
+};
 pub use corpus::Seed;
 pub use fuzzer::{fuzz, FuzzConfig, FuzzOutcome, IterationRecord, WeightScheme};
+pub use journal::{
+    read_journal, BugSighting, Disposition, JournalContents, JournalWriter, RoundRecord,
+};
 pub use mutators::{all_mutators, Mutation, Mutator, MutatorKind};
 pub use oracle::{differential, DifferentialResult, OracleVerdict};
+pub use supervisor::{BudgetKind, Quarantine, RoundError, RoundFailure, SupervisorConfig};
 pub use variant::Variant;

@@ -77,8 +77,7 @@ mod tests {
             let mutation = AlgebraicSimplificationEvoke
                 .apply(&program, &mp, &mut rng)
                 .unwrap();
-            let out =
-                jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+            let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
             assert_eq!(out.output, vec!["42"], "identity changed value");
         }
     }

@@ -89,6 +89,9 @@ mod tests {
         let m1 = apply_checked(&DeadCodeEliminationEvoke, &program, &mp);
         let m2 = apply_checked(&DeadCodeEliminationEvoke, &m1.program, &m1.mp);
         let printed = mjava::print(&m2.program);
-        assert!(printed.contains("int d0 =") && printed.contains("int d1 ="), "{printed}");
+        assert!(
+            printed.contains("int d0 =") && printed.contains("int d1 ="),
+            "{printed}"
+        );
     }
 }

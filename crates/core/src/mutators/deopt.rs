@@ -82,11 +82,13 @@ mod tests {
         let (program, mp) = program_and_mp(SRC, "s = s + i % 3;");
         let mutation = apply_checked(&DeoptimizationEvoke, &program, &mp);
         let printed = mjava::print(&mutation.program);
-        assert!(printed.contains("== 100"), "rare constant expected: {printed}");
+        assert!(
+            printed.contains("== 100"),
+            "rare constant expected: {printed}"
+        );
         // The guard never fires at runtime, so output is unchanged.
         let before = jexec::run_program(&program, &jexec::ExecConfig::default()).unwrap();
-        let after =
-            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        let after = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
         assert_eq!(before.output, after.output);
     }
 
@@ -97,7 +99,9 @@ mod tests {
             "println",
         );
         assert!(!DeoptimizationEvoke.is_applicable(&program, &mp));
-        assert!(DeoptimizationEvoke.apply(&program, &mp, &mut rng()).is_none());
+        assert!(DeoptimizationEvoke
+            .apply(&program, &mp, &mut rng())
+            .is_none());
     }
 
     #[test]
@@ -117,7 +121,9 @@ mod tests {
             run.events
         );
         assert!(
-            run.events.iter().any(|e| e.kind == jopt::OptEventKind::Deopt),
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::Deopt),
             "guard is inside a loop, deopt expected: {:?}",
             run.events
         );

@@ -21,11 +21,7 @@ pub struct DeReflectionEvoke;
 impl DeReflectionEvoke {
     /// Resolves the target class of a direct call at the MP, if the call
     /// is convertible to reflection.
-    fn convertible(
-        program: &Program,
-        mp: &StmtPath,
-        e: &Expr,
-    ) -> Option<(String, Option<Expr>)> {
+    fn convertible(program: &Program, mp: &StmtPath, e: &Expr) -> Option<(String, Option<Expr>)> {
         let Expr::Call(call) = e else {
             return None;
         };
@@ -138,9 +134,8 @@ mod tests {
     fn converts_static_call_with_null_receiver() {
         let (program, mp) = program_and_mp(SRC, "int k = T.h(m);");
         let mutation = apply_checked(&DeReflectionEvoke, &program, &mp);
-        let printed = mjava::print_stmt(
-            mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap(),
-        );
+        let printed =
+            mjava::print_stmt(mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap());
         assert!(printed.contains(".invoke(null, m)"), "{printed}");
     }
 

@@ -53,9 +53,7 @@ impl Mutator for EscapeAnalysisEvoke {
             Stmt::Decl {
                 name: obj.clone(),
                 ty: Type::Ref(class_name),
-                init: Some(Expr::New(
-                    mutant.classes[mp.class].name.clone(),
-                )),
+                init: Some(Expr::New(mutant.classes[mp.class].name.clone())),
             },
             // o.v = k;
             Stmt::Assign {

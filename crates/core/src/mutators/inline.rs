@@ -64,10 +64,7 @@ impl Mutator for InliningEvoke {
             if !op.is_arithmetic() {
                 return false;
             }
-            let (lt, rt) = (
-                infer_expr(&ctx, &scope, lhs),
-                infer_expr(&ctx, &scope, rhs),
-            );
+            let (lt, rt) = (infer_expr(&ctx, &scope, lhs), infer_expr(&ctx, &scope, rhs));
             if !(numeric(&lt) && numeric(&rt)) {
                 return false;
             }
@@ -147,8 +144,7 @@ mod tests {
         let printed = mjava::print_stmt(stmt);
         assert!(printed.contains("T.foo0(a, t.g())"), "{printed}");
         assert!(mutation.program.classes[0].method("foo0").is_some());
-        let out =
-            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
         assert_eq!(out.output, vec!["4"]);
     }
 
@@ -173,8 +169,7 @@ mod tests {
         let mutation = apply_checked(&InliningEvoke, &program, &mp);
         let helper = mutation.program.classes[0].method("foo0").unwrap();
         assert_eq!(helper.ret, Type::Long);
-        let out =
-            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        let out = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
         assert_eq!(out.output, vec!["15"]);
     }
 

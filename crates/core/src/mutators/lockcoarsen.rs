@@ -109,7 +109,11 @@ mod tests {
         let (program, mp) = program_and_mp(SRC, "s = s + 2;");
         let mutation = apply_checked(&LockCoarseningEvoke, &program, &mp);
         let printed = mjava::print(&mutation.program);
-        assert_eq!(printed.matches("synchronized (T.class)").count(), 2, "{printed}");
+        assert_eq!(
+            printed.matches("synchronized (T.class)").count(),
+            2,
+            "{printed}"
+        );
         let stmt = mjava::path::stmt_at(&mutation.program, &mutation.mp).unwrap();
         assert_eq!(mjava::print_stmt(stmt).trim(), "s = s + 2;");
         // Output preserved.
@@ -129,7 +133,9 @@ mod tests {
     fn not_applicable_outside_sync() {
         let (program, mp) = program_and_mp(SRC, "System.out.println");
         assert!(!LockCoarseningEvoke.is_applicable(&program, &mp));
-        assert!(LockCoarseningEvoke.apply(&program, &mp, &mut rng()).is_none());
+        assert!(LockCoarseningEvoke
+            .apply(&program, &mp, &mut rng())
+            .is_none());
     }
 
     #[test]

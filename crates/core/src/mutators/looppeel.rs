@@ -99,7 +99,9 @@ mod tests {
             &jvmsim::RunOptions::fuzzing(),
         );
         assert!(
-            run.events.iter().any(|e| e.kind == jopt::OptEventKind::Peel),
+            run.events
+                .iter()
+                .any(|e| e.kind == jopt::OptEventKind::Peel),
             "no peel events: {:?}",
             run.events
         );

@@ -105,8 +105,7 @@ mod tests {
             "return 4;",
         );
         let mutation = apply_checked(&LoopUnrollingEvoke, &program, &mp);
-        let outcome =
-            jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
+        let outcome = jexec::run_program(&mutation.program, &jexec::ExecConfig::default()).unwrap();
         assert_eq!(outcome.output, vec!["4"]);
     }
 

@@ -60,6 +60,14 @@ impl MutatorKind {
         MutatorKind::DeadCodeElimination,
     ];
 
+    /// Inverse of the `Debug` formatting — used to attribute injected
+    /// mutator panics and to round-trip journal records.
+    pub fn from_debug_name(name: &str) -> Option<MutatorKind> {
+        MutatorKind::ALL
+            .into_iter()
+            .find(|k| format!("{k:?}") == name)
+    }
+
     /// The paper's "-evoke" display name.
     pub fn label(&self) -> &'static str {
         match self {
@@ -157,10 +165,7 @@ pub(crate) mod util {
     }
 
     /// Scope and type context at the MP.
-    pub fn typing<'p>(
-        program: &'p Program,
-        mp: &StmtPath,
-    ) -> Option<(Scope, TypeCtx<'p>)> {
+    pub fn typing<'p>(program: &'p Program, mp: &StmtPath) -> Option<(Scope, TypeCtx<'p>)> {
         let scope = scope_at(program, mp)?;
         let ctx = TypeCtx::for_path(program, mp)?;
         Some((scope, ctx))
@@ -177,10 +182,7 @@ pub(crate) mod util {
         };
         let mut found = false;
         mjava::visit::for_each_expr_in_stmt(stmt, &mut |e| {
-            if !found
-                && !e.is_literal()
-                && infer_expr(&ctx, &scope, e) == Some(Type::Int)
-            {
+            if !found && !e.is_literal() && infer_expr(&ctx, &scope, e) == Some(Type::Int) {
                 found = true;
             }
         });
@@ -248,11 +250,7 @@ pub(crate) mod testutil {
     /// must uphold: the mutant reparses (print→parse round-trip), the new
     /// MP resolves, and the mutant still builds and executes on the
     /// reference interpreter.
-    pub fn apply_checked(
-        mutator: &dyn Mutator,
-        program: &Program,
-        mp: &StmtPath,
-    ) -> Mutation {
+    pub fn apply_checked(mutator: &dyn Mutator, program: &Program, mp: &StmtPath) -> Mutation {
         let mut rng = rng();
         assert!(mutator.is_applicable(program, mp), "not applicable");
         let mutation = mutator
@@ -269,8 +267,7 @@ pub(crate) mod testutil {
         let outcome = jexec::run_program(&mutation.program, &jexec::ExecConfig::default())
             .unwrap_or_else(|e| panic!("mutant does not build: {e}\n{printed}"));
         assert!(
-            outcome.error.is_none()
-                || outcome.error.as_ref().is_some_and(|e| e.is_program_level()),
+            outcome.error.is_none() || outcome.error.as_ref().is_some_and(|e| e.is_program_level()),
             "mutant hit a VM-level error {:?}\n{printed}",
             outcome.error
         );
@@ -296,10 +293,8 @@ mod tests {
     fn six_mutators_are_unconditional() {
         // §3.3: six of the 13 are unconditional — applicable at any MP,
         // including the most barren statement imaginable.
-        let (program, mp) = testutil::program_and_mp(
-            "class T { static void main() { return; } }",
-            "return",
-        );
+        let (program, mp) =
+            testutil::program_and_mp("class T { static void main() { return; } }", "return");
         let applicable: Vec<_> = all_mutators()
             .into_iter()
             .filter(|m| m.is_applicable(&program, &mp))

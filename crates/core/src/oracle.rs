@@ -32,7 +32,10 @@ pub enum OracleVerdict {
 impl OracleVerdict {
     /// True for crash or miscompilation.
     pub fn is_bug(&self) -> bool {
-        matches!(self, OracleVerdict::Crash { .. } | OracleVerdict::Miscompile { .. })
+        matches!(
+            self,
+            OracleVerdict::Crash { .. } | OracleVerdict::Miscompile { .. }
+        )
     }
 }
 
@@ -51,7 +54,11 @@ pub struct DifferentialResult {
 
 /// Runs `program` on every JVM in `pool` and compares observable
 /// behaviour (§3.5: the LTS versions and mainline of both families).
-pub fn differential(program: &Program, pool: &[JvmSpec], options: &RunOptions) -> DifferentialResult {
+pub fn differential(
+    program: &Program,
+    pool: &[JvmSpec],
+    options: &RunOptions,
+) -> DifferentialResult {
     let mut coverage = CoverageMap::new();
     let mut executions = 0u64;
     let mut steps = 0u64;
@@ -161,10 +168,8 @@ mod tests {
 
     #[test]
     fn inconclusive_when_everything_times_out() {
-        let program = mjava::parse(
-            "class T { static void main() { while (true) { int x = 1; } } }",
-        )
-        .unwrap();
+        let program =
+            mjava::parse("class T { static void main() { while (true) { int x = 1; } } }").unwrap();
         let mut options = RunOptions::fuzzing();
         options.exec.fuel = 5_000;
         let result = differential(

@@ -1,0 +1,637 @@
+//! Fault-isolated campaign supervisor.
+//!
+//! [`crate::campaign::run_campaign`] delegates every round to this module,
+//! which wraps the round body (mutator applications, guidance executions,
+//! differential testing) in a panic boundary and turns failures into data
+//! instead of aborts:
+//!
+//! * **Panic containment** — a panicking mutator or simulated VM is caught
+//!   with `catch_unwind` and classified into the [`RoundError`] taxonomy
+//!   by its payload marker ([`jvmsim::fault`] panics are marked; anything
+//!   unmarked is attributed to the VM execution layer, which dominates the
+//!   round's code).
+//! * **Bounded retry** — a faulted round is retried with a re-derived RNG
+//!   seed up to [`SupervisorConfig::max_retries`] times; faulted attempts
+//!   contribute nothing to the campaign totals (rounds are atomic).
+//! * **Quarantine** — a `(seed, mutator)` pair that keeps faulting is
+//!   banned from future rounds; a seed that faults without an attributable
+//!   mutator is quarantined whole and its rounds are skipped.
+//! * **Budgets** — campaign-wide step/execution ceilings stop the campaign
+//!   gracefully, and a per-round step deadline fails runaway rounds.
+//! * **Checkpointing** — when a journal is attached, every round's record
+//!   is appended as one JSONL line; [`crate::campaign::resume_campaign`]
+//!   replays the records through the same [`apply_record`] code path the
+//!   live campaign uses, so a resumed campaign is bit-identical to an
+//!   uninterrupted one.
+
+use crate::campaign::{component_of_miscompile, CampaignConfig, CampaignResult, FoundBug};
+use crate::corpus::Seed;
+use crate::fuzzer::{fuzz, FuzzConfig};
+use crate::journal::{BugSighting, Disposition, JournalWriter, RoundRecord};
+use crate::mutators::MutatorKind;
+use crate::oracle::{differential, OracleVerdict};
+use jvmsim::fault::{MUTATOR_PANIC_MARKER, VM_PANIC_MARKER};
+use jvmsim::{Component, JvmSpec, RunOptions};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Which budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// One round exceeded [`SupervisorConfig::round_step_deadline`].
+    RoundSteps,
+    /// The campaign exceeded [`SupervisorConfig::max_steps`].
+    CampaignSteps,
+    /// The campaign exceeded [`SupervisorConfig::max_executions`].
+    CampaignExecutions,
+}
+
+/// Why a round attempt (or the campaign) failed — the supervisor's fault
+/// taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundError {
+    /// A mutator panicked while generating a child. When the panic payload
+    /// names the mutator (injected faults do), it is attributed.
+    MutatorPanic {
+        /// The offending mutator, when attributable from the payload.
+        mutator: Option<MutatorKind>,
+        /// The panic message.
+        message: String,
+    },
+    /// A simulated JVM panicked mid-execution (also the fallback class for
+    /// unmarked panics, which overwhelmingly originate in VM code).
+    VmPanic {
+        /// The panic message.
+        message: String,
+    },
+    /// The round's seed failed class loading, so nothing could be fuzzed.
+    BuildFailure {
+        /// The build error.
+        message: String,
+    },
+    /// A step or execution budget was exhausted.
+    BudgetExhausted {
+        /// Which budget.
+        budget: BudgetKind,
+        /// The configured limit.
+        limit: u64,
+        /// The observed value.
+        used: u64,
+    },
+}
+
+impl fmt::Display for RoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundError::MutatorPanic {
+                mutator: Some(k), ..
+            } => {
+                write!(f, "mutator panic in {k:?}")
+            }
+            RoundError::MutatorPanic { mutator: None, .. } => write!(f, "mutator panic"),
+            RoundError::VmPanic { message } => write!(f, "VM panic: {message}"),
+            RoundError::BuildFailure { message } => write!(f, "build failure: {message}"),
+            RoundError::BudgetExhausted {
+                budget,
+                limit,
+                used,
+            } => {
+                write!(f, "budget exhausted ({budget:?}): {used} > {limit}")
+            }
+        }
+    }
+}
+
+/// One recorded failure: which round, which attempt, what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundFailure {
+    /// The round index.
+    pub round: usize,
+    /// The attempt within the round (0 = first try).
+    pub attempt: u32,
+    /// The classified error.
+    pub error: RoundError,
+}
+
+/// Fault-handling policy of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Retries after a faulted round attempt (each with a fresh RNG seed).
+    pub max_retries: u32,
+    /// Failed rounds a `(seed, mutator)` pair may accumulate before it is
+    /// quarantined.
+    pub quarantine_threshold: u32,
+    /// Campaign-wide interpreter-step ceiling (simulated time budget).
+    pub max_steps: Option<u64>,
+    /// Campaign-wide JVM-execution ceiling.
+    pub max_executions: Option<u64>,
+    /// Per-round step deadline; rounds exceeding it are treated as faults.
+    pub round_step_deadline: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_retries: 2,
+            quarantine_threshold: 2,
+            max_steps: None,
+            max_executions: None,
+            round_step_deadline: None,
+        }
+    }
+}
+
+/// Repeat-offender bookkeeping. Keys are `(seed name, Some(mutator))` for
+/// attributable faults and `(seed name, None)` for faults of the seed as a
+/// whole (build failures, unattributed panics).
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    counts: HashMap<(String, Option<MutatorKind>), u32>,
+    quarantined: Vec<(String, Option<MutatorKind>)>,
+}
+
+impl Quarantine {
+    /// Records one failed round for a pair. Returns true when this failure
+    /// pushes the pair over the threshold (it is newly quarantined).
+    pub fn record(&mut self, threshold: u32, seed: &str, mutator: Option<MutatorKind>) -> bool {
+        let key = (seed.to_string(), mutator);
+        let count = self.counts.entry(key.clone()).or_insert(0);
+        *count += 1;
+        if *count >= threshold.max(1) && !self.quarantined.contains(&key) {
+            self.quarantined.push(key);
+            return true;
+        }
+        false
+    }
+
+    /// Mutators banned for a seed.
+    pub fn banned_mutators(&self, seed: &str) -> Vec<MutatorKind> {
+        self.quarantined
+            .iter()
+            .filter(|(s, m)| s == seed && m.is_some())
+            .filter_map(|(_, m)| *m)
+            .collect()
+    }
+
+    /// True when the seed itself (not just one mutator) is quarantined, so
+    /// its rounds must be skipped entirely.
+    pub fn seed_blocked(&self, seed: &str) -> bool {
+        self.quarantined
+            .iter()
+            .any(|(s, m)| s == seed && m.is_none())
+    }
+
+    /// All quarantined pairs in quarantine order.
+    pub fn pairs(&self) -> &[(String, Option<MutatorKind>)] {
+        &self.quarantined
+    }
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+static PANIC_HOOK: Once = Once::new();
+
+/// Runs `f` inside a panic boundary. The default panic hook is wrapped
+/// (once, process-wide) so contained panics stay silent on this thread
+/// while panics elsewhere keep reporting normally.
+fn catch_round<T>(f: impl FnOnce() -> T) -> Result<T, RoundError> {
+    PANIC_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let caught = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    caught.map_err(|payload| classify_panic(payload.as_ref()))
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Maps a caught panic payload onto the taxonomy via the fault markers.
+fn classify_panic(payload: &(dyn Any + Send)) -> RoundError {
+    let message = panic_message(payload);
+    if let Some(rest) = message.strip_prefix(MUTATOR_PANIC_MARKER) {
+        let name = rest.trim_start_matches(':').split(':').next().unwrap_or("");
+        return RoundError::MutatorPanic {
+            mutator: MutatorKind::from_debug_name(name),
+            message,
+        };
+    }
+    // VM_PANIC_MARKER panics and unmarked panics both land here: the VM
+    // execution layer is where a round spends nearly all of its time.
+    let _ = VM_PANIC_MARKER;
+    RoundError::VmPanic { message }
+}
+
+/// The RNG seed of `(round, attempt)`. Attempt 0 reproduces the original
+/// unsupervised derivation, so fault-free campaigns are unchanged; each
+/// retry re-derives, giving the round a genuinely different trajectory.
+fn round_rng_seed(base: u64, round: usize, attempt: u32) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(round as u64)
+        .wrapping_add((attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// Folds one round record into the campaign result. Both the live path
+/// and journal replay go through this function — that shared path is what
+/// makes resumption bit-identical.
+pub(crate) fn apply_record(
+    result: &mut CampaignResult,
+    seen: &mut HashSet<String>,
+    quarantine: &mut Quarantine,
+    record: &RoundRecord,
+    threshold: u32,
+) {
+    result.round_errors.extend(record.errors.iter().cloned());
+    match record.disposition {
+        Disposition::Skipped => result.skipped_rounds += 1,
+        Disposition::Errored => {
+            // The final attempt was not retried; every earlier one was.
+            result.retried_attempts += record.errors.len().saturating_sub(1) as u64;
+            result.errored_rounds += 1;
+            if let Some((seed, mutator)) = &record.fault_pair {
+                if quarantine.record(threshold, seed, *mutator) {
+                    result.quarantined.push((seed.clone(), *mutator));
+                }
+            }
+        }
+        Disposition::Ok => {
+            result.retried_attempts += record.errors.len() as u64;
+            result.executions += record.fuzz_execs;
+            result.steps += record.fuzz_steps;
+            result.coverage.merge(&record.coverage);
+            result.final_deltas.push(record.final_delta);
+            if let Some(sighting) = &record.crash {
+                push_bug(result, seen, sighting, &record.seed);
+            }
+            if let Some((execs, steps)) = record.diff {
+                result.executions += execs;
+                result.steps += steps;
+            }
+            for sighting in &record.diff_bugs {
+                push_bug(result, seen, sighting, &record.seed);
+            }
+            if record.inconclusive {
+                result.inconclusive_rounds += 1;
+            }
+        }
+    }
+}
+
+fn push_bug(
+    result: &mut CampaignResult,
+    seen: &mut HashSet<String>,
+    sighting: &BugSighting,
+    seed: &str,
+) {
+    if seen.insert(sighting.id.clone()) {
+        result.bugs.push(FoundBug {
+            id: sighting.id.clone(),
+            component: sighting.component,
+            is_crash: sighting.is_crash,
+            jvm: sighting.jvm.clone(),
+            seed: seed.to_string(),
+            mutators: sighting.mutators.clone(),
+            at_execs: result.executions,
+            at_steps: result.steps,
+            mutant: sighting.mutant.clone(),
+        });
+    }
+}
+
+fn budget_stop(
+    result: &CampaignResult,
+    supervisor: &SupervisorConfig,
+    round: usize,
+) -> Option<RoundFailure> {
+    let stop = |budget, limit, used| {
+        Some(RoundFailure {
+            round,
+            attempt: 0,
+            error: RoundError::BudgetExhausted {
+                budget,
+                limit,
+                used,
+            },
+        })
+    };
+    if let Some(limit) = supervisor.max_steps {
+        if result.steps >= limit {
+            return stop(BudgetKind::CampaignSteps, limit, result.steps);
+        }
+    }
+    if let Some(limit) = supervisor.max_executions {
+        if result.executions >= limit {
+            return stop(BudgetKind::CampaignExecutions, limit, result.executions);
+        }
+    }
+    None
+}
+
+/// One isolated attempt at a round: fuzz, oracle-check, and classify.
+/// Everything computed here is local — the campaign result is only touched
+/// by [`apply_record`] once the attempt as a whole has succeeded.
+fn run_attempt(
+    round: usize,
+    seed: &Seed,
+    guidance: &JvmSpec,
+    config: &CampaignConfig,
+    banned: &[MutatorKind],
+    rng_seed: u64,
+) -> Result<RoundRecord, RoundError> {
+    let fuzz_config = FuzzConfig {
+        max_iterations: config.iterations_per_seed,
+        variant: config.variant,
+        guidance: guidance.clone(),
+        rng_seed,
+        weight_scheme: Default::default(),
+        banned: banned.to_vec(),
+        fault: config.fault.clone(),
+    };
+    let record = catch_round(|| {
+        let outcome = fuzz(&seed.program, &fuzz_config);
+        if let Some(message) = &outcome.seed_invalid {
+            return Err(RoundError::BuildFailure {
+                message: message.clone(),
+            });
+        }
+        let mut record = RoundRecord {
+            round,
+            seed: seed.name.clone(),
+            disposition: Disposition::Ok,
+            fuzz_execs: outcome.executions,
+            fuzz_steps: outcome.steps,
+            diff: None,
+            final_delta: outcome.final_delta(),
+            inconclusive: false,
+            errors: Vec::new(),
+            crash: None,
+            diff_bugs: Vec::new(),
+            coverage: outcome.coverage.clone(),
+            fault_pair: None,
+        };
+        if let Some(report) = &outcome.crash {
+            record.crash = Some(BugSighting {
+                id: report.bug_id.clone(),
+                component: report.component,
+                is_crash: true,
+                jvm: guidance.name(),
+                mutators: outcome.mutator_history(),
+                mutant: outcome.final_mutant.clone(),
+            });
+            return Ok(record);
+        }
+        let options = RunOptions {
+            fault: config.fault.clone(),
+            ..RunOptions::fuzzing()
+        };
+        let diff = differential(&outcome.final_mutant, &config.pool, &options);
+        record.diff = Some((diff.executions, diff.steps));
+        record.coverage.merge(&diff.coverage);
+        match diff.verdict {
+            OracleVerdict::Crash { jvm, report } => record.diff_bugs.push(BugSighting {
+                id: report.bug_id.clone(),
+                component: report.component,
+                is_crash: true,
+                jvm,
+                mutators: outcome.mutator_history(),
+                mutant: outcome.final_mutant.clone(),
+            }),
+            OracleVerdict::Miscompile { outputs, culprits } => {
+                for id in culprits {
+                    let component = component_of_miscompile(&id).unwrap_or(Component::OtherJit);
+                    record.diff_bugs.push(BugSighting {
+                        id,
+                        component,
+                        is_crash: false,
+                        jvm: outputs.first().map(|(j, _)| j.clone()).unwrap_or_default(),
+                        mutators: outcome.mutator_history(),
+                        mutant: outcome.final_mutant.clone(),
+                    });
+                }
+            }
+            OracleVerdict::Inconclusive(_) => record.inconclusive = true,
+            OracleVerdict::Pass => {}
+        }
+        Ok(record)
+    })??;
+    if let Some(deadline) = config.supervisor.round_step_deadline {
+        let used = record.fuzz_steps + record.diff.map_or(0, |(_, s)| s);
+        if used > deadline {
+            return Err(RoundError::BudgetExhausted {
+                budget: BudgetKind::RoundSteps,
+                limit: deadline,
+                used,
+            });
+        }
+    }
+    Ok(record)
+}
+
+/// Runs one round under supervision: skip if quarantined, otherwise
+/// attempt with bounded retries and produce the round's record.
+fn execute_round(
+    round: usize,
+    seed: &Seed,
+    config: &CampaignConfig,
+    quarantine: &Quarantine,
+) -> RoundRecord {
+    let skeleton = |disposition| RoundRecord {
+        round,
+        seed: seed.name.clone(),
+        disposition,
+        fuzz_execs: 0,
+        fuzz_steps: 0,
+        diff: None,
+        final_delta: 0.0,
+        inconclusive: false,
+        errors: Vec::new(),
+        crash: None,
+        diff_bugs: Vec::new(),
+        coverage: jvmsim::CoverageMap::new(),
+        fault_pair: None,
+    };
+    if quarantine.seed_blocked(&seed.name) {
+        return skeleton(Disposition::Skipped);
+    }
+    let banned = quarantine.banned_mutators(&seed.name);
+    let guidance = config.pool[round % config.pool.len()].clone();
+    let mut errors = Vec::new();
+    for attempt in 0..=config.supervisor.max_retries {
+        let rng_seed = round_rng_seed(config.rng_seed, round, attempt);
+        match run_attempt(round, seed, &guidance, config, &banned, rng_seed) {
+            Ok(mut record) => {
+                record.errors = errors;
+                return record;
+            }
+            Err(error) => errors.push(RoundFailure {
+                round,
+                attempt,
+                error,
+            }),
+        }
+    }
+    // Every attempt faulted: attribute the fault for quarantine purposes.
+    let mutator = errors.iter().find_map(|f| match &f.error {
+        RoundError::MutatorPanic {
+            mutator: Some(k), ..
+        } => Some(*k),
+        _ => None,
+    });
+    let mut record = skeleton(Disposition::Errored);
+    record.errors = errors;
+    record.fault_pair = Some((seed.name.clone(), mutator));
+    record
+}
+
+/// The supervised campaign loop shared by [`crate::campaign::run_campaign`]
+/// and [`crate::campaign::resume_campaign`]: replay any checkpointed
+/// records, then execute (and journal) the remaining rounds.
+pub(crate) fn run_supervised(
+    seeds: &[Seed],
+    config: &CampaignConfig,
+    mut writer: Option<&mut JournalWriter>,
+    replay: &[RoundRecord],
+) -> CampaignResult {
+    let mut result = CampaignResult::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut quarantine = Quarantine::default();
+    if seeds.is_empty() || config.pool.is_empty() {
+        return result;
+    }
+    let threshold = config.supervisor.quarantine_threshold;
+    for record in replay {
+        apply_record(&mut result, &mut seen, &mut quarantine, record, threshold);
+    }
+    for round in replay.len()..config.rounds {
+        if let Some(stop) = budget_stop(&result, &config.supervisor, round) {
+            result.round_errors.push(stop.clone());
+            result.stopped = Some(stop);
+            break;
+        }
+        let seed = &seeds[round % seeds.len()];
+        let record = execute_round(round, seed, config, &quarantine);
+        if let Some(w) = writer.as_deref_mut() {
+            // A failing journal must not kill the campaign it protects.
+            if let Err(e) = w.write_round(&record) {
+                eprintln!("warning: journal write failed: {e}");
+            }
+        }
+        apply_record(&mut result, &mut seen, &mut quarantine, &record, threshold);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_marked_and_unmarked_panics() {
+        let mutator: Box<dyn Any + Send> = Box::new(format!(
+            "{MUTATOR_PANIC_MARKER}:Inlining: injected mutator panic"
+        ));
+        match classify_panic(mutator.as_ref()) {
+            RoundError::MutatorPanic { mutator, .. } => {
+                assert_eq!(mutator, Some(MutatorKind::Inlining));
+            }
+            other => panic!("misclassified: {other:?}"),
+        }
+        let vm: Box<dyn Any + Send> =
+            Box::new(format!("{VM_PANIC_MARKER}: injected VM panic on J9-8"));
+        assert!(matches!(
+            classify_panic(vm.as_ref()),
+            RoundError::VmPanic { .. }
+        ));
+        let stray: Box<dyn Any + Send> = Box::new("index out of bounds");
+        assert!(matches!(
+            classify_panic(stray.as_ref()),
+            RoundError::VmPanic { .. }
+        ));
+        let unknown_mutator: Box<dyn Any + Send> =
+            Box::new(format!("{MUTATOR_PANIC_MARKER}:NotAMutator: boom"));
+        match classify_panic(unknown_mutator.as_ref()) {
+            RoundError::MutatorPanic { mutator, .. } => assert_eq!(mutator, None),
+            other => panic!("misclassified: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catch_round_contains_and_passes_through() {
+        assert_eq!(catch_round(|| 42).unwrap(), 42);
+        let err = catch_round(|| panic!("plain panic")).unwrap_err();
+        assert!(matches!(err, RoundError::VmPanic { .. }));
+    }
+
+    #[test]
+    fn quarantine_threshold_and_bans() {
+        let mut q = Quarantine::default();
+        assert!(!q.record(2, "s1", Some(MutatorKind::Inlining)));
+        assert!(q.record(2, "s1", Some(MutatorKind::Inlining)));
+        // Already quarantined: further records do not re-add.
+        assert!(!q.record(2, "s1", Some(MutatorKind::Inlining)));
+        assert_eq!(q.banned_mutators("s1"), vec![MutatorKind::Inlining]);
+        assert!(q.banned_mutators("s2").is_empty());
+        assert!(!q.seed_blocked("s1"));
+        q.record(1, "s2", None);
+        assert!(q.seed_blocked("s2"));
+        assert_eq!(q.pairs().len(), 2);
+    }
+
+    #[test]
+    fn rng_derivation_attempt_zero_matches_legacy() {
+        let base: u64 = 2024;
+        let legacy = base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3);
+        assert_eq!(round_rng_seed(base, 3, 0), legacy);
+        assert_ne!(round_rng_seed(base, 3, 1), legacy);
+        assert_ne!(round_rng_seed(base, 3, 1), round_rng_seed(base, 3, 2));
+    }
+
+    #[test]
+    fn budget_stop_triggers_at_limits() {
+        let mut result = CampaignResult::default();
+        let supervisor = SupervisorConfig {
+            max_steps: Some(100),
+            max_executions: Some(10),
+            ..SupervisorConfig::default()
+        };
+        assert!(budget_stop(&result, &supervisor, 0).is_none());
+        result.steps = 100;
+        let stop = budget_stop(&result, &supervisor, 4).unwrap();
+        assert_eq!(stop.round, 4);
+        assert!(matches!(
+            stop.error,
+            RoundError::BudgetExhausted {
+                budget: BudgetKind::CampaignSteps,
+                limit: 100,
+                used: 100
+            }
+        ));
+        result.steps = 0;
+        result.executions = 11;
+        assert!(matches!(
+            budget_stop(&result, &supervisor, 0).unwrap().error,
+            RoundError::BudgetExhausted {
+                budget: BudgetKind::CampaignExecutions,
+                ..
+            }
+        ));
+    }
+}

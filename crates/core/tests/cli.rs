@@ -69,8 +69,8 @@ fn fuzzes_a_project_directory_and_writes_mutants() {
     assert!(stdout.contains("Test0001"));
 
     // The final mutant was written and is a valid MiniJava program.
-    let mutant = std::fs::read_to_string(out_dir.join("Test0001_final.java"))
-        .expect("mutant file written");
+    let mutant =
+        std::fs::read_to_string(out_dir.join("Test0001_final.java")).expect("mutant file written");
     mjava::parse(&mutant).expect("mutant parses");
     // The per-case log records the applied mutators and the verdict.
     let log = std::fs::read_to_string(out_dir.join("Test0001.log")).expect("log written");
@@ -78,6 +78,78 @@ fn fuzzes_a_project_directory_and_writes_mutants() {
     assert!(log.contains("iter"));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_mode_journals_and_resume_replays_identically() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_camp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("campaign.jsonl");
+    let campaign_args = [
+        "--rounds",
+        "3",
+        "--iterations",
+        "8",
+        "--rng",
+        "2024",
+        "--jdk",
+        "HotSpur-17,J9-17",
+        "--journal",
+        journal.to_str().unwrap(),
+    ];
+
+    let out = bin().args(campaign_args).output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("supervised rounds"));
+    let done_line = stdout
+        .lines()
+        .find(|l| l.starts_with("done:"))
+        .expect("summary printed")
+        .to_string();
+
+    // The journal holds a header plus one line per round.
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    assert_eq!(text.lines().count(), 4, "{text}");
+
+    // Truncate the journal to 2 of 3 rounds; resume re-runs the rest and
+    // reports the identical totals.
+    let kept: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(&journal, kept.join("\n")).unwrap();
+    let out = bin()
+        .args(["--resume", journal.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains(&done_line),
+        "{stdout}\nexpected: {done_line}"
+    );
+    // The resumed journal is whole again.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(text.lines().count(), 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_budget_flag_stops_early() {
+    let out = bin()
+        .args(["--rounds", "50", "--iterations", "5", "--max-execs", "1"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("stopped early"), "{stdout}");
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! semantic change observed after optimization is attributable to the
 //! optimizer, exactly the property differential testing needs.
 
-use crate::code::{ArithOp, Code, CmpOp, Instr};
+use crate::code::{ArithOp, CmpOp, Code, Instr};
 use crate::error::BuildError;
 use crate::image::Image;
 use crate::value::ClassId;
@@ -43,7 +43,10 @@ pub fn compile_method_ast(
     }
     for p in &method.params {
         let slot = c.alloc_slot();
-        c.scopes.last_mut().expect("scope").insert(p.name.clone(), slot);
+        c.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(p.name.clone(), slot);
     }
     // Synchronized methods lock `this` (instance) or the class object
     // (static) around the whole body.
@@ -158,7 +161,9 @@ impl<'i> Compiler<'i> {
                         self.expr(value)?;
                         self.emit(Instr::Store(slot));
                     } else if !self.is_static
-                        && self.image.classes[self.class].instance_offset(name).is_some()
+                        && self.image.classes[self.class]
+                            .instance_offset(name)
+                            .is_some()
                     {
                         self.emit(Instr::Load(0));
                         self.expr(value)?;
@@ -339,7 +344,9 @@ impl<'i> Compiler<'i> {
                 if let Some(slot) = self.lookup_local(name) {
                     self.emit(Instr::Load(slot));
                 } else if !self.is_static
-                    && self.image.classes[self.class].instance_offset(name).is_some()
+                    && self.image.classes[self.class]
+                        .instance_offset(name)
+                        .is_some()
                 {
                     self.emit(Instr::Load(0));
                     self.emit(Instr::GetField(name.clone()));
@@ -381,13 +388,12 @@ impl<'i> Compiler<'i> {
             }
             Expr::Call(call) => match &call.target {
                 CallTarget::Static(class) => {
-                    let mid = self
-                        .image
-                        .method_id(class, &call.method)
-                        .ok_or_else(|| BuildError::UnknownStatic {
+                    let mid = self.image.method_id(class, &call.method).ok_or_else(|| {
+                        BuildError::UnknownStatic {
                             class: class.clone(),
                             member: call.method.clone(),
-                        })?;
+                        }
+                    })?;
                     if self.image.methods[mid].params.len() != call.args.len() {
                         return Err(BuildError::ArityMismatch {
                             class: class.clone(),
@@ -483,7 +489,11 @@ mod tests {
             .iter()
             .enumerate()
             .any(|(pc, i)| matches!(i, Instr::Jump(t) if *t <= pc));
-        assert!(has_backjump, "loop must compile to a backward jump:\n{}", code.listing());
+        assert!(
+            has_backjump,
+            "loop must compile to a backward jump:\n{}",
+            code.listing()
+        );
     }
 
     #[test]
@@ -491,27 +501,45 @@ mod tests {
         let image = image_of("class T { int f; void g() { f = f + 1; } static void main() { } }");
         let g = image.method_id("T", "g").unwrap();
         let code = &image.methods[g].code;
-        assert!(code.instrs.iter().any(|i| matches!(i, Instr::GetField(n) if n == "f")));
-        assert!(code.instrs.iter().any(|i| matches!(i, Instr::PutField(n) if n == "f")));
+        assert!(code
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::GetField(n) if n == "f")));
+        assert!(code
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PutField(n) if n == "f")));
     }
 
     #[test]
     fn bare_static_field_resolves_to_getstatic() {
-        let image =
-            image_of("class T { static int s; static void main() { s = s + 1; } }");
+        let image = image_of("class T { static int s; static void main() { s = s + 1; } }");
         let code = &image.methods[image.main()].code;
-        assert!(code.instrs.iter().any(|i| matches!(i, Instr::GetStatic(0, 0))));
-        assert!(code.instrs.iter().any(|i| matches!(i, Instr::PutStatic(0, 0))));
+        assert!(code
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::GetStatic(0, 0))));
+        assert!(code
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PutStatic(0, 0))));
     }
 
     #[test]
     fn sync_block_is_balanced() {
-        let image = image_of(
-            "class T { static void main() { synchronized (T.class) { int x = 1; } } }",
-        );
+        let image =
+            image_of("class T { static void main() { synchronized (T.class) { int x = 1; } } }");
         let code = &image.methods[image.main()].code;
-        let enters = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorEnter)).count();
-        let exits = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorExit)).count();
+        let enters = code
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::MonitorEnter))
+            .count();
+        let exits = code
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::MonitorExit))
+            .count();
         assert_eq!((enters, exits), (1, 1));
     }
 
@@ -535,8 +563,16 @@ mod tests {
         let code = &image.methods[g].code;
         // Two enters; the return path releases both, and the normal path
         // also emits its two exits (unreachable after return, but present).
-        let enters = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorEnter)).count();
-        let exits = code.instrs.iter().filter(|i| matches!(i, Instr::MonitorExit)).count();
+        let enters = code
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::MonitorEnter))
+            .count();
+        let exits = code
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::MonitorExit))
+            .count();
         assert_eq!(enters, 2);
         assert_eq!(exits, 4);
     }
@@ -549,8 +585,14 @@ mod tests {
         for name in ["g", "h"] {
             let mid = image.method_id("T", name).unwrap();
             let code = &image.methods[mid].code;
-            assert!(code.instrs.iter().any(|i| matches!(i, Instr::MonitorEnter)), "{name}");
-            assert!(code.instrs.iter().any(|i| matches!(i, Instr::MonitorExit)), "{name}");
+            assert!(
+                code.instrs.iter().any(|i| matches!(i, Instr::MonitorEnter)),
+                "{name}"
+            );
+            assert!(
+                code.instrs.iter().any(|i| matches!(i, Instr::MonitorExit)),
+                "{name}"
+            );
         }
     }
 
@@ -560,10 +602,14 @@ mod tests {
             "class T { static int f(int a, int b) { return a + b; } static void main() { int x = T.f(1, 2); } }",
         );
         let code = &image.methods[image.main()].code;
-        assert!(code
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Invoke { argc: 2, has_recv: false, .. })));
+        assert!(code.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Invoke {
+                argc: 2,
+                has_recv: false,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -580,9 +626,11 @@ mod tests {
 
     #[test]
     fn this_in_static_rejected() {
-        let p =
-            mjava::parse("class T { int f; static void main() { int x = this.f; } }").unwrap();
-        assert!(matches!(Image::build(&p), Err(BuildError::ThisInStatic { .. })));
+        let p = mjava::parse("class T { int f; static void main() { int x = this.f; } }").unwrap();
+        assert!(matches!(
+            Image::build(&p),
+            Err(BuildError::ThisInStatic { .. })
+        ));
     }
 
     #[test]

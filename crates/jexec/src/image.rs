@@ -226,6 +226,13 @@ impl Image {
     }
 }
 
+impl PartialEq for Image {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality over names is enough for tests.
+        self.class_index == other.class_index && self.main == other.main
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,12 +297,5 @@ mod tests {
         let defaults = image.static_defaults();
         assert_eq!(defaults[0], vec![Value::Int(4)]);
         assert_eq!(defaults[1], vec![Value::Bool(false)]);
-    }
-}
-
-impl PartialEq for Image {
-    fn eq(&self, other: &Self) -> bool {
-        // Structural equality over names is enough for tests.
-        self.class_index == other.class_index && self.main == other.main
     }
 }

@@ -821,18 +821,15 @@ mod tests {
 
     #[test]
     fn null_field_access_is_npe() {
-        let o = exec(
-            "class T { int f; static void main() { T t = null; System.out.println(t.f); } }",
-        );
+        let o =
+            exec("class T { int f; static void main() { T t = null; System.out.println(t.f); } }");
         assert_eq!(o.error, Some(ExecError::NullReference));
     }
 
     #[test]
     fn infinite_loop_runs_out_of_fuel() {
-        let program = mjava::parse(
-            "class T { static void main() { while (true) { int x = 1; } } }",
-        )
-        .unwrap();
+        let program =
+            mjava::parse("class T { static void main() { while (true) { int x = 1; } } }").unwrap();
         let o = run_program(
             &program,
             &ExecConfig {
@@ -896,9 +893,7 @@ mod tests {
 
     #[test]
     fn int_overflow_wraps_like_java() {
-        let o = exec(
-            "class T { static void main() { System.out.println(2147483647 + 1); } }",
-        );
+        let o = exec("class T { static void main() { System.out.println(2147483647 + 1); } }");
         assert_eq!(o.output, vec!["-2147483648"]);
     }
 

@@ -20,8 +20,8 @@ pub fn expr_is_pure(e: &Expr) -> bool {
             match op {
                 BinOp::Div | BinOp::Rem => {
                     operands_pure
-                        && matches!(rhs.as_ref(), Expr::Int(v) if *v != 0)
-                        || matches!(rhs.as_ref(), Expr::Long(v) if *v != 0) && operands_pure
+                        && (matches!(rhs.as_ref(), Expr::Int(v) if *v != 0)
+                            || matches!(rhs.as_ref(), Expr::Long(v) if *v != 0))
                 }
                 _ => operands_pure,
             }
@@ -423,7 +423,12 @@ pub fn qualify_members(
     qualify_block(block, class, recv, &mut scope);
 }
 
-fn qualify_block(block: &mut Block, class: &Class, recv: Option<&Expr>, scope: &mut HashSet<String>) {
+fn qualify_block(
+    block: &mut Block,
+    class: &Class,
+    recv: Option<&Expr>,
+    scope: &mut HashSet<String>,
+) {
     let outer = scope.clone();
     for stmt in &mut block.0 {
         qualify_stmt(stmt, class, recv, scope);
@@ -577,11 +582,12 @@ pub fn counted_loop(stmt: &Stmt) -> Option<CountedLoop> {
         return None;
     };
     let (op, bound) = match cond {
-        Expr::Binary(op @ (BinOp::Lt | BinOp::Le), lhs, rhs) => match (lhs.as_ref(), rhs.as_ref())
-        {
-            (Expr::Var(v), Expr::Int(b)) if v == name => (*op, *b),
-            _ => return None,
-        },
+        Expr::Binary(op @ (BinOp::Lt | BinOp::Le), lhs, rhs) => {
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Var(v), Expr::Int(b)) if v == name => (*op, *b),
+                _ => return None,
+            }
+        }
         _ => return None,
     };
     let bound = if op == BinOp::Le { bound + 1 } else { bound };
@@ -744,13 +750,17 @@ mod tests {
 
     #[test]
     fn qualify_members_respects_local_shadowing() {
-        let p = parse("class T { int f; void g() { int f = 3; f = f + 1; } static void main() { } }")
-            .unwrap();
+        let p =
+            parse("class T { int f; void g() { int f = 3; f = f + 1; } static void main() { } }")
+                .unwrap();
         let class = p.classes[0].clone();
         let mut body = class.methods[0].body.clone();
         qualify_members(&mut body, &class, Some(&Expr::var("r")), &HashSet::new());
         let text: String = body.0.iter().map(mjava::print_stmt).collect();
-        assert!(!text.contains("r.f"), "shadowed local must not qualify: {text}");
+        assert!(
+            !text.contains("r.f"),
+            "shadowed local must not qualify: {text}"
+        );
     }
 
     #[test]
@@ -795,6 +805,10 @@ mod tests {
             panic!()
         };
         assert!(expr_has_call(e));
-        assert!(!expr_has_call(&Expr::bin(BinOp::Add, Expr::var("a"), Expr::Int(1))));
+        assert!(!expr_has_call(&Expr::bin(
+            BinOp::Add,
+            Expr::var("a"),
+            Expr::Int(1)
+        )));
     }
 }

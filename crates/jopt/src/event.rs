@@ -394,9 +394,6 @@ mod tests {
 
     #[test]
     fn option_names_match_display() {
-        assert_eq!(
-            TraceFlag::TraceLoopOpts.to_string(),
-            "-XX:+TraceLoopOpts"
-        );
+        assert_eq!(TraceFlag::TraceLoopOpts.to_string(), "-XX:+TraceLoopOpts");
     }
 }

@@ -60,9 +60,9 @@ fn structural_dce(block: &mut Block, cx: &mut OptCx) {
                     structural_dce(e, cx);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => structural_dce(body, cx),
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Sync { body, .. } => {
+                structural_dce(body, cx)
+            }
             Stmt::Block(b) => structural_dce(b, cx),
             _ => {}
         }
@@ -127,11 +127,7 @@ fn remove_dead_writes(block: &mut Block, dead: &HashSet<String>, cx: &mut OptCx)
     let mut i = 0;
     while i < block.0.len() {
         let replacement: Option<Vec<Stmt>> = match &block.0[i] {
-            Stmt::Decl {
-                name,
-                init,
-                ..
-            } if dead.contains(name) => Some(match init {
+            Stmt::Decl { name, init, .. } if dead.contains(name) => Some(match init {
                 Some(e) if !expr_is_pure(e) => vec![Stmt::Expr(e.clone())],
                 _ => vec![],
             }),
@@ -160,8 +156,9 @@ fn remove_dead_writes(block: &mut Block, dead: &HashSet<String>, cx: &mut OptCx)
                     remove_dead_writes(e, dead, cx);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::Sync { body, .. } => remove_dead_writes(body, dead, cx),
+            Stmt::While { body, .. } | Stmt::Sync { body, .. } => {
+                remove_dead_writes(body, dead, cx)
+            }
             Stmt::For { body, .. } => remove_dead_writes(body, dead, cx),
             Stmt::Block(b) => remove_dead_writes(b, dead, cx),
             _ => {}

@@ -64,9 +64,7 @@ fn scan_block(block: &Block, in_loop: bool, site: &mut u32, cx: &mut OptCx) {
                     scan_block(e, in_loop, site, cx);
                 }
             }
-            Stmt::While { body, .. } | Stmt::For { body, .. } => {
-                scan_block(body, true, site, cx)
-            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => scan_block(body, true, site, cx),
             Stmt::Sync { body, .. } => scan_block(body, in_loop, site, cx),
             Stmt::Block(b) => scan_block(b, in_loop, site, cx),
             _ => {}

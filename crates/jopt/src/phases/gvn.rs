@@ -201,15 +201,18 @@ fn fold_expr(e: &Expr, cx: &mut OptCx) -> Option<Expr> {
 fn cse_block(block: &mut Block, cx: &mut OptCx) {
     for w in 1..block.0.len() {
         let (first, second) = block.0.split_at_mut(w);
-        let (Stmt::Decl {
-            name: n1,
-            ty: t1,
-            init: Some(e1),
-        }, Stmt::Decl {
-            ty: t2,
-            init: Some(e2),
-            ..
-        }) = (first.last_mut().expect("w >= 1"), &mut second[0])
+        let (
+            Stmt::Decl {
+                name: n1,
+                ty: t1,
+                init: Some(e1),
+            },
+            Stmt::Decl {
+                ty: t2,
+                init: Some(e2),
+                ..
+            },
+        ) = (first.last_mut().expect("w >= 1"), &mut second[0])
         else {
             continue;
         };
@@ -228,9 +231,9 @@ fn cse_block(block: &mut Block, cx: &mut OptCx) {
                     cse_block(e, cx);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => cse_block(body, cx),
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Sync { body, .. } => {
+                cse_block(body, cx)
+            }
             Stmt::Block(b) => cse_block(b, cx),
             _ => {}
         }

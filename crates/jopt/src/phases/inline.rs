@@ -47,9 +47,9 @@ fn inline_block(
                     inline_block(e, class, self_name, types, cx);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => inline_block(body, class, self_name, types, cx),
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Sync { body, .. } => {
+                inline_block(body, class, self_name, types, cx)
+            }
             Stmt::Block(b) => inline_block(b, class, self_name, types, cx),
             _ => {}
         }
@@ -232,9 +232,8 @@ fn try_inline(
         }
     } else {
         out.extend(body.0);
-        match (result_expr, sink) {
-            (Some(e), sink) => push_sink(&mut out, sink, e),
-            (None, _) => {}
+        if let Some(e) = result_expr {
+            push_sink(&mut out, sink, e);
         }
     }
     Some(out)
@@ -252,10 +251,7 @@ fn push_sink(out: &mut Vec<Stmt>, sink: Sink, value: Expr) {
             ty,
             init: Some(value),
         }),
-        Sink::Assign(target) => out.push(Stmt::Assign {
-            target,
-            value,
-        }),
+        Sink::Assign(target) => out.push(Stmt::Assign { target, value }),
     }
 }
 
@@ -357,7 +353,10 @@ mod tests {
         let out = opt_main(src, INLINE, 1);
         assert_eq!(count(&out, OptEventKind::Inline), 1);
         let printed = mjava::print_stmt(&Stmt::Block(out.method.body.clone()));
-        assert!(!printed.contains("T.add("), "call should be gone:\n{printed}");
+        assert!(
+            !printed.contains("T.add("),
+            "call should be gone:\n{printed}"
+        );
         assert_semantics_preserved(src, &out);
     }
 

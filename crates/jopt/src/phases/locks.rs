@@ -34,10 +34,7 @@ fn report_nesting(block: &Block, site: &mut u32, cx: &mut OptCx) {
                     let here = *site;
                     *site += 1;
                     cx.cover(0);
-                    cx.emit_once(
-                        OptEventKind::NestedLock,
-                        format!("{}@{here}", inner + 1),
-                    );
+                    cx.emit_once(OptEventKind::NestedLock, format!("{}@{here}", inner + 1));
                 }
                 report_nesting(body, site, cx);
             }
@@ -59,8 +56,9 @@ fn max_sync_depth(block: &Block) -> usize {
     for stmt in &block.0 {
         let d = match stmt {
             Stmt::Sync { body, .. } => 1 + max_sync_depth(body),
-            Stmt::If { then_b, else_b, .. } => max_sync_depth(then_b)
-                .max(else_b.as_ref().map_or(0, max_sync_depth)),
+            Stmt::If { then_b, else_b, .. } => {
+                max_sync_depth(then_b).max(else_b.as_ref().map_or(0, max_sync_depth))
+            }
             Stmt::While { body, .. } | Stmt::For { body, .. } => max_sync_depth(body),
             Stmt::Block(b) => max_sync_depth(b),
             _ => 0,
@@ -76,9 +74,9 @@ fn coarsen_block(block: &mut Block, cx: &mut OptCx) {
     // Recurse first.
     for stmt in &mut block.0 {
         match stmt {
-            Stmt::Sync { body, .. }
-            | Stmt::While { body, .. }
-            | Stmt::For { body, .. } => coarsen_block(body, cx),
+            Stmt::Sync { body, .. } | Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                coarsen_block(body, cx)
+            }
             Stmt::If { then_b, else_b, .. } => {
                 coarsen_block(then_b, cx);
                 if let Some(e) = else_b {
@@ -152,9 +150,9 @@ fn eliminate_block(
             block.0.insert(i, Stmt::Block(body));
         }
         match &mut block.0[i] {
-            Stmt::Sync { body, .. }
-            | Stmt::While { body, .. }
-            | Stmt::For { body, .. } => eliminate_block(body, states, cx),
+            Stmt::Sync { body, .. } | Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                eliminate_block(body, states, cx)
+            }
             Stmt::If { then_b, else_b, .. } => {
                 eliminate_block(then_b, states, cx);
                 if let Some(e) = else_b {

@@ -35,9 +35,9 @@ fn transform_block(block: &mut Block, cx: &mut OptCx) {
                     transform_block(e, cx);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => transform_block(body, cx),
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Sync { body, .. } => {
+                transform_block(body, cx)
+            }
             Stmt::Block(b) => transform_block(b, cx),
             _ => {}
         }
@@ -135,7 +135,10 @@ fn try_unswitch(stmt: &Stmt, cx: &mut OptCx) -> Option<Vec<Stmt>> {
 
 fn assigned_vars_of_loop(stmt: &Stmt) -> std::collections::HashSet<String> {
     let mut out = std::collections::HashSet::new();
-    if let Stmt::For { init, update, body, .. } = stmt {
+    if let Stmt::For {
+        init, update, body, ..
+    } = stmt
+    {
         for s in [init, update].into_iter().flatten() {
             if let Stmt::Assign {
                 target: LValue::Var(v),

@@ -28,8 +28,15 @@ pub(crate) mod testutil {
             rounds,
             ..OptLimits::default()
         };
-        optimize(&program, main_class(&program), "main", phases, limits, &FlagSet::all())
-            .expect("main exists")
+        optimize(
+            &program,
+            main_class(&program),
+            "main",
+            phases,
+            limits,
+            &FlagSet::all(),
+        )
+        .expect("main exists")
     }
 
     /// Optimizes a named method instead of `main`.
@@ -40,8 +47,15 @@ pub(crate) mod testutil {
             rounds,
             ..OptLimits::default()
         };
-        optimize(&program, main_class(&program), method, phases, limits, &FlagSet::all())
-            .expect("method exists")
+        optimize(
+            &program,
+            main_class(&program),
+            method,
+            phases,
+            limits,
+            &FlagSet::all(),
+        )
+        .expect("method exists")
     }
 
     fn main_class(program: &mjava::Program) -> &str {

@@ -93,9 +93,9 @@ fn eliminate_in_block(block: &mut Block, cx: &mut OptCx) {
                     eliminate_in_block(e, cx);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => eliminate_in_block(body, cx),
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Sync { body, .. } => {
+                eliminate_in_block(body, cx)
+            }
             Stmt::Block(b) => eliminate_in_block(b, cx),
             _ => {}
         }

@@ -320,10 +320,7 @@ mod tests {
 
     #[test]
     fn optimize_trivial_method_is_stable() {
-        let p = mjava::parse(
-            "class T { static void main() { System.out.println(1); } }",
-        )
-        .unwrap();
+        let p = mjava::parse("class T { static void main() { System.out.println(1); } }").unwrap();
         let out = optimize(
             &p,
             "T",

@@ -33,6 +33,9 @@ pub mod obv;
 pub mod pattern;
 pub mod rules;
 
-pub use obv::{sum_increase, update_weight, update_weight_raw_sum, Obv, DIMS};
+pub use obv::{
+    clamp_weight, sum_increase, update_weight, update_weight_raw_sum, Obv, DIMS, WEIGHT_MAX,
+    WEIGHT_MIN,
+};
 pub use pattern::Pattern;
 pub use rules::{classify, rules, Rule};

@@ -125,19 +125,44 @@ fn dim_of(kind: OptEventKind) -> Option<usize> {
     OptEventKind::observable().position(|k| k == kind)
 }
 
+/// Smallest weight [`clamp_weight`] returns. Keeps every mutator
+/// selectable: Eq. 1 divides by the weight sum, so a zero or negative
+/// weight would silence a mutator forever (or flip selection signs).
+pub const WEIGHT_MIN: f64 = 1e-9;
+
+/// Largest weight [`clamp_weight`] returns. Far above anything a real
+/// campaign produces (50 iterations at most double a weight each), but
+/// low enough that summing all weights can never overflow to infinity.
+pub const WEIGHT_MAX: f64 = 1e12;
+
+/// Clamps a mutator weight into the finite positive range
+/// `[WEIGHT_MIN, WEIGHT_MAX]`. `NaN` resets to the initial weight 1.0;
+/// `±∞` and out-of-range values saturate. Adversarial profile logs
+/// (fault injection, truncated lines) must never poison Eq. 1's
+/// selection distribution.
+pub fn clamp_weight(weight: f64) -> f64 {
+    if weight.is_nan() {
+        1.0
+    } else {
+        weight.clamp(WEIGHT_MIN, WEIGHT_MAX)
+    }
+}
+
 /// Eq. 3: wₘ ← wₘ · (1 + Δ / ‖OBV_c‖).
 ///
 /// Normalizing by the child's magnitude rewards *relative* growth in
 /// behaviour diversity, preventing high-frequency behaviours (e.g.
 /// inlining) from dominating the weights (paper §3.4, "Rationale Behind
 /// the Weighting Scheme"). When the child's OBV is zero, the weight is
-/// unchanged.
+/// unchanged. Non-finite inputs are treated as "no observation": the
+/// (clamped) weight passes through untouched.
 pub fn update_weight(weight: f64, delta: f64, child: &Obv) -> f64 {
+    let weight = clamp_weight(weight);
     let norm = child.norm();
-    if norm == 0.0 {
+    if norm == 0.0 || !norm.is_finite() || !delta.is_finite() {
         weight
     } else {
-        weight * (1.0 + delta / norm)
+        clamp_weight(weight * (1.0 + delta.max(0.0) / norm))
     }
 }
 
@@ -154,9 +179,10 @@ pub fn sum_increase(parent: &Obv, child: &Obv) -> u64 {
 }
 
 /// The rejected raw-sum weight update: the weight grows by the absolute
-/// behaviour increment, unnormalized.
+/// behaviour increment, unnormalized (but still clamped to the finite
+/// positive weight range).
 pub fn update_weight_raw_sum(weight: f64, parent: &Obv, child: &Obv) -> f64 {
-    weight + sum_increase(parent, child) as f64
+    clamp_weight(clamp_weight(weight) + sum_increase(parent, child) as f64)
 }
 
 #[cfg(test)]
@@ -259,17 +285,68 @@ mod tests {
         diverse.bump(LockCoarsen);
         diverse.bump(NestedLock);
 
-        let w_heavy = update_weight(
-            1.0,
-            Obv::delta(&parent, &inline_heavy),
-            &inline_heavy,
-        );
+        let w_heavy = update_weight(1.0, Obv::delta(&parent, &inline_heavy), &inline_heavy);
         let w_diverse = update_weight(1.0, Obv::delta(&parent, &diverse), &diverse);
         // Both get boosted, but the diverse child's *relative* boost is
         // (1 + √3/√3) = 2 while the heavy child's is (1 + 100/100) = 2:
         // equal relative growth — whereas a raw-sum scheme would favour the
         // heavy child 100:3. Verify the normalization equalizes them.
         assert!((w_heavy - w_diverse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_updates_survive_adversarial_inputs() {
+        let mut child = Obv::zero();
+        child.bump(Unroll);
+        // Non-finite deltas are treated as "no observation".
+        assert_eq!(update_weight(2.0, f64::NAN, &child), 2.0);
+        assert_eq!(update_weight(2.0, f64::INFINITY, &child), 2.0);
+        // Non-finite incoming weights are repaired, not propagated.
+        assert_eq!(update_weight(f64::NAN, 0.0, &child), 1.0);
+        assert_eq!(update_weight(f64::INFINITY, 0.0, &child), WEIGHT_MAX);
+        assert_eq!(update_weight(f64::NEG_INFINITY, 0.0, &child), WEIGHT_MIN);
+        // A negative (corrupt) delta cannot shrink the weight.
+        assert_eq!(update_weight(2.0, -5.0, &child), 2.0);
+        // Raw-sum scheme saturates instead of overflowing.
+        let parent = Obv::zero();
+        let mut huge = Obv::zero();
+        for _ in 0..1000 {
+            huge.bump(Inline);
+        }
+        let w = update_weight_raw_sum(WEIGHT_MAX, &parent, &huge);
+        assert_eq!(w, WEIGHT_MAX);
+        assert_eq!(update_weight_raw_sum(f64::NAN, &parent, &huge), 1001.0);
+    }
+
+    #[test]
+    fn clamp_weight_bounds() {
+        assert_eq!(clamp_weight(1.0), 1.0);
+        assert_eq!(clamp_weight(0.0), WEIGHT_MIN);
+        assert_eq!(clamp_weight(-3.0), WEIGHT_MIN);
+        assert_eq!(clamp_weight(1e300), WEIGHT_MAX);
+        assert_eq!(clamp_weight(f64::NAN), 1.0);
+        assert!(clamp_weight(f64::INFINITY).is_finite());
+        // The whole range sums without overflow even over many mutators.
+        assert!((WEIGHT_MAX * 64.0).is_finite());
+    }
+
+    #[test]
+    fn obv_from_corrupted_log_is_usable() {
+        // The scraper itself must shrug off mangled lines: huge numbers,
+        // control bytes, truncations. Counts stay small and finite because
+        // classification is per-line.
+        let log = vec![
+            "Unroll 18446744073709551615".to_string(),
+            "\u{fffd}Peel 1\u{fffd}".to_string(),
+            "Unrol".to_string(),
+            "\u{1}garbage profile line\u{fffd}".to_string(),
+            "++++ Eliminated: Lock (corrupt)".to_string(),
+        ];
+        let obv = Obv::from_log(&log);
+        assert!(obv.norm().is_finite());
+        assert!(obv.total() <= log.len() as u64);
+        let w = update_weight(1.0, Obv::delta(&Obv::zero(), &obv), &obv);
+        assert!(w.is_finite() && w >= 1.0);
     }
 
     #[test]

@@ -92,9 +92,7 @@ fn shrink_statements(
         let mut paths = all_paths(current);
         // Biggest subtrees first: deleting an outer loop beats deleting
         // its body statements one by one.
-        paths.sort_by_key(|p| {
-            std::cmp::Reverse(stmt_at(current, p).map_or(0, subtree_size))
-        });
+        paths.sort_by_key(|p| std::cmp::Reverse(stmt_at(current, p).map_or(0, subtree_size)));
         for path in paths {
             // Candidate 1: delete the statement outright.
             let mut candidate = current.clone();

@@ -187,20 +187,38 @@ fn table6_extras() -> Vec<InjectedBug> {
     };
     vec![
         // Loop-structure-heavy triggers (Artemis territory).
-        x("MOP-X201", RegisterAllocationC2,
-            all([n(Unroll, 2), n(Peel, 1), n(UncommonTrap, 1)])),
-        x("MOP-X202", IdealLoopOptimizationC2,
-            all([n(Peel, 2), n(Unroll, 2), n(ConstFold, 2)])),
-        x("MOP-X205", IdealLoopOptimizationC2,
-            all([n(Unroll, 3), n(Peel, 2)])),
-        x("MOP-X206", IdealGraphBuildingC2,
-            all([n(Peel, 2), n(UncommonTrap, 1), n(ConstFold, 2)])),
+        x(
+            "MOP-X201",
+            RegisterAllocationC2,
+            all([n(Unroll, 2), n(Peel, 1), n(UncommonTrap, 1)]),
+        ),
+        x(
+            "MOP-X202",
+            IdealLoopOptimizationC2,
+            all([n(Peel, 2), n(Unroll, 2), n(ConstFold, 2)]),
+        ),
+        x(
+            "MOP-X205",
+            IdealLoopOptimizationC2,
+            all([n(Unroll, 3), n(Peel, 2)]),
+        ),
+        x(
+            "MOP-X206",
+            IdealGraphBuildingC2,
+            all([n(Peel, 2), n(UncommonTrap, 1), n(ConstFold, 2)]),
+        ),
         // C1-tier triggers (JITFuzz territory: it runs without -Xcomp, so
         // warm methods pass through the client compiler).
-        x("MOP-X203", ValueMappingC1,
-            all([n(AlgebraicSimplify, 3), n(ConstFold, 1)])),
-        x("MOP-X204", ValueMappingC1,
-            all([n(DceRemove, 2), n(ConstFold, 2)])),
+        x(
+            "MOP-X203",
+            ValueMappingC1,
+            all([n(AlgebraicSimplify, 3), n(ConstFold, 1)]),
+        ),
+        x(
+            "MOP-X204",
+            ValueMappingC1,
+            all([n(DceRemove, 2), n(ConstFold, 2)]),
+        ),
     ]
 }
 
@@ -244,109 +262,429 @@ fn hotspur_bugs() -> Vec<InjectedBug> {
         // GvnHit counts scale with how much loop duplication feeds the
         // value-numbering scan; plain seeds reach ~7, so interaction
         // bugs keyed on GVN volume sit above that.
-        hs("MOP-9001", &[V8], GlobalValueNumberingC2, crash, NotBackportable, P4,
-            all([n(GvnHit, 8), n(Unroll, 2)])),
-        hs("MOP-9002", &[V8], GlobalValueNumberingC2, crash, NotBackportable, P4,
-            all([n(ConstFold, 6), n(Peel, 1), n(GvnHit, 1)])),
-        hs("MOP-9003", &[V8, V11], GlobalValueNumberingC2, crash, InProgress, P4,
-            all([n(GvnHit, 1), n(AlgebraicSimplify, 3), n(Inline, 1)])),
-        hs("MOP-9004", &[V8, V17], GlobalValueNumberingC2, crash, InProgress, P3,
-            all([n(GvnHit, 2), n(LockEliminate, 1)])),
-        hs("MOP-9005", &[V17, V21, Mainline], GlobalValueNumberingC2, crash, InProgress, P4,
-            all([n(GvnHit, 1), n(Unswitch, 1), n(ConstFold, 2)])),
-        hs("MOP-9006", &[Mainline], GlobalValueNumberingC2, crash, InProgress, P2,
-            all([n(GvnHit, 4), n(ScalarReplace, 1)])),
-        hs("MOP-9007", &[Mainline], GlobalValueNumberingC2, crash, Fixed, P4,
-            all([n(AlgebraicSimplify, 4), n(Unroll, 1), n(Inline, 1)])),
-        hs("MOP-9008", &[V17], GlobalValueNumberingC2, mis(Corruption::AddBecomesSub), Fixed, P3,
-            all([n(GvnHit, 2), n(StoreEliminate, 1)])),
-        hs("MOP-9009", &[V21], GlobalValueNumberingC2, crash, Duplicate, P4,
-            all([n(ConstFold, 8), n(DceRemove, 2)])),
-        hs("MOP-9010", &[V17, V21, Mainline], GlobalValueNumberingC2, crash, InProgress, P4,
-            all([n(GvnHit, 2), n(AutoboxEliminate, 1)])),
+        hs(
+            "MOP-9001",
+            &[V8],
+            GlobalValueNumberingC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(GvnHit, 8), n(Unroll, 2)]),
+        ),
+        hs(
+            "MOP-9002",
+            &[V8],
+            GlobalValueNumberingC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(ConstFold, 6), n(Peel, 1), n(GvnHit, 1)]),
+        ),
+        hs(
+            "MOP-9003",
+            &[V8, V11],
+            GlobalValueNumberingC2,
+            crash,
+            InProgress,
+            P4,
+            all([n(GvnHit, 1), n(AlgebraicSimplify, 3), n(Inline, 1)]),
+        ),
+        hs(
+            "MOP-9004",
+            &[V8, V17],
+            GlobalValueNumberingC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(GvnHit, 2), n(LockEliminate, 1)]),
+        ),
+        hs(
+            "MOP-9005",
+            &[V17, V21, Mainline],
+            GlobalValueNumberingC2,
+            crash,
+            InProgress,
+            P4,
+            all([n(GvnHit, 1), n(Unswitch, 1), n(ConstFold, 2)]),
+        ),
+        hs(
+            "MOP-9006",
+            &[Mainline],
+            GlobalValueNumberingC2,
+            crash,
+            InProgress,
+            P2,
+            all([n(GvnHit, 4), n(ScalarReplace, 1)]),
+        ),
+        hs(
+            "MOP-9007",
+            &[Mainline],
+            GlobalValueNumberingC2,
+            crash,
+            Fixed,
+            P4,
+            all([n(AlgebraicSimplify, 4), n(Unroll, 1), n(Inline, 1)]),
+        ),
+        hs(
+            "MOP-9008",
+            &[V17],
+            GlobalValueNumberingC2,
+            mis(Corruption::AddBecomesSub),
+            Fixed,
+            P3,
+            all([n(GvnHit, 2), n(StoreEliminate, 1)]),
+        ),
+        hs(
+            "MOP-9009",
+            &[V21],
+            GlobalValueNumberingC2,
+            crash,
+            Duplicate,
+            P4,
+            all([n(ConstFold, 8), n(DceRemove, 2)]),
+        ),
+        hs(
+            "MOP-9010",
+            &[V17, V21, Mainline],
+            GlobalValueNumberingC2,
+            crash,
+            InProgress,
+            P4,
+            all([n(GvnHit, 2), n(AutoboxEliminate, 1)]),
+        ),
         // --- Ideal Loop Optimization, C2 (7) ---
-        hs("MOP-9011", &[V8], IdealLoopOptimizationC2, crash, NotBackportable, P4,
-            all([n(Unroll, 2), n(Peel, 2)])),
-        hs("MOP-9012", &[V8], IdealLoopOptimizationC2, crash, NotBackportable, P4,
-            all([n(Unswitch, 2), n(Unroll, 1)])),
-        hs("MOP-9013", &[V8, V11], IdealLoopOptimizationC2, crash, InProgress, P3,
-            all([n(Peel, 2), n(Unswitch, 1), n(Inline, 1)])),
-        hs("MOP-9014", &[V17, V21, Mainline], IdealLoopOptimizationC2, crash, InProgress, P3,
-            all([n(Unroll, 3), n(NestedLock, 1)])),
-        hs("MOP-9015", &[Mainline], IdealLoopOptimizationC2, crash, InProgress, P2,
-            all([n(Unroll, 2), n(Deopt, 1), n(UncommonTrap, 2)])),
-        hs("MOP-9016", &[V21], IdealLoopOptimizationC2, crash, Fixed, P4,
-            all([n(Peel, 3), n(DceRemove, 1)])),
-        hs("MOP-9017", &[V8, V17], IdealLoopOptimizationC2, crash, Duplicate, P4,
-            all([n(Unroll, 2), n(Unswitch, 1), n(ConstFold, 1)])),
+        hs(
+            "MOP-9011",
+            &[V8],
+            IdealLoopOptimizationC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(Unroll, 2), n(Peel, 2)]),
+        ),
+        hs(
+            "MOP-9012",
+            &[V8],
+            IdealLoopOptimizationC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(Unswitch, 2), n(Unroll, 1)]),
+        ),
+        hs(
+            "MOP-9013",
+            &[V8, V11],
+            IdealLoopOptimizationC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(Peel, 2), n(Unswitch, 1), n(Inline, 1)]),
+        ),
+        hs(
+            "MOP-9014",
+            &[V17, V21, Mainline],
+            IdealLoopOptimizationC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(Unroll, 3), n(NestedLock, 1)]),
+        ),
+        hs(
+            "MOP-9015",
+            &[Mainline],
+            IdealLoopOptimizationC2,
+            crash,
+            InProgress,
+            P2,
+            all([n(Unroll, 2), n(Deopt, 1), n(UncommonTrap, 2)]),
+        ),
+        hs(
+            "MOP-9016",
+            &[V21],
+            IdealLoopOptimizationC2,
+            crash,
+            Fixed,
+            P4,
+            all([n(Peel, 3), n(DceRemove, 1)]),
+        ),
+        hs(
+            "MOP-9017",
+            &[V8, V17],
+            IdealLoopOptimizationC2,
+            crash,
+            Duplicate,
+            P4,
+            all([n(Unroll, 2), n(Unswitch, 1), n(ConstFold, 1)]),
+        ),
         // --- Code Generation, C2 (7) ---
-        hs("MOP-9018", &[V8], CodeGenerationC2, crash, NotBackportable, P4,
-            all([n(StoreEliminate, 2), n(Unroll, 1)])),
-        hs("MOP-9019", &[V8], CodeGenerationC2, crash, NotBackportable, P4,
-            all([n(Inline, 2), n(StoreEliminate, 1), n(GvnHit, 1)])),
-        hs("MOP-9020", &[V8, V11], CodeGenerationC2, mis(Corruption::NegateFirstGuard), InProgress, P4,
-            all([n(AutoboxEliminate, 2), n(Unroll, 1)])),
-        hs("MOP-9021", &[V17, V21, Mainline], CodeGenerationC2, crash, InProgress, P3,
-            all([n(StoreEliminate, 1), n(LockCoarsen, 1)])),
-        hs("MOP-9022", &[Mainline], CodeGenerationC2, mis(Corruption::DropLastStore), InProgress, P3,
-            all([n(StoreEliminate, 2), n(Peel, 1)])),
-        hs("MOP-9023", &[V17], CodeGenerationC2, crash, Fixed, P4,
-            all([n(Inline, 3), n(Unroll, 2)])),
-        hs("MOP-9024", &[V21], CodeGenerationC2, crash, Duplicate, P4,
-            all([n(StoreEliminate, 1), n(DceRemove, 2), n(ConstFold, 1)])),
+        hs(
+            "MOP-9018",
+            &[V8],
+            CodeGenerationC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(StoreEliminate, 2), n(Unroll, 1)]),
+        ),
+        hs(
+            "MOP-9019",
+            &[V8],
+            CodeGenerationC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(Inline, 2), n(StoreEliminate, 1), n(GvnHit, 1)]),
+        ),
+        hs(
+            "MOP-9020",
+            &[V8, V11],
+            CodeGenerationC2,
+            mis(Corruption::NegateFirstGuard),
+            InProgress,
+            P4,
+            all([n(AutoboxEliminate, 2), n(Unroll, 1)]),
+        ),
+        hs(
+            "MOP-9021",
+            &[V17, V21, Mainline],
+            CodeGenerationC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(StoreEliminate, 1), n(LockCoarsen, 1)]),
+        ),
+        hs(
+            "MOP-9022",
+            &[Mainline],
+            CodeGenerationC2,
+            mis(Corruption::DropLastStore),
+            InProgress,
+            P3,
+            all([n(StoreEliminate, 2), n(Peel, 1)]),
+        ),
+        hs(
+            "MOP-9023",
+            &[V17],
+            CodeGenerationC2,
+            crash,
+            Fixed,
+            P4,
+            all([n(Inline, 3), n(Unroll, 2)]),
+        ),
+        hs(
+            "MOP-9024",
+            &[V21],
+            CodeGenerationC2,
+            crash,
+            Duplicate,
+            P4,
+            all([n(StoreEliminate, 1), n(DceRemove, 2), n(ConstFold, 1)]),
+        ),
         // --- Ideal Graph Building, C2 (5) ---
-        hs("MOP-9025", &[V8], IdealGraphBuildingC2, crash, NotBackportable, P4,
-            all([n(Inline, 2), n(NestedLock, 1)])),
-        hs("MOP-9026", &[V8], IdealGraphBuildingC2, crash, NotBackportable, P4,
-            all([n(InlineReject, 1), n(Inline, 2)])),
-        hs("MOP-9027", &[V8, V11], IdealGraphBuildingC2, crash, InProgress, P3,
-            all([n(Inline, 2), n(EaArgEscape, 1), n(Peel, 1)])),
-        hs("MOP-9028", &[V8, V17], IdealGraphBuildingC2, crash, Duplicate, P4,
-            all([n(Inline, 1), n(Unswitch, 1), n(GvnHit, 1)])),
-        hs("MOP-9029", &[V17, V21, Mainline], IdealGraphBuildingC2, crash, Fixed, P3,
-            all([n(Inline, 4), n(UncommonTrap, 1)])),
+        hs(
+            "MOP-9025",
+            &[V8],
+            IdealGraphBuildingC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(Inline, 2), n(NestedLock, 1)]),
+        ),
+        hs(
+            "MOP-9026",
+            &[V8],
+            IdealGraphBuildingC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(InlineReject, 1), n(Inline, 2)]),
+        ),
+        hs(
+            "MOP-9027",
+            &[V8, V11],
+            IdealGraphBuildingC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(Inline, 2), n(EaArgEscape, 1), n(Peel, 1)]),
+        ),
+        hs(
+            "MOP-9028",
+            &[V8, V17],
+            IdealGraphBuildingC2,
+            crash,
+            Duplicate,
+            P4,
+            all([n(Inline, 1), n(Unswitch, 1), n(GvnHit, 1)]),
+        ),
+        hs(
+            "MOP-9029",
+            &[V17, V21, Mainline],
+            IdealGraphBuildingC2,
+            crash,
+            Fixed,
+            P3,
+            all([n(Inline, 4), n(UncommonTrap, 1)]),
+        ),
         // --- Macro Expansion, C2 (4) ---
         // The analogue of JDK-8312744 (the paper's motivating crash): lock
         // coarsening after loop unrolling over a nested monitor region.
-        hs("MOP-8312744", &[Mainline], MacroExpansionC2, crash, InProgress, P3,
-            all([n(LockCoarsen, 1), n(Unroll, 2), n(NestedLock, 1)])),
+        hs(
+            "MOP-8312744",
+            &[Mainline],
+            MacroExpansionC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(LockCoarsen, 1), n(Unroll, 2), n(NestedLock, 1)]),
+        ),
         // The analogue of JDK-8324174: three nested locks (a 3-deep nest
         // produces two nested-monitor reports: depths 3 and 2).
-        hs("MOP-8324174", &[V17, V21, Mainline], MacroExpansionC2, crash, InProgress, P3,
-            all([n(NestedLock, 2), n(LockEliminate, 1)])),
-        hs("MOP-9032", &[V8], MacroExpansionC2, crash, NotBackportable, P4,
-            all([n(ScalarReplace, 1), n(LockEliminate, 1), n(Unroll, 1)])),
+        hs(
+            "MOP-8324174",
+            &[V17, V21, Mainline],
+            MacroExpansionC2,
+            crash,
+            InProgress,
+            P3,
+            all([n(NestedLock, 2), n(LockEliminate, 1)]),
+        ),
+        hs(
+            "MOP-9032",
+            &[V8],
+            MacroExpansionC2,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(ScalarReplace, 1), n(LockEliminate, 1), n(Unroll, 1)]),
+        ),
         // The analogue of JDK-8322743: loops + lock nesting + inlining +
         // escape analysis + autobox + deopt interplay.
-        hs("MOP-8322743", &[Mainline], MacroExpansionC2, crash, InProgress, P3,
-            all([n(EaNoEscape, 1), n(LockEliminate, 1), n(AutoboxEliminate, 1), n(Deopt, 1)])),
+        hs(
+            "MOP-8322743",
+            &[Mainline],
+            MacroExpansionC2,
+            crash,
+            InProgress,
+            P3,
+            all([
+                n(EaNoEscape, 1),
+                n(LockEliminate, 1),
+                n(AutoboxEliminate, 1),
+                n(Deopt, 1),
+            ]),
+        ),
         // --- Conditional Constant Propagation, C2 (1) ---
-        hs("MOP-9034", &[V11], CondConstPropagationC2, mis(Corruption::NegateFirstGuard), InProgress, P3,
-            all([n(ConstFold, 3), n(Unswitch, 1)])),
+        hs(
+            "MOP-9034",
+            &[V11],
+            CondConstPropagationC2,
+            mis(Corruption::NegateFirstGuard),
+            InProgress,
+            P3,
+            all([n(ConstFold, 3), n(Unswitch, 1)]),
+        ),
         // --- Runtime (4) ---
-        hs("MOP-9035", &[V8], HotSpurRuntime, crash, NotBackportable, P4,
-            all([n(Deopt, 2), n(Inline, 1)])),
-        hs("MOP-9036", &[V8, V11], HotSpurRuntime, crash, NotBackportable, P4,
-            all([n(UncommonTrap, 2), n(LockEliminate, 1)])),
-        hs("MOP-9037", &[V8], HotSpurRuntime, crash, InProgress, P3,
-            all([n(Deopt, 1), n(NestedLock, 2)])),
-        hs("MOP-9038", &[V8, V11], HotSpurRuntime, mis(Corruption::OffByOneLoop), InProgress, P4,
-            all([n(UncommonTrap, 1), n(Peel, 2)])),
+        hs(
+            "MOP-9035",
+            &[V8],
+            HotSpurRuntime,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(Deopt, 2), n(Inline, 1)]),
+        ),
+        hs(
+            "MOP-9036",
+            &[V8, V11],
+            HotSpurRuntime,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(UncommonTrap, 2), n(LockEliminate, 1)]),
+        ),
+        hs(
+            "MOP-9037",
+            &[V8],
+            HotSpurRuntime,
+            crash,
+            InProgress,
+            P3,
+            all([n(Deopt, 1), n(NestedLock, 2)]),
+        ),
+        hs(
+            "MOP-9038",
+            &[V8, V11],
+            HotSpurRuntime,
+            mis(Corruption::OffByOneLoop),
+            InProgress,
+            P4,
+            all([n(UncommonTrap, 1), n(Peel, 2)]),
+        ),
         // --- Other JIT components (7) ---
-        hs("MOP-9039", &[V8], OtherJit, crash, NotBackportable, P4,
-            all([n(AutoboxEliminate, 1), n(EaNoEscape, 2)])),
-        hs("MOP-9040", &[V8, V11], OtherJit, crash, NotBackportable, P4,
-            all([n(EaArgEscape, 2), n(Unroll, 1)])),
-        hs("MOP-9041", &[V8], OtherJit, crash, Fixed, P4,
-            all([n(AutoboxEliminate, 2), n(StoreEliminate, 1)])),
-        hs("MOP-9042", &[V11], OtherJit, mis(Corruption::AddBecomesSub), InProgress, P4,
-            all([n(Dereflect, 1), n(Inline, 1)])),
-        hs("MOP-9043", &[V8, V17], OtherJit, crash, Fixed, P4,
-            all([n(ScalarReplace, 2), n(DceRemove, 1)])),
-        hs("MOP-9044", &[V8, V17], OtherJit, crash, Duplicate, P4,
-            all([n(EaNoEscape, 3), n(GvnHit, 1)])),
-        hs("MOP-9045", &[V8], OtherJit, crash, NotBackportable, P4,
-            all([n(AlgebraicSimplify, 5), n(Peel, 1), n(StoreEliminate, 1)])),
+        hs(
+            "MOP-9039",
+            &[V8],
+            OtherJit,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(AutoboxEliminate, 1), n(EaNoEscape, 2)]),
+        ),
+        hs(
+            "MOP-9040",
+            &[V8, V11],
+            OtherJit,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(EaArgEscape, 2), n(Unroll, 1)]),
+        ),
+        hs(
+            "MOP-9041",
+            &[V8],
+            OtherJit,
+            crash,
+            Fixed,
+            P4,
+            all([n(AutoboxEliminate, 2), n(StoreEliminate, 1)]),
+        ),
+        hs(
+            "MOP-9042",
+            &[V11],
+            OtherJit,
+            mis(Corruption::AddBecomesSub),
+            InProgress,
+            P4,
+            all([n(Dereflect, 1), n(Inline, 1)]),
+        ),
+        hs(
+            "MOP-9043",
+            &[V8, V17],
+            OtherJit,
+            crash,
+            Fixed,
+            P4,
+            all([n(ScalarReplace, 2), n(DceRemove, 1)]),
+        ),
+        hs(
+            "MOP-9044",
+            &[V8, V17],
+            OtherJit,
+            crash,
+            Duplicate,
+            P4,
+            all([n(EaNoEscape, 3), n(GvnHit, 1)]),
+        ),
+        hs(
+            "MOP-9045",
+            &[V8],
+            OtherJit,
+            crash,
+            NotBackportable,
+            P4,
+            all([n(AlgebraicSimplify, 5), n(Peel, 1), n(StoreEliminate, 1)]),
+        ),
     ]
 }
 
@@ -375,34 +713,118 @@ fn j9_bugs() -> Vec<InjectedBug> {
     let mis = BugKind::Miscompile;
 
     vec![
-        j9("MOP-J101", &[V8, V11, V17], RedundancyElimination, mis(Corruption::DropLastStore),
-            InProgress, all([n(StoreEliminate, 2), n(GvnHit, 1)])),
-        j9("MOP-J102", &[V11, V17], RedundancyElimination, mis(Corruption::DropLastStore),
-            InProgress, all([n(StoreEliminate, 1), n(DceRemove, 2)])),
-        j9("MOP-J103", &[V17], RedundancyElimination, mis(Corruption::AddBecomesSub),
-            Fixed, all([n(StoreEliminate, 2), n(Unroll, 1)])),
-        j9("MOP-J104", &[V8], RedundancyElimination, mis(Corruption::DropLastStore),
-            InProgress, all([n(StoreEliminate, 3)])),
-        j9("MOP-J105", &[V8, V11], LoopOptimization, crash, InProgress,
-            all([n(Unroll, 2), n(Peel, 1), n(NestedLock, 1)])),
-        j9("MOP-J106", &[V17], LoopOptimization, mis(Corruption::OffByOneLoop), InProgress,
-            all([n(Peel, 2), n(Unswitch, 1)])),
-        j9("MOP-J107", &[V11], LoopOptimization, mis(Corruption::OffByOneLoop), Fixed,
-            all([n(Unroll, 3), n(ConstFold, 2)])),
-        j9("MOP-J108", &[V8, V11, V17], PatternRecognition, mis(Corruption::NegateFirstGuard),
-            InProgress, all([n(AlgebraicSimplify, 3), n(Unswitch, 1)])),
-        j9("MOP-J109", &[V17], PatternRecognition, mis(Corruption::AddBecomesSub), Fixed,
-            all([n(AlgebraicSimplify, 2), n(AutoboxEliminate, 1)])),
-        j9("MOP-J110", &[V8, V11, V17], DeadCodeElimination, mis(Corruption::DropLastStore),
-            InProgress, all([n(DceRemove, 3), n(Inline, 1)])),
-        j9("MOP-J111", &[V17], EscapeAnalysisJ9, mis(Corruption::NegateFirstGuard), InProgress,
-            all([n(EaNoEscape, 2), n(ScalarReplace, 1), n(LockEliminate, 1)])),
-        j9("MOP-J112", &[V11, V17], SimdSupport, crash, Duplicate,
-            all([n(Unroll, 4), n(StoreEliminate, 1)])),
-        j9("MOP-J113", &[V8], ValuePropagation, mis(Corruption::NegateFirstGuard), Fixed,
-            all([n(ConstFold, 5), n(Unswitch, 1)])),
-        j9("MOP-J114", &[V8, V11, V17], J9Runtime, mis(Corruption::OffByOneLoop), InProgress,
-            all([n(Deopt, 1), n(UncommonTrap, 1), n(Peel, 1)])),
+        j9(
+            "MOP-J101",
+            &[V8, V11, V17],
+            RedundancyElimination,
+            mis(Corruption::DropLastStore),
+            InProgress,
+            all([n(StoreEliminate, 2), n(GvnHit, 1)]),
+        ),
+        j9(
+            "MOP-J102",
+            &[V11, V17],
+            RedundancyElimination,
+            mis(Corruption::DropLastStore),
+            InProgress,
+            all([n(StoreEliminate, 1), n(DceRemove, 2)]),
+        ),
+        j9(
+            "MOP-J103",
+            &[V17],
+            RedundancyElimination,
+            mis(Corruption::AddBecomesSub),
+            Fixed,
+            all([n(StoreEliminate, 2), n(Unroll, 1)]),
+        ),
+        j9(
+            "MOP-J104",
+            &[V8],
+            RedundancyElimination,
+            mis(Corruption::DropLastStore),
+            InProgress,
+            all([n(StoreEliminate, 3)]),
+        ),
+        j9(
+            "MOP-J105",
+            &[V8, V11],
+            LoopOptimization,
+            crash,
+            InProgress,
+            all([n(Unroll, 2), n(Peel, 1), n(NestedLock, 1)]),
+        ),
+        j9(
+            "MOP-J106",
+            &[V17],
+            LoopOptimization,
+            mis(Corruption::OffByOneLoop),
+            InProgress,
+            all([n(Peel, 2), n(Unswitch, 1)]),
+        ),
+        j9(
+            "MOP-J107",
+            &[V11],
+            LoopOptimization,
+            mis(Corruption::OffByOneLoop),
+            Fixed,
+            all([n(Unroll, 3), n(ConstFold, 2)]),
+        ),
+        j9(
+            "MOP-J108",
+            &[V8, V11, V17],
+            PatternRecognition,
+            mis(Corruption::NegateFirstGuard),
+            InProgress,
+            all([n(AlgebraicSimplify, 3), n(Unswitch, 1)]),
+        ),
+        j9(
+            "MOP-J109",
+            &[V17],
+            PatternRecognition,
+            mis(Corruption::AddBecomesSub),
+            Fixed,
+            all([n(AlgebraicSimplify, 2), n(AutoboxEliminate, 1)]),
+        ),
+        j9(
+            "MOP-J110",
+            &[V8, V11, V17],
+            DeadCodeElimination,
+            mis(Corruption::DropLastStore),
+            InProgress,
+            all([n(DceRemove, 3), n(Inline, 1)]),
+        ),
+        j9(
+            "MOP-J111",
+            &[V17],
+            EscapeAnalysisJ9,
+            mis(Corruption::NegateFirstGuard),
+            InProgress,
+            all([n(EaNoEscape, 2), n(ScalarReplace, 1), n(LockEliminate, 1)]),
+        ),
+        j9(
+            "MOP-J112",
+            &[V11, V17],
+            SimdSupport,
+            crash,
+            Duplicate,
+            all([n(Unroll, 4), n(StoreEliminate, 1)]),
+        ),
+        j9(
+            "MOP-J113",
+            &[V8],
+            ValuePropagation,
+            mis(Corruption::NegateFirstGuard),
+            Fixed,
+            all([n(ConstFold, 5), n(Unswitch, 1)]),
+        ),
+        j9(
+            "MOP-J114",
+            &[V8, V11, V17],
+            J9Runtime,
+            mis(Corruption::OffByOneLoop),
+            InProgress,
+            all([n(Deopt, 1), n(UncommonTrap, 1), n(Peel, 1)]),
+        ),
     ]
 }
 
@@ -431,7 +853,7 @@ pub fn apply_corruption(method: &mut mjava::Method, corruption: Corruption) -> b
         Corruption::OffByOneLoop => {
             fn walk(block: &mut Block) -> bool {
                 for stmt in &mut block.0 {
-                    match stmt {
+                    let hit = match stmt {
                         Stmt::For { cond, body, .. } => {
                             if let Expr::Binary(op, _, _) = cond {
                                 if *op == mjava::BinOp::Lt {
@@ -439,31 +861,18 @@ pub fn apply_corruption(method: &mut mjava::Method, corruption: Corruption) -> b
                                     return true;
                                 }
                             }
-                            if walk(body) {
-                                return true;
-                            }
+                            walk(body)
                         }
-                        Stmt::While { body, .. } | Stmt::Sync { body, .. } => {
-                            if walk(body) {
-                                return true;
-                            }
+                        Stmt::While { body, .. } | Stmt::Sync { body, .. } | Stmt::Block(body) => {
+                            walk(body)
                         }
                         Stmt::If { then_b, else_b, .. } => {
-                            if walk(then_b) {
-                                return true;
-                            }
-                            if let Some(e) = else_b {
-                                if walk(e) {
-                                    return true;
-                                }
-                            }
+                            walk(then_b) || else_b.as_mut().is_some_and(walk)
                         }
-                        Stmt::Block(b) => {
-                            if walk(b) {
-                                return true;
-                            }
-                        }
-                        _ => {}
+                        _ => false,
+                    };
+                    if hit {
+                        return true;
                     }
                 }
                 false
@@ -490,9 +899,9 @@ fn drop_last_store(block: &mut mjava::Block) -> bool {
                 }
                 drop_last_store(then_b)
             }
-            Stmt::While { body, .. }
-            | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => drop_last_store(body),
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Sync { body, .. } => {
+                drop_last_store(body)
+            }
             Stmt::Block(b) => drop_last_store(b),
             _ => false,
         };
@@ -506,25 +915,20 @@ fn drop_last_store(block: &mut mjava::Block) -> bool {
 fn negate_first_guard(block: &mut mjava::Block) -> bool {
     use mjava::{Expr, Stmt, UnOp};
     for stmt in &mut block.0 {
-        match stmt {
+        let negated = match stmt {
             Stmt::If { cond, .. } => {
                 let old = cond.clone();
                 *cond = Expr::Unary(UnOp::Not, Box::new(old));
-                return true;
+                true
             }
             Stmt::While { body, .. }
             | Stmt::For { body, .. }
-            | Stmt::Sync { body, .. } => {
-                if negate_first_guard(body) {
-                    return true;
-                }
-            }
-            Stmt::Block(b) => {
-                if negate_first_guard(b) {
-                    return true;
-                }
-            }
-            _ => {}
+            | Stmt::Sync { body, .. }
+            | Stmt::Block(body) => negate_first_guard(body),
+            _ => false,
+        };
+        if negated {
+            return true;
         }
     }
     false
@@ -545,9 +949,8 @@ mod tests {
         assert_eq!(hotspur.len(), 45);
         assert_eq!(j9.len(), 14);
 
-        let status = |bugs: &[&InjectedBug], s: ReportStatus| {
-            bugs.iter().filter(|b| b.status == s).count()
-        };
+        let status =
+            |bugs: &[&InjectedBug], s: ReportStatus| bugs.iter().filter(|b| b.status == s).count();
         // Table 2, OpenJDK column.
         assert_eq!(status(&hotspur, ReportStatus::InProgress), 19);
         assert_eq!(status(&hotspur, ReportStatus::Fixed), 7);
@@ -589,7 +992,9 @@ mod tests {
             .collect();
         assert_eq!(nb.len(), 14);
         assert_eq!(
-            nb.iter().filter(|b| b.affected.contains(&Version::V11)).count(),
+            nb.iter()
+                .filter(|b| b.affected.contains(&Version::V11))
+                .count(),
             2
         );
     }
@@ -619,11 +1024,7 @@ mod tests {
     #[test]
     fn priorities_match_paper() {
         let lib = library();
-        let per = |p: Priority| {
-            lib.iter()
-                .filter(|b| b.priority == Some(p))
-                .count()
-        };
+        let per = |p: Priority| lib.iter().filter(|b| b.priority == Some(p)).count();
         assert_eq!(per(Priority::P2), 2);
         assert_eq!(per(Priority::P3), 13);
         assert_eq!(per(Priority::P4), 30);
@@ -661,9 +1062,7 @@ mod tests {
     fn max_required(t: &Trigger) -> u64 {
         match t {
             Trigger::AtLeast(_, n) => *n,
-            Trigger::All(s) | Trigger::Any(s) => {
-                s.iter().map(max_required).max().unwrap_or(0)
-            }
+            Trigger::All(s) | Trigger::Any(s) => s.iter().map(max_required).max().unwrap_or(0),
         }
     }
 

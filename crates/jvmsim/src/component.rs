@@ -73,6 +73,37 @@ pub enum Component {
 }
 
 impl Component {
+    /// All components in declaration order. Display labels are not unique
+    /// (both runtimes are labelled "Runtime"), so serialization code
+    /// round-trips components through their `Debug` names instead.
+    pub const ALL: [Component; 18] = [
+        Component::GlobalValueNumberingC2,
+        Component::IdealLoopOptimizationC2,
+        Component::CodeGenerationC2,
+        Component::IdealGraphBuildingC2,
+        Component::MacroExpansionC2,
+        Component::CondConstPropagationC2,
+        Component::RegisterAllocationC2,
+        Component::ValueMappingC1,
+        Component::HotSpurRuntime,
+        Component::OtherJit,
+        Component::RedundancyElimination,
+        Component::LoopOptimization,
+        Component::PatternRecognition,
+        Component::DeadCodeElimination,
+        Component::EscapeAnalysisJ9,
+        Component::SimdSupport,
+        Component::ValuePropagation,
+        Component::J9Runtime,
+    ];
+
+    /// Inverse of the `Debug` formatting, for journal round-trips.
+    pub fn from_debug_name(name: &str) -> Option<Component> {
+        Component::ALL
+            .into_iter()
+            .find(|c| format!("{c:?}") == name)
+    }
+
     /// Paper-style display name.
     pub fn label(&self) -> &'static str {
         match self {
@@ -136,6 +167,14 @@ mod tests {
     fn component_family_split() {
         assert!(Component::MacroExpansionC2.is_hotspur());
         assert!(!Component::RedundancyElimination.is_hotspur());
+    }
+
+    #[test]
+    fn debug_names_roundtrip() {
+        for c in Component::ALL {
+            assert_eq!(Component::from_debug_name(&format!("{c:?}")), Some(c));
+        }
+        assert_eq!(Component::from_debug_name("NotAComponent"), None);
     }
 
     #[test]

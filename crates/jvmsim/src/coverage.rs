@@ -57,6 +57,14 @@ impl CoverageMap {
         Area::ALL.iter().map(|&a| self.percent(a)).sum::<f64>() / Area::ALL.len() as f64
     }
 
+    /// The covered blocks of an area in ascending order — a stable
+    /// enumeration for serialization (journal checkpoints).
+    pub fn blocks(&self, area: Area) -> Vec<u32> {
+        let mut v: Vec<u32> = self.set(area).iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     fn set(&self, area: Area) -> &HashSet<u32> {
         match area {
             Area::C1 => &self.c1,
@@ -115,6 +123,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.covered(Area::C2), 2);
         assert_eq!(a.covered(Area::C1), 1);
+    }
+
+    #[test]
+    fn blocks_enumerates_sorted() {
+        let mut m = CoverageMap::new();
+        m.mark(Area::C2, 9);
+        m.mark(Area::C2, 2);
+        m.mark(Area::C2, 5);
+        assert_eq!(m.blocks(Area::C2), vec![2, 5, 9]);
+        let mut copy = CoverageMap::new();
+        for a in Area::ALL {
+            copy.mark_all(a, m.blocks(a));
+        }
+        assert_eq!(copy, m);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] turns the simulated JVM (and, via `mopfuzzer`, the
+//! mutator layer) into a deliberately unreliable component: a configurable
+//! fraction of executions panic, report a bogus class-loading failure,
+//! run out of fuel, or hand back corrupted profile-log lines. The campaign
+//! supervisor is tested against exactly these plans.
+//!
+//! Every decision is a pure function of `(plan seed, site, key)` — an
+//! FNV-1a hash, no shared mutable state — so a resumed campaign replays
+//! the very same faults and stays bit-identical to an uninterrupted one.
+
+/// Marker prefix carried by panics injected at the VM site. The campaign
+/// supervisor classifies panic payloads by this prefix.
+pub const VM_PANIC_MARKER: &str = "mop-fault:vm";
+
+/// Marker prefix carried by panics injected at the mutator site.
+pub const MUTATOR_PANIC_MARKER: &str = "mop-fault:mutator";
+
+/// Decisions are made in parts-per-million, so a plan is exactly
+/// reproducible from two integers (no float state).
+const PPM: u64 = 1_000_000;
+
+/// What an injected VM-site fault does to the execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmFault {
+    /// The whole VM process panics mid-execution.
+    Panic,
+    /// Class loading fails: the run reports `Verdict::InvalidProgram`.
+    BuildFailure,
+    /// The interpreter's fuel collapses, so the run times out.
+    FuelExhaustion,
+    /// The run completes but its profile log is corrupted.
+    LogCorruption,
+}
+
+/// A seeded, rate-configurable fault-injection plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed separating independent plans.
+    pub seed: u64,
+    /// Fault probability per decision site, in parts per million.
+    pub rate_ppm: u32,
+    /// When set, every VM-site fault is of this one kind and the mutator
+    /// site never fires — for tests that target one failure path.
+    pub only: Option<VmFault>,
+}
+
+impl FaultPlan {
+    /// A plan injecting faults at `rate` (0.0–1.0) of the decision sites.
+    pub fn new(seed: u64, rate: f64) -> FaultPlan {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        FaultPlan {
+            seed,
+            rate_ppm: (rate * PPM as f64).round() as u32,
+            only: None,
+        }
+    }
+
+    /// Restricts the plan to a single VM-site fault kind.
+    pub fn with_only(mut self, kind: VmFault) -> FaultPlan {
+        self.only = Some(kind);
+        self
+    }
+
+    /// The configured rate as a fraction.
+    pub fn rate(&self) -> f64 {
+        self.rate_ppm as f64 / PPM as f64
+    }
+
+    /// FNV-1a over the plan seed, the site name and the site key, pushed
+    /// through a SplitMix64 finalizer (raw FNV's high bits avalanche too
+    /// weakly over short keys to pick fault kinds from).
+    fn hash(&self, site: &str, key: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        eat(site.as_bytes());
+        eat(&[0]);
+        eat(key.as_bytes());
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Rolls the dice for one decision site. Returns the hash for
+    /// follow-up choices when the site faults.
+    fn decide(&self, site: &str, key: &str) -> Option<u64> {
+        if self.rate_ppm == 0 {
+            return None;
+        }
+        let h = self.hash(site, key);
+        (h % PPM < self.rate_ppm as u64).then_some(h)
+    }
+
+    /// The fault (if any) injected into one JVM execution, identified by
+    /// the JVM's name and the program's printed source.
+    pub fn vm_fault(&self, jvm: &str, program_text: &str) -> Option<VmFault> {
+        let h = self.decide("vm", &format!("{jvm}\n{program_text}"))?;
+        if let Some(kind) = self.only {
+            return Some(kind);
+        }
+        Some(match (h >> 32) % 4 {
+            0 => VmFault::Panic,
+            1 => VmFault::BuildFailure,
+            2 => VmFault::FuelExhaustion,
+            _ => VmFault::LogCorruption,
+        })
+    }
+
+    /// Whether the mutator application identified by `(rng_seed,
+    /// iteration, mutator)` panics. Keyed on the fuzzing run's RNG seed so
+    /// a retried round (fresh seed) re-rolls its mutator faults.
+    pub fn mutator_fault(&self, rng_seed: u64, iteration: usize, mutator: &str) -> bool {
+        if self.only.is_some() {
+            return false;
+        }
+        let key = format!("{rng_seed}:{iteration}:{mutator}");
+        self.decide("mutator", &key).is_some()
+    }
+
+    /// Deterministically corrupts profile-log lines: truncations, mangled
+    /// bytes, and fabricated lines with absurd counts — the adversarial
+    /// inputs the OBV scraper and weight math must survive.
+    pub fn corrupt_log(&self, jvm: &str, program_text: &str, log: &mut Vec<String>) {
+        let mut state = self.hash("log", &format!("{jvm}\n{program_text}")) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        for line in log.iter_mut() {
+            if next() % 5 != 0 {
+                continue;
+            }
+            match next() % 3 {
+                0 => {
+                    let mut cut = next() as usize % (line.len() + 1);
+                    while !line.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    line.truncate(cut);
+                }
+                1 => *line = format!("\u{fffd}{line}\u{fffd}"),
+                _ => line.push_str(" 18446744073709551615"),
+            }
+        }
+        for _ in 0..1 + next() % 8 {
+            log.push(match next() % 4 {
+                0 => "Unroll 18446744073709551615".to_string(),
+                1 => "++++ Eliminated: Lock (corrupt)".to_string(),
+                2 => format!("Peel {}", next()),
+                _ => "\u{1}garbage profile line\u{fffd}".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let plan = FaultPlan::new(1, 0.0);
+        for i in 0..1000 {
+            assert_eq!(plan.vm_fault("HotSpur-17", &format!("p{i}")), None);
+            assert!(!plan.mutator_fault(i, 1, "LoopUnrolling"));
+        }
+    }
+
+    #[test]
+    fn full_rate_always_faults() {
+        let plan = FaultPlan::new(1, 1.0);
+        for i in 0..100 {
+            assert!(plan.vm_fault("J9-8", &format!("p{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7, 0.3);
+        let b = FaultPlan::new(7, 0.3);
+        let c = FaultPlan::new(8, 0.3);
+        let probe = |p: &FaultPlan| {
+            (0..200)
+                .map(|i| p.vm_fault("HotSpur-8", &format!("case {i}")))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(probe(&a), probe(&b));
+        assert_ne!(probe(&a), probe(&c));
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let plan = FaultPlan::new(42, 0.05);
+        let faults = (0..10_000)
+            .filter(|i| {
+                plan.vm_fault("HotSpur-17", &format!("program {i}"))
+                    .is_some()
+            })
+            .count();
+        assert!((200..800).contains(&faults), "5% of 10k, got {faults}");
+    }
+
+    #[test]
+    fn all_fault_kinds_occur() {
+        let plan = FaultPlan::new(3, 1.0);
+        let mut kinds: Vec<VmFault> = (0..200)
+            .filter_map(|i| plan.vm_fault("HotSpur-17", &format!("p{i}")))
+            .collect();
+        kinds.sort_by_key(|k| format!("{k:?}"));
+        kinds.dedup();
+        assert_eq!(kinds.len(), 4, "{kinds:?}");
+    }
+
+    #[test]
+    fn log_corruption_changes_lines_deterministically() {
+        let plan = FaultPlan::new(5, 1.0);
+        let original: Vec<String> = (0..20).map(|i| format!("Unroll {i}")).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        plan.corrupt_log("HotSpur-17", "class T {}", &mut a);
+        plan.corrupt_log("HotSpur-17", "class T {}", &mut b);
+        assert_eq!(a, b, "corruption must be deterministic");
+        assert_ne!(a, original, "corruption must change something");
+        assert!(a.len() > original.len(), "fabricated lines appended");
+    }
+
+    #[test]
+    fn only_restricts_kind_and_disables_mutator_site() {
+        let plan = FaultPlan::new(9, 1.0).with_only(VmFault::BuildFailure);
+        for i in 0..100 {
+            assert_eq!(
+                plan.vm_fault("HotSpur-17", &format!("p{i}")),
+                Some(VmFault::BuildFailure)
+            );
+            assert!(!plan.mutator_fault(i, 1, "Inlining"));
+        }
+    }
+
+    #[test]
+    fn rate_roundtrip_and_clamping() {
+        assert_eq!(FaultPlan::new(0, 0.05).rate(), 0.05);
+        assert_eq!(FaultPlan::new(0, 7.0).rate_ppm, PPM as u32);
+        assert_eq!(FaultPlan::new(0, -1.0).rate_ppm, 0);
+        assert_eq!(FaultPlan::new(0, f64::NAN).rate_ppm, 0);
+    }
+}

@@ -36,11 +36,13 @@
 pub mod bugs;
 pub mod component;
 pub mod coverage;
+pub mod fault;
 pub mod run;
 pub mod spec;
 
 pub use bugs::{BugKind, Corruption, InjectedBug, Priority, ReportStatus, Trigger};
 pub use component::{Area, Component};
 pub use coverage::CoverageMap;
+pub use fault::{FaultPlan, VmFault};
 pub use run::{run_jvm, CrashReport, JvmRun, RunOptions, Verdict};
 pub use spec::{Family, JvmSpec, Version};

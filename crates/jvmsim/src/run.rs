@@ -4,6 +4,7 @@
 use crate::bugs::{self, BugKind, InjectedBug};
 use crate::component::Area;
 use crate::coverage::CoverageMap;
+use crate::fault::{FaultPlan, VmFault, VM_PANIC_MARKER};
 use crate::spec::JvmSpec;
 use jexec::{ExecConfig, ExecStats, Image, Outcome};
 use jopt::{FlagSet, OptEvent};
@@ -21,6 +22,8 @@ pub struct RunOptions {
     /// Restrict compilation to one `Class::method`
     /// (the `-XX:CompileCommand=compileonly` analogue).
     pub compile_only: Option<(String, String)>,
+    /// Deterministic fault injection (robustness testing only).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for RunOptions {
@@ -30,6 +33,7 @@ impl Default for RunOptions {
             exec: ExecConfig::default(),
             xcomp: false,
             compile_only: None,
+            fault: None,
         }
     }
 }
@@ -133,6 +137,37 @@ impl fmt::Display for JvmRun {
 
 /// Executes `program` on the simulated JVM described by `spec`.
 pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -> JvmRun {
+    // Fault injection decides up front, from (plan, jvm, program) alone,
+    // what — if anything — goes wrong during this execution.
+    let injected = options
+        .fault
+        .as_ref()
+        .and_then(|plan| plan.vm_fault(&spec.name(), &mjava::print(program)));
+    let mut exec = options.exec;
+    match injected {
+        Some(VmFault::Panic) => {
+            panic!("{VM_PANIC_MARKER}: injected VM panic on {}", spec.name());
+        }
+        Some(VmFault::FuelExhaustion) => exec.fuel = exec.fuel.min(64),
+        _ => {}
+    }
+
+    let mut run = run_jvm_inner(program, spec, options, &exec, injected);
+    if injected == Some(VmFault::LogCorruption) {
+        if let Some(plan) = &options.fault {
+            plan.corrupt_log(&spec.name(), &mjava::print(program), &mut run.log);
+        }
+    }
+    run
+}
+
+fn run_jvm_inner(
+    program: &mjava::Program,
+    spec: &JvmSpec,
+    options: &RunOptions,
+    exec: &ExecConfig,
+    injected: Option<VmFault>,
+) -> JvmRun {
     let mut run = JvmRun {
         jvm: spec.name(),
         verdict: Verdict::Completed(Outcome {
@@ -149,6 +184,12 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
         steps: 0,
     };
 
+    if injected == Some(VmFault::BuildFailure) {
+        run.verdict = Verdict::InvalidProgram(jexec::BuildError::UnknownClass(
+            "mop-fault-injected".to_string(),
+        ));
+        return run;
+    }
     let mut image = match Image::build(program) {
         Ok(i) => i,
         Err(e) => {
@@ -158,7 +199,7 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
     };
 
     // Tier 0: interpret with profiling.
-    let tier0 = jexec::run(&image, &options.exec);
+    let tier0 = jexec::run(&image, exec);
     run.steps += tier0.stats.steps;
     mark_runtime_coverage(&mut run.coverage, &tier0);
 
@@ -187,7 +228,9 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
             inv >= spec.c1_threshold
         }
     };
-    let c2_set: Vec<usize> = (0..image.methods.len()).filter(|&m| select(m, true)).collect();
+    let c2_set: Vec<usize> = (0..image.methods.len())
+        .filter(|&m| select(m, true))
+        .collect();
     let c1_set: Vec<usize> = (0..image.methods.len())
         .filter(|&m| !c2_set.contains(&m) && select(m, false))
         .collect();
@@ -263,7 +306,7 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
     let final_outcome = if run.compiled.is_empty() && !corrupted {
         tier0
     } else {
-        let out = jexec::run(&image, &options.exec);
+        let out = jexec::run(&image, exec);
         run.steps += out.stats.steps;
         mark_runtime_coverage(&mut run.coverage, &out);
         out
@@ -373,10 +416,7 @@ mod tests {
 
     #[test]
     fn interprets_cold_program_without_compiling() {
-        let p = mjava::parse(
-            "class T { static void main() { System.out.println(42); } }",
-        )
-        .unwrap();
+        let p = mjava::parse("class T { static void main() { System.out.println(42); } }").unwrap();
         let run = run_jvm(&p, &JvmSpec::hotspur(Version::V17), &RunOptions::default());
         assert!(run.compiled.is_empty());
         assert_eq!(run.observable().unwrap(), vec!["42"]);
@@ -402,11 +442,7 @@ mod tests {
     #[test]
     fn xcomp_compiles_everything() {
         let p = hot_loop_program();
-        let run = run_jvm(
-            &p,
-            &JvmSpec::hotspur(Version::V17),
-            &RunOptions::fuzzing(),
-        );
+        let run = run_jvm(&p, &JvmSpec::hotspur(Version::V17), &RunOptions::fuzzing());
         assert_eq!(run.compiled.len(), 2);
         assert!(!run.log.is_empty(), "fuzzing options enable all flags");
     }
@@ -560,6 +596,61 @@ mod tests {
         assert!(report.hs_err.contains("A fatal error has been detected"));
         assert!(report.hs_err.contains(&report.bug_id));
         assert!(run.observable().is_none());
+    }
+
+    /// Fault-injection plumbing: every `VmFault` kind maps to its intended
+    /// observable degradation, and a zero-rate plan is a strict no-op.
+    #[test]
+    fn injected_faults_degrade_as_specified() {
+        let p = hot_loop_program();
+        let spec = JvmSpec::hotspur(Version::V17);
+        let clean = run_jvm(&p, &spec, &RunOptions::fuzzing());
+
+        let with_rate = |rate: f64, seed: u64| RunOptions {
+            fault: Some(FaultPlan::new(seed, rate)),
+            ..RunOptions::fuzzing()
+        };
+        // Rate 0 behaves exactly like no plan at all.
+        let zero = run_jvm(&p, &spec, &with_rate(0.0, 1));
+        assert_eq!(zero.log, clean.log);
+        assert_eq!(zero.observable(), clean.observable());
+
+        // At rate 1.0, scan plan seeds until each kind has been observed.
+        let mut saw = [false; 4];
+        for seed in 0..64u64 {
+            let options = with_rate(1.0, seed);
+            let plan = options.fault.clone().unwrap();
+            let injected = plan.vm_fault(&spec.name(), &mjava::print(&p)).unwrap();
+            match injected {
+                VmFault::Panic => {
+                    let caught = std::panic::catch_unwind(|| run_jvm(&p, &spec, &options));
+                    let payload = caught.expect_err("must panic");
+                    let msg = payload.downcast_ref::<String>().expect("string payload");
+                    assert!(msg.starts_with(VM_PANIC_MARKER), "{msg}");
+                    saw[0] = true;
+                }
+                VmFault::BuildFailure => {
+                    let run = run_jvm(&p, &spec, &options);
+                    assert!(matches!(run.verdict, Verdict::InvalidProgram(_)));
+                    saw[1] = true;
+                }
+                VmFault::FuelExhaustion => {
+                    let run = run_jvm(&p, &spec, &options);
+                    assert!(run.observable().is_none(), "starved run is not comparable");
+                    saw[2] = true;
+                }
+                VmFault::LogCorruption => {
+                    let run = run_jvm(&p, &spec, &options);
+                    assert_ne!(run.log, clean.log);
+                    assert_eq!(run.observable(), clean.observable());
+                    saw[3] = true;
+                }
+            }
+            if saw.iter().all(|&s| s) {
+                return;
+            }
+        }
+        panic!("not all fault kinds observed across 64 plan seeds: {saw:?}");
     }
 
     #[test]

@@ -184,6 +184,32 @@ impl JvmSpec {
     pub fn name(&self) -> String {
         format!("{}-{}", self.family, self.version)
     }
+
+    /// Parses a `family-version` name as produced by [`JvmSpec::name`]
+    /// (e.g. `HotSpur-17`, `J9-8`, `HotSpur-mainline`).
+    pub fn from_name(spec: &str) -> Result<JvmSpec, String> {
+        let (family, version) = spec
+            .split_once('-')
+            .ok_or_else(|| format!("bad JVM spec {spec:?} (expected e.g. HotSpur-17)"))?;
+        let version = match version {
+            "8" => Version::V8,
+            "11" => Version::V11,
+            "17" => Version::V17,
+            "21" => Version::V21,
+            "mainline" | "23" => Version::Mainline,
+            other => return Err(format!("unknown version {other:?}")),
+        };
+        match family {
+            "HotSpur" => Ok(JvmSpec::hotspur(version)),
+            "J9" => {
+                if matches!(version, Version::V21 | Version::Mainline) {
+                    return Err(format!("J9 ships versions 8, 11 and 17, not {version}"));
+                }
+                Ok(JvmSpec::j9(version))
+            }
+            other => Err(format!("unknown family {other:?} (HotSpur or J9)")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +245,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(JvmSpec::hotspur(Version::Mainline).name(), "HotSpur-mainline");
+        assert_eq!(
+            JvmSpec::hotspur(Version::Mainline).name(),
+            "HotSpur-mainline"
+        );
         assert_eq!(JvmSpec::j9(Version::V8).name(), "J9-8");
     }
 
@@ -227,5 +256,23 @@ mod tests {
     fn without_bugs_disarms() {
         let spec = JvmSpec::hotspur(Version::V17).without_bugs();
         assert!(!spec.bugs_armed);
+    }
+
+    #[test]
+    fn from_name_roundtrips_the_pool() {
+        for spec in JvmSpec::differential_pool() {
+            let parsed = JvmSpec::from_name(&spec.name()).unwrap();
+            assert_eq!(parsed.name(), spec.name());
+            assert_eq!(parsed.family, spec.family);
+            assert_eq!(parsed.version, spec.version);
+        }
+    }
+
+    #[test]
+    fn from_name_rejects_nonsense() {
+        assert!(JvmSpec::from_name("HotSpur17").is_err());
+        assert!(JvmSpec::from_name("Kaffe-9").is_err());
+        assert!(JvmSpec::from_name("J9-21").is_err());
+        assert!(JvmSpec::from_name("HotSpur-6").is_err());
     }
 }

@@ -533,9 +533,9 @@ fn count_block(block: &Block) -> usize {
 
 fn count_stmt(stmt: &Stmt) -> usize {
     1 + match stmt {
-        Stmt::If {
-            then_b, else_b, ..
-        } => count_block(then_b) + else_b.as_ref().map_or(0, count_block),
+        Stmt::If { then_b, else_b, .. } => {
+            count_block(then_b) + else_b.as_ref().map_or(0, count_block)
+        }
         Stmt::While { body, .. } | Stmt::Sync { body, .. } => count_block(body),
         Stmt::For {
             init, update, body, ..
@@ -560,14 +560,13 @@ fn collect_stmt_idents(stmt: &Stmt, out: &mut std::collections::HashSet<String>)
         Stmt::Decl { name, .. } => {
             out.insert(name.clone());
         }
-        Stmt::Assign { target, .. } => {
-            if let LValue::Var(name) = target {
-                out.insert(name.clone());
-            }
-        }
-        Stmt::If {
-            then_b, else_b, ..
+        Stmt::Assign {
+            target: LValue::Var(name),
+            ..
         } => {
+            out.insert(name.clone());
+        }
+        Stmt::If { then_b, else_b, .. } => {
             collect_block_idents(then_b, out);
             if let Some(e) = else_b {
                 collect_block_idents(e, out);

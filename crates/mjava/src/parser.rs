@@ -840,8 +840,8 @@ mod tests {
 
     #[test]
     fn parses_synchronized_method_modifier() {
-        let p = parse("class T { synchronized int g() { return 1; } static void main() { } }")
-            .unwrap();
+        let p =
+            parse("class T { synchronized int g() { return 1; } static void main() { } }").unwrap();
         assert!(p.classes[0].methods[0].is_sync);
         assert!(!p.classes[0].methods[0].is_static);
     }

@@ -133,11 +133,7 @@ pub fn regions_of(stmt: &Stmt) -> Vec<Region> {
 /// Resolves the block that directly contains the statement addressed by
 /// `path`, along with the statement's index in it.
 pub fn containing_block<'p>(program: &'p Program, path: &StmtPath) -> Option<(&'p Block, usize)> {
-    let method = program
-        .classes
-        .get(path.class)?
-        .methods
-        .get(path.method)?;
+    let method = program.classes.get(path.class)?.methods.get(path.method)?;
     let mut block = &method.body;
     let (last, inner) = path.steps.split_last()?;
     for step in inner {
@@ -188,11 +184,7 @@ pub fn stmt_at_mut<'p>(program: &'p mut Program, path: &StmtPath) -> Option<&'p 
 /// the updated path of the original statement (shifted right).
 ///
 /// Returns `None` (and leaves the program unchanged) if the path is stale.
-pub fn insert_before(
-    program: &mut Program,
-    path: &StmtPath,
-    stmts: Vec<Stmt>,
-) -> Option<StmtPath> {
+pub fn insert_before(program: &mut Program, path: &StmtPath, stmts: Vec<Stmt>) -> Option<StmtPath> {
     let n = stmts.len();
     let (block, index) = containing_block_mut(program, path)?;
     for (k, s) in stmts.into_iter().enumerate() {
@@ -353,7 +345,10 @@ mod tests {
         let new_path = insert_before(
             &mut p,
             &path,
-            vec![Stmt::Expr(crate::ast::Expr::Int(7)), Stmt::Expr(crate::ast::Expr::Int(8))],
+            vec![
+                Stmt::Expr(crate::ast::Expr::Int(7)),
+                Stmt::Expr(crate::ast::Expr::Int(8)),
+            ],
         )
         .unwrap();
         assert!(matches!(stmt_at(&p, &new_path), Some(Stmt::Print(_))));

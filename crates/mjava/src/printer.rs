@@ -253,7 +253,9 @@ fn write_expr(out: &mut String, expr: &Expr, min_prec: u8) {
             let inner_needs_parens = *op == UnOp::Neg
                 && matches!(
                     inner.as_ref(),
-                    Expr::Unary(UnOp::Neg, _) | Expr::Int(i64::MIN..=-1) | Expr::Long(i64::MIN..=-1)
+                    Expr::Unary(UnOp::Neg, _)
+                        | Expr::Int(i64::MIN..=-1)
+                        | Expr::Long(i64::MIN..=-1)
                 );
             if inner_needs_parens {
                 out.push('(');
@@ -443,7 +445,10 @@ mod tests {
     fn print_stmt_and_expr_helpers() {
         let s = Stmt::Print(Expr::bin(BinOp::Add, Expr::var("a"), Expr::Int(1)));
         assert_eq!(print_stmt(&s), "System.out.println(a + 1);\n");
-        assert_eq!(print_expr(&Expr::bin(BinOp::Shl, Expr::var("x"), Expr::Int(2))), "x << 2");
+        assert_eq!(
+            print_expr(&Expr::bin(BinOp::Shl, Expr::var("x"), Expr::Int(2))),
+            "x << 2"
+        );
     }
 
     #[test]

@@ -292,7 +292,11 @@ mod tests {
             let printed = print(&s.program);
             let reparsed = parse(&printed)
                 .unwrap_or_else(|e| panic!("seed {} does not round-trip: {e}", s.name));
-            assert_eq!(reparsed, s.program, "round-trip mismatch for seed {}", s.name);
+            assert_eq!(
+                reparsed, s.program,
+                "round-trip mismatch for seed {}",
+                s.name
+            );
         }
     }
 

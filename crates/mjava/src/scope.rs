@@ -91,7 +91,13 @@ pub fn scope_at(program: &Program, path: &StmtPath) -> Option<Scope> {
             Some(region) => {
                 // Entering a for-loop body brings its header variable into
                 // scope.
-                if let (Stmt::For { init: Some(init), .. }, Region::Body) = (stmt, region) {
+                if let (
+                    Stmt::For {
+                        init: Some(init), ..
+                    },
+                    Region::Body,
+                ) = (stmt, region)
+                {
                     if let Stmt::Decl { name, ty, .. } = init.as_ref() {
                         scope.bind(name.clone(), ty.clone());
                     }
@@ -127,7 +133,10 @@ impl<'p> TypeCtx<'p> {
     }
 
     fn class_name(&self) -> Option<&str> {
-        self.program.classes.get(self.class).map(|c| c.name.as_str())
+        self.program
+            .classes
+            .get(self.class)
+            .map(|c| c.name.as_str())
     }
 }
 
@@ -185,9 +194,7 @@ pub fn infer_expr(ctx: &TypeCtx<'_>, scope: &Scope, expr: &Expr) -> Option<Type>
             Type::Ref(c) => Some(ctx.program.class(&c)?.field(name)?.ty.clone()),
             _ => None,
         },
-        Expr::StaticField(class, name) => {
-            Some(ctx.program.class(class)?.field(name)?.ty.clone())
-        }
+        Expr::StaticField(class, name) => Some(ctx.program.class(class)?.field(name)?.ty.clone()),
         Expr::New(class) => Some(Type::Ref(class.clone())),
         Expr::BoxInt(_) => Some(Type::Integer),
         Expr::UnboxInt(_) => Some(Type::Int),

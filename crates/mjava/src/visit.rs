@@ -90,7 +90,9 @@ pub fn rewrite_first_expr_in_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)
         Stmt::For {
             init, cond, update, ..
         } => {
-            (init.as_mut().is_some_and(|i| rewrite_first_expr_in_stmt(i, f)))
+            (init
+                .as_mut()
+                .is_some_and(|i| rewrite_first_expr_in_stmt(i, f)))
                 || rewrite_expr(cond, f)
                 || (update
                     .as_mut()
@@ -119,7 +121,10 @@ fn rewrite_expr(expr: &mut Expr, f: &mut impl FnMut(&mut Expr) -> bool) -> bool 
             hit || call.args.iter_mut().any(|a| rewrite_expr(a, f))
         }
         Expr::Reflect(r) => {
-            let hit = r.receiver.as_mut().is_some_and(|recv| rewrite_expr(recv, f));
+            let hit = r
+                .receiver
+                .as_mut()
+                .is_some_and(|recv| rewrite_expr(recv, f));
             hit || r.args.iter_mut().any(|a| rewrite_expr(a, f))
         }
         Expr::Field(obj, _) => rewrite_expr(obj, f),
@@ -142,9 +147,10 @@ pub fn stmt_contains(stmt: &Stmt, mut pred: impl FnMut(&Expr) -> bool) -> bool {
 /// Returns true if `stmt` contains a binary arithmetic expression — the
 /// condition of Inlining-evoke.
 pub fn contains_binary(stmt: &Stmt) -> bool {
-    stmt_contains(stmt, |e| {
-        matches!(e, Expr::Binary(op, _, _) if op.is_arithmetic())
-    })
+    stmt_contains(
+        stmt,
+        |e| matches!(e, Expr::Binary(op, _, _) if op.is_arithmetic()),
+    )
 }
 
 /// Returns true if `stmt` contains a direct method call or instance field
@@ -215,7 +221,10 @@ mod tests {
         });
         assert_eq!(n.get(), 1);
         match stmt {
-            Stmt::Decl { init: Some(Expr::Int(99)), .. } => {}
+            Stmt::Decl {
+                init: Some(Expr::Int(99)),
+                ..
+            } => {}
             other => panic!("outermost binary should be replaced, got {other:?}"),
         }
     }
@@ -232,6 +241,12 @@ mod tests {
             }
         });
         assert!(hit);
-        assert!(matches!(stmt, Stmt::Sync { lock: Expr::ClassLit(_), .. }));
+        assert!(matches!(
+            stmt,
+            Stmt::Sync {
+                lock: Expr::ClassLit(_),
+                ..
+            }
+        ));
     }
 }

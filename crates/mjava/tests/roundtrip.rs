@@ -12,10 +12,8 @@ use mjava::{BinOp, Block, Class, Expr, LValue, Method, Param, Program, Stmt, Typ
 use proptest::prelude::*;
 
 fn ident() -> impl Strategy<Value = String> {
-    prop::sample::select(vec![
-        "a", "b", "c", "x0", "y1", "zz", "val", "tmp", "acc",
-    ])
-    .prop_map(str::to_string)
+    prop::sample::select(vec!["a", "b", "c", "x0", "y1", "zz", "val", "tmp", "acc"])
+        .prop_map(str::to_string)
 }
 
 fn int_type() -> impl Strategy<Value = Type> {
@@ -61,20 +59,15 @@ fn expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (arith_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            (arith_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-            inner
-                .clone()
-                .prop_map(|e| Expr::BoxInt(Box::new(e))),
-            inner
-                .clone()
-                .prop_map(|e| Expr::UnboxInt(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::BoxInt(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::UnboxInt(Box::new(e))),
             (inner.clone(), ident()).prop_map(|(e, f)| Expr::Field(Box::new(e), f)),
             (ident(), prop::collection::vec(inner, 0..3)).prop_map(|(m, args)| {
                 Expr::Call(mjava::Call {
@@ -88,20 +81,21 @@ fn expr() -> impl Strategy<Value = Expr> {
 }
 
 fn stmt() -> impl Strategy<Value = Stmt> {
-    let simple = prop_oneof![
-        (ident(), int_type(), prop::option::of(expr()))
-            .prop_map(|(name, ty, init)| Stmt::Decl { name, ty, init }),
-        (ident(), expr()).prop_map(|(v, e)| Stmt::Assign {
-            target: LValue::Var(v),
-            value: e
-        }),
-        (expr(), ident(), expr()).prop_map(|(obj, f, e)| Stmt::Assign {
-            target: LValue::Field(obj, f),
-            value: e
-        }),
-        expr().prop_map(Stmt::Print),
-        prop::option::of(expr()).prop_map(Stmt::Return),
-    ];
+    let simple =
+        prop_oneof![
+            (ident(), int_type(), prop::option::of(expr()))
+                .prop_map(|(name, ty, init)| Stmt::Decl { name, ty, init }),
+            (ident(), expr()).prop_map(|(v, e)| Stmt::Assign {
+                target: LValue::Var(v),
+                value: e
+            }),
+            (expr(), ident(), expr()).prop_map(|(obj, f, e)| Stmt::Assign {
+                target: LValue::Field(obj, f),
+                value: e
+            }),
+            expr().prop_map(Stmt::Print),
+            prop::option::of(expr()).prop_map(Stmt::Return),
+        ];
     simple.prop_recursive(3, 16, 4, |inner| {
         let block = prop::collection::vec(inner.clone(), 0..4).prop_map(Block);
         prop_oneof![
@@ -128,13 +122,9 @@ fn program() -> impl Strategy<Value = Program> {
             is_static: true,
             init: None,
         });
-        class.methods.push(Method::new(
-            "main",
-            vec![],
-            Type::Void,
-            true,
-            Block(stmts),
-        ));
+        class
+            .methods
+            .push(Method::new("main", vec![], Type::Void, true, Block(stmts)));
         class.methods.push(Method::new(
             "helper",
             vec![Param {

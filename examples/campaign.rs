@@ -55,7 +55,12 @@ fn main() {
         }
         println!("\ntop mutator pairs:");
         for ((a, b), ratio) in pair_ratios(&result.bugs).into_iter().take(5) {
-            println!("  {:22} + {:22} {:5.1}%", a.label(), b.label(), ratio * 100.0);
+            println!(
+                "  {:22} + {:22} {:5.1}%",
+                a.label(),
+                b.label(),
+                ratio * 100.0
+            );
         }
     }
 }

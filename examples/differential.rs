@@ -17,7 +17,10 @@ fn main() {
     // A healthy program: every JVM must agree.
     let healthy = mjava::samples::boxing_mix().program;
     let result = differential(&healthy, &pool, &RunOptions::fuzzing());
-    println!("\nhealthy seed verdict: {:?}", discriminant_name(&result.verdict));
+    println!(
+        "\nhealthy seed verdict: {:?}",
+        discriminant_name(&result.verdict)
+    );
 
     // Hunt for a miscompilation: fuzz and differential-test final mutants.
     let seeds = mopfuzzer::corpus::builtin();
@@ -29,6 +32,8 @@ fn main() {
             guidance: pool[round as usize % pool.len()].clone(),
             rng_seed: 7_000 + round,
             weight_scheme: Default::default(),
+            banned: Vec::new(),
+            fault: None,
         };
         let outcome = fuzz(&seed.program, &config);
         if outcome.crash.is_some() {
@@ -36,7 +41,10 @@ fn main() {
         }
         let diff = differential(&outcome.final_mutant, &pool, &RunOptions::fuzzing());
         if let OracleVerdict::Miscompile { outputs, culprits } = diff.verdict {
-            println!("\nmiscompilation detected after fuzzing seed {}:", seed.name);
+            println!(
+                "\nmiscompilation detected after fuzzing seed {}:",
+                seed.name
+            );
             for (jvm, obs) in &outputs {
                 println!("  {jvm:16} → {:?}", truncated(obs));
             }

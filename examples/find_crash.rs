@@ -23,6 +23,8 @@ fn main() {
             guidance,
             rng_seed: 1000 + round,
             weight_scheme: Default::default(),
+            banned: Vec::new(),
+            fault: None,
         };
         let outcome = fuzz(&seed.program, &config);
         if outcome.crash.is_some() {
@@ -56,11 +58,17 @@ fn main() {
         let run = jvmsim::run_jvm(candidate, &spec, &RunOptions::fuzzing());
         matches!(&run.verdict, Verdict::CompilerCrash(r) if r.bug_id == bug_id)
     };
-    println!("reducing ({} statements) ...", outcome.final_mutant.stmt_count());
+    println!(
+        "reducing ({} statements) ...",
+        outcome.final_mutant.stmt_count()
+    );
     let (reduced, stats) = jreduce::reduce(&outcome.final_mutant, &mut oracle);
     println!(
         "reduced {} → {} statements in {} oracle calls",
         stats.before_stmts, stats.after_stmts, stats.oracle_calls
     );
-    println!("\nreduced bug-triggering test case:\n{}", mjava::print(&reduced));
+    println!(
+        "\nreduced bug-triggering test case:\n{}",
+        mjava::print(&reduced)
+    );
 }

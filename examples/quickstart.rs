@@ -64,7 +64,9 @@ fn main() {
 
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
     let m1 = lock_elim.apply(&seed, &mp, &mut rng).expect("applies");
-    let m2 = unroll.apply(&m1.program, &m1.mp, &mut rng).expect("applies");
+    let m2 = unroll
+        .apply(&m1.program, &m1.mp, &mut rng)
+        .expect("applies");
     println!("\nmutant after LockElimination-evoke + LoopUnrolling-evoke:");
     println!("{}", mjava::print(&m2.program));
 

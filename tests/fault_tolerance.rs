@@ -1,0 +1,189 @@
+//! Fault-tolerance properties of the supervised campaign loop: with
+//! deterministic fault injection enabled, campaigns must complete without
+//! panicking, quarantine repeat offenders, stay fully deterministic, and
+//! resume from a checkpoint journal with bit-identical results.
+
+use jvmsim::FaultPlan;
+use mopfuzzer::{corpus, resume_campaign, run_campaign, run_campaign_with_journal};
+use mopfuzzer::{CampaignConfig, CampaignResult};
+use std::path::PathBuf;
+
+fn faulty_config(plan_seed: u64, rounds: usize) -> CampaignConfig {
+    let mut config = CampaignConfig {
+        iterations_per_seed: 5,
+        rounds,
+        rng_seed: 9000 + plan_seed,
+        ..CampaignConfig::new(rounds)
+    };
+    config.fault = Some(FaultPlan::new(plan_seed, 0.05));
+    config.supervisor.max_retries = 1;
+    config.supervisor.quarantine_threshold = 1;
+    config
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mop_ft_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The headline robustness property: 50-round campaigns under 5% fault
+/// injection finish normally across many independent fault/RNG seeds —
+/// no contained panic ever escapes the supervisor — and the injected
+/// faults leave visible, plausible traces in the result.
+#[test]
+fn campaigns_survive_fault_injection_across_seeds() {
+    let seeds = corpus::builtin();
+    let mut campaigns_with_errors = 0u32;
+    let mut campaigns_with_quarantine = 0u32;
+    // Campaigns run on worker threads: the supervisor's panic containment
+    // must hold when several supervised campaigns fault concurrently.
+    let results: Vec<(u64, CampaignConfig, CampaignResult)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..10)
+            .map(|plan_seed| {
+                let seeds = &seeds;
+                s.spawn(move || {
+                    let config = faulty_config(plan_seed, 50);
+                    let result = run_campaign(seeds, &config);
+                    (plan_seed, config, result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (plan_seed, config, result) in results {
+        // Every round is accounted for: completed + errored + skipped.
+        assert_eq!(
+            result.completed_rounds() as u64 + result.errored_rounds + result.skipped_rounds,
+            config.rounds as u64,
+            "plan seed {plan_seed}"
+        );
+        // Faulted attempts never leak totals into the result: executions
+        // only come from completed rounds, which all really ran.
+        if result.completed_rounds() > 0 {
+            assert!(result.executions > 0, "plan seed {plan_seed}");
+        }
+        if !result.round_errors.is_empty() {
+            campaigns_with_errors += 1;
+        }
+        if !result.quarantined.is_empty() {
+            campaigns_with_quarantine += 1;
+        }
+        // Quarantined pairs are only minted by errored rounds.
+        assert!(result.quarantined.len() as u64 <= result.errored_rounds);
+    }
+    // At a 5% rate over 50 rounds × 10 plans, faults (and with a
+    // threshold of 1, quarantines) are statistically certain to appear.
+    assert!(campaigns_with_errors >= 5, "{campaigns_with_errors}");
+    assert!(
+        campaigns_with_quarantine >= 1,
+        "{campaigns_with_quarantine}"
+    );
+}
+
+/// Same plan, same campaign: fault injection and fault handling are pure
+/// functions of the configuration.
+#[test]
+fn faulty_campaigns_are_deterministic() {
+    let seeds = corpus::builtin();
+    let config = faulty_config(3, 30);
+    let a = run_campaign(&seeds, &config);
+    let b = run_campaign(&seeds, &config);
+    assert_eq!(a, b);
+    assert!(!a.round_errors.is_empty(), "plan 3 should inject something");
+}
+
+/// Checkpoint/resume under faults: killing a journaled campaign after any
+/// prefix of rounds and resuming produces the exact same result as the
+/// uninterrupted run — including fault bookkeeping and quarantine state.
+#[test]
+fn resume_is_bit_identical_under_faults() {
+    let seeds = corpus::builtin();
+    let config = faulty_config(7, 20);
+    let path = temp_journal("resume.jsonl");
+
+    let full = run_campaign_with_journal(&seeds, &config, &path).unwrap();
+    let journal_text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = journal_text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1 + config.rounds,
+        "header + one line per round"
+    );
+
+    // Simulate kills at several points: after 0, 7 and 19 rounds, plus a
+    // mid-line truncation (killed while writing round 12).
+    for kept_rounds in [0usize, 7, 19] {
+        std::fs::write(&path, lines[..=kept_rounds].join("\n")).unwrap();
+        let resumed = resume_campaign(&path).unwrap();
+        assert_eq!(resumed, full, "kept {kept_rounds} rounds");
+        // The resumed journal is complete again and readable.
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rewritten.lines().count(), 1 + config.rounds);
+    }
+
+    let mut partial = lines[..=12].join("\n");
+    partial.push('\n');
+    partial.push_str(&lines[13][..lines[13].len() / 2]);
+    std::fs::write(&path, partial).unwrap();
+    let resumed = resume_campaign(&path).unwrap();
+    assert_eq!(resumed, full, "mid-line truncation");
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// A fault-free journaled campaign equals the plain in-memory campaign:
+/// journaling is observation, not interference.
+#[test]
+fn journaling_does_not_change_results() {
+    let seeds = corpus::builtin();
+    let config = CampaignConfig {
+        iterations_per_seed: 8,
+        rounds: 4,
+        ..CampaignConfig::new(4)
+    };
+    let path = temp_journal("observer.jsonl");
+    let plain = run_campaign(&seeds, &config);
+    let journaled = run_campaign_with_journal(&seeds, &config, &path).unwrap();
+    assert_eq!(plain, journaled);
+    // And replaying the complete journal reproduces it a third time.
+    let replayed = resume_campaign(&path).unwrap();
+    assert_eq!(replayed, plain);
+    std::fs::remove_file(&path).ok();
+}
+
+fn count_kinds(result: &CampaignResult) -> (usize, usize, usize) {
+    use mopfuzzer::RoundError;
+    let mut mutator = 0;
+    let mut vm = 0;
+    let mut build = 0;
+    for failure in &result.round_errors {
+        match failure.error {
+            RoundError::MutatorPanic { .. } => mutator += 1,
+            RoundError::VmPanic { .. } => vm += 1,
+            RoundError::BuildFailure { .. } => build += 1,
+            RoundError::BudgetExhausted { .. } => {}
+        }
+    }
+    (mutator, vm, build)
+}
+
+/// Cranked to a high fault rate, every class of the error taxonomy shows
+/// up and is correctly classified — nothing lands in a catch-all.
+#[test]
+fn error_taxonomy_is_exercised_at_high_rates() {
+    let seeds = corpus::builtin();
+    let mut config = faulty_config(0, 0);
+    config.rounds = 12;
+    let mut totals = (0, 0, 0);
+    for plan_seed in 0..6 {
+        config.fault = Some(FaultPlan::new(plan_seed, 0.6));
+        config.rng_seed = 100 + plan_seed;
+        let result = run_campaign(&seeds, &config);
+        let (m, v, b) = count_kinds(&result);
+        totals = (totals.0 + m, totals.1 + v, totals.2 + b);
+    }
+    assert!(totals.0 > 0, "no mutator panics classified: {totals:?}");
+    assert!(totals.1 > 0, "no VM panics classified: {totals:?}");
+    assert!(totals.2 > 0, "no build failures classified: {totals:?}");
+}

@@ -220,6 +220,8 @@ fn fuzzing_discovers_a_crash_and_reduction_keeps_it() {
             guidance: pool[round as usize % pool.len()].clone(),
             rng_seed: 555 + round,
             weight_scheme: Default::default(),
+            banned: Vec::new(),
+            fault: None,
         };
         let outcome = fuzz(&seed.program, &config);
         if outcome.crash.is_some() {
@@ -277,6 +279,8 @@ fn fixed_mp_beats_random_mp_on_behaviour_increment() {
                 guidance: guidance.clone(),
                 rng_seed: 40 + i as u64,
                 weight_scheme: Default::default(),
+                banned: Vec::new(),
+                fault: None,
             };
             let outcome = fuzz(&seed.program, &config);
             match variant {
