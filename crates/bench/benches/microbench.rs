@@ -101,6 +101,27 @@ fn bench_fuzz_iteration(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The jtelemetry "zero overhead when disabled" claim, measurable: the
+    // same tiered run with no session installed (every hook is one branch
+    // on a thread-local cell) vs. with a live session accumulating spans,
+    // counters and flight events.
+    let program = mjava::samples::call_chain().program;
+    let spec = jvmsim::JvmSpec::hotspur(jvmsim::Version::V17).without_bugs();
+    let options = jvmsim::RunOptions::fuzzing();
+    let mut group = c.benchmark_group("telemetry");
+    group.bench_function("tiered_run_telemetry_off", |b| {
+        assert!(!jtelemetry::enabled());
+        b.iter(|| jvmsim::run_jvm(black_box(&program), &spec, &options))
+    });
+    group.bench_function("tiered_run_telemetry_on", |b| {
+        jtelemetry::install(jtelemetry::Session::new());
+        b.iter(|| jvmsim::run_jvm(black_box(&program), &spec, &options));
+        jtelemetry::take();
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parse_print,
@@ -110,5 +131,6 @@ criterion_group!(
     bench_mutation,
     bench_obv_scrape,
     bench_fuzz_iteration,
+    bench_telemetry_overhead,
 );
 criterion_main!(benches);

@@ -20,10 +20,12 @@
 
 use jvmsim::{FaultPlan, JvmSpec, RunOptions};
 use mopfuzzer::{
-    differential, fuzz, resume_campaign, run_campaign, run_campaign_with_journal, CampaignConfig,
-    CampaignResult, FuzzConfig, OracleVerdict, SupervisorConfig, Variant,
+    differential, fuzz, resume_campaign_extended, run_campaign_observed,
+    run_campaign_with_journal_observed, CampaignConfig, CampaignObserver, CampaignResult,
+    FuzzConfig, OracleVerdict, SupervisorConfig, Variant,
 };
 use std::collections::HashMap;
+use std::io::{IsTerminal, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -41,8 +43,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = if let Some(journal) = &options.resume {
-        run_resume(journal)
+    let outcome = if let Some(journal) = options.resume.clone() {
+        run_resume(&journal, &options)
     } else if options.rounds.is_some() {
         run_campaign_mode(&options)
     } else {
@@ -82,7 +84,13 @@ fn print_usage() {
          CAMPAIGN MODE (fault-supervised):\n\
            --rounds N              run a supervised campaign of N rounds\n\
            --journal FILE          checkpoint every round to a JSONL journal\n\
-           --resume FILE           resume a journaled campaign (bit-identical)\n\
+           --resume FILE           resume a journaled campaign (bit-identical);\n\
+                                   with --rounds N > the journaled total, the\n\
+                                   finished campaign is *extended* to N rounds\n\
+           --metrics-out FILE      telemetry: append a JSONL metrics snapshot to\n\
+                                   FILE after every round, keep a Prometheus\n\
+                                   text export in FILE.prom, and print a\n\
+                                   human-readable report at campaign end\n\
            --max-steps N           stop after N interpreter steps (simulated time)\n\
            --max-execs N           stop after N JVM executions\n\
            --round-deadline N      fail rounds exceeding N steps\n\
@@ -105,6 +113,7 @@ struct CliOptions {
     rounds: Option<usize>,
     journal: Option<PathBuf>,
     resume: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     supervisor: SupervisorConfig,
     fault: Option<FaultPlan>,
 }
@@ -128,6 +137,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "rounds" => "rounds",
             "journal" => "journal",
             "resume" => "resume",
+            "metrics-out" => "metrics-out",
             "max-steps" => "max-steps",
             "max-execs" => "max-execs",
             "round-deadline" => "round-deadline",
@@ -188,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         rounds: num(&map, "rounds")?,
         journal: map.get("journal").map(PathBuf::from),
         resume: map.get("resume").map(PathBuf::from),
+        metrics_out: map.get("metrics-out").map(PathBuf::from),
         supervisor,
         fault,
     })
@@ -232,6 +243,80 @@ fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
     Ok(seeds)
 }
 
+/// The `--metrics-out` sink: after every round it appends one JSONL
+/// telemetry snapshot to the metrics file, rewrites the Prometheus text
+/// export next to it (`FILE.prom`), and — when stderr is a TTY — redraws
+/// a one-line live status. Requires a `jtelemetry` session installed on
+/// the campaign thread.
+struct MetricsSink {
+    jsonl: PathBuf,
+    prom: PathBuf,
+    tty_status: bool,
+}
+
+impl MetricsSink {
+    fn create(path: &Path) -> Result<MetricsSink, String> {
+        let mut prom = path.as_os_str().to_owned();
+        prom.push(".prom");
+        // Truncate up front so a rerun never appends to stale snapshots.
+        std::fs::write(path, "").map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(MetricsSink {
+            jsonl: path.to_path_buf(),
+            prom: PathBuf::from(prom),
+            tty_status: std::io::stderr().is_terminal(),
+        })
+    }
+
+    fn flush(&self) {
+        let Some(snap) = jtelemetry::snapshot() else {
+            return;
+        };
+        let append = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.jsonl)
+            .and_then(|mut f| writeln!(f, "{}", jtelemetry::export::jsonl_line(&snap)));
+        if let Err(e) = append {
+            eprintln!("warning: metrics write failed: {e}");
+        }
+        if let Err(e) = std::fs::write(&self.prom, jtelemetry::export::prometheus(&snap)) {
+            eprintln!("warning: metrics write failed: {e}");
+        }
+        if self.tty_status {
+            eprint!("\r{}", jtelemetry::export::status_line(&snap));
+            let _ = std::io::stderr().flush();
+        }
+    }
+
+    /// Final flush + report, consuming the thread's telemetry session.
+    fn finish(&self) {
+        self.flush();
+        if self.tty_status {
+            eprintln!();
+        }
+        if let Some(session) = jtelemetry::take() {
+            println!("{}", jtelemetry::export::human_report(&session.snapshot()));
+        }
+    }
+}
+
+impl CampaignObserver for MetricsSink {
+    fn round_finished(&mut self, _round: usize, _result: &CampaignResult) {
+        self.flush();
+    }
+}
+
+/// Builds the metrics sink (installing the telemetry session) when
+/// `--metrics-out` was given.
+fn metrics_sink(options: &CliOptions) -> Result<Option<MetricsSink>, String> {
+    let Some(path) = &options.metrics_out else {
+        return Ok(None);
+    };
+    let sink = MetricsSink::create(path)?;
+    jtelemetry::install(jtelemetry::Session::new());
+    println!("metrics: {} (+ {})", path.display(), sink.prom.display());
+    Ok(Some(sink))
+}
+
 fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
     let seeds = load_seeds(options)?;
     let config = CampaignConfig {
@@ -254,20 +339,44 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         seeds.len(),
         config.pool.len()
     );
+    let mut sink = metrics_sink(options)?;
+    let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
     let result = match &options.journal {
-        None => run_campaign(&seeds, &config),
+        None => run_campaign_observed_or_not(&seeds, &config, observer),
         Some(path) => {
             println!("journal: {}", path.display());
-            run_campaign_with_journal(&seeds, &config, path)?
+            run_campaign_with_journal_observed(&seeds, &config, path, observer)?
         }
     };
+    if let Some(sink) = &sink {
+        sink.finish();
+    }
     print_campaign_summary(&result);
     Ok(())
 }
 
-fn run_resume(journal: &Path) -> Result<(), String> {
+fn run_campaign_observed_or_not(
+    seeds: &[mopfuzzer::Seed],
+    config: &CampaignConfig,
+    observer: Option<&mut dyn CampaignObserver>,
+) -> CampaignResult {
+    match observer {
+        Some(obs) => run_campaign_observed(seeds, config, obs),
+        None => mopfuzzer::run_campaign(seeds, config),
+    }
+}
+
+fn run_resume(journal: &Path, options: &CliOptions) -> Result<(), String> {
     println!("resuming campaign from {}", journal.display());
-    let result = resume_campaign(journal)?;
+    if let Some(rounds) = options.rounds {
+        println!("  extending to {rounds} total round(s)");
+    }
+    let mut sink = metrics_sink(options)?;
+    let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
+    let result = resume_campaign_extended(journal, options.rounds, observer)?;
+    if let Some(sink) = &sink {
+        sink.finish();
+    }
     print_campaign_summary(&result);
     Ok(())
 }
@@ -296,6 +405,12 @@ fn print_campaign_summary(result: &CampaignResult) {
         println!(
             "  faults: {} errored round(s), {} skipped, {} retried attempt(s)",
             result.errored_rounds, result.skipped_rounds, result.retried_attempts
+        );
+    }
+    if result.wasted_steps + result.wasted_execs > 0 {
+        println!(
+            "  wasted on faulted attempts: {} steps, {} execution(s)",
+            result.wasted_steps, result.wasted_execs
         );
     }
     for (seed, mutator) in &result.quarantined {

@@ -81,10 +81,17 @@ pub struct FoundBug {
 pub struct CampaignResult {
     /// Deduplicated bugs in discovery order.
     pub bugs: Vec<FoundBug>,
-    /// Total JVM executions.
+    /// Total JVM executions by attempts that completed (productive work).
     pub executions: u64,
-    /// Total simulated time.
+    /// Total simulated time spent by completed attempts (productive work).
     pub steps: u64,
+    /// Simulated time burned by attempts that faulted and were retried or
+    /// given up on. Kept apart from [`CampaignResult::steps`] so retry
+    /// overhead is visible rather than silently inflating throughput;
+    /// budgets meter the sum of both.
+    pub wasted_steps: u64,
+    /// JVM executions completed inside attempts that ultimately faulted.
+    pub wasted_execs: u64,
     /// Coverage over all executions.
     pub coverage: CoverageMap,
     /// Final-mutant Δ for every completed round (Figures 3/4 data).
@@ -126,9 +133,29 @@ pub(crate) fn component_of_miscompile(id: &str) -> Option<Component> {
         .map(|b| b.component)
 }
 
+/// Live-progress hook: the supervisor calls [`round_finished`] after every
+/// executed (non-replayed) round. The CLI uses it to refresh metrics files
+/// and the TTY status line mid-campaign.
+///
+/// [`round_finished`]: CampaignObserver::round_finished
+pub trait CampaignObserver {
+    /// Called once per live round, after the round's record has been
+    /// folded into `result` (and after the gauges were updated).
+    fn round_finished(&mut self, round: usize, result: &CampaignResult);
+}
+
 /// Runs a fuzzing campaign under the fault supervisor.
 pub fn run_campaign(seeds: &[Seed], config: &CampaignConfig) -> CampaignResult {
-    run_supervised(seeds, config, None, &[])
+    run_supervised(seeds, config, None, &[], None)
+}
+
+/// [`run_campaign`] with a live-progress observer.
+pub fn run_campaign_observed(
+    seeds: &[Seed],
+    config: &CampaignConfig,
+    observer: &mut dyn CampaignObserver,
+) -> CampaignResult {
+    run_supervised(seeds, config, None, &[], Some(observer))
 }
 
 /// Runs a campaign while checkpointing every round to a JSONL journal at
@@ -139,8 +166,24 @@ pub fn run_campaign_with_journal(
     config: &CampaignConfig,
     path: &Path,
 ) -> Result<CampaignResult, String> {
+    run_campaign_with_journal_observed(seeds, config, path, None)
+}
+
+/// [`run_campaign_with_journal`] with an optional live-progress observer.
+pub fn run_campaign_with_journal_observed(
+    seeds: &[Seed],
+    config: &CampaignConfig,
+    path: &Path,
+    observer: Option<&mut dyn CampaignObserver>,
+) -> Result<CampaignResult, String> {
     let mut writer = JournalWriter::create(path, config, seeds)?;
-    Ok(run_supervised(seeds, config, Some(&mut writer), &[]))
+    Ok(run_supervised(
+        seeds,
+        config,
+        Some(&mut writer),
+        &[],
+        observer,
+    ))
 }
 
 /// Resumes a journaled campaign: checkpointed rounds are replayed from the
@@ -149,18 +192,43 @@ pub fn run_campaign_with_journal(
 /// execution share one accounting code path. A truncated trailing line
 /// (killed mid-write) is dropped and its round re-executed.
 pub fn resume_campaign(path: &Path) -> Result<CampaignResult, String> {
+    resume_campaign_extended(path, None, None)
+}
+
+/// [`resume_campaign`] that can also *extend* a finished campaign: when
+/// `rounds_override` is larger than the journaled round count, the resumed
+/// campaign runs to the new total and the rewritten journal header records
+/// it (so a later resume continues from the extended target). Shrinking
+/// below the number of already-journaled rounds is an error — those rounds
+/// happened and cannot be unhappened.
+pub fn resume_campaign_extended(
+    path: &Path,
+    rounds_override: Option<usize>,
+    observer: Option<&mut dyn CampaignObserver>,
+) -> Result<CampaignResult, String> {
     let contents = journal::read_journal(path)?;
+    let mut config = contents.config;
+    if let Some(rounds) = rounds_override {
+        if rounds < contents.records.len() {
+            return Err(format!(
+                "cannot shrink campaign to {rounds} rounds: journal already holds {}",
+                contents.records.len()
+            ));
+        }
+        config.rounds = rounds;
+    }
     // Rewrite the journal up to the last intact record so a previously
     // truncated tail can never corrupt the middle of the resumed file.
-    let mut writer = JournalWriter::create(path, &contents.config, &contents.seeds)?;
+    let mut writer = JournalWriter::create(path, &config, &contents.seeds)?;
     for record in &contents.records {
         writer.write_round(record)?;
     }
     Ok(run_supervised(
         &contents.seeds,
-        &contents.config,
+        &config,
         Some(&mut writer),
         &contents.records,
+        observer,
     ))
 }
 

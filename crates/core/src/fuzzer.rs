@@ -248,6 +248,16 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
             break;
         };
         let kind = mutators[pick].kind();
+        if jtelemetry::enabled() {
+            jtelemetry::count(jtelemetry::Counter::MutationsApplied, 1);
+            // Recorded before the (possibly fault-injected) child execution
+            // so a panic mid-iteration still names the responsible mutator.
+            jtelemetry::flight(
+                jtelemetry::FlightKind::Mutator,
+                format!("{kind:?}"),
+                format!("iteration {iteration}"),
+            );
+        }
         if let Some(plan) = &config.fault {
             if plan.mutator_fault(config.rng_seed, iteration, &format!("{kind:?}")) {
                 panic!("{MUTATOR_PANIC_MARKER}:{kind:?}: injected mutator panic");
@@ -267,10 +277,18 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
             // parent (and MP) stay in place, so later iterations keep
             // mutating a program that actually builds.
             outcome.build_failures += 1;
+            if jtelemetry::enabled() {
+                jtelemetry::count(jtelemetry::Counter::MutantsRejected, 1);
+                jtelemetry::mutator_outcome(&format!("{kind:?}"), false, 0.0);
+            }
             continue;
         }
         let child_obv = Obv::from_log(&child_run.log);
         let delta = Obv::delta(&parent_obv, &child_obv);
+        if jtelemetry::enabled() {
+            jtelemetry::count(jtelemetry::Counter::MutantsAccepted, 1);
+            jtelemetry::mutator_outcome(&format!("{kind:?}"), true, delta);
+        }
         outcome.records.push(IterationRecord {
             iteration,
             mutator: kind,

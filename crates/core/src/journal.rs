@@ -11,19 +11,39 @@
 //! small hand-rolled JSON subset: objects, arrays, strings, bools, nulls,
 //! and numbers kept as raw text (`u64` and `f64` round-trip exactly —
 //! floats are printed with `{:?}`, Rust's shortest-exact representation).
+//!
+//! Since version 2, a record's coverage is **delta-encoded** against the
+//! previous journaled round: rounds with no coverage write `null`, the
+//! first covered round writes the full block lists, and every later one
+//! writes only `{add, del}` per area. Writer and reader track the same
+//! previous-coverage state, so resume stays bit-identical while journals
+//! of long campaigns shrink dramatically (coverage is highly repetitive
+//! round-over-round). Failed attempts also carry a flight-recorder dump
+//! (the last events before the fault) and each round carries the wasted
+//! step/execution totals its faulted attempts burned.
 
 use crate::campaign::CampaignConfig;
 use crate::corpus::Seed;
 use crate::mutators::MutatorKind;
 use crate::supervisor::{BudgetKind, RoundError, RoundFailure, SupervisorConfig};
 use crate::variant::Variant;
+use jtelemetry::{FlightEvent, FlightKind};
 use jvmsim::{Area, Component, CoverageMap, FaultPlan, JvmSpec, VmFault};
 use std::fs::File;
 use std::io::Write as _;
 use std::path::Path;
 
-/// Bumped when the line format changes incompatibly.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Bumped when the line format changes incompatibly. Version 2 added
+/// delta-encoded coverage, flight-recorder dumps on failures, and
+/// wasted-work accounting.
+pub const JOURNAL_VERSION: u64 = 2;
+
+const AREAS: [(&str, Area); 4] = [
+    ("c1", Area::C1),
+    ("c2", Area::C2),
+    ("runtime", Area::Runtime),
+    ("gc", Area::Gc),
+];
 
 /// One bug observation inside a round, before campaign-level dedup.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,11 +104,17 @@ pub struct RoundRecord {
     /// Set on `Errored` rounds: the `(seed, mutator)` pair charged with
     /// the failure (`None` mutator = the seed as a whole).
     pub fault_pair: Option<(String, Option<MutatorKind>)>,
+    /// Interpreter steps burned by this round's faulted attempts.
+    pub wasted_steps: u64,
+    /// JVM executions burned by this round's faulted attempts.
+    pub wasted_execs: u64,
 }
 
-/// Appends journal lines, flushing each one.
+/// Appends journal lines, flushing each one. Tracks the previous round's
+/// coverage so each record can be delta-encoded against it.
 pub struct JournalWriter {
     out: File,
+    prev_coverage: Option<CoverageMap>,
 }
 
 impl JournalWriter {
@@ -100,14 +126,22 @@ impl JournalWriter {
     ) -> Result<JournalWriter, String> {
         let out =
             File::create(path).map_err(|e| format!("journal create {}: {e}", path.display()))?;
-        let mut writer = JournalWriter { out };
+        let mut writer = JournalWriter {
+            out,
+            prev_coverage: None,
+        };
         writer.line(&encode_header(config, seeds))?;
         Ok(writer)
     }
 
     /// Appends one round record as a single flushed line.
     pub fn write_round(&mut self, record: &RoundRecord) -> Result<(), String> {
-        self.line(&encode_record(record))
+        let line = encode_record(record, self.prev_coverage.as_ref());
+        self.line(&line)?;
+        if !coverage_is_empty(&record.coverage) {
+            self.prev_coverage = Some(record.coverage.clone());
+        }
+        Ok(())
     }
 
     fn line(&mut self, json: &str) -> Result<(), String> {
@@ -141,10 +175,11 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
         return Err("journal is empty".to_string());
     };
     let (config, seeds) = decode_header(first)?;
-    let mut records = Vec::new();
+    let mut records: Vec<RoundRecord> = Vec::new();
     let mut truncated_tail = false;
+    let mut prev_coverage: Option<CoverageMap> = None;
     for (i, line) in rest.iter().enumerate() {
-        match parse_json(line).and_then(|v| decode_record(&v)) {
+        match parse_json(line).and_then(|v| decode_record(&v, prev_coverage.as_ref())) {
             Ok(record) => {
                 if record.round != records.len() {
                     return Err(format!(
@@ -153,6 +188,9 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
                         record.round,
                         records.len()
                     ));
+                }
+                if !coverage_is_empty(&record.coverage) {
+                    prev_coverage = Some(record.coverage.clone());
                 }
                 records.push(record);
             }
@@ -259,34 +297,51 @@ fn encode_sighting(s: &BugSighting) -> String {
     )
 }
 
+fn encode_flight(events: &[FlightEvent]) -> String {
+    join(events, |e| {
+        format!(
+            "{{\"at\":{},\"kind\":{},\"label\":{},\"detail\":{}}}",
+            e.at_steps,
+            json_str(e.kind.key()),
+            json_str(&e.label),
+            json_str(&e.detail),
+        )
+    })
+}
+
 fn encode_failure(f: &RoundFailure) -> String {
+    let flight = format!(",\"flight\":[{}]", encode_flight(&f.flight));
     match &f.error {
         RoundError::MutatorPanic { mutator, message } => format!(
-            "{{\"kind\":\"mutator_panic\",\"attempt\":{},\"mutator\":{},\"message\":{}}}",
+            "{{\"kind\":\"mutator_panic\",\"attempt\":{},\"mutator\":{},\"message\":{}{}}}",
             f.attempt,
             mutator.map_or("null".to_string(), |m| json_str(&format!("{m:?}"))),
             json_str(message),
+            flight,
         ),
         RoundError::VmPanic { message } => format!(
-            "{{\"kind\":\"vm_panic\",\"attempt\":{},\"message\":{}}}",
+            "{{\"kind\":\"vm_panic\",\"attempt\":{},\"message\":{}{}}}",
             f.attempt,
             json_str(message),
+            flight,
         ),
         RoundError::BuildFailure { message } => format!(
-            "{{\"kind\":\"build_failure\",\"attempt\":{},\"message\":{}}}",
+            "{{\"kind\":\"build_failure\",\"attempt\":{},\"message\":{}{}}}",
             f.attempt,
             json_str(message),
+            flight,
         ),
         RoundError::BudgetExhausted {
             budget,
             limit,
             used,
         } => format!(
-            "{{\"kind\":\"budget\",\"attempt\":{},\"budget\":{},\"limit\":{},\"used\":{}}}",
+            "{{\"kind\":\"budget\",\"attempt\":{},\"budget\":{},\"limit\":{},\"used\":{}{}}}",
             f.attempt,
             json_str(budget_name(*budget)),
             limit,
             used,
+            flight,
         ),
     }
 }
@@ -308,7 +363,11 @@ fn budget_from_name(name: &str) -> Result<BudgetKind, String> {
     }
 }
 
-fn encode_coverage(map: &CoverageMap) -> String {
+fn coverage_is_empty(map: &CoverageMap) -> bool {
+    AREAS.iter().all(|&(_, area)| map.blocks(area).is_empty())
+}
+
+fn encode_coverage_full(map: &CoverageMap) -> String {
     let area = |a: Area| join(&map.blocks(a), u32::to_string);
     format!(
         "{{\"c1\":[{}],\"c2\":[{}],\"runtime\":[{}],\"gc\":[{}]}}",
@@ -319,7 +378,35 @@ fn encode_coverage(map: &CoverageMap) -> String {
     )
 }
 
-fn encode_record(r: &RoundRecord) -> String {
+/// Delta-encodes `current` against the previous journaled coverage:
+/// `null` for uncovered rounds, `{"full":...}` when there is no previous
+/// state, `{"delta":{area:{"add":[..],"del":[..]},...}}` otherwise.
+fn encode_coverage(current: &CoverageMap, prev: Option<&CoverageMap>) -> String {
+    if coverage_is_empty(current) {
+        return "null".to_string();
+    }
+    let Some(prev) = prev else {
+        return format!("{{\"full\":{}}}", encode_coverage_full(current));
+    };
+    let deltas = AREAS
+        .iter()
+        .map(|&(key, area)| {
+            let old = prev.blocks(area);
+            let new = current.blocks(area);
+            let add: Vec<u32> = new.iter().filter(|b| !old.contains(b)).copied().collect();
+            let del: Vec<u32> = old.iter().filter(|b| !new.contains(b)).copied().collect();
+            format!(
+                "\"{key}\":{{\"add\":[{}],\"del\":[{}]}}",
+                join(&add, u32::to_string),
+                join(&del, u32::to_string),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"delta\":{{{deltas}}}}}")
+}
+
+fn encode_record(r: &RoundRecord, prev_coverage: Option<&CoverageMap>) -> String {
     let disposition = match r.disposition {
         Disposition::Ok => "ok",
         Disposition::Errored => "errored",
@@ -337,7 +424,8 @@ fn encode_record(r: &RoundRecord) -> String {
     });
     format!(
         "{{\"type\":\"round\",\"round\":{},\"seed\":{},\"disposition\":{},\
-         \"fuzz_execs\":{},\"fuzz_steps\":{},\"diff\":{},\"final_delta\":{:?},\
+         \"fuzz_execs\":{},\"fuzz_steps\":{},\"wasted_steps\":{},\"wasted_execs\":{},\
+         \"diff\":{},\"final_delta\":{:?},\
          \"inconclusive\":{},\"errors\":[{}],\"crash\":{},\"diff_bugs\":[{}],\
          \"coverage\":{},\"fault_pair\":{}}}",
         r.round,
@@ -345,13 +433,15 @@ fn encode_record(r: &RoundRecord) -> String {
         json_str(disposition),
         r.fuzz_execs,
         r.fuzz_steps,
+        r.wasted_steps,
+        r.wasted_execs,
         diff,
         r.final_delta,
         r.inconclusive,
         join(&r.errors, encode_failure),
         r.crash.as_ref().map_or("null".to_string(), encode_sighting),
         join(&r.diff_bugs, encode_sighting),
-        encode_coverage(&r.coverage),
+        encode_coverage(&r.coverage, prev_coverage),
         fault_pair,
     )
 }
@@ -776,8 +866,27 @@ fn decode_sighting(v: &Json) -> Result<BugSighting, String> {
     })
 }
 
+fn decode_flight(v: &Json) -> Result<Vec<FlightEvent>, String> {
+    v.arr()
+        .ok_or("flight is not an array")?
+        .iter()
+        .map(|e| {
+            let kind_name = req_str(e, "kind")?;
+            let kind = FlightKind::from_key(&kind_name)
+                .ok_or_else(|| format!("unknown flight kind {kind_name:?}"))?;
+            Ok(FlightEvent {
+                at_steps: req_u64(e, "at")?,
+                kind,
+                label: req_str(e, "label")?,
+                detail: req_str(e, "detail")?,
+            })
+        })
+        .collect()
+}
+
 fn decode_failure(v: &Json, round: usize) -> Result<RoundFailure, String> {
     let attempt = req_u64(v, "attempt")? as u32;
+    let flight = decode_flight(req(v, "flight")?)?;
     let error = match req_str(v, "kind")?.as_str() {
         "mutator_panic" => RoundError::MutatorPanic {
             mutator: mutator_from_json(req(v, "mutator")?)?,
@@ -800,29 +909,57 @@ fn decode_failure(v: &Json, round: usize) -> Result<RoundFailure, String> {
         round,
         attempt,
         error,
+        flight,
     })
 }
 
-fn decode_coverage(v: &Json) -> Result<CoverageMap, String> {
+fn blocks_list(v: &Json, key: &str) -> Result<Vec<u32>, String> {
+    req(v, key)?
+        .arr()
+        .ok_or_else(|| format!("coverage {key:?} is not an array"))?
+        .iter()
+        .map(|b| b.u32_().ok_or_else(|| format!("bad block in {key:?}")))
+        .collect()
+}
+
+fn decode_coverage_full(v: &Json) -> Result<CoverageMap, String> {
     let mut map = CoverageMap::new();
-    for (key, area) in [
-        ("c1", Area::C1),
-        ("c2", Area::C2),
-        ("runtime", Area::Runtime),
-        ("gc", Area::Gc),
-    ] {
-        let blocks = req(v, key)?
-            .arr()
-            .ok_or_else(|| format!("coverage {key:?} is not an array"))?
-            .iter()
-            .map(|b| b.u32_().ok_or_else(|| format!("bad block in {key:?}")))
-            .collect::<Result<Vec<u32>, String>>()?;
+    for (key, area) in AREAS {
+        map.mark_all(area, blocks_list(v, key)?);
+    }
+    Ok(map)
+}
+
+/// Inverse of [`encode_coverage`]: `null` → empty, `full` → as written,
+/// `delta` → previous coverage patched with per-area add/del lists.
+fn decode_coverage(v: &Json, prev: Option<&CoverageMap>) -> Result<CoverageMap, String> {
+    if v.is_null() {
+        return Ok(CoverageMap::new());
+    }
+    if let Some(full) = v.get("full") {
+        return decode_coverage_full(full);
+    }
+    let delta = v
+        .get("delta")
+        .ok_or("coverage has neither full nor delta")?;
+    let prev = prev.ok_or("delta coverage with no previous round to patch")?;
+    let mut map = CoverageMap::new();
+    for (key, area) in AREAS {
+        let d = req(delta, key)?;
+        let add = blocks_list(d, "add")?;
+        let del = blocks_list(d, "del")?;
+        let mut blocks: Vec<u32> = prev
+            .blocks(area)
+            .into_iter()
+            .filter(|b| !del.contains(b))
+            .collect();
+        blocks.extend(add);
         map.mark_all(area, blocks);
     }
     Ok(map)
 }
 
-fn decode_record(v: &Json) -> Result<RoundRecord, String> {
+fn decode_record(v: &Json, prev_coverage: Option<&CoverageMap>) -> Result<RoundRecord, String> {
     if req_str(v, "type")? != "round" {
         return Err("not a round record".to_string());
     }
@@ -882,8 +1019,10 @@ fn decode_record(v: &Json) -> Result<RoundRecord, String> {
         errors,
         crash,
         diff_bugs,
-        coverage: decode_coverage(req(v, "coverage")?)?,
+        coverage: decode_coverage(req(v, "coverage")?, prev_coverage)?,
         fault_pair,
+        wasted_steps: req_u64(v, "wasted_steps")?,
+        wasted_execs: req_u64(v, "wasted_execs")?,
     })
 }
 
@@ -914,6 +1053,20 @@ mod tests {
                         mutator: Some(MutatorKind::Inlining),
                         message: "mop-fault:mutator:Inlining: \"quoted\"\nline".to_string(),
                     },
+                    flight: vec![
+                        FlightEvent {
+                            at_steps: 0,
+                            kind: FlightKind::Round,
+                            label: "attempt".to_string(),
+                            detail: "round 3 attempt 0".to_string(),
+                        },
+                        FlightEvent {
+                            at_steps: 512,
+                            kind: FlightKind::Mutator,
+                            label: "Inlining".to_string(),
+                            detail: "iteration 2".to_string(),
+                        },
+                    ],
                 },
                 RoundFailure {
                     round,
@@ -923,6 +1076,7 @@ mod tests {
                         limit: 10,
                         used: u64::MAX,
                     },
+                    flight: Vec::new(),
                 },
             ],
             crash: Some(BugSighting {
@@ -943,6 +1097,8 @@ mod tests {
             }],
             coverage,
             fault_pair: Some(("listing2".to_string(), None)),
+            wasted_steps: 4_321,
+            wasted_execs: 7,
         }
     }
 
@@ -957,9 +1113,71 @@ mod tests {
     #[test]
     fn record_roundtrips_exactly() {
         let record = sample_record(3);
-        let line = encode_record(&record);
-        let decoded = decode_record(&parse_json(&line).unwrap()).unwrap();
+        let line = encode_record(&record, None);
+        let decoded = decode_record(&parse_json(&line).unwrap(), None).unwrap();
         assert_eq!(decoded, record);
+        // RoundFailure equality ignores flight dumps, so check them by hand.
+        for (d, r) in decoded.errors.iter().zip(&record.errors) {
+            assert_eq!(d.flight, r.flight);
+        }
+    }
+
+    #[test]
+    fn coverage_delta_encoding_roundtrips_and_shrinks() {
+        let first = sample_record(0);
+        let mut second = sample_record(1);
+        // Second round: one block leaves, one arrives, the rest repeat.
+        second.coverage = first.coverage.clone();
+        second.coverage.mark(Area::C1, 77);
+        let mut third = sample_record(2);
+        third.coverage = second.coverage.clone();
+
+        let line0 = encode_record(&first, None);
+        let line1 = encode_record(&second, Some(&first.coverage));
+        let line2 = encode_record(&third, Some(&second.coverage));
+        assert!(line0.contains("\"full\""), "first covered round is full");
+        assert!(line1.contains("\"delta\""), "second round is a delta");
+        assert!(
+            line2.contains("\"delta\":{\"c1\":{\"add\":[],\"del\":[]}"),
+            "unchanged coverage is an empty delta: {line2}"
+        );
+
+        let d0 = decode_record(&parse_json(&line0).unwrap(), None).unwrap();
+        let d1 = decode_record(&parse_json(&line1).unwrap(), Some(&d0.coverage)).unwrap();
+        let d2 = decode_record(&parse_json(&line2).unwrap(), Some(&d1.coverage)).unwrap();
+        assert_eq!(d1, second);
+        assert_eq!(d2, third);
+
+        // A delta with no previous round is corruption, not a guess.
+        assert!(decode_record(&parse_json(&line1).unwrap(), None).is_err());
+    }
+
+    #[test]
+    fn empty_coverage_rounds_do_not_disturb_the_delta_chain() {
+        let covered = sample_record(0);
+        let mut errored = sample_record(1);
+        errored.disposition = Disposition::Errored;
+        errored.coverage = CoverageMap::new();
+        let mut after = sample_record(2);
+        after.coverage = covered.coverage.clone();
+
+        let dir = std::env::temp_dir().join("mopfuzzer-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("delta-chain.jsonl");
+        let config = sample_config();
+        let seeds: Vec<Seed> = corpus::builtin().into_iter().take(1).collect();
+        let mut writer = JournalWriter::create(&path, &config, &seeds).unwrap();
+        for r in [&covered, &errored, &after] {
+            writer.write_round(r).unwrap();
+        }
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].contains("\"coverage\":null"), "errored round");
+        assert!(lines[3].contains("\"delta\""), "deltas skip the null round");
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records, vec![covered, errored, after]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub mod supervisor;
 pub mod variant;
 
 pub use campaign::{
-    resume_campaign, run_campaign, run_campaign_with_journal, CampaignConfig, CampaignResult,
-    FoundBug,
+    resume_campaign, resume_campaign_extended, run_campaign, run_campaign_observed,
+    run_campaign_with_journal, run_campaign_with_journal_observed, CampaignConfig,
+    CampaignObserver, CampaignResult, FoundBug,
 };
 pub use corpus::Seed;
 pub use fuzzer::{fuzz, FuzzConfig, FuzzOutcome, IterationRecord, WeightScheme};

@@ -69,6 +69,14 @@ pub fn differential(
         steps += run.steps;
         coverage.merge(&run.coverage);
         if let JvmVerdict::CompilerCrash(report) = &run.verdict {
+            if jtelemetry::enabled() {
+                jtelemetry::count(jtelemetry::Counter::OracleCrash, 1);
+                jtelemetry::flight(
+                    jtelemetry::FlightKind::Oracle,
+                    "crash",
+                    format!("{} ({})", run.jvm, report.bug_id),
+                );
+            }
             return DifferentialResult {
                 verdict: OracleVerdict::Crash {
                     jvm: run.jvm.clone(),
@@ -102,6 +110,20 @@ pub fn differential(
     } else {
         OracleVerdict::Miscompile { outputs, culprits }
     };
+    if jtelemetry::enabled() {
+        let (counter, label) = match &verdict {
+            OracleVerdict::Pass => (jtelemetry::Counter::OraclePass, "pass"),
+            OracleVerdict::Miscompile { .. } => {
+                (jtelemetry::Counter::OracleMiscompile, "miscompile")
+            }
+            OracleVerdict::Inconclusive(_) => {
+                (jtelemetry::Counter::OracleInconclusive, "inconclusive")
+            }
+            OracleVerdict::Crash { .. } => unreachable!("crash returns early"),
+        };
+        jtelemetry::count(counter, 1);
+        jtelemetry::flight(jtelemetry::FlightKind::Oracle, label, String::new());
+    }
     DifferentialResult {
         verdict,
         coverage,

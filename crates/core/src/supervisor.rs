@@ -107,7 +107,7 @@ impl fmt::Display for RoundError {
 }
 
 /// One recorded failure: which round, which attempt, what went wrong.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RoundFailure {
     /// The round index.
     pub round: usize,
@@ -115,6 +115,20 @@ pub struct RoundFailure {
     pub attempt: u32,
     /// The classified error.
     pub error: RoundError,
+    /// Flight-recorder dump of the failed attempt (most recent events
+    /// first-to-last), naming the phases/mutators/VMs active when the
+    /// attempt died. Empty when telemetry is disabled.
+    pub flight: Vec<jtelemetry::FlightEvent>,
+}
+
+/// Equality ignores the flight dump: it is diagnostic context, not part
+/// of a failure's identity. A campaign run with telemetry on must compare
+/// equal to the same campaign run with telemetry off (and to its own
+/// journal replay, whatever the replaying process's telemetry state).
+impl PartialEq for RoundFailure {
+    fn eq(&self, other: &RoundFailure) -> bool {
+        self.round == other.round && self.attempt == other.attempt && self.error == other.error
+    }
 }
 
 /// Fault-handling policy of a campaign.
@@ -260,12 +274,20 @@ pub(crate) fn apply_record(
     threshold: u32,
 ) {
     result.round_errors.extend(record.errors.iter().cloned());
+    result.wasted_steps += record.wasted_steps;
+    result.wasted_execs += record.wasted_execs;
     match record.disposition {
-        Disposition::Skipped => result.skipped_rounds += 1,
+        Disposition::Skipped => {
+            result.skipped_rounds += 1;
+            jtelemetry::count(jtelemetry::Counter::RoundsSkipped, 1);
+        }
         Disposition::Errored => {
             // The final attempt was not retried; every earlier one was.
-            result.retried_attempts += record.errors.len().saturating_sub(1) as u64;
+            let retries = record.errors.len().saturating_sub(1) as u64;
+            result.retried_attempts += retries;
             result.errored_rounds += 1;
+            jtelemetry::count(jtelemetry::Counter::RoundsErrored, 1);
+            jtelemetry::count(jtelemetry::Counter::RetriedAttempts, retries);
             if let Some((seed, mutator)) = &record.fault_pair {
                 if quarantine.record(threshold, seed, *mutator) {
                     result.quarantined.push((seed.clone(), *mutator));
@@ -274,6 +296,11 @@ pub(crate) fn apply_record(
         }
         Disposition::Ok => {
             result.retried_attempts += record.errors.len() as u64;
+            jtelemetry::count(jtelemetry::Counter::RoundsOk, 1);
+            jtelemetry::count(
+                jtelemetry::Counter::RetriedAttempts,
+                record.errors.len() as u64,
+            );
             result.executions += record.fuzz_execs;
             result.steps += record.fuzz_steps;
             result.coverage.merge(&record.coverage);
@@ -330,16 +357,22 @@ fn budget_stop(
                 limit,
                 used,
             },
+            flight: Vec::new(),
         })
     };
+    // Budgets meter *all* simulated work, productive and wasted alike: a
+    // campaign that burns its step ceiling on doomed retries must stop
+    // just as surely as one that spends it productively.
     if let Some(limit) = supervisor.max_steps {
-        if result.steps >= limit {
-            return stop(BudgetKind::CampaignSteps, limit, result.steps);
+        let used = result.steps + result.wasted_steps;
+        if used >= limit {
+            return stop(BudgetKind::CampaignSteps, limit, used);
         }
     }
     if let Some(limit) = supervisor.max_executions {
-        if result.executions >= limit {
-            return stop(BudgetKind::CampaignExecutions, limit, result.executions);
+        let used = result.executions + result.wasted_execs;
+        if used >= limit {
+            return stop(BudgetKind::CampaignExecutions, limit, used);
         }
     }
     None
@@ -386,6 +419,8 @@ fn run_attempt(
             diff_bugs: Vec::new(),
             coverage: outcome.coverage.clone(),
             fault_pair: None,
+            wasted_steps: 0,
+            wasted_execs: 0,
         };
         if let Some(report) = &outcome.crash {
             record.crash = Some(BugSighting {
@@ -467,25 +502,49 @@ fn execute_round(
         diff_bugs: Vec::new(),
         coverage: jvmsim::CoverageMap::new(),
         fault_pair: None,
+        wasted_steps: 0,
+        wasted_execs: 0,
     };
     if quarantine.seed_blocked(&seed.name) {
         return skeleton(Disposition::Skipped);
     }
     let banned = quarantine.banned_mutators(&seed.name);
     let guidance = config.pool[round % config.pool.len()].clone();
-    let mut errors = Vec::new();
+    let mut errors: Vec<RoundFailure> = Vec::new();
+    // Work done by attempts that fault is "wasted": it never reaches the
+    // campaign totals through the record's productive fields, but it did
+    // burn simulated time, so it is measured via work-meter deltas (which
+    // advance even when the attempt dies by panic) and carried on the
+    // record. Both budgets and telemetry see it.
+    let mut wasted_steps = 0u64;
+    let mut wasted_execs = 0u64;
     for attempt in 0..=config.supervisor.max_retries {
         let rng_seed = round_rng_seed(config.rng_seed, round, attempt);
+        jtelemetry::flight_reset();
+        jtelemetry::flight(
+            jtelemetry::FlightKind::Round,
+            "attempt",
+            format!("round {round} attempt {attempt} seed {}", seed.name),
+        );
+        let (steps_before, execs_before) = jtelemetry::work::totals();
         match run_attempt(round, seed, &guidance, config, &banned, rng_seed) {
             Ok(mut record) => {
                 record.errors = errors;
+                record.wasted_steps = wasted_steps;
+                record.wasted_execs = wasted_execs;
                 return record;
             }
-            Err(error) => errors.push(RoundFailure {
-                round,
-                attempt,
-                error,
-            }),
+            Err(error) => {
+                let (steps_after, execs_after) = jtelemetry::work::totals();
+                wasted_steps += steps_after - steps_before;
+                wasted_execs += execs_after - execs_before;
+                errors.push(RoundFailure {
+                    round,
+                    attempt,
+                    error,
+                    flight: jtelemetry::flight_snapshot(),
+                });
+            }
         }
     }
     // Every attempt faulted: attribute the fault for quarantine purposes.
@@ -498,17 +557,36 @@ fn execute_round(
     let mut record = skeleton(Disposition::Errored);
     record.errors = errors;
     record.fault_pair = Some((seed.name.clone(), mutator));
+    record.wasted_steps = wasted_steps;
+    record.wasted_execs = wasted_execs;
     record
+}
+
+/// Publishes the campaign-level gauges from the current result state.
+fn update_gauges(result: &CampaignResult, rounds_done: usize, rounds_total: usize, corpus: usize) {
+    use jtelemetry::Gauge;
+    jtelemetry::gauge(Gauge::RoundsDone, rounds_done as f64);
+    jtelemetry::gauge(Gauge::RoundsTotal, rounds_total as f64);
+    jtelemetry::gauge(Gauge::CorpusSize, corpus as f64);
+    jtelemetry::gauge(Gauge::QuarantineCount, result.quarantined.len() as f64);
+    jtelemetry::gauge(Gauge::BugsFound, result.bugs.len() as f64);
+    jtelemetry::gauge(Gauge::ProductiveSteps, result.steps as f64);
+    jtelemetry::gauge(Gauge::WastedSteps, result.wasted_steps as f64);
+    jtelemetry::gauge(Gauge::ProductiveExecs, result.executions as f64);
+    jtelemetry::gauge(Gauge::WastedExecs, result.wasted_execs as f64);
 }
 
 /// The supervised campaign loop shared by [`crate::campaign::run_campaign`]
 /// and [`crate::campaign::resume_campaign`]: replay any checkpointed
-/// records, then execute (and journal) the remaining rounds.
+/// records, then execute (and journal) the remaining rounds. When an
+/// observer is attached it is notified after every live round (replayed
+/// rounds are not re-reported).
 pub(crate) fn run_supervised(
     seeds: &[Seed],
     config: &CampaignConfig,
     mut writer: Option<&mut JournalWriter>,
     replay: &[RoundRecord],
+    mut observer: Option<&mut dyn crate::campaign::CampaignObserver>,
 ) -> CampaignResult {
     let mut result = CampaignResult::default();
     let mut seen: HashSet<String> = HashSet::new();
@@ -519,6 +597,9 @@ pub(crate) fn run_supervised(
     let threshold = config.supervisor.quarantine_threshold;
     for record in replay {
         apply_record(&mut result, &mut seen, &mut quarantine, record, threshold);
+    }
+    if jtelemetry::enabled() {
+        update_gauges(&result, replay.len(), config.rounds, seeds.len());
     }
     for round in replay.len()..config.rounds {
         if let Some(stop) = budget_stop(&result, &config.supervisor, round) {
@@ -535,6 +616,12 @@ pub(crate) fn run_supervised(
             }
         }
         apply_record(&mut result, &mut seen, &mut quarantine, &record, threshold);
+        if jtelemetry::enabled() {
+            update_gauges(&result, round + 1, config.rounds, seeds.len());
+        }
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.round_finished(round, &result);
+        }
     }
     result
 }

@@ -142,6 +142,106 @@ fn campaign_mode_journals_and_resume_replays_identically() {
 }
 
 #[test]
+fn resume_with_larger_rounds_extends_a_finished_campaign() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_extend_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("campaign.jsonl");
+    let out = bin()
+        .args([
+            "--rounds",
+            "2",
+            "--iterations",
+            "6",
+            "--jdk",
+            "HotSpur-17,J9-17",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&journal).unwrap().lines().count(),
+        3,
+        "header + 2 rounds"
+    );
+
+    // The campaign is finished; --resume alone would replay and stop.
+    // With a larger --rounds it extends to the new total.
+    let out = bin()
+        .args(["--resume", journal.to_str().unwrap(), "--rounds", "5"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("extending to 5 total round(s)"), "{stdout}");
+    assert!(stdout.contains("5 round(s) completed"), "{stdout}");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(text.lines().count(), 6, "header + 5 rounds");
+    // The rewritten header carries the extended total, so a further plain
+    // resume does not shrink the campaign back.
+    assert!(
+        text.lines().next().unwrap().contains("\"rounds\":5"),
+        "{text}"
+    );
+
+    // Shrinking below the journaled rounds is refused.
+    let out = bin()
+        .args(["--resume", journal.to_str().unwrap(), "--rounds", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot shrink"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_out_writes_valid_snapshots_and_prometheus() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+    let out = bin()
+        .args([
+            "--rounds",
+            "3",
+            "--iterations",
+            "6",
+            "--jdk",
+            "HotSpur-17,J9-17",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // End-of-campaign human report on stdout.
+    assert!(stdout.contains("== telemetry report =="), "{stdout}");
+    assert!(stdout.contains("top phases by time:"), "{stdout}");
+
+    // One snapshot per round plus the final flush, every line valid.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert_eq!(text.lines().count(), 4, "{text}");
+    for line in text.lines() {
+        jtelemetry::schema::validate_snapshot_line(line).expect("snapshot line valid");
+    }
+    let prom = std::fs::read_to_string(dir.join("metrics.jsonl.prom")).expect("prom written");
+    jtelemetry::schema::validate_prometheus(&prom).expect("prometheus page valid");
+    assert!(prom.contains("mop_rounds_ok 3"), "{prom}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn campaign_budget_flag_stops_early() {
     let out = bin()
         .args(["--rounds", "50", "--iterations", "5", "--max-execs", "1"])

@@ -73,6 +73,7 @@ pub fn compile_method_ast(
     }
     // Fall-through return (void methods and defensive default).
     c.emit(Instr::Return);
+    jtelemetry::count(jtelemetry::Counter::MethodsLowered, 1);
     Ok(Code {
         instrs: c.instrs,
         n_locals: c.next_slot,

@@ -158,6 +158,8 @@ pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
             }
         }
     }
+    jtelemetry::count(jtelemetry::Counter::InterpRuns, 1);
+    jtelemetry::count(jtelemetry::Counter::InterpSteps, machine.stats.steps);
     Outcome {
         output: machine.output,
         error,

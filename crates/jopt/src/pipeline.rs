@@ -259,6 +259,11 @@ pub fn optimize(
 }
 
 fn run_phase(phase: PhaseId, method: &mut mjava::Method, class: &mjava::Class, cx: &mut OptCx) {
+    let _span = jtelemetry::span(
+        jtelemetry::FlightKind::Phase,
+        phase.name(),
+        &cx.method_label,
+    );
     match phase {
         PhaseId::Inline => phases::inline::run(method, class, cx),
         PhaseId::Escape => phases::escape::run(method, class, cx),

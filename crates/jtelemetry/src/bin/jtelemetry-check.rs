@@ -1,0 +1,90 @@
+//! `jtelemetry-check` — CI schema gate for telemetry exports.
+//!
+//! Usage:
+//!
+//! ```text
+//! jtelemetry-check --jsonl metrics.jsonl --prom metrics.prom
+//! ```
+//!
+//! Validates every line of the JSONL snapshot stream and the Prometheus
+//! text page against the current schema, exiting non-zero (with the first
+//! offending line) on any drift. Either flag may be given alone.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: jtelemetry-check [--jsonl FILE] [--prom FILE]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut jsonl: Option<String> = None;
+    let mut prom: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jsonl" => match args.next() {
+                Some(path) => jsonl = Some(path),
+                None => return usage(),
+            },
+            "--prom" => match args.next() {
+                Some(path) => prom = Some(path),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: jtelemetry-check [--jsonl FILE] [--prom FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("jtelemetry-check: unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    if jsonl.is_none() && prom.is_none() {
+        return usage();
+    }
+
+    if let Some(path) = jsonl {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("jtelemetry-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut lines = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = jtelemetry::schema::validate_snapshot_line(line) {
+                eprintln!("jtelemetry-check: {path}:{}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+            lines += 1;
+        }
+        if lines == 0 {
+            eprintln!("jtelemetry-check: {path}: no snapshot lines found");
+            return ExitCode::FAILURE;
+        }
+        println!("jtelemetry-check: {path}: {lines} snapshot line(s) OK");
+    }
+
+    if let Some(path) = prom {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("jtelemetry-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = jtelemetry::schema::validate_prometheus(&text) {
+            eprintln!("jtelemetry-check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("jtelemetry-check: {path}: prometheus page OK");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! Time sources for span timing.
+//!
+//! All span durations flow through the [`Clock`] trait so tests can swap
+//! the host monotonic clock for a [`ManualClock`] and obtain bit-identical
+//! histograms. The flight recorder deliberately does *not* use this clock:
+//! its event timestamps are simulated time (interpreter steps from
+//! [`crate::work`]), which is deterministic by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+pub trait Clock {
+    /// Nanoseconds since an arbitrary (fixed) origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The host's monotonic clock, origin at construction.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock starting at zero now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests. Cloning yields a handle
+/// to the same underlying time, so a test can keep one handle to advance
+/// while the telemetry session owns the other.
+#[derive(Clone, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock stuck at zero until advanced.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Moves time forward.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_shared_between_handles() {
+        let c = ManualClock::new();
+        let handle = c.clone();
+        assert_eq!(c.now_nanos(), 0);
+        handle.advance(250);
+        assert_eq!(c.now_nanos(), 250);
+    }
+}

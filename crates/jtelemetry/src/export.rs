@@ -1,0 +1,355 @@
+//! Export surfaces for a [`MetricsSnapshot`]: JSONL lines for machine
+//! consumption, a Prometheus-style text page, a human end-of-campaign
+//! report, and a one-line live status for TTYs.
+//!
+//! Everything is hand-rolled text generation (no serde); the companion
+//! [`crate::schema`] module re-parses and validates both machine formats
+//! so CI catches drift between writer and reader.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Prefix shared by every Prometheus metric family we emit.
+pub const PROM_PREFIX: &str = "mop_";
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` as a valid JSON number (non-finite values become 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders one newline-free JSONL snapshot line:
+///
+/// ```json
+/// {"type":"telemetry","version":1,"elapsed_nanos":..,"counters":{..},
+///  "gauges":{..},"spans":[..],"mutators":[..]}
+/// ```
+pub fn jsonl_line(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"type\":\"telemetry\",\"version\":");
+    out.push_str(&snap.schema_version.to_string());
+    out.push_str(",\"elapsed_nanos\":");
+    out.push_str(&snap.elapsed_nanos.to_string());
+    out.push_str(",\"counters\":{");
+    for (i, (key, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json(key, &mut out);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (key, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json(key, &mut out);
+        out.push(':');
+        out.push_str(&json_f64(*value));
+    }
+    out.push_str("},\"spans\":[");
+    for (i, span) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_json(&span.name, &mut out);
+        out.push_str(&format!(
+            ",\"count\":{},\"total_nanos\":{},\"max_nanos\":{},\"buckets\":[",
+            span.count, span.total_nanos, span.max_nanos
+        ));
+        for (j, b) in span.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"mutators\":[");
+    for (i, m) in snap.mutators.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_json(&m.name, &mut out);
+        out.push_str(&format!(
+            ",\"applies\":{},\"accepted\":{},\"rejected\":{},\"yield_sum\":{}",
+            m.applies,
+            m.accepted,
+            m.rejected,
+            json_f64(m.yield_sum)
+        ));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn prom_escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders the full Prometheus-style text page: one `# TYPE` line per
+/// family, `mop_`-prefixed names, span/mutator stats as labelled series.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "# TYPE {p}schema_version gauge\n{p}schema_version {}\n",
+        snap.schema_version,
+        p = PROM_PREFIX
+    ));
+    out.push_str(&format!(
+        "# TYPE {p}elapsed_nanos gauge\n{p}elapsed_nanos {}\n",
+        snap.elapsed_nanos,
+        p = PROM_PREFIX
+    ));
+    for (key, value) in &snap.counters {
+        out.push_str(&format!(
+            "# TYPE {p}{key} counter\n{p}{key} {value}\n",
+            p = PROM_PREFIX
+        ));
+    }
+    for (key, value) in &snap.gauges {
+        out.push_str(&format!(
+            "# TYPE {p}{key} gauge\n{p}{key} {}\n",
+            json_f64(*value),
+            p = PROM_PREFIX
+        ));
+    }
+    for (family, typ) in [
+        ("span_count", "counter"),
+        ("span_total_nanos", "counter"),
+        ("span_max_nanos", "gauge"),
+    ] {
+        out.push_str(&format!("# TYPE {PROM_PREFIX}{family} {typ}\n"));
+        for span in &snap.spans {
+            let value = match family {
+                "span_count" => span.count,
+                "span_total_nanos" => span.total_nanos,
+                _ => span.max_nanos,
+            };
+            out.push_str(&format!(
+                "{PROM_PREFIX}{family}{{span=\"{}\"}} {value}\n",
+                prom_escape_label(&span.name)
+            ));
+        }
+    }
+    for family in ["mutator_applies", "mutator_accepted", "mutator_rejected"] {
+        out.push_str(&format!("# TYPE {PROM_PREFIX}{family} counter\n"));
+        for m in &snap.mutators {
+            let value = match family {
+                "mutator_applies" => m.applies,
+                "mutator_accepted" => m.accepted,
+                _ => m.rejected,
+            };
+            out.push_str(&format!(
+                "{PROM_PREFIX}{family}{{mutator=\"{}\"}} {value}\n",
+                prom_escape_label(&m.name)
+            ));
+        }
+    }
+    out.push_str(&format!("# TYPE {PROM_PREFIX}mutator_yield_sum gauge\n"));
+    for m in &snap.mutators {
+        out.push_str(&format!(
+            "{PROM_PREFIX}mutator_yield_sum{{mutator=\"{}\"}} {}\n",
+            prom_escape_label(&m.name),
+            json_f64(m.yield_sum)
+        ));
+    }
+    out
+}
+
+fn fmt_duration(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Renders the human-readable end-of-campaign report: headline counters,
+/// top spans by total time, top mutators by yield, waste accounting.
+pub fn human_report(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("== telemetry report ==\n");
+    out.push_str(&format!(
+        "elapsed {}  |  {:.2} rounds/s\n",
+        fmt_duration(snap.elapsed_nanos),
+        snap.rounds_per_sec()
+    ));
+    out.push_str(&format!(
+        "rounds: {} done / {} total ({} ok, {} errored, {} skipped, {} retried attempts)\n",
+        snap.gauge("rounds_done"),
+        snap.gauge("rounds_total"),
+        snap.counter("rounds_ok"),
+        snap.counter("rounds_errored"),
+        snap.counter("rounds_skipped"),
+        snap.counter("retried_attempts"),
+    ));
+    out.push_str(&format!(
+        "work: {} productive steps, {} wasted steps ({} productive execs, {} wasted execs)\n",
+        snap.gauge("productive_steps"),
+        snap.gauge("wasted_steps"),
+        snap.gauge("productive_execs"),
+        snap.gauge("wasted_execs"),
+    ));
+    out.push_str(&format!(
+        "vm: {} executions ({} crashes, {} build failures, {} miscompiles)  interp: {} runs / {} steps\n",
+        snap.counter("vm_executions"),
+        snap.counter("vm_crashes"),
+        snap.counter("vm_build_failures"),
+        snap.counter("vm_miscompiles"),
+        snap.counter("interp_runs"),
+        snap.counter("interp_steps"),
+    ));
+    out.push_str(&format!(
+        "oracle: {} pass, {} crash, {} miscompile, {} inconclusive  |  bugs found: {}\n",
+        snap.counter("oracle_pass"),
+        snap.counter("oracle_crash"),
+        snap.counter("oracle_miscompile"),
+        snap.counter("oracle_inconclusive"),
+        snap.gauge("bugs_found"),
+    ));
+
+    let mut spans = snap.spans.clone();
+    spans.sort_by(|a, b| b.total_nanos.cmp(&a.total_nanos).then(a.name.cmp(&b.name)));
+    out.push_str("top phases by time:\n");
+    if spans.is_empty() {
+        out.push_str("  (no spans recorded)\n");
+    }
+    for span in spans.iter().take(8) {
+        let mean = span.total_nanos.checked_div(span.count).unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<20} {:>10} x{:<8} mean {:>9}  max {:>9}\n",
+            span.name,
+            fmt_duration(span.total_nanos),
+            span.count,
+            fmt_duration(mean),
+            fmt_duration(span.max_nanos),
+        ));
+    }
+
+    let mut mutators = snap.mutators.clone();
+    mutators.sort_by(|a, b| {
+        b.yield_sum
+            .partial_cmp(&a.yield_sum)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.name.cmp(&b.name))
+    });
+    out.push_str("top mutators by yield:\n");
+    if mutators.is_empty() {
+        out.push_str("  (no mutator activity recorded)\n");
+    }
+    for m in mutators.iter().take(8) {
+        out.push_str(&format!(
+            "  {:<20} yield {:>8.2}  accepted {}/{} (rejected {})\n",
+            m.name, m.yield_sum, m.accepted, m.applies, m.rejected
+        ));
+    }
+    out
+}
+
+/// Renders the single-line live status shown on a TTY (carriage-return
+/// overwritten, no trailing newline).
+pub fn status_line(snap: &MetricsSnapshot) -> String {
+    format!(
+        "[mop] round {}/{} | {:.1} r/s | corpus {} | bugs {} | quarantine {} | retries {}",
+        snap.gauge("rounds_done") as u64,
+        snap.gauge("rounds_total") as u64,
+        snap.rounds_per_sec(),
+        snap.gauge("corpus_size") as u64,
+        snap.gauge("bugs_found") as u64,
+        snap.gauge("quarantine_count") as u64,
+        snap.counter("retried_attempts"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, FlightKind, Gauge, ManualClock, Session};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let clock = ManualClock::new();
+        crate::install(Session::with_clock(Box::new(clock.clone())));
+        crate::count(Counter::VmExecutions, 40);
+        crate::count(Counter::OraclePass, 19);
+        crate::gauge(Gauge::RoundsDone, 20.0);
+        crate::gauge(Gauge::RoundsTotal, 20.0);
+        crate::gauge(Gauge::CorpusSize, 7.0);
+        crate::mutator_outcome("Inlining", true, 3.5);
+        crate::mutator_outcome("LoopPeel\"q\"", false, 0.0);
+        {
+            let _g = crate::span(FlightKind::Phase, "inline", "T::main");
+            clock.advance(2_000);
+        }
+        clock.advance(1_000_000_000);
+        crate::take().expect("session installed").snapshot()
+    }
+
+    #[test]
+    fn jsonl_line_is_single_line_and_validates() {
+        let line = jsonl_line(&sample_snapshot());
+        assert!(!line.contains('\n'));
+        crate::schema::validate_snapshot_line(&line).expect("line validates");
+    }
+
+    #[test]
+    fn prometheus_page_validates_and_contains_families() {
+        let page = prometheus(&sample_snapshot());
+        crate::schema::validate_prometheus(&page).expect("page validates");
+        assert!(page.contains("# TYPE mop_vm_executions counter"));
+        assert!(page.contains("mop_vm_executions 40"));
+        assert!(page.contains("mop_span_total_nanos{span=\"inline\"} 2000"));
+        assert!(page.contains("mop_mutator_applies{mutator=\"LoopPeel\\\"q\\\"\"} 1"));
+    }
+
+    #[test]
+    fn human_report_names_top_phase_and_mutator() {
+        let report = human_report(&sample_snapshot());
+        assert!(report.contains("inline"));
+        assert!(report.contains("Inlining"));
+        assert!(report.contains("rounds: 20 done / 20 total"));
+    }
+
+    #[test]
+    fn status_line_is_single_line() {
+        let line = status_line(&sample_snapshot());
+        assert!(!line.contains('\n'));
+        assert!(line.contains("round 20/20"));
+        assert!(line.contains("corpus 7"));
+    }
+
+    #[test]
+    fn json_f64_handles_non_finite() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

@@ -1,0 +1,403 @@
+//! # jtelemetry — observability for the whole fuzzing stack
+//!
+//! A hand-rolled (dependency-free) span/counter library threaded through
+//! every layer of the reproduction:
+//!
+//! * [`Counter`]s and [`Gauge`]s — interpreter/compile counters from
+//!   `jexec`, execution/verdict counters from `jvmsim` and the oracles,
+//!   campaign-level gauges;
+//! * [`span`]s — per-phase timing histograms for `jopt`'s optimizer
+//!   phases (and VM executions), timed by a [`Clock`] that tests replace
+//!   with a [`ManualClock`] for deterministic histograms;
+//! * a [`FlightRecorder`] — a bounded ring buffer of the most recent
+//!   events, dumped by the campaign supervisor into the journal when a
+//!   round faults, so a quarantined round is diagnosable after the fact;
+//! * exporters — JSONL snapshots, a Prometheus-style text format, a
+//!   human-readable end-of-campaign report, and a one-line TTY status
+//!   (see [`export`] and [`MetricsSnapshot`]).
+//!
+//! ## Sessions and overhead
+//!
+//! All state lives in a **thread-local [`Session`]**. Instrumentation
+//! call sites first read a thread-local `Cell<bool>`; with no session
+//! installed (the default) every hook is a branch on that cell and
+//! nothing else — campaigns without telemetry pay effectively nothing.
+//! Per-thread state also keeps concurrent campaigns (tests run many in
+//! parallel) perfectly isolated and deterministic.
+//!
+//! The one exception is the [`work`] meter: two plain `Cell<u64>`
+//! counters of simulated work (interpreter steps, JVM executions) that
+//! are *always* on, because the campaign supervisor uses their deltas to
+//! split productive from wasted (retried) work even when an attempt dies
+//! by panic. One `Cell` add per completed VM execution is noise.
+//!
+//! ```
+//! use jtelemetry::{Counter, ManualClock, Session};
+//!
+//! let clock = ManualClock::new();
+//! jtelemetry::install(Session::with_clock(Box::new(clock.clone())));
+//! jtelemetry::count(Counter::VmExecutions, 2);
+//! {
+//!     let _span = jtelemetry::span(jtelemetry::FlightKind::Phase, "inline", "T::main");
+//!     clock.advance(1_000);
+//! }
+//! let snap = jtelemetry::take().unwrap().snapshot();
+//! assert_eq!(snap.counter("vm_executions"), 2);
+//! assert_eq!(snap.spans[0].total_nanos, 1_000);
+//! ```
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod schema;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{
+    Counter, Gauge, MetricsSnapshot, MutatorStat, SpanStat, HIST_BUCKETS, SCHEMA_VERSION,
+};
+pub use recorder::{FlightEvent, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+
+use std::cell::{Cell, RefCell};
+
+/// One thread's telemetry accumulator. Install with [`install`], retrieve
+/// (for final export) with [`take`].
+pub struct Session {
+    clock: Box<dyn Clock>,
+    started_nanos: u64,
+    counters: [u64; Counter::ALL.len()],
+    gauges: [f64; Gauge::ALL.len()],
+    spans: Vec<SpanStat>,
+    mutators: Vec<MutatorStat>,
+    recorder: FlightRecorder,
+}
+
+impl Session {
+    /// A session timed by the host monotonic clock.
+    pub fn new() -> Session {
+        Session::with_clock(Box::new(MonotonicClock::new()))
+    }
+
+    /// A session with an explicit clock (tests pass a [`ManualClock`]).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Session {
+        let started_nanos = clock.now_nanos();
+        Session {
+            clock,
+            started_nanos,
+            counters: [0; Counter::ALL.len()],
+            gauges: [0.0; Gauge::ALL.len()],
+            spans: Vec::new(),
+            mutators: Vec::new(),
+            recorder: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
+        }
+    }
+
+    /// Overrides the flight-recorder capacity.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Session {
+        self.recorder = FlightRecorder::new(capacity);
+        self
+    }
+
+    fn span_stat(&mut self, name: &str) -> &mut SpanStat {
+        if let Some(i) = self.spans.iter().position(|s| s.name == name) {
+            return &mut self.spans[i];
+        }
+        self.spans.push(SpanStat::new(name));
+        self.spans.last_mut().expect("just pushed")
+    }
+
+    fn mutator_stat(&mut self, name: &str) -> &mut MutatorStat {
+        if let Some(i) = self.mutators.iter().position(|m| m.name == name) {
+            return &mut self.mutators[i];
+        }
+        self.mutators.push(MutatorStat::new(name));
+        self.mutators.last_mut().expect("just pushed")
+    }
+
+    /// Freezes the session into an exportable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            elapsed_nanos: self.clock.now_nanos().saturating_sub(self.started_nanos),
+            counters: Counter::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.key(), self.counters[i]))
+                .collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (g.key(), self.gauges[i]))
+                .collect(),
+            spans: self.spans.clone(),
+            mutators: self.mutators.clone(),
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SESSION: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// Installs a session on this thread, enabling all instrumentation hooks.
+/// Replaces (and drops) any previously installed session.
+pub fn install(session: Session) {
+    SESSION.with(|s| *s.borrow_mut() = Some(session));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Removes and returns this thread's session, disabling instrumentation.
+pub fn take() -> Option<Session> {
+    ENABLED.with(|e| e.set(false));
+    SESSION.with(|s| s.borrow_mut().take())
+}
+
+/// True when a session is installed on this thread.
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+fn with_session(f: impl FnOnce(&mut Session)) {
+    if !enabled() {
+        return;
+    }
+    SESSION.with(|s| {
+        if let Some(session) = s.borrow_mut().as_mut() {
+            f(session);
+        }
+    });
+}
+
+/// Adds `n` to a counter.
+pub fn count(counter: Counter, n: u64) {
+    with_session(|s| {
+        let i = Counter::ALL
+            .iter()
+            .position(|c| *c == counter)
+            .expect("counter listed in ALL");
+        s.counters[i] += n;
+    });
+}
+
+/// Sets a gauge.
+pub fn gauge(gauge: Gauge, value: f64) {
+    with_session(|s| {
+        let i = Gauge::ALL
+            .iter()
+            .position(|g| *g == gauge)
+            .expect("gauge listed in ALL");
+        s.gauges[i] = value;
+    });
+}
+
+/// Records one accept/reject outcome for a mutator. `delta` is the
+/// behaviour increment of accepted children (ignored for rejects).
+pub fn mutator_outcome(name: &str, accepted: bool, delta: f64) {
+    with_session(|s| {
+        let stat = s.mutator_stat(name);
+        stat.applies += 1;
+        if accepted {
+            stat.accepted += 1;
+            stat.yield_sum += delta;
+        } else {
+            stat.rejected += 1;
+        }
+    });
+}
+
+/// Appends one flight-recorder event (timestamped in simulated steps).
+pub fn flight(kind: FlightKind, label: impl Into<String>, detail: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let now = work::totals().0;
+    with_session(|s| s.recorder.push(now, kind, label.into(), detail.into()));
+}
+
+/// Clears the flight recorder and re-bases its timestamps — the campaign
+/// supervisor calls this at the start of every round attempt.
+pub fn flight_reset() {
+    if !enabled() {
+        return;
+    }
+    let now = work::totals().0;
+    with_session(|s| s.recorder.reset(now));
+}
+
+/// The current flight-recorder contents (empty when disabled).
+pub fn flight_snapshot() -> Vec<FlightEvent> {
+    let mut out = Vec::new();
+    with_session(|s| out = s.recorder.snapshot());
+    out
+}
+
+/// A snapshot of this thread's session, if one is installed.
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    let mut out = None;
+    with_session(|s| out = Some(s.snapshot()));
+    out
+}
+
+/// An RAII span: records a flight event on entry and a duration into the
+/// named timing histogram on drop (including drops during panic unwind).
+pub struct SpanGuard {
+    name: &'static str,
+    start_nanos: u64,
+    live: bool,
+}
+
+/// Opens a span. Inert (a single branch) when telemetry is disabled.
+pub fn span(kind: FlightKind, name: &'static str, detail: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            start_nanos: 0,
+            live: false,
+        };
+    }
+    let now_steps = work::totals().0;
+    let mut start_nanos = 0;
+    with_session(|s| {
+        s.recorder
+            .push(now_steps, kind, name.to_string(), detail.to_string());
+        start_nanos = s.clock.now_nanos();
+    });
+    SpanGuard {
+        name,
+        start_nanos,
+        live: true,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        with_session(|s| {
+            let elapsed = s.clock.now_nanos().saturating_sub(self.start_nanos);
+            s.span_stat(self.name).record(elapsed);
+        });
+    }
+}
+
+/// The always-on simulated-work meter: cumulative interpreter steps and
+/// JVM executions completed on this thread. Monotonic, never reset —
+/// consumers take deltas. Deterministic because it advances only on
+/// completed executions (a function of the campaign configuration), never
+/// on wall-clock time.
+pub mod work {
+    use std::cell::Cell;
+
+    thread_local! {
+        static STEPS: Cell<u64> = const { Cell::new(0) };
+        static EXECS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Credits one completed execution's work.
+    pub fn add(steps: u64, execs: u64) {
+        STEPS.with(|s| s.set(s.get() + steps));
+        EXECS.with(|e| e.set(e.get() + execs));
+    }
+
+    /// Cumulative `(steps, execs)` for this thread.
+    pub fn totals() -> (u64, u64) {
+        (STEPS.with(Cell::get), EXECS.with(Cell::get))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hooks_are_inert() {
+        assert!(take().is_none());
+        count(Counter::VmExecutions, 5);
+        gauge(Gauge::BugsFound, 1.0);
+        mutator_outcome("Inlining", true, 1.0);
+        flight(FlightKind::Vm, "vm", "x");
+        drop(span(FlightKind::Phase, "inline", "T::main"));
+        assert!(snapshot().is_none());
+        assert!(flight_snapshot().is_empty());
+    }
+
+    #[test]
+    fn session_accumulates_and_take_disables() {
+        let clock = ManualClock::new();
+        install(Session::with_clock(Box::new(clock.clone())));
+        assert!(enabled());
+        count(Counter::MutationsApplied, 3);
+        count(Counter::MutationsApplied, 2);
+        gauge(Gauge::CorpusSize, 10.0);
+        mutator_outcome("Inlining", true, 2.5);
+        mutator_outcome("Inlining", false, 0.0);
+        {
+            let _g = span(FlightKind::Phase, "inline", "T::main");
+            clock.advance(500);
+        }
+        {
+            let _g = span(FlightKind::Phase, "inline", "T::other");
+            clock.advance(300);
+        }
+        let session = take().expect("installed above");
+        assert!(!enabled());
+        let snap = session.snapshot();
+        assert_eq!(snap.counter("mutations_applied"), 5);
+        assert_eq!(snap.gauge("corpus_size"), 10.0);
+        let inline = snap.spans.iter().find(|s| s.name == "inline").unwrap();
+        assert_eq!(inline.count, 2);
+        assert_eq!(inline.total_nanos, 800);
+        assert_eq!(inline.max_nanos, 500);
+        let m = &snap.mutators[0];
+        assert_eq!((m.applies, m.accepted, m.rejected), (2, 1, 1));
+        assert!((m.yield_sum - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_guard_records_on_panic_unwind() {
+        let clock = ManualClock::new();
+        install(Session::with_clock(Box::new(clock.clone())));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = span(FlightKind::Phase, "ideal_loop", "T::main");
+            clock.advance(250);
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        let snap = take().unwrap().snapshot();
+        let s = snap.spans.iter().find(|s| s.name == "ideal_loop").unwrap();
+        assert_eq!((s.count, s.total_nanos), (1, 250));
+    }
+
+    #[test]
+    fn flight_reset_and_snapshot_track_the_recorder() {
+        install(Session::new());
+        flight(FlightKind::Round, "attempt", "round 0");
+        flight(FlightKind::Mutator, "Inlining", "iteration 1");
+        assert_eq!(flight_snapshot().len(), 2);
+        flight_reset();
+        assert!(flight_snapshot().is_empty());
+        flight(FlightKind::Vm, "HotSpur-17", "");
+        let snap = flight_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].label, "HotSpur-17");
+        take();
+    }
+
+    #[test]
+    fn work_meter_is_cumulative() {
+        let (s0, e0) = work::totals();
+        work::add(100, 1);
+        work::add(50, 2);
+        let (s1, e1) = work::totals();
+        assert_eq!(s1 - s0, 150);
+        assert_eq!(e1 - e0, 3);
+    }
+}

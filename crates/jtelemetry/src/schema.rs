@@ -1,0 +1,531 @@
+//! Schema validation for the two machine-readable export formats.
+//!
+//! CI runs a short campaign with `--metrics-out`, then feeds the outputs
+//! to `jtelemetry-check`, which calls [`validate_snapshot_line`] and
+//! [`validate_prometheus`]. Validation is strict — unknown counter/gauge
+//! keys, missing families, or a version bump without a schema update all
+//! fail — so writer/reader drift is caught the moment it is introduced.
+//!
+//! The JSON parser below is a deliberately small hand-rolled subset
+//! (objects, arrays, strings, numbers, bools, null): the workspace is
+//! dependency-free by construction.
+
+use crate::export::PROM_PREFIX;
+use crate::metrics::{Counter, Gauge, HIST_BUCKETS, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (numbers kept as `f64`; all inputs we emit are in
+/// exact-integer range or explicitly floating point).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after value"));
+    }
+    Ok(value)
+}
+
+fn want<'a>(obj: &'a Json, key: &str, typ: &str) -> Result<&'a Json, String> {
+    let v = obj.get(key).ok_or_else(|| format!("missing key '{key}'"))?;
+    if v.type_name() != typ {
+        return Err(format!(
+            "key '{key}': expected {typ}, got {}",
+            v.type_name()
+        ));
+    }
+    Ok(v)
+}
+
+fn want_num(obj: &Json, key: &str) -> Result<f64, String> {
+    match want(obj, key, "number")? {
+        Json::Num(n) => Ok(*n),
+        _ => unreachable!(),
+    }
+}
+
+fn check_key_set(obj: &Json, what: &str, expected: &[&str]) -> Result<(), String> {
+    let map = match obj {
+        Json::Obj(map) => map,
+        _ => return Err(format!("{what}: expected object")),
+    };
+    for key in expected {
+        if !map.contains_key(*key) {
+            return Err(format!("{what}: missing key '{key}'"));
+        }
+    }
+    for key in map.keys() {
+        if !expected.contains(&key.as_str()) {
+            return Err(format!("{what}: unknown key '{key}' (schema drift?)"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates one JSONL telemetry snapshot line against the current
+/// schema. Strict: unknown counters/gauges or missing fields fail.
+pub fn validate_snapshot_line(line: &str) -> Result<(), String> {
+    let root = parse_json(line)?;
+    match want(&root, "type", "string")? {
+        Json::Str(s) if s == "telemetry" => {}
+        other => return Err(format!("type: expected \"telemetry\", got {other:?}")),
+    }
+    let version = want_num(&root, "version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "version: expected {SCHEMA_VERSION}, got {version} (schema drift?)"
+        ));
+    }
+    want_num(&root, "elapsed_nanos")?;
+
+    let counter_keys: Vec<&str> = Counter::ALL.iter().map(Counter::key).collect();
+    check_key_set(
+        want(&root, "counters", "object")?,
+        "counters",
+        &counter_keys,
+    )?;
+    for key in &counter_keys {
+        want_num(root.get("counters").expect("checked"), key)?;
+    }
+    let gauge_keys: Vec<&str> = Gauge::ALL.iter().map(Gauge::key).collect();
+    check_key_set(want(&root, "gauges", "object")?, "gauges", &gauge_keys)?;
+    for key in &gauge_keys {
+        want_num(root.get("gauges").expect("checked"), key)?;
+    }
+
+    let spans = match want(&root, "spans", "array")? {
+        Json::Arr(items) => items,
+        _ => unreachable!(),
+    };
+    for (i, span) in spans.iter().enumerate() {
+        check_key_set(
+            span,
+            &format!("spans[{i}]"),
+            &["name", "count", "total_nanos", "max_nanos", "buckets"],
+        )?;
+        want(span, "name", "string")?;
+        want_num(span, "count")?;
+        want_num(span, "total_nanos")?;
+        want_num(span, "max_nanos")?;
+        match want(span, "buckets", "array")? {
+            Json::Arr(buckets) if buckets.len() == HIST_BUCKETS => {
+                for b in buckets {
+                    if !matches!(b, Json::Num(_)) {
+                        return Err(format!("spans[{i}]: non-numeric bucket"));
+                    }
+                }
+            }
+            Json::Arr(buckets) => {
+                return Err(format!(
+                    "spans[{i}]: expected {HIST_BUCKETS} buckets, got {}",
+                    buckets.len()
+                ))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    let mutators = match want(&root, "mutators", "array")? {
+        Json::Arr(items) => items,
+        _ => unreachable!(),
+    };
+    for (i, m) in mutators.iter().enumerate() {
+        check_key_set(
+            m,
+            &format!("mutators[{i}]"),
+            &["name", "applies", "accepted", "rejected", "yield_sum"],
+        )?;
+        want(m, "name", "string")?;
+        for key in ["applies", "accepted", "rejected", "yield_sum"] {
+            want_num(m, key)?;
+        }
+    }
+
+    check_key_set(
+        &root,
+        "snapshot",
+        &[
+            "type",
+            "version",
+            "elapsed_nanos",
+            "counters",
+            "gauges",
+            "spans",
+            "mutators",
+        ],
+    )
+}
+
+/// Validates a Prometheus-style text page: every sample belongs to a
+/// declared `# TYPE` family, every name carries the `mop_` prefix, all
+/// expected families are present, and `mop_schema_version` matches.
+pub fn validate_prometheus(page: &str) -> Result<(), String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    let mut schema_version: Option<f64> = None;
+
+    for (lineno, line) in page.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("prometheus line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| at("missing family name".to_string()))?;
+            let typ = parts
+                .next()
+                .ok_or_else(|| at("missing family type".to_string()))?;
+            if !matches!(typ, "counter" | "gauge") {
+                return Err(at(format!("bad family type '{typ}'")));
+            }
+            if !name.starts_with(PROM_PREFIX) {
+                return Err(at(format!("family '{name}' lacks {PROM_PREFIX} prefix")));
+            }
+            declared.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are fine
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find(' ') {
+            Some(space) => (&line[..space], line[space + 1..].trim()),
+            None => return Err(at("sample line has no value".to_string())),
+        };
+        let family = match name_part.find('{') {
+            Some(brace) => {
+                if !name_part.ends_with('}') {
+                    return Err(at("unterminated label set".to_string()));
+                }
+                &name_part[..brace]
+            }
+            None => name_part,
+        };
+        if !family.starts_with(PROM_PREFIX) {
+            return Err(at(format!("sample '{family}' lacks {PROM_PREFIX} prefix")));
+        }
+        if !declared.iter().any(|d| d == family) {
+            return Err(at(format!("sample '{family}' has no # TYPE declaration")));
+        }
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| at(format!("bad sample value '{value_part}'")))?;
+        if family == format!("{PROM_PREFIX}schema_version") {
+            schema_version = Some(value);
+        }
+        sampled.push(family.to_string());
+    }
+
+    let mut expected: Vec<String> = vec![
+        format!("{PROM_PREFIX}schema_version"),
+        format!("{PROM_PREFIX}elapsed_nanos"),
+    ];
+    expected.extend(
+        Counter::ALL
+            .iter()
+            .map(|c| format!("{PROM_PREFIX}{}", c.key())),
+    );
+    expected.extend(
+        Gauge::ALL
+            .iter()
+            .map(|g| format!("{PROM_PREFIX}{}", g.key())),
+    );
+    for family in &expected {
+        if !sampled.iter().any(|s| s == family) {
+            return Err(format!(
+                "prometheus page: missing expected family '{family}' (schema drift?)"
+            ));
+        }
+    }
+    match schema_version {
+        Some(v) if v == SCHEMA_VERSION as f64 => Ok(()),
+        Some(v) => Err(format!(
+            "prometheus page: schema_version {v} != {SCHEMA_VERSION}"
+        )),
+        None => Err("prometheus page: no mop_schema_version sample".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_basic_values() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x\"y","c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Json::Str("x\"y".to_string())));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        match v.get("a") {
+            Some(Json::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{}extra").is_err());
+        assert!(parse_json("tru").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_wrong_version() {
+        let snap = crate::metrics::MetricsSnapshot {
+            schema_version: SCHEMA_VERSION + 1,
+            elapsed_nanos: 0,
+            counters: Counter::ALL.iter().map(|c| (c.key(), 0)).collect(),
+            gauges: Gauge::ALL.iter().map(|g| (g.key(), 0.0)).collect(),
+            spans: Vec::new(),
+            mutators: Vec::new(),
+        };
+        let line = crate::export::jsonl_line(&snap);
+        let err = validate_snapshot_line(&line).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_counter() {
+        let snap = crate::metrics::MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            elapsed_nanos: 0,
+            counters: Counter::ALL.iter().skip(1).map(|c| (c.key(), 0)).collect(),
+            gauges: Gauge::ALL.iter().map(|g| (g.key(), 0.0)).collect(),
+            spans: Vec::new(),
+            mutators: Vec::new(),
+        };
+        let line = crate::export::jsonl_line(&snap);
+        let err = validate_snapshot_line(&line).unwrap_err();
+        assert!(err.contains("missing key"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_undeclared_sample() {
+        let page = "mop_rogue 1\n";
+        let err = validate_prometheus(page).unwrap_err();
+        assert!(err.contains("no # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_validator_requires_all_families() {
+        let page = format!(
+            "# TYPE {p}schema_version gauge\n{p}schema_version {v}\n",
+            p = PROM_PREFIX,
+            v = SCHEMA_VERSION
+        );
+        let err = validate_prometheus(&page).unwrap_err();
+        assert!(err.contains("missing expected family"), "{err}");
+    }
+}

@@ -137,6 +137,9 @@ impl fmt::Display for JvmRun {
 
 /// Executes `program` on the simulated JVM described by `spec`.
 pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -> JvmRun {
+    // Opened before the fault check so an injected panic still leaves a
+    // flight-recorder event naming the JVM that died.
+    let _span = jtelemetry::span(jtelemetry::FlightKind::Vm, "vm_execution", &spec.name());
     // Fault injection decides up front, from (plan, jvm, program) alone,
     // what — if anything — goes wrong during this execution.
     let injected = options
@@ -158,6 +161,20 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
             plan.corrupt_log(&spec.name(), &mjava::print(program), &mut run.log);
         }
     }
+    // Work is credited only at this single completed-execution exit: an
+    // execution that dies by injected panic contributes nothing, which
+    // keeps wasted-work accounting a pure function of the campaign config.
+    jtelemetry::work::add(run.steps, 1);
+    jtelemetry::count(jtelemetry::Counter::VmExecutions, 1);
+    match &run.verdict {
+        Verdict::CompilerCrash(_) => jtelemetry::count(jtelemetry::Counter::VmCrashes, 1),
+        Verdict::InvalidProgram(_) => jtelemetry::count(jtelemetry::Counter::VmBuildFailures, 1),
+        Verdict::Completed(_) => {}
+    }
+    jtelemetry::count(
+        jtelemetry::Counter::VmMiscompiles,
+        run.miscompiled_by.len() as u64,
+    );
     run
 }
 
