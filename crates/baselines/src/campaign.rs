@@ -180,6 +180,19 @@ pub fn tool_campaign(tool: Tool, seeds: &[Seed], config: &ToolCampaignConfig) ->
     result
 }
 
+/// [`tool_campaign`] over a persistent corpus store's entries: every tool
+/// fuzzes the identical seed set in the identical order, so RQ2 numbers
+/// computed over a shared store are directly comparable (and reproducible
+/// by re-opening the store).
+pub fn tool_campaign_on_store(
+    tool: Tool,
+    store: &jcorpus::Store,
+    config: &ToolCampaignConfig,
+) -> CampaignResult {
+    let seeds = mopfuzzer::seeds_from_store(store);
+    tool_campaign(tool, &seeds, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +229,25 @@ mod tests {
         let (m, j, a) = (mop.median_delta(), jit.median_delta(), art.median_delta());
         assert!(m > j, "MopFuzzer {m} vs JITFuzz {j}");
         assert!(m > a, "MopFuzzer {m} vs Artemis {a}");
+    }
+
+    #[test]
+    fn store_backed_campaign_matches_seed_list_campaign() {
+        let dir = std::env::temp_dir().join(format!(
+            "baselines_store_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = jcorpus::Store::init(&dir).expect("init store");
+        let seeds = mopfuzzer::corpus::builtin();
+        mopfuzzer::import_seeds(&mut store, &seeds, jcorpus::Provenance::Builtin).expect("import");
+        store.save().expect("save");
+        let config = tiny_config();
+        let from_store = tool_campaign_on_store(Tool::JitFuzz, &store, &config);
+        let from_seeds = tool_campaign(Tool::JitFuzz, &seeds, &config);
+        assert_eq!(from_store, from_seeds);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -79,5 +79,5 @@ impl BaselineOutcome {
 }
 
 pub use artemis::{artemis, ArtemisConfig};
-pub use campaign::{tool_campaign, Tool, ToolCampaignConfig};
+pub use campaign::{tool_campaign, tool_campaign_on_store, Tool, ToolCampaignConfig};
 pub use jitfuzz::{jitfuzz, JitFuzzConfig};

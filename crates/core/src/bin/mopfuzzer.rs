@@ -21,8 +21,8 @@
 use jvmsim::{FaultPlan, JvmSpec, RunOptions};
 use mopfuzzer::{
     differential, fuzz, resume_campaign_extended, run_campaign_observed,
-    run_campaign_with_journal_observed, CampaignConfig, CampaignObserver, CampaignResult,
-    FuzzConfig, OracleVerdict, SupervisorConfig, Variant,
+    run_campaign_with_journal_observed, run_corpus_campaign, CampaignConfig, CampaignObserver,
+    CampaignResult, CorpusOptions, FuzzConfig, OracleVerdict, SupervisorConfig, Variant,
 };
 use std::collections::HashMap;
 use std::io::{IsTerminal, Write};
@@ -34,6 +34,15 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("corpus") {
+        return match run_corpus_command(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let options = match parse_args(&args) {
         Ok(o) => o,
@@ -68,7 +77,11 @@ fn print_usage() {
                      [--jdk SPEC[,SPEC..]] [--enable_profile_guide true|false]\n\
                      [--iterations N] [--rng SEED] [--out DIR]\n\
            mopfuzzer --rounds N [--journal FILE] [campaign options..]\n\
+           mopfuzzer --rounds N --corpus DIR [campaign options..]\n\
            mopfuzzer --resume FILE\n\
+           mopfuzzer corpus init DIR [--extra N] [--rng SEED]\n\
+           mopfuzzer corpus import DIR SRCDIR\n\
+           mopfuzzer corpus stats DIR\n\
          \n\
          OPTIONS:\n\
            --project_path DIR      directory of .java seed files (MiniJava subset);\n\
@@ -91,6 +104,9 @@ fn print_usage() {
                                    FILE after every round, keep a Prometheus\n\
                                    text export in FILE.prom, and print a\n\
                                    human-readable report at campaign end\n\
+           --metrics-every N       write metrics snapshots every N rounds\n\
+                                   instead of every round (the final snapshot\n\
+                                   is always written; default 1)\n\
            --max-steps N           stop after N interpreter steps (simulated time)\n\
            --max-execs N           stop after N JVM executions\n\
            --round-deadline N      fail rounds exceeding N steps\n\
@@ -98,7 +114,18 @@ fn print_usage() {
            --quarantine-threshold N  failed rounds before a (seed, mutator)\n\
                                    pair is quarantined (default 2)\n\
            --fault-rate F          inject faults at rate F (0.0-1.0; testing)\n\
-           --fault-seed SEED       fault-injection seed (default 0)"
+           --fault-seed SEED       fault-injection seed (default 0)\n\
+         \n\
+         CORPUS MODE (persistent, feedback-driven store):\n\
+           --corpus DIR            run the campaign over the corpus store at\n\
+                                   DIR: power-scheduled seed choice, mutant\n\
+                                   promotion, persisted quarantine\n\
+           --promote-threshold F   final OBV delta at which a round's mutant\n\
+                                   is minimized and promoted (default 20)\n\
+           corpus init DIR         create a store seeded with the built-in\n\
+                                   corpus (--extra N adds generated seeds)\n\
+           corpus import DIR SRC   fingerprint + dedup .java files into DIR\n\
+           corpus stats DIR        print per-entry stats and scheduler energy"
     );
 }
 
@@ -114,6 +141,9 @@ struct CliOptions {
     journal: Option<PathBuf>,
     resume: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    metrics_every: usize,
+    corpus: Option<PathBuf>,
+    promote_threshold: Option<f64>,
     supervisor: SupervisorConfig,
     fault: Option<FaultPlan>,
 }
@@ -138,6 +168,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "journal" => "journal",
             "resume" => "resume",
             "metrics-out" => "metrics-out",
+            "metrics-every" => "metrics-every",
+            "corpus" => "corpus",
+            "promote-threshold" => "promote-threshold",
             "max-steps" => "max-steps",
             "max-execs" => "max-execs",
             "round-deadline" => "round-deadline",
@@ -183,6 +216,13 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         }
         Some(_) => return Err("bad --fault-rate (expected 0.0-1.0)".to_string()),
     };
+    if map.contains_key("corpus") && map.contains_key("project_path") {
+        return Err("--corpus and --project_path are mutually exclusive".to_string());
+    }
+    let metrics_every = num(&map, "metrics-every")?.unwrap_or(1usize);
+    if metrics_every == 0 {
+        return Err("bad --metrics-every (must be >= 1)".to_string());
+    }
     Ok(CliOptions {
         project_path: map.get("project_path").map(PathBuf::from),
         target_case: map.get("target_case").map(|s| s.to_string()),
@@ -199,6 +239,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         journal: map.get("journal").map(PathBuf::from),
         resume: map.get("resume").map(PathBuf::from),
         metrics_out: map.get("metrics-out").map(PathBuf::from),
+        metrics_every,
+        corpus: map.get("corpus").map(PathBuf::from),
+        promote_threshold: num(&map, "promote-threshold")?,
         supervisor,
         fault,
     })
@@ -207,29 +250,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
     let mut seeds = match &options.project_path {
         None => mopfuzzer::corpus::builtin(),
-        Some(dir) => {
-            let mut out = Vec::new();
-            let entries = std::fs::read_dir(dir)
-                .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
-            let mut paths: Vec<PathBuf> = entries
-                .filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|x| x == "java"))
-                .collect();
-            paths.sort();
-            for path in paths {
-                let src = std::fs::read_to_string(&path)
-                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                let program = mjava::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
-                out.push(mopfuzzer::Seed {
-                    name: path
-                        .file_stem()
-                        .map(|s| s.to_string_lossy().into_owned())
-                        .unwrap_or_else(|| "case".into()),
-                    program,
-                });
-            }
-            out
-        }
+        Some(dir) => load_java_dir(dir)?,
     };
     if let Some(case) = &options.target_case {
         seeds.retain(|s| &s.name == case);
@@ -252,10 +273,14 @@ struct MetricsSink {
     jsonl: PathBuf,
     prom: PathBuf,
     tty_status: bool,
+    /// Write files every N rounds (`--metrics-every`; the TTY status line
+    /// still refreshes every round, and `finish` always writes).
+    every: usize,
+    rounds_seen: usize,
 }
 
 impl MetricsSink {
-    fn create(path: &Path) -> Result<MetricsSink, String> {
+    fn create(path: &Path, every: usize) -> Result<MetricsSink, String> {
         let mut prom = path.as_os_str().to_owned();
         prom.push(".prom");
         // Truncate up front so a rerun never appends to stale snapshots.
@@ -264,6 +289,8 @@ impl MetricsSink {
             jsonl: path.to_path_buf(),
             prom: PathBuf::from(prom),
             tty_status: std::io::stderr().is_terminal(),
+            every,
+            rounds_seen: 0,
         })
     }
 
@@ -281,8 +308,12 @@ impl MetricsSink {
         if let Err(e) = std::fs::write(&self.prom, jtelemetry::export::prometheus(&snap)) {
             eprintln!("warning: metrics write failed: {e}");
         }
+        self.status(&snap);
+    }
+
+    fn status(&self, snap: &jtelemetry::MetricsSnapshot) {
         if self.tty_status {
-            eprint!("\r{}", jtelemetry::export::status_line(&snap));
+            eprint!("\r{}", jtelemetry::export::status_line(snap));
             let _ = std::io::stderr().flush();
         }
     }
@@ -301,7 +332,12 @@ impl MetricsSink {
 
 impl CampaignObserver for MetricsSink {
     fn round_finished(&mut self, _round: usize, _result: &CampaignResult) {
-        self.flush();
+        self.rounds_seen += 1;
+        if self.rounds_seen.is_multiple_of(self.every) {
+            self.flush();
+        } else if let Some(snap) = jtelemetry::snapshot() {
+            self.status(&snap);
+        }
     }
 }
 
@@ -311,14 +347,13 @@ fn metrics_sink(options: &CliOptions) -> Result<Option<MetricsSink>, String> {
     let Some(path) = &options.metrics_out else {
         return Ok(None);
     };
-    let sink = MetricsSink::create(path)?;
+    let sink = MetricsSink::create(path, options.metrics_every)?;
     jtelemetry::install(jtelemetry::Session::new());
     println!("metrics: {} (+ {})", path.display(), sink.prom.display());
     Ok(Some(sink))
 }
 
 fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
-    let seeds = load_seeds(options)?;
     let config = CampaignConfig {
         iterations_per_seed: options.iterations,
         variant: if options.guided {
@@ -332,6 +367,10 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         supervisor: options.supervisor.clone(),
         fault: options.fault.clone(),
     };
+    if let Some(dir) = &options.corpus {
+        return run_corpus_campaign_mode(options, &config, dir);
+    }
+    let seeds = load_seeds(options)?;
     println!(
         "campaign: {} supervised rounds × {} iterations over {} seed(s), {} JVMs",
         config.rounds,
@@ -353,6 +392,180 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
     }
     print_campaign_summary(&result);
     Ok(())
+}
+
+fn run_corpus_campaign_mode(
+    options: &CliOptions,
+    config: &CampaignConfig,
+    dir: &Path,
+) -> Result<(), String> {
+    let mut store = jcorpus::Store::open(dir)?;
+    let opts = CorpusOptions {
+        promote_threshold: options
+            .promote_threshold
+            .unwrap_or(CorpusOptions::default().promote_threshold),
+    };
+    println!(
+        "campaign: {} power-scheduled rounds × {} iterations over corpus {} ({} entries), {} JVMs",
+        config.rounds,
+        config.iterations_per_seed,
+        dir.display(),
+        store.len(),
+        config.pool.len()
+    );
+    if let Some(path) = &options.journal {
+        println!("journal: {}", path.display());
+    }
+    let mut sink = metrics_sink(options)?;
+    let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
+    let result = run_corpus_campaign(
+        &mut store,
+        config,
+        &opts,
+        options.journal.as_deref(),
+        observer,
+    )?;
+    if let Some(sink) = &sink {
+        sink.finish();
+    }
+    print_campaign_summary(&result);
+    Ok(())
+}
+
+/// Dispatch for `mopfuzzer corpus <init|import|stats> ...`.
+fn run_corpus_command(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("init") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| {
+                    "usage: mopfuzzer corpus init DIR [--extra N] [--rng SEED]".to_string()
+                })?;
+            let mut extra = 0usize;
+            let mut rng = 0u64;
+            let mut it = args[2..].iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--extra" => extra = value.parse().map_err(|_| "bad --extra".to_string())?,
+                    "--rng" => rng = value.parse().map_err(|_| "bad --rng".to_string())?,
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
+            let mut store = jcorpus::Store::init(Path::new(dir))?;
+            let seeds = mopfuzzer::corpus::corpus(extra, rng);
+            // The built-in seeds and the generated tail carry different
+            // provenance; import in two batches.
+            let builtin_count = mopfuzzer::corpus::builtin().len();
+            let a = mopfuzzer::import_seeds(
+                &mut store,
+                &seeds[..builtin_count],
+                jcorpus::Provenance::Builtin,
+            )?;
+            let b = mopfuzzer::import_seeds(
+                &mut store,
+                &seeds[builtin_count..],
+                jcorpus::Provenance::Generated,
+            )?;
+            store.save()?;
+            println!(
+                "initialized {} with {} entries ({} behavioural duplicate(s) skipped)",
+                dir,
+                store.len(),
+                a.deduped.len() + b.deduped.len()
+            );
+            Ok(())
+        }
+        Some("import") => {
+            let (Some(dir), Some(src)) = (args.get(1), args.get(2)) else {
+                return Err("usage: mopfuzzer corpus import DIR SRCDIR".to_string());
+            };
+            let mut store = jcorpus::Store::open(Path::new(dir))?;
+            let seeds = load_java_dir(Path::new(src))?;
+            if seeds.is_empty() {
+                return Err(format!("no .java files in {src}"));
+            }
+            let outcome =
+                mopfuzzer::import_seeds(&mut store, &seeds, jcorpus::Provenance::Imported)?;
+            store.save()?;
+            for name in &outcome.admitted {
+                println!("admitted {name}");
+            }
+            for (candidate, existing) in &outcome.deduped {
+                println!("skipped {candidate} (same behaviour as {existing})");
+            }
+            println!(
+                "imported {} of {} seed(s) into {}",
+                outcome.admitted.len(),
+                seeds.len(),
+                dir
+            );
+            Ok(())
+        }
+        Some("stats") => {
+            let dir = args
+                .get(1)
+                .ok_or_else(|| "usage: mopfuzzer corpus stats DIR".to_string())?;
+            let store = jcorpus::Store::open(Path::new(dir))?;
+            println!(
+                "corpus {}: {} entries, {} quarantined pair(s)",
+                dir,
+                store.len(),
+                store.quarantine().len()
+            );
+            println!(
+                "{:<6} {:<24} {:<10} {:>9} {:>9} {:>7} {:>5} {:>8}",
+                "id", "name", "origin", "schedules", "yield", "faults", "bugs", "energy"
+            );
+            for entry in store.entries() {
+                println!(
+                    "{:<6} {:<24} {:<10} {:>9} {:>9.2} {:>7} {:>5} {:>8.3}",
+                    entry.id,
+                    entry.name,
+                    entry.provenance.as_str(),
+                    entry.stats.schedules,
+                    entry.stats.yield_sum,
+                    entry.stats.faults,
+                    entry.stats.bugs,
+                    jcorpus::energy(&entry.stats)
+                );
+            }
+            for (seed, mutator) in store.quarantine() {
+                match mutator {
+                    Some(m) => println!("quarantined: {seed} × {m}"),
+                    None => println!("quarantined: {seed} (whole seed)"),
+                }
+            }
+            Ok(())
+        }
+        _ => Err("usage: mopfuzzer corpus <init|import|stats> ...".to_string()),
+    }
+}
+
+/// Reads every `.java` file in `dir` as a named seed (sorted by path).
+fn load_java_dir(dir: &Path) -> Result<Vec<mopfuzzer::Seed>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "java"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let program = mjava::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push(mopfuzzer::Seed {
+            name: path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "case".into()),
+            program,
+        });
+    }
+    Ok(out)
 }
 
 fn run_campaign_observed_or_not(
@@ -412,6 +625,9 @@ fn print_campaign_summary(result: &CampaignResult) {
             "  wasted on faulted attempts: {} steps, {} execution(s)",
             result.wasted_steps, result.wasted_execs
         );
+    }
+    for name in &result.promotions {
+        println!("  promoted: {name}");
     }
     for (seed, mutator) in &result.quarantined {
         match mutator {

@@ -9,12 +9,13 @@
 //! campaign resumable with bit-identical results.
 
 use crate::corpus::Seed;
-use crate::journal::{self, JournalWriter};
+use crate::journal::{self, BaselineEntry, CorpusHeader, JournalWriter};
 use crate::mutators::MutatorKind;
-use crate::supervisor::{run_supervised, RoundFailure, SupervisorConfig};
+use crate::supervisor::{run_supervised, CorpusCtx, RoundFailure, SupervisorConfig};
 use crate::variant::Variant;
 use jvmsim::{Component, CoverageMap, FaultPlan, JvmSpec};
 use mjava::Program;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
 /// Campaign configuration.
@@ -112,6 +113,9 @@ pub struct CampaignResult {
     pub quarantined: Vec<(String, Option<MutatorKind>)>,
     /// Set when a campaign-wide budget stopped the campaign early.
     pub stopped: Option<RoundFailure>,
+    /// Names of corpus entries promoted during the campaign (corpus mode
+    /// only), in promotion order.
+    pub promotions: Vec<String>,
 }
 
 impl CampaignResult {
@@ -146,7 +150,7 @@ pub trait CampaignObserver {
 
 /// Runs a fuzzing campaign under the fault supervisor.
 pub fn run_campaign(seeds: &[Seed], config: &CampaignConfig) -> CampaignResult {
-    run_supervised(seeds, config, None, &[], None)
+    run_supervised(seeds, config, None, &[], None, None)
 }
 
 /// [`run_campaign`] with a live-progress observer.
@@ -155,7 +159,7 @@ pub fn run_campaign_observed(
     config: &CampaignConfig,
     observer: &mut dyn CampaignObserver,
 ) -> CampaignResult {
-    run_supervised(seeds, config, None, &[], Some(observer))
+    run_supervised(seeds, config, None, &[], Some(observer), None)
 }
 
 /// Runs a campaign while checkpointing every round to a JSONL journal at
@@ -176,14 +180,168 @@ pub fn run_campaign_with_journal_observed(
     path: &Path,
     observer: Option<&mut dyn CampaignObserver>,
 ) -> Result<CampaignResult, String> {
-    let mut writer = JournalWriter::create(path, config, seeds)?;
+    let mut writer = JournalWriter::create(path, config, seeds, None)?;
     Ok(run_supervised(
         seeds,
         config,
         Some(&mut writer),
         &[],
         observer,
+        None,
     ))
+}
+
+/// Corpus-mode knobs (everything else rides on [`CampaignConfig`]).
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Final-mutant OBV delta at or above which a round's mutant is
+    /// promoted (minimized and admitted as a first-class seed). Bug-finding
+    /// rounds promote regardless of delta.
+    pub promote_threshold: f64,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> CorpusOptions {
+        CorpusOptions {
+            promote_threshold: 20.0,
+        }
+    }
+}
+
+/// Builds the journal header's corpus section from the store's pre-campaign
+/// state. The header (not the live store) is the scheduler baseline on
+/// resume, which is what keeps resumption bit-identical.
+fn corpus_header(store: &jcorpus::Store, opts: &CorpusOptions) -> Result<CorpusHeader, String> {
+    let mut preq = Vec::new();
+    for (seed, mutator) in store.quarantine() {
+        let mutator = match mutator {
+            None => None,
+            Some(name) => Some(
+                MutatorKind::from_debug_name(name)
+                    .ok_or_else(|| format!("corpus quarantine names unknown mutator {name:?}"))?,
+            ),
+        };
+        preq.push((seed.clone(), mutator));
+    }
+    Ok(CorpusHeader {
+        dir: store.dir().display().to_string(),
+        promote_threshold: opts.promote_threshold,
+        baseline: store
+            .entries()
+            .iter()
+            .map(|e| BaselineEntry {
+                name: e.name.clone(),
+                fingerprint: e.fingerprint,
+                stats: e.stats.clone(),
+            })
+            .collect(),
+        preq,
+    })
+}
+
+/// Builds the in-memory corpus context from a journal header and the seed
+/// list that accompanies it. `seeds` must be the journal's seed snapshot
+/// (live: the store's current entries; resume: the journaled seeds) so the
+/// scheduler sees exactly the programs the original campaign saw.
+fn build_ctx<'a>(
+    store: &'a mut jcorpus::Store,
+    header: &CorpusHeader,
+    seeds: &[Seed],
+) -> Result<CorpusCtx<'a>, String> {
+    let mut scheduler = jcorpus::PowerScheduler::new();
+    let mut fingerprints = HashSet::new();
+    let blocked: HashSet<&str> = header
+        .preq
+        .iter()
+        .filter(|(_, m)| m.is_none())
+        .map(|(s, _)| s.as_str())
+        .collect();
+    for entry in &header.baseline {
+        scheduler.admit(
+            &entry.name,
+            entry.stats.clone(),
+            blocked.contains(entry.name.as_str()),
+        );
+        fingerprints.insert(entry.fingerprint);
+    }
+    let mut programs = HashMap::new();
+    for seed in seeds {
+        programs.insert(seed.name.clone(), seed.program.clone());
+    }
+    for entry in &header.baseline {
+        if !programs.contains_key(&entry.name) {
+            return Err(format!(
+                "corpus baseline entry {:?} has no program in the journal seeds",
+                entry.name
+            ));
+        }
+    }
+    Ok(CorpusCtx {
+        store,
+        scheduler,
+        programs,
+        fingerprints,
+        promote_threshold: header.promote_threshold,
+        preq: header.preq.clone(),
+    })
+}
+
+/// Writes the campaign's outcome back to the store: absolute per-entry
+/// stats (idempotent — a resume that replays the same rounds flushes the
+/// same numbers), newly quarantined pairs, and a single atomic save.
+fn flush_corpus(ctx: CorpusCtx<'_>, result: &CampaignResult) -> Result<(), String> {
+    let CorpusCtx {
+        store, scheduler, ..
+    } = ctx;
+    for name in scheduler.names() {
+        if let Some(stats) = scheduler.stats(name) {
+            store.set_stats(name, stats.clone())?;
+        }
+    }
+    let pairs: Vec<(String, Option<String>)> = result
+        .quarantined
+        .iter()
+        .map(|(s, m)| (s.clone(), m.map(|k| format!("{k:?}"))))
+        .collect();
+    store.merge_quarantine(&pairs);
+    store.save()
+}
+
+/// Runs a campaign over a persistent corpus store: the power scheduler
+/// replaces round-robin seed rotation, promoted mutants are minimized and
+/// admitted back into the store, and the store's quarantine carries across
+/// campaigns. With a journal path the campaign checkpoints every round and
+/// [`resume_campaign`] restores corpus mode from the journal header.
+pub fn run_corpus_campaign(
+    store: &mut jcorpus::Store,
+    config: &CampaignConfig,
+    opts: &CorpusOptions,
+    journal: Option<&Path>,
+    observer: Option<&mut dyn CampaignObserver>,
+) -> Result<CampaignResult, String> {
+    if store.is_empty() {
+        return Err(format!(
+            "corpus store at {} is empty: run `corpus init` or `corpus import` first",
+            store.dir().display()
+        ));
+    }
+    let header = corpus_header(store, opts)?;
+    let seeds = crate::corpus::seeds_from_store(store);
+    let mut writer = match journal {
+        Some(path) => Some(JournalWriter::create(path, config, &seeds, Some(&header))?),
+        None => None,
+    };
+    let mut ctx = build_ctx(store, &header, &seeds)?;
+    let result = run_supervised(
+        &seeds,
+        config,
+        writer.as_mut(),
+        &[],
+        observer,
+        Some(&mut ctx),
+    );
+    flush_corpus(ctx, &result)?;
+    Ok(result)
 }
 
 /// Resumes a journaled campaign: checkpointed rounds are replayed from the
@@ -219,17 +377,40 @@ pub fn resume_campaign_extended(
     }
     // Rewrite the journal up to the last intact record so a previously
     // truncated tail can never corrupt the middle of the resumed file.
-    let mut writer = JournalWriter::create(path, &config, &contents.seeds)?;
+    let mut writer =
+        JournalWriter::create(path, &config, &contents.seeds, contents.corpus.as_ref())?;
     for record in &contents.records {
         writer.write_round(record)?;
     }
-    Ok(run_supervised(
-        &contents.seeds,
-        &config,
-        Some(&mut writer),
-        &contents.records,
-        observer,
-    ))
+    match &contents.corpus {
+        None => Ok(run_supervised(
+            &contents.seeds,
+            &config,
+            Some(&mut writer),
+            &contents.records,
+            observer,
+            None,
+        )),
+        Some(header) => {
+            // Corpus mode: reopen the store and rebuild the scheduler from
+            // the *header* baseline (the store's stats may already include
+            // this campaign's partial flush — the header is the pre-campaign
+            // truth). Replay then re-applies every journaled round, so the
+            // resumed state matches an uninterrupted run exactly.
+            let mut store = jcorpus::Store::open(Path::new(&header.dir))?;
+            let mut ctx = build_ctx(&mut store, header, &contents.seeds)?;
+            let result = run_supervised(
+                &contents.seeds,
+                &config,
+                Some(&mut writer),
+                &contents.records,
+                observer,
+                Some(&mut ctx),
+            );
+            flush_corpus(ctx, &result)?;
+            Ok(result)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,17 +36,91 @@ pub fn corpus(extra: usize, rng_seed: u64) -> Vec<Seed> {
     for i in 0..extra {
         seeds.push(Seed {
             name: format!("gen_{i:03}"),
-            program: generate(&mut rng),
+            program: generate(&mut rng, i),
         });
     }
     seeds
 }
 
+/// Adapts a corpus store's entries to the campaign seed list, preserving
+/// store (admission) order so schedulers index entries stably.
+pub fn seeds_from_store(store: &jcorpus::Store) -> Vec<Seed> {
+    store
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Seed {
+            name: e.name.clone(),
+            program: store
+                .program(&e.name)
+                .unwrap_or_else(|| panic!("store entry {i} has no program"))
+                .clone(),
+        })
+        .collect()
+}
+
+/// The outcome of importing seeds into a store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportOutcome {
+    /// Names admitted as fresh entries, in admission order.
+    pub admitted: Vec<String>,
+    /// `(candidate name, existing entry)` pairs rejected as behavioural
+    /// duplicates (identical coverage/OBV fingerprint).
+    pub deduped: Vec<(String, String)>,
+}
+
+/// Fingerprints and admits `seeds` into the store (skipping behavioural
+/// duplicates). Fails fast on a seed the reference JVM cannot run — an
+/// invalid seed in a persistent corpus would poison every later campaign.
+pub fn import_seeds(
+    store: &mut jcorpus::Store,
+    seeds: &[Seed],
+    provenance: jcorpus::Provenance,
+) -> Result<ImportOutcome, String> {
+    let mut outcome = ImportOutcome::default();
+    for seed in seeds {
+        let fp = jcorpus::fingerprint(&seed.program)
+            .map_err(|e| format!("seed {:?} rejected: {e}", seed.name))?;
+        match store.admit(&seed.name, &seed.program, fp.fingerprint, provenance, None) {
+            jcorpus::Admission::Fresh(name) => outcome.admitted.push(name),
+            jcorpus::Admission::Duplicate(existing) => {
+                outcome.deduped.push((seed.name.clone(), existing));
+            }
+        }
+    }
+    Ok(outcome)
+}
+
 /// Generates one deterministic, regression-test-shaped program: a class
 /// with a static accumulator, a small `work` method built from statement
-/// templates, a hot loop in `main`, and a final print.
-pub fn generate(rng: &mut SmallRng) -> Program {
-    let class_name = format!("G{}", rng.gen_range(0..1000));
+/// templates, a hot loop in `main`, and a final print. The class name is
+/// derived from `index`, not the RNG — RNG-derived names collided across
+/// seeds (birthday bound on a 1000-name space), which made quarantine,
+/// scheduling, and store entries ambiguous.
+///
+/// Seeds are rejection-sampled against the differential pool: a seed
+/// that already crashes or miscompiles a JVM would make every mutant
+/// derived from it "rediscover" that bug, so such candidates are
+/// discarded and regenerated (still deterministic — a pure function of
+/// the RNG stream).
+pub fn generate(rng: &mut SmallRng, index: usize) -> Program {
+    loop {
+        let candidate = generate_candidate(rng, index);
+        if is_clean_on_pool(&candidate) {
+            return candidate;
+        }
+    }
+}
+
+fn is_clean_on_pool(program: &Program) -> bool {
+    jvmsim::JvmSpec::differential_pool().iter().all(|spec| {
+        let run = jvmsim::run_jvm(program, spec, &jvmsim::RunOptions::fuzzing());
+        matches!(run.verdict, jvmsim::Verdict::Completed(_)) && run.miscompiled_by.is_empty()
+    })
+}
+
+fn generate_candidate(rng: &mut SmallRng, index: usize) -> Program {
+    let class_name = format!("Gen{index}");
     let mut body: Vec<Stmt> = Vec::new();
     // Local state.
     body.push(Stmt::Decl {
@@ -199,8 +273,8 @@ mod tests {
     #[test]
     fn generated_seeds_execute_cleanly_and_deterministically() {
         let mut rng = SmallRng::seed_from_u64(9);
-        for _ in 0..20 {
-            let p = generate(&mut rng);
+        for i in 0..20 {
+            let p = generate(&mut rng, i);
             let printed = mjava::print(&p);
             let reparsed = mjava::parse(&printed).expect("generated seed parses");
             assert_eq!(reparsed, p);
@@ -217,9 +291,27 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate(&mut SmallRng::seed_from_u64(4));
-        let b = generate(&mut SmallRng::seed_from_u64(4));
+        let a = generate(&mut SmallRng::seed_from_u64(4), 7);
+        let b = generate(&mut SmallRng::seed_from_u64(4), 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_class_names_are_unique_across_seeds() {
+        // Regression: class names used to be drawn from a 1000-name RNG
+        // space, so large corpora collided (two seeds sharing a class name).
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut names = std::collections::HashSet::new();
+        for i in 0..100 {
+            let p = generate(&mut rng, i);
+            for class in &p.classes {
+                assert!(
+                    names.insert(class.name.clone()),
+                    "duplicate class name {:?} at seed {i}",
+                    class.name
+                );
+            }
+        }
     }
 
     #[test]
@@ -235,8 +327,8 @@ mod tests {
     #[test]
     fn generated_seeds_do_not_trigger_bugs() {
         let mut rng = SmallRng::seed_from_u64(77);
-        for _ in 0..6 {
-            let p = generate(&mut rng);
+        for i in 0..6 {
+            let p = generate(&mut rng, i);
             for spec in jvmsim::JvmSpec::differential_pool() {
                 let run = jvmsim::run_jvm(&p, &spec, &jvmsim::RunOptions::fuzzing());
                 assert!(

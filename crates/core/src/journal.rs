@@ -35,8 +35,10 @@ use std::path::Path;
 
 /// Bumped when the line format changes incompatibly. Version 2 added
 /// delta-encoded coverage, flight-recorder dumps on failures, and
-/// wasted-work accounting.
-pub const JOURNAL_VERSION: u64 = 2;
+/// wasted-work accounting. Version 3 added the corpus header (store dir,
+/// promotion threshold, per-entry stats baseline, pre-existing quarantine)
+/// and per-round mutant-promotion records.
+pub const JOURNAL_VERSION: u64 = 3;
 
 const AREAS: [(&str, Area); 4] = [
     ("c1", Area::C1),
@@ -60,6 +62,65 @@ pub struct BugSighting {
     pub mutators: Vec<MutatorKind>,
     /// The triggering mutant.
     pub mutant: mjava::Program,
+}
+
+/// Why a round's final mutant was promoted into the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromotionReason {
+    /// The final OBV delta cleared the promotion threshold.
+    Delta(f64),
+    /// The round triggered an oracle verdict for this bug id.
+    Bug(String),
+}
+
+/// A mutant promoted into the corpus by one round: the jreduce-minimized
+/// program plus provenance and the simulated work the minimization cost.
+/// Journaled with the round so replay re-admits the entry without
+/// re-running the reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionRecord {
+    /// Corpus entry name (`p` + the fingerprint hex, collision-free).
+    pub name: String,
+    /// Behaviour fingerprint of the minimized program.
+    pub fingerprint: u64,
+    /// The minimized program admitted as a seed.
+    pub source: mjava::Program,
+    /// The seed whose fuzz run produced the mutant.
+    pub from_seed: String,
+    /// What earned the promotion.
+    pub reason: PromotionReason,
+    /// JVM executions spent minimizing + fingerprinting.
+    pub execs: u64,
+    /// Interpreter steps spent minimizing + fingerprinting.
+    pub steps: u64,
+}
+
+/// The stats baseline of one corpus entry at campaign start, embedded in
+/// the journal header so resume rebuilds the scheduler without trusting
+/// the (possibly since-mutated) store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Entry name.
+    pub name: String,
+    /// Behaviour fingerprint.
+    pub fingerprint: u64,
+    /// Stats at campaign start.
+    pub stats: jcorpus::EntryStats,
+}
+
+/// Corpus-mode context in the journal header: everything a resume needs to
+/// reconstruct the power scheduler and quarantine exactly as the live
+/// campaign started with them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusHeader {
+    /// The store directory the campaign ran over.
+    pub dir: String,
+    /// OBV-delta threshold for mutant promotion.
+    pub promote_threshold: f64,
+    /// Per-entry stats at campaign start, in store order.
+    pub baseline: Vec<BaselineEntry>,
+    /// Quarantine pairs inherited from earlier campaigns over the store.
+    pub preq: Vec<(String, Option<MutatorKind>)>,
 }
 
 /// How a supervised round ended.
@@ -108,6 +169,8 @@ pub struct RoundRecord {
     pub wasted_steps: u64,
     /// JVM executions burned by this round's faulted attempts.
     pub wasted_execs: u64,
+    /// Corpus promotion produced by this round, if any (corpus mode only).
+    pub promotion: Option<PromotionRecord>,
 }
 
 /// Appends journal lines, flushing each one. Tracks the previous round's
@@ -119,10 +182,13 @@ pub struct JournalWriter {
 
 impl JournalWriter {
     /// Creates (or truncates) a journal at `path` and writes the header.
+    /// Corpus-mode campaigns pass their [`CorpusHeader`]; plain campaigns
+    /// pass `None`.
     pub fn create(
         path: &Path,
         config: &CampaignConfig,
         seeds: &[Seed],
+        corpus: Option<&CorpusHeader>,
     ) -> Result<JournalWriter, String> {
         let out =
             File::create(path).map_err(|e| format!("journal create {}: {e}", path.display()))?;
@@ -130,7 +196,7 @@ impl JournalWriter {
             out,
             prev_coverage: None,
         };
-        writer.line(&encode_header(config, seeds))?;
+        writer.line(&encode_header(config, seeds, corpus))?;
         Ok(writer)
     }
 
@@ -159,6 +225,8 @@ pub struct JournalContents {
     pub config: CampaignConfig,
     /// The seed corpus from the header.
     pub seeds: Vec<Seed>,
+    /// Corpus-mode context, when the campaign ran over a store.
+    pub corpus: Option<CorpusHeader>,
     /// Intact round records, in round order.
     pub records: Vec<RoundRecord>,
     /// True when a truncated trailing line was dropped.
@@ -174,7 +242,7 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
     let Some((&first, rest)) = lines.split_first() else {
         return Err("journal is empty".to_string());
     };
-    let (config, seeds) = decode_header(first)?;
+    let (config, seeds, corpus) = decode_header(first)?;
     let mut records: Vec<RoundRecord> = Vec::new();
     let mut truncated_tail = false;
     let mut prev_coverage: Option<CoverageMap> = None;
@@ -205,6 +273,7 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
     Ok(JournalContents {
         config,
         seeds,
+        corpus,
         records,
         truncated_tail,
     })
@@ -242,7 +311,34 @@ fn join<T>(items: &[T], f: impl Fn(&T) -> String) -> String {
     items.iter().map(f).collect::<Vec<_>>().join(",")
 }
 
-fn encode_header(config: &CampaignConfig, seeds: &[Seed]) -> String {
+fn encode_corpus_header(corpus: &CorpusHeader) -> String {
+    let baseline = join(&corpus.baseline, |b| {
+        format!(
+            "{{\"name\":{},\"fingerprint\":{},\"schedules\":{},\"yield_sum\":{:?},\
+             \"faults\":{},\"bugs\":{}}}",
+            json_str(&b.name),
+            json_str(&jcorpus::fingerprint_hex(b.fingerprint)),
+            b.stats.schedules,
+            b.stats.yield_sum,
+            b.stats.faults,
+            b.stats.bugs,
+        )
+    });
+    let preq = join(&corpus.preq, |(seed, mutator)| {
+        format!(
+            "{{\"seed\":{},\"mutator\":{}}}",
+            json_str(seed),
+            mutator.map_or("null".to_string(), |m| json_str(&format!("{m:?}"))),
+        )
+    });
+    format!(
+        "{{\"dir\":{},\"promote_threshold\":{:?},\"baseline\":[{baseline}],\"preq\":[{preq}]}}",
+        json_str(&corpus.dir),
+        corpus.promote_threshold,
+    )
+}
+
+fn encode_header(config: &CampaignConfig, seeds: &[Seed], corpus: Option<&CorpusHeader>) -> String {
     let supervisor = format!(
         "{{\"max_retries\":{},\"quarantine_threshold\":{},\"max_steps\":{},\
          \"max_executions\":{},\"round_step_deadline\":{}}}",
@@ -272,7 +368,7 @@ fn encode_header(config: &CampaignConfig, seeds: &[Seed]) -> String {
     format!(
         "{{\"type\":\"header\",\"version\":{JOURNAL_VERSION},\"rounds\":{},\
          \"iterations_per_seed\":{},\"variant\":{},\"rng_seed\":{},\"pool\":[{}],\
-         \"supervisor\":{},\"fault\":{},\"seeds\":[{}]}}",
+         \"supervisor\":{},\"fault\":{},\"corpus\":{},\"seeds\":[{}]}}",
         config.rounds,
         config.iterations_per_seed,
         json_str(&format!("{:?}", config.variant)),
@@ -280,6 +376,7 @@ fn encode_header(config: &CampaignConfig, seeds: &[Seed]) -> String {
         join(&config.pool, |s| json_str(&s.name())),
         supervisor,
         fault,
+        corpus.map_or("null".to_string(), encode_corpus_header),
         seeds_json,
     )
 }
@@ -406,6 +503,23 @@ fn encode_coverage(current: &CoverageMap, prev: Option<&CoverageMap>) -> String 
     format!("{{\"delta\":{{{deltas}}}}}")
 }
 
+fn encode_promotion(p: &PromotionRecord) -> String {
+    let reason = match &p.reason {
+        PromotionReason::Delta(v) => format!("{{\"kind\":\"delta\",\"value\":{v:?}}}"),
+        PromotionReason::Bug(id) => format!("{{\"kind\":\"bug\",\"id\":{}}}", json_str(id)),
+    };
+    format!(
+        "{{\"name\":{},\"fingerprint\":{},\"from_seed\":{},\"reason\":{reason},\
+         \"execs\":{},\"steps\":{},\"source\":{}}}",
+        json_str(&p.name),
+        json_str(&jcorpus::fingerprint_hex(p.fingerprint)),
+        json_str(&p.from_seed),
+        p.execs,
+        p.steps,
+        json_str(&mjava::print(&p.source)),
+    )
+}
+
 fn encode_record(r: &RoundRecord, prev_coverage: Option<&CoverageMap>) -> String {
     let disposition = match r.disposition {
         Disposition::Ok => "ok",
@@ -427,7 +541,7 @@ fn encode_record(r: &RoundRecord, prev_coverage: Option<&CoverageMap>) -> String
          \"fuzz_execs\":{},\"fuzz_steps\":{},\"wasted_steps\":{},\"wasted_execs\":{},\
          \"diff\":{},\"final_delta\":{:?},\
          \"inconclusive\":{},\"errors\":[{}],\"crash\":{},\"diff_bugs\":[{}],\
-         \"coverage\":{},\"fault_pair\":{}}}",
+         \"coverage\":{},\"fault_pair\":{},\"promotion\":{}}}",
         r.round,
         json_str(&r.seed),
         json_str(disposition),
@@ -443,6 +557,9 @@ fn encode_record(r: &RoundRecord, prev_coverage: Option<&CoverageMap>) -> String
         join(&r.diff_bugs, encode_sighting),
         encode_coverage(&r.coverage, prev_coverage),
         fault_pair,
+        r.promotion
+            .as_ref()
+            .map_or("null".to_string(), encode_promotion),
     )
 }
 
@@ -757,7 +874,47 @@ fn vm_fault_from_name(name: &str) -> Result<VmFault, String> {
     .ok_or_else(|| format!("unknown fault kind {name:?}"))
 }
 
-fn decode_header(line: &str) -> Result<(CampaignConfig, Vec<Seed>), String> {
+fn req_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    req(obj, key)?
+        .f64_()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn decode_corpus_header(v: &Json) -> Result<CorpusHeader, String> {
+    let baseline = req(v, "baseline")?
+        .arr()
+        .ok_or("corpus baseline is not an array")?
+        .iter()
+        .map(|b| {
+            Ok(BaselineEntry {
+                name: req_str(b, "name")?,
+                fingerprint: jcorpus::parse_fingerprint(&req_str(b, "fingerprint")?)?,
+                stats: jcorpus::EntryStats {
+                    schedules: req_u64(b, "schedules")?,
+                    yield_sum: req_f64(b, "yield_sum")?,
+                    faults: req_u64(b, "faults")?,
+                    bugs: req_u64(b, "bugs")?,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let preq = req(v, "preq")?
+        .arr()
+        .ok_or("corpus preq is not an array")?
+        .iter()
+        .map(|p| Ok((req_str(p, "seed")?, mutator_from_json(req(p, "mutator")?)?)))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CorpusHeader {
+        dir: req_str(v, "dir")?,
+        promote_threshold: req_f64(v, "promote_threshold")?,
+        baseline,
+        preq,
+    })
+}
+
+type Header = (CampaignConfig, Vec<Seed>, Option<CorpusHeader>);
+
+fn decode_header(line: &str) -> Result<Header, String> {
     let v = parse_json(line)?;
     if req_str(&v, "type")? != "header" {
         return Err("first journal line is not a header".to_string());
@@ -826,6 +983,12 @@ fn decode_header(line: &str) -> Result<(CampaignConfig, Vec<Seed>), String> {
             Ok(Seed { name, program })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let corpus_field = req(&v, "corpus")?;
+    let corpus = if corpus_field.is_null() {
+        None
+    } else {
+        Some(decode_corpus_header(corpus_field)?)
+    };
     let config = CampaignConfig {
         iterations_per_seed: req(&v, "iterations_per_seed")?
             .usize_()
@@ -839,7 +1002,7 @@ fn decode_header(line: &str) -> Result<(CampaignConfig, Vec<Seed>), String> {
         supervisor,
         fault,
     };
-    Ok((config, seeds))
+    Ok((config, seeds, corpus))
 }
 
 fn decode_sighting(v: &Json) -> Result<BugSighting, String> {
@@ -959,6 +1122,27 @@ fn decode_coverage(v: &Json, prev: Option<&CoverageMap>) -> Result<CoverageMap, 
     Ok(map)
 }
 
+fn decode_promotion(v: &Json) -> Result<PromotionRecord, String> {
+    let reason_field = req(v, "reason")?;
+    let reason = match req_str(reason_field, "kind")?.as_str() {
+        "delta" => PromotionReason::Delta(req_f64(reason_field, "value")?),
+        "bug" => PromotionReason::Bug(req_str(reason_field, "id")?),
+        other => return Err(format!("unknown promotion reason {other:?}")),
+    };
+    let source_text = req_str(v, "source")?;
+    let source =
+        mjava::parse(&source_text).map_err(|e| format!("promoted program does not parse: {e}"))?;
+    Ok(PromotionRecord {
+        name: req_str(v, "name")?,
+        fingerprint: jcorpus::parse_fingerprint(&req_str(v, "fingerprint")?)?,
+        source,
+        from_seed: req_str(v, "from_seed")?,
+        reason,
+        execs: req_u64(v, "execs")?,
+        steps: req_u64(v, "steps")?,
+    })
+}
+
 fn decode_record(v: &Json, prev_coverage: Option<&CoverageMap>) -> Result<RoundRecord, String> {
     if req_str(v, "type")? != "round" {
         return Err("not a round record".to_string());
@@ -1003,6 +1187,12 @@ fn decode_record(v: &Json, prev_coverage: Option<&CoverageMap>) -> Result<RoundR
             mutator_from_json(req(pair_field, "mutator")?)?,
         ))
     };
+    let promo_field = req(v, "promotion")?;
+    let promotion = if promo_field.is_null() {
+        None
+    } else {
+        Some(decode_promotion(promo_field)?)
+    };
     Ok(RoundRecord {
         round,
         seed: req_str(v, "seed")?,
@@ -1023,6 +1213,7 @@ fn decode_record(v: &Json, prev_coverage: Option<&CoverageMap>) -> Result<RoundR
         fault_pair,
         wasted_steps: req_u64(v, "wasted_steps")?,
         wasted_execs: req_u64(v, "wasted_execs")?,
+        promotion,
     })
 }
 
@@ -1099,6 +1290,15 @@ mod tests {
             fault_pair: Some(("listing2".to_string(), None)),
             wasted_steps: 4_321,
             wasted_execs: 7,
+            promotion: Some(PromotionRecord {
+                name: "p00000000deadbeef".to_string(),
+                fingerprint: 0xdead_beef,
+                source: mjava::samples::listing2().program,
+                from_seed: "listing2".to_string(),
+                reason: PromotionReason::Delta(21.5),
+                execs: 17,
+                steps: 9_876,
+            }),
         }
     }
 
@@ -1166,7 +1366,7 @@ mod tests {
         let path = dir.join("delta-chain.jsonl");
         let config = sample_config();
         let seeds: Vec<Seed> = corpus::builtin().into_iter().take(1).collect();
-        let mut writer = JournalWriter::create(&path, &config, &seeds).unwrap();
+        let mut writer = JournalWriter::create(&path, &config, &seeds, None).unwrap();
         for r in [&covered, &errored, &after] {
             writer.write_round(r).unwrap();
         }
@@ -1180,12 +1380,54 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    fn sample_corpus_header() -> CorpusHeader {
+        CorpusHeader {
+            dir: "/tmp/some store \"dir\"".to_string(),
+            promote_threshold: 17.25,
+            baseline: vec![
+                BaselineEntry {
+                    name: "listing2".to_string(),
+                    fingerprint: u64::MAX - 9,
+                    stats: jcorpus::EntryStats {
+                        schedules: 4,
+                        yield_sum: 51.375,
+                        faults: 1,
+                        bugs: 2,
+                    },
+                },
+                BaselineEntry {
+                    name: "p0000000000000001".to_string(),
+                    fingerprint: 1,
+                    stats: jcorpus::EntryStats::default(),
+                },
+            ],
+            preq: vec![
+                ("gen_000".to_string(), None),
+                ("listing2".to_string(), Some(MutatorKind::Inlining)),
+            ],
+        }
+    }
+
+    #[test]
+    fn corpus_header_roundtrips_exactly() {
+        let config = sample_config();
+        let seeds: Vec<Seed> = corpus::builtin().into_iter().take(2).collect();
+        let header = sample_corpus_header();
+        let line = encode_header(&config, &seeds, Some(&header));
+        let (_, _, dcorpus) = decode_header(&line).unwrap();
+        assert_eq!(dcorpus, Some(header));
+        // Plain campaigns journal a null corpus and read back None.
+        let plain = encode_header(&config, &seeds, None);
+        let (_, _, dcorpus) = decode_header(&plain).unwrap();
+        assert_eq!(dcorpus, None);
+    }
+
     #[test]
     fn header_roundtrips_exactly() {
         let config = sample_config();
         let seeds: Vec<Seed> = corpus::builtin().into_iter().take(3).collect();
-        let line = encode_header(&config, &seeds);
-        let (dconfig, dseeds) = decode_header(&line).unwrap();
+        let line = encode_header(&config, &seeds, None);
+        let (dconfig, dseeds, _) = decode_header(&line).unwrap();
         assert_eq!(dconfig.iterations_per_seed, config.iterations_per_seed);
         assert_eq!(dconfig.variant, config.variant);
         assert_eq!(dconfig.rounds, config.rounds);
@@ -1225,7 +1467,7 @@ mod tests {
         let config = sample_config();
         let seeds: Vec<Seed> = corpus::builtin().into_iter().take(2).collect();
         let records = [sample_record(0), sample_record(1)];
-        let mut writer = JournalWriter::create(&path, &config, &seeds).unwrap();
+        let mut writer = JournalWriter::create(&path, &config, &seeds, None).unwrap();
         for r in &records {
             writer.write_round(r).unwrap();
         }
@@ -1258,7 +1500,7 @@ mod tests {
         let path = dir.join("order.jsonl");
         let config = sample_config();
         let seeds: Vec<Seed> = corpus::builtin().into_iter().take(1).collect();
-        let mut writer = JournalWriter::create(&path, &config, &seeds).unwrap();
+        let mut writer = JournalWriter::create(&path, &config, &seeds, None).unwrap();
         writer.write_round(&sample_record(0)).unwrap();
         writer.write_round(&sample_record(5)).unwrap();
         writer.write_round(&sample_record(1)).unwrap();

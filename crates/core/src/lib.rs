@@ -47,13 +47,14 @@ pub mod variant;
 
 pub use campaign::{
     resume_campaign, resume_campaign_extended, run_campaign, run_campaign_observed,
-    run_campaign_with_journal, run_campaign_with_journal_observed, CampaignConfig,
-    CampaignObserver, CampaignResult, FoundBug,
+    run_campaign_with_journal, run_campaign_with_journal_observed, run_corpus_campaign,
+    CampaignConfig, CampaignObserver, CampaignResult, CorpusOptions, FoundBug,
 };
-pub use corpus::Seed;
+pub use corpus::{import_seeds, seeds_from_store, ImportOutcome, Seed};
 pub use fuzzer::{fuzz, FuzzConfig, FuzzOutcome, IterationRecord, WeightScheme};
 pub use journal::{
-    read_journal, BugSighting, Disposition, JournalContents, JournalWriter, RoundRecord,
+    read_journal, BaselineEntry, BugSighting, CorpusHeader, Disposition, JournalContents,
+    JournalWriter, PromotionReason, PromotionRecord, RoundRecord,
 };
 pub use mutators::{all_mutators, Mutation, Mutator, MutatorKind};
 pub use oracle::{differential, DifferentialResult, OracleVerdict};

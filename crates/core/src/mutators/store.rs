@@ -39,20 +39,68 @@ fn target_type(program: &Program, mp: &StmtPath) -> Option<Type> {
     })
 }
 
+/// Whether evaluating `expr` may read the location `target`. The inserted
+/// store is only dead if the MP's own right-hand side never observes it —
+/// `i = i + 1` reads `i`, so a store to `i` before it is live (and, on a
+/// loop counter, makes the loop infinite). Conservative: method calls are
+/// assumed to read any field target.
+fn reads_target(expr: &Expr, target: &LValue) -> bool {
+    let reads_here = match (expr, target) {
+        (Expr::Var(name), LValue::Var(t)) => name == t,
+        (Expr::StaticField(class, field), LValue::StaticField(tc, tf)) => {
+            class == tc && field == tf
+        }
+        (Expr::Field(_, field), LValue::Field(_, tf)) => field == tf,
+        (Expr::Call(_) | Expr::Reflect(_), LValue::StaticField(..) | LValue::Field(..)) => true,
+        _ => false,
+    };
+    if reads_here {
+        return true;
+    }
+    match expr {
+        Expr::Unary(_, inner) | Expr::BoxInt(inner) | Expr::UnboxInt(inner) => {
+            reads_target(inner, target)
+        }
+        Expr::Binary(_, lhs, rhs) => reads_target(lhs, target) || reads_target(rhs, target),
+        Expr::Call(call) => {
+            let receiver_reads = match &call.target {
+                mjava::CallTarget::Instance(recv) => reads_target(recv, target),
+                mjava::CallTarget::Static(_) => false,
+            };
+            receiver_reads || call.args.iter().any(|a| reads_target(a, target))
+        }
+        Expr::Reflect(reflect) => {
+            reflect
+                .receiver
+                .as_deref()
+                .is_some_and(|r| reads_target(r, target))
+                || reflect.args.iter().any(|a| reads_target(a, target))
+        }
+        Expr::Field(obj, _) => reads_target(obj, target),
+        _ => false,
+    }
+}
+
+/// The MP's assignment, when the inserted store would genuinely be dead.
+fn dead_store_site<'p>(program: &'p Program, mp: &StmtPath) -> Option<(&'p LValue, Type)> {
+    let ty = target_type(program, mp)?;
+    let Stmt::Assign { target, value } = mjava::path::stmt_at(program, mp)? else {
+        return None;
+    };
+    (!reads_target(value, target)).then_some((target, ty))
+}
+
 impl Mutator for RedundantStoreEliminationEvoke {
     fn kind(&self) -> MutatorKind {
         MutatorKind::RedundantStoreElimination
     }
 
     fn is_applicable(&self, program: &Program, mp: &StmtPath) -> bool {
-        target_type(program, mp).is_some()
+        dead_store_site(program, mp).is_some()
     }
 
     fn apply(&self, program: &Program, mp: &StmtPath, rng: &mut SmallRng) -> Option<Mutation> {
-        let ty = target_type(program, mp)?;
-        let Some(Stmt::Assign { target, .. }) = mjava::path::stmt_at(program, mp) else {
-            return None;
-        };
+        let (target, ty) = dead_store_site(program, mp)?;
         let value = match ty {
             Type::Int => Expr::Int(rng.gen_range(0..100)),
             Type::Long => Expr::Long(rng.gen_range(0..100)),
@@ -102,6 +150,24 @@ mod tests {
             .filter(|s| matches!(s, Stmt::Assign { .. }))
             .count();
         assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn not_applicable_when_rhs_reads_target() {
+        // `s = s + 1` reads its own target: a store inserted before it is
+        // live, not dead (on a loop counter it makes the loop infinite).
+        let src = r#"
+            class T {
+                static int s;
+                static void main() {
+                    s = 41;
+                    s = s + 1;
+                    System.out.println(s);
+                }
+            }
+        "#;
+        let (program, mp) = program_and_mp(src, "s = s + 1;");
+        assert!(!RedundantStoreEliminationEvoke.is_applicable(&program, &mp));
     }
 
     #[test]

@@ -27,11 +27,15 @@
 use crate::campaign::{component_of_miscompile, CampaignConfig, CampaignResult, FoundBug};
 use crate::corpus::Seed;
 use crate::fuzzer::{fuzz, FuzzConfig};
-use crate::journal::{BugSighting, Disposition, JournalWriter, RoundRecord};
+use crate::journal::{
+    BugSighting, Disposition, JournalWriter, PromotionReason, PromotionRecord, RoundRecord,
+};
 use crate::mutators::MutatorKind;
 use crate::oracle::{differential, OracleVerdict};
+use jprofile::Obv;
 use jvmsim::fault::{MUTATOR_PANIC_MARKER, VM_PANIC_MARKER};
-use jvmsim::{Component, JvmSpec, RunOptions};
+use jvmsim::{run_jvm, Component, JvmSpec, RunOptions, Verdict};
+use mjava::Program;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
@@ -203,6 +207,39 @@ impl Quarantine {
     pub fn pairs(&self) -> &[(String, Option<MutatorKind>)] {
         &self.quarantined
     }
+
+    /// Seeds the quarantine with pairs inherited from earlier campaigns
+    /// (corpus mode). Preloaded pairs ban immediately but are never
+    /// re-reported in [`CampaignResult::quarantined`] — `record` skips
+    /// pairs already present.
+    pub fn preload(&mut self, pairs: &[(String, Option<MutatorKind>)]) {
+        for pair in pairs {
+            if !self.quarantined.contains(pair) {
+                self.quarantined.push(pair.clone());
+            }
+        }
+    }
+}
+
+/// Corpus-mode state threaded through the supervised loop: the scheduler
+/// replaces round-robin seed rotation, promotions admit minimized mutants
+/// back into the store, and fingerprints keep admission idempotent. All of
+/// it is derived from journal-visible data (header baseline + round
+/// records), never from the live store, so journal replay reconstructs the
+/// exact same state.
+pub(crate) struct CorpusCtx<'a> {
+    /// The backing store (mutated in memory; flushed by the campaign).
+    pub store: &'a mut jcorpus::Store,
+    /// Power scheduler over the campaign's entries.
+    pub scheduler: jcorpus::PowerScheduler,
+    /// Entry name → program, for scheduled rounds and promotion oracles.
+    pub programs: HashMap<String, Program>,
+    /// Every fingerprint known to this campaign (baseline + promotions).
+    pub fingerprints: HashSet<u64>,
+    /// OBV-delta threshold for promotion.
+    pub promote_threshold: f64,
+    /// Quarantine pairs inherited from earlier campaigns over the store.
+    pub preq: Vec<(String, Option<MutatorKind>)>,
 }
 
 thread_local! {
@@ -272,6 +309,7 @@ pub(crate) fn apply_record(
     quarantine: &mut Quarantine,
     record: &RoundRecord,
     threshold: u32,
+    mut corpus: Option<&mut CorpusCtx>,
 ) {
     result.round_errors.extend(record.errors.iter().cloned());
     result.wasted_steps += record.wasted_steps;
@@ -291,6 +329,12 @@ pub(crate) fn apply_record(
             if let Some((seed, mutator)) = &record.fault_pair {
                 if quarantine.record(threshold, seed, *mutator) {
                     result.quarantined.push((seed.clone(), *mutator));
+                }
+            }
+            if let Some(ctx) = corpus.as_deref_mut() {
+                ctx.scheduler.record_fault(&record.seed);
+                if quarantine.seed_blocked(&record.seed) {
+                    ctx.scheduler.block(&record.seed);
                 }
             }
         }
@@ -318,6 +362,33 @@ pub(crate) fn apply_record(
             if record.inconclusive {
                 result.inconclusive_rounds += 1;
             }
+            if let Some(ctx) = corpus.as_deref_mut() {
+                let bugs = record.crash.iter().count() as u64 + record.diff_bugs.len() as u64;
+                ctx.scheduler
+                    .record_ok(&record.seed, record.final_delta, bugs);
+            }
+        }
+    }
+    // Promotion accounting is shared by live and replay: the record carries
+    // the minimized program and its cost, so replay re-admits without
+    // re-reducing.
+    if let Some(promo) = &record.promotion {
+        result.executions += promo.execs;
+        result.steps += promo.steps;
+        result.promotions.push(promo.name.clone());
+        if let Some(ctx) = corpus {
+            ctx.fingerprints.insert(promo.fingerprint);
+            ctx.programs
+                .insert(promo.name.clone(), promo.source.clone());
+            ctx.scheduler
+                .admit(&promo.name, jcorpus::EntryStats::default(), false);
+            let _ = ctx.store.admit(
+                &promo.name,
+                &promo.source,
+                promo.fingerprint,
+                jcorpus::Provenance::Promoted,
+                Some(promo.from_seed.clone()),
+            );
         }
     }
 }
@@ -380,7 +451,8 @@ fn budget_stop(
 
 /// One isolated attempt at a round: fuzz, oracle-check, and classify.
 /// Everything computed here is local — the campaign result is only touched
-/// by [`apply_record`] once the attempt as a whole has succeeded.
+/// by [`apply_record`] once the attempt as a whole has succeeded. Returns
+/// the record plus the final mutant (for promotion; not journaled per se).
 fn run_attempt(
     round: usize,
     seed: &Seed,
@@ -388,7 +460,7 @@ fn run_attempt(
     config: &CampaignConfig,
     banned: &[MutatorKind],
     rng_seed: u64,
-) -> Result<RoundRecord, RoundError> {
+) -> Result<(RoundRecord, Program), RoundError> {
     let fuzz_config = FuzzConfig {
         max_iterations: config.iterations_per_seed,
         variant: config.variant,
@@ -398,7 +470,7 @@ fn run_attempt(
         banned: banned.to_vec(),
         fault: config.fault.clone(),
     };
-    let record = catch_round(|| {
+    let (record, mutant) = catch_round(|| {
         let outcome = fuzz(&seed.program, &fuzz_config);
         if let Some(message) = &outcome.seed_invalid {
             return Err(RoundError::BuildFailure {
@@ -421,6 +493,7 @@ fn run_attempt(
             fault_pair: None,
             wasted_steps: 0,
             wasted_execs: 0,
+            promotion: None,
         };
         if let Some(report) = &outcome.crash {
             record.crash = Some(BugSighting {
@@ -431,7 +504,7 @@ fn run_attempt(
                 mutators: outcome.mutator_history(),
                 mutant: outcome.final_mutant.clone(),
             });
-            return Ok(record);
+            return Ok((record, outcome.final_mutant));
         }
         let options = RunOptions {
             fault: config.fault.clone(),
@@ -465,7 +538,7 @@ fn run_attempt(
             OracleVerdict::Inconclusive(_) => record.inconclusive = true,
             OracleVerdict::Pass => {}
         }
-        Ok(record)
+        Ok((record, outcome.final_mutant))
     })??;
     if let Some(deadline) = config.supervisor.round_step_deadline {
         let used = record.fuzz_steps + record.diff.map_or(0, |(_, s)| s);
@@ -477,17 +550,18 @@ fn run_attempt(
             });
         }
     }
-    Ok(record)
+    Ok((record, mutant))
 }
 
 /// Runs one round under supervision: skip if quarantined, otherwise
-/// attempt with bounded retries and produce the round's record.
+/// attempt with bounded retries and produce the round's record (plus the
+/// final mutant of an `Ok` round, for promotion consideration).
 fn execute_round(
     round: usize,
     seed: &Seed,
     config: &CampaignConfig,
     quarantine: &Quarantine,
-) -> RoundRecord {
+) -> (RoundRecord, Option<Program>) {
     let skeleton = |disposition| RoundRecord {
         round,
         seed: seed.name.clone(),
@@ -504,9 +578,10 @@ fn execute_round(
         fault_pair: None,
         wasted_steps: 0,
         wasted_execs: 0,
+        promotion: None,
     };
     if quarantine.seed_blocked(&seed.name) {
-        return skeleton(Disposition::Skipped);
+        return (skeleton(Disposition::Skipped), None);
     }
     let banned = quarantine.banned_mutators(&seed.name);
     let guidance = config.pool[round % config.pool.len()].clone();
@@ -528,11 +603,11 @@ fn execute_round(
         );
         let (steps_before, execs_before) = jtelemetry::work::totals();
         match run_attempt(round, seed, &guidance, config, &banned, rng_seed) {
-            Ok(mut record) => {
+            Ok((mut record, mutant)) => {
                 record.errors = errors;
                 record.wasted_steps = wasted_steps;
                 record.wasted_execs = wasted_execs;
-                return record;
+                return (record, Some(mutant));
             }
             Err(error) => {
                 let (steps_after, execs_after) = jtelemetry::work::totals();
@@ -559,21 +634,108 @@ fn execute_round(
     record.fault_pair = Some((seed.name.clone(), mutator));
     record.wasted_steps = wasted_steps;
     record.wasted_execs = wasted_execs;
-    record
+    (record, None)
+}
+
+/// Decides whether an `Ok` round's final mutant earns promotion, and if so
+/// minimizes it with jreduce and fingerprints the result. Pure with respect
+/// to `ctx` (admission happens in [`apply_record`], the shared live/replay
+/// path); all oracle runs are fault-free and deterministic.
+fn consider_promotion(
+    record: &RoundRecord,
+    mutant: &Program,
+    ctx: &CorpusCtx,
+    config: &CampaignConfig,
+) -> Option<PromotionRecord> {
+    let reason = if let Some(crash) = &record.crash {
+        PromotionReason::Bug(crash.id.clone())
+    } else if let Some(bug) = record.diff_bugs.first() {
+        PromotionReason::Bug(bug.id.clone())
+    } else if record.final_delta >= ctx.promote_threshold {
+        PromotionReason::Delta(record.final_delta)
+    } else {
+        return None;
+    };
+    let mut execs = 0u64;
+    let mut steps = 0u64;
+    let options = RunOptions::fuzzing();
+    let reduced = match &reason {
+        PromotionReason::Bug(id) => {
+            let sighting = record.crash.as_ref().or_else(|| record.diff_bugs.first())?;
+            let spec = JvmSpec::from_name(&sighting.jvm).ok()?;
+            let is_crash = sighting.is_crash;
+            let mut oracle = |p: &Program| {
+                let run = run_jvm(p, &spec, &options);
+                execs += 1;
+                steps += run.steps;
+                if is_crash {
+                    matches!(&run.verdict, Verdict::CompilerCrash(c) if c.bug_id == *id)
+                } else {
+                    // Miscompilation: the simulator's ground-truth label
+                    // stands in for re-running the differential pool.
+                    run.miscompiled_by.contains(id)
+                }
+            };
+            jreduce::reduce(mutant, &mut oracle).0
+        }
+        PromotionReason::Delta(_) => {
+            let guidance = &config.pool[record.round % config.pool.len()];
+            let seed_program = ctx.programs.get(&record.seed)?;
+            let seed_run = run_jvm(seed_program, guidance, &options);
+            execs += 1;
+            steps += seed_run.steps;
+            let seed_obv = Obv::from_log(&seed_run.log);
+            let threshold = ctx.promote_threshold;
+            let mut oracle = |p: &Program| {
+                let run = run_jvm(p, guidance, &options);
+                execs += 1;
+                steps += run.steps;
+                matches!(run.verdict, Verdict::Completed(_))
+                    && Obv::delta(&seed_obv, &Obv::from_log(&run.log)) >= threshold
+            };
+            jreduce::reduce(mutant, &mut oracle).0
+        }
+    };
+    let fp = jcorpus::fingerprint(&reduced).ok()?;
+    execs += 1;
+    steps += fp.steps;
+    if ctx.fingerprints.contains(&fp.fingerprint) {
+        return None; // behaviour already in the corpus
+    }
+    Some(PromotionRecord {
+        name: format!("p{}", jcorpus::fingerprint_hex(fp.fingerprint)),
+        fingerprint: fp.fingerprint,
+        source: reduced,
+        from_seed: record.seed.clone(),
+        reason,
+        execs,
+        steps,
+    })
 }
 
 /// Publishes the campaign-level gauges from the current result state.
-fn update_gauges(result: &CampaignResult, rounds_done: usize, rounds_total: usize, corpus: usize) {
+fn update_gauges(
+    result: &CampaignResult,
+    rounds_done: usize,
+    rounds_total: usize,
+    seeds_len: usize,
+    corpus: Option<&CorpusCtx>,
+) {
     use jtelemetry::Gauge;
     jtelemetry::gauge(Gauge::RoundsDone, rounds_done as f64);
     jtelemetry::gauge(Gauge::RoundsTotal, rounds_total as f64);
-    jtelemetry::gauge(Gauge::CorpusSize, corpus as f64);
+    let corpus_size = corpus.map_or(seeds_len, |ctx| ctx.scheduler.len());
+    jtelemetry::gauge(Gauge::CorpusSize, corpus_size as f64);
     jtelemetry::gauge(Gauge::QuarantineCount, result.quarantined.len() as f64);
     jtelemetry::gauge(Gauge::BugsFound, result.bugs.len() as f64);
     jtelemetry::gauge(Gauge::ProductiveSteps, result.steps as f64);
     jtelemetry::gauge(Gauge::WastedSteps, result.wasted_steps as f64);
     jtelemetry::gauge(Gauge::ProductiveExecs, result.executions as f64);
     jtelemetry::gauge(Gauge::WastedExecs, result.wasted_execs as f64);
+    if let Some(ctx) = corpus {
+        jtelemetry::gauge(Gauge::CorpusEnergy, ctx.scheduler.total_energy());
+        jtelemetry::gauge(Gauge::PromotedEntries, result.promotions.len() as f64);
+    }
 }
 
 /// The supervised campaign loop shared by [`crate::campaign::run_campaign`]
@@ -587,19 +749,43 @@ pub(crate) fn run_supervised(
     mut writer: Option<&mut JournalWriter>,
     replay: &[RoundRecord],
     mut observer: Option<&mut dyn crate::campaign::CampaignObserver>,
+    mut corpus: Option<&mut CorpusCtx>,
 ) -> CampaignResult {
     let mut result = CampaignResult::default();
     let mut seen: HashSet<String> = HashSet::new();
     let mut quarantine = Quarantine::default();
-    if seeds.is_empty() || config.pool.is_empty() {
+    if (seeds.is_empty() && corpus.is_none()) || config.pool.is_empty() {
         return result;
+    }
+    if let Some(ctx) = corpus.as_deref_mut() {
+        // Pairs quarantined by earlier campaigns over this store stay
+        // banned; blocked seeds are also removed from scheduling.
+        quarantine.preload(&ctx.preq);
+        for (seed, mutator) in &ctx.preq {
+            if mutator.is_none() {
+                ctx.scheduler.block(seed);
+            }
+        }
     }
     let threshold = config.supervisor.quarantine_threshold;
     for record in replay {
-        apply_record(&mut result, &mut seen, &mut quarantine, record, threshold);
+        apply_record(
+            &mut result,
+            &mut seen,
+            &mut quarantine,
+            record,
+            threshold,
+            corpus.as_deref_mut(),
+        );
     }
     if jtelemetry::enabled() {
-        update_gauges(&result, replay.len(), config.rounds, seeds.len());
+        update_gauges(
+            &result,
+            replay.len(),
+            config.rounds,
+            seeds.len(),
+            corpus.as_deref(),
+        );
     }
     for round in replay.len()..config.rounds {
         if let Some(stop) = budget_stop(&result, &config.supervisor, round) {
@@ -607,17 +793,49 @@ pub(crate) fn run_supervised(
             result.stopped = Some(stop);
             break;
         }
-        let seed = &seeds[round % seeds.len()];
-        let record = execute_round(round, seed, config, &quarantine);
+        // Corpus mode replaces the fixed round-robin rotation with the
+        // power scheduler: energy-weighted choice, deterministic in
+        // (campaign seed, round).
+        let seed = match corpus.as_deref_mut() {
+            Some(ctx) => match ctx.scheduler.pick(round, config.rng_seed) {
+                Some(name) => {
+                    let program = ctx
+                        .programs
+                        .get(&name)
+                        .expect("scheduled entry has a program")
+                        .clone();
+                    Seed { name, program }
+                }
+                None => break, // everything quarantined
+            },
+            None => seeds[round % seeds.len()].clone(),
+        };
+        let (mut record, mutant) = execute_round(round, &seed, config, &quarantine);
+        if let (Some(ctx), Some(mutant)) = (corpus.as_deref_mut(), mutant.as_ref()) {
+            record.promotion = consider_promotion(&record, mutant, ctx, config);
+        }
         if let Some(w) = writer.as_deref_mut() {
             // A failing journal must not kill the campaign it protects.
             if let Err(e) = w.write_round(&record) {
                 eprintln!("warning: journal write failed: {e}");
             }
         }
-        apply_record(&mut result, &mut seen, &mut quarantine, &record, threshold);
+        apply_record(
+            &mut result,
+            &mut seen,
+            &mut quarantine,
+            &record,
+            threshold,
+            corpus.as_deref_mut(),
+        );
         if jtelemetry::enabled() {
-            update_gauges(&result, round + 1, config.rounds, seeds.len());
+            update_gauges(
+                &result,
+                round + 1,
+                config.rounds,
+                seeds.len(),
+                corpus.as_deref(),
+            );
         }
         if let Some(obs) = observer.as_deref_mut() {
             obs.round_finished(round, &result);

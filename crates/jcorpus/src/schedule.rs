@@ -1,0 +1,240 @@
+//! AFL-style power scheduling over corpus entries.
+//!
+//! Each entry gets an energy computed from its history:
+//!
+//! ```text
+//! energy = yield_term * fault_term * fatigue_term      (clamped >= 1e-6)
+//!   yield_term   = 1 + avg_yield / (8 + |avg_yield|)   avg_yield = yield_sum / schedules
+//!   fault_term   = 1 / (1 + faults)
+//!   fatigue_term = 8 / (8 + schedules)                 the age term
+//! ```
+//!
+//! Entries that have never been scheduled are explored first (energy 2.0,
+//! and [`PowerScheduler::pick`] restricts the draw to them while any
+//! exist) — this is what guarantees freshly promoted mutants get fuzzed
+//! early in the next campaign. Picks are weighted draws from a per-round
+//! RNG derived from the campaign seed and the round number only, so a
+//! schedule is a pure function of (corpus baseline, campaign seed, round
+//! outcomes) and journal replay reproduces it exactly.
+
+use crate::store::EntryStats;
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Energy assigned to an entry that was never scheduled.
+const EXPLORE_ENERGY: f64 = 2.0;
+
+/// The energy formula (see module docs).
+pub fn energy(stats: &EntryStats) -> f64 {
+    if stats.schedules == 0 {
+        return EXPLORE_ENERGY;
+    }
+    let avg_yield = stats.yield_sum / stats.schedules as f64;
+    let yield_term = 1.0 + avg_yield / (8.0 + avg_yield.abs());
+    let fault_term = 1.0 / (1.0 + stats.faults as f64);
+    let fatigue_term = 8.0 / (8.0 + stats.schedules as f64);
+    (yield_term * fault_term * fatigue_term).max(1e-6)
+}
+
+#[derive(Debug, Clone)]
+struct SchedEntry {
+    name: String,
+    stats: EntryStats,
+    blocked: bool,
+}
+
+/// In-memory scheduling state for one campaign over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct PowerScheduler {
+    entries: Vec<SchedEntry>,
+}
+
+impl PowerScheduler {
+    /// An empty scheduler; populate with [`PowerScheduler::admit`].
+    pub fn new() -> PowerScheduler {
+        PowerScheduler::default()
+    }
+
+    /// Adds an entry with a starting stats baseline. No-op if the name is
+    /// already present (admission is idempotent, like the store's).
+    pub fn admit(&mut self, name: &str, stats: EntryStats, blocked: bool) {
+        if self.entries.iter().any(|e| e.name == name) {
+            return;
+        }
+        self.entries.push(SchedEntry {
+            name: name.to_string(),
+            stats,
+            blocked,
+        });
+    }
+
+    /// Marks an entry as quarantined; it will never be picked again.
+    pub fn block(&mut self, name: &str) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.blocked = true;
+        }
+    }
+
+    /// Records a completed round: one schedule, its OBV-delta yield, and
+    /// any bugs it reported.
+    pub fn record_ok(&mut self, name: &str, obv_delta: f64, bugs: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.stats.schedules += 1;
+            e.stats.yield_sum += obv_delta;
+            e.stats.bugs += bugs;
+        }
+    }
+
+    /// Records a round that ended in a contained fault.
+    pub fn record_fault(&mut self, name: &str) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.stats.schedules += 1;
+            e.stats.faults += 1;
+        }
+    }
+
+    /// Picks the entry to fuzz in `round`. Returns `None` when every entry
+    /// is blocked (the campaign has nothing left to schedule).
+    pub fn pick(&self, round: usize, campaign_seed: u64) -> Option<String> {
+        let eligible: Vec<&SchedEntry> = self.entries.iter().filter(|e| !e.blocked).collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // Exploration first: any never-scheduled entry outranks history.
+        let unexplored: Vec<&&SchedEntry> =
+            eligible.iter().filter(|e| e.stats.schedules == 0).collect();
+        let pool: Vec<&SchedEntry> = if unexplored.is_empty() {
+            eligible
+        } else {
+            unexplored.into_iter().copied().collect()
+        };
+        let mut rng = SmallRng::seed_from_u64(
+            campaign_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let total: f64 = pool.iter().map(|e| energy(&e.stats)).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for e in &pool {
+            x -= energy(&e.stats);
+            if x <= 0.0 {
+                return Some(e.name.clone());
+            }
+        }
+        pool.last().map(|e| e.name.clone())
+    }
+
+    /// Total energy over unblocked entries (exported as a gauge).
+    pub fn total_energy(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.blocked)
+            .map(|e| energy(&e.stats))
+            .sum()
+    }
+
+    /// Number of entries (blocked included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the scheduler holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current stats of an entry, if present.
+    pub fn stats(&self, name: &str) -> Option<&EntryStats> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.stats)
+    }
+
+    /// Entry names in admission order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(schedules: u64, yield_sum: f64, faults: u64) -> EntryStats {
+        EntryStats {
+            schedules,
+            yield_sum,
+            faults,
+            bugs: 0,
+        }
+    }
+
+    #[test]
+    fn energy_prefers_yield_and_penalizes_faults_and_age() {
+        let fresh = energy(&stats(0, 0.0, 0));
+        let high_yield = energy(&stats(4, 120.0, 0));
+        let low_yield = energy(&stats(4, 1.0, 0));
+        let faulty = energy(&stats(4, 120.0, 3));
+        let tired = energy(&stats(64, 120.0 * 16.0, 0));
+        assert!(fresh > high_yield, "exploration beats history");
+        assert!(high_yield > low_yield, "yield raises energy");
+        assert!(high_yield > faulty, "faults lower energy");
+        assert!(high_yield > tired, "fatigue lowers energy");
+        assert!(energy(&stats(1000, 0.0, 1000)) >= 1e-6, "clamped");
+    }
+
+    #[test]
+    fn pick_is_deterministic_for_a_fixed_seed() {
+        let mut a = PowerScheduler::new();
+        let mut b = PowerScheduler::new();
+        for s in [&mut a, &mut b] {
+            s.admit("x", stats(3, 50.0, 0), false);
+            s.admit("y", stats(1, 2.0, 1), false);
+            s.admit("z", stats(7, 9.0, 0), false);
+        }
+        for round in 0..64 {
+            assert_eq!(a.pick(round, 0xBEEF), b.pick(round, 0xBEEF));
+        }
+        // And a different campaign seed gives a different schedule overall.
+        let seq1: Vec<_> = (0..64).map(|r| a.pick(r, 1)).collect();
+        let seq2: Vec<_> = (0..64).map(|r| a.pick(r, 2)).collect();
+        assert_ne!(seq1, seq2);
+    }
+
+    #[test]
+    fn unexplored_entries_are_picked_first() {
+        let mut s = PowerScheduler::new();
+        s.admit("old", stats(10, 500.0, 0), false);
+        s.admit("fresh", stats(0, 0.0, 0), false);
+        for round in 0..32 {
+            assert_eq!(s.pick(round, 42), Some("fresh".to_string()));
+        }
+        s.record_ok("fresh", 1.0, 0);
+        let names: std::collections::BTreeSet<_> = (0..64).filter_map(|r| s.pick(r, 42)).collect();
+        assert!(names.contains("old"), "explored entries compete again");
+    }
+
+    #[test]
+    fn blocked_entries_are_never_picked() {
+        let mut s = PowerScheduler::new();
+        s.admit("a", stats(0, 0.0, 0), false);
+        s.admit("b", stats(0, 0.0, 0), true);
+        for round in 0..32 {
+            assert_eq!(s.pick(round, 7), Some("a".to_string()));
+        }
+        s.block("a");
+        assert_eq!(s.pick(0, 7), None);
+    }
+
+    #[test]
+    fn record_updates_stats() {
+        let mut s = PowerScheduler::new();
+        s.admit("a", EntryStats::default(), false);
+        s.record_ok("a", 12.5, 1);
+        s.record_fault("a");
+        let st = s.stats("a").unwrap();
+        assert_eq!(st.schedules, 2);
+        assert_eq!(st.yield_sum, 12.5);
+        assert_eq!(st.faults, 1);
+        assert_eq!(st.bugs, 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! The on-disk corpus store.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! DIR/
+//!   manifest.jsonl     header line + one line per entry (id, name,
+//!                      fingerprint, provenance, parent, stats)
+//!   quarantine.jsonl   one line per quarantined (seed, mutator) pair;
+//!                      "mutator": null blocks the whole seed
+//!   entries/<id>.java  pretty-printed mjava source, one file per entry
+//! ```
+//!
+//! The store is loaded fully into memory on [`Store::open`]; all mutation
+//! is in-memory until [`Store::save`], which rewrites the manifest and
+//! quarantine atomically (tmp file + rename). A campaign that dies before
+//! its final flush therefore leaves the store exactly as it found it, and
+//! a journal-based resume can replay onto the store idempotently: admits
+//! dedup by fingerprint and stats are written as absolute values.
+
+use crate::fingerprint::{fingerprint_hex, parse_fingerprint};
+use jtelemetry::schema::{parse_json, Json};
+use mjava::Program;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where a corpus entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// One of the handcrafted built-in seeds.
+    Builtin,
+    /// Produced by the deterministic seed generator.
+    Generated,
+    /// Imported from a directory of `.java` sources.
+    Imported,
+    /// A jreduce-minimized mutant promoted by a campaign.
+    Promoted,
+}
+
+impl Provenance {
+    /// Manifest spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Provenance::Builtin => "builtin",
+            Provenance::Generated => "generated",
+            Provenance::Imported => "imported",
+            Provenance::Promoted => "promoted",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Provenance, String> {
+        match s {
+            "builtin" => Ok(Provenance::Builtin),
+            "generated" => Ok(Provenance::Generated),
+            "imported" => Ok(Provenance::Imported),
+            "promoted" => Ok(Provenance::Promoted),
+            other => Err(format!("unknown provenance {other:?}")),
+        }
+    }
+}
+
+/// Per-entry scheduling statistics, persisted in the manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EntryStats {
+    /// How many rounds have fuzzed this entry.
+    pub schedules: u64,
+    /// Sum of final OBV deltas those rounds produced.
+    pub yield_sum: f64,
+    /// Rounds that ended in a contained fault.
+    pub faults: u64,
+    /// Bugs (crashes or miscompiles) those rounds reported.
+    pub bugs: u64,
+}
+
+/// One corpus entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Stable store-assigned id (`c0001`, ...); names the source file.
+    pub id: String,
+    /// Unique human-facing seed name used by campaigns and journals.
+    pub name: String,
+    /// Behaviour fingerprint ([`crate::fingerprint`]).
+    pub fingerprint: u64,
+    /// Where the entry came from.
+    pub provenance: Provenance,
+    /// For promoted entries, the seed whose fuzz run produced them.
+    pub parent: Option<String>,
+    /// Scheduling statistics.
+    pub stats: EntryStats,
+}
+
+/// The outcome of [`Store::admit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The program was new; admitted under this (possibly uniquified) name.
+    Fresh(String),
+    /// An entry with the same fingerprint already exists under this name.
+    Duplicate(String),
+}
+
+/// An in-memory view of a corpus directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    entries: Vec<Entry>,
+    programs: Vec<Program>, // parallel to `entries`
+    quarantine: Vec<(String, Option<String>)>,
+}
+
+const MANIFEST: &str = "manifest.jsonl";
+const QUARANTINE: &str = "quarantine.jsonl";
+const ENTRIES_DIR: &str = "entries";
+const STORE_VERSION: u64 = 1;
+
+impl Store {
+    /// Creates an empty store at `dir`. Fails if a manifest already exists.
+    pub fn init(dir: &Path) -> Result<Store, String> {
+        let manifest = dir.join(MANIFEST);
+        if manifest.exists() {
+            return Err(format!("corpus store already exists at {}", dir.display()));
+        }
+        fs::create_dir_all(dir.join(ENTRIES_DIR))
+            .map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let store = Store {
+            dir: dir.to_path_buf(),
+            entries: Vec::new(),
+            programs: Vec::new(),
+            quarantine: Vec::new(),
+        };
+        store.save()?;
+        Ok(store)
+    }
+
+    /// Loads an existing store from `dir`.
+    pub fn open(dir: &Path) -> Result<Store, String> {
+        let manifest_path = dir.join(MANIFEST);
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty manifest", manifest_path.display()))?;
+        check_header(header).map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        let mut entries = Vec::new();
+        let mut programs = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = decode_entry(line)
+                .map_err(|e| format!("{} line {}: {e}", manifest_path.display(), i + 1))?;
+            let src_path = dir.join(ENTRIES_DIR).join(format!("{}.java", entry.id));
+            let src = fs::read_to_string(&src_path)
+                .map_err(|e| format!("read {}: {e}", src_path.display()))?;
+            let program =
+                mjava::parse(&src).map_err(|e| format!("parse {}: {e:?}", src_path.display()))?;
+            entries.push(entry);
+            programs.push(program);
+        }
+        let quarantine = read_quarantine(&dir.join(QUARANTINE))?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            entries,
+            programs,
+            quarantine,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All entries, in admission order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The program behind a named entry.
+    pub fn program(&self, name: &str) -> Option<&Program> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| &self.programs[i])
+    }
+
+    /// Admits a program under `name_hint`, deduping by fingerprint.
+    ///
+    /// If an entry with the same fingerprint exists the store is left
+    /// untouched and the existing entry's name is returned; this makes
+    /// re-imports and replayed promotions idempotent. Name collisions with
+    /// distinct fingerprints are resolved by a deterministic `_2`, `_3`,
+    /// ... suffix.
+    pub fn admit(
+        &mut self,
+        name_hint: &str,
+        program: &Program,
+        fingerprint: u64,
+        provenance: Provenance,
+        parent: Option<String>,
+    ) -> Admission {
+        if let Some(existing) = self.entries.iter().find(|e| e.fingerprint == fingerprint) {
+            return Admission::Duplicate(existing.name.clone());
+        }
+        let mut name = name_hint.to_string();
+        let mut suffix = 2;
+        while self.entries.iter().any(|e| e.name == name) {
+            name = format!("{name_hint}_{suffix}");
+            suffix += 1;
+        }
+        let id = format!("c{:04}", self.next_id());
+        self.entries.push(Entry {
+            id,
+            name: name.clone(),
+            fingerprint,
+            provenance,
+            parent,
+            stats: EntryStats::default(),
+        });
+        self.programs.push(program.clone());
+        Admission::Fresh(name)
+    }
+
+    /// Overwrites the stats of a named entry (absolute values, so flushing
+    /// the same campaign twice — live then via resume — is idempotent).
+    pub fn set_stats(&mut self, name: &str, stats: EntryStats) -> Result<(), String> {
+        match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(entry) => {
+                entry.stats = stats;
+                Ok(())
+            }
+            None => Err(format!("no corpus entry named {name:?}")),
+        }
+    }
+
+    /// The persisted quarantine: `(seed, mutator)` pairs; a `None` mutator
+    /// blocks the whole seed.
+    pub fn quarantine(&self) -> &[(String, Option<String>)] {
+        &self.quarantine
+    }
+
+    /// Set-unions new pairs into the quarantine.
+    pub fn merge_quarantine(&mut self, pairs: &[(String, Option<String>)]) {
+        for pair in pairs {
+            if !self.quarantine.contains(pair) {
+                self.quarantine.push(pair.clone());
+            }
+        }
+    }
+
+    /// Atomically rewrites the manifest, quarantine, and any entry sources
+    /// not yet on disk.
+    pub fn save(&self) -> Result<(), String> {
+        fs::create_dir_all(self.dir.join(ENTRIES_DIR))
+            .map_err(|e| format!("create {}: {e}", self.dir.display()))?;
+        for (entry, program) in self.entries.iter().zip(&self.programs) {
+            // Unconditional rewrite: a crash between a source write and the
+            // manifest rename could otherwise leave a stale file under a
+            // reused id.
+            let path = self
+                .dir
+                .join(ENTRIES_DIR)
+                .join(format!("{}.java", entry.id));
+            write_atomic(&path, &mjava::print(program))?;
+        }
+        let mut manifest = String::new();
+        manifest.push_str(&format!(
+            "{{\"type\":\"jcorpus\",\"version\":{STORE_VERSION}}}\n"
+        ));
+        for entry in &self.entries {
+            manifest.push_str(&encode_entry(entry));
+            manifest.push('\n');
+        }
+        write_atomic(&self.dir.join(MANIFEST), &manifest)?;
+        let mut quarantine = String::new();
+        for (seed, mutator) in &self.quarantine {
+            let mutator = match mutator {
+                Some(m) => format!("\"{}\"", esc(m)),
+                None => "null".to_string(),
+            };
+            quarantine.push_str(&format!(
+                "{{\"seed\":\"{}\",\"mutator\":{mutator}}}\n",
+                esc(seed)
+            ));
+        }
+        write_atomic(&self.dir.join(QUARANTINE), &quarantine)?;
+        Ok(())
+    }
+
+    fn next_id(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| e.id.strip_prefix('c').and_then(|n| n.parse::<u64>().ok()))
+            .max()
+            .map_or(1, |n| n + 1)
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn encode_entry(e: &Entry) -> String {
+    let parent = match &e.parent {
+        Some(p) => format!("\"{}\"", esc(p)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"name\":\"{}\",\"fingerprint\":\"{}\",\"provenance\":\"{}\",\
+         \"parent\":{parent},\"schedules\":{},\"yield_sum\":{:?},\"faults\":{},\"bugs\":{}}}",
+        esc(&e.id),
+        esc(&e.name),
+        fingerprint_hex(e.fingerprint),
+        e.provenance.as_str(),
+        e.stats.schedules,
+        e.stats.yield_sum,
+        e.stats.faults,
+        e.stats.bugs,
+    )
+}
+
+fn check_header(line: &str) -> Result<(), String> {
+    let json = parse_json(line)?;
+    match json.get("type") {
+        Some(Json::Str(t)) if t == "jcorpus" => {}
+        _ => return Err("not a jcorpus manifest".to_string()),
+    }
+    match json.get("version") {
+        Some(Json::Num(v)) if *v == STORE_VERSION as f64 => Ok(()),
+        Some(Json::Num(v)) => Err(format!("unsupported store version {v}")),
+        _ => Err("missing store version".to_string()),
+    }
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key:?}")),
+    }
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        _ => Err(format!("missing integer field {key:?}")),
+    }
+}
+
+fn decode_entry(line: &str) -> Result<Entry, String> {
+    let json = parse_json(line)?;
+    let parent = match json.get("parent") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(Json::Null) | None => None,
+        Some(other) => return Err(format!("bad parent: {other:?}")),
+    };
+    let yield_sum = match json.get("yield_sum") {
+        Some(Json::Num(n)) => *n,
+        _ => return Err("missing number field \"yield_sum\"".to_string()),
+    };
+    Ok(Entry {
+        id: str_field(&json, "id")?,
+        name: str_field(&json, "name")?,
+        fingerprint: parse_fingerprint(&str_field(&json, "fingerprint")?)?,
+        provenance: Provenance::from_str(&str_field(&json, "provenance")?)?,
+        parent,
+        stats: EntryStats {
+            schedules: u64_field(&json, "schedules")?,
+            yield_sum,
+            faults: u64_field(&json, "faults")?,
+            bugs: u64_field(&json, "bugs")?,
+        },
+    })
+}
+
+fn read_quarantine(path: &Path) -> Result<Vec<(String, Option<String>)>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut pairs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json =
+            parse_json(line).map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+        let seed = str_field(&json, "seed")
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+        let mutator = match json.get("mutator") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(Json::Null) => None,
+            other => {
+                return Err(format!(
+                    "{} line {}: bad mutator: {other:?}",
+                    path.display(),
+                    i + 1
+                ))
+            }
+        };
+        pairs.push((seed, mutator));
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("jcorpus-test-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seeds() -> Vec<(String, Program)> {
+        mjava::samples::all_seeds()
+            .into_iter()
+            .map(|s| (s.name.to_string(), s.program))
+            .collect()
+    }
+
+    #[test]
+    fn init_then_open_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut store = Store::init(&dir).unwrap();
+        for (i, (name, program)) in seeds().into_iter().enumerate().take(4) {
+            let adm = store.admit(&name, &program, i as u64 + 10, Provenance::Builtin, None);
+            assert_eq!(adm, Admission::Fresh(name));
+        }
+        store
+            .set_stats(
+                "listing2",
+                EntryStats {
+                    schedules: 3,
+                    yield_sum: 41.25,
+                    faults: 1,
+                    bugs: 2,
+                },
+            )
+            .unwrap();
+        store.merge_quarantine(&[
+            ("listing2".to_string(), Some("Inlining".to_string())),
+            ("gen_001".to_string(), None),
+        ]);
+        store.save().unwrap();
+        let manifest_a = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.entries(), store.entries());
+        assert_eq!(reopened.quarantine(), store.quarantine());
+        for entry in store.entries() {
+            assert_eq!(
+                reopened.program(&entry.name).unwrap(),
+                store.program(&entry.name).unwrap()
+            );
+        }
+        reopened.save().unwrap();
+        let manifest_b = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        assert_eq!(manifest_a, manifest_b, "save is byte-stable");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn init_refuses_existing_store() {
+        let dir = temp_dir("exists");
+        Store::init(&dir).unwrap();
+        assert!(Store::init(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admit_dedups_by_fingerprint() {
+        let dir = temp_dir("dedup");
+        let mut store = Store::init(&dir).unwrap();
+        let (name, program) = seeds().remove(0);
+        assert_eq!(
+            store.admit(&name, &program, 7, Provenance::Builtin, None),
+            Admission::Fresh(name.clone())
+        );
+        // Same fingerprint, different name: collapses into the first entry.
+        assert_eq!(
+            store.admit("other", &program, 7, Provenance::Imported, None),
+            Admission::Duplicate(name.clone())
+        );
+        // Same name, different fingerprint: uniquified.
+        assert_eq!(
+            store.admit(&name, &program, 8, Provenance::Imported, None),
+            Admission::Fresh(format!("{name}_2"))
+        );
+        assert_eq!(store.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_quarantine_is_a_set_union() {
+        let dir = temp_dir("quarantine");
+        let mut store = Store::init(&dir).unwrap();
+        let pair = ("s".to_string(), Some("Hoisting".to_string()));
+        store.merge_quarantine(std::slice::from_ref(&pair));
+        store.merge_quarantine(&[pair.clone(), ("t".to_string(), None)]);
+        assert_eq!(store.quarantine().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

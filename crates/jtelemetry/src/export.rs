@@ -138,23 +138,47 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
             p = PROM_PREFIX
         ));
     }
-    for (family, typ) in [
-        ("span_count", "counter"),
-        ("span_total_nanos", "counter"),
-        ("span_max_nanos", "gauge"),
-    ] {
-        out.push_str(&format!("# TYPE {PROM_PREFIX}{family} {typ}\n"));
-        for span in &snap.spans {
-            let value = match family {
-                "span_count" => span.count,
-                "span_total_nanos" => span.total_nanos,
-                _ => span.max_nanos,
-            };
+    // Span timings export as one native Prometheus histogram family. The
+    // log2 accumulator bucket `i` holds durations with `i` significant
+    // bits, i.e. integers in `[2^(i-1), 2^i)`, so its inclusive upper
+    // bound is `2^i - 1` — that is the `le` value, and the series are
+    // cumulative as the exposition format requires. The final accumulator
+    // bucket is a clamp (everything with more significant bits than the
+    // histogram tracks), so it has no finite `le` and surfaces only in
+    // `+Inf`.
+    out.push_str(&format!(
+        "# TYPE {PROM_PREFIX}span_duration_nanos histogram\n"
+    ));
+    for span in &snap.spans {
+        let label = prom_escape_label(&span.name);
+        let mut cumulative = 0u64;
+        for (i, b) in span.buckets[..span.buckets.len() - 1].iter().enumerate() {
+            cumulative += b;
+            let le = (1u64 << i) - 1;
             out.push_str(&format!(
-                "{PROM_PREFIX}{family}{{span=\"{}\"}} {value}\n",
-                prom_escape_label(&span.name)
+                "{PROM_PREFIX}span_duration_nanos_bucket{{span=\"{label}\",le=\"{le}\"}} {cumulative}\n"
             ));
         }
+        out.push_str(&format!(
+            "{PROM_PREFIX}span_duration_nanos_bucket{{span=\"{label}\",le=\"+Inf\"}} {}\n",
+            span.count
+        ));
+        out.push_str(&format!(
+            "{PROM_PREFIX}span_duration_nanos_sum{{span=\"{label}\"}} {}\n",
+            span.total_nanos
+        ));
+        out.push_str(&format!(
+            "{PROM_PREFIX}span_duration_nanos_count{{span=\"{label}\"}} {}\n",
+            span.count
+        ));
+    }
+    out.push_str(&format!("# TYPE {PROM_PREFIX}span_max_nanos gauge\n"));
+    for span in &snap.spans {
+        out.push_str(&format!(
+            "{PROM_PREFIX}span_max_nanos{{span=\"{}\"}} {}\n",
+            prom_escape_label(&span.name),
+            span.max_nanos
+        ));
     }
     for family in ["mutator_applies", "mutator_accepted", "mutator_rejected"] {
         out.push_str(&format!("# TYPE {PROM_PREFIX}{family} counter\n"));
@@ -326,7 +350,16 @@ mod tests {
         crate::schema::validate_prometheus(&page).expect("page validates");
         assert!(page.contains("# TYPE mop_vm_executions counter"));
         assert!(page.contains("mop_vm_executions 40"));
-        assert!(page.contains("mop_span_total_nanos{span=\"inline\"} 2000"));
+        assert!(page.contains("# TYPE mop_span_duration_nanos histogram"));
+        // 2000ns has 11 significant bits → first non-empty cumulative
+        // bucket is le = 2^11 - 1.
+        assert!(page.contains("mop_span_duration_nanos_bucket{span=\"inline\",le=\"1023\"} 0"));
+        assert!(page.contains("mop_span_duration_nanos_bucket{span=\"inline\",le=\"2047\"} 1"));
+        assert!(page.contains("mop_span_duration_nanos_bucket{span=\"inline\",le=\"+Inf\"} 1"));
+        assert!(page.contains("mop_span_duration_nanos_sum{span=\"inline\"} 2000"));
+        assert!(page.contains("mop_span_duration_nanos_count{span=\"inline\"} 1"));
+        assert!(!page.contains("mop_span_total_nanos"));
+        assert!(page.contains("mop_span_max_nanos{span=\"inline\"} 2000"));
         assert!(page.contains("mop_mutator_applies{mutator=\"LoopPeel\\\"q\\\"\"} 1"));
     }
 

@@ -364,13 +364,80 @@ pub fn validate_snapshot_line(line: &str) -> Result<(), String> {
     )
 }
 
+/// Parses the inner text of a `{...}` label set into `(key, value)` pairs,
+/// undoing the exposition format's `\\`, `\"`, and `\n` escapes.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'=' {
+            pos += 1;
+        }
+        if pos >= bytes.len() {
+            return Err("label missing '='".to_string());
+        }
+        let key = s[start..pos].to_string();
+        pos += 1;
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(format!("label '{key}' value not quoted"));
+        }
+        pos += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                None => return Err(format!("label '{key}' value unterminated")),
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'"') => value.push('"'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("label '{key}' has a bad escape")),
+                    }
+                    pos += 2;
+                }
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let c = s[pos..].chars().next().expect("non-empty");
+                    value.push(c);
+                    pos += c.len_utf8();
+                }
+            }
+        }
+        out.push((key, value));
+        match bytes.get(pos) {
+            None => break,
+            Some(b',') => pos += 1,
+            _ => return Err("expected ',' between labels".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Accumulated samples of one histogram series (one base family + one
+/// non-`le` label combination).
+#[derive(Default)]
+struct HistSeries {
+    /// `(le, cumulative count)` in emission order.
+    buckets: Vec<(String, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
 /// Validates a Prometheus-style text page: every sample belongs to a
 /// declared `# TYPE` family, every name carries the `mop_` prefix, all
-/// expected families are present, and `mop_schema_version` matches.
+/// expected families are present, histogram series are cumulative and
+/// consistent (`_bucket` monotone, `+Inf` == `_count`), and
+/// `mop_schema_version` matches.
 pub fn validate_prometheus(page: &str) -> Result<(), String> {
-    let mut declared: Vec<String> = Vec::new();
+    let mut declared: Vec<(String, String)> = Vec::new();
     let mut sampled: Vec<String> = Vec::new();
     let mut schema_version: Option<f64> = None;
+    let mut histograms: BTreeMap<(String, String), HistSeries> = BTreeMap::new();
 
     for (lineno, line) in page.lines().enumerate() {
         let line = line.trim_end();
@@ -386,13 +453,13 @@ pub fn validate_prometheus(page: &str) -> Result<(), String> {
             let typ = parts
                 .next()
                 .ok_or_else(|| at("missing family type".to_string()))?;
-            if !matches!(typ, "counter" | "gauge") {
+            if !matches!(typ, "counter" | "gauge" | "histogram") {
                 return Err(at(format!("bad family type '{typ}'")));
             }
             if !name.starts_with(PROM_PREFIX) {
                 return Err(at(format!("family '{name}' lacks {PROM_PREFIX} prefix")));
             }
-            declared.push(name.to_string());
+            declared.push((name.to_string(), typ.to_string()));
             continue;
         }
         if line.starts_with('#') {
@@ -403,28 +470,105 @@ pub fn validate_prometheus(page: &str) -> Result<(), String> {
             Some(space) => (&line[..space], line[space + 1..].trim()),
             None => return Err(at("sample line has no value".to_string())),
         };
-        let family = match name_part.find('{') {
+        let (family, labels_text) = match name_part.find('{') {
             Some(brace) => {
                 if !name_part.ends_with('}') {
                     return Err(at("unterminated label set".to_string()));
                 }
-                &name_part[..brace]
+                (
+                    &name_part[..brace],
+                    Some(&name_part[brace + 1..name_part.len() - 1]),
+                )
             }
-            None => name_part,
+            None => (name_part, None),
         };
         if !family.starts_with(PROM_PREFIX) {
             return Err(at(format!("sample '{family}' lacks {PROM_PREFIX} prefix")));
         }
-        if !declared.iter().any(|d| d == family) {
-            return Err(at(format!("sample '{family}' has no # TYPE declaration")));
-        }
         let value: f64 = value_part
             .parse()
             .map_err(|_| at(format!("bad sample value '{value_part}'")))?;
-        if family == format!("{PROM_PREFIX}schema_version") {
-            schema_version = Some(value);
+        // An exact declaration wins (so a gauge legitimately named
+        // `*_count` is not mistaken for a histogram series); otherwise a
+        // `_bucket`/`_sum`/`_count` suffix resolves to its histogram base.
+        if declared.iter().any(|(d, _)| d == family) {
+            if family == format!("{PROM_PREFIX}schema_version") {
+                schema_version = Some(value);
+            }
+            sampled.push(family.to_string());
+            continue;
         }
-        sampled.push(family.to_string());
+        let hist = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            let base = family.strip_suffix(suffix)?;
+            declared
+                .iter()
+                .any(|(d, t)| d == base && t == "histogram")
+                .then(|| (base.to_string(), *suffix))
+        });
+        let Some((base, suffix)) = hist else {
+            return Err(at(format!("sample '{family}' has no # TYPE declaration")));
+        };
+        let mut labels = match labels_text {
+            Some(text) => parse_labels(text).map_err(at)?,
+            None => Vec::new(),
+        };
+        let le = match suffix {
+            "_bucket" => {
+                let pos = labels
+                    .iter()
+                    .position(|(k, _)| k == "le")
+                    .ok_or_else(|| at(format!("'{family}' bucket sample has no 'le' label")))?;
+                let (_, le) = labels.remove(pos);
+                if le != "+Inf" && le.parse::<f64>().is_err() {
+                    return Err(at(format!("'{family}' has bad le value '{le}'")));
+                }
+                Some(le)
+            }
+            _ => None,
+        };
+        labels.sort();
+        let series_key = labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let series = histograms.entry((base.clone(), series_key)).or_default();
+        match suffix {
+            "_bucket" => series.buckets.push((le.expect("bucket has le"), value)),
+            "_sum" => series.sum = Some(value),
+            _ => series.count = Some(value),
+        }
+        sampled.push(base);
+    }
+
+    for ((family, series), hist) in &histograms {
+        let fail = |msg: String| format!("prometheus histogram {family}{{{series}}}: {msg}");
+        if hist.buckets.is_empty() {
+            return Err(fail("no _bucket samples".to_string()));
+        }
+        for pair in hist.buckets.windows(2) {
+            if pair[1].1 < pair[0].1 {
+                return Err(fail(format!(
+                    "buckets not cumulative: le={} count {} < le={} count {}",
+                    pair[1].0, pair[1].1, pair[0].0, pair[0].1
+                )));
+            }
+        }
+        let (last_le, last_count) = hist.buckets.last().expect("non-empty");
+        if last_le != "+Inf" {
+            return Err(fail(format!("last bucket le is '{last_le}', not '+Inf'")));
+        }
+        let count = hist
+            .count
+            .ok_or_else(|| fail("missing _count sample".to_string()))?;
+        if hist.sum.is_none() {
+            return Err(fail("missing _sum sample".to_string()));
+        }
+        if *last_count != count {
+            return Err(fail(format!(
+                "+Inf bucket ({last_count}) != _count ({count})"
+            )));
+        }
     }
 
     let mut expected: Vec<String> = vec![
@@ -516,6 +660,68 @@ mod tests {
         let page = "mop_rogue 1\n";
         let err = validate_prometheus(page).unwrap_err();
         assert!(err.contains("no # TYPE"), "{err}");
+    }
+
+    fn minimal_page_with(extra: &str) -> String {
+        let mut page = format!(
+            "# TYPE {p}schema_version gauge\n{p}schema_version {v}\n\
+             # TYPE {p}elapsed_nanos gauge\n{p}elapsed_nanos 0\n",
+            p = PROM_PREFIX,
+            v = SCHEMA_VERSION
+        );
+        for c in Counter::ALL {
+            page.push_str(&format!(
+                "# TYPE {p}{k} counter\n{p}{k} 0\n",
+                p = PROM_PREFIX,
+                k = c.key()
+            ));
+        }
+        for g in Gauge::ALL {
+            page.push_str(&format!(
+                "# TYPE {p}{k} gauge\n{p}{k} 0\n",
+                p = PROM_PREFIX,
+                k = g.key()
+            ));
+        }
+        page.push_str(extra);
+        page
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_well_formed_histogram() {
+        let page = minimal_page_with(
+            "# TYPE mop_h histogram\n\
+             mop_h_bucket{span=\"x\",le=\"1\"} 1\n\
+             mop_h_bucket{span=\"x\",le=\"+Inf\"} 2\n\
+             mop_h_sum{span=\"x\"} 40\n\
+             mop_h_count{span=\"x\"} 2\n",
+        );
+        validate_prometheus(&page).expect("histogram validates");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_non_cumulative_histogram() {
+        let page = minimal_page_with(
+            "# TYPE mop_h histogram\n\
+             mop_h_bucket{le=\"1\"} 3\n\
+             mop_h_bucket{le=\"+Inf\"} 2\n\
+             mop_h_sum 40\n\
+             mop_h_count 2\n",
+        );
+        let err = validate_prometheus(&page).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_inf_count_mismatch() {
+        let page = minimal_page_with(
+            "# TYPE mop_h histogram\n\
+             mop_h_bucket{le=\"+Inf\"} 2\n\
+             mop_h_sum 40\n\
+             mop_h_count 3\n",
+        );
+        let err = validate_prometheus(&page).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ proptest! {
     #[test]
     fn generated_programs_round_trip(gen_seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(gen_seed);
-        let program = mopfuzzer::corpus::generate(&mut rng);
+        let program = mopfuzzer::corpus::generate(&mut rng, gen_seed as usize % 1000);
         let printed = mjava::print(&program);
         let reparsed = mjava::parse(&printed).expect("generated program parses");
         prop_assert_eq!(reparsed, program);
@@ -26,7 +26,7 @@ proptest! {
     #[test]
     fn generated_programs_execute(gen_seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(gen_seed);
-        let program = mopfuzzer::corpus::generate(&mut rng);
+        let program = mopfuzzer::corpus::generate(&mut rng, gen_seed as usize % 1000);
         let outcome = jexec::run_program(&program, &jexec::ExecConfig::default())
             .expect("generated program builds");
         prop_assert!(outcome.is_clean());

@@ -80,7 +80,7 @@ fn generated_corpus_mutants_also_preserved() {
         JvmSpec::j9(Version::V17).without_bugs(),
     ];
     for case in 0..8 {
-        let seed = mopfuzzer::corpus::generate(&mut rng);
+        let seed = mopfuzzer::corpus::generate(&mut rng, case as usize);
         let mutant = random_mutant(&seed, 6, 7_000 + case);
         let reference = jexec::run_program(&mutant, &jexec::ExecConfig::default())
             .expect("mutant builds")
