@@ -1,0 +1,134 @@
+//! Campaign throughput across worker counts (`--jobs`).
+//!
+//! Runs the same campaign at jobs ∈ {1, 2, 4, 8}, times each run, and
+//! writes `BENCH_parallel.json` (rounds/sec, execs/sec, speedup over the
+//! serial run). Because the parallel engine is bit-deterministic, every
+//! run must produce an identical `CampaignResult` — the bench asserts
+//! this, so it doubles as an equivalence smoke test.
+//!
+//! Speedup is bounded by the host: the recorded `available_parallelism`
+//! field says how many hardware threads the numbers were taken on. On a
+//! single-core machine expect ~1.0× (the engine's point is that extra
+//! workers are *free*, never that they are always faster).
+//!
+//! Flags:
+//!   --smoke       tiny round count (CI smoke mode)
+//!   --out PATH    output path (default BENCH_parallel.json)
+//!   --rounds N    override the round count
+
+use bench::{experiment_seeds, render_table};
+use mopfuzzer::{run_campaign, CampaignConfig, CampaignResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    jobs: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    execs_per_sec: f64,
+    executions: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let out_path = flag("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let rounds: usize = match flag("--rounds") {
+        Some(s) => s.parse().expect("--rounds takes a number"),
+        None if smoke => 8,
+        None => 48,
+    };
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let seeds = experiment_seeds(6);
+    let config = |jobs: usize| CampaignConfig {
+        iterations_per_seed: 30,
+        rounds,
+        jobs,
+        ..CampaignConfig::new(rounds)
+    };
+
+    // Warm up allocators and code paths so jobs=1 isn't penalized for
+    // going first.
+    run_campaign(&seeds, &config(1));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline: Option<CampaignResult> = None;
+    for jobs in JOBS {
+        eprintln!("running {rounds} rounds at --jobs {jobs} ...");
+        let start = Instant::now();
+        let result = run_campaign(&seeds, &config(jobs));
+        let seconds = start.elapsed().as_secs_f64().max(1e-9);
+        match &baseline {
+            None => baseline = Some(result.clone()),
+            Some(b) => assert_eq!(
+                b, &result,
+                "--jobs {jobs} diverged from --jobs 1: the parallel engine is broken"
+            ),
+        }
+        rows.push(Row {
+            jobs,
+            seconds,
+            rounds_per_sec: rounds as f64 / seconds,
+            execs_per_sec: result.executions as f64 / seconds,
+            executions: result.executions,
+        });
+    }
+
+    let serial = rows[0].rounds_per_sec;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.jobs.to_string(),
+                format!("{:.3}", r.seconds),
+                format!("{:.1}", r.rounds_per_sec),
+                format!("{:.0}", r.execs_per_sec),
+                format!("{:.2}x", r.rounds_per_sec / serial),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("Campaign throughput, {rounds} rounds, {hw} hardware thread(s)"),
+            &["jobs", "seconds", "rounds/s", "execs/s", "speedup"],
+            &table
+        )
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"type\": \"mopfuzzer-parallel-bench\",");
+    let _ = writeln!(json, "  \"version\": 1,");
+    let _ = writeln!(json, "  \"available_parallelism\": {hw},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"jobs\": {}, \"seconds\": {:.6}, \"rounds_per_sec\": {:.3}, \
+             \"execs_per_sec\": {:.3}, \"executions\": {}, \"speedup\": {:.3}}}{comma}",
+            r.jobs,
+            r.seconds,
+            r.rounds_per_sec,
+            r.execs_per_sec,
+            r.executions,
+            r.rounds_per_sec / serial,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -56,6 +56,7 @@ pub fn dual_family_campaign(seeds: &[Seed], rounds_per_family: usize) -> DualRes
             rng_seed: 2024 + salt,
             supervisor: Default::default(),
             fault: None,
+            jobs: 1,
         };
         let result = run_campaign(seeds, &config);
         merged.executions += result.executions;

@@ -81,7 +81,8 @@ fn print_usage() {
            mopfuzzer --resume FILE\n\
            mopfuzzer corpus init DIR [--extra N] [--rng SEED]\n\
            mopfuzzer corpus import DIR SRCDIR\n\
-           mopfuzzer corpus stats DIR\n\
+           mopfuzzer corpus stats DIR [--json]\n\
+           mopfuzzer corpus gc DIR [--streak N]\n\
          \n\
          OPTIONS:\n\
            --project_path DIR      directory of .java seed files (MiniJava subset);\n\
@@ -110,6 +111,10 @@ fn print_usage() {
            --max-steps N           stop after N interpreter steps (simulated time)\n\
            --max-execs N           stop after N JVM executions\n\
            --round-deadline N      fail rounds exceeding N steps\n\
+           --jobs N                worker threads executing rounds (default:\n\
+                                   all hardware threads). Journals, results\n\
+                                   and corpus flushes are bit-identical at\n\
+                                   any worker count\n\
            --retries N             retries per faulted round (default 2)\n\
            --quarantine-threshold N  failed rounds before a (seed, mutator)\n\
                                    pair is quarantined (default 2)\n\
@@ -122,10 +127,16 @@ fn print_usage() {
                                    promotion, persisted quarantine\n\
            --promote-threshold F   final OBV delta at which a round's mutant\n\
                                    is minimized and promoted (default 20)\n\
+           --gc-streak N           after the campaign flush, drop entries at\n\
+                                   the energy floor for N consecutive campaigns\n\
            corpus init DIR         create a store seeded with the built-in\n\
                                    corpus (--extra N adds generated seeds)\n\
            corpus import DIR SRC   fingerprint + dedup .java files into DIR\n\
-           corpus stats DIR        print per-entry stats and scheduler energy"
+           corpus stats DIR        print per-entry stats and scheduler energy\n\
+                                   (--json: machine-readable, schema\n\
+                                   jcorpus-stats v1)\n\
+           corpus gc DIR           tombstone entries whose energy sat at the\n\
+                                   floor for --streak N campaigns (default 3)"
     );
 }
 
@@ -144,8 +155,16 @@ struct CliOptions {
     metrics_every: usize,
     corpus: Option<PathBuf>,
     promote_threshold: Option<f64>,
+    gc_streak: Option<u64>,
+    jobs: Option<usize>,
     supervisor: SupervisorConfig,
     fault: Option<FaultPlan>,
+}
+
+/// `--jobs` default: every hardware thread. Campaign output is identical
+/// at any worker count, so there is no correctness reason to default low.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -171,6 +190,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "metrics-every" => "metrics-every",
             "corpus" => "corpus",
             "promote-threshold" => "promote-threshold",
+            "gc-streak" => "gc-streak",
+            "jobs" => "jobs",
             "max-steps" => "max-steps",
             "max-execs" => "max-execs",
             "round-deadline" => "round-deadline",
@@ -242,6 +263,11 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         metrics_every,
         corpus: map.get("corpus").map(PathBuf::from),
         promote_threshold: num(&map, "promote-threshold")?,
+        gc_streak: num(&map, "gc-streak")?,
+        jobs: match num::<usize>(&map, "jobs")? {
+            Some(0) => return Err("bad --jobs (must be >= 1)".to_string()),
+            jobs => jobs,
+        },
         supervisor,
         fault,
     })
@@ -366,17 +392,19 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         rng_seed: options.rng,
         supervisor: options.supervisor.clone(),
         fault: options.fault.clone(),
+        jobs: options.jobs.unwrap_or_else(default_jobs),
     };
     if let Some(dir) = &options.corpus {
         return run_corpus_campaign_mode(options, &config, dir);
     }
     let seeds = load_seeds(options)?;
     println!(
-        "campaign: {} supervised rounds × {} iterations over {} seed(s), {} JVMs",
+        "campaign: {} supervised rounds × {} iterations over {} seed(s), {} JVMs, {} worker(s)",
         config.rounds,
         config.iterations_per_seed,
         seeds.len(),
-        config.pool.len()
+        config.pool.len(),
+        config.jobs
     );
     let mut sink = metrics_sink(options)?;
     let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
@@ -404,14 +432,17 @@ fn run_corpus_campaign_mode(
         promote_threshold: options
             .promote_threshold
             .unwrap_or(CorpusOptions::default().promote_threshold),
+        gc_streak: options.gc_streak,
     };
     println!(
-        "campaign: {} power-scheduled rounds × {} iterations over corpus {} ({} entries), {} JVMs",
+        "campaign: {} power-scheduled rounds × {} iterations over corpus {} ({} entries), \
+         {} JVMs, {} worker(s)",
         config.rounds,
         config.iterations_per_seed,
         dir.display(),
         store.len(),
-        config.pool.len()
+        config.pool.len(),
+        config.jobs
     );
     if let Some(path) = &options.journal {
         println!("journal: {}", path.display());
@@ -503,11 +534,46 @@ fn run_corpus_command(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        Some("gc") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "usage: mopfuzzer corpus gc DIR [--streak N]".to_string())?;
+            let mut streak = 3u64;
+            let mut it = args[2..].iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--streak" => streak = value.parse().map_err(|_| "bad --streak".to_string())?,
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
+            let mut store = jcorpus::Store::open(Path::new(dir))?;
+            let dropped = store.gc(streak);
+            store.save()?;
+            for name in &dropped {
+                println!("dropped {name}");
+            }
+            println!(
+                "gc: dropped {} entr(ies) at the energy floor for >= {} campaign(s); \
+                 {} remain in {}",
+                dropped.len(),
+                streak,
+                store.len(),
+                dir
+            );
+            Ok(())
+        }
         Some("stats") => {
             let dir = args
                 .get(1)
-                .ok_or_else(|| "usage: mopfuzzer corpus stats DIR".to_string())?;
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "usage: mopfuzzer corpus stats DIR [--json]".to_string())?;
             let store = jcorpus::Store::open(Path::new(dir))?;
+            if args.get(2).map(String::as_str) == Some("--json") {
+                println!("{}", store.stats_json());
+                return Ok(());
+            }
             println!(
                 "corpus {}: {} entries, {} quarantined pair(s)",
                 dir,
@@ -539,7 +605,7 @@ fn run_corpus_command(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err("usage: mopfuzzer corpus <init|import|stats> ...".to_string()),
+        _ => Err("usage: mopfuzzer corpus <init|import|stats|gc> ...".to_string()),
     }
 }
 
@@ -586,7 +652,8 @@ fn run_resume(journal: &Path, options: &CliOptions) -> Result<(), String> {
     }
     let mut sink = metrics_sink(options)?;
     let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
-    let result = resume_campaign_extended(journal, options.rounds, observer)?;
+    let jobs = options.jobs.unwrap_or_else(default_jobs);
+    let result = resume_campaign_extended(journal, options.rounds, Some(jobs), observer)?;
     if let Some(sink) = &sink {
         sink.finish();
     }

@@ -36,6 +36,12 @@ pub struct CampaignConfig {
     pub supervisor: SupervisorConfig,
     /// Optional deterministic fault injection (robustness testing).
     pub fault: Option<FaultPlan>,
+    /// Worker threads executing rounds (1 = the classic serial loop).
+    /// Any value produces bit-identical journals and results: workers
+    /// speculate rounds ahead and the coordinator merges them in strict
+    /// round order (see `supervisor`), so `jobs` buys wall-clock time
+    /// only. Not journaled — a journal resumes at any worker count.
+    pub jobs: usize,
 }
 
 impl CampaignConfig {
@@ -49,6 +55,7 @@ impl CampaignConfig {
             rng_seed: 2024,
             supervisor: SupervisorConfig::default(),
             fault: None,
+            jobs: 1,
         }
     }
 }
@@ -198,12 +205,17 @@ pub struct CorpusOptions {
     /// promoted (minimized and admitted as a first-class seed). Bug-finding
     /// rounds promote regardless of delta.
     pub promote_threshold: f64,
+    /// When set, run corpus GC after the campaign's flush: entries whose
+    /// scheduler energy stayed clamped at the floor for this many
+    /// consecutive campaigns are tombstoned (see [`jcorpus::Store::gc`]).
+    pub gc_streak: Option<u64>,
 }
 
 impl Default for CorpusOptions {
     fn default() -> CorpusOptions {
         CorpusOptions {
             promote_threshold: 20.0,
+            gc_streak: None,
         }
     }
 }
@@ -233,6 +245,7 @@ fn corpus_header(store: &jcorpus::Store, opts: &CorpusOptions) -> Result<CorpusH
                 name: e.name.clone(),
                 fingerprint: e.fingerprint,
                 stats: e.stats.clone(),
+                floor_streak: e.floor_streak,
             })
             .collect(),
         preq,
@@ -276,6 +289,11 @@ fn build_ctx<'a>(
             ));
         }
     }
+    let baseline_streaks = header
+        .baseline
+        .iter()
+        .map(|e| (e.name.clone(), e.floor_streak))
+        .collect();
     Ok(CorpusCtx {
         store,
         scheduler,
@@ -283,19 +301,36 @@ fn build_ctx<'a>(
         fingerprints,
         promote_threshold: header.promote_threshold,
         preq: header.preq.clone(),
+        baseline_streaks,
     })
 }
 
 /// Writes the campaign's outcome back to the store: absolute per-entry
 /// stats (idempotent — a resume that replays the same rounds flushes the
-/// same numbers), newly quarantined pairs, and a single atomic save.
-fn flush_corpus(ctx: CorpusCtx<'_>, result: &CampaignResult) -> Result<(), String> {
+/// same numbers), floor streaks recomputed from the journal baseline (so
+/// resume flushes the same streaks too), newly quarantined pairs, an
+/// optional GC pass, and a single atomic save.
+fn flush_corpus(
+    ctx: CorpusCtx<'_>,
+    result: &CampaignResult,
+    gc_streak: Option<u64>,
+) -> Result<(), String> {
     let CorpusCtx {
-        store, scheduler, ..
+        store,
+        scheduler,
+        baseline_streaks,
+        ..
     } = ctx;
     for name in scheduler.names() {
         if let Some(stats) = scheduler.stats(name) {
+            let baseline = baseline_streaks.get(name).copied().unwrap_or(0);
+            let streak = if stats.schedules > 0 && jcorpus::energy(stats) <= jcorpus::ENERGY_FLOOR {
+                baseline + 1
+            } else {
+                0
+            };
             store.set_stats(name, stats.clone())?;
+            store.set_floor_streak(name, streak)?;
         }
     }
     let pairs: Vec<(String, Option<String>)> = result
@@ -304,6 +339,9 @@ fn flush_corpus(ctx: CorpusCtx<'_>, result: &CampaignResult) -> Result<(), Strin
         .map(|(s, m)| (s.clone(), m.map(|k| format!("{k:?}"))))
         .collect();
     store.merge_quarantine(&pairs);
+    if let Some(streak) = gc_streak {
+        store.gc(streak);
+    }
     store.save()
 }
 
@@ -340,7 +378,7 @@ pub fn run_corpus_campaign(
         observer,
         Some(&mut ctx),
     );
-    flush_corpus(ctx, &result)?;
+    flush_corpus(ctx, &result, opts.gc_streak)?;
     Ok(result)
 }
 
@@ -350,7 +388,7 @@ pub fn run_corpus_campaign(
 /// execution share one accounting code path. A truncated trailing line
 /// (killed mid-write) is dropped and its round re-executed.
 pub fn resume_campaign(path: &Path) -> Result<CampaignResult, String> {
-    resume_campaign_extended(path, None, None)
+    resume_campaign_extended(path, None, None, None)
 }
 
 /// [`resume_campaign`] that can also *extend* a finished campaign: when
@@ -359,13 +397,20 @@ pub fn resume_campaign(path: &Path) -> Result<CampaignResult, String> {
 /// it (so a later resume continues from the extended target). Shrinking
 /// below the number of already-journaled rounds is an error — those rounds
 /// happened and cannot be unhappened.
+///
+/// `jobs_override` picks the worker count for the remaining live rounds;
+/// the journal does not record one (any count yields identical output).
 pub fn resume_campaign_extended(
     path: &Path,
     rounds_override: Option<usize>,
+    jobs_override: Option<usize>,
     observer: Option<&mut dyn CampaignObserver>,
 ) -> Result<CampaignResult, String> {
     let contents = journal::read_journal(path)?;
     let mut config = contents.config;
+    if let Some(jobs) = jobs_override {
+        config.jobs = jobs.max(1);
+    }
     if let Some(rounds) = rounds_override {
         if rounds < contents.records.len() {
             return Err(format!(
@@ -407,7 +452,9 @@ pub fn resume_campaign_extended(
                 observer,
                 Some(&mut ctx),
             );
-            flush_corpus(ctx, &result)?;
+            // Resume never auto-GCs: GC policy belongs to the live
+            // invocation (`--gc-streak`), not to the journal.
+            flush_corpus(ctx, &result, None)?;
             Ok(result)
         }
     }

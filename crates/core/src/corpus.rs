@@ -72,6 +72,11 @@ pub struct ImportOutcome {
 /// Fingerprints and admits `seeds` into the store (skipping behavioural
 /// duplicates). Fails fast on a seed the reference JVM cannot run — an
 /// invalid seed in a persistent corpus would poison every later campaign.
+///
+/// Fingerprints are memoized by source hash: a candidate whose printed
+/// source matches an existing store entry reuses that entry's recorded
+/// fingerprint instead of re-executing the reference JVM, so re-importing
+/// an already-imported directory costs prints, not executions.
 pub fn import_seeds(
     store: &mut jcorpus::Store,
     seeds: &[Seed],
@@ -79,9 +84,15 @@ pub fn import_seeds(
 ) -> Result<ImportOutcome, String> {
     let mut outcome = ImportOutcome::default();
     for seed in seeds {
-        let fp = jcorpus::fingerprint(&seed.program)
-            .map_err(|e| format!("seed {:?} rejected: {e}", seed.name))?;
-        match store.admit(&seed.name, &seed.program, fp.fingerprint, provenance, None) {
+        let fingerprint = match store.memoized_fingerprint(&seed.program) {
+            Some(fp) => fp,
+            None => {
+                jcorpus::fingerprint(&seed.program)
+                    .map_err(|e| format!("seed {:?} rejected: {e}", seed.name))?
+                    .fingerprint
+            }
+        };
+        match store.admit(&seed.name, &seed.program, fingerprint, provenance, None) {
             jcorpus::Admission::Fresh(name) => outcome.admitted.push(name),
             jcorpus::Admission::Duplicate(existing) => {
                 outcome.deduped.push((seed.name.clone(), existing));

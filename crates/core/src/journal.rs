@@ -106,6 +106,12 @@ pub struct BaselineEntry {
     pub fingerprint: u64,
     /// Stats at campaign start.
     pub stats: jcorpus::EntryStats,
+    /// Consecutive campaigns the entry's energy ended clamped at the
+    /// floor, as of campaign start. Carried so a resumed campaign updates
+    /// the store's GC streak exactly like the original run would have
+    /// (streaks are computed from this baseline, not read-modify-write).
+    /// Absent in older journals and defaults to 0.
+    pub floor_streak: u64,
 }
 
 /// Corpus-mode context in the journal header: everything a resume needs to
@@ -315,13 +321,14 @@ fn encode_corpus_header(corpus: &CorpusHeader) -> String {
     let baseline = join(&corpus.baseline, |b| {
         format!(
             "{{\"name\":{},\"fingerprint\":{},\"schedules\":{},\"yield_sum\":{:?},\
-             \"faults\":{},\"bugs\":{}}}",
+             \"faults\":{},\"bugs\":{},\"floor_streak\":{}}}",
             json_str(&b.name),
             json_str(&jcorpus::fingerprint_hex(b.fingerprint)),
             b.stats.schedules,
             b.stats.yield_sum,
             b.stats.faults,
             b.stats.bugs,
+            b.floor_streak,
         )
     });
     let preq = join(&corpus.preq, |(seed, mutator)| {
@@ -895,6 +902,10 @@ fn decode_corpus_header(v: &Json) -> Result<CorpusHeader, String> {
                     faults: req_u64(b, "faults")?,
                     bugs: req_u64(b, "bugs")?,
                 },
+                floor_streak: match b.get("floor_streak") {
+                    Some(f) => f.u64_().ok_or("floor_streak is not a u64")?,
+                    None => 0, // journals from before store GC existed
+                },
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -1001,6 +1012,9 @@ fn decode_header(line: &str) -> Result<Header, String> {
         rng_seed: req_u64(&v, "rng_seed")?,
         supervisor,
         fault,
+        // Worker count is an execution detail, not campaign identity: a
+        // journal written at any --jobs replays and resumes at any other.
+        jobs: 1,
     };
     Ok((config, seeds, corpus))
 }
@@ -1394,11 +1408,13 @@ mod tests {
                         faults: 1,
                         bugs: 2,
                     },
+                    floor_streak: 3,
                 },
                 BaselineEntry {
                     name: "p0000000000000001".to_string(),
                     fingerprint: 1,
                     stats: jcorpus::EntryStats::default(),
+                    floor_streak: 0,
                 },
             ],
             preq: vec![

@@ -38,10 +38,10 @@ use jvmsim::{run_jvm, Component, JvmSpec, RunOptions, Verdict};
 use mjava::Program;
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
+use std::sync::{mpsc, Arc, Mutex, Once};
 
 /// Which budget ran out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,6 +240,9 @@ pub(crate) struct CorpusCtx<'a> {
     pub promote_threshold: f64,
     /// Quarantine pairs inherited from earlier campaigns over the store.
     pub preq: Vec<(String, Option<MutatorKind>)>,
+    /// Entry name → floor streak at campaign start (journal baseline), the
+    /// base the post-campaign flush counts GC streaks from.
+    pub baseline_streaks: HashMap<String, u64>,
 }
 
 thread_local! {
@@ -556,11 +559,17 @@ fn run_attempt(
 /// Runs one round under supervision: skip if quarantined, otherwise
 /// attempt with bounded retries and produce the round's record (plus the
 /// final mutant of an `Ok` round, for promotion consideration).
+///
+/// `skip` and `banned` are passed as data rather than read from a
+/// [`Quarantine`] so the round is a pure function of its inputs — workers
+/// execute it speculatively on snapshots and the coordinator validates the
+/// snapshot afterwards (see [`run_parallel_rounds`]).
 fn execute_round(
     round: usize,
     seed: &Seed,
     config: &CampaignConfig,
-    quarantine: &Quarantine,
+    skip: bool,
+    banned: &[MutatorKind],
 ) -> (RoundRecord, Option<Program>) {
     let skeleton = |disposition| RoundRecord {
         round,
@@ -580,10 +589,9 @@ fn execute_round(
         wasted_execs: 0,
         promotion: None,
     };
-    if quarantine.seed_blocked(&seed.name) {
+    if skip {
         return (skeleton(Disposition::Skipped), None);
     }
-    let banned = quarantine.banned_mutators(&seed.name);
     let guidance = config.pool[round % config.pool.len()].clone();
     let mut errors: Vec<RoundFailure> = Vec::new();
     // Work done by attempts that fault is "wasted": it never reaches the
@@ -602,7 +610,7 @@ fn execute_round(
             format!("round {round} attempt {attempt} seed {}", seed.name),
         );
         let (steps_before, execs_before) = jtelemetry::work::totals();
-        match run_attempt(round, seed, &guidance, config, &banned, rng_seed) {
+        match run_attempt(round, seed, &guidance, config, banned, rng_seed) {
             Ok((mut record, mutant)) => {
                 record.errors = errors;
                 record.wasted_steps = wasted_steps;
@@ -638,20 +646,26 @@ fn execute_round(
 }
 
 /// Decides whether an `Ok` round's final mutant earns promotion, and if so
-/// minimizes it with jreduce and fingerprints the result. Pure with respect
-/// to `ctx` (admission happens in [`apply_record`], the shared live/replay
-/// path); all oracle runs are fault-free and deterministic.
+/// minimizes it with jreduce and fingerprints the result. A pure function
+/// of its arguments (admission happens in [`apply_record`], the shared
+/// live/replay path); all oracle runs are fault-free and deterministic.
+/// `seed_program` is the program the round fuzzed and `fingerprints` the
+/// set of behaviours already in the corpus — passed as data so workers can
+/// evaluate promotion on a snapshot (the coordinator re-checks the
+/// fingerprint against authoritative state at merge time).
 fn consider_promotion(
     record: &RoundRecord,
     mutant: &Program,
-    ctx: &CorpusCtx,
+    seed_program: &Program,
+    fingerprints: &HashSet<u64>,
+    promote_threshold: f64,
     config: &CampaignConfig,
 ) -> Option<PromotionRecord> {
     let reason = if let Some(crash) = &record.crash {
         PromotionReason::Bug(crash.id.clone())
     } else if let Some(bug) = record.diff_bugs.first() {
         PromotionReason::Bug(bug.id.clone())
-    } else if record.final_delta >= ctx.promote_threshold {
+    } else if record.final_delta >= promote_threshold {
         PromotionReason::Delta(record.final_delta)
     } else {
         return None;
@@ -680,12 +694,11 @@ fn consider_promotion(
         }
         PromotionReason::Delta(_) => {
             let guidance = &config.pool[record.round % config.pool.len()];
-            let seed_program = ctx.programs.get(&record.seed)?;
             let seed_run = run_jvm(seed_program, guidance, &options);
             execs += 1;
             steps += seed_run.steps;
             let seed_obv = Obv::from_log(&seed_run.log);
-            let threshold = ctx.promote_threshold;
+            let threshold = promote_threshold;
             let mut oracle = |p: &Program| {
                 let run = run_jvm(p, guidance, &options);
                 execs += 1;
@@ -699,7 +712,7 @@ fn consider_promotion(
     let fp = jcorpus::fingerprint(&reduced).ok()?;
     execs += 1;
     steps += fp.steps;
-    if ctx.fingerprints.contains(&fp.fingerprint) {
+    if fingerprints.contains(&fp.fingerprint) {
         return None; // behaviour already in the corpus
     }
     Some(PromotionRecord {
@@ -787,7 +800,24 @@ pub(crate) fn run_supervised(
             corpus.as_deref(),
         );
     }
+    if config.jobs > 1 {
+        run_parallel_rounds(
+            seeds,
+            config,
+            &mut writer,
+            replay.len(),
+            &mut observer,
+            &mut corpus,
+            &mut result,
+            &mut seen,
+            &mut quarantine,
+        );
+        return result;
+    }
     for round in replay.len()..config.rounds {
+        if let Some(ctx) = corpus.as_deref_mut() {
+            refresh_external_quarantine(ctx, &mut quarantine);
+        }
         if let Some(stop) = budget_stop(&result, &config.supervisor, round) {
             result.round_errors.push(stop.clone());
             result.stopped = Some(stop);
@@ -810,9 +840,18 @@ pub(crate) fn run_supervised(
             },
             None => seeds[round % seeds.len()].clone(),
         };
-        let (mut record, mutant) = execute_round(round, &seed, config, &quarantine);
+        let skip = quarantine.seed_blocked(&seed.name);
+        let banned = quarantine.banned_mutators(&seed.name);
+        let (mut record, mutant) = execute_round(round, &seed, config, skip, &banned);
         if let (Some(ctx), Some(mutant)) = (corpus.as_deref_mut(), mutant.as_ref()) {
-            record.promotion = consider_promotion(&record, mutant, ctx, config);
+            record.promotion = consider_promotion(
+                &record,
+                mutant,
+                &seed.program,
+                &ctx.fingerprints,
+                ctx.promote_threshold,
+                config,
+            );
         }
         if let Some(w) = writer.as_deref_mut() {
             // A failing journal must not kill the campaign it protects.
@@ -842,6 +881,326 @@ pub(crate) fn run_supervised(
         }
     }
     result
+}
+
+/// Folds pairs quarantined by *concurrent* campaigns into this one: the
+/// store's on-disk quarantine file (which every campaign over the store
+/// appends to at its final flush) is re-read each round, and new pairs are
+/// preloaded — banned immediately, never re-reported in
+/// [`CampaignResult::quarantined`]. This is a live-only overlay: it is not
+/// journaled, so replay/resume see only the header's `preq` snapshot plus
+/// whatever the file holds at resume time. With no concurrent writer the
+/// file is static and the overlay is a deterministic no-op, which is what
+/// keeps `--jobs N` runs bit-identical. Unknown mutator names (a store
+/// shared with a newer binary) are skipped, not fatal.
+fn refresh_external_quarantine(ctx: &mut CorpusCtx, quarantine: &mut Quarantine) {
+    let Ok(pairs) = jcorpus::read_quarantine_dir(ctx.store.dir()) else {
+        return;
+    };
+    let mut converted: Vec<(String, Option<MutatorKind>)> = Vec::new();
+    for (seed, mutator) in pairs {
+        match mutator {
+            None => converted.push((seed, None)),
+            Some(name) => {
+                if let Some(kind) = MutatorKind::from_debug_name(&name) {
+                    converted.push((seed, Some(kind)));
+                }
+            }
+        }
+    }
+    quarantine.preload(&converted);
+    for (seed, mutator) in &converted {
+        if mutator.is_none() {
+            ctx.scheduler.block(seed);
+        }
+    }
+}
+
+/// One speculative round execution, shipped to a worker. `skip`, `banned`
+/// and `promo` are snapshots of coordinator state at dispatch time; the
+/// coordinator validates them against authoritative state before accepting
+/// the result.
+struct WorkerTask {
+    round: usize,
+    seed: Seed,
+    skip: bool,
+    banned: Vec<MutatorKind>,
+    /// Install a fresh telemetry session for this task and ship its
+    /// snapshot back (the coordinator's session absorbs it on acceptance).
+    telemetry: bool,
+    promo: Option<PromoInputs>,
+}
+
+/// Corpus promotion inputs snapshotted at dispatch time.
+struct PromoInputs {
+    fingerprints: Arc<HashSet<u64>>,
+    promote_threshold: f64,
+}
+
+/// A speculatively executed round plus the inputs it was computed from.
+struct WorkerOutput {
+    round: usize,
+    seed: String,
+    skip: bool,
+    banned: Vec<MutatorKind>,
+    record: RoundRecord,
+    metrics: Option<jtelemetry::MetricsSnapshot>,
+}
+
+/// Worker body: pull tasks from the shared queue until it closes. Rounds
+/// are self-contained (seed-derived RNG, per-attempt flight rebasing,
+/// work-meter deltas), so executing them on any thread produces the exact
+/// record a serial run would. Panic containment is per-thread state and
+/// keeps working here.
+fn worker_loop(
+    tasks: &Mutex<mpsc::Receiver<WorkerTask>>,
+    results: &mpsc::Sender<WorkerOutput>,
+    config: &CampaignConfig,
+) {
+    loop {
+        let task = {
+            let queue = tasks.lock().unwrap_or_else(|e| e.into_inner());
+            match queue.recv() {
+                Ok(task) => task,
+                Err(_) => return, // queue closed: campaign over
+            }
+        };
+        if task.telemetry {
+            jtelemetry::install(jtelemetry::Session::new());
+        }
+        let (mut record, mutant) =
+            execute_round(task.round, &task.seed, config, task.skip, &task.banned);
+        if let (Some(promo), Some(mutant)) = (&task.promo, mutant.as_ref()) {
+            record.promotion = consider_promotion(
+                &record,
+                mutant,
+                &task.seed.program,
+                &promo.fingerprints,
+                promo.promote_threshold,
+                config,
+            );
+        }
+        let metrics = if task.telemetry {
+            jtelemetry::take().map(|session| session.snapshot())
+        } else {
+            None
+        };
+        let sent = results.send(WorkerOutput {
+            round: task.round,
+            seed: task.seed.name,
+            skip: task.skip,
+            banned: task.banned,
+            record,
+            metrics,
+        });
+        if sent.is_err() {
+            return; // coordinator gone
+        }
+    }
+}
+
+/// The multi-worker round engine: workers execute rounds speculatively
+/// ahead of the merge point; the coordinator merges records in strict
+/// round order, so journals, results and corpus flushes are bit-identical
+/// to the serial loop at any worker count.
+///
+/// The protocol per merged round:
+/// 1. refresh the cross-campaign quarantine overlay, check budgets, and
+///    compute the round's *authoritative* inputs (seed pick, skip flag,
+///    banned mutators) from post-merge state — exactly as the serial loop
+///    would at this point;
+/// 2. top up the speculation window (`2 × jobs` rounds ahead) with tasks
+///    built from current state. The head-of-line round is dispatched from
+///    authoritative state, so a quiet pipeline always validates;
+/// 3. take the round's speculative output and compare the inputs it was
+///    computed from against the authoritative ones. On a match the record
+///    is accepted (with one fix-up: a promotion whose fingerprint was
+///    admitted by an intervening merge is dropped, as the serial run
+///    would have declined it) and its telemetry snapshot is absorbed; on
+///    a mismatch the round is re-executed synchronously right here with
+///    the authoritative inputs, and the stale output is discarded along
+///    with its telemetry — the serial run never did that work;
+/// 4. journal, fold via [`apply_record`], update gauges, notify.
+///
+/// A budget stop or scheduler exhaustion breaks the loop; closing the task
+/// queue drains the workers, and any still-in-flight speculation is
+/// discarded unmerged, exactly as if the serial loop had stopped there.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_rounds(
+    seeds: &[Seed],
+    config: &CampaignConfig,
+    writer: &mut Option<&mut JournalWriter>,
+    first_round: usize,
+    observer: &mut Option<&mut dyn crate::campaign::CampaignObserver>,
+    corpus: &mut Option<&mut CorpusCtx>,
+    result: &mut CampaignResult,
+    seen: &mut HashSet<String>,
+    quarantine: &mut Quarantine,
+) {
+    let threshold = config.supervisor.quarantine_threshold;
+    let telemetry = jtelemetry::enabled();
+    let window = config.jobs.max(2) * 2;
+    std::thread::scope(|scope| {
+        let (task_tx, task_rx) = mpsc::channel::<WorkerTask>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let (out_tx, out_rx) = mpsc::channel::<WorkerOutput>();
+        for _ in 0..config.jobs {
+            let queue = Arc::clone(&task_rx);
+            let results = out_tx.clone();
+            scope.spawn(move || worker_loop(&queue, &results, config));
+        }
+        drop(out_tx);
+
+        let mut pending: BTreeMap<usize, WorkerOutput> = BTreeMap::new();
+        let mut dispatched: HashSet<usize> = HashSet::new();
+        let mut next_dispatch = first_round;
+
+        for round in first_round..config.rounds {
+            if let Some(ctx) = corpus.as_deref_mut() {
+                refresh_external_quarantine(ctx, quarantine);
+            }
+            if let Some(stop) = budget_stop(result, &config.supervisor, round) {
+                result.round_errors.push(stop.clone());
+                result.stopped = Some(stop);
+                break;
+            }
+            let seed = match corpus.as_deref_mut() {
+                Some(ctx) => match ctx.scheduler.pick(round, config.rng_seed) {
+                    Some(name) => {
+                        let program = ctx
+                            .programs
+                            .get(&name)
+                            .expect("scheduled entry has a program")
+                            .clone();
+                        Seed { name, program }
+                    }
+                    None => break, // everything quarantined
+                },
+                None => seeds[round % seeds.len()].clone(),
+            };
+            let skip = quarantine.seed_blocked(&seed.name);
+            let banned = quarantine.banned_mutators(&seed.name);
+            while next_dispatch < config.rounds && next_dispatch < round + window {
+                let spec_round = next_dispatch;
+                let spec_seed = if spec_round == round {
+                    Some(seed.clone())
+                } else {
+                    match corpus.as_deref() {
+                        Some(ctx) => ctx.scheduler.pick(spec_round, config.rng_seed).map(|name| {
+                            let program = ctx
+                                .programs
+                                .get(&name)
+                                .expect("scheduled entry has a program")
+                                .clone();
+                            Seed { name, program }
+                        }),
+                        None => Some(seeds[spec_round % seeds.len()].clone()),
+                    }
+                };
+                let Some(spec_seed) = spec_seed else {
+                    // The scheduler predicts exhaustion; the authoritative
+                    // decision is made at this round's own merge point
+                    // (a promotion may yet unblock it).
+                    break;
+                };
+                let task = WorkerTask {
+                    round: spec_round,
+                    skip: quarantine.seed_blocked(&spec_seed.name),
+                    banned: quarantine.banned_mutators(&spec_seed.name),
+                    telemetry,
+                    promo: corpus.as_deref().map(|ctx| PromoInputs {
+                        fingerprints: Arc::new(ctx.fingerprints.clone()),
+                        promote_threshold: ctx.promote_threshold,
+                    }),
+                    seed: spec_seed,
+                };
+                if task_tx.send(task).is_err() {
+                    break; // workers gone; fall back to inline execution
+                }
+                dispatched.insert(spec_round);
+                next_dispatch += 1;
+            }
+            let output = loop {
+                if let Some(found) = pending.remove(&round) {
+                    break Some(found);
+                }
+                if !dispatched.contains(&round) {
+                    break None;
+                }
+                match out_rx.recv() {
+                    Ok(incoming) => {
+                        pending.insert(incoming.round, incoming);
+                    }
+                    Err(_) => break None, // workers died mid-flight
+                }
+            };
+            dispatched.remove(&round);
+            let validates = |output: &WorkerOutput| {
+                output.seed == seed.name && output.skip == skip && output.banned == banned
+            };
+            let (record, metrics) = match output {
+                Some(output) if validates(&output) => {
+                    let mut record = output.record;
+                    if let (Some(ctx), Some(promo)) = (corpus.as_deref(), record.promotion.as_ref())
+                    {
+                        if ctx.fingerprints.contains(&promo.fingerprint) {
+                            // An intervening merge admitted this behaviour:
+                            // the serial run's promotion check would have
+                            // seen the fingerprint and declined, so decline
+                            // here too.
+                            record.promotion = None;
+                        }
+                    }
+                    (record, output.metrics)
+                }
+                _ => {
+                    // Mispredicted inputs (or never dispatched): execute
+                    // here with the authoritative ones.
+                    let (mut record, mutant) = execute_round(round, &seed, config, skip, &banned);
+                    if let (Some(ctx), Some(mutant)) = (corpus.as_deref(), mutant.as_ref()) {
+                        record.promotion = consider_promotion(
+                            &record,
+                            mutant,
+                            &seed.program,
+                            &ctx.fingerprints,
+                            ctx.promote_threshold,
+                            config,
+                        );
+                    }
+                    (record, None)
+                }
+            };
+            if let Some(snapshot) = &metrics {
+                jtelemetry::absorb(snapshot);
+            }
+            if let Some(w) = writer.as_deref_mut() {
+                if let Err(e) = w.write_round(&record) {
+                    eprintln!("warning: journal write failed: {e}");
+                }
+            }
+            apply_record(
+                result,
+                seen,
+                quarantine,
+                &record,
+                threshold,
+                corpus.as_deref_mut(),
+            );
+            if telemetry {
+                update_gauges(
+                    result,
+                    round + 1,
+                    config.rounds,
+                    seeds.len(),
+                    corpus.as_deref(),
+                );
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.round_finished(round, result);
+            }
+        }
+        drop(task_tx); // close the queue: workers drain and exit
+    });
 }
 
 #[cfg(test)]

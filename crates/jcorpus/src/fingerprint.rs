@@ -63,6 +63,18 @@ pub fn fingerprint(program: &Program) -> Result<FingerprintOutcome, String> {
     }
 }
 
+/// FNV-1a over the pretty-printed source of `program` — the memoization
+/// key for behaviour fingerprints. Costs one print, no JVM execution;
+/// a store entry with the same source hash already knows the program's
+/// fingerprint, so imports skip the reference run entirely.
+pub fn source_hash(program: &Program) -> u64 {
+    let mut h = Fnv::new();
+    for byte in mjava::print(program).bytes() {
+        h.write_u8(byte);
+    }
+    h.finish()
+}
+
 /// Renders a fingerprint as the fixed-width hex form stored in manifests.
 pub fn fingerprint_hex(fp: u64) -> String {
     format!("{fp:016x}")
@@ -81,10 +93,14 @@ impl Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
+    fn write_u8(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
     fn write_u64(&mut self, v: u64) {
         for byte in v.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            self.write_u8(byte);
         }
     }
 
@@ -124,6 +140,17 @@ mod tests {
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), seeds.len(), "built-in seeds should not collide");
+    }
+
+    #[test]
+    fn source_hash_tracks_printed_source() {
+        let a = sample("listing2");
+        let b = sample("arith_loop");
+        assert_eq!(source_hash(&a), source_hash(&a));
+        assert_ne!(source_hash(&a), source_hash(&b));
+        // Print → parse → print is stable, so re-imports hit the memo.
+        let reparsed = mjava::parse(&mjava::print(&a)).unwrap();
+        assert_eq!(source_hash(&reparsed), source_hash(&a));
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //! is deterministic given the campaign RNG seed.
 
 pub mod fingerprint;
+pub mod lock;
 pub mod schedule;
 pub mod store;
 
-pub use fingerprint::{fingerprint, fingerprint_hex, parse_fingerprint, FingerprintOutcome};
-pub use schedule::{energy, PowerScheduler};
-pub use store::{Admission, Entry, EntryStats, Provenance, Store};
+pub use fingerprint::{
+    fingerprint, fingerprint_hex, parse_fingerprint, source_hash, FingerprintOutcome,
+};
+pub use lock::{StoreLock, DEFAULT_LOCK_TIMEOUT, LOCKFILE};
+pub use schedule::{energy, PowerScheduler, ENERGY_FLOOR};
+pub use store::{read_quarantine_dir, Admission, Entry, EntryStats, Provenance, Store, Tombstone};

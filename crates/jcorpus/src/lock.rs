@@ -1,0 +1,218 @@
+//! Advisory store locking for concurrent campaigns.
+//!
+//! Two layers guard a store directory:
+//!
+//! * an **advisory lockfile** (`DIR/.lock`, created `O_EXCL`, holding the
+//!   owner's pid) serializes writers across processes. A lockfile whose
+//!   pid is no longer alive — or whose contents are torn/unparseable,
+//!   e.g. a writer died mid-write — is *stale* and is stolen by the next
+//!   acquirer, so a crashed campaign never wedges the fleet;
+//! * an **in-process registry** of held directories serializes writers
+//!   across threads of one process, where the pid check alone would
+//!   deadlock (the pid is alive — it is us).
+//!
+//! Locks are held only across short critical sections ([`crate::Store`]
+//! holds one for the duration of a `save()`), never across a campaign,
+//! so contention is bounded by flush time, not fuzzing time. Pid reuse
+//! between a crash and the next acquisition is theoretically possible
+//! and accepted: the lock is advisory, the store's atomic tmp+rename
+//! writes keep the manifest consistent regardless.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Name of the lockfile inside a store directory.
+pub const LOCKFILE: &str = ".lock";
+
+/// Default time to wait for a contended lock before giving up.
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn held_dirs() -> &'static Mutex<HashSet<PathBuf>> {
+    static HELD: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    HELD.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    // No portable liveness probe: never steal from a parseable lockfile.
+    true
+}
+
+/// True when the lockfile can be stolen: its owner is dead, or its
+/// contents are torn/unparseable (a writer died between create and the
+/// pid write), or it vanished while we looked. A file holding *our own*
+/// pid is also stale: the in-process registry serializes our threads, so
+/// no live holder in this process can exist while we probe.
+fn lockfile_is_stale(path: &Path) -> bool {
+    match fs::read_to_string(path) {
+        Ok(text) => match text.trim().parse::<u32>() {
+            Ok(pid) => pid == std::process::id() || !pid_alive(pid),
+            Err(_) => true,
+        },
+        Err(_) => true,
+    }
+}
+
+/// An acquired store lock; released (lockfile removed, registry entry
+/// dropped) on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    key: PathBuf,
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquires the lock for `dir`, waiting up to
+    /// [`DEFAULT_LOCK_TIMEOUT`] for a live holder to release it.
+    pub fn acquire(dir: &Path) -> Result<StoreLock, String> {
+        StoreLock::acquire_with_timeout(dir, DEFAULT_LOCK_TIMEOUT)
+    }
+
+    /// Acquires the lock for `dir`, waiting up to `timeout`.
+    pub fn acquire_with_timeout(dir: &Path, timeout: Duration) -> Result<StoreLock, String> {
+        let deadline = Instant::now() + timeout;
+        let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        loop {
+            let mut held = held_dirs().lock().unwrap_or_else(|e| e.into_inner());
+            if held.insert(key.clone()) {
+                break;
+            }
+            drop(held);
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "store {} is locked by another thread of this process",
+                    dir.display()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let path = dir.join(LOCKFILE);
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(StoreLock { key, path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lockfile_is_stale(&path) {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        let holder = fs::read_to_string(&path).unwrap_or_default();
+                        release_registry(&key);
+                        return Err(format!(
+                            "store {} is locked by pid {} (remove {} if that process is gone)",
+                            dir.display(),
+                            holder.trim(),
+                            path.display()
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    release_registry(&key);
+                    return Err(format!("create {}: {e}", path.display()));
+                }
+            }
+        }
+    }
+}
+
+fn release_registry(key: &Path) {
+    held_dirs()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(key);
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+        release_registry(&self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("jcorpus-lock-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let dir = temp_dir("basic");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        assert!(dir.join(LOCKFILE).exists());
+        drop(lock);
+        assert!(!dir.join(LOCKFILE).exists());
+        let _again = StoreLock::acquire(&dir).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn held_lock_blocks_until_timeout() {
+        let dir = temp_dir("held");
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        let err = StoreLock::acquire_with_timeout(&dir, Duration::from_millis(50)).unwrap_err();
+        assert!(err.contains("locked"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lockfile_from_dead_pid_is_stolen() {
+        let dir = temp_dir("stale");
+        // Pids are capped well below this on Linux, so it is never alive.
+        fs::write(dir.join(LOCKFILE), "999999999").unwrap();
+        let _lock = StoreLock::acquire_with_timeout(&dir, Duration::from_millis(200)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lockfile_is_stolen() {
+        let dir = temp_dir("torn");
+        fs::write(dir.join(LOCKFILE), "").unwrap();
+        let _lock = StoreLock::acquire_with_timeout(&dir, Duration::from_millis(200)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contended_threads_serialize() {
+        let dir = temp_dir("threads");
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let dir = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                let _lock = StoreLock::acquire(&dir).unwrap();
+                std::thread::sleep(Duration::from_millis(10));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!dir.join(LOCKFILE).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

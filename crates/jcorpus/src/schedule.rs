@@ -24,6 +24,11 @@ use rand::{Rng as _, SeedableRng as _};
 /// Energy assigned to an entry that was never scheduled.
 const EXPLORE_ENERGY: f64 = 2.0;
 
+/// Energies never fall below this clamp. An entry whose energy sits
+/// exactly at it is "at the floor" — the signal corpus GC counts across
+/// campaigns (see `Store::gc`).
+pub const ENERGY_FLOOR: f64 = 1e-6;
+
 /// The energy formula (see module docs).
 pub fn energy(stats: &EntryStats) -> f64 {
     if stats.schedules == 0 {
@@ -33,7 +38,7 @@ pub fn energy(stats: &EntryStats) -> f64 {
     let yield_term = 1.0 + avg_yield / (8.0 + avg_yield.abs());
     let fault_term = 1.0 / (1.0 + stats.faults as f64);
     let fatigue_term = 8.0 / (8.0 + stats.schedules as f64);
-    (yield_term * fault_term * fatigue_term).max(1e-6)
+    (yield_term * fault_term * fatigue_term).max(ENERGY_FLOOR)
 }
 
 #[derive(Debug, Clone)]

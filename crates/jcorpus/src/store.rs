@@ -5,10 +5,12 @@
 //! ```text
 //! DIR/
 //!   manifest.jsonl     header line + one line per entry (id, name,
-//!                      fingerprint, provenance, parent, stats)
+//!                      fingerprint, source hash, provenance, parent,
+//!                      stats) or tombstone (id, name, fingerprint)
 //!   quarantine.jsonl   one line per quarantined (seed, mutator) pair;
 //!                      "mutator": null blocks the whole seed
 //!   entries/<id>.java  pretty-printed mjava source, one file per entry
+//!   .lock              advisory lockfile, present only during a save
 //! ```
 //!
 //! The store is loaded fully into memory on [`Store::open`]; all mutation
@@ -17,8 +19,24 @@
 //! its final flush therefore leaves the store exactly as it found it, and
 //! a journal-based resume can replay onto the store idempotently: admits
 //! dedup by fingerprint and stats are written as absolute values.
+//!
+//! Saves take the store lock ([`crate::StoreLock`]) and first fold in
+//! whatever concurrent campaigns flushed since this store was opened:
+//! quarantine pairs are set-unioned, and entries/tombstones with unknown
+//! fingerprints are adopted (under fresh ids, so id assignment races
+//! cannot alias two different programs). Stats of entries shared with a
+//! concurrent campaign are last-writer-wins — acceptable because stats
+//! only steer scheduling heuristics.
+//!
+//! Entries GC'd by [`Store::gc`] leave a manifest **tombstone** (id, name,
+//! fingerprint, no source file): resuming a journal recorded before the
+//! GC still resolves the entry's name (stats flushes become no-ops and
+//! re-promotions dedup against the tombstone instead of resurrecting the
+//! entry).
 
-use crate::fingerprint::{fingerprint_hex, parse_fingerprint};
+use crate::fingerprint::{fingerprint_hex, parse_fingerprint, source_hash};
+use crate::lock::StoreLock;
+use crate::schedule::energy;
 use jtelemetry::schema::{parse_json, Json};
 use mjava::Program;
 use std::fs;
@@ -81,12 +99,31 @@ pub struct Entry {
     pub name: String,
     /// Behaviour fingerprint ([`crate::fingerprint`]).
     pub fingerprint: u64,
+    /// FNV-1a over the pretty-printed source — the memoization key that
+    /// lets imports skip re-executing the reference JVM for unchanged
+    /// programs ([`Store::memoized_fingerprint`]).
+    pub source_hash: u64,
     /// Where the entry came from.
     pub provenance: Provenance,
     /// For promoted entries, the seed whose fuzz run produced them.
     pub parent: Option<String>,
     /// Scheduling statistics.
     pub stats: EntryStats,
+    /// Consecutive campaigns this entry's energy ended clamped at the
+    /// scheduler floor — the GC criterion ([`Store::gc`]).
+    pub floor_streak: u64,
+}
+
+/// A GC'd entry's manifest remnant: enough to resolve names and dedup
+/// fingerprints for journals recorded before the GC, without a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tombstone {
+    /// The id the entry held while alive.
+    pub id: String,
+    /// The name the entry held while alive (still reserved).
+    pub name: String,
+    /// The entry's behaviour fingerprint (still dedups admissions).
+    pub fingerprint: u64,
 }
 
 /// The outcome of [`Store::admit`].
@@ -94,7 +131,8 @@ pub struct Entry {
 pub enum Admission {
     /// The program was new; admitted under this (possibly uniquified) name.
     Fresh(String),
-    /// An entry with the same fingerprint already exists under this name.
+    /// An entry (or tombstone) with the same fingerprint already exists
+    /// under this name.
     Duplicate(String),
 }
 
@@ -104,13 +142,19 @@ pub struct Store {
     dir: PathBuf,
     entries: Vec<Entry>,
     programs: Vec<Program>, // parallel to `entries`
+    tombstones: Vec<Tombstone>,
     quarantine: Vec<(String, Option<String>)>,
 }
 
 const MANIFEST: &str = "manifest.jsonl";
 const QUARANTINE: &str = "quarantine.jsonl";
 const ENTRIES_DIR: &str = "entries";
-const STORE_VERSION: u64 = 1;
+
+/// v2: per-entry `source_hash` (fingerprint memoization), `floor_streak`
+/// (GC bookkeeping), and tombstone lines. v1 manifests are still read
+/// (hashes recomputed on open, streaks start at 0) and rewritten as v2 on
+/// the next save.
+const STORE_VERSION: u64 = 2;
 
 impl Store {
     /// Creates an empty store at `dir`. Fails if a manifest already exists.
@@ -121,10 +165,11 @@ impl Store {
         }
         fs::create_dir_all(dir.join(ENTRIES_DIR))
             .map_err(|e| format!("create {}: {e}", dir.display()))?;
-        let store = Store {
+        let mut store = Store {
             dir: dir.to_path_buf(),
             entries: Vec::new(),
             programs: Vec::new(),
+            tombstones: Vec::new(),
             quarantine: Vec::new(),
         };
         store.save()?;
@@ -143,25 +188,35 @@ impl Store {
         check_header(header).map_err(|e| format!("{}: {e}", manifest_path.display()))?;
         let mut entries = Vec::new();
         let mut programs = Vec::new();
+        let mut tombstones = Vec::new();
         for (i, line) in lines {
             if line.trim().is_empty() {
                 continue;
             }
-            let entry = decode_entry(line)
+            let decoded = decode_line(line)
                 .map_err(|e| format!("{} line {}: {e}", manifest_path.display(), i + 1))?;
-            let src_path = dir.join(ENTRIES_DIR).join(format!("{}.java", entry.id));
-            let src = fs::read_to_string(&src_path)
-                .map_err(|e| format!("read {}: {e}", src_path.display()))?;
-            let program =
-                mjava::parse(&src).map_err(|e| format!("parse {}: {e:?}", src_path.display()))?;
-            entries.push(entry);
-            programs.push(program);
+            match decoded {
+                Decoded::Tomb(t) => tombstones.push(t),
+                Decoded::Live(mut entry, has_hash) => {
+                    let src_path = dir.join(ENTRIES_DIR).join(format!("{}.java", entry.id));
+                    let src = fs::read_to_string(&src_path)
+                        .map_err(|e| format!("read {}: {e}", src_path.display()))?;
+                    let program = mjava::parse(&src)
+                        .map_err(|e| format!("parse {}: {e:?}", src_path.display()))?;
+                    if !has_hash {
+                        entry.source_hash = source_hash(&program);
+                    }
+                    entries.push(entry);
+                    programs.push(program);
+                }
+            }
         }
         let quarantine = read_quarantine(&dir.join(QUARANTINE))?;
         Ok(Store {
             dir: dir.to_path_buf(),
             entries,
             programs,
+            tombstones,
             quarantine,
         })
     }
@@ -171,22 +226,27 @@ impl Store {
         &self.dir
     }
 
-    /// All entries, in admission order.
+    /// All live entries, in admission order.
     pub fn entries(&self) -> &[Entry] {
         &self.entries
     }
 
-    /// Number of entries.
+    /// Tombstones of GC'd entries, in GC order.
+    pub fn tombstones(&self) -> &[Tombstone] {
+        &self.tombstones
+    }
+
+    /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the store holds no entries.
+    /// Whether the store holds no live entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// The program behind a named entry.
+    /// The program behind a named live entry.
     pub fn program(&self, name: &str) -> Option<&Program> {
         self.entries
             .iter()
@@ -194,13 +254,25 @@ impl Store {
             .map(|i| &self.programs[i])
     }
 
+    /// The memoized behaviour fingerprint for a program whose printed
+    /// source matches an existing entry's — the import hot path that
+    /// skips re-executing the reference JVM.
+    pub fn memoized_fingerprint(&self, program: &Program) -> Option<u64> {
+        let hash = source_hash(program);
+        self.entries
+            .iter()
+            .find(|e| e.source_hash == hash)
+            .map(|e| e.fingerprint)
+    }
+
     /// Admits a program under `name_hint`, deduping by fingerprint.
     ///
-    /// If an entry with the same fingerprint exists the store is left
-    /// untouched and the existing entry's name is returned; this makes
-    /// re-imports and replayed promotions idempotent. Name collisions with
-    /// distinct fingerprints are resolved by a deterministic `_2`, `_3`,
-    /// ... suffix.
+    /// If an entry (or tombstone) with the same fingerprint exists the
+    /// store is left untouched and the existing name is returned; this
+    /// makes re-imports and replayed promotions idempotent, and keeps
+    /// GC'd behaviours from being resurrected by a resume. Name
+    /// collisions with distinct fingerprints are resolved by a
+    /// deterministic `_2`, `_3`, ... suffix.
     pub fn admit(
         &mut self,
         name_hint: &str,
@@ -212,35 +284,98 @@ impl Store {
         if let Some(existing) = self.entries.iter().find(|e| e.fingerprint == fingerprint) {
             return Admission::Duplicate(existing.name.clone());
         }
-        let mut name = name_hint.to_string();
-        let mut suffix = 2;
-        while self.entries.iter().any(|e| e.name == name) {
-            name = format!("{name_hint}_{suffix}");
-            suffix += 1;
+        if let Some(tomb) = self
+            .tombstones
+            .iter()
+            .find(|t| t.fingerprint == fingerprint)
+        {
+            return Admission::Duplicate(tomb.name.clone());
         }
+        let name = self.unique_name(name_hint);
         let id = format!("c{:04}", self.next_id());
         self.entries.push(Entry {
             id,
             name: name.clone(),
             fingerprint,
+            source_hash: source_hash(program),
             provenance,
             parent,
             stats: EntryStats::default(),
+            floor_streak: 0,
         });
         self.programs.push(program.clone());
         Admission::Fresh(name)
     }
 
+    fn unique_name(&self, name_hint: &str) -> String {
+        let taken = |name: &str| {
+            self.entries.iter().any(|e| e.name == name)
+                || self.tombstones.iter().any(|t| t.name == name)
+        };
+        let mut name = name_hint.to_string();
+        let mut suffix = 2;
+        while taken(&name) {
+            name = format!("{name_hint}_{suffix}");
+            suffix += 1;
+        }
+        name
+    }
+
     /// Overwrites the stats of a named entry (absolute values, so flushing
     /// the same campaign twice — live then via resume — is idempotent).
+    /// A tombstoned name is a silent no-op: resumed journals may flush
+    /// stats for entries GC'd since they were recorded.
     pub fn set_stats(&mut self, name: &str, stats: EntryStats) -> Result<(), String> {
         match self.entries.iter_mut().find(|e| e.name == name) {
             Some(entry) => {
                 entry.stats = stats;
                 Ok(())
             }
+            None if self.tombstones.iter().any(|t| t.name == name) => Ok(()),
             None => Err(format!("no corpus entry named {name:?}")),
         }
+    }
+
+    /// Overwrites the floor-streak counter of a named entry (absolute,
+    /// idempotent like [`Store::set_stats`]; tombstoned names no-op).
+    pub fn set_floor_streak(&mut self, name: &str, streak: u64) -> Result<(), String> {
+        match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(entry) => {
+                entry.floor_streak = streak;
+                Ok(())
+            }
+            None if self.tombstones.iter().any(|t| t.name == name) => Ok(()),
+            None => Err(format!("no corpus entry named {name:?}")),
+        }
+    }
+
+    /// Drops every scheduled entry whose energy has sat at the scheduler
+    /// floor for at least `streak` consecutive campaigns, leaving a
+    /// manifest tombstone per dropped entry. Returns the dropped names.
+    /// Never-scheduled entries are kept regardless (they have not had a
+    /// chance to prove themselves).
+    pub fn gc(&mut self, streak: u64) -> Vec<String> {
+        let mut dropped = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            let e = &self.entries[i];
+            if e.stats.schedules > 0 && e.floor_streak >= streak {
+                let entry = self.entries.remove(i);
+                self.programs.remove(i);
+                // The source file is deleted by the next save(), after the
+                // manifest rename — a crash before then leaves the store
+                // fully consistent under the old manifest.
+                self.tombstones.push(Tombstone {
+                    id: entry.id,
+                    name: entry.name.clone(),
+                    fingerprint: entry.fingerprint,
+                });
+                dropped.push(entry.name);
+            } else {
+                i += 1;
+            }
+        }
+        dropped
     }
 
     /// The persisted quarantine: `(seed, mutator)` pairs; a `None` mutator
@@ -258,11 +393,80 @@ impl Store {
         }
     }
 
-    /// Atomically rewrites the manifest, quarantine, and any entry sources
-    /// not yet on disk.
-    pub fn save(&self) -> Result<(), String> {
+    /// The machine-readable twin of `corpus stats`: one JSON object with
+    /// per-entry stats and energies, tombstones, the quarantine, and the
+    /// total energy. Schema checked by the `corpus_store` test suite.
+    pub fn stats_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"jcorpus-stats\",\"version\":1,\"dir\":\"{}\",\"entries\":[",
+            esc(&self.dir.display().to_string())
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let parent = match &e.parent {
+                Some(p) => format!("\"{}\"", esc(p)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"fingerprint\":\"{}\",\"provenance\":\"{}\",\
+                 \"parent\":{parent},\"schedules\":{},\"yield_sum\":{:?},\"faults\":{},\
+                 \"bugs\":{},\"energy\":{:?},\"floor_streak\":{}}}",
+                esc(&e.id),
+                esc(&e.name),
+                fingerprint_hex(e.fingerprint),
+                e.provenance.as_str(),
+                e.stats.schedules,
+                e.stats.yield_sum,
+                e.stats.faults,
+                e.stats.bugs,
+                energy(&e.stats),
+                e.floor_streak,
+            ));
+        }
+        out.push_str("],\"tombstones\":[");
+        for (i, t) in self.tombstones.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"fingerprint\":\"{}\"}}",
+                esc(&t.id),
+                esc(&t.name),
+                fingerprint_hex(t.fingerprint),
+            ));
+        }
+        out.push_str("],\"quarantine\":[");
+        for (i, (seed, mutator)) in self.quarantine.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mutator = match mutator {
+                Some(m) => format!("\"{}\"", esc(m)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"seed\":\"{}\",\"mutator\":{mutator}}}",
+                esc(seed)
+            ));
+        }
+        let total: f64 = self.entries.iter().map(|e| energy(&e.stats)).sum();
+        out.push_str(&format!("],\"total_energy\":{total:?}}}"));
+        out
+    }
+
+    /// Atomically rewrites the manifest, quarantine, and entry sources,
+    /// under the store lock. State flushed by concurrent campaigns since
+    /// this store was opened is folded in first (see module docs), so two
+    /// campaigns finishing over one store lose neither quarantine pairs
+    /// nor promoted entries.
+    pub fn save(&mut self) -> Result<(), String> {
         fs::create_dir_all(self.dir.join(ENTRIES_DIR))
             .map_err(|e| format!("create {}: {e}", self.dir.display()))?;
+        let _lock = StoreLock::acquire(&self.dir)?;
+        self.merge_disk_state();
         for (entry, program) in self.entries.iter().zip(&self.programs) {
             // Unconditional rewrite: a crash between a source write and the
             // manifest rename could otherwise leave a stale file under a
@@ -281,7 +485,19 @@ impl Store {
             manifest.push_str(&encode_entry(entry));
             manifest.push('\n');
         }
+        for tomb in &self.tombstones {
+            manifest.push_str(&format!(
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"fingerprint\":\"{}\",\"tombstone\":true}}\n",
+                esc(&tomb.id),
+                esc(&tomb.name),
+                fingerprint_hex(tomb.fingerprint),
+            ));
+        }
         write_atomic(&self.dir.join(MANIFEST), &manifest)?;
+        for tomb in &self.tombstones {
+            let src = self.dir.join(ENTRIES_DIR).join(format!("{}.java", tomb.id));
+            let _ = fs::remove_file(src);
+        }
         let mut quarantine = String::new();
         for (seed, mutator) in &self.quarantine {
             let mutator = match mutator {
@@ -297,10 +513,90 @@ impl Store {
         Ok(())
     }
 
+    /// Folds in state concurrent campaigns flushed since we opened:
+    /// quarantine pairs are unioned; disk entries/tombstones whose
+    /// fingerprints we do not know are adopted under fresh ids (ids are
+    /// assigned per-open, so two campaigns racing can mint the same id
+    /// for different programs — re-keying on adoption keeps both).
+    /// Best-effort: unreadable lines are skipped, never fatal, because
+    /// our own atomic rewrite is the recovery path for torn state.
+    fn merge_disk_state(&mut self) {
+        if let Ok(disk) = read_quarantine(&self.dir.join(QUARANTINE)) {
+            self.merge_quarantine(&disk);
+        }
+        let Ok(text) = fs::read_to_string(self.dir.join(MANIFEST)) else {
+            return;
+        };
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return;
+        };
+        if check_header(header).is_err() {
+            return;
+        }
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(decoded) = decode_line(line) else {
+                continue;
+            };
+            match decoded {
+                Decoded::Tomb(t) => {
+                    if self.fingerprint_known(t.fingerprint) {
+                        continue;
+                    }
+                    let id = format!("c{:04}", self.next_id());
+                    let name = self.unique_name(&t.name);
+                    self.tombstones.push(Tombstone {
+                        id,
+                        name,
+                        fingerprint: t.fingerprint,
+                    });
+                }
+                Decoded::Live(entry, _) => {
+                    if self.fingerprint_known(entry.fingerprint) {
+                        continue;
+                    }
+                    let src = self
+                        .dir
+                        .join(ENTRIES_DIR)
+                        .join(format!("{}.java", entry.id));
+                    let Ok(text) = fs::read_to_string(&src) else {
+                        continue;
+                    };
+                    let Ok(program) = mjava::parse(&text) else {
+                        continue;
+                    };
+                    let id = format!("c{:04}", self.next_id());
+                    let name = self.unique_name(&entry.name);
+                    self.entries.push(Entry {
+                        id,
+                        name,
+                        fingerprint: entry.fingerprint,
+                        source_hash: source_hash(&program),
+                        provenance: entry.provenance,
+                        parent: entry.parent,
+                        stats: entry.stats,
+                        floor_streak: entry.floor_streak,
+                    });
+                    self.programs.push(program);
+                }
+            }
+        }
+    }
+
+    fn fingerprint_known(&self, fingerprint: u64) -> bool {
+        self.entries.iter().any(|e| e.fingerprint == fingerprint)
+            || self.tombstones.iter().any(|t| t.fingerprint == fingerprint)
+    }
+
     fn next_id(&self) -> u64 {
         self.entries
             .iter()
-            .filter_map(|e| e.id.strip_prefix('c').and_then(|n| n.parse::<u64>().ok()))
+            .map(|e| e.id.as_str())
+            .chain(self.tombstones.iter().map(|t| t.id.as_str()))
+            .filter_map(|id| id.strip_prefix('c').and_then(|n| n.parse::<u64>().ok()))
             .max()
             .map_or(1, |n| n + 1)
     }
@@ -334,16 +630,19 @@ fn encode_entry(e: &Entry) -> String {
         None => "null".to_string(),
     };
     format!(
-        "{{\"id\":\"{}\",\"name\":\"{}\",\"fingerprint\":\"{}\",\"provenance\":\"{}\",\
-         \"parent\":{parent},\"schedules\":{},\"yield_sum\":{:?},\"faults\":{},\"bugs\":{}}}",
+        "{{\"id\":\"{}\",\"name\":\"{}\",\"fingerprint\":\"{}\",\"source_hash\":\"{}\",\
+         \"provenance\":\"{}\",\"parent\":{parent},\"schedules\":{},\"yield_sum\":{:?},\
+         \"faults\":{},\"bugs\":{},\"floor_streak\":{}}}",
         esc(&e.id),
         esc(&e.name),
         fingerprint_hex(e.fingerprint),
+        fingerprint_hex(e.source_hash),
         e.provenance.as_str(),
         e.stats.schedules,
         e.stats.yield_sum,
         e.stats.faults,
         e.stats.bugs,
+        e.floor_streak,
     )
 }
 
@@ -354,7 +653,9 @@ fn check_header(line: &str) -> Result<(), String> {
         _ => return Err("not a jcorpus manifest".to_string()),
     }
     match json.get("version") {
-        Some(Json::Num(v)) if *v == STORE_VERSION as f64 => Ok(()),
+        // v1 manifests predate source hashes, floor streaks, and
+        // tombstones; all three default sensibly on decode.
+        Some(Json::Num(v)) if *v == 1.0 || *v == STORE_VERSION as f64 => Ok(()),
         Some(Json::Num(v)) => Err(format!("unsupported store version {v}")),
         _ => Err("missing store version".to_string()),
     }
@@ -374,8 +675,30 @@ fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
     }
 }
 
-fn decode_entry(line: &str) -> Result<Entry, String> {
+/// Optional integer field, for v2 additions absent from v1 manifests.
+fn opt_u64_field(obj: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(_) => u64_field(obj, key),
+    }
+}
+
+/// One decoded manifest line: a live entry (plus whether the manifest
+/// carried its source hash, absent in v1) or a tombstone.
+enum Decoded {
+    Live(Entry, bool),
+    Tomb(Tombstone),
+}
+
+fn decode_line(line: &str) -> Result<Decoded, String> {
     let json = parse_json(line)?;
+    if let Some(Json::Bool(true)) = json.get("tombstone") {
+        return Ok(Decoded::Tomb(Tombstone {
+            id: str_field(&json, "id")?,
+            name: str_field(&json, "name")?,
+            fingerprint: parse_fingerprint(&str_field(&json, "fingerprint")?)?,
+        }));
+    }
     let parent = match json.get("parent") {
         Some(Json::Str(s)) => Some(s.clone()),
         Some(Json::Null) | None => None,
@@ -385,19 +708,36 @@ fn decode_entry(line: &str) -> Result<Entry, String> {
         Some(Json::Num(n)) => *n,
         _ => return Err("missing number field \"yield_sum\"".to_string()),
     };
-    Ok(Entry {
-        id: str_field(&json, "id")?,
-        name: str_field(&json, "name")?,
-        fingerprint: parse_fingerprint(&str_field(&json, "fingerprint")?)?,
-        provenance: Provenance::from_str(&str_field(&json, "provenance")?)?,
-        parent,
-        stats: EntryStats {
-            schedules: u64_field(&json, "schedules")?,
-            yield_sum,
-            faults: u64_field(&json, "faults")?,
-            bugs: u64_field(&json, "bugs")?,
+    let (source_hash, has_hash) = match json.get("source_hash") {
+        Some(Json::Str(s)) => (parse_fingerprint(s)?, true),
+        _ => (0, false),
+    };
+    Ok(Decoded::Live(
+        Entry {
+            id: str_field(&json, "id")?,
+            name: str_field(&json, "name")?,
+            fingerprint: parse_fingerprint(&str_field(&json, "fingerprint")?)?,
+            source_hash,
+            provenance: Provenance::from_str(&str_field(&json, "provenance")?)?,
+            parent,
+            stats: EntryStats {
+                schedules: u64_field(&json, "schedules")?,
+                yield_sum,
+                faults: u64_field(&json, "faults")?,
+                bugs: u64_field(&json, "bugs")?,
+            },
+            floor_streak: opt_u64_field(&json, "floor_streak", 0)?,
         },
-    })
+        has_hash,
+    ))
+}
+
+/// Reads the on-disk quarantine of the store at `dir` without opening the
+/// whole store — the cheap fleet-wide poll running campaigns use to
+/// observe pairs that concurrently-running campaigns have flushed.
+/// A missing file is an empty quarantine, not an error.
+pub fn read_quarantine_dir(dir: &Path) -> Result<Vec<(String, Option<String>)>, String> {
+    read_quarantine(&dir.join(QUARANTINE))
 }
 
 fn read_quarantine(path: &Path) -> Result<Vec<(String, Option<String>)>, String> {
@@ -470,6 +810,7 @@ mod tests {
                 },
             )
             .unwrap();
+        store.set_floor_streak("listing2", 2).unwrap();
         store.merge_quarantine(&[
             ("listing2".to_string(), Some("Inlining".to_string())),
             ("gen_001".to_string(), None),
@@ -477,7 +818,7 @@ mod tests {
         store.save().unwrap();
         let manifest_a = fs::read_to_string(dir.join(MANIFEST)).unwrap();
 
-        let reopened = Store::open(&dir).unwrap();
+        let mut reopened = Store::open(&dir).unwrap();
         assert_eq!(reopened.entries(), store.entries());
         assert_eq!(reopened.quarantine(), store.quarantine());
         for entry in store.entries() {
@@ -531,6 +872,140 @@ mod tests {
         store.merge_quarantine(std::slice::from_ref(&pair));
         store.merge_quarantine(&[pair.clone(), ("t".to_string(), None)]);
         assert_eq!(store.quarantine().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_tombstones_floor_streak_entries() {
+        let dir = temp_dir("gc");
+        let mut store = Store::init(&dir).unwrap();
+        let mut all = seeds();
+        let (keep_name, keep) = all.remove(0);
+        let (drop_name, dropped) = all.remove(0);
+        let (fresh_name, fresh) = all.remove(0);
+        store.admit(&keep_name, &keep, 1, Provenance::Builtin, None);
+        store.admit(&drop_name, &dropped, 2, Provenance::Builtin, None);
+        store.admit(&fresh_name, &fresh, 3, Provenance::Builtin, None);
+        for name in [&keep_name, &drop_name] {
+            store
+                .set_stats(
+                    name,
+                    EntryStats {
+                        schedules: 5,
+                        yield_sum: 0.0,
+                        faults: 0,
+                        bugs: 0,
+                    },
+                )
+                .unwrap();
+        }
+        store.set_floor_streak(&drop_name, 3).unwrap();
+        // `fresh` was never scheduled: immune even with a long streak.
+        store.set_floor_streak(&fresh_name, 99).unwrap();
+        store.save().unwrap();
+
+        assert_eq!(store.gc(3), vec![drop_name.clone()]);
+        store.save().unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.tombstones().len(), 1);
+        assert!(!dir.join(ENTRIES_DIR).join("c0002.java").exists());
+
+        let mut reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.tombstones(), store.tombstones());
+        // Older journals still resolve the name: stats flushes no-op ...
+        reopened
+            .set_stats(&drop_name, EntryStats::default())
+            .unwrap();
+        reopened.set_floor_streak(&drop_name, 0).unwrap();
+        // ... re-promotions dedup against the tombstone ...
+        assert_eq!(
+            reopened.admit("again", &dropped, 2, Provenance::Promoted, None),
+            Admission::Duplicate(drop_name.clone())
+        );
+        // ... and new admissions never reuse its id or name.
+        assert_eq!(
+            reopened.admit(&drop_name, &dropped, 99, Provenance::Imported, None),
+            Admission::Fresh(format!("{drop_name}_2"))
+        );
+        assert_eq!(reopened.entries().last().unwrap().id, "c0004");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_manifests_are_upgraded_on_open() {
+        let dir = temp_dir("v1");
+        let mut store = Store::init(&dir).unwrap();
+        let (name, program) = seeds().remove(0);
+        store.admit(&name, &program, 42, Provenance::Builtin, None);
+        store.save().unwrap();
+        // Rewrite the manifest as a v1 file: no source_hash, no
+        // floor_streak, version 1 header.
+        let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        let v1: String = manifest
+            .replace("\"version\":2", "\"version\":1")
+            .lines()
+            .map(|l| {
+                let l = match l.find("\"source_hash\":") {
+                    Some(i) => {
+                        let rest = &l[i..];
+                        let end = rest.find("\",").map(|e| i + e + 2).unwrap();
+                        format!("{}{}", &l[..i], &l[end..])
+                    }
+                    None => l.to_string(),
+                };
+                match l.find(",\"floor_streak\":") {
+                    Some(i) => format!("{}}}", &l[..i]),
+                    None => l,
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        fs::write(dir.join(MANIFEST), v1).unwrap();
+        let reopened = Store::open(&dir).unwrap();
+        let entry = &reopened.entries()[0];
+        assert_eq!(entry.source_hash, source_hash(&program), "recomputed");
+        assert_eq!(entry.floor_streak, 0);
+        assert_eq!(
+            reopened.memoized_fingerprint(&program),
+            Some(42),
+            "memoization works after upgrade"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_adopts_concurrent_flushes() {
+        let dir = temp_dir("adopt");
+        let mut all = seeds();
+        let (base_name, base) = all.remove(0);
+        let (a_name, a_prog) = all.remove(0);
+        let (b_name, b_prog) = all.remove(0);
+        let mut init = Store::init(&dir).unwrap();
+        init.admit(&base_name, &base, 1, Provenance::Builtin, None);
+        init.save().unwrap();
+        // Two campaigns open the same baseline ...
+        let mut campaign_a = Store::open(&dir).unwrap();
+        let mut campaign_b = Store::open(&dir).unwrap();
+        // ... both promote different programs (racing for the same id)
+        // and quarantine different pairs ...
+        campaign_a.admit(&a_name, &a_prog, 100, Provenance::Promoted, None);
+        campaign_a.merge_quarantine(&[("s1".to_string(), None)]);
+        campaign_a.save().unwrap();
+        campaign_b.admit(&b_name, &b_prog, 200, Provenance::Promoted, None);
+        campaign_b.merge_quarantine(&[("s2".to_string(), Some("Inlining".to_string()))]);
+        campaign_b.save().unwrap();
+        // ... and the final state holds all three entries and both pairs.
+        let merged = Store::open(&dir).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.quarantine().len(), 2);
+        for (name, program) in [(&a_name, &a_prog), (&b_name, &b_prog)] {
+            assert_eq!(merged.program(name).unwrap(), program);
+        }
+        let mut ids: Vec<&str> = merged.entries().iter().map(|e| e.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "adopted entries get fresh ids");
         let _ = fs::remove_dir_all(&dir);
     }
 }

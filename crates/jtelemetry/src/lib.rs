@@ -114,6 +114,37 @@ impl Session {
         self.mutators.last_mut().expect("just pushed")
     }
 
+    /// Folds another session's snapshot into this one: counters and
+    /// per-mutator stats are summed, span histograms merged element-wise
+    /// (counts/totals/buckets summed, max maximized). Gauges and the
+    /// flight recorder are untouched — both are point-in-time state owned
+    /// by whoever drives the surrounding context. The parallel campaign
+    /// engine uses this to aggregate per-round worker sessions into the
+    /// coordinator session before `--metrics-out` flushes.
+    pub fn absorb(&mut self, snap: &MetricsSnapshot) {
+        for (key, value) in &snap.counters {
+            if let Some(i) = Counter::ALL.iter().position(|c| c.key() == *key) {
+                self.counters[i] += value;
+            }
+        }
+        for span in &snap.spans {
+            let stat = self.span_stat(&span.name);
+            stat.count += span.count;
+            stat.total_nanos = stat.total_nanos.saturating_add(span.total_nanos);
+            stat.max_nanos = stat.max_nanos.max(span.max_nanos);
+            for (bucket, n) in stat.buckets.iter_mut().zip(span.buckets.iter()) {
+                *bucket += n;
+            }
+        }
+        for m in &snap.mutators {
+            let stat = self.mutator_stat(&m.name);
+            stat.applies += m.applies;
+            stat.accepted += m.accepted;
+            stat.rejected += m.rejected;
+            stat.yield_sum += m.yield_sum;
+        }
+    }
+
     /// Freezes the session into an exportable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -238,6 +269,12 @@ pub fn flight_snapshot() -> Vec<FlightEvent> {
     out
 }
 
+/// Folds `snap` into this thread's session (no-op when none is
+/// installed). See [`Session::absorb`].
+pub fn absorb(snap: &MetricsSnapshot) {
+    with_session(|s| s.absorb(snap));
+}
+
 /// A snapshot of this thread's session, if one is installed.
 pub fn snapshot() -> Option<MetricsSnapshot> {
     let mut out = None;
@@ -359,6 +396,48 @@ mod tests {
         let m = &snap.mutators[0];
         assert_eq!((m.applies, m.accepted, m.rejected), (2, 1, 1));
         assert!((m.yield_sum - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_counters_spans_and_mutators_but_not_gauges() {
+        let clock = ManualClock::new();
+        install(Session::with_clock(Box::new(clock.clone())));
+        count(Counter::VmExecutions, 7);
+        mutator_outcome("Inlining", true, 1.5);
+        {
+            let _g = span(FlightKind::Phase, "inline", "T::main");
+            clock.advance(400);
+        }
+        let worker_snap = take().unwrap().snapshot();
+
+        let clock2 = ManualClock::new();
+        install(Session::with_clock(Box::new(clock2.clone())));
+        count(Counter::VmExecutions, 3);
+        gauge(Gauge::BugsFound, 2.0);
+        mutator_outcome("Inlining", false, 0.0);
+        {
+            let _g = span(FlightKind::Phase, "inline", "T::other");
+            clock2.advance(100);
+        }
+        absorb(&worker_snap);
+        let merged = take().unwrap().snapshot();
+        assert_eq!(merged.counter("vm_executions"), 10);
+        assert_eq!(merged.gauge("bugs_found"), 2.0, "gauges stay local");
+        let inline = merged.spans.iter().find(|s| s.name == "inline").unwrap();
+        assert_eq!(inline.count, 2);
+        assert_eq!(inline.total_nanos, 500);
+        assert_eq!(inline.max_nanos, 400);
+        assert_eq!(inline.buckets.iter().sum::<u64>(), 2);
+        let m = merged
+            .mutators
+            .iter()
+            .find(|m| m.name == "Inlining")
+            .unwrap();
+        assert_eq!((m.applies, m.accepted, m.rejected), (2, 1, 1));
+        assert!((m.yield_sum - 1.5).abs() < 1e-12);
+        // Absorbing into a disabled thread is a no-op.
+        absorb(&worker_snap);
+        assert!(snapshot().is_none());
     }
 
     #[test]

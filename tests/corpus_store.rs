@@ -56,6 +56,7 @@ fn corpus_campaigns_are_deterministic_across_identical_stores() {
     let config = small_config(5, 71);
     let opts = CorpusOptions {
         promote_threshold: 1.0,
+        ..CorpusOptions::default()
     };
     let a = run_corpus_campaign(&mut store_a, &config, &opts, None, None).unwrap();
     let b = run_corpus_campaign(&mut store_b, &config, &opts, None, None).unwrap();
@@ -148,6 +149,7 @@ fn corpus_resume_is_bit_identical() {
     let config = small_config(6, 401);
     let opts = CorpusOptions {
         promote_threshold: 1.0,
+        ..CorpusOptions::default()
     };
 
     let full = run_corpus_campaign(&mut store, &config, &opts, Some(&journal), None).unwrap();
@@ -188,6 +190,7 @@ fn promotion_lifecycle(dir: &Path) -> (CampaignResult, CampaignResult, Vec<Strin
     let mut store = seeded_store(dir);
     let opts = CorpusOptions {
         promote_threshold: 1.0,
+        ..CorpusOptions::default()
     };
     let first = run_corpus_campaign(&mut store, &small_config(4, 2024), &opts, None, None).unwrap();
 
@@ -317,6 +320,145 @@ fn quarantine_persists_across_campaigns() {
             record.seed
         );
     }
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// `corpus stats --json` output parses and carries the documented schema:
+/// a typed, versioned object whose entries mirror the store.
+#[test]
+fn stats_json_is_machine_readable() {
+    use jtelemetry::schema::{parse_json, Json};
+
+    let dir = temp_dir("stats_json");
+    let mut store = seeded_store(&dir);
+    run_corpus_campaign(
+        &mut store,
+        &small_config(3, 57),
+        &CorpusOptions::default(),
+        None,
+        None,
+    )
+    .unwrap();
+
+    let json = parse_json(&store.stats_json()).expect("stats --json must be valid JSON");
+    assert_eq!(json.get("type"), Some(&Json::Str("jcorpus-stats".into())));
+    assert_eq!(json.get("version"), Some(&Json::Num(1.0)));
+    assert_eq!(json.get("dir"), Some(&Json::Str(dir.display().to_string())));
+    let Some(Json::Arr(entries)) = json.get("entries") else {
+        panic!("entries must be an array");
+    };
+    assert_eq!(entries.len(), store.entries().len());
+    let mut total = 0.0;
+    for entry in entries {
+        for key in ["id", "name", "fingerprint", "provenance"] {
+            assert!(
+                matches!(entry.get(key), Some(Json::Str(_))),
+                "{key} must be a string: {entry:?}"
+            );
+        }
+        assert!(matches!(
+            entry.get("parent"),
+            Some(Json::Str(_) | Json::Null)
+        ));
+        for key in [
+            "schedules",
+            "yield_sum",
+            "faults",
+            "bugs",
+            "energy",
+            "floor_streak",
+        ] {
+            assert!(
+                matches!(entry.get(key), Some(Json::Num(_))),
+                "{key} must be a number: {entry:?}"
+            );
+        }
+        let Some(Json::Num(energy)) = entry.get("energy") else {
+            unreachable!()
+        };
+        total += energy;
+    }
+    assert!(matches!(json.get("tombstones"), Some(Json::Arr(_))));
+    let Some(Json::Arr(quarantine)) = json.get("quarantine") else {
+        panic!("quarantine must be an array");
+    };
+    assert_eq!(quarantine.len(), store.quarantine().len());
+    let Some(Json::Num(reported)) = json.get("total_energy") else {
+        panic!("total_energy must be a number");
+    };
+    assert!((reported - total).abs() < 1e-9);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Fingerprint memoization: re-importing an already-imported seed set is
+/// served entirely from the manifest's source hashes — zero reference-JVM
+/// executions.
+#[test]
+fn reimport_skips_reference_jvm_via_memoized_fingerprints() {
+    let dir = temp_dir("memoized");
+    let mut store = seeded_store(&dir);
+
+    jtelemetry::install(jtelemetry::Session::new());
+    let again = import_seeds(
+        &mut store,
+        &corpus::builtin(),
+        jcorpus::Provenance::Imported,
+    );
+    let metrics = jtelemetry::take().unwrap().snapshot();
+    let again = again.unwrap();
+
+    assert!(again.admitted.is_empty());
+    assert_eq!(again.deduped.len(), corpus::builtin().len());
+    assert_eq!(
+        metrics.counter("vm_executions"),
+        0,
+        "memoized re-import must not execute the reference JVM"
+    );
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Corpus GC leaves tombstones, not dangling ids: a journal written
+/// before an entry was collected still resumes to the uninterrupted
+/// result, because replay resolves seeds from the journal and the flush
+/// treats tombstoned names as no-ops.
+#[test]
+fn gc_tombstones_do_not_break_resume() {
+    let dir = temp_dir("gc_resume");
+    let mut store = seeded_store(&dir);
+    let journal = dir.join("campaign.jsonl");
+    let config = small_config(6, 401);
+    let opts = CorpusOptions::default();
+    let full = run_corpus_campaign(&mut store, &config, &opts, Some(&journal), None).unwrap();
+
+    // Collect a seed the campaign actually scheduled.
+    let mut store = jcorpus::Store::open(&dir).unwrap();
+    let victim = store
+        .entries()
+        .iter()
+        .find(|e| e.stats.schedules > 0)
+        .expect("some entry was scheduled")
+        .name
+        .clone();
+    store.set_floor_streak(&victim, 5).unwrap();
+    let dropped = store.gc(1);
+    assert!(dropped.contains(&victim), "{dropped:?}");
+    store.save().unwrap();
+    let store = jcorpus::Store::open(&dir).unwrap();
+    assert!(store.entries().iter().all(|e| e.name != victim));
+    assert!(store.tombstones().iter().any(|t| t.name == victim));
+
+    // Truncate the journal and resume over the GC'd store.
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = journal_text.lines().collect();
+    std::fs::write(&journal, lines[..=3].join("\n")).unwrap();
+    let resumed = resume_campaign(&journal).unwrap();
+    assert_eq!(
+        resumed, full,
+        "resume over tombstones must reproduce the run"
+    );
 
     std::fs::remove_dir_all(dir).ok();
 }
