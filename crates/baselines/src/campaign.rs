@@ -64,14 +64,23 @@ impl ToolCampaignConfig {
 }
 
 /// Runs `tool` over `seeds` until the execution budget is exhausted.
+///
+/// When a `jtelemetry` session is installed on the calling thread (the
+/// bench binaries do this under `BENCH_METRICS_OUT`), every round runs
+/// under a `tool_round` span and the execution/oracle counters fire from
+/// the shared substrate, so tool-comparison runs emit telemetry directly
+/// comparable with `mopfuzzer --metrics-out` campaigns.
 pub fn tool_campaign(tool: Tool, seeds: &[Seed], config: &ToolCampaignConfig) -> CampaignResult {
     let mut result = CampaignResult::default();
     let mut seen: HashSet<String> = HashSet::new();
     if seeds.is_empty() || config.pool.is_empty() {
         return result;
     }
+    let tool_label = tool.to_string();
     let mut round = 0usize;
     while result.executions < config.max_executions {
+        let _round_span =
+            jtelemetry::span(jtelemetry::FlightKind::Round, "tool_round", &tool_label);
         let seed = &seeds[round % seeds.len()];
         let guidance = config.pool[round % config.pool.len()].clone();
         let rng_seed = config
@@ -177,6 +186,8 @@ pub fn tool_campaign(tool: Tool, seeds: &[Seed], config: &ToolCampaignConfig) ->
         }
         round += 1;
     }
+    jtelemetry::gauge(jtelemetry::Gauge::RoundsDone, round as f64);
+    jtelemetry::gauge(jtelemetry::Gauge::BugsFound, result.bugs.len() as f64);
     result
 }
 

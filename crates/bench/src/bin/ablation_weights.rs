@@ -12,6 +12,12 @@ use bench::{experiment_seeds, render_table, scale_from_args};
 use mopfuzzer::{fuzz, FuzzConfig, MutatorKind, Variant, WeightScheme};
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(6);
     let pool = jvmsim::JvmSpec::differential_pool();

@@ -10,6 +10,12 @@ use mopfuzzer::stats::{large_jumps, trajectory};
 use mopfuzzer::{fuzz, FuzzConfig, Variant};
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = bench::experiment_seeds(4);
     let pool = jvmsim::JvmSpec::differential_pool();

@@ -10,6 +10,12 @@ use jvmsim::Area;
 use mopfuzzer::Variant;
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(8);
     let config = ToolCampaignConfig::with_budget(1_500 * scale);

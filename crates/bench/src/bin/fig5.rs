@@ -11,6 +11,12 @@ use mopfuzzer::Variant;
 use std::collections::HashSet;
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(8);
     let config = ToolCampaignConfig::with_budget(1_500 * scale);

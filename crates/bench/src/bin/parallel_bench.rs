@@ -32,6 +32,12 @@ struct Row {
 }
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag = |name: &str| {

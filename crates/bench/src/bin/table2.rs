@@ -10,6 +10,12 @@ use jvmsim::{BugKind, Family, ReportStatus};
 type BugPred = Box<dyn Fn(&jvmsim::InjectedBug) -> bool>;
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(6);
     let rounds = (40 * scale) as usize;

@@ -5,6 +5,12 @@ use bench::{experiment_seeds, render_table, scale_from_args};
 use jvmsim::{Family, ReportStatus, Version};
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(6);
     let rounds = (40 * scale) as usize;

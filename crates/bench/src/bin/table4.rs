@@ -6,6 +6,12 @@ use jvmsim::{Component, Family};
 use std::collections::HashSet;
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(6);
     let rounds = (40 * scale) as usize;

@@ -9,6 +9,12 @@ use bench::{experiment_seeds, render_table, scale_from_args};
 use mopfuzzer::stats::{mutator_ratios, pair_ratios};
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(8);
     let rounds = (50 * scale) as usize;

@@ -12,6 +12,12 @@ use mopfuzzer::Variant;
 use std::collections::{BTreeMap, HashSet};
 
 fn main() {
+    let metrics = bench::metrics::start();
+    run();
+    bench::metrics::finish(metrics.as_deref());
+}
+
+fn run() {
     let scale = scale_from_args();
     let seeds = experiment_seeds(8);
     // The 24h-on-JDK17 setting: guidance and differential restricted to

@@ -19,6 +19,59 @@ use mopfuzzer::corpus::{self, Seed};
 use mopfuzzer::{run_campaign, CampaignConfig, Variant};
 use std::fmt::Write as _;
 
+/// Telemetry wiring for the experiment binaries: every `bench` binary
+/// brackets its run with [`metrics::start`]/[`metrics::finish`], so
+/// setting `BENCH_METRICS_OUT=FILE` makes a tool-comparison run emit the
+/// same JSONL-snapshot + Prometheus exports as `mopfuzzer --metrics-out`
+/// — directly comparable telemetry across the CLI, the baselines, and
+/// the benchmarks (one shared `jtelemetry` session per process).
+pub mod metrics {
+    use std::path::{Path, PathBuf};
+
+    /// Installs a process-wide telemetry session when `BENCH_METRICS_OUT`
+    /// names a file; returns that path. Without the variable this is a
+    /// no-op and all telemetry calls stay disabled (zero overhead).
+    pub fn start() -> Option<PathBuf> {
+        let path = std::env::var_os("BENCH_METRICS_OUT")?;
+        jtelemetry::install(jtelemetry::Session::new());
+        Some(PathBuf::from(path))
+    }
+
+    /// Consumes the session and writes the final snapshot: one JSONL line
+    /// appended to `out` plus a Prometheus text export at `out.prom`,
+    /// matching the CLI's `--metrics-out` formats byte for byte.
+    pub fn finish(out: Option<&Path>) {
+        let Some(session) = jtelemetry::take() else {
+            return;
+        };
+        let Some(out) = out else {
+            return;
+        };
+        let snap = session.snapshot();
+        let mut prom = out.as_os_str().to_owned();
+        prom.push(".prom");
+        let jsonl = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(out)
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                writeln!(f, "{}", jtelemetry::export::jsonl_line(&snap))
+            });
+        if let Err(e) = jsonl {
+            eprintln!("warning: metrics write failed: {e}");
+        }
+        if let Err(e) = std::fs::write(&prom, jtelemetry::export::prometheus(&snap)) {
+            eprintln!("warning: metrics write failed: {e}");
+        }
+        eprintln!(
+            "metrics: {} (+ {})",
+            out.display(),
+            Path::new(&prom).display()
+        );
+    }
+}
+
 /// The two per-family differential pools. The paper runs its campaigns
 /// against OpenJDK and OpenJ9 *separately* (§4.1); pooling both families
 /// would let HotSpur crash bugs mask J9 miscompilations, because a crash
@@ -57,6 +110,7 @@ pub fn dual_family_campaign(seeds: &[Seed], rounds_per_family: usize) -> DualRes
             supervisor: Default::default(),
             fault: None,
             jobs: 1,
+            oracle_jobs: 1,
         };
         let result = run_campaign(seeds, &config);
         merged.executions += result.executions;

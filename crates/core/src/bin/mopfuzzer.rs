@@ -20,7 +20,7 @@
 
 use jvmsim::{FaultPlan, JvmSpec, RunOptions};
 use mopfuzzer::{
-    differential, fuzz, resume_campaign_extended, run_campaign_observed,
+    differential_jobs, fuzz, resume_campaign_extended, run_campaign_observed,
     run_campaign_with_journal_observed, run_corpus_campaign, CampaignConfig, CampaignObserver,
     CampaignResult, CorpusOptions, FuzzConfig, OracleVerdict, SupervisorConfig, Variant,
 };
@@ -115,6 +115,11 @@ fn print_usage() {
                                    all hardware threads). Journals, results\n\
                                    and corpus flushes are bit-identical at\n\
                                    any worker count\n\
+           --oracle-jobs N         worker threads per differential-oracle\n\
+                                   invocation (default: hardware threads not\n\
+                                   taken by --jobs, min 1). Shares one pool\n\
+                                   with --jobs; results are bit-identical at\n\
+                                   any --jobs x --oracle-jobs combination\n\
            --retries N             retries per faulted round (default 2)\n\
            --quarantine-threshold N  failed rounds before a (seed, mutator)\n\
                                    pair is quarantined (default 2)\n\
@@ -157,6 +162,7 @@ struct CliOptions {
     promote_threshold: Option<f64>,
     gc_streak: Option<u64>,
     jobs: Option<usize>,
+    oracle_jobs: Option<usize>,
     supervisor: SupervisorConfig,
     fault: Option<FaultPlan>,
 }
@@ -165,6 +171,15 @@ struct CliOptions {
 /// at any worker count, so there is no correctness reason to default low.
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// `--oracle-jobs` default: the hardware threads `--jobs` left over (at
+/// least 1, i.e. a serial oracle). Both engines draw from one shared
+/// process-wide pool, so this default never oversubscribes: with `--jobs`
+/// saturating the machine the oracle stays serial, and with a small
+/// `--jobs` the idle threads fan out differential executions instead.
+fn default_oracle_jobs(jobs: usize) -> usize {
+    default_jobs().saturating_sub(jobs).max(1)
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -192,6 +207,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "promote-threshold" => "promote-threshold",
             "gc-streak" => "gc-streak",
             "jobs" => "jobs",
+            "oracle-jobs" => "oracle-jobs",
             "max-steps" => "max-steps",
             "max-execs" => "max-execs",
             "round-deadline" => "round-deadline",
@@ -267,6 +283,10 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         jobs: match num::<usize>(&map, "jobs")? {
             Some(0) => return Err("bad --jobs (must be >= 1)".to_string()),
             jobs => jobs,
+        },
+        oracle_jobs: match num::<usize>(&map, "oracle-jobs")? {
+            Some(0) => return Err("bad --oracle-jobs (must be >= 1)".to_string()),
+            oracle_jobs => oracle_jobs,
         },
         supervisor,
         fault,
@@ -380,6 +400,7 @@ fn metrics_sink(options: &CliOptions) -> Result<Option<MetricsSink>, String> {
 }
 
 fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
+    let jobs = options.jobs.unwrap_or_else(default_jobs);
     let config = CampaignConfig {
         iterations_per_seed: options.iterations,
         variant: if options.guided {
@@ -392,7 +413,10 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         rng_seed: options.rng,
         supervisor: options.supervisor.clone(),
         fault: options.fault.clone(),
-        jobs: options.jobs.unwrap_or_else(default_jobs),
+        jobs,
+        oracle_jobs: options
+            .oracle_jobs
+            .unwrap_or_else(|| default_oracle_jobs(jobs)),
     };
     if let Some(dir) = &options.corpus {
         return run_corpus_campaign_mode(options, &config, dir);
@@ -653,7 +677,16 @@ fn run_resume(journal: &Path, options: &CliOptions) -> Result<(), String> {
     let mut sink = metrics_sink(options)?;
     let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
     let jobs = options.jobs.unwrap_or_else(default_jobs);
-    let result = resume_campaign_extended(journal, options.rounds, Some(jobs), observer)?;
+    let oracle_jobs = options
+        .oracle_jobs
+        .unwrap_or_else(|| default_oracle_jobs(jobs));
+    let result = resume_campaign_extended(
+        journal,
+        options.rounds,
+        Some(jobs),
+        Some(oracle_jobs),
+        observer,
+    )?;
     if let Some(sink) = &sink {
         sink.finish();
     }
@@ -770,7 +803,15 @@ fn run(options: &CliOptions) -> Result<(), String> {
             )?;
             format!("CRASH {} in {}", crash.bug_id, crash.component.label())
         } else {
-            let diff = differential(&outcome.final_mutant, &options.jdks, &RunOptions::fuzzing());
+            // Plain mode has no round-level workers, so by default the
+            // oracle may fan out across every hardware thread.
+            let oracle_jobs = options.oracle_jobs.unwrap_or_else(default_jobs);
+            let diff = differential_jobs(
+                &outcome.final_mutant,
+                &options.jdks,
+                &RunOptions::fuzzing(),
+                oracle_jobs,
+            );
             match diff.verdict {
                 OracleVerdict::Pass => "pass".to_string(),
                 OracleVerdict::Inconclusive(reason) => format!("inconclusive: {reason}"),

@@ -319,6 +319,17 @@ pub fn fuzz(seed: &Program, config: &FuzzConfig) -> FuzzOutcome {
     outcome
 }
 
+// Round workers move fuzzing state across the shared pool's threads.
+// Guidance executions inside `fuzz` are inherently sequential (iteration
+// N+1 mutates iteration N's survivor), so only the round-level types need
+// to cross threads — assert they stay `Send` at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FuzzConfig>();
+    assert_send::<FuzzOutcome>();
+    assert_send::<crate::Seed>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

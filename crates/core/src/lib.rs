@@ -16,6 +16,9 @@
 //!   containment, bounded retries, quarantine, and budgets;
 //! * [`journal`] — JSONL checkpoints making campaigns resumable with
 //!   bit-identical results;
+//! * `pool` (internal) — the process-wide work pool shared by the
+//!   round-level engine (`--jobs`) and the intra-round differential
+//!   oracle (`--oracle-jobs`);
 //! * [`variant`] — the §4.4 ablations (`MopFuzzer_g`, `MopFuzzer_r`);
 //! * [`corpus`] — built-in and generated regression-test-style seeds;
 //! * [`stats`] — Table 5 mutator/pair ratios and Figure 1 trajectories.
@@ -41,6 +44,7 @@ pub mod fuzzer;
 pub mod journal;
 pub mod mutators;
 pub mod oracle;
+mod pool;
 pub mod stats;
 pub mod supervisor;
 pub mod variant;
@@ -57,6 +61,6 @@ pub use journal::{
     JournalWriter, PromotionReason, PromotionRecord, RoundRecord,
 };
 pub use mutators::{all_mutators, Mutation, Mutator, MutatorKind};
-pub use oracle::{differential, DifferentialResult, OracleVerdict};
+pub use oracle::{differential, differential_jobs, DifferentialResult, OracleVerdict};
 pub use supervisor::{BudgetKind, Quarantine, RoundError, RoundFailure, SupervisorConfig};
 pub use variant::Variant;

@@ -31,17 +31,16 @@ use crate::journal::{
     BugSighting, Disposition, JournalWriter, PromotionReason, PromotionRecord, RoundRecord,
 };
 use crate::mutators::MutatorKind;
-use crate::oracle::{differential, OracleVerdict};
+use crate::oracle::{differential_jobs, OracleVerdict};
+use crate::pool;
 use jprofile::Obv;
 use jvmsim::fault::{MUTATOR_PANIC_MARKER, VM_PANIC_MARKER};
 use jvmsim::{run_jvm, Component, JvmSpec, RunOptions, Verdict};
 use mjava::Program;
 use std::any::Any;
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Mutex, Once};
+use std::sync::{mpsc, Arc};
 
 /// Which budget ran out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,27 +244,15 @@ pub(crate) struct CorpusCtx<'a> {
     pub baseline_streaks: HashMap<String, u64>,
 }
 
-thread_local! {
-    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
-}
-static PANIC_HOOK: Once = Once::new();
-
-/// Runs `f` inside a panic boundary. The default panic hook is wrapped
-/// (once, process-wide) so contained panics stay silent on this thread
-/// while panics elsewhere keep reporting normally.
+/// Runs `f` inside a panic boundary (see [`pool::quiet_catch_unwind`]:
+/// contained panics stay silent on this thread while panics elsewhere
+/// keep reporting normally) and classifies the payload. A panel JVM that
+/// panicked inside a parallel differential merge is re-raised by
+/// [`crate::oracle::differential_jobs`] at its canonical pool position,
+/// so the payload reaching this boundary — and its classification — is
+/// identical at any `--oracle-jobs`.
 fn catch_round<T>(f: impl FnOnce() -> T) -> Result<T, RoundError> {
-    PANIC_HOOK.call_once(|| {
-        let previous = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
-                previous(info);
-            }
-        }));
-    });
-    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
-    let caught = panic::catch_unwind(AssertUnwindSafe(f));
-    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
-    caught.map_err(|payload| classify_panic(payload.as_ref()))
+    pool::quiet_catch_unwind(f).map_err(|payload| classify_panic(payload.as_ref()))
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -513,7 +500,12 @@ fn run_attempt(
             fault: config.fault.clone(),
             ..RunOptions::fuzzing()
         };
-        let diff = differential(&outcome.final_mutant, &config.pool, &options);
+        let diff = differential_jobs(
+            &outcome.final_mutant,
+            &config.pool,
+            &options,
+            config.oracle_jobs,
+        );
         record.diff = Some((diff.executions, diff.steps));
         record.coverage.merge(&diff.coverage);
         match diff.verdict {
@@ -945,26 +937,31 @@ struct WorkerOutput {
     banned: Vec<MutatorKind>,
     record: RoundRecord,
     metrics: Option<jtelemetry::MetricsSnapshot>,
+    /// The task body escaped its panic boundary (a harness bug, not an
+    /// injected fault — those are contained inside [`execute_round`]).
+    /// Poisoned outputs never merge; the coordinator re-executes inline.
+    /// Pool threads outlive any one campaign, so a dead-worker fallback
+    /// no longer exists — this sentinel replaces it.
+    poisoned: bool,
 }
 
-/// Worker body: pull tasks from the shared queue until it closes. Rounds
-/// are self-contained (seed-derived RNG, per-attempt flight rebasing,
+/// One speculative round execution, run as a pool job. Rounds are
+/// self-contained (seed-derived RNG, per-attempt flight rebasing,
 /// work-meter deltas), so executing them on any thread produces the exact
-/// record a serial run would. Panic containment is per-thread state and
-/// keeps working here.
-fn worker_loop(
-    tasks: &Mutex<mpsc::Receiver<WorkerTask>>,
-    results: &mpsc::Sender<WorkerOutput>,
+/// record a serial run would. Always sends exactly one output — even when
+/// the body panics — so the coordinator's merge loop never hangs on a
+/// round it dispatched.
+fn run_worker_task(
+    task: WorkerTask,
     config: &CampaignConfig,
+    results: &mpsc::Sender<WorkerOutput>,
 ) {
-    loop {
-        let task = {
-            let queue = tasks.lock().unwrap_or_else(|e| e.into_inner());
-            match queue.recv() {
-                Ok(task) => task,
-                Err(_) => return, // queue closed: campaign over
-            }
-        };
+    let (round, skip) = (task.round, task.skip);
+    let (seed_name, banned) = (task.seed.name.clone(), task.banned.clone());
+    let body = pool::quiet_catch_unwind(|| {
+        // Pool threads are shared across campaigns and tasks: drop any
+        // session a previous occupant left behind before installing ours.
+        drop(jtelemetry::take());
         if task.telemetry {
             jtelemetry::install(jtelemetry::Session::new());
         }
@@ -985,18 +982,51 @@ fn worker_loop(
         } else {
             None
         };
-        let sent = results.send(WorkerOutput {
-            round: task.round,
-            seed: task.seed.name,
-            skip: task.skip,
-            banned: task.banned,
+        (record, metrics)
+    });
+    let output = match body {
+        Ok((record, metrics)) => WorkerOutput {
+            round,
+            seed: seed_name,
+            skip,
+            banned,
             record,
             metrics,
-        });
-        if sent.is_err() {
-            return; // coordinator gone
+            poisoned: false,
+        },
+        Err(_) => {
+            drop(jtelemetry::take()); // don't leak a partial session
+            WorkerOutput {
+                round,
+                seed: seed_name,
+                skip,
+                banned,
+                record: RoundRecord {
+                    round,
+                    seed: String::new(),
+                    disposition: Disposition::Skipped,
+                    fuzz_execs: 0,
+                    fuzz_steps: 0,
+                    diff: None,
+                    final_delta: 0.0,
+                    inconclusive: false,
+                    errors: Vec::new(),
+                    crash: None,
+                    diff_bugs: Vec::new(),
+                    coverage: jvmsim::CoverageMap::new(),
+                    fault_pair: None,
+                    wasted_steps: 0,
+                    wasted_execs: 0,
+                    promotion: None,
+                },
+                metrics: None,
+                poisoned: true,
+            }
         }
-    }
+    };
+    // A send can only fail once the coordinator has stopped merging
+    // (budget stop / exhaustion); the speculative result is then dead.
+    let _ = results.send(output);
 }
 
 /// The multi-worker round engine: workers execute rounds speculatively
@@ -1022,9 +1052,10 @@ fn worker_loop(
 ///    with its telemetry — the serial run never did that work;
 /// 4. journal, fold via [`apply_record`], update gauges, notify.
 ///
-/// A budget stop or scheduler exhaustion breaks the loop; closing the task
-/// queue drains the workers, and any still-in-flight speculation is
-/// discarded unmerged, exactly as if the serial loop had stopped there.
+/// A budget stop or scheduler exhaustion breaks the loop; the output
+/// channel is dropped with it, so any still-in-flight speculation is
+/// discarded unmerged (its send fails silently), exactly as if the serial
+/// loop had stopped there.
 #[allow(clippy::too_many_arguments)]
 fn run_parallel_rounds(
     seeds: &[Seed],
@@ -1040,167 +1071,167 @@ fn run_parallel_rounds(
     let threshold = config.supervisor.quarantine_threshold;
     let telemetry = jtelemetry::enabled();
     let window = config.jobs.max(2) * 2;
-    std::thread::scope(|scope| {
-        let (task_tx, task_rx) = mpsc::channel::<WorkerTask>();
-        let task_rx = Arc::new(Mutex::new(task_rx));
-        let (out_tx, out_rx) = mpsc::channel::<WorkerOutput>();
-        for _ in 0..config.jobs {
-            let queue = Arc::clone(&task_rx);
-            let results = out_tx.clone();
-            scope.spawn(move || worker_loop(&queue, &results, config));
+    // Round jobs go to the shared process-wide pool (capacity is the max
+    // of every subsystem's request, so `--jobs` and `--oracle-jobs` can't
+    // oversubscribe each other). One config clone serves the campaign.
+    let shared_config = Arc::new(config.clone());
+    pool::shared().ensure_capacity(config.jobs);
+    let (out_tx, out_rx) = mpsc::channel::<WorkerOutput>();
+
+    let mut pending: BTreeMap<usize, WorkerOutput> = BTreeMap::new();
+    let mut dispatched: HashSet<usize> = HashSet::new();
+    let mut next_dispatch = first_round;
+
+    for round in first_round..config.rounds {
+        if let Some(ctx) = corpus.as_deref_mut() {
+            refresh_external_quarantine(ctx, quarantine);
         }
-        drop(out_tx);
-
-        let mut pending: BTreeMap<usize, WorkerOutput> = BTreeMap::new();
-        let mut dispatched: HashSet<usize> = HashSet::new();
-        let mut next_dispatch = first_round;
-
-        for round in first_round..config.rounds {
-            if let Some(ctx) = corpus.as_deref_mut() {
-                refresh_external_quarantine(ctx, quarantine);
-            }
-            if let Some(stop) = budget_stop(result, &config.supervisor, round) {
-                result.round_errors.push(stop.clone());
-                result.stopped = Some(stop);
-                break;
-            }
-            let seed = match corpus.as_deref_mut() {
-                Some(ctx) => match ctx.scheduler.pick(round, config.rng_seed) {
-                    Some(name) => {
+        if let Some(stop) = budget_stop(result, &config.supervisor, round) {
+            result.round_errors.push(stop.clone());
+            result.stopped = Some(stop);
+            break;
+        }
+        let seed = match corpus.as_deref_mut() {
+            Some(ctx) => match ctx.scheduler.pick(round, config.rng_seed) {
+                Some(name) => {
+                    let program = ctx
+                        .programs
+                        .get(&name)
+                        .expect("scheduled entry has a program")
+                        .clone();
+                    Seed { name, program }
+                }
+                None => break, // everything quarantined
+            },
+            None => seeds[round % seeds.len()].clone(),
+        };
+        let skip = quarantine.seed_blocked(&seed.name);
+        let banned = quarantine.banned_mutators(&seed.name);
+        while next_dispatch < config.rounds && next_dispatch < round + window {
+            let spec_round = next_dispatch;
+            let spec_seed = if spec_round == round {
+                Some(seed.clone())
+            } else {
+                match corpus.as_deref() {
+                    Some(ctx) => ctx.scheduler.pick(spec_round, config.rng_seed).map(|name| {
                         let program = ctx
                             .programs
                             .get(&name)
                             .expect("scheduled entry has a program")
                             .clone();
                         Seed { name, program }
-                    }
-                    None => break, // everything quarantined
-                },
-                None => seeds[round % seeds.len()].clone(),
-            };
-            let skip = quarantine.seed_blocked(&seed.name);
-            let banned = quarantine.banned_mutators(&seed.name);
-            while next_dispatch < config.rounds && next_dispatch < round + window {
-                let spec_round = next_dispatch;
-                let spec_seed = if spec_round == round {
-                    Some(seed.clone())
-                } else {
-                    match corpus.as_deref() {
-                        Some(ctx) => ctx.scheduler.pick(spec_round, config.rng_seed).map(|name| {
-                            let program = ctx
-                                .programs
-                                .get(&name)
-                                .expect("scheduled entry has a program")
-                                .clone();
-                            Seed { name, program }
-                        }),
-                        None => Some(seeds[spec_round % seeds.len()].clone()),
-                    }
-                };
-                let Some(spec_seed) = spec_seed else {
-                    // The scheduler predicts exhaustion; the authoritative
-                    // decision is made at this round's own merge point
-                    // (a promotion may yet unblock it).
-                    break;
-                };
-                let task = WorkerTask {
-                    round: spec_round,
-                    skip: quarantine.seed_blocked(&spec_seed.name),
-                    banned: quarantine.banned_mutators(&spec_seed.name),
-                    telemetry,
-                    promo: corpus.as_deref().map(|ctx| PromoInputs {
-                        fingerprints: Arc::new(ctx.fingerprints.clone()),
-                        promote_threshold: ctx.promote_threshold,
                     }),
-                    seed: spec_seed,
-                };
-                if task_tx.send(task).is_err() {
-                    break; // workers gone; fall back to inline execution
-                }
-                dispatched.insert(spec_round);
-                next_dispatch += 1;
-            }
-            let output = loop {
-                if let Some(found) = pending.remove(&round) {
-                    break Some(found);
-                }
-                if !dispatched.contains(&round) {
-                    break None;
-                }
-                match out_rx.recv() {
-                    Ok(incoming) => {
-                        pending.insert(incoming.round, incoming);
-                    }
-                    Err(_) => break None, // workers died mid-flight
+                    None => Some(seeds[spec_round % seeds.len()].clone()),
                 }
             };
-            dispatched.remove(&round);
-            let validates = |output: &WorkerOutput| {
-                output.seed == seed.name && output.skip == skip && output.banned == banned
+            let Some(spec_seed) = spec_seed else {
+                // The scheduler predicts exhaustion; the authoritative
+                // decision is made at this round's own merge point
+                // (a promotion may yet unblock it).
+                break;
             };
-            let (record, metrics) = match output {
-                Some(output) if validates(&output) => {
-                    let mut record = output.record;
-                    if let (Some(ctx), Some(promo)) = (corpus.as_deref(), record.promotion.as_ref())
-                    {
-                        if ctx.fingerprints.contains(&promo.fingerprint) {
-                            // An intervening merge admitted this behaviour:
-                            // the serial run's promotion check would have
-                            // seen the fingerprint and declined, so decline
-                            // here too.
-                            record.promotion = None;
-                        }
-                    }
-                    (record, output.metrics)
-                }
-                _ => {
-                    // Mispredicted inputs (or never dispatched): execute
-                    // here with the authoritative ones.
-                    let (mut record, mutant) = execute_round(round, &seed, config, skip, &banned);
-                    if let (Some(ctx), Some(mutant)) = (corpus.as_deref(), mutant.as_ref()) {
-                        record.promotion = consider_promotion(
-                            &record,
-                            mutant,
-                            &seed.program,
-                            &ctx.fingerprints,
-                            ctx.promote_threshold,
-                            config,
-                        );
-                    }
-                    (record, None)
-                }
+            let task = WorkerTask {
+                round: spec_round,
+                skip: quarantine.seed_blocked(&spec_seed.name),
+                banned: quarantine.banned_mutators(&spec_seed.name),
+                telemetry,
+                promo: corpus.as_deref().map(|ctx| PromoInputs {
+                    fingerprints: Arc::new(ctx.fingerprints.clone()),
+                    promote_threshold: ctx.promote_threshold,
+                }),
+                seed: spec_seed,
             };
-            if let Some(snapshot) = &metrics {
-                jtelemetry::absorb(snapshot);
+            let job_config = Arc::clone(&shared_config);
+            let job_results = out_tx.clone();
+            pool::shared().submit(Box::new(move || {
+                run_worker_task(task, &job_config, &job_results);
+            }));
+            dispatched.insert(spec_round);
+            next_dispatch += 1;
+        }
+        let output = loop {
+            if let Some(found) = pending.remove(&round) {
+                break Some(found);
             }
-            if let Some(w) = writer.as_deref_mut() {
-                if let Err(e) = w.write_round(&record) {
-                    eprintln!("warning: journal write failed: {e}");
+            if !dispatched.contains(&round) {
+                break None;
+            }
+            match out_rx.recv() {
+                Ok(incoming) => {
+                    pending.insert(incoming.round, incoming);
                 }
+                Err(_) => break None, // unreachable: we hold a sender
             }
-            apply_record(
-                result,
-                seen,
-                quarantine,
-                &record,
-                threshold,
-                corpus.as_deref_mut(),
-            );
-            if telemetry {
-                update_gauges(
-                    result,
-                    round + 1,
-                    config.rounds,
-                    seeds.len(),
-                    corpus.as_deref(),
-                );
+        };
+        dispatched.remove(&round);
+        let validates = |output: &WorkerOutput| {
+            !output.poisoned
+                && output.seed == seed.name
+                && output.skip == skip
+                && output.banned == banned
+        };
+        let (record, metrics) = match output {
+            Some(output) if validates(&output) => {
+                let mut record = output.record;
+                if let (Some(ctx), Some(promo)) = (corpus.as_deref(), record.promotion.as_ref()) {
+                    if ctx.fingerprints.contains(&promo.fingerprint) {
+                        // An intervening merge admitted this behaviour:
+                        // the serial run's promotion check would have
+                        // seen the fingerprint and declined, so decline
+                        // here too.
+                        record.promotion = None;
+                    }
+                }
+                (record, output.metrics)
             }
-            if let Some(obs) = observer.as_deref_mut() {
-                obs.round_finished(round, result);
+            _ => {
+                // Mispredicted inputs, poisoned, or never dispatched:
+                // execute here with the authoritative ones.
+                let (mut record, mutant) = execute_round(round, &seed, config, skip, &banned);
+                if let (Some(ctx), Some(mutant)) = (corpus.as_deref(), mutant.as_ref()) {
+                    record.promotion = consider_promotion(
+                        &record,
+                        mutant,
+                        &seed.program,
+                        &ctx.fingerprints,
+                        ctx.promote_threshold,
+                        config,
+                    );
+                }
+                (record, None)
+            }
+        };
+        if let Some(snapshot) = &metrics {
+            jtelemetry::absorb(snapshot);
+        }
+        if let Some(w) = writer.as_deref_mut() {
+            if let Err(e) = w.write_round(&record) {
+                eprintln!("warning: journal write failed: {e}");
             }
         }
-        drop(task_tx); // close the queue: workers drain and exit
-    });
+        apply_record(
+            result,
+            seen,
+            quarantine,
+            &record,
+            threshold,
+            corpus.as_deref_mut(),
+        );
+        if telemetry {
+            update_gauges(
+                result,
+                round + 1,
+                config.rounds,
+                seeds.len(),
+                corpus.as_deref(),
+            );
+        }
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.round_finished(round, result);
+        }
+    }
+    // Dropping out_rx (with out_tx) orphans any in-flight speculation:
+    // its sends fail and the results evaporate, as if never computed.
 }
 
 #[cfg(test)]

@@ -408,6 +408,19 @@ fn mark_runtime_coverage(coverage: &mut CoverageMap, outcome: &Outcome) {
     }
 }
 
+// The differential oracle farms `run_jvm` calls onto a shared worker
+// pool, so everything it moves across threads must stay `Send`. These
+// assertions turn an accidental `Rc`/raw-pointer regression into a
+// compile error at the crate that introduced it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<JvmRun>();
+    assert_send::<RunOptions>();
+    assert_send::<JvmSpec>();
+    assert_send::<FaultPlan>();
+    assert_send::<CoverageMap>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

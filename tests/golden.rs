@@ -1,0 +1,132 @@
+//! Golden-journal regression corpus: reference journals committed under
+//! `tests/golden/`, pinned byte for byte. Two invariants ride on them:
+//!
+//! * **Engine stability** — re-running the recorded campaign (at a
+//!   *parallel* `--jobs` × `--oracle-jobs` setting, exercising both the
+//!   round engine and the work-stealing oracle) reproduces the committed
+//!   bytes exactly. Any drift in mutation order, verdicts, coverage
+//!   deltas, or journal encoding fails here first.
+//! * **Resume fidelity** — `--resume` re-emits a journal bit-identically,
+//!   both from a complete journal and from one interrupted mid-campaign.
+//!
+//! Plain mode only: corpus-mode headers embed machine-specific store
+//! paths. Fault plans *are* journaled, so the fault-injected golden
+//! legitimately covers retry and quarantine records.
+//!
+//! To regenerate after an intentional engine change:
+//!
+//! ```text
+//! cargo test --test golden regenerate_golden_journals -- --ignored
+//! ```
+//!
+//! then commit the diff alongside the change that explains it.
+
+use jvmsim::FaultPlan;
+use mopfuzzer::{
+    read_journal, resume_campaign_extended, run_campaign_with_journal, CampaignConfig,
+    JournalWriter,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mop_golden_{}_{name}", std::process::id()))
+}
+
+/// The recorded campaigns. Configs are spelled out here because worker
+/// counts are not journaled — the journal is identical at any of them.
+fn golden_campaigns() -> Vec<(&'static str, CampaignConfig)> {
+    let plain = CampaignConfig {
+        iterations_per_seed: 10,
+        rounds: 6,
+        rng_seed: 2024,
+        ..CampaignConfig::new(6)
+    };
+    let mut faulted = CampaignConfig {
+        iterations_per_seed: 10,
+        rounds: 8,
+        rng_seed: 77,
+        ..CampaignConfig::new(8)
+    };
+    faulted.fault = Some(FaultPlan::new(7, 0.25));
+    vec![("plain_v2.jsonl", plain), ("faulted_v2.jsonl", faulted)]
+}
+
+/// Re-running the recorded campaign — with round-level and oracle-level
+/// parallelism on — reproduces the committed journal bytes.
+#[test]
+fn fresh_runs_reproduce_the_golden_journals() {
+    let seeds = mopfuzzer::corpus::builtin();
+    for (name, mut config) in golden_campaigns() {
+        let golden = fs::read(golden_dir().join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e} (see module docs)"));
+        config.jobs = 2;
+        config.oracle_jobs = 4;
+        let path = temp_path(name);
+        run_campaign_with_journal(&seeds, &config, &path).unwrap();
+        assert_eq!(
+            golden,
+            fs::read(&path).unwrap(),
+            "fresh run diverged from golden {name}; if the engine change is \
+             intentional, regenerate (see module docs)"
+        );
+        fs::remove_file(&path).ok();
+    }
+}
+
+/// `--resume` re-emits every golden bit-identically: from the complete
+/// journal (pure replay) and from a copy interrupted halfway (replay +
+/// live completion), in both cases with parallel workers.
+#[test]
+fn resume_reemits_the_golden_bytes() {
+    for (name, _) in golden_campaigns() {
+        let golden_path = golden_dir().join(name);
+        let golden = fs::read(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e} (see module docs)"));
+        let contents = read_journal(&golden_path).unwrap();
+        let cuts = [contents.records.len(), contents.records.len() / 2];
+        for (i, cut) in cuts.into_iter().enumerate() {
+            // Rebuild a journal holding only the first `cut` records — the
+            // on-disk state of a campaign killed mid-flight.
+            let path = temp_path(&format!("{i}_{name}"));
+            let mut writer = JournalWriter::create(
+                &path,
+                &contents.config,
+                &contents.seeds,
+                contents.corpus.as_ref(),
+            )
+            .unwrap();
+            for record in &contents.records[..cut] {
+                writer.write_round(record).unwrap();
+            }
+            drop(writer);
+            resume_campaign_extended(&path, None, Some(2), Some(4), None).unwrap();
+            assert_eq!(
+                golden,
+                fs::read(&path).unwrap(),
+                "resume from {cut} record(s) did not re-emit golden {name}"
+            );
+            fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Writes the reference journals (serial engine — though any worker
+/// count produces the same bytes, the generator stays at 1×1 so a
+/// determinism bug can never contaminate the references themselves).
+/// Run explicitly after an intentional engine change; see module docs.
+#[test]
+#[ignore = "regenerates the committed golden journals"]
+fn regenerate_golden_journals() {
+    let seeds = mopfuzzer::corpus::builtin();
+    fs::create_dir_all(golden_dir()).unwrap();
+    for (name, config) in golden_campaigns() {
+        let path = golden_dir().join(name);
+        run_campaign_with_journal(&seeds, &config, &path).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

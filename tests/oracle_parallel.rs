@@ -1,0 +1,322 @@
+//! The parallel differential oracle's contract: `--oracle-jobs N` is an
+//! execution detail, never an observable one. The work-stealing oracle
+//! must reproduce the serial loop bit for bit — `DifferentialResult`s
+//! (verdicts, culprit sets, coverage), telemetry verdict counters and
+//! flight-recorder replays, and whole campaign journals, in plain and
+//! corpus mode, under fault injection, at any `--jobs` × `--oracle-jobs`
+//! combination. Plus the property angle: equivalence for arbitrary
+//! generated programs and worker counts, and verdict invariance under
+//! pool-order permutation.
+
+use jvmsim::{FaultPlan, JvmSpec, RunOptions};
+use mopfuzzer::{
+    corpus, differential_jobs, fuzz, import_seeds, run_campaign_with_journal, run_corpus_campaign,
+    CampaignConfig, CorpusOptions, DifferentialResult, FuzzConfig, OracleVerdict,
+};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mop_oracle_{}_{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A campaign with deterministic fault injection — the retry/quarantine
+/// machinery must not perturb the oracle merge (crashing *injected*
+/// faults land inside `run_jvm`, i.e. inside the parallel section).
+fn faulty_config(rounds: usize, rng_seed: u64, jobs: usize, oracle_jobs: usize) -> CampaignConfig {
+    let mut config = CampaignConfig {
+        iterations_per_seed: 10,
+        rounds,
+        rng_seed,
+        jobs,
+        oracle_jobs,
+        ..CampaignConfig::new(rounds)
+    };
+    config.fault = Some(FaultPlan::new(rng_seed ^ 0x5eed, 0.25));
+    config
+}
+
+/// Optimization-heavy mutants for direct oracle calls: each builtin seed
+/// fuzzed briefly, so verdicts cover more than cold seed programs.
+fn oracle_workload() -> Vec<mjava::Program> {
+    let pool = JvmSpec::differential_pool();
+    corpus::builtin()
+        .iter()
+        .enumerate()
+        .map(|(i, seed)| {
+            let config = FuzzConfig {
+                max_iterations: 12,
+                rng_seed: i as u64,
+                ..FuzzConfig::new(pool[i % pool.len()].clone())
+            };
+            fuzz(&seed.program, &config).final_mutant
+        })
+        .collect()
+}
+
+/// A deterministic Fisher-Yates permutation keyed by `key` (no RNG dep).
+fn permuted(pool: &[JvmSpec], key: u64) -> Vec<JvmSpec> {
+    let mut v = pool.to_vec();
+    let mut state = key | 1;
+    for i in (1..v.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    v
+}
+
+/// Direct oracle calls: every worker count returns a `DifferentialResult`
+/// equal to the serial loop's — verdict, culprit sets, outputs, coverage,
+/// execution and step totals.
+#[test]
+fn parallel_oracle_results_match_serial() {
+    let pool = JvmSpec::differential_pool();
+    let options = RunOptions::fuzzing();
+    for program in &oracle_workload() {
+        let serial = differential_jobs(program, &pool, &options, 1);
+        for oracle_jobs in [2, 4, 8, 13] {
+            let parallel = differential_jobs(program, &pool, &options, oracle_jobs);
+            assert_eq!(serial, parallel, "diverged at oracle-jobs {oracle_jobs}");
+        }
+    }
+}
+
+/// With a telemetry session installed, the parallel oracle replays every
+/// serial side effect in canonical pool order: verdict and execution
+/// counters, span counts, mutator stats, and the flight-recorder stream
+/// (work-step timestamps included) are identical. Span *durations* are
+/// wall-clock and excluded — the manual clock pins the main session, but
+/// absorbed worker spans still tick real nanoseconds.
+#[test]
+fn parallel_oracle_telemetry_matches_serial() {
+    let pool = JvmSpec::differential_pool();
+    let options = RunOptions::fuzzing();
+    let programs = oracle_workload();
+    let run = |oracle_jobs: usize| {
+        jtelemetry::install(jtelemetry::Session::with_clock(Box::new(
+            jtelemetry::ManualClock::new(),
+        )));
+        jtelemetry::flight_reset();
+        let results: Vec<DifferentialResult> = programs
+            .iter()
+            .map(|p| differential_jobs(p, &pool, &options, oracle_jobs))
+            .collect();
+        let flight = jtelemetry::flight_snapshot();
+        let snap = jtelemetry::take().expect("session installed").snapshot();
+        (results, flight, snap)
+    };
+    let (serial_results, serial_flight, serial_snap) = run(1);
+    assert!(
+        serial_snap.counter("vm_executions") > 0,
+        "telemetry did not observe the oracle"
+    );
+    for oracle_jobs in [2, 4, 8] {
+        let (results, flight, snap) = run(oracle_jobs);
+        assert_eq!(serial_results, results);
+        assert_eq!(
+            serial_flight, flight,
+            "flight replay diverged at oracle-jobs {oracle_jobs}"
+        );
+        assert_eq!(
+            serial_snap.counters, snap.counters,
+            "counters diverged at oracle-jobs {oracle_jobs}"
+        );
+        let span_counts = |s: &jtelemetry::MetricsSnapshot| {
+            s.spans
+                .iter()
+                .map(|sp| (sp.name.clone(), sp.count))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(span_counts(&serial_snap), span_counts(&snap));
+        assert_eq!(serial_snap.mutators, snap.mutators);
+    }
+}
+
+/// Plain campaign mode under fault injection: `--oracle-jobs 4` writes
+/// the same journal bytes and returns the same result as the serial
+/// oracle, even when rounds fault, retry, and quarantine mid-campaign.
+#[test]
+fn plain_campaign_is_bit_identical_across_oracle_jobs() {
+    let seeds = corpus::builtin();
+    let dir = temp_dir("plain");
+    fs::create_dir_all(&dir).unwrap();
+    let (path_1, path_4) = (dir.join("oj1.jsonl"), dir.join("oj4.jsonl"));
+
+    let serial = run_campaign_with_journal(&seeds, &faulty_config(10, 77, 1, 1), &path_1).unwrap();
+    let parallel =
+        run_campaign_with_journal(&seeds, &faulty_config(10, 77, 1, 4), &path_4).unwrap();
+
+    assert_eq!(serial, parallel);
+    assert_eq!(fs::read(&path_1).unwrap(), fs::read(&path_4).unwrap());
+    // The fault machinery actually fired — otherwise this proves nothing.
+    assert!(
+        serial.retried_attempts > 0 || serial.errored_rounds > 0 || serial.skipped_rounds > 0,
+        "fault plan produced no faults; raise the rate"
+    );
+
+    fs::remove_dir_all(dir).ok();
+}
+
+/// Round-level and oracle-level parallelism compose: any `--jobs` ×
+/// `--oracle-jobs` combination reproduces the fully serial journal.
+#[test]
+fn jobs_and_oracle_jobs_compose_bit_identically() {
+    let seeds = corpus::builtin();
+    let dir = temp_dir("compose");
+    fs::create_dir_all(&dir).unwrap();
+    let baseline_path = dir.join("serial.jsonl");
+    let baseline =
+        run_campaign_with_journal(&seeds, &faulty_config(8, 902, 1, 1), &baseline_path).unwrap();
+    let baseline_bytes = fs::read(&baseline_path).unwrap();
+
+    for (jobs, oracle_jobs) in [(2, 2), (4, 2), (2, 4)] {
+        let path = dir.join(format!("j{jobs}_oj{oracle_jobs}.jsonl"));
+        let result =
+            run_campaign_with_journal(&seeds, &faulty_config(8, 902, jobs, oracle_jobs), &path)
+                .unwrap();
+        assert_eq!(
+            baseline, result,
+            "result diverged at jobs {jobs} x oracle-jobs {oracle_jobs}"
+        );
+        assert_eq!(
+            baseline_bytes,
+            fs::read(&path).unwrap(),
+            "journal diverged at jobs {jobs} x oracle-jobs {oracle_jobs}"
+        );
+    }
+
+    fs::remove_dir_all(dir).ok();
+}
+
+/// Corpus mode: starting from byte-identical stores at the same path,
+/// serial- and parallel-oracle campaigns leave byte-identical journals,
+/// manifests, and quarantine files behind.
+#[test]
+fn corpus_campaign_is_bit_identical_across_oracle_jobs() {
+    let dir = temp_dir("corpus");
+    let mut store = jcorpus::Store::init(&dir).unwrap();
+    import_seeds(&mut store, &corpus::builtin(), jcorpus::Provenance::Builtin).unwrap();
+    store.save().unwrap();
+    let pristine = snapshot_dir(&dir);
+    let journal = dir.join("campaign.jsonl");
+    let opts = CorpusOptions {
+        promote_threshold: 1.0,
+        ..CorpusOptions::default()
+    };
+
+    let serial = run_corpus_campaign(
+        &mut store,
+        &faulty_config(6, 401, 1, 1),
+        &opts,
+        Some(&journal),
+        None,
+    )
+    .unwrap();
+    let after_serial = snapshot_dir(&dir);
+
+    restore_dir(&dir, &pristine);
+    let mut store = jcorpus::Store::open(&dir).unwrap();
+    let parallel = run_corpus_campaign(
+        &mut store,
+        &faulty_config(6, 401, 1, 4),
+        &opts,
+        Some(&journal),
+        None,
+    )
+    .unwrap();
+
+    assert_eq!(serial, parallel);
+    assert_eq!(after_serial, snapshot_dir(&dir));
+
+    fs::remove_dir_all(dir).ok();
+}
+
+/// Everything in the store directory except the advisory lockfile,
+/// relative paths sorted for stable comparison.
+fn snapshot_dir(dir: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.file_name().and_then(|n| n.to_str()) != Some(jcorpus::LOCKFILE) {
+                let rel = path.strip_prefix(dir).unwrap().to_path_buf();
+                files.push((rel, fs::read(&path).unwrap()));
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn restore_dir(dir: &Path, snapshot: &[(PathBuf, Vec<u8>)]) {
+    fs::remove_dir_all(dir).unwrap();
+    for (rel, bytes) in snapshot {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, bytes).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The equivalence is not an artifact of the builtin corpus: for any
+    /// generated program (arbitrary generator seed, briefly fuzzed) and
+    /// any worker count, the parallel oracle matches the serial one.
+    #[test]
+    fn oracle_equivalence_holds_for_generated_programs(
+        rng_seed in any::<u64>(),
+        workers in 2usize..9,
+    ) {
+        let seed = corpus::corpus(1, rng_seed).pop().unwrap();
+        let pool = JvmSpec::differential_pool();
+        let options = RunOptions::fuzzing();
+        let config = FuzzConfig {
+            max_iterations: 6,
+            rng_seed,
+            ..FuzzConfig::new(pool[(rng_seed % pool.len() as u64) as usize].clone())
+        };
+        let mutant = fuzz(&seed.program, &config).final_mutant;
+        let serial = differential_jobs(&mutant, &pool, &options, 1);
+        let parallel = differential_jobs(&mutant, &pool, &options, workers);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Verdicts are a property of the *set* of JVMs, not their order: for
+    /// any pool permutation and worker count, non-crash results are fully
+    /// identical (culprit sets, outputs, coverage, totals — all of them
+    /// canonicalized), and a crash verdict stays a crash verdict (which
+    /// JVM wins is by design the first crasher in pool order).
+    #[test]
+    fn verdicts_are_invariant_under_pool_permutation(
+        seed_index in 0usize..6,
+        key in any::<u64>(),
+        workers in 1usize..9,
+    ) {
+        let seeds = corpus::builtin();
+        let seed = &seeds[seed_index % seeds.len()];
+        let pool = JvmSpec::differential_pool();
+        let options = RunOptions::fuzzing();
+        let config = FuzzConfig {
+            max_iterations: 8,
+            rng_seed: key,
+            ..FuzzConfig::new(pool[seed_index % pool.len()].clone())
+        };
+        let mutant = fuzz(&seed.program, &config).final_mutant;
+        let base = differential_jobs(&mutant, &pool, &options, 1);
+        let shuffled = permuted(&pool, key);
+        let perm = differential_jobs(&mutant, &shuffled, &options, workers);
+        match (&base.verdict, &perm.verdict) {
+            (OracleVerdict::Crash { .. }, OracleVerdict::Crash { .. }) => {}
+            _ => prop_assert_eq!(&base, &perm),
+        }
+    }
+}
