@@ -30,6 +30,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    mopfuzzer::interrupt::reset();
+    install_signal_handlers();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
@@ -68,6 +70,31 @@ fn main() -> ExitCode {
     }
 }
 
+/// SIGINT/SIGTERM request a *graceful* stop: the campaign finishes the
+/// round in flight, flushes the store, journal, and telemetry, then exits
+/// successfully — a journaled campaign resumes bit-identically with
+/// `--resume`. The handler only sets a flag, so it is async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        mopfuzzer::interrupt::request();
+    }
+    // `signal(2)` declared directly: the build is offline and carries no
+    // libc crate.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn print_usage() {
     eprintln!(
         "MopFuzzer (Rust reproduction)\n\
@@ -83,6 +110,7 @@ fn print_usage() {
            mopfuzzer corpus import DIR SRCDIR\n\
            mopfuzzer corpus stats DIR [--json]\n\
            mopfuzzer corpus gc DIR [--streak N]\n\
+           mopfuzzer corpus fsck DIR [--repair] [--json]\n\
          \n\
          OPTIONS:\n\
            --project_path DIR      directory of .java seed files (MiniJava subset);\n\
@@ -111,6 +139,12 @@ fn print_usage() {
            --max-steps N           stop after N interpreter steps (simulated time)\n\
            --max-execs N           stop after N JVM executions\n\
            --round-deadline N      fail rounds exceeding N steps\n\
+           --round-timeout MS      fail rounds (and retry/quarantine them)\n\
+                                   exceeding MS wall-clock milliseconds; a\n\
+                                   watchdog cancels the hung round so even\n\
+                                   a wedged mutant cannot stall the\n\
+                                   campaign. Journals stay bit-identical\n\
+                                   at any --jobs x --oracle-jobs\n\
            --jobs N                worker threads executing rounds (default:\n\
                                    all hardware threads). Journals, results\n\
                                    and corpus flushes are bit-identical at\n\
@@ -141,7 +175,19 @@ fn print_usage() {
                                    (--json: machine-readable, schema\n\
                                    jcorpus-stats v1)\n\
            corpus gc DIR           tombstone entries whose energy sat at the\n\
-                                   floor for --streak N campaigns (default 3)"
+                                   floor for --streak N campaigns (default 3)\n\
+           corpus fsck DIR         check the store for crash damage (torn\n\
+                                   manifest/quarantine tails, orphaned or\n\
+                                   missing sources, stale .tmp files,\n\
+                                   dangling tombstones); --repair fixes\n\
+                                   what is repairable, --json emits the\n\
+                                   jcorpus-fsck v1 report\n\
+         \n\
+         SIGNALS:\n\
+           SIGINT/SIGTERM          finish the round in flight, flush the\n\
+                                   store/journal/metrics, and exit 0; a\n\
+                                   journaled campaign resumes bit-identically\n\
+                                   with --resume"
     );
 }
 
@@ -211,6 +257,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "max-steps" => "max-steps",
             "max-execs" => "max-execs",
             "round-deadline" => "round-deadline",
+            "round-timeout" => "round-timeout",
             "retries" => "retries",
             "quarantine-threshold" => "quarantine-threshold",
             "fault-rate" => "fault-rate",
@@ -238,6 +285,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         max_steps: num(&map, "max-steps")?,
         max_executions: num(&map, "max-execs")?,
         round_step_deadline: num(&map, "round-deadline")?,
+        round_wall_timeout_ms: num(&map, "round-timeout")?,
         ..SupervisorConfig::default()
     };
     if let Some(retries) = num(&map, "retries")? {
@@ -443,6 +491,7 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         sink.finish();
     }
     print_campaign_summary(&result);
+    maybe_print_interrupted(&result, options.journal.as_deref());
     Ok(())
 }
 
@@ -484,10 +533,11 @@ fn run_corpus_campaign_mode(
         sink.finish();
     }
     print_campaign_summary(&result);
+    maybe_print_interrupted(&result, options.journal.as_deref());
     Ok(())
 }
 
-/// Dispatch for `mopfuzzer corpus <init|import|stats> ...`.
+/// Dispatch for `mopfuzzer corpus <init|import|stats|gc|fsck> ...`.
 fn run_corpus_command(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("init") => {
@@ -629,7 +679,38 @@ fn run_corpus_command(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err("usage: mopfuzzer corpus <init|import|stats|gc> ...".to_string()),
+        Some("fsck") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| {
+                    "usage: mopfuzzer corpus fsck DIR [--repair] [--json]".to_string()
+                })?;
+            let mut repair = false;
+            let mut json = false;
+            for flag in &args[2..] {
+                match flag.as_str() {
+                    "--repair" => repair = true,
+                    "--json" => json = true,
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
+            let report = jcorpus::fsck(Path::new(dir), repair)?;
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.unrepaired() > 0 {
+                return Err(format!(
+                    "{} unrepaired issue(s) in {dir}{}",
+                    report.unrepaired(),
+                    if repair { "" } else { " (rerun with --repair)" },
+                ));
+            }
+            Ok(())
+        }
+        _ => Err("usage: mopfuzzer corpus <init|import|stats|gc|fsck> ...".to_string()),
     }
 }
 
@@ -691,7 +772,24 @@ fn run_resume(journal: &Path, options: &CliOptions) -> Result<(), String> {
         sink.finish();
     }
     print_campaign_summary(&result);
+    maybe_print_interrupted(&result, Some(journal));
     Ok(())
+}
+
+/// After a SIGINT/SIGTERM stop, tell the user how to pick the campaign
+/// back up. Everything durable was already flushed by the time the
+/// summary printed.
+fn maybe_print_interrupted(result: &CampaignResult, journal: Option<&Path>) {
+    if !result.interrupted {
+        return;
+    }
+    match journal {
+        Some(path) => println!(
+            "interrupted: stopped at a round boundary; resume with --resume {}",
+            path.display()
+        ),
+        None => println!("interrupted: stopped at a round boundary (no journal to resume from)"),
+    }
 }
 
 fn print_campaign_summary(result: &CampaignResult) {

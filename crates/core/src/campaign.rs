@@ -13,10 +13,12 @@ use crate::journal::{self, BaselineEntry, CorpusHeader, JournalWriter};
 use crate::mutators::MutatorKind;
 use crate::supervisor::{run_supervised, CorpusCtx, RoundFailure, SupervisorConfig};
 use crate::variant::Variant;
+use jcorpus::Vfs;
 use jvmsim::{Component, CoverageMap, FaultPlan, JvmSpec};
 use mjava::Program;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -131,6 +133,10 @@ pub struct CampaignResult {
     /// Names of corpus entries promoted during the campaign (corpus mode
     /// only), in promotion order.
     pub promotions: Vec<String>,
+    /// True when the campaign stopped at a round boundary because a
+    /// graceful interrupt (SIGINT/SIGTERM in the CLI) was requested. The
+    /// journal written so far resumes bit-identically.
+    pub interrupted: bool,
 }
 
 impl CampaignResult {
@@ -365,6 +371,20 @@ pub fn run_corpus_campaign(
     journal: Option<&Path>,
     observer: Option<&mut dyn CampaignObserver>,
 ) -> Result<CampaignResult, String> {
+    run_corpus_campaign_with(store, config, opts, journal, observer, jcorpus::vfs::real())
+}
+
+/// [`run_corpus_campaign`] with the *journal's* I/O routed through `fs`.
+/// The store keeps whatever [`Vfs`] it was opened with, so a chaos test
+/// can crash either side (or both) of a campaign's persistence.
+pub fn run_corpus_campaign_with(
+    store: &mut jcorpus::Store,
+    config: &CampaignConfig,
+    opts: &CorpusOptions,
+    journal: Option<&Path>,
+    observer: Option<&mut dyn CampaignObserver>,
+    fs: Arc<dyn Vfs>,
+) -> Result<CampaignResult, String> {
     if store.is_empty() {
         return Err(format!(
             "corpus store at {} is empty: run `corpus init` or `corpus import` first",
@@ -374,7 +394,13 @@ pub fn run_corpus_campaign(
     let header = corpus_header(store, opts)?;
     let seeds = crate::corpus::seeds_from_store(store);
     let mut writer = match journal {
-        Some(path) => Some(JournalWriter::create(path, config, &seeds, Some(&header))?),
+        Some(path) => Some(JournalWriter::create_with(
+            path,
+            config,
+            &seeds,
+            Some(&header),
+            fs,
+        )?),
         None => None,
     };
     let mut ctx = build_ctx(store, &header, &seeds)?;

@@ -1,0 +1,49 @@
+//! Graceful-interrupt flag for campaign loops.
+//!
+//! The `mopfuzzer` binary installs SIGINT/SIGTERM handlers that call
+//! [`request`]; nothing else happens in signal context. The campaign
+//! engines poll [`requested`] at round boundaries: the in-flight round
+//! (and, under `--jobs`, the whole in-flight merge) completes and is
+//! journaled, the corpus store and telemetry are flushed, and the
+//! campaign returns with `CampaignResult::interrupted` set — leaving a
+//! journal that `--resume` continues bit-identically.
+//!
+//! The flag lives in the library (not the binary) so integration tests
+//! can drive interruption without delivering real signals.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Requests a graceful stop at the next round boundary. Async-signal-safe
+/// (a single atomic store).
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Whether a stop has been requested.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Clears the flag — called at campaign start so a flag left over from a
+/// previous (tested or aborted) campaign cannot stop the next one at
+/// round zero.
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_and_reset_clears() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

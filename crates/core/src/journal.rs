@@ -27,11 +27,11 @@ use crate::corpus::Seed;
 use crate::mutators::MutatorKind;
 use crate::supervisor::{BudgetKind, RoundError, RoundFailure, SupervisorConfig};
 use crate::variant::Variant;
+use jcorpus::Vfs;
 use jtelemetry::{FlightEvent, FlightKind};
 use jvmsim::{Area, Component, CoverageMap, FaultPlan, JvmSpec, VmFault};
-use std::fs::File;
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Bumped when the line format changes incompatibly. Version 2 added
 /// delta-encoded coverage, flight-recorder dumps on failures, and
@@ -179,10 +179,16 @@ pub struct RoundRecord {
     pub promotion: Option<PromotionRecord>,
 }
 
-/// Appends journal lines, flushing each one. Tracks the previous round's
+/// Appends journal lines, fsyncing each one. Tracks the previous round's
 /// coverage so each record can be delta-encoded against it.
+///
+/// All I/O goes through a [`jcorpus::Vfs`], so chaos tests can crash the
+/// journal at any write, and the real implementation makes every line
+/// durable (append + file fsync) before the campaign moves on — a killed
+/// campaign loses at most the line that was mid-write.
 pub struct JournalWriter {
-    out: File,
+    path: PathBuf,
+    fs: Arc<dyn Vfs>,
     prev_coverage: Option<CoverageMap>,
 }
 
@@ -196,17 +202,34 @@ impl JournalWriter {
         seeds: &[Seed],
         corpus: Option<&CorpusHeader>,
     ) -> Result<JournalWriter, String> {
-        let out =
-            File::create(path).map_err(|e| format!("journal create {}: {e}", path.display()))?;
+        JournalWriter::create_with(path, config, seeds, corpus, jcorpus::vfs::real())
+    }
+
+    /// [`JournalWriter::create`] with all journal I/O routed through `fs`
+    /// (chaos injection in tests, real fsyncs in production).
+    pub fn create_with(
+        path: &Path,
+        config: &CampaignConfig,
+        seeds: &[Seed],
+        corpus: Option<&CorpusHeader>,
+        fs: Arc<dyn Vfs>,
+    ) -> Result<JournalWriter, String> {
+        // Create-or-truncate, then persist the (possibly new) directory
+        // entry before the first line is written.
+        fs.write(path, b"")
+            .and_then(|()| fs.fsync_file(path))
+            .and_then(|()| fs.fsync_dir(jcorpus::vfs::parent_dir(path)))
+            .map_err(|e| format!("journal create {}: {e}", path.display()))?;
         let mut writer = JournalWriter {
-            out,
+            path: path.to_path_buf(),
+            fs,
             prev_coverage: None,
         };
         writer.line(&encode_header(config, seeds, corpus))?;
         Ok(writer)
     }
 
-    /// Appends one round record as a single flushed line.
+    /// Appends one round record as a single durable line.
     pub fn write_round(&mut self, record: &RoundRecord) -> Result<(), String> {
         let line = encode_record(record, self.prev_coverage.as_ref());
         self.line(&line)?;
@@ -217,10 +240,12 @@ impl JournalWriter {
     }
 
     fn line(&mut self, json: &str) -> Result<(), String> {
-        self.out
-            .write_all(json.as_bytes())
-            .and_then(|()| self.out.write_all(b"\n"))
-            .and_then(|()| self.out.flush())
+        let mut data = Vec::with_capacity(json.len() + 1);
+        data.extend_from_slice(json.as_bytes());
+        data.push(b'\n');
+        self.fs
+            .append(&self.path, &data)
+            .and_then(|()| self.fs.fsync_file(&self.path))
             .map_err(|e| format!("journal write: {e}"))
     }
 }
@@ -346,14 +371,23 @@ fn encode_corpus_header(corpus: &CorpusHeader) -> String {
 }
 
 fn encode_header(config: &CampaignConfig, seeds: &[Seed], corpus: Option<&CorpusHeader>) -> String {
+    // `round_wall_timeout_ms` is omitted (not `null`) when unset, so
+    // headers written by timeout-less campaigns are byte-identical to
+    // pre-timeout journals — the golden corpus stays valid.
     let supervisor = format!(
         "{{\"max_retries\":{},\"quarantine_threshold\":{},\"max_steps\":{},\
-         \"max_executions\":{},\"round_step_deadline\":{}}}",
+         \"max_executions\":{},\"round_step_deadline\":{}{}}}",
         config.supervisor.max_retries,
         config.supervisor.quarantine_threshold,
         opt_u64(config.supervisor.max_steps),
         opt_u64(config.supervisor.max_executions),
         opt_u64(config.supervisor.round_step_deadline),
+        config
+            .supervisor
+            .round_wall_timeout_ms
+            .map_or(String::new(), |ms| format!(
+                ",\"round_wall_timeout_ms\":{ms}"
+            )),
     );
     let fault = match &config.fault {
         None => "null".to_string(),
@@ -446,6 +480,10 @@ fn encode_failure(f: &RoundFailure) -> String {
             limit,
             used,
             flight,
+        ),
+        RoundError::Timeout { limit_ms } => format!(
+            "{{\"kind\":\"timeout\",\"attempt\":{},\"limit_ms\":{}{}}}",
+            f.attempt, limit_ms, flight,
         ),
     }
 }
@@ -875,6 +913,7 @@ fn vm_fault_from_name(name: &str) -> Result<VmFault, String> {
         VmFault::BuildFailure,
         VmFault::FuelExhaustion,
         VmFault::LogCorruption,
+        VmFault::Hang,
     ]
     .into_iter()
     .find(|k| format!("{k:?}") == name)
@@ -954,6 +993,16 @@ fn decode_header(line: &str) -> Result<Header, String> {
         max_steps: opt("max_steps")?,
         max_executions: opt("max_executions")?,
         round_step_deadline: opt("round_step_deadline")?,
+        // Written only when set (see `encode_header`), so absence — as in
+        // every pre-timeout journal — reads back as None.
+        round_wall_timeout_ms: match sup.get("round_wall_timeout_ms") {
+            None => None,
+            Some(f) if f.is_null() => None,
+            Some(f) => Some(
+                f.u64_()
+                    .ok_or("field \"round_wall_timeout_ms\" is not a u64")?,
+            ),
+        },
     };
     let fault_field = req(&v, "fault")?;
     let fault = if fault_field.is_null() {
@@ -1081,6 +1130,9 @@ fn decode_failure(v: &Json, round: usize) -> Result<RoundFailure, String> {
             budget: budget_from_name(&req_str(v, "budget")?)?,
             limit: req_u64(v, "limit")?,
             used: req_u64(v, "used")?,
+        },
+        "timeout" => RoundError::Timeout {
+            limit_ms: req_u64(v, "limit_ms")?,
         },
         other => return Err(format!("unknown error kind {other:?}")),
     };
@@ -1285,6 +1337,12 @@ mod tests {
                     },
                     flight: Vec::new(),
                 },
+                RoundFailure {
+                    round,
+                    attempt: 2,
+                    error: RoundError::Timeout { limit_ms: 750 },
+                    flight: Vec::new(),
+                },
             ],
             crash: Some(BugSighting {
                 id: "H205".to_string(),
@@ -1322,6 +1380,7 @@ mod tests {
         let mut config = CampaignConfig::new(7);
         config.rng_seed = u64::MAX - 3; // exercise exact u64 round-trip
         config.supervisor.max_steps = Some(123);
+        config.supervisor.round_wall_timeout_ms = Some(250);
         config.fault = Some(FaultPlan::new(5, 0.05).with_only(VmFault::LogCorruption));
         config
     }

@@ -41,6 +41,7 @@
 pub mod campaign;
 pub mod corpus;
 pub mod fuzzer;
+pub mod interrupt;
 pub mod journal;
 pub mod mutators;
 pub mod oracle;
@@ -48,11 +49,13 @@ mod pool;
 pub mod stats;
 pub mod supervisor;
 pub mod variant;
+mod watchdog;
 
 pub use campaign::{
     resume_campaign, resume_campaign_extended, run_campaign, run_campaign_observed,
     run_campaign_with_journal, run_campaign_with_journal_observed, run_corpus_campaign,
-    CampaignConfig, CampaignObserver, CampaignResult, CorpusOptions, FoundBug,
+    run_corpus_campaign_with, CampaignConfig, CampaignObserver, CampaignResult, CorpusOptions,
+    FoundBug,
 };
 pub use corpus::{import_seeds, seeds_from_store, ImportOutcome, Seed};
 pub use fuzzer::{fuzz, FuzzConfig, FuzzOutcome, IterationRecord, WeightScheme};

@@ -292,10 +292,15 @@ fn execute_pool(
     let program = program.clone();
     let options = options.clone();
     let crash_floor = AtomicUsize::new(usize::MAX);
+    // The round's cancellation token is installed on the *calling* thread;
+    // capture it here and re-install it inside each task so the watchdog
+    // reaches executions running on pool threads too.
+    let cancel = jtelemetry::cancel::current();
     pool::scatter(pool.to_vec(), jobs, move |index, spec: JvmSpec| {
         if index > crash_floor.load(Ordering::Relaxed) {
             return None;
         }
+        let _cancel_guard = cancel.as_ref().map(jtelemetry::cancel::install);
         Some(jtelemetry::work::isolated(|| {
             let saved = jtelemetry::take();
             if telemetry {

@@ -85,6 +85,14 @@ pub enum RoundError {
         /// The observed value.
         used: u64,
     },
+    /// The attempt exceeded [`SupervisorConfig::round_wall_timeout_ms`]
+    /// and was cancelled by the watchdog. Carries only the *configured*
+    /// limit — never the elapsed time — so journals stay bit-identical
+    /// across machines and worker counts.
+    Timeout {
+        /// The configured wall-clock limit in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl fmt::Display for RoundError {
@@ -104,6 +112,12 @@ impl fmt::Display for RoundError {
                 used,
             } => {
                 write!(f, "budget exhausted ({budget:?}): {used} > {limit}")
+            }
+            RoundError::Timeout { limit_ms } => {
+                write!(
+                    f,
+                    "round timeout: exceeded the {limit_ms} ms wall-clock limit"
+                )
             }
         }
     }
@@ -148,6 +162,10 @@ pub struct SupervisorConfig {
     pub max_executions: Option<u64>,
     /// Per-round step deadline; rounds exceeding it are treated as faults.
     pub round_step_deadline: Option<u64>,
+    /// Wall-clock limit per round attempt, in milliseconds. A watchdog
+    /// cancels attempts that exceed it; the cancelled attempt is classified
+    /// as [`RoundError::Timeout`] and retried/quarantined like any fault.
+    pub round_wall_timeout_ms: Option<u64>,
 }
 
 impl Default for SupervisorConfig {
@@ -158,6 +176,7 @@ impl Default for SupervisorConfig {
             max_steps: None,
             max_executions: None,
             round_step_deadline: None,
+            round_wall_timeout_ms: None,
         }
     }
 }
@@ -268,6 +287,11 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// Maps a caught panic payload onto the taxonomy via the fault markers.
 fn classify_panic(payload: &(dyn Any + Send)) -> RoundError {
     let message = panic_message(payload);
+    if message.starts_with(jtelemetry::cancel::TIMEOUT_PANIC_MARKER) {
+        // The configured limit is patched in by `execute_round`; the
+        // classifier sees only the panic payload.
+        return RoundError::Timeout { limit_ms: 0 };
+    }
     if let Some(rest) = message.strip_prefix(MUTATOR_PANIC_MARKER) {
         let name = rest.trim_start_matches(':').split(':').next().unwrap_or("");
         return RoundError::MutatorPanic {
@@ -602,6 +626,16 @@ fn execute_round(
             format!("round {round} attempt {attempt} seed {}", seed.name),
         );
         let (steps_before, execs_before) = jtelemetry::work::totals();
+        // Hang containment: each attempt gets a fresh cancellation token,
+        // installed on this thread (the oracle re-installs it on its pool
+        // threads) and armed on the wall-clock watchdog. Both guards drop
+        // at the end of the iteration, so a retry starts clean.
+        let cancel = jtelemetry::cancel::CancelToken::new();
+        let _cancel_guard = jtelemetry::cancel::install(&cancel);
+        let _watchdog = config
+            .supervisor
+            .round_wall_timeout_ms
+            .map(|ms| crate::watchdog::arm(cancel.clone(), std::time::Duration::from_millis(ms)));
         match run_attempt(round, seed, &guidance, config, banned, rng_seed) {
             Ok((mut record, mutant)) => {
                 record.errors = errors;
@@ -609,7 +643,13 @@ fn execute_round(
                 record.wasted_execs = wasted_execs;
                 return (record, Some(mutant));
             }
-            Err(error) => {
+            Err(mut error) => {
+                if let RoundError::Timeout { limit_ms } = &mut error {
+                    // Record the configured limit (journal-stable), never
+                    // the elapsed time.
+                    *limit_ms = config.supervisor.round_wall_timeout_ms.unwrap_or(0);
+                    jtelemetry::count(jtelemetry::Counter::RoundsTimedOut, 1);
+                }
                 let (steps_after, execs_after) = jtelemetry::work::totals();
                 wasted_steps += steps_after - steps_before;
                 wasted_execs += execs_after - execs_before;
@@ -807,6 +847,12 @@ pub(crate) fn run_supervised(
         return result;
     }
     for round in replay.len()..config.rounds {
+        if crate::interrupt::requested() {
+            // Graceful stop: everything merged so far is journaled; the
+            // caller flushes and reports a resumable campaign.
+            result.interrupted = true;
+            break;
+        }
         if let Some(ctx) = corpus.as_deref_mut() {
             refresh_external_quarantine(ctx, &mut quarantine);
         }
@@ -1083,6 +1129,13 @@ fn run_parallel_rounds(
     let mut next_dispatch = first_round;
 
     for round in first_round..config.rounds {
+        if crate::interrupt::requested() {
+            // Graceful stop at the merge point: rounds merged so far are
+            // journaled; in-flight speculation is discarded when the
+            // output channel drops, exactly like a budget stop.
+            result.interrupted = true;
+            break;
+        }
         if let Some(ctx) = corpus.as_deref_mut() {
             refresh_external_quarantine(ctx, quarantine);
         }
@@ -1266,6 +1319,14 @@ mod tests {
             RoundError::MutatorPanic { mutator, .. } => assert_eq!(mutator, None),
             other => panic!("misclassified: {other:?}"),
         }
+        let timeout: Box<dyn Any + Send> = Box::new(format!(
+            "{}: interpreter cancelled by watchdog",
+            jtelemetry::cancel::TIMEOUT_PANIC_MARKER
+        ));
+        assert!(matches!(
+            classify_panic(timeout.as_ref()),
+            RoundError::Timeout { limit_ms: 0 }
+        ));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Wall-clock watchdog for campaign rounds.
+//!
+//! One process-wide supervisor thread holds a list of armed deadlines,
+//! each tied to a [`CancelToken`]. When a deadline passes before its
+//! guard is dropped, the token is cancelled; the round's worker observes
+//! the cancellation at its next poll (interpreter dispatch, oracle task
+//! boundaries, the injected-hang loop) and unwinds with the timeout
+//! panic marker, which the supervisor classifies as
+//! `RoundError::Timeout` and feeds into the normal retry/quarantine
+//! taxonomy.
+//!
+//! The watchdog never records *elapsed* time anywhere a journal can see:
+//! timeouts carry only the configured limit, so journals stay
+//! bit-identical across machines and `--jobs` settings.
+
+use jtelemetry::cancel::CancelToken;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+struct State {
+    /// Armed deadlines by id. A HashMap (not a heap) keeps disarm O(1);
+    /// the watchdog thread scans for the minimum, which is fine at
+    /// "a few per concurrent round" scale.
+    armed: HashMap<u64, (Instant, CancelToken)>,
+    next_id: u64,
+}
+
+struct Watchdog {
+    state: Mutex<State>,
+    changed: Condvar,
+}
+
+fn shared() -> &'static Watchdog {
+    static DOG: OnceLock<&'static Watchdog> = OnceLock::new();
+    DOG.get_or_init(|| {
+        let dog: &'static Watchdog = Box::leak(Box::new(Watchdog {
+            state: Mutex::new(State {
+                armed: HashMap::new(),
+                next_id: 0,
+            }),
+            changed: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("mop-watchdog".into())
+            .spawn(move || run(dog))
+            .expect("spawn watchdog thread");
+        dog
+    })
+}
+
+fn run(dog: &'static Watchdog) {
+    let mut state = dog.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        let expired: Vec<u64> = state
+            .armed
+            .iter()
+            .filter(|(_, (deadline, _))| *deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if let Some((_, token)) = state.armed.remove(&id) {
+                token.cancel();
+            }
+        }
+        for (deadline, _) in state.armed.values() {
+            next = Some(next.map_or(*deadline, |n| n.min(*deadline)));
+        }
+        state = match next {
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                dog.changed
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => dog.changed.wait(state).unwrap_or_else(|e| e.into_inner()),
+        };
+    }
+}
+
+/// Disarms its deadline on drop. Dropping after the deadline fired is
+/// fine — the entry is already gone and the token already cancelled.
+pub(crate) struct WatchdogGuard {
+    id: u64,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        let dog = shared();
+        let mut state = dog.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.armed.remove(&self.id);
+        dog.changed.notify_all();
+    }
+}
+
+/// Arms the watchdog: `token` is cancelled `timeout` from now unless the
+/// returned guard is dropped first.
+pub(crate) fn arm(token: CancelToken, timeout: Duration) -> WatchdogGuard {
+    let dog = shared();
+    let mut state = dog.state.lock().unwrap_or_else(|e| e.into_inner());
+    let id = state.next_id;
+    state.next_id += 1;
+    state.armed.insert(id, (Instant::now() + timeout, token));
+    dog.changed.notify_all();
+    WatchdogGuard { id }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_the_deadline() {
+        let token = CancelToken::new();
+        let _guard = arm(token.clone(), Duration::from_millis(20));
+        assert!(!token.is_cancelled());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn disarm_prevents_the_cancellation() {
+        let token = CancelToken::new();
+        let guard = arm(token.clone(), Duration::from_millis(30));
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!token.is_cancelled(), "disarmed deadline still fired");
+    }
+
+    #[test]
+    fn concurrent_deadlines_fire_independently() {
+        let fast = CancelToken::new();
+        let slow = CancelToken::new();
+        let _f = arm(fast.clone(), Duration::from_millis(15));
+        let slow_guard = arm(slow.clone(), Duration::from_secs(30));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !fast.is_cancelled() {
+            assert!(Instant::now() < deadline, "fast deadline never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!slow.is_cancelled());
+        drop(slow_guard);
+    }
+}

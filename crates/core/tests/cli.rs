@@ -253,6 +253,216 @@ fn campaign_budget_flag_stops_early() {
 }
 
 #[test]
+fn round_timeout_flag_reaches_the_journal_header() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_timeout_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("campaign.jsonl");
+    let out = bin()
+        .args([
+            "--rounds",
+            "2",
+            "--iterations",
+            "6",
+            "--jdk",
+            "HotSpur-17,J9-17",
+            "--round-timeout",
+            "30000",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        text.lines()
+            .next()
+            .unwrap()
+            .contains("\"round_wall_timeout_ms\":30000"),
+        "{text}"
+    );
+    // A resume inherits the limit from the header and replays cleanly.
+    let out = bin()
+        .args(["--resume", journal.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corpus_fsck_reports_and_repairs_crash_damage() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_fsck_{}", std::process::id()));
+    let store = dir.join("store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = bin()
+        .args(["corpus", "init", store.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A clean store fscks clean.
+    let out = bin()
+        .args(["corpus", "fsck", store.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // Simulate a crash mid-atomic-write: a stale tmp file in the store.
+    std::fs::write(store.join("manifest.tmp"), "half-written").unwrap();
+    let out = bin()
+        .args(["corpus", "fsck", store.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "damage without --repair must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"type\":\"jcorpus-fsck\""), "{stdout}");
+    assert!(stdout.contains("\"clean\":false"), "{stdout}");
+
+    // --repair fixes it and exits 0; the store is clean again.
+    let out = bin()
+        .args(["corpus", "fsck", store.to_str().unwrap(), "--repair"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("repaired"), "{stdout}");
+    assert!(!store.join("manifest.tmp").exists());
+    let out = bin()
+        .args(["corpus", "fsck", store.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGINT mid-campaign: the binary finishes the round in flight, flushes
+/// the journal, exits 0 with a resume hint — and `--resume` then converges
+/// to the byte-identical journal of an uninterrupted run.
+#[cfg(unix)]
+#[test]
+fn sigint_is_graceful_and_resume_converges_bit_identically() {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGINT: i32 = 2;
+
+    let dir = std::env::temp_dir().join(format!("mop_cli_sigint_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("campaign.jsonl");
+    let baseline = dir.join("baseline.jsonl");
+    let args = |journal: &std::path::Path| {
+        vec![
+            "--rounds".to_string(),
+            "40".to_string(),
+            "--iterations".to_string(),
+            "6".to_string(),
+            "--rng".to_string(),
+            "7".to_string(),
+            "--jdk".to_string(),
+            "HotSpur-17,J9-17".to_string(),
+            "--jobs".to_string(),
+            "1".to_string(),
+            "--oracle-jobs".to_string(),
+            "1".to_string(),
+            "--journal".to_string(),
+            journal.to_str().unwrap().to_string(),
+        ]
+    };
+
+    // The uninterrupted reference run.
+    let out = bin().args(args(&baseline)).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = std::fs::read(&baseline).unwrap();
+    let done_line = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.starts_with("done:"))
+        .expect("summary printed")
+        .to_string();
+
+    // Interrupt a second run once its journal proves a round completed.
+    let child = bin()
+        .args(args(&journal))
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "campaign never journaled a round"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    unsafe {
+        assert_eq!(kill(child.id() as i32, SIGINT), 0);
+    }
+    let out = child.wait_with_output().expect("child exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "graceful interrupt must exit 0\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("interrupted: stopped at a round boundary"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("--resume"), "{stdout}");
+
+    // The interrupted journal is a clean prefix: header + whole lines only.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let kept = text.lines().count();
+    assert!((2..=41).contains(&kept), "{kept} lines");
+    assert!(text.ends_with('\n'), "no torn trailing line");
+
+    // Resume converges to the uninterrupted bytes and totals.
+    let out = bin()
+        .args(["--resume", journal.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains(&done_line),
+        "{stdout}\nexpected: {done_line}"
+    );
+    assert_eq!(std::fs::read(&journal).unwrap(), expected);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn rejects_bad_jvm_spec() {
     let out = bin()
         .args(["--jdk", "Frobnicator-17"])

@@ -21,13 +21,17 @@
 //! is deterministic given the campaign RNG seed.
 
 pub mod fingerprint;
+pub mod fsck;
 pub mod lock;
 pub mod schedule;
 pub mod store;
+pub mod vfs;
 
 pub use fingerprint::{
     fingerprint, fingerprint_hex, parse_fingerprint, source_hash, FingerprintOutcome,
 };
+pub use fsck::{fsck, fsck_with, FsckIssue, FsckIssueKind, FsckReport};
 pub use lock::{StoreLock, DEFAULT_LOCK_TIMEOUT, LOCKFILE};
 pub use schedule::{energy, PowerScheduler, ENERGY_FLOOR};
 pub use store::{read_quarantine_dir, Admission, Entry, EntryStats, Provenance, Store, Tombstone};
+pub use vfs::{ChaosError, ChaosPlan, ChaosVfs, RealVfs, Vfs, CRASH_MARKER};

@@ -18,11 +18,12 @@
 //! and accepted: the lock is advisory, the store's atomic tmp+rename
 //! writes keep the manifest consistent regardless.
 
+use crate::vfs::{self, Vfs};
 use std::collections::HashSet;
+#[cfg(test)]
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Name of the lockfile inside a store directory.
@@ -52,8 +53,8 @@ fn pid_alive(_pid: u32) -> bool {
 /// pid write), or it vanished while we looked. A file holding *our own*
 /// pid is also stale: the in-process registry serializes our threads, so
 /// no live holder in this process can exist while we probe.
-fn lockfile_is_stale(path: &Path) -> bool {
-    match fs::read_to_string(path) {
+fn lockfile_is_stale(fs: &dyn Vfs, path: &Path) -> bool {
+    match fs.read_to_string(path) {
         Ok(text) => match text.trim().parse::<u32>() {
             Ok(pid) => pid == std::process::id() || !pid_alive(pid),
             Err(_) => true,
@@ -68,6 +69,7 @@ fn lockfile_is_stale(path: &Path) -> bool {
 pub struct StoreLock {
     key: PathBuf,
     path: PathBuf,
+    fs: Arc<dyn Vfs>,
 }
 
 impl StoreLock {
@@ -79,6 +81,22 @@ impl StoreLock {
 
     /// Acquires the lock for `dir`, waiting up to `timeout`.
     pub fn acquire_with_timeout(dir: &Path, timeout: Duration) -> Result<StoreLock, String> {
+        StoreLock::acquire_with_vfs(dir, timeout, vfs::real())
+    }
+
+    /// Acquires the lock for `dir` with all lockfile I/O routed through
+    /// `fs` (chaos injection in tests, real fsyncs in production).
+    ///
+    /// Every transition of the lockfile is made durable: the stolen
+    /// unlink is dir-fsynced before the recreate (so a crash cannot
+    /// resurrect the stale file over our fresh one), and the created
+    /// lockfile is file- and dir-fsynced before the lock is reported
+    /// held.
+    pub fn acquire_with_vfs(
+        dir: &Path,
+        timeout: Duration,
+        fs: Arc<dyn Vfs>,
+    ) -> Result<StoreLock, String> {
         let deadline = Instant::now() + timeout;
         let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
         loop {
@@ -97,22 +115,33 @@ impl StoreLock {
         }
         let path = dir.join(LOCKFILE);
         loop {
-            match fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut file) => {
-                    let _ = write!(file, "{}", std::process::id());
-                    return Ok(StoreLock { key, path });
+            match fs.create_new(&path, std::process::id().to_string().as_bytes()) {
+                Ok(()) => {
+                    let durable = fs
+                        .fsync_file(&path)
+                        .and_then(|()| fs.fsync_dir(dir))
+                        .map_err(|e| format!("fsync lock {}: {e}", path.display()));
+                    if let Err(e) = durable {
+                        let _ = fs.remove_file(&path);
+                        release_registry(&key);
+                        return Err(e);
+                    }
+                    return Ok(StoreLock { key, path, fs });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    if lockfile_is_stale(&path) {
-                        let _ = fs::remove_file(&path);
+                    if lockfile_is_stale(fs.as_ref(), &path) {
+                        let steal = fs
+                            .remove_file(&path)
+                            .and_then(|()| fs.fsync_dir(dir))
+                            .map_err(|e| format!("steal lock {}: {e}", path.display()));
+                        if let Err(e) = steal {
+                            release_registry(&key);
+                            return Err(e);
+                        }
                         continue;
                     }
                     if Instant::now() >= deadline {
-                        let holder = fs::read_to_string(&path).unwrap_or_default();
+                        let holder = fs.read_to_string(&path).unwrap_or_default();
                         release_registry(&key);
                         return Err(format!(
                             "store {} is locked by pid {} (remove {} if that process is gone)",
@@ -141,7 +170,12 @@ fn release_registry(key: &Path) {
 
 impl Drop for StoreLock {
     fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
+        // Best-effort: after a (simulated or real) I/O failure the
+        // lockfile may survive, exactly as a crashed process would leave
+        // it — the next acquirer's staleness probe steals it.
+        if self.fs.remove_file(&self.path).is_ok() {
+            let _ = self.fs.fsync_dir(crate::vfs::parent_dir(&self.path));
+        }
         release_registry(&self.key);
     }
 }
@@ -195,6 +229,46 @@ mod tests {
         let dir = temp_dir("torn");
         fs::write(dir.join(LOCKFILE), "").unwrap();
         let _lock = StoreLock::acquire_with_timeout(&dir, Duration::from_millis(200)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn steal_path_syncs_the_unlink_before_recreating() {
+        use crate::vfs::{ChaosError, ChaosPlan, ChaosVfs};
+        let dir = temp_dir("steal-sync");
+        fs::write(dir.join(LOCKFILE), "999999999").unwrap();
+        // Op 3 is the directory fsync between the stale unlink (op 2)
+        // and the recreate; failing it must abort the steal rather than
+        // recreate over a possibly-unpersisted unlink.
+        let chaos = Arc::new(ChaosVfs::new(ChaosPlan {
+            fail_ops: vec![(3, ChaosError::Eio)],
+            ..ChaosPlan::default()
+        }));
+        let err = StoreLock::acquire_with_vfs(&dir, Duration::from_millis(200), chaos).unwrap_err();
+        assert!(err.contains("steal lock"), "{err}");
+        assert!(!dir.join(LOCKFILE).exists(), "stale lockfile was unlinked");
+        // The registry slot was released: a clean retry succeeds.
+        let probe = Arc::new(ChaosVfs::probe());
+        let lock =
+            StoreLock::acquire_with_vfs(&dir, Duration::from_millis(200), probe.clone()).unwrap();
+        assert_eq!(probe.ops(), 3, "create_new + file fsync + dir fsync");
+        drop(lock);
+        assert_eq!(probe.ops(), 5, "drop unlinks and syncs the directory");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stolen_lock_op_sequence_is_durable() {
+        use crate::vfs::ChaosVfs;
+        let dir = temp_dir("steal-ops");
+        fs::write(dir.join(LOCKFILE), "999999999").unwrap();
+        let chaos = Arc::new(ChaosVfs::probe());
+        let lock =
+            StoreLock::acquire_with_vfs(&dir, Duration::from_millis(500), chaos.clone()).unwrap();
+        // Failed exclusive create, unlink, dir fsync, create, file
+        // fsync, dir fsync: the steal itself is a durable transition.
+        assert_eq!(chaos.ops(), 6);
+        drop(lock);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -35,12 +35,16 @@
 //! entry).
 
 use crate::fingerprint::{fingerprint_hex, parse_fingerprint, source_hash};
-use crate::lock::StoreLock;
+use crate::lock::{StoreLock, DEFAULT_LOCK_TIMEOUT};
 use crate::schedule::energy;
+use crate::vfs::{self, Vfs};
 use jtelemetry::schema::{parse_json, Json};
 use mjava::Program;
+#[cfg(test)]
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Where a corpus entry came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,15 +144,16 @@ pub enum Admission {
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
+    fs: Arc<dyn Vfs>,
     entries: Vec<Entry>,
     programs: Vec<Program>, // parallel to `entries`
     tombstones: Vec<Tombstone>,
     quarantine: Vec<(String, Option<String>)>,
 }
 
-const MANIFEST: &str = "manifest.jsonl";
-const QUARANTINE: &str = "quarantine.jsonl";
-const ENTRIES_DIR: &str = "entries";
+pub(crate) const MANIFEST: &str = "manifest.jsonl";
+pub(crate) const QUARANTINE: &str = "quarantine.jsonl";
+pub(crate) const ENTRIES_DIR: &str = "entries";
 
 /// v2: per-entry `source_hash` (fingerprint memoization), `floor_streak`
 /// (GC bookkeeping), and tombstone lines. v1 manifests are still read
@@ -159,14 +164,21 @@ const STORE_VERSION: u64 = 2;
 impl Store {
     /// Creates an empty store at `dir`. Fails if a manifest already exists.
     pub fn init(dir: &Path) -> Result<Store, String> {
+        Store::init_with(dir, vfs::real())
+    }
+
+    /// [`Store::init`] with all I/O routed through `fs` (chaos injection
+    /// in tests, real fsyncs in production).
+    pub fn init_with(dir: &Path, fs: Arc<dyn Vfs>) -> Result<Store, String> {
         let manifest = dir.join(MANIFEST);
-        if manifest.exists() {
+        if fs.exists(&manifest) {
             return Err(format!("corpus store already exists at {}", dir.display()));
         }
-        fs::create_dir_all(dir.join(ENTRIES_DIR))
+        fs.create_dir_all(&dir.join(ENTRIES_DIR))
             .map_err(|e| format!("create {}: {e}", dir.display()))?;
         let mut store = Store {
             dir: dir.to_path_buf(),
+            fs,
             entries: Vec::new(),
             programs: Vec::new(),
             tombstones: Vec::new(),
@@ -177,29 +189,56 @@ impl Store {
     }
 
     /// Loads an existing store from `dir`.
+    ///
+    /// Recovery semantics: stale `*.tmp` siblings left by a crashed save
+    /// are swept (when no other writer holds the store lock), and a torn
+    /// **final** line of the manifest or quarantine — the footprint of a
+    /// crash mid-write on a non-atomic filesystem — is dropped rather
+    /// than fatal. Corruption anywhere else still fails the open;
+    /// `corpus fsck` reports and repairs it explicitly.
     pub fn open(dir: &Path) -> Result<Store, String> {
+        Store::open_with(dir, vfs::real())
+    }
+
+    /// [`Store::open`] with all I/O routed through `fs`.
+    pub fn open_with(dir: &Path, fs: Arc<dyn Vfs>) -> Result<Store, String> {
+        // Sweep stale tmp files only with the store lock held: a live
+        // writer's tmp siblings are about to be renamed, not stale. A
+        // held lock skips the sweep (zero-wait probe), never the open.
+        if let Ok(_lock) = StoreLock::acquire_with_vfs(dir, Duration::ZERO, fs.clone()) {
+            sweep_stale_tmp(fs.as_ref(), dir);
+        }
         let manifest_path = dir.join(MANIFEST);
-        let text = fs::read_to_string(&manifest_path)
+        let text = fs
+            .read_to_string(&manifest_path)
             .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines
-            .next()
-            .ok_or_else(|| format!("{}: empty manifest", manifest_path.display()))?;
+        let mut lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        if lines.is_empty() {
+            return Err(format!("{}: empty manifest", manifest_path.display()));
+        }
+        let (_, header) = lines.remove(0);
         check_header(header).map_err(|e| format!("{}: {e}", manifest_path.display()))?;
         let mut entries = Vec::new();
         let mut programs = Vec::new();
         let mut tombstones = Vec::new();
-        for (i, line) in lines {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let decoded = decode_line(line)
-                .map_err(|e| format!("{} line {}: {e}", manifest_path.display(), i + 1))?;
+        for (pos, (i, line)) in lines.iter().enumerate() {
+            let decoded = match decode_line(line) {
+                Ok(d) => d,
+                // A torn tail (crash mid-write of the last record) is
+                // recoverable: the record is dropped.
+                Err(_) if pos + 1 == lines.len() => break,
+                Err(e) => return Err(format!("{} line {}: {e}", manifest_path.display(), i + 1)),
+            };
             match decoded {
                 Decoded::Tomb(t) => tombstones.push(t),
                 Decoded::Live(mut entry, has_hash) => {
                     let src_path = dir.join(ENTRIES_DIR).join(format!("{}.java", entry.id));
-                    let src = fs::read_to_string(&src_path)
+                    let src = fs
+                        .read_to_string(&src_path)
                         .map_err(|e| format!("read {}: {e}", src_path.display()))?;
                     let program = mjava::parse(&src)
                         .map_err(|e| format!("parse {}: {e:?}", src_path.display()))?;
@@ -211,9 +250,10 @@ impl Store {
                 }
             }
         }
-        let quarantine = read_quarantine(&dir.join(QUARANTINE))?;
+        let quarantine = read_quarantine(fs.as_ref(), &dir.join(QUARANTINE))?;
         Ok(Store {
             dir: dir.to_path_buf(),
+            fs,
             entries,
             programs,
             tombstones,
@@ -463,9 +503,10 @@ impl Store {
     /// campaigns finishing over one store lose neither quarantine pairs
     /// nor promoted entries.
     pub fn save(&mut self) -> Result<(), String> {
-        fs::create_dir_all(self.dir.join(ENTRIES_DIR))
+        self.fs
+            .create_dir_all(&self.dir.join(ENTRIES_DIR))
             .map_err(|e| format!("create {}: {e}", self.dir.display()))?;
-        let _lock = StoreLock::acquire(&self.dir)?;
+        let _lock = StoreLock::acquire_with_vfs(&self.dir, DEFAULT_LOCK_TIMEOUT, self.fs.clone())?;
         self.merge_disk_state();
         for (entry, program) in self.entries.iter().zip(&self.programs) {
             // Unconditional rewrite: a crash between a source write and the
@@ -475,7 +516,7 @@ impl Store {
                 .dir
                 .join(ENTRIES_DIR)
                 .join(format!("{}.java", entry.id));
-            write_atomic(&path, &mjava::print(program))?;
+            vfs::write_atomic(self.fs.as_ref(), &path, &mjava::print(program))?;
         }
         let mut manifest = String::new();
         manifest.push_str(&format!(
@@ -493,10 +534,15 @@ impl Store {
                 fingerprint_hex(tomb.fingerprint),
             ));
         }
-        write_atomic(&self.dir.join(MANIFEST), &manifest)?;
-        for tomb in &self.tombstones {
-            let src = self.dir.join(ENTRIES_DIR).join(format!("{}.java", tomb.id));
-            let _ = fs::remove_file(src);
+        vfs::write_atomic(self.fs.as_ref(), &self.dir.join(MANIFEST), &manifest)?;
+        if !self.tombstones.is_empty() {
+            for tomb in &self.tombstones {
+                let src = self.dir.join(ENTRIES_DIR).join(format!("{}.java", tomb.id));
+                let _ = self.fs.remove_file(&src);
+            }
+            // Make the unlinks durable; failures leave orphaned sources
+            // that `corpus fsck` reports (the manifest is already safe).
+            let _ = self.fs.fsync_dir(&self.dir.join(ENTRIES_DIR));
         }
         let mut quarantine = String::new();
         for (seed, mutator) in &self.quarantine {
@@ -509,7 +555,7 @@ impl Store {
                 esc(seed)
             ));
         }
-        write_atomic(&self.dir.join(QUARANTINE), &quarantine)?;
+        vfs::write_atomic(self.fs.as_ref(), &self.dir.join(QUARANTINE), &quarantine)?;
         Ok(())
     }
 
@@ -521,10 +567,10 @@ impl Store {
     /// Best-effort: unreadable lines are skipped, never fatal, because
     /// our own atomic rewrite is the recovery path for torn state.
     fn merge_disk_state(&mut self) {
-        if let Ok(disk) = read_quarantine(&self.dir.join(QUARANTINE)) {
+        if let Ok(disk) = read_quarantine(self.fs.as_ref(), &self.dir.join(QUARANTINE)) {
             self.merge_quarantine(&disk);
         }
-        let Ok(text) = fs::read_to_string(self.dir.join(MANIFEST)) else {
+        let Ok(text) = self.fs.read_to_string(&self.dir.join(MANIFEST)) else {
             return;
         };
         let mut lines = text.lines();
@@ -562,7 +608,7 @@ impl Store {
                         .dir
                         .join(ENTRIES_DIR)
                         .join(format!("{}.java", entry.id));
-                    let Ok(text) = fs::read_to_string(&src) else {
+                    let Ok(text) = self.fs.read_to_string(&src) else {
                         continue;
                     };
                     let Ok(program) = mjava::parse(&text) else {
@@ -602,13 +648,27 @@ impl Store {
     }
 }
 
-fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+/// Removes `*.tmp` siblings a crashed save left behind, in the store
+/// root and `entries/`. Caller must hold the store lock. Best-effort:
+/// a failed unlink just leaves the file for `corpus fsck` to report.
+fn sweep_stale_tmp(fs: &dyn Vfs, dir: &Path) {
+    for d in [dir.to_path_buf(), dir.join(ENTRIES_DIR)] {
+        let Ok(paths) = fs.read_dir(&d) else {
+            continue;
+        };
+        let mut removed = false;
+        for path in paths {
+            if path.extension().is_some_and(|e| e == "tmp") {
+                removed |= fs.remove_file(&path).is_ok();
+            }
+        }
+        if removed {
+            let _ = fs.fsync_dir(&d);
+        }
+    }
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -646,7 +706,7 @@ fn encode_entry(e: &Entry) -> String {
     )
 }
 
-fn check_header(line: &str) -> Result<(), String> {
+pub(crate) fn check_header(line: &str) -> Result<(), String> {
     let json = parse_json(line)?;
     match json.get("type") {
         Some(Json::Str(t)) if t == "jcorpus" => {}
@@ -685,12 +745,12 @@ fn opt_u64_field(obj: &Json, key: &str, default: u64) -> Result<u64, String> {
 
 /// One decoded manifest line: a live entry (plus whether the manifest
 /// carried its source hash, absent in v1) or a tombstone.
-enum Decoded {
+pub(crate) enum Decoded {
     Live(Entry, bool),
     Tomb(Tombstone),
 }
 
-fn decode_line(line: &str) -> Result<Decoded, String> {
+pub(crate) fn decode_line(line: &str) -> Result<Decoded, String> {
     let json = parse_json(line)?;
     if let Some(Json::Bool(true)) = json.get("tombstone") {
         return Ok(Decoded::Tomb(Tombstone {
@@ -737,35 +797,43 @@ fn decode_line(line: &str) -> Result<Decoded, String> {
 /// observe pairs that concurrently-running campaigns have flushed.
 /// A missing file is an empty quarantine, not an error.
 pub fn read_quarantine_dir(dir: &Path) -> Result<Vec<(String, Option<String>)>, String> {
-    read_quarantine(&dir.join(QUARANTINE))
+    read_quarantine(vfs::real().as_ref(), &dir.join(QUARANTINE))
 }
 
-fn read_quarantine(path: &Path) -> Result<Vec<(String, Option<String>)>, String> {
-    if !path.exists() {
+/// Decodes one quarantine line into its `(seed, mutator)` pair.
+pub(crate) fn decode_quarantine_line(line: &str) -> Result<(String, Option<String>), String> {
+    let json = parse_json(line)?;
+    let seed = str_field(&json, "seed")?;
+    let mutator = match json.get("mutator") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(Json::Null) => None,
+        other => return Err(format!("bad mutator: {other:?}")),
+    };
+    Ok((seed, mutator))
+}
+
+/// Reads a quarantine file, tolerating (dropping) a torn final line —
+/// the footprint of a crash mid-write — while corruption anywhere else
+/// stays fatal. A missing file is an empty quarantine.
+fn read_quarantine(fs: &dyn Vfs, path: &Path) -> Result<Vec<(String, Option<String>)>, String> {
+    if !fs.exists(path) {
         return Ok(Vec::new());
     }
-    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let text = fs
+        .read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
     let mut pairs = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    for (pos, (i, line)) in lines.iter().enumerate() {
+        match decode_quarantine_line(line) {
+            Ok(pair) => pairs.push(pair),
+            Err(_) if pos + 1 == lines.len() => break,
+            Err(e) => return Err(format!("{} line {}: {e}", path.display(), i + 1)),
         }
-        let json =
-            parse_json(line).map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
-        let seed = str_field(&json, "seed")
-            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
-        let mutator = match json.get("mutator") {
-            Some(Json::Str(s)) => Some(s.clone()),
-            Some(Json::Null) => None,
-            other => {
-                return Err(format!(
-                    "{} line {}: bad mutator: {other:?}",
-                    path.display(),
-                    i + 1
-                ))
-            }
-        };
-        pairs.push((seed, mutator));
     }
     Ok(pairs)
 }

@@ -1,0 +1,522 @@
+//! Injectable filesystem abstraction for crash-consistent persistence.
+//!
+//! Every durable write the corpus store, the store lock, and the campaign
+//! journal perform goes through a [`Vfs`] — a small trait over the
+//! handful of primitives an append-or-rename persistence layer needs.
+//! Two implementations exist:
+//!
+//! * [`RealVfs`] — the production backend. Its guarantee is the classic
+//!   atomic-commit protocol: [`write_atomic`] writes a `*.tmp` sibling,
+//!   fsyncs it, renames it over the target, and fsyncs the parent
+//!   directory, so a committed file is durable and a crash at any point
+//!   leaves either the old contents or the new — never a torn middle.
+//! * [`ChaosVfs`] — a deterministic fault injector for tests. It counts
+//!   mutating operations and can (a) fail one specific operation with a
+//!   transient `EIO`/`ENOSPC`, (b) tear a write at byte *k*, and (c)
+//!   simulate a crash: after operation *N* completes, every later
+//!   operation fails with [`CRASH_MARKER`] — the on-disk state is
+//!   exactly what a `SIGKILL` after op *N* would have left behind. A
+//!   probe run with no crash point counts the workload's operations so a
+//!   sweep test can crash at every single one.
+//!
+//! The trait returns `std::io::Result` so injected errors are
+//! indistinguishable from real ones to the code under test.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Message prefix of every error a [`ChaosVfs`] raises once its crash
+/// point has fired. Tests match on it to tell a simulated crash from an
+/// unexpected real failure.
+pub const CRASH_MARKER: &str = "chaos: simulated crash";
+
+/// The filesystem primitives the persistence layer is written against.
+///
+/// Mutating operations (`write`, `append`, `rename`, `remove_file`,
+/// `create_dir_all`, `fsync_file`, `fsync_dir`) are the injection points
+/// for chaos testing; reads are assumed to never lose data and are
+/// passed through untouched.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates or truncates `path` with `contents`.
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Creates `path` exclusively (`O_EXCL`; fails with `AlreadyExists`
+    /// when it is already present) and writes `contents`.
+    fn create_new(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Appends `contents` to `path`, creating it if missing.
+    fn append(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Renames `from` onto `to` (atomic on POSIX when same-directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flushes `path`'s data and metadata to stable storage.
+    fn fsync_file(&self, path: &Path) -> io::Result<()>;
+    /// Flushes the directory entry table of `dir` to stable storage —
+    /// the step that makes a rename or unlink survive power loss.
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates `dir` and any missing ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads `path` as UTF-8.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// The paths inside `dir`, unsorted.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The directory to fsync after committing `path`: its parent component,
+/// or `"."` when the path is a bare relative filename (whose `parent()`
+/// is the empty path, which cannot be opened).
+pub fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Writes `contents` to `path` with the full atomic-commit protocol:
+/// tmp sibling → fsync tmp → rename over target → fsync parent dir.
+/// After this returns, the new contents are durable; a crash at any
+/// interior point leaves the previous contents intact (plus, at worst, a
+/// stale `*.tmp` sibling that [`crate::fsck`] and `Store::open` sweep).
+pub fn write_atomic(vfs: &dyn Vfs, path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    vfs.write(&tmp, contents.as_bytes())
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    vfs.fsync_file(&tmp)
+        .map_err(|e| format!("fsync {}: {e}", tmp.display()))?;
+    vfs.rename(&tmp, path)
+        .map_err(|e| format!("rename {}: {e}", path.display()))?;
+    let parent = parent_dir(path);
+    vfs.fsync_dir(parent)
+        .map_err(|e| format!("fsync dir {}: {e}", parent.display()))?;
+    Ok(())
+}
+
+/// The production backend: plain `std::fs` plus real fsyncs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+/// A fresh handle to the production backend.
+pub fn real() -> Arc<dyn Vfs> {
+    Arc::new(RealVfs)
+}
+
+impl Vfs for RealVfs {
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        fs::write(path, contents)
+    }
+
+    fn create_new(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        let mut file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(contents)?;
+        file.flush()
+    }
+
+    fn append(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(contents)?;
+        file.flush()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only for fsync is the POSIX idiom; on
+        // platforms where directory fsync is unsupported the failure is
+        // reported rather than swallowed.
+        fs::File::open(dir)?.sync_all()
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::read_dir(dir)?
+            .map(|entry| entry.map(|e| e.path()))
+            .collect()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Which transient error a one-shot chaos injection raises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosError {
+    /// Out of disk space.
+    Enospc,
+    /// Generic I/O error.
+    Eio,
+}
+
+impl ChaosError {
+    fn to_io(self, op: u64) -> io::Error {
+        match self {
+            ChaosError::Enospc => io::Error::other(format!("ENOSPC (injected at op {op})")),
+            ChaosError::Eio => io::Error::other(format!("EIO (injected at op {op})")),
+        }
+    }
+}
+
+/// Deterministic chaos configuration. All decisions are pure functions
+/// of the mutating-operation counter, so a test replays identically.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Simulated crash: mutating operation *N* (1-based) completes, then
+    /// every later mutating operation fails with [`CRASH_MARKER`].
+    /// `Some(0)` crashes before the first operation.
+    pub crash_at: Option<u64>,
+    /// When the crash point lands on a `write`/`append`, persist only
+    /// this many bytes of it (a torn write) instead of completing it.
+    pub torn_bytes: Option<usize>,
+    /// One-shot transient failures: mutating operation *N* fails with
+    /// the given error but the VFS keeps working afterwards.
+    pub fail_ops: Vec<(u64, ChaosError)>,
+}
+
+#[derive(Debug, Default)]
+struct ChaosState {
+    ops: u64,
+    crashed: bool,
+}
+
+/// A deterministic fault-injecting wrapper over [`RealVfs`].
+#[derive(Debug)]
+pub struct ChaosVfs {
+    inner: RealVfs,
+    plan: ChaosPlan,
+    state: Mutex<ChaosState>,
+}
+
+/// What the gate decided for one mutating operation.
+enum Gate {
+    /// Run the operation normally.
+    Proceed,
+    /// This operation is the crash point and it is a write: persist only
+    /// the given prefix, then report the crash.
+    TornWrite(usize),
+}
+
+impl ChaosVfs {
+    /// A chaos VFS executing `plan` against the real filesystem.
+    pub fn new(plan: ChaosPlan) -> ChaosVfs {
+        ChaosVfs {
+            inner: RealVfs,
+            plan,
+            state: Mutex::new(ChaosState::default()),
+        }
+    }
+
+    /// A probe VFS that injects nothing — run the workload once against
+    /// it, read [`ops`](ChaosVfs::ops), and sweep `crash_at` over the
+    /// count.
+    pub fn probe() -> ChaosVfs {
+        ChaosVfs::new(ChaosPlan::default())
+    }
+
+    /// A VFS that crashes after mutating operation `n`.
+    pub fn crash_after(n: u64) -> ChaosVfs {
+        ChaosVfs::new(ChaosPlan {
+            crash_at: Some(n),
+            ..ChaosPlan::default()
+        })
+    }
+
+    /// Mutating operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).ops
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).crashed
+    }
+
+    fn crash_error(op: u64) -> io::Error {
+        io::Error::other(format!("{CRASH_MARKER} (op {op})"))
+    }
+
+    /// Advances the op counter and decides this operation's fate.
+    /// `is_write` selects torn-write semantics at the crash point.
+    fn gate(&self, is_write: bool) -> io::Result<Gate> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.crashed {
+            return Err(ChaosVfs::crash_error(state.ops));
+        }
+        if self.plan.crash_at == Some(state.ops) {
+            // crash_at == current count means "crash before the next op".
+            state.crashed = true;
+            self.note_injection();
+            return Err(ChaosVfs::crash_error(state.ops));
+        }
+        state.ops += 1;
+        let op = state.ops;
+        if let Some((_, kind)) = self.plan.fail_ops.iter().find(|(n, _)| *n == op) {
+            self.note_injection();
+            return Err(kind.to_io(op));
+        }
+        if self.plan.crash_at == Some(op) {
+            state.crashed = true;
+            self.note_injection();
+            if is_write {
+                if let Some(k) = self.plan.torn_bytes {
+                    return Ok(Gate::TornWrite(k));
+                }
+            }
+            // The crash-point op itself completes; the caller's *next*
+            // operation is the first to fail.
+            return Ok(Gate::Proceed);
+        }
+        Ok(Gate::Proceed)
+    }
+
+    fn note_injection(&self) {
+        if jtelemetry::enabled() {
+            jtelemetry::count(jtelemetry::Counter::ChaosFaultsInjected, 1);
+        }
+    }
+}
+
+impl Vfs for ChaosVfs {
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        match self.gate(true)? {
+            Gate::Proceed => self.inner.write(path, contents),
+            Gate::TornWrite(k) => {
+                let k = k.min(contents.len());
+                self.inner.write(path, &contents[..k])?;
+                Err(ChaosVfs::crash_error(self.ops()))
+            }
+        }
+    }
+
+    fn create_new(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        match self.gate(true)? {
+            Gate::Proceed => self.inner.create_new(path, contents),
+            Gate::TornWrite(k) => {
+                let k = k.min(contents.len());
+                self.inner.create_new(path, &contents[..k])?;
+                Err(ChaosVfs::crash_error(self.ops()))
+            }
+        }
+    }
+
+    fn append(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        match self.gate(true)? {
+            Gate::Proceed => self.inner.append(path, contents),
+            Gate::TornWrite(k) => {
+                let k = k.min(contents.len());
+                self.inner.append(path, &contents[..k])?;
+                Err(ChaosVfs::crash_error(self.ops()))
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed => self.inner.rename(from, to),
+            Gate::TornWrite(_) => unreachable!("rename is not a write"),
+        }
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed => self.inner.fsync_file(path),
+            Gate::TornWrite(_) => unreachable!("fsync is not a write"),
+        }
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed => self.inner.fsync_dir(dir),
+            Gate::TornWrite(_) => unreachable!("fsync is not a write"),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed => self.inner.remove_file(path),
+            Gate::TornWrite(_) => unreachable!("unlink is not a write"),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed => self.inner.create_dir_all(dir),
+            Gate::TornWrite(_) => unreachable!("mkdir is not a write"),
+        }
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.inner.read_to_string(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.read_dir(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("jvfs-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_commits_durably() {
+        let dir = temp_dir("commit");
+        let path = dir.join("file.txt");
+        let vfs = RealVfs;
+        write_atomic(&vfs, &path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&vfs, &path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp cleaned by rename"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A bare relative filename has `parent() == Some("")`, which cannot
+    /// be opened for the directory fsync — `parent_dir` must map it (and
+    /// a root path's `None`) to `"."` so `mopfuzzer --journal c.jsonl`
+    /// run from the target directory works.
+    #[test]
+    fn parent_dir_handles_bare_and_rooted_paths() {
+        assert_eq!(parent_dir(Path::new("c.jsonl")), Path::new("."));
+        assert_eq!(parent_dir(Path::new("/")), Path::new("."));
+        assert_eq!(parent_dir(Path::new("a/b.txt")), Path::new("a"));
+        assert_eq!(parent_dir(Path::new("/tmp/x")), Path::new("/tmp"));
+    }
+
+    #[test]
+    fn probe_counts_mutating_ops_only() {
+        let dir = temp_dir("probe");
+        let path = dir.join("f");
+        let vfs = ChaosVfs::probe();
+        write_atomic(&vfs, &path, "hello").unwrap();
+        // write + fsync file + rename + fsync dir.
+        assert_eq!(vfs.ops(), 4);
+        vfs.read_to_string(&path).unwrap();
+        assert!(vfs.exists(&path));
+        assert_eq!(vfs.ops(), 4, "reads are not mutating ops");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_point_leaves_pre_crash_state() {
+        let dir = temp_dir("crash");
+        let path = dir.join("f");
+        write_atomic(&RealVfs, &path, "old").unwrap();
+        for n in 0..4 {
+            let vfs = ChaosVfs::crash_after(n);
+            let err = write_atomic(&vfs, &path, "new-contents").unwrap_err();
+            assert!(
+                n == 0 || err.contains(CRASH_MARKER) || vfs.crashed(),
+                "op {n}: {err}"
+            );
+            // Until the rename (op 3) completes, the old contents
+            // survive; at op >= 3 the new contents are in place.
+            let now = fs::read_to_string(&path).unwrap();
+            if n < 3 {
+                assert_eq!(now, "old", "crash after op {n}");
+            } else {
+                assert_eq!(now, "new-contents", "crash after op {n}");
+            }
+            // Reset for the next crash point.
+            let _ = fs::remove_file(path.with_extension("tmp"));
+            write_atomic(&RealVfs, &path, "old").unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix() {
+        let dir = temp_dir("torn");
+        let path = dir.join("f");
+        let vfs = ChaosVfs::new(ChaosPlan {
+            crash_at: Some(1),
+            torn_bytes: Some(3),
+            ..ChaosPlan::default()
+        });
+        let err = vfs.write(&path, b"abcdef").unwrap_err();
+        assert!(err.to_string().contains(CRASH_MARKER), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        let err = vfs.write(&path, b"later").unwrap_err();
+        assert!(err.to_string().contains(CRASH_MARKER), "post-crash: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_shot_errors_are_transient() {
+        let dir = temp_dir("enospc");
+        let path = dir.join("f");
+        let vfs = ChaosVfs::new(ChaosPlan {
+            fail_ops: vec![(1, ChaosError::Enospc), (2, ChaosError::Eio)],
+            ..ChaosPlan::default()
+        });
+        assert!(vfs
+            .write(&path, b"x")
+            .unwrap_err()
+            .to_string()
+            .contains("ENOSPC"));
+        assert!(vfs
+            .write(&path, b"x")
+            .unwrap_err()
+            .to_string()
+            .contains("EIO"));
+        vfs.write(&path, b"x").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_appends() {
+        let dir = temp_dir("append");
+        let path = dir.join("f");
+        let vfs = RealVfs;
+        vfs.append(&path, b"a\n").unwrap();
+        vfs.append(&path, b"b\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a\nb\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -288,6 +288,13 @@ impl<'i> Machine<'i> {
             }
             self.fuel -= 1;
             self.stats.steps += 1;
+            // Cooperative cancellation: a campaign watchdog can cancel the
+            // current round's token; polling every 4096 steps bounds the
+            // latency of a wall-clock timeout without measurable dispatch
+            // cost. Panics with the timeout marker when cancelled.
+            if self.stats.steps & 0xFFF == 0 {
+                jtelemetry::cancel::check("interpreter");
+            }
             let instr = code
                 .instrs
                 .get(frame.pc)

@@ -46,6 +46,7 @@
 //! assert_eq!(snap.spans[0].total_nanos, 1_000);
 //! ```
 
+pub mod cancel;
 pub mod clock;
 pub mod export;
 pub mod metrics;

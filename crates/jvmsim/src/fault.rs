@@ -32,6 +32,10 @@ pub enum VmFault {
     FuelExhaustion,
     /// The run completes but its profile log is corrupted.
     LogCorruption,
+    /// The VM wedges: the execution blocks forever until the campaign
+    /// watchdog cancels it. Never chosen by random plans — only reachable
+    /// via [`FaultPlan::with_only`], for tests targeting the timeout path.
+    Hang,
 }
 
 /// A seeded, rate-configurable fault-injection plan.

@@ -152,6 +152,12 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
             panic!("{VM_PANIC_MARKER}: injected VM panic on {}", spec.name());
         }
         Some(VmFault::FuelExhaustion) => exec.fuel = exec.fuel.min(64),
+        Some(VmFault::Hang) => loop {
+            // Blocks forever; only the round watchdog's cancellation (which
+            // panics with the timeout marker) gets out of here.
+            jtelemetry::cancel::check("injected hang");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        },
         _ => {}
     }
 
@@ -675,12 +681,40 @@ mod tests {
                     assert_eq!(run.observable(), clean.observable());
                     saw[3] = true;
                 }
+                VmFault::Hang => unreachable!("random plans never select Hang"),
             }
             if saw.iter().all(|&s| s) {
                 return;
             }
         }
         panic!("not all fault kinds observed across 64 plan seeds: {saw:?}");
+    }
+
+    #[test]
+    fn injected_hang_blocks_until_cancelled_and_panics_with_the_marker() {
+        let p = mjava::samples::listing2().program;
+        let spec = JvmSpec::hotspur(Version::V17);
+        let options = RunOptions {
+            fault: Some(FaultPlan::new(1, 1.0).with_only(VmFault::Hang)),
+            ..RunOptions::fuzzing()
+        };
+        let token = jtelemetry::cancel::CancelToken::new();
+        let canceller = token.clone();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            canceller.cancel();
+        });
+        let caught = {
+            let _guard = jtelemetry::cancel::install(&token);
+            std::panic::catch_unwind(|| run_jvm(&p, &spec, &options))
+        };
+        waker.join().unwrap();
+        let payload = caught.expect_err("hang must be cancelled, not complete");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(
+            msg.starts_with(jtelemetry::cancel::TIMEOUT_PANIC_MARKER),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -162,7 +162,7 @@ fn count_kinds(result: &CampaignResult) -> (usize, usize, usize) {
             RoundError::MutatorPanic { .. } => mutator += 1,
             RoundError::VmPanic { .. } => vm += 1,
             RoundError::BuildFailure { .. } => build += 1,
-            RoundError::BudgetExhausted { .. } => {}
+            RoundError::BudgetExhausted { .. } | RoundError::Timeout { .. } => {}
         }
     }
     (mutator, vm, build)

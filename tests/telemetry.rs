@@ -154,7 +154,8 @@ fn journaled_flight_dumps_name_the_failing_site() {
                     );
                 }
                 RoundError::MutatorPanic { mutator: None, .. }
-                | RoundError::BudgetExhausted { .. } => {}
+                | RoundError::BudgetExhausted { .. }
+                | RoundError::Timeout { .. } => {}
             }
         }
     }

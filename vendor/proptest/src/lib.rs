@@ -1,0 +1,568 @@
+//! Vendored offline subset of proptest (see `vendor/README.md`).
+//!
+//! Generation-only property testing: each `proptest!` test runs
+//! `ProptestConfig::cases` cases, deriving a deterministic RNG per case
+//! from the test's module path and case index. There is no shrinking —
+//! a failing case panics with the case seed and the generated inputs,
+//! which is enough to reproduce it (case RNGs are stable across runs).
+
+pub mod strategy;
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng as _;
+    use std::fmt;
+
+    /// Per-test tuning; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A hard failure: the property does not hold.
+        Fail(String),
+        /// The generated input was unsuitable; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic RNG for one case of one test: FNV-1a over the test
+    /// name, mixed with the case index by the golden-ratio constant.
+    pub fn case_rng(test_name: &str, case: u64) -> SmallRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut SmallRng) -> $ty {
+                    rng.gen::<$ty>()
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    /// The strategy behind [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Any<T> {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: full range for primitives.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Element-count specification: an exact count or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                start: exact,
+                end: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+
+    /// Strategy for `Option<S::Value>`, `Some` with probability 1/2.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen::<bool>() {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+
+    /// Uniform choice among a fixed list of values.
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(
+            !values.is_empty(),
+            "sample::select needs at least one value"
+        );
+        Select(values)
+    }
+}
+
+pub mod string {
+    use rand::rngs::SmallRng;
+    use rand::Rng as _;
+
+    /// One repeatable unit of the regex subset.
+    enum Atom {
+        /// `.` — any printable ASCII character.
+        Dot,
+        /// `[...]` — explicit chars and `a-z` ranges.
+        Class(Vec<(char, char)>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the regex subset used by the workspace's string strategies:
+    /// sequences of `.`/`[class]`/literal atoms, each optionally followed
+    /// by `{n}`, `{m,n}`, `?`, `*`, or `+` (unbounded repeats cap at 8).
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut inner: Vec<char> = Vec::new();
+                    for nc in chars.by_ref() {
+                        if nc == ']' {
+                            break;
+                        }
+                        inner.push(nc);
+                    }
+                    let mut i = 0;
+                    while i < inner.len() {
+                        if i + 2 < inner.len() && inner[i + 1] == '-' {
+                            ranges.push((inner[i], inner[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((inner[i], inner[i]));
+                            i += 1;
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for nc in chars.by_ref() {
+                        if nc == '}' {
+                            break;
+                        }
+                        spec.push(nc);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} bound"),
+                            hi.trim().parse().expect("bad {m,n} bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n} bound");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching `pattern` (within the subset above).
+    pub fn generate_from_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min..piece.max + 1)
+            };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Dot => out.push(rng.gen_range(0x20u8..0x7f) as char),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        out.push(rng.gen_range(lo as u32..hi as u32 + 1) as u8 as char);
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` namespace module.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy};
+    }
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...) { ... }`
+/// over `cases` generated inputs. A leading
+/// `#![proptest_config(expr)]` sets the config for every test in the
+/// block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    u64::from(__case),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err(e) => panic!(
+                        "[proptest] {} failed at case {}/{}: {}\n    inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e,
+                        __inputs,
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the enclosing proptest case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing proptest case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} — {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fails the enclosing proptest case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::uniform(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_spec(
+            exact in prop::collection::vec(0u64..10, 7),
+            ranged in prop::collection::vec(0u64..10, 0..4),
+        ) {
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!(ranged.len() < 4);
+        }
+
+        #[test]
+        fn strings_match_their_pattern(s in "[a-c]{2,5}", any_s in ".{0,8}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "{}", s);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(any_s.len() <= 8);
+        }
+
+        #[test]
+        fn oneof_and_combinators_compose(
+            v in prop_oneof![Just(1u8), Just(2u8), 10u8..20],
+            opt in prop::option::of(0i64..4),
+            pick in prop::sample::select(vec!["x", "y"]),
+            mapped in (0u32..3).prop_map(|n| n * 10),
+        ) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+            prop_assert!(opt.is_none() || opt.unwrap() < 4);
+            prop_assert!(pick == "x" || pick == "y");
+            prop_assert!(mapped % 10 == 0 && mapped <= 20);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .boxed()
+            .prop_recursive(4, 24, 3, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::case_rng("recursive", 0);
+        for _ in 0..200 {
+            // Must not hang or overflow the stack; depth is bounded.
+            let _ = strat.generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = prop::collection::vec(0u64..1000, 0..10);
+        let a: Vec<Vec<u64>> = (0..20)
+            .map(|c| s.generate(&mut crate::test_runner::case_rng("det", c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..20)
+            .map(|c| s.generate(&mut crate::test_runner::case_rng("det", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn rejects_skip_the_case(x in 0u32..10) {
+            if x > 3 {
+                return Err(TestCaseError::reject("too big"));
+            }
+            prop_assert!(x <= 3);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Strategy trait and combinators (generation-only; no shrink trees).
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Value` from a seeded RNG.
+///
+/// Combinator methods carry `where Self: Sized` so the trait stays
+/// object-safe; [`BoxedStrategy`] erases concrete strategy types.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Recursive strategies: `self` generates leaves; `branch` builds one
+    /// recursion level from a strategy for the level below. Each of the
+    /// `depth` levels mixes leaves back in (1:3) so generated trees have
+    /// varied depth, and recursion is strictly bounded.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = Union::weighted(vec![(1, leaf.clone()), (3, branch(level).boxed())]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies of a common value type; the
+/// `prop_oneof!` macro builds the uniform case.
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    pub fn uniform(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!options.is_empty(), "Union needs at least one option");
+        let total = options.iter().map(|(w, _)| *w).sum();
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, option) in &self.options {
+            if pick < *weight {
+                return option.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights changed during generation")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut SmallRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// `&str` strategies generate strings matching the pattern as a regex
+/// (within the subset `crate::string` implements).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);

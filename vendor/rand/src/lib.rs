@@ -1,0 +1,364 @@
+//! Vendored offline subset of rand 0.8.5 (see `vendor/README.md`).
+//!
+//! Only the surface the workspace uses is provided: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] and [`Rng::gen_range`].
+//! The algorithms follow rand 0.8.5 — SplitMix64 seeding into
+//! xoshiro256++, Lemire widening-multiply rejection for integer ranges,
+//! the `[1, 2)` mantissa trick for float ranges. Streams are fully
+//! deterministic across runs and platforms; every committed fixture that
+//! embeds RNG-derived bytes (the golden journals under `tests/golden/`)
+//! is maintained against this implementation. Changing any sampling
+//! algorithm here is a breaking change to those fixtures.
+
+use crate::distributions::{Distribution, Standard};
+
+/// Low-level source of randomness: the two word sizes plus byte fill.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// Construction from seed material.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Default PCG32-based seed expansion, as in rand_core 0.6. `SmallRng`
+    /// overrides this with the SplitMix64 path xoshiro256++ defines.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let word = pcg32(&mut state);
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// rand 0.8.5's `SmallRng` on 64-bit targets: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        /// SplitMix64 expansion, as xoshiro256++ recommends.
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            const PHI: u64 = 0x9e3779b97f4a7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            SmallRng::from_seed(seed)
+        }
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            if seed.iter().all(|&b| b == 0) {
+                return SmallRng::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A way of turning raw random words into values of `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" full-range distribution for primitives.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Sign test on the most significant bit, as rand 0.8 does.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53-bit multiply: uniform in [0, 1).
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($ty:ty => $method:ident as $cast:ty),+ $(,)?) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$method() as $cast as $ty
+                }
+            }
+        )+};
+    }
+
+    standard_int! {
+        u8 => next_u32 as u8,
+        u16 => next_u32 as u16,
+        u32 => next_u32 as u32,
+        u64 => next_u64 as u64,
+        usize => next_u64 as usize,
+        i8 => next_u32 as u8,
+        i16 => next_u32 as u16,
+        i32 => next_u32 as u32,
+        i64 => next_u64 as u64,
+        isize => next_u64 as usize,
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use core::ops::Range;
+
+        /// Types samplable over a half-open range.
+        pub trait SampleUniform: Sized {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        /// Range shapes accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_single(self.start, self.end, rng)
+            }
+        }
+
+        // Lemire widening-multiply rejection, exactly as rand 0.8.5's
+        // `uniform_int_impl!` does it: convert the half-open bound to
+        // inclusive, then reject on the low product word. Small types
+        // (≤ 16 bits) use the exact modulo zone; wide types use the
+        // leading-zeros approximation.
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $uty:ty, $ul:ty, $draw:ident, $wide:ty, $small_zone:expr) => {
+                impl SampleUniform for $ty {
+                    fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                        let high_inc = high.wrapping_sub(1);
+                        let range = (high_inc.wrapping_sub(low) as $uty as $ul).wrapping_add(1);
+                        if range == 0 {
+                            // Full type range: any draw works.
+                            return rng.$draw() as $ty;
+                        }
+                        let zone: $ul = if $small_zone {
+                            let ints_to_reject = (<$ul>::MAX - range + 1) % range;
+                            <$ul>::MAX - ints_to_reject
+                        } else {
+                            (range << range.leading_zeros()).wrapping_sub(1)
+                        };
+                        loop {
+                            let v = rng.$draw() as $ul;
+                            let wide = (v as $wide) * (range as $wide);
+                            let hi = (wide >> (<$ul>::BITS)) as $ul;
+                            let lo = wide as $ul;
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        uniform_int_impl!(u8, u8, u32, next_u32, u64, true);
+        uniform_int_impl!(i8, u8, u32, next_u32, u64, true);
+        uniform_int_impl!(u16, u16, u32, next_u32, u64, true);
+        uniform_int_impl!(i16, u16, u32, next_u32, u64, true);
+        uniform_int_impl!(u32, u32, u32, next_u32, u64, false);
+        uniform_int_impl!(i32, u32, u32, next_u32, u64, false);
+        uniform_int_impl!(u64, u64, u64, next_u64, u128, false);
+        uniform_int_impl!(i64, u64, u64, next_u64, u128, false);
+        uniform_int_impl!(usize, usize, u64, next_u64, u128, false);
+        uniform_int_impl!(isize, usize, u64, next_u64, u128, false);
+
+        impl SampleUniform for f64 {
+            fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+                let scale = high - low;
+                loop {
+                    // Value in [1, 2): 52 mantissa bits under exponent 0.
+                    let bits = (rng.next_u64() >> 12) | (1023u64 << 52);
+                    let value1_2 = f64::from_bits(bits);
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_single<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+                let scale = high - low;
+                loop {
+                    let bits = (rng.next_u32() >> 9) | (127u32 << 23);
+                    let value1_2 = f32::from_bits(bits);
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng as _, SeedableRng as _};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(
+            xs,
+            (0..8)
+                .map(|_| SmallRng::seed_from_u64(43).gen::<u64>())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let u = rng.gen_range(0..3u8);
+            assert!(u < 3);
+            let z = rng.gen_range(0usize..17);
+            assert!(z < 17);
+            let f = rng.gen_range(0.0..2.5f64);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trues = (0..1_000).filter(|_| rng.gen::<bool>()).count();
+        assert!(trues > 300 && trues < 700, "{trues}");
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        a.gen::<u64>();
+        let mut b = a.clone();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}
