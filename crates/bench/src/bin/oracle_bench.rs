@@ -8,8 +8,8 @@
 //! must produce `DifferentialResult`s identical to the serial loop's —
 //! the bench asserts this, so it doubles as an equivalence smoke test.
 //!
-//! Speedup is bounded by the host: the recorded `available_parallelism`
-//! field says how many hardware threads the numbers were taken on. The
+//! Speedup is bounded by the host: the recorded `host` block says what
+//! OS/arch and how many hardware threads the numbers were taken on. The
 //! oracle's fan-out is also bounded by the pool size (8 simulated JVMs),
 //! so oracle-jobs 8 is the natural ceiling.
 //!
@@ -140,8 +140,8 @@ fn run() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"type\": \"mopfuzzer-oracle-bench\",");
-    let _ = writeln!(json, "  \"version\": 1,");
-    let _ = writeln!(json, "  \"available_parallelism\": {hw},");
+    let _ = writeln!(json, "  \"version\": 2,");
+    let _ = writeln!(json, "  \"host\": {},", bench::host_meta_json());
     let _ = writeln!(json, "  \"programs\": {},", programs.len());
     let _ = writeln!(json, "  \"pool\": {},", pool.len());
     let _ = writeln!(json, "  \"repeats\": {repeats},");

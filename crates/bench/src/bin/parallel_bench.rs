@@ -6,8 +6,8 @@
 //! run must produce an identical `CampaignResult` — the bench asserts
 //! this, so it doubles as an equivalence smoke test.
 //!
-//! Speedup is bounded by the host: the recorded `available_parallelism`
-//! field says how many hardware threads the numbers were taken on. On a
+//! Speedup is bounded by the host: the recorded `host` block says what
+//! OS/arch and how many hardware threads the numbers were taken on. On a
 //! single-core machine expect ~1.0× (the engine's point is that extra
 //! workers are *free*, never that they are always faster).
 //!
@@ -114,8 +114,8 @@ fn run() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"type\": \"mopfuzzer-parallel-bench\",");
-    let _ = writeln!(json, "  \"version\": 1,");
-    let _ = writeln!(json, "  \"available_parallelism\": {hw},");
+    let _ = writeln!(json, "  \"version\": 2,");
+    let _ = writeln!(json, "  \"host\": {},", bench::host_meta_json());
     let _ = writeln!(json, "  \"rounds\": {rounds},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"results\": [");

@@ -132,10 +132,22 @@ fn print_usage() {
            --metrics-out FILE      telemetry: append a JSONL metrics snapshot to\n\
                                    FILE after every round, keep a Prometheus\n\
                                    text export in FILE.prom, and print a\n\
-                                   human-readable report at campaign end\n\
+                                   human-readable report at campaign end.\n\
+                                   FILE of '-' streams the JSONL snapshots to\n\
+                                   stdout (no .prom, no status line; the\n\
+                                   report goes to stderr)\n\
            --metrics-every N       write metrics snapshots every N rounds\n\
                                    instead of every round (the final snapshot\n\
                                    is always written; default 1)\n\
+           --trace-out FILE        record a causal trace of the campaign\n\
+                                   (rounds, attempts, fuzz/oracle phases,\n\
+                                   optimizer phases, VM executions) and write\n\
+                                   it as Chrome trace-event JSON at campaign\n\
+                                   end — loadable in Perfetto / chrome://\n\
+                                   tracing. FILE of '-' writes to stdout\n\
+           --profile [true|false]  sample the interpreter per opcode and\n\
+                                   report the hottest opcodes in metrics\n\
+                                   snapshots and the campaign-end report\n\
            --max-steps N           stop after N interpreter steps (simulated time)\n\
            --max-execs N           stop after N JVM executions\n\
            --round-deadline N      fail rounds exceeding N steps\n\
@@ -204,6 +216,8 @@ struct CliOptions {
     resume: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     metrics_every: usize,
+    trace_out: Option<PathBuf>,
+    profile: bool,
     corpus: Option<PathBuf>,
     promote_threshold: Option<f64>,
     gc_streak: Option<u64>,
@@ -230,11 +244,28 @@ fn default_oracle_jobs(jobs: usize) -> usize {
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut map: HashMap<&str, &str> = HashMap::new();
-    let mut it = args.iter();
+    let mut profile = false;
+    let mut it = args.iter().peekable();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("unexpected argument {key:?}"));
         };
+        if name == "profile" {
+            // A bare flag, but `--profile true|false` is also accepted for
+            // symmetry with --enable_profile_guide.
+            profile = match it.peek().map(|v| v.as_str()) {
+                Some("true") => {
+                    it.next();
+                    true
+                }
+                Some("false") => {
+                    it.next();
+                    false
+                }
+                _ => true,
+            };
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         let key: &'static str = match name {
             "project_path" => "project_path",
@@ -249,6 +280,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "resume" => "resume",
             "metrics-out" => "metrics-out",
             "metrics-every" => "metrics-every",
+            "trace-out" => "trace-out",
             "corpus" => "corpus",
             "promote-threshold" => "promote-threshold",
             "gc-streak" => "gc-streak",
@@ -325,6 +357,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         resume: map.get("resume").map(PathBuf::from),
         metrics_out: map.get("metrics-out").map(PathBuf::from),
         metrics_every,
+        trace_out: map.get("trace-out").map(PathBuf::from),
+        profile,
         corpus: map.get("corpus").map(PathBuf::from),
         promote_threshold: num(&map, "promote-threshold")?,
         gc_streak: num(&map, "gc-streak")?,
@@ -361,11 +395,33 @@ fn load_seeds(options: &CliOptions) -> Result<Vec<mopfuzzer::Seed>, String> {
 /// The `--metrics-out` sink: after every round it appends one JSONL
 /// telemetry snapshot to the metrics file, rewrites the Prometheus text
 /// export next to it (`FILE.prom`), and — when stderr is a TTY — redraws
-/// a one-line live status. Requires a `jtelemetry` session installed on
-/// the campaign thread.
+/// a one-line live status. With `--metrics-out -` the JSONL snapshots
+/// stream to stdout instead (no `.prom` page, no status line). Requires
+/// True when `--metrics-out -` or `--trace-out -` claims stdout for
+/// machine-readable output. Human banner/summary lines then move to
+/// stderr so the stream stays parseable line-by-line.
+fn stdout_is_claimed(options: &CliOptions) -> bool {
+    let dash = |p: &Option<PathBuf>| p.as_deref().is_some_and(|p| p.as_os_str() == "-");
+    dash(&options.metrics_out) || dash(&options.trace_out)
+}
+
+/// Prints a human-facing line to stdout, or to stderr when stdout is
+/// claimed by a `-` stream (see [`stdout_is_claimed`]).
+macro_rules! humanln {
+    ($to_stderr:expr, $($arg:tt)*) => {
+        if $to_stderr {
+            eprintln!($($arg)*)
+        } else {
+            println!($($arg)*)
+        }
+    };
+}
+
+/// a `jtelemetry` session installed on the campaign thread.
 struct MetricsSink {
-    jsonl: PathBuf,
-    prom: PathBuf,
+    /// `None` streams snapshots to stdout.
+    jsonl: Option<PathBuf>,
+    prom: Option<PathBuf>,
     tty_status: bool,
     /// Write files every N rounds (`--metrics-every`; the TTY status line
     /// still refreshes every round, and `finish` always writes).
@@ -375,13 +431,22 @@ struct MetricsSink {
 
 impl MetricsSink {
     fn create(path: &Path, every: usize) -> Result<MetricsSink, String> {
+        if path.as_os_str() == "-" {
+            return Ok(MetricsSink {
+                jsonl: None,
+                prom: None,
+                tty_status: false,
+                every,
+                rounds_seen: 0,
+            });
+        }
         let mut prom = path.as_os_str().to_owned();
         prom.push(".prom");
         // Truncate up front so a rerun never appends to stale snapshots.
         std::fs::write(path, "").map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         Ok(MetricsSink {
-            jsonl: path.to_path_buf(),
-            prom: PathBuf::from(prom),
+            jsonl: Some(path.to_path_buf()),
+            prom: Some(PathBuf::from(prom)),
             tty_status: std::io::stderr().is_terminal(),
             every,
             rounds_seen: 0,
@@ -392,15 +457,23 @@ impl MetricsSink {
         let Some(snap) = jtelemetry::snapshot() else {
             return;
         };
-        let append = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&self.jsonl)
-            .and_then(|mut f| writeln!(f, "{}", jtelemetry::export::jsonl_line(&snap)));
-        if let Err(e) = append {
-            eprintln!("warning: metrics write failed: {e}");
+        let line = jtelemetry::export::jsonl_line(&snap);
+        match &self.jsonl {
+            None => println!("{line}"),
+            Some(path) => {
+                let append = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{line}"));
+                if let Err(e) = append {
+                    eprintln!("warning: metrics write failed: {e}");
+                }
+            }
         }
-        if let Err(e) = std::fs::write(&self.prom, jtelemetry::export::prometheus(&snap)) {
-            eprintln!("warning: metrics write failed: {e}");
+        if let Some(prom) = &self.prom {
+            if let Err(e) = std::fs::write(prom, jtelemetry::export::prometheus(&snap)) {
+                eprintln!("warning: metrics write failed: {e}");
+            }
         }
         self.status(&snap);
     }
@@ -412,14 +485,12 @@ impl MetricsSink {
         }
     }
 
-    /// Final flush + report, consuming the thread's telemetry session.
+    /// Final flush (the session itself is consumed by
+    /// [`finish_telemetry`], which also writes the trace and report).
     fn finish(&self) {
         self.flush();
         if self.tty_status {
             eprintln!();
-        }
-        if let Some(session) = jtelemetry::take() {
-            println!("{}", jtelemetry::export::human_report(&session.snapshot()));
         }
     }
 }
@@ -435,16 +506,66 @@ impl CampaignObserver for MetricsSink {
     }
 }
 
-/// Builds the metrics sink (installing the telemetry session) when
-/// `--metrics-out` was given.
+/// Builds the metrics sink and installs the telemetry session when any
+/// of `--metrics-out`, `--trace-out`, or `--profile` was given (tracing
+/// and profiling are session capabilities, so they work without a
+/// metrics file).
 fn metrics_sink(options: &CliOptions) -> Result<Option<MetricsSink>, String> {
-    let Some(path) = &options.metrics_out else {
-        return Ok(None);
+    let sink = match &options.metrics_out {
+        None => None,
+        Some(path) => {
+            let sink = MetricsSink::create(path, options.metrics_every)?;
+            match (&sink.jsonl, &sink.prom) {
+                (Some(jsonl), Some(prom)) => humanln!(
+                    stdout_is_claimed(options),
+                    "metrics: {} (+ {})",
+                    jsonl.display(),
+                    prom.display()
+                ),
+                _ => eprintln!("metrics: streaming JSONL snapshots to stdout"),
+            }
+            Some(sink)
+        }
     };
-    let sink = MetricsSink::create(path, options.metrics_every)?;
-    jtelemetry::install(jtelemetry::Session::new());
-    println!("metrics: {} (+ {})", path.display(), sink.prom.display());
-    Ok(Some(sink))
+    if options.metrics_out.is_some() || options.trace_out.is_some() || options.profile {
+        let mut session = jtelemetry::Session::new();
+        if options.trace_out.is_some() {
+            session = session.with_trace();
+        }
+        if options.profile {
+            session = session.with_profile();
+        }
+        jtelemetry::install(session);
+    }
+    Ok(sink)
+}
+
+/// Campaign-end telemetry teardown: consumes the thread's session, writes
+/// the `--trace-out` trace (Chrome trace-event JSON, Perfetto-loadable),
+/// and prints the human report when `--metrics-out` was given. `meta`
+/// lands in the trace's `otherData` for offline analysis
+/// (`jtelemetry-trace` reads `jobs` and `campaign_wall_ns` from it).
+fn finish_telemetry(options: &CliOptions, meta: &[(&str, String)]) -> Result<(), String> {
+    let Some(session) = jtelemetry::take() else {
+        return Ok(());
+    };
+    let streaming = stdout_is_claimed(options);
+    if let Some(path) = &options.trace_out {
+        let json = jtelemetry::export::trace_json(&session, meta)
+            .expect("--trace-out installed a tracing session");
+        if path.as_os_str() == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            humanln!(streaming, "trace: {}", path.display());
+        }
+    }
+    if options.metrics_out.is_some() {
+        let report = jtelemetry::export::human_report(&session.snapshot());
+        humanln!(streaming, "{report}");
+    }
+    Ok(())
 }
 
 fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
@@ -470,7 +591,9 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         return run_corpus_campaign_mode(options, &config, dir);
     }
     let seeds = load_seeds(options)?;
-    println!(
+    let streaming = stdout_is_claimed(options);
+    humanln!(
+        streaming,
         "campaign: {} supervised rounds × {} iterations over {} seed(s), {} JVMs, {} worker(s)",
         config.rounds,
         config.iterations_per_seed,
@@ -479,19 +602,30 @@ fn run_campaign_mode(options: &CliOptions) -> Result<(), String> {
         config.jobs
     );
     let mut sink = metrics_sink(options)?;
+    let started = std::time::Instant::now();
     let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
     let result = match &options.journal {
         None => run_campaign_observed_or_not(&seeds, &config, observer),
         Some(path) => {
-            println!("journal: {}", path.display());
+            humanln!(streaming, "journal: {}", path.display());
             run_campaign_with_journal_observed(&seeds, &config, path, observer)?
         }
     };
     if let Some(sink) = &sink {
         sink.finish();
     }
-    print_campaign_summary(&result);
-    maybe_print_interrupted(&result, options.journal.as_deref());
+    finish_telemetry(
+        options,
+        &trace_meta(
+            config.jobs,
+            config.oracle_jobs,
+            config.rounds,
+            config.rng_seed,
+            started,
+        ),
+    )?;
+    print_campaign_summary(&result, streaming);
+    maybe_print_interrupted(&result, options.journal.as_deref(), streaming);
     Ok(())
 }
 
@@ -507,7 +641,9 @@ fn run_corpus_campaign_mode(
             .unwrap_or(CorpusOptions::default().promote_threshold),
         gc_streak: options.gc_streak,
     };
-    println!(
+    let streaming = stdout_is_claimed(options);
+    humanln!(
+        streaming,
         "campaign: {} power-scheduled rounds × {} iterations over corpus {} ({} entries), \
          {} JVMs, {} worker(s)",
         config.rounds,
@@ -518,9 +654,10 @@ fn run_corpus_campaign_mode(
         config.jobs
     );
     if let Some(path) = &options.journal {
-        println!("journal: {}", path.display());
+        humanln!(streaming, "journal: {}", path.display());
     }
     let mut sink = metrics_sink(options)?;
+    let started = std::time::Instant::now();
     let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
     let result = run_corpus_campaign(
         &mut store,
@@ -532,8 +669,18 @@ fn run_corpus_campaign_mode(
     if let Some(sink) = &sink {
         sink.finish();
     }
-    print_campaign_summary(&result);
-    maybe_print_interrupted(&result, options.journal.as_deref());
+    finish_telemetry(
+        options,
+        &trace_meta(
+            config.jobs,
+            config.oracle_jobs,
+            config.rounds,
+            config.rng_seed,
+            started,
+        ),
+    )?;
+    print_campaign_summary(&result, streaming);
+    maybe_print_interrupted(&result, options.journal.as_deref(), streaming);
     Ok(())
 }
 
@@ -739,6 +886,24 @@ fn load_java_dir(dir: &Path) -> Result<Vec<mopfuzzer::Seed>, String> {
     Ok(out)
 }
 
+/// `otherData` entries for the trace export — the campaign's identity
+/// plus the wall-clock elapsed since the session was installed.
+fn trace_meta(
+    jobs: usize,
+    oracle_jobs: usize,
+    rounds: usize,
+    rng_seed: u64,
+    started: std::time::Instant,
+) -> Vec<(&'static str, String)> {
+    vec![
+        ("jobs", jobs.to_string()),
+        ("oracle_jobs", oracle_jobs.to_string()),
+        ("rounds", rounds.to_string()),
+        ("rng_seed", rng_seed.to_string()),
+        ("campaign_wall_ns", started.elapsed().as_nanos().to_string()),
+    ]
+}
+
 fn run_campaign_observed_or_not(
     seeds: &[mopfuzzer::Seed],
     config: &CampaignConfig,
@@ -751,11 +916,13 @@ fn run_campaign_observed_or_not(
 }
 
 fn run_resume(journal: &Path, options: &CliOptions) -> Result<(), String> {
-    println!("resuming campaign from {}", journal.display());
+    let streaming = stdout_is_claimed(options);
+    humanln!(streaming, "resuming campaign from {}", journal.display());
     if let Some(rounds) = options.rounds {
-        println!("  extending to {rounds} total round(s)");
+        humanln!(streaming, "  extending to {rounds} total round(s)");
     }
     let mut sink = metrics_sink(options)?;
+    let started = std::time::Instant::now();
     let observer = sink.as_mut().map(|s| s as &mut dyn CampaignObserver);
     let jobs = options.jobs.unwrap_or_else(default_jobs);
     let oracle_jobs = options
@@ -771,29 +938,44 @@ fn run_resume(journal: &Path, options: &CliOptions) -> Result<(), String> {
     if let Some(sink) = &sink {
         sink.finish();
     }
-    print_campaign_summary(&result);
-    maybe_print_interrupted(&result, Some(journal));
+    finish_telemetry(
+        options,
+        &trace_meta(
+            jobs,
+            oracle_jobs,
+            options.rounds.unwrap_or(0),
+            options.rng,
+            started,
+        ),
+    )?;
+    print_campaign_summary(&result, streaming);
+    maybe_print_interrupted(&result, Some(journal), streaming);
     Ok(())
 }
 
 /// After a SIGINT/SIGTERM stop, tell the user how to pick the campaign
 /// back up. Everything durable was already flushed by the time the
 /// summary printed.
-fn maybe_print_interrupted(result: &CampaignResult, journal: Option<&Path>) {
+fn maybe_print_interrupted(result: &CampaignResult, journal: Option<&Path>, to_stderr: bool) {
     if !result.interrupted {
         return;
     }
     match journal {
-        Some(path) => println!(
+        Some(path) => humanln!(
+            to_stderr,
             "interrupted: stopped at a round boundary; resume with --resume {}",
             path.display()
         ),
-        None => println!("interrupted: stopped at a round boundary (no journal to resume from)"),
+        None => humanln!(
+            to_stderr,
+            "interrupted: stopped at a round boundary (no journal to resume from)"
+        ),
     }
 }
 
-fn print_campaign_summary(result: &CampaignResult) {
-    println!(
+fn print_campaign_summary(result: &CampaignResult, to_stderr: bool) {
+    humanln!(
+        to_stderr,
         "done: {} bug(s), {} executions, {} steps, {} round(s) completed",
         result.bugs.len(),
         result.executions,
@@ -801,7 +983,8 @@ fn print_campaign_summary(result: &CampaignResult) {
         result.completed_rounds()
     );
     for bug in &result.bugs {
-        println!(
+        humanln!(
+            to_stderr,
             "  bug {} ({}) on {} via seed {}",
             bug.id,
             if bug.is_crash { "crash" } else { "miscompile" },
@@ -810,31 +993,45 @@ fn print_campaign_summary(result: &CampaignResult) {
         );
     }
     if result.inconclusive_rounds > 0 {
-        println!("  inconclusive rounds: {}", result.inconclusive_rounds);
+        humanln!(
+            to_stderr,
+            "  inconclusive rounds: {}",
+            result.inconclusive_rounds
+        );
     }
     if result.errored_rounds + result.skipped_rounds + result.retried_attempts > 0 {
-        println!(
+        humanln!(
+            to_stderr,
             "  faults: {} errored round(s), {} skipped, {} retried attempt(s)",
-            result.errored_rounds, result.skipped_rounds, result.retried_attempts
+            result.errored_rounds,
+            result.skipped_rounds,
+            result.retried_attempts
         );
     }
     if result.wasted_steps + result.wasted_execs > 0 {
-        println!(
+        humanln!(
+            to_stderr,
             "  wasted on faulted attempts: {} steps, {} execution(s)",
-            result.wasted_steps, result.wasted_execs
+            result.wasted_steps,
+            result.wasted_execs
         );
     }
     for name in &result.promotions {
-        println!("  promoted: {name}");
+        humanln!(to_stderr, "  promoted: {name}");
     }
     for (seed, mutator) in &result.quarantined {
         match mutator {
-            Some(m) => println!("  quarantined: {seed} × {m}"),
-            None => println!("  quarantined: {seed} (whole seed)"),
+            Some(m) => humanln!(to_stderr, "  quarantined: {seed} × {m}"),
+            None => humanln!(to_stderr, "  quarantined: {seed} (whole seed)"),
         }
     }
     if let Some(stop) = &result.stopped {
-        println!("  stopped early at round {}: {}", stop.round, stop.error);
+        humanln!(
+            to_stderr,
+            "  stopped early at round {}: {}",
+            stop.round,
+            stop.error
+        );
     }
 }
 

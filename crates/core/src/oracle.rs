@@ -124,6 +124,13 @@ impl Accumulator {
                     "crash",
                     format!("{} ({})", run.jvm, report.bug_id),
                 );
+                jtelemetry::trace_instant("verdict", || {
+                    vec![
+                        ("kind", "crash".to_string()),
+                        ("jvm", run.jvm.clone()),
+                        ("bug", report.bug_id.clone()),
+                    ]
+                });
             }
             return Some(DifferentialResult {
                 verdict: OracleVerdict::Crash {
@@ -175,6 +182,7 @@ impl Accumulator {
             };
             jtelemetry::count(counter, 1);
             jtelemetry::flight(jtelemetry::FlightKind::Oracle, label, String::new());
+            jtelemetry::trace_instant("verdict", || vec![("kind", label.to_string())]);
         }
         DifferentialResult {
             verdict,
@@ -230,18 +238,22 @@ pub fn differential_jobs(
     for slot in execute_pool(program, &pool[1..], options, jobs) {
         // A cancelled slot can only sit *behind* the first crash in pool
         // order, and `accum.push` returns before this loop reaches it.
-        let (caught, snap, flight) =
+        let (caught, snap, flight, trace) =
             slot.expect("merge consumed a task cancelled by an earlier crash");
         // Replay the side effects `run_jvm` would have had on this
         // thread, in this order: the flight events first (their serial
         // timestamp is the work meter *before* this run), then the
-        // task's counters and span histograms, then the work credit.
+        // task's counters and span histograms, then its trace spans
+        // (re-parented under this thread's open span at the pre-run work
+        // meter — exactly where the serial loop would have opened them),
+        // then the work credit.
         for event in flight {
             jtelemetry::flight(event.kind, event.label, event.detail);
         }
         if let Some(snap) = &snap {
             jtelemetry::absorb(snap);
         }
+        jtelemetry::absorb_trace(&trace);
         let run = match caught {
             Ok(run) => run,
             // An injected VM panic: re-raise it at its canonical pool
@@ -261,12 +273,14 @@ pub fn differential_jobs(
 }
 
 /// One task's outcome: the run (or its panic payload) plus the telemetry
-/// it accrued in its private session — counters/spans as a snapshot, and
-/// the flight events for in-order replay.
+/// it accrued in its private session — counters/spans as a snapshot, the
+/// flight events for in-order replay, and the trace spans for in-order
+/// absorption.
 type TaskOutput = (
     Result<JvmRun, Box<dyn Any + Send>>,
     Option<jtelemetry::MetricsSnapshot>,
     Vec<jtelemetry::FlightEvent>,
+    Vec<jtelemetry::TraceEvent>,
 );
 
 /// Scatters the pool executions across the shared worker pool. Each task
@@ -288,7 +302,10 @@ fn execute_pool(
     options: &RunOptions,
     jobs: usize,
 ) -> Vec<Option<TaskOutput>> {
-    let telemetry = jtelemetry::enabled();
+    // Workers inherit the calling session's shape (clock mode, tracing,
+    // profiling) so their private sessions record the same event classes
+    // the serial loop would have.
+    let spec = jtelemetry::session_spec();
     let program = program.clone();
     let options = options.clone();
     let crash_floor = AtomicUsize::new(usize::MAX);
@@ -296,28 +313,35 @@ fn execute_pool(
     // capture it here and re-install it inside each task so the watchdog
     // reaches executions running on pool threads too.
     let cancel = jtelemetry::cancel::current();
-    pool::scatter(pool.to_vec(), jobs, move |index, spec: JvmSpec| {
+    pool::scatter(pool.to_vec(), jobs, move |index, spec_jvm: JvmSpec| {
         if index > crash_floor.load(Ordering::Relaxed) {
             return None;
         }
         let _cancel_guard = cancel.as_ref().map(jtelemetry::cancel::install);
         Some(jtelemetry::work::isolated(|| {
             let saved = jtelemetry::take();
-            if telemetry {
-                jtelemetry::install(jtelemetry::Session::new());
+            if let Some(spec) = spec {
+                jtelemetry::install(jtelemetry::Session::from_spec(spec));
             }
-            let caught = pool::quiet_catch_unwind(|| jvmsim::run_jvm(&program, &spec, &options));
+            let caught =
+                pool::quiet_catch_unwind(|| jvmsim::run_jvm(&program, &spec_jvm, &options));
             if let Ok(run) = &caught {
                 if matches!(run.verdict, JvmVerdict::CompilerCrash(_)) {
                     crash_floor.fetch_min(index, Ordering::Relaxed);
                 }
             }
             let flight = jtelemetry::flight_snapshot();
-            let snap = jtelemetry::take().map(|s| s.snapshot());
+            let (snap, trace) = match jtelemetry::take() {
+                Some(mut session) => {
+                    let trace = session.take_trace();
+                    (Some(session.snapshot()), trace)
+                }
+                None => (None, Vec::new()),
+            };
             if let Some(session) = saved {
                 jtelemetry::install(session);
             }
-            (caught, snap, flight)
+            (caught, snap, flight, trace)
         }))
     })
 }

@@ -485,7 +485,12 @@ fn run_attempt(
         fault: config.fault.clone(),
     };
     let (record, mutant) = catch_round(|| {
-        let outcome = fuzz(&seed.program, &fuzz_config);
+        let outcome = {
+            let _fuzz_span = jtelemetry::trace_span("fuzz", || {
+                vec![("seed", seed.name.clone()), ("guidance", guidance.name())]
+            });
+            fuzz(&seed.program, &fuzz_config)
+        };
         if let Some(message) = &outcome.seed_invalid {
             return Err(RoundError::BuildFailure {
                 message: message.clone(),
@@ -524,12 +529,17 @@ fn run_attempt(
             fault: config.fault.clone(),
             ..RunOptions::fuzzing()
         };
-        let diff = differential_jobs(
-            &outcome.final_mutant,
-            &config.pool,
-            &options,
-            config.oracle_jobs,
-        );
+        let diff = {
+            let _diff_span = jtelemetry::trace_span("differential", || {
+                vec![("pool", config.pool.len().to_string())]
+            });
+            differential_jobs(
+                &outcome.final_mutant,
+                &config.pool,
+                &options,
+                config.oracle_jobs,
+            )
+        };
         record.diff = Some((diff.executions, diff.steps));
         record.coverage.merge(&diff.coverage);
         match diff.verdict {
@@ -605,6 +615,16 @@ fn execute_round(
         wasted_execs: 0,
         promotion: None,
     };
+    // Trace identity: one root span per round; attempts nest under it.
+    // Skipped rounds still get a (zero-duration) root so the trace
+    // accounts for every scheduled round.
+    let _round_span = jtelemetry::trace_span("round", || {
+        vec![
+            ("round", round.to_string()),
+            ("seed", seed.name.clone()),
+            ("skip", skip.to_string()),
+        ]
+    });
     if skip {
         return (skeleton(Disposition::Skipped), None);
     }
@@ -625,6 +645,12 @@ fn execute_round(
             "attempt",
             format!("round {round} attempt {attempt} seed {}", seed.name),
         );
+        let _attempt_span = jtelemetry::trace_span("attempt", || {
+            vec![
+                ("attempt", attempt.to_string()),
+                ("rng_seed", format!("{rng_seed:#x}")),
+            ]
+        });
         let (steps_before, execs_before) = jtelemetry::work::totals();
         // Hang containment: each attempt gets a fresh cancellation token,
         // installed on this thread (the oracle re-installs it on its pool
@@ -963,9 +989,11 @@ struct WorkerTask {
     seed: Seed,
     skip: bool,
     banned: Vec<MutatorKind>,
-    /// Install a fresh telemetry session for this task and ship its
-    /// snapshot back (the coordinator's session absorbs it on acceptance).
-    telemetry: bool,
+    /// When set, install a fresh telemetry session of this shape (clock
+    /// mode, tracing, profiling inherited from the coordinator) for this
+    /// task and ship its snapshot and trace back (the coordinator's
+    /// session absorbs both on acceptance).
+    telemetry: Option<jtelemetry::SessionSpec>,
     promo: Option<PromoInputs>,
 }
 
@@ -983,6 +1011,9 @@ struct WorkerOutput {
     banned: Vec<MutatorKind>,
     record: RoundRecord,
     metrics: Option<jtelemetry::MetricsSnapshot>,
+    /// Trace spans the task recorded, for in-order absorption on
+    /// acceptance (empty when the coordinator is not tracing).
+    trace: Vec<jtelemetry::TraceEvent>,
     /// The task body escaped its panic boundary (a harness bug, not an
     /// injected fault — those are contained inside [`execute_round`]).
     /// Poisoned outputs never merge; the coordinator re-executes inline.
@@ -1008,8 +1039,8 @@ fn run_worker_task(
         // Pool threads are shared across campaigns and tasks: drop any
         // session a previous occupant left behind before installing ours.
         drop(jtelemetry::take());
-        if task.telemetry {
-            jtelemetry::install(jtelemetry::Session::new());
+        if let Some(spec) = task.telemetry {
+            jtelemetry::install(jtelemetry::Session::from_spec(spec));
         }
         let (mut record, mutant) =
             execute_round(task.round, &task.seed, config, task.skip, &task.banned);
@@ -1023,21 +1054,24 @@ fn run_worker_task(
                 config,
             );
         }
-        let metrics = if task.telemetry {
-            jtelemetry::take().map(|session| session.snapshot())
-        } else {
-            None
+        let (metrics, trace) = match jtelemetry::take() {
+            Some(mut session) => {
+                let trace = session.take_trace();
+                (Some(session.snapshot()), trace)
+            }
+            None => (None, Vec::new()),
         };
-        (record, metrics)
+        (record, metrics, trace)
     });
     let output = match body {
-        Ok((record, metrics)) => WorkerOutput {
+        Ok((record, metrics, trace)) => WorkerOutput {
             round,
             seed: seed_name,
             skip,
             banned,
             record,
             metrics,
+            trace,
             poisoned: false,
         },
         Err(_) => {
@@ -1066,6 +1100,7 @@ fn run_worker_task(
                     promotion: None,
                 },
                 metrics: None,
+                trace: Vec::new(),
                 poisoned: true,
             }
         }
@@ -1116,6 +1151,9 @@ fn run_parallel_rounds(
 ) {
     let threshold = config.supervisor.quarantine_threshold;
     let telemetry = jtelemetry::enabled();
+    // Workers inherit the coordinator session's shape so speculative
+    // rounds record the same event classes a serial loop would.
+    let session_spec = jtelemetry::session_spec();
     let window = config.jobs.max(2) * 2;
     // Round jobs go to the shared process-wide pool (capacity is the max
     // of every subsystem's request, so `--jobs` and `--oracle-jobs` can't
@@ -1187,7 +1225,7 @@ fn run_parallel_rounds(
                 round: spec_round,
                 skip: quarantine.seed_blocked(&spec_seed.name),
                 banned: quarantine.banned_mutators(&spec_seed.name),
-                telemetry,
+                telemetry: session_spec,
                 promo: corpus.as_deref().map(|ctx| PromoInputs {
                     fingerprints: Arc::new(ctx.fingerprints.clone()),
                     promote_threshold: ctx.promote_threshold,
@@ -1199,21 +1237,29 @@ fn run_parallel_rounds(
             pool::shared().submit(Box::new(move || {
                 run_worker_task(task, &job_config, &job_results);
             }));
+            jtelemetry::trace_sched_instant("dispatch", || vec![("round", spec_round.to_string())]);
             dispatched.insert(spec_round);
             next_dispatch += 1;
         }
-        let output = loop {
-            if let Some(found) = pending.remove(&round) {
-                break Some(found);
-            }
-            if !dispatched.contains(&round) {
-                break None;
-            }
-            match out_rx.recv() {
-                Ok(incoming) => {
-                    pending.insert(incoming.round, incoming);
+        let output = {
+            // Scheduler-lane attribution: how long the coordinator sat
+            // blocked on speculative results for this round. Wall-clock
+            // only; the lane is suppressed under a manual clock.
+            let _wait =
+                jtelemetry::trace_sched_span("merge_wait", || vec![("round", round.to_string())]);
+            loop {
+                if let Some(found) = pending.remove(&round) {
+                    break Some(found);
                 }
-                Err(_) => break None, // unreachable: we hold a sender
+                if !dispatched.contains(&round) {
+                    break None;
+                }
+                match out_rx.recv() {
+                    Ok(incoming) => {
+                        pending.insert(incoming.round, incoming);
+                    }
+                    Err(_) => break None, // unreachable: we hold a sender
+                }
             }
         };
         dispatched.remove(&round);
@@ -1223,7 +1269,7 @@ fn run_parallel_rounds(
                 && output.skip == skip
                 && output.banned == banned
         };
-        let (record, metrics) = match output {
+        let (record, metrics, trace) = match output {
             Some(output) if validates(&output) => {
                 let mut record = output.record;
                 if let (Some(ctx), Some(promo)) = (corpus.as_deref(), record.promotion.as_ref()) {
@@ -1235,11 +1281,28 @@ fn run_parallel_rounds(
                         record.promotion = None;
                     }
                 }
-                (record, output.metrics)
+                (record, output.metrics, output.trace)
             }
-            _ => {
+            stale => {
                 // Mispredicted inputs, poisoned, or never dispatched:
-                // execute here with the authoritative ones.
+                // execute here with the authoritative ones. The stale
+                // output's telemetry and trace are discarded with it —
+                // the serial run never did that work.
+                if let Some(stale) = &stale {
+                    jtelemetry::trace_sched_instant("speculation_wasted", || {
+                        vec![
+                            ("round", round.to_string()),
+                            (
+                                "reason",
+                                if stale.poisoned {
+                                    "poisoned".to_string()
+                                } else {
+                                    "mispredicted".to_string()
+                                },
+                            ),
+                        ]
+                    });
+                }
                 let (mut record, mutant) = execute_round(round, &seed, config, skip, &banned);
                 if let (Some(ctx), Some(mutant)) = (corpus.as_deref(), mutant.as_ref()) {
                     record.promotion = consider_promotion(
@@ -1251,12 +1314,13 @@ fn run_parallel_rounds(
                         config,
                     );
                 }
-                (record, None)
+                (record, None, Vec::new())
             }
         };
         if let Some(snapshot) = &metrics {
             jtelemetry::absorb(snapshot);
         }
+        jtelemetry::absorb_trace(&trace);
         if let Some(w) = writer.as_deref_mut() {
             if let Err(e) = w.write_round(&record) {
                 eprintln!("warning: journal write failed: {e}");

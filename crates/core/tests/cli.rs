@@ -242,6 +242,96 @@ fn metrics_out_writes_valid_snapshots_and_prometheus() {
 }
 
 #[test]
+fn trace_out_writes_a_perfetto_loadable_trace() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let out = bin()
+        .args([
+            "--rounds",
+            "3",
+            "--iterations",
+            "6",
+            "--jdk",
+            "HotSpur-17,J9-17",
+            "--jobs",
+            "2",
+            "--oracle-jobs",
+            "2",
+            "--profile",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("trace: "), "{stdout}");
+
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    jtelemetry::schema::validate_trace(&json).expect("trace valid");
+    // The campaign left round, optimizer, and interpreter spans in the
+    // export, and the otherData records the worker count.
+    assert!(json.contains("\"round\""), "{json}");
+    assert!(json.contains("\"optimize\""), "{json}");
+    assert!(json.contains("\"interp_run\""), "{json}");
+    assert!(json.contains("\"jobs\":\"2\""), "{json}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--metrics-out -` and `--trace-out -` stream machine-readable output
+/// to stdout; every stdout line must stay parseable (human banner,
+/// report, and summary all move to stderr).
+#[test]
+fn streaming_to_stdout_keeps_the_stream_clean() {
+    let out = bin()
+        .args([
+            "--rounds",
+            "3",
+            "--iterations",
+            "6",
+            "--jdk",
+            "HotSpur-17,J9-17",
+            "--profile",
+            "--metrics-out",
+            "-",
+            "--trace-out",
+            "-",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+
+    let mut snapshots = 0;
+    let mut traces = 0;
+    for line in stdout.lines() {
+        if line.starts_with("{\"traceEvents\"") {
+            jtelemetry::schema::validate_trace(line).expect("trace line valid");
+            traces += 1;
+        } else {
+            jtelemetry::schema::validate_snapshot_line(line)
+                .unwrap_or_else(|e| panic!("non-machine stdout line {line:?}: {e}"));
+            snapshots += 1;
+        }
+    }
+    // One snapshot per round plus the final flush, then the trace.
+    assert_eq!(snapshots, 4, "{stdout}");
+    assert_eq!(traces, 1, "{stdout}");
+
+    // The human-facing lines went to stderr instead.
+    assert!(stderr.contains("campaign:"), "{stderr}");
+    assert!(stderr.contains("== telemetry report =="), "{stderr}");
+    assert!(stderr.contains("done:"), "{stderr}");
+}
+
+#[test]
 fn campaign_budget_flag_stops_early() {
     let out = bin()
         .args(["--rounds", "50", "--iterations", "5", "--max-execs", "1"])

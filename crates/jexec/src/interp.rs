@@ -81,6 +81,124 @@ impl Profile {
     }
 }
 
+/// Number of distinct opcodes ([`Instr`] discriminants) — the size of the
+/// profiler's fixed accumulation arrays.
+const OPCODE_COUNT: usize = 30;
+
+/// Stable display name for each opcode index (see [`opcode_index`]).
+const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "ConstI",
+    "ConstL",
+    "ConstB",
+    "ConstNull",
+    "ClassObj",
+    "Load",
+    "Store",
+    "GetField",
+    "PutField",
+    "GetStatic",
+    "PutStatic",
+    "Arith",
+    "Cmp",
+    "Neg",
+    "Not",
+    "Jump",
+    "JumpIfFalse",
+    "Invoke",
+    "InvokeVirtual",
+    "InvokeReflect",
+    "New",
+    "BoxInt",
+    "UnboxInt",
+    "MonitorEnter",
+    "MonitorExit",
+    "Print",
+    "Pop",
+    "Dup",
+    "ReturnV",
+    "Return",
+];
+
+/// Dense index of an instruction's opcode, for array-indexed profiling.
+fn opcode_index(instr: &Instr) -> usize {
+    match instr {
+        Instr::ConstI(_) => 0,
+        Instr::ConstL(_) => 1,
+        Instr::ConstB(_) => 2,
+        Instr::ConstNull => 3,
+        Instr::ClassObj(_) => 4,
+        Instr::Load(_) => 5,
+        Instr::Store(_) => 6,
+        Instr::GetField(_) => 7,
+        Instr::PutField(_) => 8,
+        Instr::GetStatic(..) => 9,
+        Instr::PutStatic(..) => 10,
+        Instr::Arith(_) => 11,
+        Instr::Cmp(_) => 12,
+        Instr::Neg => 13,
+        Instr::Not => 14,
+        Instr::Jump(_) => 15,
+        Instr::JumpIfFalse(_) => 16,
+        Instr::Invoke { .. } => 17,
+        Instr::InvokeVirtual { .. } => 18,
+        Instr::InvokeReflect { .. } => 19,
+        Instr::New(_) => 20,
+        Instr::BoxInt => 21,
+        Instr::UnboxInt => 22,
+        Instr::MonitorEnter => 23,
+        Instr::MonitorExit => 24,
+        Instr::Print => 25,
+        Instr::Pop => 26,
+        Instr::Dup => 27,
+        Instr::ReturnV => 28,
+        Instr::Return => 29,
+    }
+}
+
+/// Sampling opcode profiler, active only under `mopfuzzer --profile`.
+///
+/// Hits are counted on every instruction (one array increment); wall time
+/// is attributed by sampling — every 64th instruction reads the session
+/// clock once and charges the inter-sample delta to the opcode executing
+/// at the sample point. That keeps dispatch overhead at ~1/64th of a
+/// clock read, and under a manual clock the deltas are all zero, so the
+/// per-opcode hit counts stay bit-identical across worker counts.
+struct OpcodeProfiler {
+    hits: [u64; OPCODE_COUNT],
+    nanos: [u64; OPCODE_COUNT],
+    last_sample: u64,
+}
+
+const SAMPLE_MASK: u64 = 63;
+
+impl OpcodeProfiler {
+    fn new() -> OpcodeProfiler {
+        OpcodeProfiler {
+            hits: [0; OPCODE_COUNT],
+            nanos: [0; OPCODE_COUNT],
+            last_sample: jtelemetry::now_nanos(),
+        }
+    }
+
+    #[inline]
+    fn step(&mut self, steps: u64, opcode: usize) {
+        self.hits[opcode] += 1;
+        if steps & SAMPLE_MASK == 0 {
+            let now = jtelemetry::now_nanos();
+            self.nanos[opcode] += now.saturating_sub(self.last_sample);
+            self.last_sample = now;
+        }
+    }
+
+    fn flush(&self) {
+        for (i, &name) in OPCODE_NAMES.iter().enumerate() {
+            if self.hits[i] > 0 {
+                jtelemetry::profile_opcode(name, self.hits[i], self.nanos[i]);
+            }
+        }
+    }
+}
+
 /// The result of executing a program image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outcome {
@@ -128,6 +246,7 @@ impl Outcome {
 /// # Ok::<(), jexec::BuildError>(())
 /// ```
 pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
+    let _trace = jtelemetry::trace_span("interp_run", Vec::new);
     let mut machine = Machine {
         image,
         config,
@@ -140,6 +259,7 @@ pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
             backedges: vec![0; image.methods.len()],
         },
         output: Vec::new(),
+        profiler: jtelemetry::profiling().then(OpcodeProfiler::new),
     };
     // Class lock objects occupy ids 0..n_classes, so `ClassObj(c)` is
     // `Ref(c)`.
@@ -160,6 +280,9 @@ pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
     }
     jtelemetry::count(jtelemetry::Counter::InterpRuns, 1);
     jtelemetry::count(jtelemetry::Counter::InterpSteps, machine.stats.steps);
+    if let Some(profiler) = &machine.profiler {
+        profiler.flush();
+    }
     Outcome {
         output: machine.output,
         error,
@@ -209,6 +332,7 @@ struct Machine<'i> {
     stats: ExecStats,
     profile: Profile,
     output: Vec<String>,
+    profiler: Option<OpcodeProfiler>,
 }
 
 impl<'i> Machine<'i> {
@@ -299,6 +423,9 @@ impl<'i> Machine<'i> {
                 .instrs
                 .get(frame.pc)
                 .ok_or(ExecError::VmCorrupt("pc out of range"))?;
+            if let Some(profiler) = &mut self.profiler {
+                profiler.step(self.stats.steps, opcode_index(instr));
+            }
             match instr {
                 Instr::ConstI(v) => frame.stack.push(Value::Int(*v)),
                 Instr::ConstL(v) => frame.stack.push(Value::Long(*v)),
@@ -996,6 +1123,49 @@ mod tests {
             o.error,
             Some(ExecError::VmCorrupt("operand stack underflow"))
         );
+    }
+
+    #[test]
+    fn profiler_attributes_every_instruction() {
+        jtelemetry::install(jtelemetry::Session::from_spec(jtelemetry::SessionSpec {
+            manual: true,
+            trace: false,
+            profile: true,
+        }));
+        let o = exec(
+            r#"
+            class T {
+                static void main() {
+                    int s = 0;
+                    for (int i = 0; i < 50; i++) { s = s + i; }
+                    System.out.println(s);
+                }
+            }
+            "#,
+        );
+        assert!(o.is_clean());
+        let snap = jtelemetry::take().unwrap().snapshot();
+        let total: u64 = snap.opcodes.iter().map(|op| op.hits).sum();
+        assert_eq!(total, o.stats.steps, "every step lands on one opcode");
+        assert!(snap.opcodes.iter().any(|op| op.name == "Arith"));
+        assert!(snap.opcodes.iter().any(|op| op.name == "JumpIfFalse"));
+        assert!(
+            snap.opcodes.iter().all(|op| op.nanos == 0),
+            "manual clock must sample zero nanos"
+        );
+    }
+
+    #[test]
+    fn profiler_off_records_nothing() {
+        jtelemetry::install(jtelemetry::Session::from_spec(jtelemetry::SessionSpec {
+            manual: true,
+            trace: false,
+            profile: false,
+        }));
+        let o = exec("class T { static void main() { System.out.println(1); } }");
+        assert!(o.is_clean());
+        let snap = jtelemetry::take().unwrap().snapshot();
+        assert!(snap.opcodes.is_empty());
     }
 
     #[test]

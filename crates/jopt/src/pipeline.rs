@@ -232,6 +232,7 @@ pub fn optimize(
     let method = class.method(method_name)?;
     let mut method = method.clone();
     let mut cx = OptCx::new(program, class_name, method_name, limits);
+    let _trace = jtelemetry::trace_span("optimize", || vec![("method", cx.method_label.clone())]);
     for _round in 0..limits.rounds {
         for &phase in phase_order {
             if block_size(&method.body) > limits.max_method_size {

@@ -3,23 +3,27 @@
 //! Usage:
 //!
 //! ```text
-//! jtelemetry-check --jsonl metrics.jsonl --prom metrics.prom
+//! jtelemetry-check --jsonl metrics.jsonl --prom metrics.prom --trace trace.json
 //! ```
 //!
-//! Validates every line of the JSONL snapshot stream and the Prometheus
-//! text page against the current schema, exiting non-zero (with the first
-//! offending line) on any drift. Either flag may be given alone.
+//! Validates every line of the JSONL snapshot stream, the Prometheus
+//! text page, and the Chrome trace-event JSON against the current
+//! schema, exiting non-zero (with the first offending line) on any
+//! drift. Any flag may be given alone.
 
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: jtelemetry-check [--jsonl FILE] [--prom FILE] [--trace FILE]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: jtelemetry-check [--jsonl FILE] [--prom FILE]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut jsonl: Option<String> = None;
     let mut prom: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,8 +35,12 @@ fn main() -> ExitCode {
                 Some(path) => prom = Some(path),
                 None => return usage(),
             },
+            "--trace" => match args.next() {
+                Some(path) => trace = Some(path),
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                println!("usage: jtelemetry-check [--jsonl FILE] [--prom FILE]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,7 +49,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if jsonl.is_none() && prom.is_none() {
+    if jsonl.is_none() && prom.is_none() && trace.is_none() {
         return usage();
     }
 
@@ -84,6 +92,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("jtelemetry-check: {path}: prometheus page OK");
+    }
+
+    if let Some(path) = trace {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("jtelemetry-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = jtelemetry::schema::validate_trace(&text) {
+            eprintln!("jtelemetry-check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("jtelemetry-check: {path}: trace OK");
     }
 
     ExitCode::SUCCESS

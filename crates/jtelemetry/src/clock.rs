@@ -14,6 +14,14 @@ use std::time::Instant;
 pub trait Clock {
     /// Nanoseconds since an arbitrary (fixed) origin.
     fn now_nanos(&self) -> u64;
+
+    /// True for hand-advanced (deterministic) clocks. Worker sessions
+    /// mirror the coordinator clock's kind, and wall-clock-only trace
+    /// lanes are suppressed under a manual clock so traces are
+    /// bit-identical at any worker count.
+    fn is_manual(&self) -> bool {
+        false
+    }
 }
 
 /// The host's monotonic clock, origin at construction.
@@ -65,6 +73,10 @@ impl ManualClock {
 impl Clock for ManualClock {
     fn now_nanos(&self) -> u64 {
         self.nanos.load(Ordering::Relaxed)
+    }
+
+    fn is_manual(&self) -> bool {
+        true
     }
 }
 

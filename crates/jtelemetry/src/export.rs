@@ -7,6 +7,9 @@
 //! so CI catches drift between writer and reader.
 
 use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceEvent;
+use crate::Session;
+use std::collections::HashMap;
 
 /// Prefix shared by every Prometheus metric family we emit.
 pub const PROM_PREFIX: &str = "mop_";
@@ -74,8 +77,8 @@ pub fn jsonl_line(snap: &MetricsSnapshot) -> String {
         out.push_str("{\"name\":");
         escape_json(&span.name, &mut out);
         out.push_str(&format!(
-            ",\"count\":{},\"total_nanos\":{},\"max_nanos\":{},\"buckets\":[",
-            span.count, span.total_nanos, span.max_nanos
+            ",\"count\":{},\"total_nanos\":{},\"self_nanos\":{},\"max_nanos\":{},\"buckets\":[",
+            span.count, span.total_nanos, span.self_nanos, span.max_nanos
         ));
         for (j, b) in span.buckets.iter().enumerate() {
             if j > 0 {
@@ -100,6 +103,15 @@ pub fn jsonl_line(snap: &MetricsSnapshot) -> String {
             json_f64(m.yield_sum)
         ));
         out.push('}');
+    }
+    out.push_str("],\"opcodes\":[");
+    for (i, o) in snap.opcodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_json(&o.name, &mut out);
+        out.push_str(&format!(",\"hits\":{},\"nanos\":{}}}", o.hits, o.nanos));
     }
     out.push_str("]}");
     out
@@ -180,6 +192,28 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
             span.max_nanos
         ));
     }
+    out.push_str(&format!("# TYPE {PROM_PREFIX}span_self_nanos counter\n"));
+    for span in &snap.spans {
+        out.push_str(&format!(
+            "{PROM_PREFIX}span_self_nanos{{span=\"{}\"}} {}\n",
+            prom_escape_label(&span.name),
+            span.self_nanos
+        ));
+    }
+    out.push_str(&format!("# TYPE {PROM_PREFIX}opcode_hits counter\n"));
+    out.push_str(&format!("# TYPE {PROM_PREFIX}opcode_nanos counter\n"));
+    for o in &snap.opcodes {
+        out.push_str(&format!(
+            "{PROM_PREFIX}opcode_hits{{opcode=\"{}\"}} {}\n",
+            prom_escape_label(&o.name),
+            o.hits
+        ));
+        out.push_str(&format!(
+            "{PROM_PREFIX}opcode_nanos{{opcode=\"{}\"}} {}\n",
+            prom_escape_label(&o.name),
+            o.nanos
+        ));
+    }
     for family in ["mutator_applies", "mutator_accepted", "mutator_rejected"] {
         out.push_str(&format!("# TYPE {PROM_PREFIX}{family} counter\n"));
         for m in &snap.mutators {
@@ -203,6 +237,137 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         ));
     }
     out
+}
+
+/// Reconstructs absolute open timestamps (in steps) for round-lane
+/// events: roots are laid end to end in stream (= merge) order, children
+/// sit at `parent + rel_steps`. Returns per-event absolute opens,
+/// indexed like `events`.
+fn absolute_opens(events: &[TraceEvent]) -> Vec<u64> {
+    let by_id: HashMap<u64, usize> = events.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+    let mut root_offsets: HashMap<u64, u64> = HashMap::new();
+    let mut cursor = 0u64;
+    for event in events {
+        if event.parent == 0 {
+            root_offsets.insert(event.id, cursor);
+            // A one-step gap keeps adjacent zero-duration roots from
+            // overlapping in trace viewers.
+            cursor = cursor.saturating_add(event.dur_steps).saturating_add(1);
+        }
+    }
+    fn resolve(
+        idx: usize,
+        events: &[TraceEvent],
+        by_id: &HashMap<u64, usize>,
+        roots: &HashMap<u64, u64>,
+        memo: &mut HashMap<u64, u64>,
+    ) -> u64 {
+        let event = &events[idx];
+        if let Some(abs) = memo.get(&event.id) {
+            return *abs;
+        }
+        let abs = match by_id.get(&event.parent) {
+            _ if event.parent == 0 => roots.get(&event.id).copied().unwrap_or(0),
+            Some(pidx) => {
+                resolve(*pidx, events, by_id, roots, memo).saturating_add(event.rel_steps)
+            }
+            // A dangling parent (should not happen for fully closed
+            // traces) degrades to an absolute timestamp.
+            None => event.rel_steps,
+        };
+        memo.insert(event.id, abs);
+        abs
+    }
+    let mut memo = HashMap::new();
+    (0..events.len())
+        .map(|i| resolve(i, events, &by_id, &root_offsets, &mut memo))
+        .collect()
+}
+
+fn trace_event_json(event: &TraceEvent, ts: u64, dur: u64, pid: u64, out: &mut String) {
+    out.push_str("{\"name\":");
+    escape_json(event.name, out);
+    if event.instant {
+        out.push_str(&format!(
+            ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{{"
+        ));
+    } else {
+        out.push_str(&format!(
+            ",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":0,\"args\":{{"
+        ));
+    }
+    out.push_str(&format!(
+        "\"id\":\"{}\",\"parent\":\"{}\",\"dur_steps\":\"{}\",\"wall_ns\":\"{}\"",
+        event.id, event.parent, event.dur_steps, event.dur_nanos
+    ));
+    for (key, value) in &event.args {
+        out.push(',');
+        escape_json(key, out);
+        out.push(':');
+        escape_json(value, out);
+    }
+    out.push_str("}}");
+}
+
+/// Renders the session's trace buffer as Chrome trace-event JSON
+/// (loadable in Perfetto / `chrome://tracing`), or `None` when the
+/// session does not trace.
+///
+/// * Round-lane events land on `pid` 0 with timestamps in simulated
+///   steps (1 step rendered as 1µs) — deterministic at any worker
+///   count. Wall nanoseconds ride along as the `wall_ns` arg.
+/// * Scheduler-lane events land on `pid` 1 with wall-clock timestamps
+///   (µs since session start). The lane is empty under a manual clock.
+/// * Parent links are carried in `args` (`id`/`parent`) because the
+///   Chrome format has no native span-parent field.
+///
+/// `meta` pairs are appended to `otherData` verbatim.
+pub fn trace_json(session: &Session, meta: &[(&str, String)]) -> Option<String> {
+    let buf = session.trace_buf()?;
+    let opens = absolute_opens(&buf.events);
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (event, abs) in buf.events.iter().zip(opens.iter()) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        trace_event_json(event, *abs, event.dur_steps, 0, &mut out);
+    }
+    for event in &buf.sched {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // Scheduler events store their absolute open wall time in
+        // `rel_steps` (nanoseconds); render both ts and dur as µs.
+        trace_event_json(
+            event,
+            event.rel_steps / 1_000,
+            event.dur_nanos / 1_000,
+            1,
+            &mut out,
+        );
+    }
+    out.push_str("],\"otherData\":{");
+    out.push_str(&format!(
+        "\"schema_version\":\"{}\",\"clock\":\"{}\"",
+        crate::SCHEMA_VERSION,
+        if session.clock_is_manual() {
+            "manual"
+        } else {
+            "wall"
+        }
+    ));
+    for (key, value) in meta {
+        out.push(',');
+        escape_json(key, &mut out);
+        out.push(':');
+        escape_json(value, &mut out);
+    }
+    out.push_str("}}");
+    Some(out)
 }
 
 fn fmt_duration(nanos: u64) -> String {
@@ -296,6 +461,26 @@ pub fn human_report(snap: &MetricsSnapshot) -> String {
             m.name, m.yield_sum, m.accepted, m.applies, m.rejected
         ));
     }
+
+    if !snap.opcodes.is_empty() {
+        let mut opcodes = snap.opcodes.clone();
+        opcodes.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(b.hits.cmp(&a.hits)));
+        let total_hits: u64 = opcodes.iter().map(|o| o.hits).sum();
+        out.push_str("top opcodes by sampled time:\n");
+        for o in opcodes.iter().take(10) {
+            let share = if total_hits > 0 {
+                o.hits as f64 * 100.0 / total_hits as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<16} {:>10} sampled  {:>12} hits ({share:.1}% of instructions)\n",
+                o.name,
+                fmt_duration(o.nanos),
+                o.hits,
+            ));
+        }
+    }
     out
 }
 
@@ -384,5 +569,71 @@ mod tests {
         assert_eq!(json_f64(f64::NAN), "0");
         assert_eq!(json_f64(f64::INFINITY), "0");
         assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn profiled_snapshot_exports_opcodes_in_both_formats() {
+        crate::install(Session::new().with_profile());
+        crate::profile_opcode("Arith", 12, 3400);
+        crate::profile_opcode("Load\"x\"", 7, 100);
+        let snap = crate::take().unwrap().snapshot();
+        let line = jsonl_line(&snap);
+        crate::schema::validate_snapshot_line(&line).expect("line validates");
+        assert!(line.contains("\"opcodes\":[{\"name\":\"Arith\",\"hits\":12,\"nanos\":3400}"));
+        let page = prometheus(&snap);
+        crate::schema::validate_prometheus(&page).expect("page validates");
+        assert!(page.contains("mop_opcode_hits{opcode=\"Arith\"} 12"));
+        assert!(page.contains("mop_opcode_nanos{opcode=\"Load\\\"x\\\"\"} 100"));
+        let report = human_report(&snap);
+        assert!(report.contains("top opcodes by sampled time:"));
+        assert!(report.contains("Arith"));
+    }
+
+    #[test]
+    fn trace_json_reconstructs_absolute_timestamps() {
+        let clock = ManualClock::new();
+        crate::install(Session::with_clock(Box::new(clock.clone())).with_trace());
+        {
+            let _round = crate::trace_span("round", || vec![("round", "0".to_string())]);
+            crate::work::add(100, 1);
+            {
+                let _a = crate::trace_span("attempt", Vec::new);
+                crate::work::add(50, 1);
+            }
+        }
+        {
+            let _round = crate::trace_span("round", || vec![("round", "1".to_string())]);
+            crate::work::add(30, 1);
+        }
+        let session = crate::take().unwrap();
+        let json = trace_json(&session, &[("jobs", "1".to_string())]).unwrap();
+        crate::schema::validate_trace(&json).expect("trace validates");
+        // Round 0 opens at ts 0 for 150 steps with the attempt at +100;
+        // round 1 is laid after it (one-step gap).
+        assert!(
+            json.contains("\"ph\":\"X\",\"ts\":100,\"dur\":50"),
+            "{json}"
+        );
+        assert!(json.contains("\"ts\":151,\"dur\":30"), "{json}");
+        assert!(json.contains("\"clock\":\"manual\""));
+        assert!(json.contains("\"jobs\":\"1\""));
+    }
+
+    #[test]
+    fn trace_json_is_none_without_tracing() {
+        crate::install(Session::new());
+        let session = crate::take().unwrap();
+        assert!(trace_json(&session, &[]).is_none());
+    }
+
+    #[test]
+    fn trace_json_renders_sched_lane_on_its_own_pid() {
+        crate::install(Session::new().with_trace());
+        crate::trace_sched_instant("dispatch", || vec![("round", "0".to_string())]);
+        let session = crate::take().unwrap();
+        let json = trace_json(&session, &[]).unwrap();
+        crate::schema::validate_trace(&json).expect("trace validates");
+        assert!(json.contains("\"pid\":1"), "{json}");
+        assert!(json.contains("\"clock\":\"wall\""));
     }
 }

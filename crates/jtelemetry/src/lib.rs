@@ -52,14 +52,18 @@ pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod schema;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{
-    Counter, Gauge, MetricsSnapshot, MutatorStat, SpanStat, HIST_BUCKETS, SCHEMA_VERSION,
+    Counter, Gauge, MetricsSnapshot, MutatorStat, OpcodeStat, SpanStat, HIST_BUCKETS,
+    SCHEMA_VERSION,
 };
 pub use recorder::{FlightEvent, FlightKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use trace::TraceEvent;
 
 use std::cell::{Cell, RefCell};
+use trace::{OpenSpan, TraceBuf};
 
 /// One thread's telemetry accumulator. Install with [`install`], retrieve
 /// (for final export) with [`take`].
@@ -71,6 +75,29 @@ pub struct Session {
     spans: Vec<SpanStat>,
     mutators: Vec<MutatorStat>,
     recorder: FlightRecorder,
+    /// Causal trace buffer; `None` unless built [`Session::with_trace`].
+    trace: Option<TraceBuf>,
+    /// Per-opcode profiling requested ([`Session::with_profile`]).
+    profile: bool,
+    opcodes: Vec<OpcodeStat>,
+    /// Nanoseconds accumulated by completed *child* spans of each open
+    /// [`span`], innermost last — subtracted from a span's elapsed time
+    /// on drop to yield its self-time.
+    span_children: Vec<u64>,
+}
+
+/// The shape of a session, shipped to worker threads so they install a
+/// session equivalent to the coordinator's: same clock kind (a fresh
+/// [`ManualClock`] on workers keeps every worker-side duration zero,
+/// hence deterministic), same trace/profile gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The coordinator clock is hand-advanced.
+    pub manual: bool,
+    /// The coordinator session buffers trace events.
+    pub trace: bool,
+    /// The coordinator session profiles opcodes.
+    pub profile: bool,
 }
 
 impl Session {
@@ -90,13 +117,70 @@ impl Session {
             spans: Vec::new(),
             mutators: Vec::new(),
             recorder: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
+            trace: None,
+            profile: false,
+            opcodes: Vec::new(),
+            span_children: Vec::new(),
         }
+    }
+
+    /// A worker-side session mirroring a coordinator's [`SessionSpec`].
+    pub fn from_spec(spec: SessionSpec) -> Session {
+        let clock: Box<dyn Clock> = if spec.manual {
+            Box::new(ManualClock::new())
+        } else {
+            Box::new(MonotonicClock::new())
+        };
+        let mut session = Session::with_clock(clock);
+        if spec.trace {
+            session = session.with_trace();
+        }
+        if spec.profile {
+            session = session.with_profile();
+        }
+        session
     }
 
     /// Overrides the flight-recorder capacity.
     pub fn with_flight_capacity(mut self, capacity: usize) -> Session {
         self.recorder = FlightRecorder::new(capacity);
         self
+    }
+
+    /// Enables the causal trace buffer ([`trace_span`] and friends).
+    pub fn with_trace(mut self) -> Session {
+        self.trace = Some(TraceBuf::new());
+        self
+    }
+
+    /// Enables per-opcode interpreter profiling ([`profile_opcode`]).
+    pub fn with_profile(mut self) -> Session {
+        self.profile = true;
+        self
+    }
+
+    /// True when this session buffers trace events.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// True when this session's clock is hand-advanced.
+    pub fn clock_is_manual(&self) -> bool {
+        self.clock.is_manual()
+    }
+
+    pub(crate) fn trace_buf(&self) -> Option<&TraceBuf> {
+        self.trace.as_ref()
+    }
+
+    /// Drains and returns the round-lane trace events accumulated so far
+    /// (empty when tracing is off). Workers ship these to the
+    /// coordinator, which folds them in with [`absorb_trace`].
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace
+            .as_mut()
+            .map(|buf| std::mem::take(&mut buf.events))
+            .unwrap_or_default()
     }
 
     fn span_stat(&mut self, name: &str) -> &mut SpanStat {
@@ -113,6 +197,18 @@ impl Session {
         }
         self.mutators.push(MutatorStat::new(name));
         self.mutators.last_mut().expect("just pushed")
+    }
+
+    fn opcode_stat(&mut self, name: &str) -> &mut OpcodeStat {
+        if let Some(i) = self.opcodes.iter().position(|o| o.name == name) {
+            return &mut self.opcodes[i];
+        }
+        self.opcodes.push(OpcodeStat {
+            name: name.to_string(),
+            hits: 0,
+            nanos: 0,
+        });
+        self.opcodes.last_mut().expect("just pushed")
     }
 
     /// Folds another session's snapshot into this one: counters and
@@ -132,6 +228,7 @@ impl Session {
             let stat = self.span_stat(&span.name);
             stat.count += span.count;
             stat.total_nanos = stat.total_nanos.saturating_add(span.total_nanos);
+            stat.self_nanos = stat.self_nanos.saturating_add(span.self_nanos);
             stat.max_nanos = stat.max_nanos.max(span.max_nanos);
             for (bucket, n) in stat.buckets.iter_mut().zip(span.buckets.iter()) {
                 *bucket += n;
@@ -143,6 +240,11 @@ impl Session {
             stat.accepted += m.accepted;
             stat.rejected += m.rejected;
             stat.yield_sum += m.yield_sum;
+        }
+        for o in &snap.opcodes {
+            let stat = self.opcode_stat(&o.name);
+            stat.hits += o.hits;
+            stat.nanos = stat.nanos.saturating_add(o.nanos);
         }
     }
 
@@ -163,7 +265,136 @@ impl Session {
                 .collect(),
             spans: self.spans.clone(),
             mutators: self.mutators.clone(),
+            opcodes: self.opcodes.clone(),
         }
+    }
+
+    fn trace_open(&mut self, name: &'static str, args: Vec<(&'static str, String)>, steps: u64) {
+        let open_nanos = self.clock.now_nanos();
+        let Some(buf) = self.trace.as_mut() else {
+            return;
+        };
+        let id = buf.next_id;
+        buf.next_id += 1;
+        buf.open.push(OpenSpan {
+            id,
+            name,
+            args,
+            open_steps: steps,
+            open_nanos,
+        });
+    }
+
+    fn trace_close(&mut self, steps: u64) {
+        let now_nanos = self.clock.now_nanos();
+        let Some(buf) = self.trace.as_mut() else {
+            return;
+        };
+        let Some(span) = buf.open.pop() else {
+            return;
+        };
+        let (parent, rel_steps) = match buf.open.last() {
+            Some(p) => (p.id, span.open_steps.saturating_sub(p.open_steps)),
+            None => (0, 0),
+        };
+        buf.events.push(TraceEvent {
+            id: span.id,
+            parent,
+            name: span.name,
+            args: span.args,
+            rel_steps,
+            dur_steps: steps.saturating_sub(span.open_steps),
+            dur_nanos: now_nanos.saturating_sub(span.open_nanos),
+            instant: false,
+        });
+    }
+
+    fn trace_mark(&mut self, name: &'static str, args: Vec<(&'static str, String)>, steps: u64) {
+        let Some(buf) = self.trace.as_mut() else {
+            return;
+        };
+        let id = buf.next_id;
+        buf.next_id += 1;
+        let (parent, rel_steps) = match buf.open.last() {
+            Some(p) => (p.id, steps.saturating_sub(p.open_steps)),
+            None => (0, 0),
+        };
+        buf.events.push(TraceEvent {
+            id,
+            parent,
+            name,
+            args,
+            rel_steps,
+            dur_steps: 0,
+            dur_nanos: 0,
+            instant: true,
+        });
+    }
+
+    /// Scheduler-lane events carry wall-clock content, which a manual
+    /// clock defines away — suppressing them keeps manual-clock traces
+    /// bit-identical at any worker count.
+    fn sched_suppressed(&self) -> bool {
+        self.trace.is_none() || self.clock.is_manual()
+    }
+
+    fn sched_open(&mut self, name: &'static str, args: Vec<(&'static str, String)>) {
+        let open_nanos = self.clock.now_nanos();
+        let Some(buf) = self.trace.as_mut() else {
+            return;
+        };
+        let id = buf.sched_next_id;
+        buf.sched_next_id += 1;
+        buf.sched_open.push(OpenSpan {
+            id,
+            name,
+            args,
+            open_steps: 0,
+            open_nanos,
+        });
+    }
+
+    fn sched_close(&mut self) {
+        let now_nanos = self.clock.now_nanos();
+        let Some(buf) = self.trace.as_mut() else {
+            return;
+        };
+        let Some(span) = buf.sched_open.pop() else {
+            return;
+        };
+        let parent = buf.sched_open.last().map_or(0, |p| p.id);
+        buf.sched.push(TraceEvent {
+            id: span.id,
+            parent,
+            name: span.name,
+            args: span.args,
+            // Scheduler-lane `rel_steps` is the absolute session-clock
+            // open time (the lane is wall-clock by definition).
+            rel_steps: span.open_nanos,
+            dur_steps: 0,
+            dur_nanos: now_nanos.saturating_sub(span.open_nanos),
+            instant: false,
+        });
+    }
+
+    fn sched_mark(&mut self, name: &'static str, args: Vec<(&'static str, String)>) {
+        let now_nanos = self.clock.now_nanos();
+        let Some(buf) = self.trace.as_mut() else {
+            return;
+        };
+        let id = buf.sched_next_id;
+        buf.sched_next_id += 1;
+        let parent = buf.sched_open.last().map_or(0, |p| p.id);
+        buf.sched.push(TraceEvent {
+            id,
+            parent,
+            name,
+            args,
+            rel_steps: now_nanos,
+            dur_steps: 0,
+            dur_nanos: 0,
+            instant: true,
+        });
     }
 }
 
@@ -285,10 +516,13 @@ pub fn snapshot() -> Option<MetricsSnapshot> {
 
 /// An RAII span: records a flight event on entry and a duration into the
 /// named timing histogram on drop (including drops during panic unwind).
+/// When the session traces, the same interval is also recorded as a
+/// trace event.
 pub struct SpanGuard {
     name: &'static str,
     start_nanos: u64,
     live: bool,
+    traced: bool,
 }
 
 /// Opens a span. Inert (a single branch) when telemetry is disabled.
@@ -298,19 +532,32 @@ pub fn span(kind: FlightKind, name: &'static str, detail: &str) -> SpanGuard {
             name,
             start_nanos: 0,
             live: false,
+            traced: false,
         };
     }
     let now_steps = work::totals().0;
     let mut start_nanos = 0;
+    let mut traced = false;
     with_session(|s| {
         s.recorder
             .push(now_steps, kind, name.to_string(), detail.to_string());
         start_nanos = s.clock.now_nanos();
+        s.span_children.push(0);
+        if s.trace.is_some() {
+            let args = if detail.is_empty() {
+                Vec::new()
+            } else {
+                vec![("detail", detail.to_string())]
+            };
+            s.trace_open(name, args, now_steps);
+            traced = true;
+        }
     });
     SpanGuard {
         name,
         start_nanos,
         live: true,
+        traced,
     }
 }
 
@@ -319,11 +566,183 @@ impl Drop for SpanGuard {
         if !self.live {
             return;
         }
+        let now_steps = work::totals().0;
         with_session(|s| {
             let elapsed = s.clock.now_nanos().saturating_sub(self.start_nanos);
-            s.span_stat(self.name).record(elapsed);
+            let child_nanos = s.span_children.pop().unwrap_or(0);
+            s.span_stat(self.name)
+                .record(elapsed, elapsed.saturating_sub(child_nanos));
+            if let Some(top) = s.span_children.last_mut() {
+                *top = top.saturating_add(elapsed);
+            }
+            if self.traced {
+                s.trace_close(now_steps);
+            }
         });
     }
+}
+
+/// True when the installed session buffers trace events — callers use
+/// this to skip building argument strings for [`trace_span`].
+pub fn tracing() -> bool {
+    let mut on = false;
+    with_session(|s| on = s.trace.is_some());
+    on
+}
+
+/// An RAII guard for a trace-only span (see [`trace_span`]).
+pub struct TraceGuard {
+    live: bool,
+}
+
+/// Opens a trace-only span: a round-lane trace event with no flight or
+/// histogram side effects (journaled flight dumps stay byte-identical
+/// with tracing on). Inert unless the session traces. `args` is built
+/// lazily, only when tracing is active.
+pub fn trace_span(
+    name: &'static str,
+    args: impl FnOnce() -> Vec<(&'static str, String)>,
+) -> TraceGuard {
+    if !enabled() {
+        return TraceGuard { live: false };
+    }
+    let now_steps = work::totals().0;
+    let mut live = false;
+    with_session(|s| {
+        if s.trace.is_some() {
+            s.trace_open(name, args(), now_steps);
+            live = true;
+        }
+    });
+    TraceGuard { live }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let now_steps = work::totals().0;
+        with_session(|s| s.trace_close(now_steps));
+    }
+}
+
+/// Emits a zero-duration round-lane marker attached to the enclosing
+/// open trace span (oracle verdicts, ...). Inert unless tracing.
+pub fn trace_instant(name: &'static str, args: impl FnOnce() -> Vec<(&'static str, String)>) {
+    if !enabled() {
+        return;
+    }
+    let now_steps = work::totals().0;
+    with_session(|s| {
+        if s.trace.is_some() {
+            s.trace_mark(name, args(), now_steps);
+        }
+    });
+}
+
+/// Folds worker-produced round-lane trace events into this thread's
+/// session in merge order. See [`trace::TraceBuf::absorb`] for the
+/// renumbering/re-parenting rules.
+pub fn absorb_trace(events: &[TraceEvent]) {
+    if events.is_empty() {
+        return;
+    }
+    let now_steps = work::totals().0;
+    with_session(|s| {
+        if let Some(buf) = s.trace.as_mut() {
+            buf.absorb(events, now_steps);
+        }
+    });
+}
+
+/// An RAII guard for a scheduler-lane span (see [`trace_sched_span`]).
+pub struct SchedGuard {
+    live: bool,
+}
+
+/// Opens a scheduler-lane (wall-clock) span: coordinator-side merge
+/// waits and the like. Suppressed under a manual clock — the lane's
+/// content is thread timing, which a manual clock defines away.
+pub fn trace_sched_span(
+    name: &'static str,
+    args: impl FnOnce() -> Vec<(&'static str, String)>,
+) -> SchedGuard {
+    if !enabled() {
+        return SchedGuard { live: false };
+    }
+    let mut live = false;
+    with_session(|s| {
+        if !s.sched_suppressed() {
+            s.sched_open(name, args());
+            live = true;
+        }
+    });
+    SchedGuard { live }
+}
+
+impl Drop for SchedGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        with_session(|s| s.sched_close());
+    }
+}
+
+/// Emits a zero-duration scheduler-lane marker (dispatches, speculation
+/// waste). Suppressed under a manual clock, like [`trace_sched_span`].
+pub fn trace_sched_instant(name: &'static str, args: impl FnOnce() -> Vec<(&'static str, String)>) {
+    if !enabled() {
+        return;
+    }
+    with_session(|s| {
+        if !s.sched_suppressed() {
+            s.sched_mark(name, args());
+        }
+    });
+}
+
+/// The installed session's [`SessionSpec`], for shipping to workers
+/// (`None` when telemetry is disabled on this thread).
+pub fn session_spec() -> Option<SessionSpec> {
+    let mut out = None;
+    with_session(|s| {
+        out = Some(SessionSpec {
+            manual: s.clock.is_manual(),
+            trace: s.trace.is_some(),
+            profile: s.profile,
+        })
+    });
+    out
+}
+
+/// True when the installed session profiles opcodes.
+pub fn profiling() -> bool {
+    let mut on = false;
+    with_session(|s| on = s.profile);
+    on
+}
+
+/// The session clock's current reading (0 when telemetry is disabled).
+/// The interpreter's sampling profiler reads time through this so a
+/// manual clock yields deterministic (all-zero) attribution.
+pub fn now_nanos() -> u64 {
+    let mut now = 0;
+    with_session(|s| now = s.clock.now_nanos());
+    now
+}
+
+/// Adds one opcode's profiled cost (exact hit count, sampled
+/// nanoseconds). No-op unless the session profiles.
+pub fn profile_opcode(name: &str, hits: u64, nanos: u64) {
+    with_session(|s| {
+        if s.profile {
+            let stat = s.opcode_stat(name);
+            stat.hits += hits;
+            stat.nanos = stat.nanos.saturating_add(nanos);
+        }
+    });
 }
 
 /// The always-on simulated-work meter: cumulative interpreter steps and
@@ -524,5 +943,205 @@ mod tests {
         });
         assert!(caught.is_err());
         assert_eq!(work::totals(), before);
+    }
+
+    #[test]
+    fn trace_spans_nest_with_relative_step_timestamps() {
+        let clock = ManualClock::new();
+        install(Session::with_clock(Box::new(clock.clone())).with_trace());
+        assert!(tracing());
+        let (base, _) = work::totals();
+        {
+            let _round = trace_span("round", || vec![("round", "0".to_string())]);
+            work::add(100, 1);
+            {
+                let _attempt = trace_span("attempt", Vec::new);
+                clock.advance(50);
+                work::add(20, 1);
+                trace_instant("verdict", || vec![("kind", "pass".to_string())]);
+            }
+        }
+        let session = take().unwrap();
+        let buf = session.trace_buf().unwrap();
+        assert_eq!(buf.events.len(), 3);
+        // Close order: instant first (inside attempt), attempt, round.
+        let verdict = &buf.events[0];
+        let attempt = &buf.events[1];
+        let round = &buf.events[2];
+        assert_eq!((round.id, round.parent, round.rel_steps), (1, 0, 0));
+        assert_eq!(round.dur_steps, 120);
+        assert_eq!(attempt.name, "attempt");
+        assert_eq!((attempt.id, attempt.parent), (2, 1));
+        assert_eq!(attempt.rel_steps, 100, "attempt opened 100 steps in");
+        assert_eq!(attempt.dur_steps, 20);
+        assert_eq!(attempt.dur_nanos, 50);
+        assert_eq!((verdict.id, verdict.parent), (3, 2));
+        assert_eq!(verdict.rel_steps, 20);
+        assert!(verdict.instant);
+        let _ = base;
+    }
+
+    #[test]
+    fn absorb_trace_renumbers_and_reparents_in_merge_order() {
+        // A "worker" buffer with a root span and a nested child.
+        let clock = ManualClock::new();
+        install(Session::with_clock(Box::new(clock.clone())).with_trace());
+        {
+            let _root = trace_span("round", Vec::new);
+            work::add(10, 1);
+            let _child = trace_span("fuzz", Vec::new);
+        }
+        let mut worker = take().unwrap();
+        let worker_events = worker.take_trace();
+        assert_eq!(worker_events.len(), 2);
+
+        // Coordinator with an open span absorbs: orphan roots attach
+        // under it at the coordinator's current meter offset; ids
+        // continue from the coordinator watermark.
+        install(Session::with_clock(Box::new(ManualClock::new())).with_trace());
+        {
+            let _outer = trace_span("differential", Vec::new);
+            work::add(7, 1);
+            absorb_trace(&worker_events);
+        }
+        let session = take().unwrap();
+        let events = &session.trace_buf().unwrap().events;
+        // fuzz (child, renumbered), round (root, re-parented), differential.
+        assert_eq!(events.len(), 3);
+        let fuzz = &events[0];
+        let round = &events[1];
+        let outer = &events[2];
+        assert_eq!(outer.id, 1);
+        assert_eq!(fuzz.name, "fuzz");
+        assert_eq!(round.name, "round");
+        assert_eq!(round.id, 2, "worker root renumbered past watermark");
+        assert_eq!(fuzz.id, 3);
+        assert_eq!(fuzz.parent, round.id, "internal links preserved");
+        assert_eq!(round.parent, outer.id, "orphan root attaches");
+        assert_eq!(round.rel_steps, 7, "re-expressed against merge meter");
+        assert_eq!(fuzz.rel_steps, 10, "internal offsets untouched");
+    }
+
+    #[test]
+    fn absorb_trace_without_open_span_keeps_roots() {
+        install(Session::new().with_trace());
+        {
+            let _r = trace_span("round", Vec::new);
+        }
+        let mut worker = take().unwrap();
+        let events = worker.take_trace();
+        install(Session::new().with_trace());
+        absorb_trace(&events);
+        absorb_trace(&events);
+        let session = take().unwrap();
+        let merged = &session.trace_buf().unwrap().events;
+        assert_eq!(merged.len(), 2);
+        assert_eq!((merged[0].id, merged[0].parent), (1, 0));
+        assert_eq!((merged[1].id, merged[1].parent), (2, 0), "ids keep rising");
+    }
+
+    #[test]
+    fn sched_lane_is_suppressed_under_manual_clock() {
+        install(Session::with_clock(Box::new(ManualClock::new())).with_trace());
+        trace_sched_instant("dispatch", Vec::new);
+        {
+            let _g = trace_sched_span("merge_wait", Vec::new);
+        }
+        let session = take().unwrap();
+        assert!(session.trace_buf().unwrap().sched.is_empty());
+
+        install(Session::new().with_trace());
+        trace_sched_instant("dispatch", || vec![("round", "3".to_string())]);
+        {
+            let _g = trace_sched_span("merge_wait", Vec::new);
+        }
+        let session = take().unwrap();
+        let sched = &session.trace_buf().unwrap().sched;
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].name, "dispatch");
+        assert!(sched[0].instant);
+        assert_eq!(sched[1].name, "merge_wait");
+    }
+
+    #[test]
+    fn span_self_time_excludes_children() {
+        let clock = ManualClock::new();
+        install(Session::with_clock(Box::new(clock.clone())));
+        {
+            let _outer = span(FlightKind::Phase, "optimize", "T::main");
+            clock.advance(100);
+            {
+                let _inner = span(FlightKind::Phase, "inline", "T::main");
+                clock.advance(40);
+            }
+            clock.advance(10);
+        }
+        let snap = take().unwrap().snapshot();
+        let outer = snap.spans.iter().find(|s| s.name == "optimize").unwrap();
+        let inner = snap.spans.iter().find(|s| s.name == "inline").unwrap();
+        assert_eq!(outer.total_nanos, 150);
+        assert_eq!(outer.self_nanos, 110, "child's 40ns excluded");
+        assert_eq!(inner.total_nanos, 40);
+        assert_eq!(inner.self_nanos, 40);
+    }
+
+    #[test]
+    fn profile_opcode_accumulates_and_absorbs() {
+        install(Session::new()); // profiling off
+        profile_opcode("Arith", 10, 100);
+        assert!(take().unwrap().snapshot().opcodes.is_empty());
+
+        install(Session::new().with_profile());
+        assert!(profiling());
+        profile_opcode("Arith", 10, 100);
+        profile_opcode("Load", 5, 0);
+        profile_opcode("Arith", 3, 20);
+        let worker_snap = take().unwrap().snapshot();
+        assert_eq!(worker_snap.opcodes.len(), 2);
+
+        install(Session::new().with_profile());
+        profile_opcode("Arith", 1, 1);
+        absorb(&worker_snap);
+        let snap = take().unwrap().snapshot();
+        let arith = snap.opcodes.iter().find(|o| o.name == "Arith").unwrap();
+        assert_eq!((arith.hits, arith.nanos), (14, 121));
+        let load = snap.opcodes.iter().find(|o| o.name == "Load").unwrap();
+        assert_eq!((load.hits, load.nanos), (5, 0));
+    }
+
+    #[test]
+    fn session_spec_round_trips_through_from_spec() {
+        let clock = ManualClock::new();
+        install(
+            Session::with_clock(Box::new(clock.clone()))
+                .with_trace()
+                .with_profile(),
+        );
+        let spec = session_spec().unwrap();
+        take();
+        assert_eq!(
+            spec,
+            SessionSpec {
+                manual: true,
+                trace: true,
+                profile: true
+            }
+        );
+        let mirrored = Session::from_spec(spec);
+        assert!(mirrored.tracing());
+        assert!(mirrored.clock_is_manual());
+
+        install(Session::new());
+        let spec = session_spec().unwrap();
+        take();
+        assert_eq!(
+            spec,
+            SessionSpec {
+                manual: false,
+                trace: false,
+                profile: false
+            }
+        );
+        assert!(session_spec().is_none(), "disabled thread has no spec");
     }
 }

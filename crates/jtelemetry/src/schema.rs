@@ -309,11 +309,19 @@ pub fn validate_snapshot_line(line: &str) -> Result<(), String> {
         check_key_set(
             span,
             &format!("spans[{i}]"),
-            &["name", "count", "total_nanos", "max_nanos", "buckets"],
+            &[
+                "name",
+                "count",
+                "total_nanos",
+                "self_nanos",
+                "max_nanos",
+                "buckets",
+            ],
         )?;
         want(span, "name", "string")?;
         want_num(span, "count")?;
         want_num(span, "total_nanos")?;
+        want_num(span, "self_nanos")?;
         want_num(span, "max_nanos")?;
         match want(span, "buckets", "array")? {
             Json::Arr(buckets) if buckets.len() == HIST_BUCKETS => {
@@ -349,6 +357,17 @@ pub fn validate_snapshot_line(line: &str) -> Result<(), String> {
         }
     }
 
+    let opcodes = match want(&root, "opcodes", "array")? {
+        Json::Arr(items) => items,
+        _ => unreachable!(),
+    };
+    for (i, o) in opcodes.iter().enumerate() {
+        check_key_set(o, &format!("opcodes[{i}]"), &["name", "hits", "nanos"])?;
+        want(o, "name", "string")?;
+        want_num(o, "hits")?;
+        want_num(o, "nanos")?;
+    }
+
     check_key_set(
         &root,
         "snapshot",
@@ -360,8 +379,91 @@ pub fn validate_snapshot_line(line: &str) -> Result<(), String> {
             "gauges",
             "spans",
             "mutators",
+            "opcodes",
         ],
     )
+}
+
+/// Validates a Chrome trace-event JSON document produced by
+/// [`crate::export::trace_json`]: the two top-level keys, per-event key
+/// sets and types, `ph` limited to complete spans (`X`) and instants
+/// (`i`), lane-unique ids, and — the property Perfetto cannot check for
+/// us — that every non-zero `parent` id resolves to an event on the
+/// same lane (no dangling parent links).
+pub fn validate_trace(text: &str) -> Result<(), String> {
+    let root = parse_json(text)?;
+    check_key_set(&root, "trace", &["traceEvents", "otherData"])?;
+    let events = match want(&root, "traceEvents", "array")? {
+        Json::Arr(items) => items,
+        _ => unreachable!(),
+    };
+    let other = want(&root, "otherData", "object")?;
+    match other.get("schema_version") {
+        Some(Json::Str(v)) if *v == SCHEMA_VERSION.to_string() => {}
+        Some(Json::Str(v)) => {
+            return Err(format!(
+                "otherData.schema_version {v} != {SCHEMA_VERSION} (schema drift?)"
+            ))
+        }
+        _ => return Err("otherData: missing string 'schema_version'".to_string()),
+    }
+    match other.get("clock") {
+        Some(Json::Str(v)) if v == "manual" || v == "wall" => {}
+        other => {
+            return Err(format!(
+                "otherData.clock: expected manual|wall, got {other:?}"
+            ))
+        }
+    }
+
+    let mut ids: std::collections::BTreeMap<(u64, u64), ()> = std::collections::BTreeMap::new();
+    let mut links: Vec<(usize, u64, u64)> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let at = |msg: String| format!("traceEvents[{i}]: {msg}");
+        let ph = match want(event, "ph", "string").map_err(at)? {
+            Json::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let keys: &[&str] = match ph.as_str() {
+            "X" => &["name", "ph", "ts", "dur", "pid", "tid", "args"],
+            "i" => &["name", "ph", "s", "ts", "pid", "tid", "args"],
+            other => return Err(at(format!("bad ph '{other}' (want X or i)"))),
+        };
+        check_key_set(event, &format!("traceEvents[{i}]"), keys)?;
+        want(event, "name", "string").map_err(at)?;
+        want_num(event, "ts").map_err(at)?;
+        let pid = want_num(event, "pid").map_err(at)? as u64;
+        want_num(event, "tid").map_err(at)?;
+        if ph == "X" {
+            want_num(event, "dur").map_err(at)?;
+        }
+        let args = want(event, "args", "object").map_err(at)?;
+        let id_of = |key: &str| -> Result<u64, String> {
+            match args.get(key) {
+                Some(Json::Str(s)) => s
+                    .parse::<u64>()
+                    .map_err(|_| at(format!("args.{key} '{s}' is not a u64"))),
+                _ => Err(at(format!("args: missing string '{key}'"))),
+            }
+        };
+        let id = id_of("id")?;
+        let parent = id_of("parent")?;
+        if id == 0 {
+            return Err(at("args.id must be non-zero".to_string()));
+        }
+        if ids.insert((pid, id), ()).is_some() {
+            return Err(at(format!("duplicate id {id} on lane {pid}")));
+        }
+        links.push((i, pid, parent));
+    }
+    for (i, pid, parent) in links {
+        if parent != 0 && !ids.contains_key(&(pid, parent)) {
+            return Err(format!(
+                "traceEvents[{i}]: dangling parent id {parent} on lane {pid}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Parses the inner text of a `{...}` label set into `(key, value)` pairs,
@@ -418,6 +520,67 @@ fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
     Ok(out)
 }
 
+/// Splits one exposition sample line into `(family, labels, value)`,
+/// scanning the optional label set with quote/escape awareness: inside
+/// a quoted label value, spaces and `}` are data and `\"`/`\\`/`\n` are
+/// escapes. Unterminated quotes or label sets are rejected — which is
+/// exactly what un-escaped quotes in a label value degenerate into.
+fn split_sample_line(line: &str) -> Result<(&str, Option<&str>, &str), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() && bytes[pos] != b' ' && bytes[pos] != b'{' {
+        pos += 1;
+    }
+    if pos == 0 {
+        return Err("sample line has no metric name".to_string());
+    }
+    let family = &line[..pos];
+    let labels = if bytes.get(pos) == Some(&b'{') {
+        let start = pos + 1;
+        pos += 1;
+        let mut in_quotes = false;
+        loop {
+            match bytes.get(pos) {
+                None => {
+                    return Err(if in_quotes {
+                        "unterminated quote in label value (unescaped '\"'?)".to_string()
+                    } else {
+                        "unterminated label set".to_string()
+                    })
+                }
+                Some(b'"') => {
+                    in_quotes = !in_quotes;
+                    pos += 1;
+                }
+                Some(b'\\') if in_quotes => {
+                    pos += 1;
+                    // Only an escaped quote/backslash alters scanning;
+                    // other escape bytes are judged by `parse_labels`.
+                    if matches!(bytes.get(pos), Some(b'"' | b'\\')) {
+                        pos += 1;
+                    }
+                }
+                Some(b'}') if !in_quotes => break,
+                Some(_) => pos += 1,
+            }
+        }
+        let text = &line[start..pos];
+        pos += 1;
+        Some(text)
+    } else {
+        None
+    };
+    let rest = &line[pos..];
+    let Some(value) = rest.strip_prefix(' ') else {
+        return Err("sample line has no value".to_string());
+    };
+    let value = value.trim();
+    if value.is_empty() {
+        return Err("sample line has no value".to_string());
+    }
+    Ok((family, labels, value))
+}
+
 /// Accumulated samples of one histogram series (one base family + one
 /// non-`le` label combination).
 #[derive(Default)]
@@ -465,23 +628,11 @@ pub fn validate_prometheus(page: &str) -> Result<(), String> {
         if line.starts_with('#') {
             continue; // other comments are fine
         }
-        // Sample line: name[{labels}] value
-        let (name_part, value_part) = match line.find(' ') {
-            Some(space) => (&line[..space], line[space + 1..].trim()),
-            None => return Err(at("sample line has no value".to_string())),
-        };
-        let (family, labels_text) = match name_part.find('{') {
-            Some(brace) => {
-                if !name_part.ends_with('}') {
-                    return Err(at("unterminated label set".to_string()));
-                }
-                (
-                    &name_part[..brace],
-                    Some(&name_part[brace + 1..name_part.len() - 1]),
-                )
-            }
-            None => (name_part, None),
-        };
+        // Sample line: name[{labels}] value. The split must be
+        // label-set aware: label *values* legally contain spaces and
+        // '}' inside their quotes, so naive first-space / ends-with-'}'
+        // parsing either rejects valid exposition or mis-splits it.
+        let (family, labels_text, value_part) = split_sample_line(line).map_err(at)?;
         if !family.starts_with(PROM_PREFIX) {
             return Err(at(format!("sample '{family}' lacks {PROM_PREFIX} prefix")));
         }
@@ -492,6 +643,11 @@ pub fn validate_prometheus(page: &str) -> Result<(), String> {
         // `*_count` is not mistaken for a histogram series); otherwise a
         // `_bucket`/`_sum`/`_count` suffix resolves to its histogram base.
         if declared.iter().any(|(d, _)| d == family) {
+            // Labels still have to escape cleanly even when the family
+            // needs no further interpretation.
+            if let Some(text) = labels_text {
+                parse_labels(text).map_err(at)?;
+            }
             if family == format!("{PROM_PREFIX}schema_version") {
                 schema_version = Some(value);
             }
@@ -634,6 +790,7 @@ mod tests {
             gauges: Gauge::ALL.iter().map(|g| (g.key(), 0.0)).collect(),
             spans: Vec::new(),
             mutators: Vec::new(),
+            opcodes: Vec::new(),
         };
         let line = crate::export::jsonl_line(&snap);
         let err = validate_snapshot_line(&line).unwrap_err();
@@ -649,6 +806,7 @@ mod tests {
             gauges: Gauge::ALL.iter().map(|g| (g.key(), 0.0)).collect(),
             spans: Vec::new(),
             mutators: Vec::new(),
+            opcodes: Vec::new(),
         };
         let line = crate::export::jsonl_line(&snap);
         let err = validate_snapshot_line(&line).unwrap_err();
@@ -733,5 +891,97 @@ mod tests {
         );
         let err = validate_prometheus(&page).unwrap_err();
         assert!(err.contains("missing expected family"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_spaces_and_braces_in_label_values() {
+        // Escaped quotes/backslashes plus raw spaces and '}' — all legal
+        // exposition — used to trip the first-space/ends-with-'}' split.
+        let page = minimal_page_with(
+            "# TYPE mop_x counter\n\
+             mop_x{name=\"a b} c\"} 1\n\
+             mop_x{name=\"q\\\"uo\\\\te\"} 2\n\
+             mop_x{name=\"line\\nbreak\"} 3\n",
+        );
+        validate_prometheus(&page).expect("quoted label values validate");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_unescaped_quote() {
+        // An unescaped quote inside a value desynchronizes the quoting:
+        // the scanner runs off the end of the line.
+        let page = minimal_page_with("# TYPE mop_x counter\nmop_x{name=\"a\"b\"} 1\n");
+        let err = validate_prometheus(&page).unwrap_err();
+        assert!(
+            err.contains("unterminated") || err.contains("expected ','"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_bad_escape_in_declared_family() {
+        let page = minimal_page_with("# TYPE mop_x counter\nmop_x{name=\"a\\qb\"} 1\n");
+        let err = validate_prometheus(&page).unwrap_err();
+        assert!(err.contains("bad escape"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_unterminated_label_set() {
+        let page = minimal_page_with("# TYPE mop_x counter\nmop_x{name=\"a\" 1\n");
+        let err = validate_prometheus(&page).unwrap_err();
+        assert!(err.contains("unterminated label set"), "{err}");
+    }
+
+    fn trace_doc(events: &str) -> String {
+        format!(
+            "{{\"traceEvents\":[{events}],\"otherData\":{{\
+             \"schema_version\":\"{SCHEMA_VERSION}\",\"clock\":\"manual\"}}}}"
+        )
+    }
+
+    fn trace_event(id: u64, parent: u64) -> String {
+        format!(
+            "{{\"name\":\"round\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0,\
+             \"args\":{{\"id\":\"{id}\",\"parent\":\"{parent}\",\
+             \"dur_steps\":\"1\",\"wall_ns\":\"0\"}}}}"
+        )
+    }
+
+    #[test]
+    fn trace_validator_accepts_linked_events() {
+        let doc = trace_doc(&format!("{},{}", trace_event(1, 0), trace_event(2, 1)));
+        validate_trace(&doc).expect("linked events validate");
+    }
+
+    #[test]
+    fn trace_validator_rejects_dangling_parent() {
+        let doc = trace_doc(&trace_event(2, 7));
+        let err = validate_trace(&doc).unwrap_err();
+        assert!(err.contains("dangling parent id 7"), "{err}");
+    }
+
+    #[test]
+    fn trace_validator_rejects_duplicate_ids_and_bad_ph() {
+        let doc = trace_doc(&format!("{},{}", trace_event(1, 0), trace_event(1, 0)));
+        let err = validate_trace(&doc).unwrap_err();
+        assert!(err.contains("duplicate id 1"), "{err}");
+
+        let bad_ph = trace_doc(
+            "{\"name\":\"x\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\
+             \"args\":{\"id\":\"1\",\"parent\":\"0\"}}",
+        );
+        let err = validate_trace(&bad_ph).unwrap_err();
+        assert!(err.contains("bad ph"), "{err}");
+    }
+
+    #[test]
+    fn trace_validator_rejects_schema_drift() {
+        let doc = format!(
+            "{{\"traceEvents\":[],\"otherData\":{{\
+             \"schema_version\":\"{}\",\"clock\":\"manual\"}}}}",
+            SCHEMA_VERSION + 1
+        );
+        let err = validate_trace(&doc).unwrap_err();
+        assert!(err.contains("schema drift"), "{err}");
     }
 }

@@ -4,9 +4,9 @@
 //! dumps in the journal that name the failing phase/mutator — and none of
 //! it may change what the campaign computes.
 
-use jtelemetry::export::{jsonl_line, prometheus};
-use jtelemetry::schema::{validate_prometheus, validate_snapshot_line};
-use jtelemetry::{FlightKind, Session};
+use jtelemetry::export::{jsonl_line, prometheus, trace_json};
+use jtelemetry::schema::{validate_prometheus, validate_snapshot_line, validate_trace};
+use jtelemetry::{FlightKind, ManualClock, Session};
 use jvmsim::FaultPlan;
 use mopfuzzer::{
     corpus, read_journal, run_campaign, run_campaign_with_journal, CampaignConfig, Disposition,
@@ -161,6 +161,81 @@ fn journaled_flight_dumps_name_the_failing_site() {
     }
     assert!(quarantined_rounds > 0);
     assert!(mutator_attributions > 0, "no mutator panic was attributed");
+}
+
+/// The trace layer inherits the determinism contract of the metrics
+/// layer: under a manual clock the exported Chrome-trace JSON is
+/// byte-identical at any `--jobs`/`--oracle-jobs` setting. The round
+/// lane is renumbered into program order at merge time and the
+/// wall-clock scheduler lane is suppressed under a manual clock, so the
+/// whole export — ids, parents, timestamps, durations — is a pure
+/// function of the campaign.
+#[test]
+fn traces_are_byte_identical_across_worker_counts() {
+    let seeds = corpus::builtin();
+    let meta = [("jobs", "any".to_string())];
+    let mut exports = Vec::new();
+    for (jobs, oracle_jobs) in [(1, 1), (4, 4)] {
+        let mut config = faulty_config(3, 0.05, 12);
+        config.jobs = jobs;
+        config.oracle_jobs = oracle_jobs;
+        jtelemetry::install(
+            Session::with_clock(Box::new(ManualClock::new()))
+                .with_trace()
+                .with_profile(),
+        );
+        let result = run_campaign(&seeds, &config);
+        let session = jtelemetry::take().expect("session installed");
+        let trace = trace_json(&session, &meta).expect("tracing session exports a trace");
+        validate_trace(&trace).expect("trace export valid");
+        exports.push((result, trace));
+    }
+    let (serial_result, serial_trace) = &exports[0];
+    let (parallel_result, parallel_trace) = &exports[1];
+    assert_eq!(serial_result, parallel_result);
+    assert_eq!(
+        serial_trace, parallel_trace,
+        "trace bytes must not depend on worker count"
+    );
+    assert!(serial_trace.contains("\"round\""));
+    assert!(serial_trace.contains("\"fuzz\""));
+    assert!(serial_trace.contains("\"differential\""));
+}
+
+/// Tracing and profiling are pure observers even at full parallelism:
+/// the journal written by a traced+profiled campaign at `--jobs 4
+/// --oracle-jobs 4` is byte-for-byte the journal of the serial run
+/// with a plain metrics session. (Both runs install a session — flight
+/// dumps in failure records are a session feature and would differ
+/// against a session-less run by design.)
+#[test]
+fn tracing_does_not_change_journal_bytes() {
+    let seeds = corpus::builtin();
+    let plain_path = temp_path("trace_off.jsonl");
+    let traced_path = temp_path("trace_on.jsonl");
+
+    let config = faulty_config(5, 0.05, 12);
+    jtelemetry::install(Session::new());
+    let plain = run_campaign_with_journal(&seeds, &config, &plain_path).unwrap();
+    jtelemetry::take();
+
+    let mut config = faulty_config(5, 0.05, 12);
+    config.jobs = 4;
+    config.oracle_jobs = 4;
+    jtelemetry::install(Session::new().with_trace().with_profile());
+    let traced = run_campaign_with_journal(&seeds, &config, &traced_path).unwrap();
+    let session = jtelemetry::take().expect("session installed");
+    assert!(trace_json(&session, &[]).is_some());
+
+    let plain_bytes = std::fs::read(&plain_path).unwrap();
+    let traced_bytes = std::fs::read(&traced_path).unwrap();
+    std::fs::remove_file(&plain_path).ok();
+    std::fs::remove_file(&traced_path).ok();
+    assert_eq!(plain, traced);
+    assert_eq!(
+        plain_bytes, traced_bytes,
+        "tracing must not perturb the journal"
+    );
 }
 
 /// Telemetry is observation, not interference: the same faulty campaign
