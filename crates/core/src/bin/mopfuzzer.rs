@@ -46,6 +46,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match run_serve(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -95,6 +104,43 @@ fn install_signal_handlers() {
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
 
+/// `mopfuzzer serve ..` hands the whole process over to the sibling
+/// `mopfuzzerd` binary (built by the same workspace next to this one),
+/// so the daemon's signal handling, drain loop, and exit codes are its
+/// own. On unix this is a true `exec`; elsewhere a child is spawned and
+/// its exit status forwarded.
+fn run_serve(args: &[String]) -> Result<ExitCode, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate mopfuzzer: {e}"))?;
+    let daemon = exe
+        .parent()
+        .map(|dir| dir.join("mopfuzzerd"))
+        .filter(|p| p.exists())
+        .ok_or_else(|| {
+            "mopfuzzerd binary not found next to mopfuzzer \
+             (build it with `cargo build -p mopfuzzerd`)"
+                .to_string()
+        })?;
+    let mut command = std::process::Command::new(&daemon);
+    command.args(args);
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::CommandExt;
+        // exec only returns on failure.
+        Err(format!("exec {}: {}", daemon.display(), command.exec()))
+    }
+    #[cfg(not(unix))]
+    {
+        let status = command
+            .status()
+            .map_err(|e| format!("run {}: {e}", daemon.display()))?;
+        Ok(if status.success() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        })
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "MopFuzzer (Rust reproduction)\n\
@@ -111,6 +157,8 @@ fn print_usage() {
            mopfuzzer corpus stats DIR [--json]\n\
            mopfuzzer corpus gc DIR [--streak N]\n\
            mopfuzzer corpus fsck DIR [--repair] [--json]\n\
+           mopfuzzer corpus shard DIR --shards N\n\
+           mopfuzzer serve --data-dir DIR [--listen ADDR] [--max-active N] [--resume]\n\
          \n\
          OPTIONS:\n\
            --project_path DIR      directory of .java seed files (MiniJava subset);\n\
@@ -193,7 +241,21 @@ fn print_usage() {
                                    missing sources, stale .tmp files,\n\
                                    dangling tombstones); --repair fixes\n\
                                    what is repairable, --json emits the\n\
-                                   jcorpus-fsck v1 report\n\
+                                   jcorpus-fsck v1 report; sharded stores\n\
+                                   are checked shard by shard\n\
+           corpus shard DIR        migrate a flat store in place to the\n\
+                                   sharded layout (entries spread over\n\
+                                   --shards N sub-stores by fingerprint;\n\
+                                   run with no campaigns active)\n\
+         \n\
+         FLEET MODE (multi-tenant daemon):\n\
+           serve ..                start the mopfuzzerd fleet daemon: POST\n\
+                                   campaign specs to /campaigns, scrape\n\
+                                   /metrics, cancel per tenant; SIGTERM\n\
+                                   drains at round boundaries and\n\
+                                   `serve --resume` re-adopts the\n\
+                                   interrupted campaigns bit-identically\n\
+                                   (see mopfuzzerd --help for the API)\n\
          \n\
          SIGNALS:\n\
            SIGINT/SIGTERM          finish the round in flight, flush the\n\
@@ -824,6 +886,27 @@ fn run_corpus_command(args: &[String]) -> Result<(), String> {
                     None => println!("quarantined: {seed} (whole seed)"),
                 }
             }
+            Ok(())
+        }
+        Some("shard") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "usage: mopfuzzer corpus shard DIR --shards N".to_string())?;
+            let mut shards = None;
+            let mut it = args[2..].iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag.as_str() {
+                    "--shards" => {
+                        shards = Some(value.parse().map_err(|_| "bad --shards".to_string())?)
+                    }
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
+            let shards = shards.ok_or_else(|| "--shards N is required".to_string())?;
+            let migrated = jcorpus::shard_store(Path::new(dir), shards)?;
+            println!("sharded {dir} into {shards} shard(s) ({migrated} entr(ies) migrated)");
             Ok(())
         }
         Some("fsck") => {

@@ -481,7 +481,13 @@ pub fn resume_campaign_extended(
             // this campaign's partial flush — the header is the pre-campaign
             // truth). Replay then re-applies every journaled round, so the
             // resumed state matches an uninterrupted run exactly.
-            let mut store = jcorpus::Store::open(Path::new(&header.dir))?;
+            let mut store = jcorpus::Store::open(Path::new(&header.dir)).map_err(|e| {
+                format!(
+                    "cannot resume: the journal's corpus store {} is unusable ({e}); \
+                     restore the store directory or rerun with a fresh --corpus",
+                    header.dir
+                )
+            })?;
             let mut ctx = build_ctx(&mut store, header, &contents.seeds)?;
             let result = run_supervised(
                 &contents.seeds,

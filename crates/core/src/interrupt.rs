@@ -10,27 +10,62 @@
 //!
 //! The flag lives in the library (not the binary) so integration tests
 //! can drive interruption without delivering real signals.
+//!
+//! Two scopes exist. The process-wide flag ([`request`]/[`reset`]) is
+//! what signal handlers touch: it stops *every* campaign in the process,
+//! which is exactly right for the CLI (one campaign) and for a daemon's
+//! drain (all tenants wind down at their next round boundary). A fleet
+//! daemon additionally needs to cancel *one* tenant without disturbing
+//! the rest; for that a campaign driver thread installs a per-campaign
+//! flag with [`set_local`] — [`requested`] then answers true when either
+//! scope fires. The local flag is thread-scoped because campaign engines
+//! poll only from the driver thread that started them.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 static REQUESTED: AtomicBool = AtomicBool::new(false);
 
-/// Requests a graceful stop at the next round boundary. Async-signal-safe
-/// (a single atomic store).
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<AtomicBool>>> = const { RefCell::new(None) };
+}
+
+/// Requests a graceful stop of every campaign in the process at its next
+/// round boundary. Async-signal-safe (a single atomic store).
 pub fn request() {
     REQUESTED.store(true, Ordering::SeqCst);
 }
 
-/// Whether a stop has been requested.
+/// Whether a stop has been requested, process-wide or for the campaign
+/// driven by this thread.
 pub fn requested() -> bool {
     REQUESTED.load(Ordering::SeqCst)
+        || LOCAL.with(|local| {
+            local
+                .borrow()
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::SeqCst))
+        })
 }
 
-/// Clears the flag — called at campaign start so a flag left over from a
-/// previous (tested or aborted) campaign cannot stop the next one at
-/// round zero.
+/// Clears the process-wide flag — called at campaign start so a flag
+/// left over from a previous (tested or aborted) campaign cannot stop
+/// the next one at round zero.
 pub fn reset() {
     REQUESTED.store(false, Ordering::SeqCst);
+}
+
+/// Installs a per-campaign cancel flag on this thread. Any holder of the
+/// `Arc` (e.g. a daemon's cancel endpoint) stops the campaign this
+/// thread drives, and only that campaign.
+pub fn set_local(flag: Arc<AtomicBool>) {
+    LOCAL.with(|local| *local.borrow_mut() = Some(flag));
+}
+
+/// Removes this thread's per-campaign cancel flag.
+pub fn clear_local() {
+    LOCAL.with(|local| *local.borrow_mut() = None);
 }
 
 #[cfg(test)]
@@ -45,5 +80,25 @@ mod tests {
         assert!(requested());
         reset();
         assert!(!requested());
+    }
+
+    #[test]
+    fn local_flag_stops_only_its_own_thread() {
+        reset();
+        let flag = Arc::new(AtomicBool::new(false));
+        set_local(flag.clone());
+        assert!(!requested());
+        flag.store(true, Ordering::SeqCst);
+        assert!(requested());
+        // Another thread (another campaign) is untouched.
+        std::thread::spawn(|| assert!(!requested())).join().unwrap();
+        clear_local();
+        assert!(!requested());
+        // The process-wide flag still reaches a thread with a local one.
+        set_local(Arc::new(AtomicBool::new(false)));
+        request();
+        assert!(requested());
+        reset();
+        clear_local();
     }
 }

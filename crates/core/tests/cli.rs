@@ -441,6 +441,61 @@ fn corpus_fsck_reports_and_repairs_crash_damage() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression: `--resume` on a journal whose corpus header names a store
+/// directory that no longer exists must fail with a clear, typed CLI
+/// error and a non-zero exit — not an opaque I/O error.
+#[test]
+fn resume_with_missing_corpus_store_fails_clearly() {
+    let dir = std::env::temp_dir().join(format!("mop_cli_gone_store_{}", std::process::id()));
+    let store = dir.join("store");
+    let journal = dir.join("campaign.jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = bin()
+        .args(["corpus", "init", store.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args([
+            "--rounds",
+            "1",
+            "--iterations",
+            "4",
+            "--corpus",
+            store.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The store vanishes between the run and the resume.
+    std::fs::remove_dir_all(&store).unwrap();
+    let out = bin()
+        .args(["--resume", journal.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "resume must fail\nstderr: {stderr}");
+    assert!(stderr.contains("error: cannot resume"), "{stderr}");
+    assert!(
+        stderr.contains(store.to_str().unwrap()),
+        "the message must name the missing store: {stderr}"
+    );
+    assert!(stderr.contains("--corpus"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// SIGINT mid-campaign: the binary finishes the round in flight, flushes
 /// the journal, exits 0 with a resume hint — and `--resume` then converges
 /// to the byte-identical journal of an uninterrupted run.

@@ -24,11 +24,18 @@
 //! All checking runs under the store lock, so a live campaign's
 //! in-flight save is never misread as damage. The report is available
 //! machine-readable ([`FsckReport::to_json`]) for CI artifacts.
+//!
+//! Sharded stores (a `shards.json` marker plus `shards/NN/` sub-stores)
+//! get the same treatment per shard: each shard is a flat-format store
+//! and is checked under its own shard lock, with the quarantine and
+//! top-level tmp sweep running once under the top-level lock. Lock
+//! order is top-level first, then shards ascending — the same total
+//! order saves use, so fsck never deadlocks against a live flush.
 
 use crate::lock::{StoreLock, DEFAULT_LOCK_TIMEOUT};
 use crate::store::{
-    check_header, decode_line, decode_quarantine_line, esc, Decoded, ENTRIES_DIR, MANIFEST,
-    QUARANTINE,
+    check_header, decode_line, decode_quarantine_line, esc, parse_shards_marker, Decoded, Store,
+    ENTRIES_DIR, MANIFEST, QUARANTINE, SHARDS_MARKER,
 };
 use crate::vfs::{self, Vfs};
 use crate::{fingerprint_hex, Tombstone};
@@ -189,9 +196,26 @@ pub fn fsck_with(dir: &Path, repair: bool, fs: Arc<dyn Vfs>) -> Result<FsckRepor
         repair,
         issues: Vec::new(),
     };
-    let manifest = check_manifest(fs.as_ref(), dir, repair, &mut report)?;
-    if let Some(manifest) = &manifest {
-        check_sources(fs.as_ref(), dir, manifest, repair, &mut report);
+    let marker = dir.join(SHARDS_MARKER);
+    if fs.exists(&marker) {
+        let text = fs
+            .read_to_string(&marker)
+            .map_err(|e| format!("read {}: {e}", marker.display()))?;
+        let shards = parse_shards_marker(&text)?;
+        for shard in 0..shards {
+            let sdir = Store::shard_dir(dir, shard);
+            let _shard_lock = StoreLock::acquire_with_vfs(&sdir, DEFAULT_LOCK_TIMEOUT, fs.clone())?;
+            let manifest = check_manifest(fs.as_ref(), &sdir, repair, &mut report)?;
+            if let Some(manifest) = &manifest {
+                check_sources(fs.as_ref(), &sdir, manifest, repair, &mut report);
+            }
+            check_stale_tmp(fs.as_ref(), &sdir, repair, &mut report);
+        }
+    } else {
+        let manifest = check_manifest(fs.as_ref(), dir, repair, &mut report)?;
+        if let Some(manifest) = &manifest {
+            check_sources(fs.as_ref(), dir, manifest, repair, &mut report);
+        }
     }
     check_quarantine(fs.as_ref(), dir, repair, &mut report);
     check_stale_tmp(fs.as_ref(), dir, repair, &mut report);
@@ -696,6 +720,62 @@ mod tests {
         assert_eq!(report.issues.len(), 1, "{:?}", report.issues);
         assert_eq!(report.issues[0].kind, FsckIssueKind::TornQuarantineTail);
         assert_eq!(stdfs::read_to_string(&path).unwrap(), pristine);
+        let _ = stdfs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_store_is_checked_and_repaired_per_shard() {
+        let dir = temp_dir("sharded");
+        let mut store = Store::init_sharded(&dir, 3).unwrap();
+        for (i, seed) in mjava::samples::all_seeds().into_iter().take(3).enumerate() {
+            store.admit(
+                seed.name,
+                &seed.program,
+                i as u64 + 1, // fingerprints 1, 2, 3 → shards 1, 2, 0
+                Provenance::Builtin,
+                None,
+            );
+        }
+        store.merge_quarantine(&[("s".to_string(), None)]);
+        store.save().unwrap();
+        assert!(fsck(&dir, false).unwrap().clean());
+
+        // One kind of damage in each shard: a torn manifest tail in
+        // shard 1, an orphan source in shard 0, a stale tmp in shard 2.
+        let s1_manifest = Store::shard_dir(&dir, 1).join(MANIFEST);
+        let pristine = stdfs::read_to_string(&s1_manifest).unwrap();
+        let last = pristine.lines().last().unwrap();
+        stdfs::write(
+            &s1_manifest,
+            format!("{pristine}{}", &last[..last.len() / 2]),
+        )
+        .unwrap();
+        stdfs::write(
+            Store::shard_dir(&dir, 0)
+                .join(ENTRIES_DIR)
+                .join("c9999.java"),
+            "class Foo { }",
+        )
+        .unwrap();
+        stdfs::write(Store::shard_dir(&dir, 2).join("manifest.tmp"), "half").unwrap();
+
+        let report = fsck(&dir, false).unwrap();
+        let kinds: Vec<FsckIssueKind> = report.issues.iter().map(|i| i.kind).collect();
+        assert!(
+            kinds.contains(&FsckIssueKind::TornManifestTail),
+            "{kinds:?}"
+        );
+        assert!(kinds.contains(&FsckIssueKind::OrphanSource), "{kinds:?}");
+        assert!(kinds.contains(&FsckIssueKind::StaleTmp), "{kinds:?}");
+        assert_eq!(report.issues.len(), 3, "{:?}", report.issues);
+
+        let report = fsck(&dir, true).unwrap();
+        assert_eq!(report.repaired(), 3, "{:?}", report.issues);
+        assert_eq!(stdfs::read_to_string(&s1_manifest).unwrap(), pristine);
+        assert!(fsck(&dir, false).unwrap().clean());
+        // The repaired store still opens with every entry intact.
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 3);
         let _ = stdfs::remove_dir_all(&dir);
     }
 

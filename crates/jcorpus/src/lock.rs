@@ -138,6 +138,12 @@ impl StoreLock {
                             release_registry(&key);
                             return Err(e);
                         }
+                        // Structured, scrapeable record of the recovery:
+                        // a fleet daemon sees stolen locks on /metrics
+                        // instead of an unstructured stderr line.
+                        if jtelemetry::enabled() {
+                            jtelemetry::count(jtelemetry::Counter::LockSteals, 1);
+                        }
                         continue;
                     }
                     if Instant::now() >= deadline {
@@ -221,6 +227,18 @@ mod tests {
         // Pids are capped well below this on Linux, so it is never alive.
         fs::write(dir.join(LOCKFILE), "999999999").unwrap();
         let _lock = StoreLock::acquire_with_timeout(&dir, Duration::from_millis(200)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_steal_is_counted_in_telemetry() {
+        let dir = temp_dir("steal-count");
+        fs::write(dir.join(LOCKFILE), "999999999").unwrap();
+        jtelemetry::install(jtelemetry::Session::new());
+        let lock = StoreLock::acquire_with_timeout(&dir, Duration::from_millis(200)).unwrap();
+        drop(lock);
+        let snap = jtelemetry::take().unwrap().snapshot();
+        assert_eq!(snap.counter("lock_steals"), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -239,6 +239,40 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders one Prometheus page for a fleet of concurrent sessions: the
+/// full aggregate page (every family declared and sampled unlabelled, so
+/// the strict checker's expected-family sweep passes) followed by
+/// per-tenant counter/gauge samples carrying a `campaign` label. Span
+/// histograms, mutator and opcode tables are exported aggregate-only —
+/// per-campaign drill-down belongs in each campaign's own
+/// `--metrics-out`, not on the shared scrape page.
+pub fn prometheus_fleet(tenants: &[(String, MetricsSnapshot)]) -> String {
+    let mut agg = MetricsSnapshot::empty();
+    for (_, snap) in tenants {
+        agg.merge(snap);
+    }
+    let mut out = prometheus(&agg);
+    for (id, snap) in tenants {
+        let label = prom_escape_label(id);
+        out.push_str(&format!(
+            "{PROM_PREFIX}elapsed_nanos{{campaign=\"{label}\"}} {}\n",
+            snap.elapsed_nanos
+        ));
+        for (key, value) in &snap.counters {
+            out.push_str(&format!(
+                "{PROM_PREFIX}{key}{{campaign=\"{label}\"}} {value}\n"
+            ));
+        }
+        for (key, value) in &snap.gauges {
+            out.push_str(&format!(
+                "{PROM_PREFIX}{key}{{campaign=\"{label}\"}} {}\n",
+                json_f64(*value)
+            ));
+        }
+    }
+    out
+}
+
 /// Reconstructs absolute open timestamps (in steps) for round-lane
 /// events: roots are laid end to end in stream (= merge) order, children
 /// sit at `parent + rel_steps`. Returns per-event absolute opens,
@@ -546,6 +580,29 @@ mod tests {
         assert!(!page.contains("mop_span_total_nanos"));
         assert!(page.contains("mop_span_max_nanos{span=\"inline\"} 2000"));
         assert!(page.contains("mop_mutator_applies{mutator=\"LoopPeel\\\"q\\\"\"} 1"));
+    }
+
+    #[test]
+    fn fleet_page_validates_and_labels_each_campaign() {
+        let a = sample_snapshot();
+        let b = sample_snapshot();
+        let page = prometheus_fleet(&[("c0001".to_string(), a), ("c0002".to_string(), b)]);
+        crate::schema::validate_prometheus(&page).expect("fleet page validates");
+        // Aggregate samples sum across tenants...
+        assert!(page.contains("\nmop_vm_executions 80\n"), "{page}");
+        // ...and each tenant keeps its own labelled series.
+        assert!(page.contains("mop_vm_executions{campaign=\"c0001\"} 40"));
+        assert!(page.contains("mop_vm_executions{campaign=\"c0002\"} 40"));
+        assert!(page.contains("mop_rounds_done{campaign=\"c0002\"} 20"));
+        assert!(page.contains("mop_elapsed_nanos{campaign=\"c0001\"}"));
+    }
+
+    #[test]
+    fn fleet_page_with_no_tenants_still_validates() {
+        let page = prometheus_fleet(&[]);
+        crate::schema::validate_prometheus(&page).expect("empty fleet page validates");
+        assert!(page.contains("\nmop_vm_executions 0\n"));
+        assert!(!page.contains("campaign="));
     }
 
     #[test]

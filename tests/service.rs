@@ -1,0 +1,410 @@
+//! Fleet-service equivalence, end to end.
+//!
+//! The daemon's whole promise is that multi-tenancy is *invisible* in
+//! the artifacts: a campaign submitted over HTTP and run concurrently
+//! with other tenants journals byte-for-byte what a standalone CLI run
+//! with the same seed and worker counts journals — including across a
+//! SIGTERM-style drain plus `serve --resume`. These tests pin that
+//! promise with real sockets against an in-process [`mopfuzzerd::Server`],
+//! and pin the sharded corpus store's migration round-trip.
+
+use mopfuzzerd::{Config, Server, CAMPAIGNS_DIR, JOURNAL_FILE};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mop_service_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP/1.1 request over a real socket; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: d\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `GET /campaigns/{id}` until `pred` holds on the body.
+fn poll_campaign(addr: SocketAddr, id: &str, pred: impl Fn(&str) -> bool, what: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/campaigns/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        if pred(&body) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what} on {id}; last status: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The reference journal: the same library call, config, and defaults
+/// the CLI's `--rounds .. --journal ..` path uses (`run_serve` is a thin
+/// exec shim, and the CLI's own tests pin the binary to this call).
+fn reference_journal(
+    path: &Path,
+    rounds: usize,
+    rng_seed: u64,
+    iterations: usize,
+    jobs: usize,
+    oracle_jobs: usize,
+) {
+    let config = mopfuzzer::CampaignConfig {
+        iterations_per_seed: iterations,
+        variant: mopfuzzer::Variant::Full,
+        rounds,
+        pool: jvmsim::JvmSpec::differential_pool(),
+        rng_seed,
+        supervisor: mopfuzzer::SupervisorConfig::default(),
+        fault: None,
+        jobs,
+        oracle_jobs,
+    };
+    let seeds = mopfuzzer::corpus::builtin();
+    mopfuzzer::run_campaign_with_journal(&seeds, &config, path).unwrap();
+}
+
+fn daemon_journal(data_dir: &Path, id: &str) -> PathBuf {
+    data_dir.join(CAMPAIGNS_DIR).join(id).join(JOURNAL_FILE)
+}
+
+/// Two tenants through one daemon over HTTP, concurrently, must journal
+/// byte-identically to the same two campaigns run serially via the CLI
+/// entry points — and /metrics must stay a valid Prometheus page with a
+/// per-campaign label for each tenant while they run.
+#[test]
+fn concurrent_tenants_journal_identically_to_serial_cli_runs() {
+    let dir = temp_dir("tenants");
+    let server = Server::start(Config {
+        listen: "127.0.0.1:0".to_string(),
+        data_dir: dir.clone(),
+        max_active: 2,
+        resume: false,
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/campaigns",
+        "{\"rounds\": 3, \"seed\": 11, \"iterations\": 6, \"jobs\": 1, \"oracle_jobs\": 1}",
+    );
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"id\":\"c0001\""), "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/campaigns",
+        "{\"rounds\": 2, \"seed\": 22, \"iterations\": 5, \"jobs\": 2, \"oracle_jobs\": 1}",
+    );
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"id\":\"c0002\""), "{body}");
+
+    // While the tenants run: the fleet metrics page must validate and,
+    // once each tenant has finished a round, carry its campaign label.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, page) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        jtelemetry::schema::validate_prometheus(&page)
+            .unwrap_or_else(|e| panic!("invalid /metrics page: {e}\n{page}"));
+        if page.contains("{campaign=\"c0001\"}") && page.contains("{campaign=\"c0002\"}") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no per-campaign labels\n{page}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    poll_campaign(addr, "c0001", |b| b.contains("\"state\":\"done\""), "done");
+    poll_campaign(addr, "c0002", |b| b.contains("\"state\":\"done\""), "done");
+    let (_, listing) = request(addr, "GET", "/campaigns", "");
+    assert!(
+        listing.contains("c0001") && listing.contains("c0002"),
+        "{listing}"
+    );
+    server.shutdown();
+
+    // Serial reference runs with the same seeds and worker counts.
+    let ref_dir = temp_dir("tenants_ref");
+    std::fs::create_dir_all(&ref_dir).unwrap();
+    reference_journal(&ref_dir.join("a.jsonl"), 3, 11, 6, 1, 1);
+    reference_journal(&ref_dir.join("b.jsonl"), 2, 22, 5, 2, 1);
+    let got_a = std::fs::read(daemon_journal(&dir, "c0001")).unwrap();
+    let got_b = std::fs::read(daemon_journal(&dir, "c0002")).unwrap();
+    assert_eq!(
+        got_a,
+        std::fs::read(ref_dir.join("a.jsonl")).unwrap(),
+        "tenant c0001's journal diverged from the serial CLI-equivalent run"
+    );
+    assert_eq!(
+        got_b,
+        std::fs::read(ref_dir.join("b.jsonl")).unwrap(),
+        "tenant c0002's journal diverged from the serial CLI-equivalent run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// Drain mid-campaign, then `--resume`: the re-adopted tenant finishes
+/// its journal byte-identically to an uninterrupted run.
+#[test]
+fn drain_and_resume_converges_to_the_uninterrupted_journal() {
+    let dir = temp_dir("drain");
+    let server = Server::start(Config {
+        listen: "127.0.0.1:0".to_string(),
+        data_dir: dir.clone(),
+        max_active: 1,
+        resume: false,
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/campaigns",
+        "{\"rounds\": 12, \"seed\": 7, \"iterations\": 8, \"jobs\": 1, \"oracle_jobs\": 1}",
+    );
+    assert_eq!(status, 201, "{body}");
+
+    // Let at least one round land, then drain — the SIGTERM path minus
+    // the signal itself (the binary's handler calls the same drain).
+    poll_campaign(
+        addr,
+        "c0001",
+        |b| !b.contains("\"completed_rounds\":0,"),
+        "first round",
+    );
+    server.drain();
+
+    let status_text =
+        std::fs::read_to_string(dir.join(CAMPAIGNS_DIR).join("c0001").join("status.json")).unwrap();
+    assert!(
+        status_text.contains("\"state\":\"interrupted\"")
+            || status_text.contains("\"state\":\"done\""),
+        "{status_text}"
+    );
+    assert!(
+        !status_text.contains("\"state\":\"running\""),
+        "drain must settle the persisted state: {status_text}"
+    );
+
+    // A fresh daemon re-adopts and finishes it.
+    let server = Server::start(Config {
+        listen: "127.0.0.1:0".to_string(),
+        data_dir: dir.clone(),
+        max_active: 1,
+        resume: true,
+    })
+    .unwrap();
+    let addr = server.addr();
+    poll_campaign(addr, "c0001", |b| b.contains("\"state\":\"done\""), "done");
+    server.shutdown();
+
+    let ref_dir = temp_dir("drain_ref");
+    std::fs::create_dir_all(&ref_dir).unwrap();
+    reference_journal(&ref_dir.join("ref.jsonl"), 12, 7, 8, 1, 1);
+    assert_eq!(
+        std::fs::read(daemon_journal(&dir, "c0001")).unwrap(),
+        std::fs::read(ref_dir.join("ref.jsonl")).unwrap(),
+        "drain + resume diverged from the uninterrupted journal"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// Corpus campaigns work through the daemon too, over a store the
+/// campaign promotes into; the journal matches a serial corpus run.
+#[test]
+fn corpus_tenant_journals_identically() {
+    let dir = temp_dir("corpus");
+    let store_dir = dir.join("store");
+    let mut store = jcorpus::Store::init(&store_dir).unwrap();
+    mopfuzzer::import_seeds(
+        &mut store,
+        &mopfuzzer::corpus::builtin(),
+        jcorpus::Provenance::Builtin,
+    )
+    .unwrap();
+    store.save().unwrap();
+    // The reference store is a byte-copy made before any campaign runs.
+    let ref_store_dir = dir.join("store_ref");
+    copy_dir(&store_dir, &ref_store_dir);
+
+    let server = Server::start(Config {
+        listen: "127.0.0.1:0".to_string(),
+        data_dir: dir.join("data"),
+        max_active: 1,
+        resume: false,
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/campaigns",
+        &format!(
+            "{{\"rounds\": 2, \"seed\": 5, \"iterations\": 6, \"jobs\": 1, \
+             \"oracle_jobs\": 1, \"corpus\": \"{}\"}}",
+            store_dir.display()
+        ),
+    );
+    assert_eq!(status, 201, "{body}");
+    poll_campaign(addr, "c0001", |b| b.contains("\"state\":\"done\""), "done");
+    server.shutdown();
+
+    let ref_journal = dir.join("ref.jsonl");
+    let mut ref_store = jcorpus::Store::open(&ref_store_dir).unwrap();
+    let config = mopfuzzer::CampaignConfig {
+        iterations_per_seed: 6,
+        variant: mopfuzzer::Variant::Full,
+        rounds: 2,
+        pool: jvmsim::JvmSpec::differential_pool(),
+        rng_seed: 5,
+        supervisor: mopfuzzer::SupervisorConfig::default(),
+        fault: None,
+        jobs: 1,
+        oracle_jobs: 1,
+    };
+    mopfuzzer::run_corpus_campaign(
+        &mut ref_store,
+        &config,
+        &mopfuzzer::CorpusOptions::default(),
+        Some(&ref_journal),
+        None,
+    )
+    .unwrap();
+    // The journals agree except for the header's store path (an absolute
+    // path baked into the corpus header), so compare line by line with
+    // the paths normalized.
+    let got = std::fs::read_to_string(daemon_journal(&dir.join("data"), "c0001")).unwrap();
+    let want = std::fs::read_to_string(&ref_journal).unwrap();
+    let norm = |text: &str, dir: &Path| text.replace(&dir.display().to_string(), "STORE");
+    assert_eq!(
+        norm(&got, &store_dir),
+        norm(&want, &ref_store_dir),
+        "corpus tenant journal diverged from the serial run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Sharded-store round trip: init flat, migrate in place, fsck clean,
+/// stats and entries preserved, and the sharded store still drives a
+/// campaign.
+#[test]
+fn shard_migration_round_trips_and_stays_campaignable() {
+    let dir = temp_dir("shards");
+    let store_dir = dir.join("store");
+    let mut store = jcorpus::Store::init(&store_dir).unwrap();
+    mopfuzzer::import_seeds(
+        &mut store,
+        &mopfuzzer::corpus::builtin(),
+        jcorpus::Provenance::Builtin,
+    )
+    .unwrap();
+    store.save().unwrap();
+    let flat_stats = store.stats_json();
+    let flat: Vec<(String, String)> = store
+        .entries()
+        .iter()
+        .map(|e| (e.name.clone(), e.id.clone()))
+        .collect();
+    drop(store);
+
+    let migrated = jcorpus::shard_store(&store_dir, 4).unwrap();
+    assert_eq!(migrated, flat.len());
+    let report = jcorpus::fsck(&store_dir, false).unwrap();
+    assert!(report.clean(), "{:?}", report.issues);
+
+    let sharded = jcorpus::Store::open(&store_dir).unwrap();
+    assert_eq!(sharded.shards(), Some(4));
+    assert_eq!(sharded.len(), flat.len());
+    for (name, id) in &flat {
+        let entry = sharded
+            .entries()
+            .iter()
+            .find(|e| &e.name == name)
+            .unwrap_or_else(|| panic!("entry {name} lost in migration"));
+        assert_eq!(&entry.id, id, "{name} changed id in migration");
+    }
+    // Same per-entry content: the stats pages agree on the total energy
+    // (ordering is shard-major, so whole-page bytes are not comparable).
+    let total = |stats: &str| {
+        stats
+            .rsplit_once("\"total_energy\":")
+            .map(|(_, tail)| tail.to_string())
+            .unwrap()
+    };
+    let sharded_stats = sharded.stats_json();
+    assert_eq!(total(&sharded_stats), total(&flat_stats));
+    assert!(sharded_stats.contains("\"shards\":4"), "{sharded_stats}");
+    drop(sharded);
+
+    // The migrated store still runs a campaign end to end.
+    let mut store = jcorpus::Store::open(&store_dir).unwrap();
+    let config = mopfuzzer::CampaignConfig {
+        iterations_per_seed: 4,
+        variant: mopfuzzer::Variant::Full,
+        rounds: 1,
+        pool: jvmsim::JvmSpec::differential_pool(),
+        rng_seed: 0,
+        supervisor: mopfuzzer::SupervisorConfig::default(),
+        fault: None,
+        jobs: 1,
+        oracle_jobs: 1,
+    };
+    let result = mopfuzzer::run_corpus_campaign(
+        &mut store,
+        &config,
+        &mopfuzzer::CorpusOptions::default(),
+        None,
+        None,
+    )
+    .unwrap();
+    assert_eq!(result.completed_rounds(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
