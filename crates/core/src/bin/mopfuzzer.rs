@@ -63,6 +63,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Like --jobs, the substrate choice is an execution detail: it is
+    // never journaled, and results are bit-identical either way.
+    jexec::set_default_exec_mode(options.exec_mode);
     let outcome = if let Some(journal) = options.resume.clone() {
         run_resume(&journal, &options)
     } else if options.rounds.is_some() {
@@ -170,6 +173,11 @@ fn print_usage() {
            --iterations N          mutation iterations per seed (default 50)\n\
            --rng SEED              RNG seed (default 0)\n\
            --out DIR               where mutants and logs are written (default mutants/)\n\
+           --exec-mode MODE        execution substrate: 'threaded' (default;\n\
+                                   pre-lowered code, shared code cache) or\n\
+                                   'interp' (the reference interpreter).\n\
+                                   Outcomes, journals and traces are\n\
+                                   bit-identical in both modes\n\
          \n\
          CAMPAIGN MODE (fault-supervised):\n\
            --rounds N              run a supervised campaign of N rounds\n\
@@ -285,6 +293,7 @@ struct CliOptions {
     gc_streak: Option<u64>,
     jobs: Option<usize>,
     oracle_jobs: Option<usize>,
+    exec_mode: jexec::ExecMode,
     supervisor: SupervisorConfig,
     fault: Option<FaultPlan>,
 }
@@ -348,6 +357,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "gc-streak" => "gc-streak",
             "jobs" => "jobs",
             "oracle-jobs" => "oracle-jobs",
+            "exec-mode" => "exec-mode",
             "max-steps" => "max-steps",
             "max-execs" => "max-execs",
             "round-deadline" => "round-deadline",
@@ -431,6 +441,15 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         oracle_jobs: match num::<usize>(&map, "oracle-jobs")? {
             Some(0) => return Err("bad --oracle-jobs (must be >= 1)".to_string()),
             oracle_jobs => oracle_jobs,
+        },
+        exec_mode: match map.get("exec-mode").copied() {
+            None | Some("threaded") => jexec::ExecMode::Threaded,
+            Some("interp") => jexec::ExecMode::Interp,
+            Some(other) => {
+                return Err(format!(
+                    "bad --exec-mode {other:?} (expected 'interp' or 'threaded')"
+                ))
+            }
         },
         supervisor,
         fault,

@@ -41,7 +41,9 @@ use crate::pool;
 use jvmsim::{CoverageMap, CrashReport, JvmRun, JvmSpec, RunOptions, Verdict as JvmVerdict};
 use mjava::Program;
 use std::any::Any;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The oracle's verdict on one test case.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +100,10 @@ struct Accumulator {
     executions: u64,
     steps: u64,
     runs: Vec<JvmRun>,
+    /// Code-cache keys seen so far this differential call (merge order).
+    code_seen: HashSet<u64>,
+    /// Pipeline-memo keys seen so far this differential call.
+    pipeline_seen: HashSet<u64>,
 }
 
 impl Accumulator {
@@ -107,6 +113,38 @@ impl Accumulator {
             executions: 0,
             steps: 0,
             runs: Vec::new(),
+            code_seen: HashSet::new(),
+            pipeline_seen: HashSet::new(),
+        }
+    }
+
+    /// Counts this run's cache lookups against the keys already seen this
+    /// differential call, in canonical merge order. The process-wide
+    /// caches are warmed in scheduling order (speculative pool executions
+    /// included), so their live hit rates depend on worker count — but
+    /// each run's *lookup keys* are a pure function of the execution, so
+    /// replaying them against merge-order seen-sets yields counters that
+    /// are bit-identical at any `--jobs`×`--oracle-jobs`.
+    fn count_cache_lookups(&mut self, run: &JvmRun) {
+        let mut tally = [0u64; 4]; // code hit/miss, pipeline hit/miss
+        for &key in &run.cache_log.code {
+            let hit = !self.code_seen.insert(key);
+            tally[usize::from(!hit)] += 1;
+        }
+        for &key in &run.cache_log.pipeline {
+            let hit = !self.pipeline_seen.insert(key);
+            tally[2 + usize::from(!hit)] += 1;
+        }
+        let counters = [
+            jtelemetry::Counter::CodeCacheHits,
+            jtelemetry::Counter::CodeCacheMisses,
+            jtelemetry::Counter::PipelineCacheHits,
+            jtelemetry::Counter::PipelineCacheMisses,
+        ];
+        for (counter, n) in counters.into_iter().zip(tally) {
+            if n > 0 {
+                jtelemetry::count(counter, n);
+            }
         }
     }
 
@@ -116,6 +154,10 @@ impl Accumulator {
         self.executions += 1;
         self.steps += run.steps;
         self.coverage.merge(&run.coverage);
+        // Before the crash early-exit: the crashing run's lookups happened.
+        if jtelemetry::enabled() {
+            self.count_cache_lookups(&run);
+        }
         if let JvmVerdict::CompilerCrash(report) = &run.verdict {
             if jtelemetry::enabled() {
                 jtelemetry::count(jtelemetry::Counter::OracleCrash, 1);
@@ -214,9 +256,15 @@ pub fn differential_jobs(
     jobs: usize,
 ) -> DifferentialResult {
     let mut accum = Accumulator::new();
+    // One class-loading pass for the whole pool: every JVM executes the
+    // same program, so the image (and its load-time method lowering) is
+    // built once, here on the caller thread — `MethodsLowered` counts it
+    // once regardless of worker count. Each run still gets its own
+    // mutable clone to install JIT code into.
+    let image = Arc::new(jexec::Image::build(program));
     if jobs <= 1 || pool.len() <= 1 {
         for spec in pool {
-            let run = jvmsim::run_jvm(program, spec, options);
+            let run = jvmsim::run_jvm_with_image(program, Some((*image).clone()), spec, options);
             if let Some(result) = accum.push(run) {
                 return result;
             }
@@ -230,12 +278,12 @@ pub fn differential_jobs(
     // the *first* JVM, and probing it before fanning out keeps that case
     // at serial cost instead of paying for seven speculative executions
     // the merge would immediately discard.
-    let run = jvmsim::run_jvm(program, &pool[0], options);
+    let run = jvmsim::run_jvm_with_image(program, Some((*image).clone()), &pool[0], options);
     if let Some(result) = accum.push(run) {
         return result;
     }
 
-    for slot in execute_pool(program, &pool[1..], options, jobs) {
+    for slot in execute_pool(program, &image, &pool[1..], options, jobs) {
         // A cancelled slot can only sit *behind* the first crash in pool
         // order, and `accum.push` returns before this loop reaches it.
         let (caught, snap, flight, trace) =
@@ -298,6 +346,7 @@ type TaskOutput = (
 /// to serial cost instead of paying for the whole speculative pool.
 fn execute_pool(
     program: &Program,
+    image: &Arc<Result<jexec::Image, jexec::BuildError>>,
     pool: &[JvmSpec],
     options: &RunOptions,
     jobs: usize,
@@ -307,6 +356,7 @@ fn execute_pool(
     // the serial loop would have.
     let spec = jtelemetry::session_spec();
     let program = program.clone();
+    let image = Arc::clone(image);
     let options = options.clone();
     let crash_floor = AtomicUsize::new(usize::MAX);
     // The round's cancellation token is installed on the *calling* thread;
@@ -323,8 +373,9 @@ fn execute_pool(
             if let Some(spec) = spec {
                 jtelemetry::install(jtelemetry::Session::from_spec(spec));
             }
-            let caught =
-                pool::quiet_catch_unwind(|| jvmsim::run_jvm(&program, &spec_jvm, &options));
+            let caught = pool::quiet_catch_unwind(|| {
+                jvmsim::run_jvm_with_image(&program, Some((*image).clone()), &spec_jvm, &options)
+            });
             if let Ok(run) = &caught {
                 if matches!(run.verdict, JvmVerdict::CompilerCrash(_)) {
                     crash_floor.fetch_min(index, Ordering::Relaxed);

@@ -828,6 +828,12 @@ pub(crate) fn run_supervised(
     if (seeds.is_empty() && corpus.is_none()) || config.pool.is_empty() {
         return result;
     }
+    // Fresh execution-substrate caches per campaign: cache contents never
+    // affect results or journaled counters (the oracle derives those from
+    // per-run lookup logs), so this is memory hygiene plus meaningful
+    // per-campaign `cache_stats()` — not a determinism requirement.
+    jexec::threaded::cache_reset();
+    jopt::pipeline::cache_reset();
     if let Some(ctx) = corpus.as_deref_mut() {
         // Pairs quarantined by earlier campaigns over this store stay
         // banned; blocked seeds are also removed from scheduling.

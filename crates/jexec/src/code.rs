@@ -160,9 +160,63 @@ pub struct Code {
     pub instrs: Vec<Instr>,
     /// Number of local slots (parameters included).
     pub n_locals: u16,
+    /// Upper bound on operand-stack depth, computed by
+    /// [`Code::compute_max_stack`] at lowering time. Both execution
+    /// substrates preallocate frame stacks to this size; correctness never
+    /// depends on it (stacks still grow), so an understated value in
+    /// hand-built code is merely a missed preallocation.
+    pub max_stack: u16,
 }
 
 impl Code {
+    /// Computes the operand-stack bound for an instruction sequence by a
+    /// linear scan over per-instruction stack effects. For compiler-emitted
+    /// code (structured control flow, depth 0 at statement boundaries) the
+    /// bound is exact; for arbitrary hand-built code it is a best-effort
+    /// estimate clamped at zero.
+    pub fn compute_max_stack(instrs: &[Instr]) -> u16 {
+        let mut cur: i64 = 0;
+        let mut max: i64 = 0;
+        for instr in instrs {
+            let delta: i64 = match instr {
+                Instr::ConstI(_)
+                | Instr::ConstL(_)
+                | Instr::ConstB(_)
+                | Instr::ConstNull
+                | Instr::ClassObj(_)
+                | Instr::Load(_)
+                | Instr::GetStatic(..)
+                | Instr::New(_)
+                | Instr::Dup => 1,
+                Instr::GetField(_)
+                | Instr::Neg
+                | Instr::Not
+                | Instr::BoxInt
+                | Instr::UnboxInt
+                | Instr::Jump(_)
+                | Instr::Return => 0,
+                Instr::Store(_)
+                | Instr::PutStatic(..)
+                | Instr::Arith(_)
+                | Instr::Cmp(_)
+                | Instr::JumpIfFalse(_)
+                | Instr::MonitorEnter
+                | Instr::MonitorExit
+                | Instr::Print
+                | Instr::Pop
+                | Instr::ReturnV => -1,
+                Instr::PutField(_) => -2,
+                Instr::Invoke { argc, has_recv, .. } => 1 - i64::from(*argc) - i64::from(*has_recv),
+                Instr::InvokeVirtual { argc, .. } => -i64::from(*argc),
+                Instr::InvokeReflect { argc, has_recv, .. } => {
+                    1 - i64::from(*argc) - i64::from(*has_recv)
+                }
+            };
+            cur = (cur + delta).max(0);
+            max = max.max(cur);
+        }
+        max.min(u16::MAX as i64) as u16
+    }
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instrs.len()
@@ -192,6 +246,7 @@ mod tests {
         let code = Code {
             instrs: vec![Instr::ConstI(1), Instr::Print, Instr::Return],
             n_locals: 0,
+            max_stack: 1,
         };
         let listing = code.listing();
         assert!(listing.contains("0: ConstI(1)"));
@@ -204,5 +259,35 @@ mod tests {
     fn op_displays() {
         assert_eq!(ArithOp::Add.to_string(), "add");
         assert_eq!(CmpOp::Ne.to_string(), "ne");
+    }
+
+    #[test]
+    fn max_stack_tracks_expression_depth() {
+        // 1 + 2 * 3 → ConstI ConstI ConstI Arith Arith: peak 3.
+        let instrs = vec![
+            Instr::ConstI(1),
+            Instr::ConstI(2),
+            Instr::ConstI(3),
+            Instr::Arith(ArithOp::Mul),
+            Instr::Arith(ArithOp::Add),
+            Instr::Print,
+            Instr::Return,
+        ];
+        assert_eq!(Code::compute_max_stack(&instrs), 3);
+        // Calls net one value from their args + receiver.
+        let call = vec![
+            Instr::New(0),
+            Instr::ConstI(1),
+            Instr::ConstI(2),
+            Instr::InvokeVirtual {
+                method: "m".into(),
+                argc: 2,
+            },
+            Instr::Pop,
+            Instr::Return,
+        ];
+        assert_eq!(Code::compute_max_stack(&call), 3);
+        // Underflowing hand-built code clamps at zero instead of wrapping.
+        assert_eq!(Code::compute_max_stack(&[Instr::Pop, Instr::Return]), 0);
     }
 }

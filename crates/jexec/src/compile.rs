@@ -74,9 +74,11 @@ pub fn compile_method_ast(
     // Fall-through return (void methods and defensive default).
     c.emit(Instr::Return);
     jtelemetry::count(jtelemetry::Counter::MethodsLowered, 1);
+    let max_stack = Code::compute_max_stack(&c.instrs);
     Ok(Code {
         instrs: c.instrs,
         n_locals: c.next_slot,
+        max_stack,
     })
 }
 
@@ -668,5 +670,21 @@ mod tests {
             .collect();
         assert_eq!(stores.len(), 2);
         assert_ne!(stores[0], stores[1]);
+    }
+
+    #[test]
+    fn compiled_methods_carry_stack_metadata() {
+        let image = image_of(
+            "class T { static int f(int a, int b) { return a + b * (a - b); } static void main() { System.out.println(T.f(3, 4)); } }",
+        );
+        for mid in 0..image.methods.len() {
+            let code = &image.methods[mid].code;
+            assert_eq!(
+                code.max_stack,
+                Code::compute_max_stack(&code.instrs),
+                "method {mid} metadata out of date"
+            );
+            assert!(code.max_stack > 0, "method {mid} pushes at least one value");
+        }
     }
 }

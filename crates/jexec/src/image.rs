@@ -75,6 +75,11 @@ pub struct MethodImage {
     pub source: mjava::Method,
     /// True once JIT-compiled code has been installed.
     pub is_compiled: bool,
+    /// Fingerprint of the currently installed [`Code`], kept in sync by
+    /// [`Image::build`] and [`Image::install_code`]. Together with the
+    /// image's [`Image::shape_fp`] it keys the threaded-substrate code
+    /// cache, so a JIT tier-up invalidates exactly this method's entry.
+    pub code_fp: u64,
 }
 
 /// A fully resolved, executable program image.
@@ -86,6 +91,35 @@ pub struct Image {
     pub methods: Vec<MethodImage>,
     class_index: HashMap<String, ClassId>,
     main: MethodId,
+    shape_fp: u64,
+}
+
+/// 64-bit FNV-1a, the fingerprint primitive for cache keys.
+#[derive(Clone, Copy)]
+pub(crate) struct Fnv(pub u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
 }
 
 impl Image {
@@ -155,6 +189,7 @@ impl Image {
                     code: Code::default(),
                     source: method.clone(),
                     is_compiled: false,
+                    code_fp: 0,
                 });
             }
             classes.push(ClassImage {
@@ -178,16 +213,61 @@ impl Image {
             methods,
             class_index,
             main,
+            shape_fp: 0,
         };
+        image.shape_fp = image.compute_shape_fp();
 
         // Pass 2: compile every body against the resolved skeletons.
         for mid in 0..image.methods.len() {
             let source = image.methods[mid].source.clone();
             let class = image.methods[mid].class;
             let code = compile_method_ast(&image, class, &source)?;
+            image.methods[mid].code_fp = code_fingerprint(&code);
             image.methods[mid].code = code;
         }
         Ok(image)
+    }
+
+    /// Fingerprint of everything the threaded-substrate lowering reads
+    /// besides the method's own [`Code`]: class names and layouts, static
+    /// layouts, method directories, and method signatures. Two images with
+    /// the same shape fingerprint resolve identical bytecode identically,
+    /// which is what makes (shape, code) a sound code-cache key.
+    pub fn shape_fp(&self) -> u64 {
+        self.shape_fp
+    }
+
+    fn compute_shape_fp(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.classes.len() as u64);
+        for class in &self.classes {
+            h.str(&class.name);
+            h.u64(class.instance_fields.len() as u64);
+            for f in &class.instance_fields {
+                h.str(&f.name);
+            }
+            h.u64(class.static_fields.len() as u64);
+            for f in &class.static_fields {
+                h.str(&f.name);
+            }
+            // Method directories, in a deterministic order.
+            let mut dir: Vec<(&String, &MethodId)> = class.method_index.iter().collect();
+            dir.sort();
+            h.u64(dir.len() as u64);
+            for (name, mid) in dir {
+                h.str(name);
+                h.u64(*mid as u64);
+            }
+        }
+        h.u64(self.methods.len() as u64);
+        for m in &self.methods {
+            h.u64(m.class as u64);
+            h.str(&m.name);
+            h.byte(u8::from(m.is_static));
+            h.u64(m.params.len() as u64);
+        }
+        h.u64(self.main as u64);
+        h.0
     }
 
     /// Looks up a class id by name.
@@ -213,6 +293,7 @@ impl Image {
     ///
     /// Panics if `method` is out of range.
     pub fn install_code(&mut self, method: MethodId, code: Code) {
+        self.methods[method].code_fp = code_fingerprint(&code);
         self.methods[method].code = code;
         self.methods[method].is_compiled = true;
     }
@@ -224,6 +305,121 @@ impl Image {
             .map(|c| c.static_fields.iter().map(|f| f.init).collect())
             .collect()
     }
+}
+
+/// Content fingerprint of one method's [`Code`] (instructions, operands,
+/// and local-slot count). Computed once per install, not per lookup.
+pub fn code_fingerprint(code: &Code) -> u64 {
+    use crate::code::Instr;
+    let mut h = Fnv::new();
+    h.u64(code.n_locals as u64);
+    h.u64(code.instrs.len() as u64);
+    for instr in &code.instrs {
+        match instr {
+            Instr::ConstI(v) => {
+                h.byte(0);
+                h.u64(*v as u32 as u64);
+            }
+            Instr::ConstL(v) => {
+                h.byte(1);
+                h.u64(*v as u64);
+            }
+            Instr::ConstB(b) => {
+                h.byte(2);
+                h.byte(u8::from(*b));
+            }
+            Instr::ConstNull => h.byte(3),
+            Instr::ClassObj(cid) => {
+                h.byte(4);
+                h.u64(*cid as u64);
+            }
+            Instr::Load(s) => {
+                h.byte(5);
+                h.u64(u64::from(*s));
+            }
+            Instr::Store(s) => {
+                h.byte(6);
+                h.u64(u64::from(*s));
+            }
+            Instr::GetField(name) => {
+                h.byte(7);
+                h.str(name);
+            }
+            Instr::PutField(name) => {
+                h.byte(8);
+                h.str(name);
+            }
+            Instr::GetStatic(cid, off) => {
+                h.byte(9);
+                h.u64(*cid as u64);
+                h.u64(u64::from(*off));
+            }
+            Instr::PutStatic(cid, off) => {
+                h.byte(10);
+                h.u64(*cid as u64);
+                h.u64(u64::from(*off));
+            }
+            Instr::Arith(op) => {
+                h.byte(11);
+                h.byte(*op as u8);
+            }
+            Instr::Cmp(op) => {
+                h.byte(12);
+                h.byte(*op as u8);
+            }
+            Instr::Neg => h.byte(13),
+            Instr::Not => h.byte(14),
+            Instr::Jump(t) => {
+                h.byte(15);
+                h.u64(*t as u64);
+            }
+            Instr::JumpIfFalse(t) => {
+                h.byte(16);
+                h.u64(*t as u64);
+            }
+            Instr::Invoke {
+                method,
+                argc,
+                has_recv,
+            } => {
+                h.byte(17);
+                h.u64(*method as u64);
+                h.byte(*argc);
+                h.byte(u8::from(*has_recv));
+            }
+            Instr::InvokeVirtual { method, argc } => {
+                h.byte(18);
+                h.str(method);
+                h.byte(*argc);
+            }
+            Instr::InvokeReflect {
+                class,
+                method,
+                has_recv,
+                argc,
+            } => {
+                h.byte(19);
+                h.str(class);
+                h.str(method);
+                h.byte(u8::from(*has_recv));
+                h.byte(*argc);
+            }
+            Instr::New(cid) => {
+                h.byte(20);
+                h.u64(*cid as u64);
+            }
+            Instr::BoxInt => h.byte(21),
+            Instr::UnboxInt => h.byte(22),
+            Instr::MonitorEnter => h.byte(23),
+            Instr::MonitorExit => h.byte(24),
+            Instr::Print => h.byte(25),
+            Instr::Pop => h.byte(26),
+            Instr::Dup => h.byte(27),
+            Instr::ReturnV => h.byte(28),
+            Instr::Return => h.byte(29),
+        }
+    }
+    h.0
 }
 
 impl PartialEq for Image {
@@ -286,6 +482,49 @@ mod tests {
         let code = image.methods[0].code.clone();
         image.install_code(0, code);
         assert!(image.methods[0].is_compiled);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let src = "class T { int f; static void main() { } int g(int a) { return a + f; } }";
+        let a = build(src).unwrap();
+        let b = build(src).unwrap();
+        assert_eq!(a.shape_fp(), b.shape_fp());
+        for mid in 0..a.methods.len() {
+            assert_eq!(a.methods[mid].code_fp, b.methods[mid].code_fp);
+            assert_eq!(
+                a.methods[mid].code_fp,
+                code_fingerprint(&a.methods[mid].code)
+            );
+        }
+        let other =
+            build("class T { int f; static void main() { } int g(int a) { return a - f; } }")
+                .unwrap();
+        let g = a.method_id("T", "g").unwrap();
+        assert_ne!(a.methods[g].code_fp, other.methods[g].code_fp);
+    }
+
+    #[test]
+    fn install_code_refreshes_fingerprint() {
+        let mut image = build("class T { static void main() { } }").unwrap();
+        let before = image.methods[0].code_fp;
+        image.install_code(
+            0,
+            Code {
+                instrs: vec![
+                    crate::code::Instr::ConstI(7),
+                    crate::code::Instr::Print,
+                    crate::code::Instr::Return,
+                ],
+                n_locals: 0,
+                max_stack: 1,
+            },
+        );
+        assert_ne!(image.methods[0].code_fp, before);
+        assert_eq!(
+            image.methods[0].code_fp,
+            code_fingerprint(&image.methods[0].code)
+        );
     }
 
     #[test]

@@ -13,6 +13,45 @@ use crate::error::ExecError;
 use crate::image::Image;
 use crate::ops;
 use crate::value::{Heap, Value};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which execution substrate runs an [`Image`].
+///
+/// Both substrates are observably identical — same outputs, errors, step
+/// counts, fuel accounting, cancellation latency, and profile attribution —
+/// so the mode is a pure performance knob and, like worker counts, is never
+/// journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The classic [`Instr`]-matching interpreter in this module.
+    Interp,
+    /// The pre-resolved threaded substrate in [`crate::threaded`], backed
+    /// by the process-wide code cache.
+    Threaded,
+}
+
+/// Process-wide default for [`ExecConfig::default`]'s `mode` field:
+/// 0 = interp, 1 = threaded. Set once at CLI startup by `--exec-mode`.
+static DEFAULT_MODE: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process-wide default execution mode (`--exec-mode`).
+pub fn set_default_exec_mode(mode: ExecMode) {
+    DEFAULT_MODE.store(
+        match mode {
+            ExecMode::Interp => 0,
+            ExecMode::Threaded => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The process-wide default execution mode.
+pub fn default_exec_mode() -> ExecMode {
+    match DEFAULT_MODE.load(Ordering::Relaxed) {
+        0 => ExecMode::Interp,
+        _ => ExecMode::Threaded,
+    }
+}
 
 /// Execution limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +61,8 @@ pub struct ExecConfig {
     pub fuel: u64,
     /// Maximum call depth before [`ExecError::StackOverflow`].
     pub max_call_depth: usize,
+    /// Which substrate executes the image (see [`ExecMode`]).
+    pub mode: ExecMode,
 }
 
 impl Default for ExecConfig {
@@ -29,6 +70,7 @@ impl Default for ExecConfig {
         ExecConfig {
             fuel: 20_000_000,
             max_call_depth: 512,
+            mode: default_exec_mode(),
         }
     }
 }
@@ -83,10 +125,10 @@ impl Profile {
 
 /// Number of distinct opcodes ([`Instr`] discriminants) — the size of the
 /// profiler's fixed accumulation arrays.
-const OPCODE_COUNT: usize = 30;
+pub(crate) const OPCODE_COUNT: usize = 30;
 
 /// Stable display name for each opcode index (see [`opcode_index`]).
-const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+pub(crate) const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "ConstI",
     "ConstL",
     "ConstB",
@@ -120,7 +162,7 @@ const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
 ];
 
 /// Dense index of an instruction's opcode, for array-indexed profiling.
-fn opcode_index(instr: &Instr) -> usize {
+pub(crate) fn opcode_index(instr: &Instr) -> usize {
     match instr {
         Instr::ConstI(_) => 0,
         Instr::ConstL(_) => 1,
@@ -163,16 +205,16 @@ fn opcode_index(instr: &Instr) -> usize {
 /// at the sample point. That keeps dispatch overhead at ~1/64th of a
 /// clock read, and under a manual clock the deltas are all zero, so the
 /// per-opcode hit counts stay bit-identical across worker counts.
-struct OpcodeProfiler {
+pub(crate) struct OpcodeProfiler {
     hits: [u64; OPCODE_COUNT],
     nanos: [u64; OPCODE_COUNT],
     last_sample: u64,
 }
 
-const SAMPLE_MASK: u64 = 63;
+pub(crate) const SAMPLE_MASK: u64 = 63;
 
 impl OpcodeProfiler {
-    fn new() -> OpcodeProfiler {
+    pub(crate) fn new() -> OpcodeProfiler {
         OpcodeProfiler {
             hits: [0; OPCODE_COUNT],
             nanos: [0; OPCODE_COUNT],
@@ -181,7 +223,7 @@ impl OpcodeProfiler {
     }
 
     #[inline]
-    fn step(&mut self, steps: u64, opcode: usize) {
+    pub(crate) fn step(&mut self, steps: u64, opcode: usize) {
         self.hits[opcode] += 1;
         if steps & SAMPLE_MASK == 0 {
             let now = jtelemetry::now_nanos();
@@ -190,7 +232,7 @@ impl OpcodeProfiler {
         }
     }
 
-    fn flush(&self) {
+    pub(crate) fn flush(&self) {
         for (i, &name) in OPCODE_NAMES.iter().enumerate() {
             if self.hits[i] > 0 {
                 jtelemetry::profile_opcode(name, self.hits[i], self.nanos[i]);
@@ -232,7 +274,11 @@ impl Outcome {
     }
 }
 
-/// Executes `image` from its `main` method.
+/// Executes `image` from its `main` method on the interpreter substrate.
+///
+/// This is the reference implementation of execution semantics; the
+/// threaded substrate ([`crate::threaded::run`]) must match it bit for bit.
+/// `config.mode` is ignored here — use [`crate::run`] to dispatch on it.
 ///
 /// # Examples
 ///
@@ -291,7 +337,7 @@ pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
     }
 }
 
-/// Builds and runs a program in one step.
+/// Builds and runs a program in one step, dispatching on `config.mode`.
 ///
 /// # Errors
 ///
@@ -301,7 +347,7 @@ pub fn run_program(
     config: &ExecConfig,
 ) -> Result<Outcome, crate::error::BuildError> {
     let image = Image::build(program)?;
-    Ok(run(&image, config))
+    Ok(crate::run(&image, config))
 }
 
 struct Frame {
@@ -389,7 +435,9 @@ impl<'i> Machine<'i> {
         Ok(Frame {
             mid,
             locals,
-            stack: Vec::with_capacity(8),
+            // Exact preallocation from compile-time metadata — the hot loop
+            // never reallocates an operand stack for compiler-emitted code.
+            stack: Vec::with_capacity(method.code.max_stack as usize),
             pc: 0,
         })
     }
@@ -760,8 +808,19 @@ impl<'i> Machine<'i> {
 mod tests {
     use super::*;
 
+    /// This module tests the interpreter substrate specifically; the mode
+    /// is pinned so the global default (threaded) cannot redirect `exec`.
+    /// `crate::threaded` mirrors the behavioural tests, and
+    /// `tests/exec_equivalence.rs` proves the two substrates identical.
+    fn interp_config() -> ExecConfig {
+        ExecConfig {
+            mode: ExecMode::Interp,
+            ..ExecConfig::default()
+        }
+    }
+
     fn exec(src: &str) -> Outcome {
-        run_program(&mjava::parse(src).unwrap(), &ExecConfig::default()).unwrap()
+        run_program(&mjava::parse(src).unwrap(), &interp_config()).unwrap()
     }
 
     #[test]
@@ -970,7 +1029,7 @@ mod tests {
             &program,
             &ExecConfig {
                 fuel: 10_000,
-                ..ExecConfig::default()
+                ..interp_config()
             },
         )
         .unwrap();
@@ -988,7 +1047,7 @@ mod tests {
             "#,
         );
         assert_eq!(o.error, Some(ExecError::StackOverflow));
-        assert!(o.stats.max_depth <= ExecConfig::default().max_call_depth);
+        assert!(o.stats.max_depth <= interp_config().max_call_depth);
     }
 
     #[test]
@@ -1097,9 +1156,10 @@ mod tests {
                 Instr::Return,
             ],
             n_locals: 0,
+            max_stack: 4,
         };
         image.install_code(main, code);
-        let o = run(&image, &ExecConfig::default());
+        let o = run(&image, &interp_config());
         assert!(o.is_clean(), "{:?}", o.error);
         assert_eq!(o.output, vec!["42"]);
     }
@@ -1116,9 +1176,10 @@ mod tests {
             Code {
                 instrs: vec![Instr::Pop, Instr::Return],
                 n_locals: 0,
+                max_stack: 0,
             },
         );
-        let o = run(&image, &ExecConfig::default());
+        let o = run(&image, &interp_config());
         assert_eq!(
             o.error,
             Some(ExecError::VmCorrupt("operand stack underflow"))
@@ -1171,7 +1232,7 @@ mod tests {
     #[test]
     fn all_builtin_seeds_execute_cleanly() {
         for seed in mjava::samples::all_seeds() {
-            let o = run_program(&seed.program, &ExecConfig::default())
+            let o = run_program(&seed.program, &interp_config())
                 .unwrap_or_else(|e| panic!("seed {} fails to build: {e}", seed.name));
             assert!(
                 o.is_clean(),

@@ -38,11 +38,25 @@ pub mod error;
 pub mod image;
 pub mod interp;
 pub mod ops;
+pub mod threaded;
 pub mod value;
 
 pub use code::{ArithOp, CmpOp, Code, Instr, MethodId};
 pub use compile::compile_method_ast;
 pub use error::{BuildError, ExecError};
-pub use image::{ClassImage, FieldLayout, Image, MethodImage};
-pub use interp::{run, run_program, ExecConfig, ExecStats, Outcome, Profile};
+pub use image::{code_fingerprint, ClassImage, FieldLayout, Image, MethodImage};
+pub use interp::{
+    default_exec_mode, run_program, set_default_exec_mode, ExecConfig, ExecMode, ExecStats,
+    Outcome, Profile,
+};
 pub use value::{ClassId, Heap, ObjId, Object, Value};
+
+/// Executes `image` from its `main` method on the substrate selected by
+/// `config.mode`. Both substrates are bit-for-bit equivalent (enforced by
+/// `tests/exec_equivalence.rs`); [`ExecMode::Threaded`] is the fast path.
+pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
+    match config.mode {
+        ExecMode::Interp => interp::run(image, config),
+        ExecMode::Threaded => threaded::run(image, config),
+    }
+}

@@ -17,6 +17,7 @@ use crate::value::Value;
 ///
 /// [`ExecError::DivisionByZero`] on zero division/remainder and
 /// [`ExecError::TypeMismatch`] for operand kinds outside the table.
+#[inline]
 pub fn arith(op: ArithOp, a: Value, b: Value) -> Result<Value, ExecError> {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => arith_i32(op, x, y),
@@ -33,6 +34,7 @@ pub fn arith(op: ArithOp, a: Value, b: Value) -> Result<Value, ExecError> {
     }
 }
 
+#[inline]
 fn arith_i32(op: ArithOp, x: i32, y: i32) -> Result<Value, ExecError> {
     let v = match op {
         ArithOp::Add => x.wrapping_add(y),
@@ -59,6 +61,7 @@ fn arith_i32(op: ArithOp, x: i32, y: i32) -> Result<Value, ExecError> {
     Ok(Value::Int(v))
 }
 
+#[inline]
 fn arith_i64(op: ArithOp, x: i64, y: i64) -> Result<Value, ExecError> {
     let v = match op {
         ArithOp::Add => x.wrapping_add(y),
@@ -92,6 +95,7 @@ fn arith_i64(op: ArithOp, x: i64, y: i64) -> Result<Value, ExecError> {
 /// # Errors
 ///
 /// [`ExecError::TypeMismatch`] for incomparable kinds.
+#[inline]
 pub fn compare(op: CmpOp, a: Value, b: Value) -> Result<Value, ExecError> {
     let numeric = |v: Value| -> Option<i64> {
         match v {
@@ -131,6 +135,7 @@ pub fn compare(op: CmpOp, a: Value, b: Value) -> Result<Value, ExecError> {
 /// # Errors
 ///
 /// [`ExecError::TypeMismatch`] for non-numeric operands.
+#[inline]
 pub fn negate(v: Value) -> Result<Value, ExecError> {
     match v {
         Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
@@ -144,6 +149,7 @@ pub fn negate(v: Value) -> Result<Value, ExecError> {
 /// # Errors
 ///
 /// [`ExecError::TypeMismatch`] for non-boolean operands.
+#[inline]
 pub fn boolean_not(v: Value) -> Result<Value, ExecError> {
     match v {
         Value::Bool(b) => Ok(Value::Bool(!b)),

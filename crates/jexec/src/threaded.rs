@@ -1,0 +1,2232 @@
+//! The threaded-code execution substrate: the fast twin of [`crate::interp`].
+//!
+//! [`lower`] translates a method's [`Code`] once into a flat array of
+//! pre-decoded, pre-resolved [`Op`]s:
+//!
+//! * local and static slots are bounds-checked at lowering time (invalid
+//!   slots become [`Op::Corrupt`] ops that raise the interpreter's exact
+//!   error at the exact step it would occur);
+//! * constants are pre-boxed as [`Value`]s;
+//! * branch targets are resolved to op indices, with out-of-range targets
+//!   redirected to a trailing "pc out of range" sentinel;
+//! * field names, virtual-call names, and reflective class/method names are
+//!   resolved into per-class offset and dispatch tables, replacing the
+//!   interpreter's per-access linear scans and hash lookups;
+//! * statically resolved calls that can only fail (arity mismatch, missing
+//!   receiver) carry their prebuilt error.
+//!
+//! Lowered bodies are shared through a process-wide lock-once code cache
+//! keyed by `(image shape fingerprint, method code fingerprint)`, so every
+//! `WorkPool` worker and every differential-pool JVM reuses lowering work,
+//! and a JIT [`Image::install_code`] invalidates exactly one method.
+//!
+//! The dispatch loop preserves the interpreter's observable behaviour bit
+//! for bit: fuel accounting, step counts, the every-4096-steps cancellation
+//! poll, `--profile` opcode attribution, error values and their timing, and
+//! all [`ExecStats`]/[`Profile`] counters. `tests/exec_equivalence.rs`
+//! enforces this over the golden corpus and a property sweep.
+//!
+//! One deliberate divergence: hand-built code holding an out-of-range
+//! [`MethodId`]/[`ClassId`] makes the interpreter panic on a slice index at
+//! the faulting instruction; here the same instruction executes an
+//! [`Op::HostPanic`] with a clearer message. Both substrates panic at the
+//! same execution point, so crash containment behaves identically. The AST
+//! compiler never emits such code.
+
+use crate::code::{ArithOp, CmpOp, Code, Instr, MethodId};
+use crate::error::ExecError;
+use crate::image::{Fnv, Image};
+use crate::interp::{opcode_index, ExecConfig, ExecStats, OpcodeProfiler, Outcome, Profile};
+use crate::ops;
+use crate::value::{ClassId, Heap, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Opcode-array value for the pc sentinel: the interpreter errors on fetch,
+/// before profiler attribution, so the sentinel must not be profiled.
+const NO_OPCODE: u8 = u8::MAX;
+
+/// Missing entry in a per-class field-offset table.
+const NO_FIELD: u32 = u32::MAX;
+
+/// A pre-decoded, pre-resolved instruction. Operand-free by design: cold
+/// resolution data lives in side tables indexed by small ids, keeping the
+/// hot array compact.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push a pre-boxed constant (covers ConstI/ConstL/ConstB/ConstNull
+    /// and ClassObj; the original opcode survives in the opcode array).
+    ConstVal(Value),
+    /// Load a local slot, validated at lowering time.
+    Load(u16),
+    /// Store into a local slot, validated at lowering time.
+    Store(u16),
+    /// Field read via the indexed per-class offset table.
+    GetField(u16),
+    /// Field write via the indexed per-class offset table.
+    PutField(u16),
+    /// Read a flattened static slot, validated at lowering time.
+    GetStatic(u32),
+    /// Write a flattened static slot, validated at lowering time.
+    PutStatic(u32),
+    Arith(ArithOp),
+    Cmp(CmpOp),
+    Neg,
+    Not,
+    /// Unconditional jump; `backedge` is precomputed (`target <= pc`).
+    Jump {
+        target: u32,
+        backedge: bool,
+    },
+    JumpIfFalse(u32),
+    /// Statically resolved call via the calls table.
+    Invoke(u16),
+    /// Name-dispatched call via the vcalls table.
+    InvokeVirtual(u16),
+    /// Reflective call via the rcalls table.
+    InvokeReflect(u16),
+    New(u32),
+    BoxInt,
+    UnboxInt,
+    MonitorEnter,
+    MonitorExit,
+    Print,
+    Pop,
+    Dup,
+    ReturnV,
+    Return,
+    /// An op the interpreter rejects at runtime; raises the matching
+    /// `VmCorrupt` after the usual fuel/step/cancel accounting.
+    Corrupt(CorruptKind),
+    /// An op the interpreter panics on (out-of-range id in hand-built
+    /// code); see the module docs.
+    HostPanic(BadRef),
+
+    // ---- superinstructions (fused bodies only, see [`fuse`]) ----
+    //
+    // Each replaces a straight-line run of the plain ops above with one
+    // dispatch. Execution stays micro-step exact: the dispatch prologue
+    // accounts for the first constituent instruction and every further
+    // one "ticks" fuel/steps/cancellation individually, so fuel
+    // exhaustion, error timing, and watchdog polls are bit-identical to
+    // the unfused body. Profiled runs never execute these (the profiler
+    // attributes per original opcode, so they run the unfused twin).
+    /// Two pushes: `Load`/`ConstVal`/`GetStatic` × 2.
+    Push2 {
+        a: Src,
+        b: Src,
+    },
+    /// Fetch then store: e.g. `Load; Store`, `ConstVal; PutStatic`.
+    Move {
+        src: Src,
+        dst: Sink,
+    },
+    /// `Load(slot); GetField(fi)` — field read off a local object.
+    GetFieldL {
+        slot: u16,
+        fi: u16,
+    },
+    /// Binary arithmetic with fused operand fetches and an optional
+    /// fused store: `[fetch a] [fetch b] Arith [Store/PutStatic]`.
+    /// `Src::Stack` operands pop (a fused `Arith; Store` tail has both
+    /// on the stack); `b` is only `Stack` when `a` is.
+    Bin {
+        op: ArithOp,
+        a: Src,
+        b: Src,
+        sink: Sink,
+    },
+    /// `[fetch a] [fetch b] Cmp; JumpIfFalse(target)` — the classic
+    /// loop-header shape, one dispatch per iteration test.
+    CmpBr {
+        op: CmpOp,
+        a: Src,
+        b: Src,
+        target: u32,
+    },
+    /// A backward `Jump` fused with the [`Op::CmpBr`] loop header it
+    /// lands on: the whole loop latch + next iteration test in one
+    /// dispatch. `exit` is the `CmpBr` exit target (where a false
+    /// condition leaves the loop); `fall` is the fused index right after
+    /// the `CmpBr` (where a true condition re-enters the body). The
+    /// original `CmpBr` stays in place for loop entry.
+    JumpCmpBr {
+        op: CmpOp,
+        a: Src,
+        b: Src,
+        exit: u32,
+        fall: u32,
+    },
+    /// A whole two-operator expression statement in one dispatch:
+    /// `(a op1 b) op2 c` when `right` is false (micro order
+    /// `a b op1 c op2 [sink]`), `a op2 (b op1 c)` when true (micro order
+    /// `a b c op1 op2 [sink]`). All three operands are real fetches —
+    /// the fuser never builds a `Chain3` from stack operands.
+    Chain3 {
+        a: Src,
+        b: Src,
+        c: Src,
+        op1: ArithOp,
+        op2: ArithOp,
+        right: bool,
+        sink: Sink,
+    },
+    /// The canonical counted-loop latch, one dispatch per iteration:
+    /// `local dst = local islot iop const` (the induction step), the
+    /// backward jump, and the [`Op::CmpBr`] header test it lands on.
+    /// Built by replacing the `Bin` of a `Bin` + backward-`Jump` pair
+    /// (both stay in place — a branch into either still behaves
+    /// identically).
+    IncLatch {
+        iop: ArithOp,
+        islot: u16,
+        ic: Value,
+        dst: u16,
+        cop: CmpOp,
+        ca: Src,
+        cb: Src,
+        exit: u32,
+        fall: u32,
+    },
+}
+
+/// Fused operand source. Slots are pre-validated (the fuser only folds
+/// ops that already passed lowering-time bounds checks).
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// Pop from the operand stack (the value a preceding unfused op left).
+    Stack,
+    Local(u16),
+    Static(u32),
+    Const(Value),
+}
+
+/// Fused result destination.
+#[derive(Debug, Clone, Copy)]
+enum Sink {
+    Push,
+    Local(u16),
+    Static(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CorruptKind {
+    LocalSlot,
+    StaticSlot,
+    Pc,
+}
+
+impl CorruptKind {
+    fn msg(self) -> &'static str {
+        match self {
+            CorruptKind::LocalSlot => "local slot out of range",
+            CorruptKind::StaticSlot => "static slot out of range",
+            CorruptKind::Pc => "pc out of range",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BadRef {
+    Method,
+    Class,
+}
+
+/// Per-class instance-field offsets for one field name.
+#[derive(Debug)]
+struct FieldTable {
+    name: Box<str>,
+    /// Offset per [`ClassId`], [`NO_FIELD`] when the class lacks the field.
+    offsets: Box<[u32]>,
+}
+
+/// What a call does once its arguments and receiver are off the stack.
+#[derive(Debug, Clone)]
+enum CallAction {
+    Goto { mid: u32, needs_recv: bool },
+    Fail(ExecError),
+}
+
+/// A statically resolved (or statically failing) `Invoke`.
+#[derive(Debug)]
+struct CallInfo {
+    argc: u8,
+    pops_recv: bool,
+    action: CallAction,
+}
+
+/// Pre-resolved virtual dispatch target for one class.
+#[derive(Debug, Clone, Copy)]
+enum VTarget {
+    Goto { mid: u32, needs_recv: bool },
+    NoMethod,
+    Arity,
+}
+
+/// A name-dispatched `InvokeVirtual`: one resolution per possible runtime
+/// class, replacing the interpreter's per-call hash lookup.
+#[derive(Debug)]
+struct VCall {
+    name: Box<str>,
+    argc: u8,
+    targets: Box<[VTarget]>,
+}
+
+/// A fully pre-resolved `InvokeReflect` (class and method names are
+/// compile-time constants, so resolution never depends on runtime values).
+#[derive(Debug)]
+struct RCall {
+    argc: u8,
+    pops_recv: bool,
+    action: CallAction,
+}
+
+/// Resolution side tables, shared between a method's fused and unfused
+/// bodies (the fused body references the same call/field data).
+#[derive(Debug)]
+struct SideTables {
+    fields: Box<[FieldTable]>,
+    calls: Box<[CallInfo]>,
+    vcalls: Box<[VCall]>,
+    rcalls: Box<[RCall]>,
+}
+
+/// One method's lowered body plus its resolution side tables.
+#[derive(Debug)]
+pub struct ThreadedCode {
+    /// The ops array, ending in the pc-out-of-range sentinel. Unfused
+    /// bodies hold `instrs.len() + 1` ops; fused bodies fewer.
+    ops: Box<[Op]>,
+    /// Original opcode index per op, for `--profile` attribution.
+    /// Empty on fused bodies — profiled runs execute the unfused twin.
+    opcodes: Box<[u8]>,
+    n_locals: u16,
+    max_stack: u16,
+    tables: Arc<SideTables>,
+    /// The unfused twin of a fused body (`None` when self is unfused).
+    /// Profiled runs execute it so per-opcode attribution, which samples
+    /// individual steps, sees every original instruction.
+    unfused: Option<Arc<ThreadedCode>>,
+}
+
+/// Statistics of the process-wide code cache (for benches and debugging;
+/// deterministic telemetry counters are derived elsewhere, see
+/// [`take_lookup_log`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Process-lifetime lookup hits.
+    pub hits: u64,
+    /// Process-lifetime lookup misses (lowerings performed).
+    pub misses: u64,
+}
+
+/// Entry cap; on overflow the cache is flushed wholesale. Presence in the
+/// cache never affects results or telemetry, so eviction is unobservable.
+const CACHE_CAP: usize = 16_384;
+
+/// `(image shape fingerprint, method code fingerprint)` -> lowered body.
+type CodeMap = HashMap<(u64, u64), Arc<ThreadedCode>>;
+
+static CODE_CACHE: OnceLock<RwLock<CodeMap>> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static RwLock<CodeMap> {
+    CODE_CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn cache_read() -> RwLockReadGuard<'static, CodeMap> {
+    cache().read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cache_write() -> RwLockWriteGuard<'static, CodeMap> {
+    cache().write().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// Cache keys looked up by this thread, in execution order. Drained by
+    /// `jvmsim::run_jvm` into `JvmRun::cache_log`, where the oracle counts
+    /// hits/misses in canonical merge order — making the telemetry counters
+    /// a pure function of the executions, independent of live cache state
+    /// and worker scheduling.
+    static LOOKUP_LOG: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drains this thread's code-cache lookup log.
+pub fn take_lookup_log() -> Vec<u64> {
+    LOOKUP_LOG.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+/// Empties the cache and zeroes its statistics (campaign start / benches).
+pub fn cache_reset() {
+    cache_write().clear();
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Live statistics of the process-wide cache.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        entries: cache_read().len(),
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Fetches (or lowers and publishes) the threaded body of one method.
+fn lookup_or_lower(image: &Image, mid: MethodId) -> Arc<ThreadedCode> {
+    let key = (image.shape_fp(), image.methods[mid].code_fp);
+    let mut h = Fnv::new();
+    h.u64(key.0);
+    h.u64(key.1);
+    LOOKUP_LOG.with(|l| l.borrow_mut().push(h.0));
+    if let Some(tc) = cache_read().get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(tc);
+    }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Lower outside the lock: lowering is a pure function of the key, so
+    // racing writers insert interchangeable values and `or_insert` keeps
+    // the first. The cache stores the fused body; its unfused twin rides
+    // along inside for profiled runs.
+    let tc = Arc::new(fuse(Arc::new(lower(image, mid))));
+    let mut map = cache_write();
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(tc))
+}
+
+/// Lowers one method's [`Code`] against its image. Infallible: anything the
+/// interpreter would reject at runtime becomes a [`Op::Corrupt`] or
+/// [`Op::HostPanic`] op that reproduces the behaviour at the same step.
+fn lower(image: &Image, mid: MethodId) -> ThreadedCode {
+    let code = &image.methods[mid].code;
+    let n = code.instrs.len();
+    let n_classes = image.classes.len();
+
+    // Flattened static layout: base slot per class.
+    let mut static_base = Vec::with_capacity(n_classes);
+    let mut acc = 0u32;
+    for class in &image.classes {
+        static_base.push(acc);
+        acc += class.static_fields.len() as u32;
+    }
+
+    let mut ops = Vec::with_capacity(n + 1);
+    let mut opcodes = Vec::with_capacity(n + 1);
+    let mut fields: Vec<FieldTable> = Vec::new();
+    let mut field_ids: HashMap<&str, u16> = HashMap::new();
+    let mut calls: Vec<CallInfo> = Vec::new();
+    let mut vcalls: Vec<VCall> = Vec::new();
+    let mut rcalls: Vec<RCall> = Vec::new();
+
+    // Any jump target beyond the code lands on the sentinel at index n.
+    let clamp = |target: usize| -> u32 { target.min(n) as u32 };
+
+    for (pc, instr) in code.instrs.iter().enumerate() {
+        opcodes.push(opcode_index(instr) as u8);
+        let op = match instr {
+            Instr::ConstI(v) => Op::ConstVal(Value::Int(*v)),
+            Instr::ConstL(v) => Op::ConstVal(Value::Long(*v)),
+            Instr::ConstB(b) => Op::ConstVal(Value::Bool(*b)),
+            Instr::ConstNull => Op::ConstVal(Value::Null),
+            // Class lock objects occupy heap ids 0..n_classes, so the class
+            // object is a plain reference — unvalidated, as in the
+            // interpreter (a wild id only surfaces as a dangling reference
+            // if used).
+            Instr::ClassObj(cid) => Op::ConstVal(Value::Ref(*cid)),
+            Instr::Load(s) => {
+                if (*s as usize) < code.n_locals as usize {
+                    Op::Load(*s)
+                } else {
+                    Op::Corrupt(CorruptKind::LocalSlot)
+                }
+            }
+            Instr::Store(s) => {
+                if (*s as usize) < code.n_locals as usize {
+                    Op::Store(*s)
+                } else {
+                    Op::Corrupt(CorruptKind::LocalSlot)
+                }
+            }
+            Instr::GetField(name) => {
+                Op::GetField(intern_field(image, &mut fields, &mut field_ids, name))
+            }
+            Instr::PutField(name) => {
+                Op::PutField(intern_field(image, &mut fields, &mut field_ids, name))
+            }
+            Instr::GetStatic(cid, off) => match flat_static(image, &static_base, *cid, *off) {
+                Some(slot) => Op::GetStatic(slot),
+                None => Op::Corrupt(CorruptKind::StaticSlot),
+            },
+            Instr::PutStatic(cid, off) => match flat_static(image, &static_base, *cid, *off) {
+                Some(slot) => Op::PutStatic(slot),
+                None => Op::Corrupt(CorruptKind::StaticSlot),
+            },
+            Instr::Arith(op) => Op::Arith(*op),
+            Instr::Cmp(op) => Op::Cmp(*op),
+            Instr::Neg => Op::Neg,
+            Instr::Not => Op::Not,
+            Instr::Jump(target) => Op::Jump {
+                target: clamp(*target),
+                backedge: *target <= pc,
+            },
+            Instr::JumpIfFalse(target) => Op::JumpIfFalse(clamp(*target)),
+            Instr::Invoke {
+                method,
+                argc,
+                has_recv,
+            } => {
+                if *method >= image.methods.len() {
+                    Op::HostPanic(BadRef::Method)
+                } else {
+                    let target = &image.methods[*method];
+                    // Failure priority mirrors the interpreter's check
+                    // order: arity first, then a missing mandatory
+                    // receiver. Both fire after operand pops.
+                    let action = if target.params.len() != *argc as usize {
+                        CallAction::Fail(ExecError::NoSuchMethod {
+                            class: image.classes[target.class].name.clone(),
+                            method: target.name.clone(),
+                        })
+                    } else if !target.is_static && !*has_recv {
+                        CallAction::Fail(ExecError::NullReference)
+                    } else {
+                        CallAction::Goto {
+                            mid: *method as u32,
+                            needs_recv: !target.is_static,
+                        }
+                    };
+                    calls.push(CallInfo {
+                        argc: *argc,
+                        pops_recv: *has_recv,
+                        action,
+                    });
+                    Op::Invoke((calls.len() - 1) as u16)
+                }
+            }
+            Instr::InvokeVirtual { method, argc } => {
+                let targets: Vec<VTarget> = image
+                    .classes
+                    .iter()
+                    .map(|class| match class.method_index.get(method) {
+                        None => VTarget::NoMethod,
+                        Some(&mid) => {
+                            let target = &image.methods[mid];
+                            if target.params.len() != *argc as usize {
+                                VTarget::Arity
+                            } else {
+                                VTarget::Goto {
+                                    mid: mid as u32,
+                                    needs_recv: !target.is_static,
+                                }
+                            }
+                        }
+                    })
+                    .collect();
+                vcalls.push(VCall {
+                    name: method.clone().into_boxed_str(),
+                    argc: *argc,
+                    targets: targets.into_boxed_slice(),
+                });
+                Op::InvokeVirtual((vcalls.len() - 1) as u16)
+            }
+            Instr::InvokeReflect {
+                class,
+                method,
+                has_recv,
+                argc,
+            } => {
+                // Reflective errors quote the *requested* names, not the
+                // image's — exactly as the interpreter does.
+                let action = match image.class_id(class) {
+                    None => CallAction::Fail(ExecError::NoSuchClass(class.clone())),
+                    Some(cid) => match image.classes[cid].method_index.get(method) {
+                        None => CallAction::Fail(ExecError::NoSuchMethod {
+                            class: class.clone(),
+                            method: method.clone(),
+                        }),
+                        Some(&mid) => {
+                            let target = &image.methods[mid];
+                            if target.params.len() != *argc as usize {
+                                CallAction::Fail(ExecError::NoSuchMethod {
+                                    class: class.clone(),
+                                    method: method.clone(),
+                                })
+                            } else {
+                                CallAction::Goto {
+                                    mid: mid as u32,
+                                    needs_recv: !target.is_static,
+                                }
+                            }
+                        }
+                    },
+                };
+                rcalls.push(RCall {
+                    argc: *argc,
+                    pops_recv: *has_recv,
+                    action,
+                });
+                Op::InvokeReflect((rcalls.len() - 1) as u16)
+            }
+            Instr::New(cid) => {
+                if *cid < n_classes {
+                    Op::New(*cid as u32)
+                } else {
+                    Op::HostPanic(BadRef::Class)
+                }
+            }
+            Instr::BoxInt => Op::BoxInt,
+            Instr::UnboxInt => Op::UnboxInt,
+            Instr::MonitorEnter => Op::MonitorEnter,
+            Instr::MonitorExit => Op::MonitorExit,
+            Instr::Print => Op::Print,
+            Instr::Pop => Op::Pop,
+            Instr::Dup => Op::Dup,
+            Instr::ReturnV => Op::ReturnV,
+            Instr::Return => Op::Return,
+        };
+        ops.push(op);
+    }
+    // Fetch sentinel: running past the end (or a wild jump) raises the
+    // interpreter's "pc out of range" after fuel/step/cancel accounting but
+    // before profiler attribution.
+    ops.push(Op::Corrupt(CorruptKind::Pc));
+    opcodes.push(NO_OPCODE);
+
+    ThreadedCode {
+        ops: ops.into_boxed_slice(),
+        opcodes: opcodes.into_boxed_slice(),
+        n_locals: code.n_locals,
+        // Recompute: hand-built code may understate its own metadata.
+        max_stack: Code::compute_max_stack(&code.instrs),
+        tables: Arc::new(SideTables {
+            fields: fields.into_boxed_slice(),
+            calls: calls.into_boxed_slice(),
+            vcalls: vcalls.into_boxed_slice(),
+            rcalls: rcalls.into_boxed_slice(),
+        }),
+        unfused: None,
+    }
+}
+
+/// Builds the fused body of an unfused lowering: maximal straight-line
+/// runs of fetch/arith/compare/store/branch ops collapse into the
+/// superinstructions at the tail of [`Op`], one dispatch each.
+///
+/// Groups never span a branch target (every target starts a group, so
+/// remapped jumps stay valid), and only ops already validated by
+/// [`lower`] participate — `Corrupt`/`HostPanic` ops are never folded.
+fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
+    let ops = &unfused.ops;
+    let n = ops.len() - 1; // exclude the pc sentinel
+    let mut is_target = vec![false; n + 1];
+    for op in ops.iter() {
+        match op {
+            Op::Jump { target, .. } | Op::JumpIfFalse(target) => {
+                is_target[*target as usize] = true;
+            }
+            _ => {}
+        }
+    }
+
+    let as_fetch = |op: &Op| -> Option<Src> {
+        match op {
+            Op::Load(s) => Some(Src::Local(*s)),
+            Op::ConstVal(v) => Some(Src::Const(*v)),
+            Op::GetStatic(s) => Some(Src::Static(*s)),
+            _ => None,
+        }
+    };
+    let as_sink = |op: &Op| -> Option<Sink> {
+        match op {
+            Op::Store(s) => Some(Sink::Local(*s)),
+            Op::PutStatic(s) => Some(Sink::Static(*s)),
+            _ => None,
+        }
+    };
+
+    let mut fused: Vec<Op> = Vec::with_capacity(n + 1);
+    let mut orig_to_fused = vec![u32::MAX; n + 1];
+    let mut i = 0usize;
+    while i < n {
+        orig_to_fused[i] = fused.len() as u32;
+        // `free(j)`: op j exists and may be consumed mid-group (nothing
+        // jumps into it).
+        let free = |j: usize| j < n && !is_target[j];
+        let (op, k) = if let Some(f0) = as_fetch(&ops[i]) {
+            if !free(i + 1) {
+                (ops[i], 1)
+            } else if let Some(f1) = as_fetch(&ops[i + 1]) {
+                // Two-operator chains first (longest match): left-deep
+                // `F F A F A [S]` and right-deep `F F F A A [S]`.
+                let chain3 = |f2: Src, op1: ArithOp, op2: ArithOp, right: bool, at: usize| match (
+                    free(at),
+                    as_sink(ops.get(at).unwrap_or(&Op::Return)),
+                ) {
+                    (true, Some(sink)) => (
+                        Op::Chain3 {
+                            a: f0,
+                            b: f1,
+                            c: f2,
+                            op1,
+                            op2,
+                            right,
+                            sink,
+                        },
+                        at + 1 - i,
+                    ),
+                    _ => (
+                        Op::Chain3 {
+                            a: f0,
+                            b: f1,
+                            c: f2,
+                            op1,
+                            op2,
+                            right,
+                            sink: Sink::Push,
+                        },
+                        at - i,
+                    ),
+                };
+                match (free(i + 2), &ops[i + 2]) {
+                    (true, Op::Arith(op)) => match (
+                        free(i + 3).then(|| as_fetch(&ops[i + 3])).flatten(),
+                        free(i + 4).then(|| ops.get(i + 4)).flatten(),
+                    ) {
+                        (Some(f2), Some(Op::Arith(op2))) => chain3(f2, *op, *op2, false, i + 5),
+                        _ => match (free(i + 3), as_sink(ops.get(i + 3).unwrap_or(&Op::Return))) {
+                            (true, Some(sink)) => (
+                                Op::Bin {
+                                    op: *op,
+                                    a: f0,
+                                    b: f1,
+                                    sink,
+                                },
+                                4,
+                            ),
+                            _ => (
+                                Op::Bin {
+                                    op: *op,
+                                    a: f0,
+                                    b: f1,
+                                    sink: Sink::Push,
+                                },
+                                3,
+                            ),
+                        },
+                    },
+                    (true, Op::Cmp(op)) => match (free(i + 3), ops.get(i + 3)) {
+                        (true, Some(Op::JumpIfFalse(t))) => (
+                            Op::CmpBr {
+                                op: *op,
+                                a: f0,
+                                b: f1,
+                                target: *t,
+                            },
+                            4,
+                        ),
+                        _ => (Op::Push2 { a: f0, b: f1 }, 2),
+                    },
+                    (true, third) => match (
+                        as_fetch(third),
+                        free(i + 3).then(|| ops.get(i + 3)).flatten(),
+                        free(i + 4).then(|| ops.get(i + 4)).flatten(),
+                    ) {
+                        (Some(f2), Some(Op::Arith(op1)), Some(Op::Arith(op2))) => {
+                            chain3(f2, *op1, *op2, true, i + 5)
+                        }
+                        _ => (Op::Push2 { a: f0, b: f1 }, 2),
+                    },
+                    _ => (Op::Push2 { a: f0, b: f1 }, 2),
+                }
+            } else {
+                // Single fetch: it supplies the *second* operand (the
+                // first, if any, is already on the stack).
+                match &ops[i + 1] {
+                    Op::Arith(op) => {
+                        match (free(i + 2), as_sink(ops.get(i + 2).unwrap_or(&Op::Return))) {
+                            (true, Some(sink)) => (
+                                Op::Bin {
+                                    op: *op,
+                                    a: Src::Stack,
+                                    b: f0,
+                                    sink,
+                                },
+                                3,
+                            ),
+                            _ => (
+                                Op::Bin {
+                                    op: *op,
+                                    a: Src::Stack,
+                                    b: f0,
+                                    sink: Sink::Push,
+                                },
+                                2,
+                            ),
+                        }
+                    }
+                    Op::Cmp(op) => match (free(i + 2), ops.get(i + 2)) {
+                        (true, Some(Op::JumpIfFalse(t))) => (
+                            Op::CmpBr {
+                                op: *op,
+                                a: Src::Stack,
+                                b: f0,
+                                target: *t,
+                            },
+                            3,
+                        ),
+                        _ => (ops[i], 1),
+                    },
+                    Op::Store(s) => (
+                        Op::Move {
+                            src: f0,
+                            dst: Sink::Local(*s),
+                        },
+                        2,
+                    ),
+                    Op::PutStatic(s) => (
+                        Op::Move {
+                            src: f0,
+                            dst: Sink::Static(*s),
+                        },
+                        2,
+                    ),
+                    Op::GetField(fi) => match f0 {
+                        Src::Local(slot) => (Op::GetFieldL { slot, fi: *fi }, 2),
+                        _ => (ops[i], 1),
+                    },
+                    _ => (ops[i], 1),
+                }
+            }
+        } else {
+            // Stack-operand tails of larger expressions.
+            match &ops[i] {
+                Op::Arith(op) if free(i + 1) => match as_sink(&ops[i + 1]) {
+                    Some(sink) => (
+                        Op::Bin {
+                            op: *op,
+                            a: Src::Stack,
+                            b: Src::Stack,
+                            sink,
+                        },
+                        2,
+                    ),
+                    None => (ops[i], 1),
+                },
+                Op::Cmp(op) if free(i + 1) => match &ops[i + 1] {
+                    Op::JumpIfFalse(t) => (
+                        Op::CmpBr {
+                            op: *op,
+                            a: Src::Stack,
+                            b: Src::Stack,
+                            target: *t,
+                        },
+                        2,
+                    ),
+                    _ => (ops[i], 1),
+                },
+                _ => (ops[i], 1),
+            }
+        };
+        fused.push(op);
+        i += k;
+    }
+    orig_to_fused[n] = fused.len() as u32;
+    fused.push(Op::Corrupt(CorruptKind::Pc));
+
+    // Remap branch targets into fused index space. Every target is a
+    // group start (the fuser never consumes a targeted op mid-group).
+    for op in &mut fused {
+        match op {
+            Op::Jump { target, .. } | Op::JumpIfFalse(target) | Op::CmpBr { target, .. } => {
+                let t = orig_to_fused[*target as usize];
+                debug_assert_ne!(t, u32::MAX, "branch into the middle of a fused group");
+                *target = t;
+            }
+            _ => {}
+        }
+    }
+
+    // Counted-loop latch fusion: an induction step
+    // `Bin{Local, Const -> Local}` directly before a backward `Jump`
+    // into a fused `CmpBr` collapses into one `IncLatch` dispatch per
+    // iteration. Only slot j is rewritten — the `Jump` at j+1 and the
+    // `CmpBr` stay in place, so any branch into the middle of the
+    // pattern still sees identical semantics.
+    for j in 0..fused.len().saturating_sub(1) {
+        if let (
+            Op::Bin {
+                op: iop,
+                a: Src::Local(islot),
+                b: Src::Const(ic),
+                sink: Sink::Local(dst),
+            },
+            Op::Jump {
+                target,
+                backedge: true,
+            },
+        ) = (fused[j], fused[j + 1])
+        {
+            if let Op::CmpBr {
+                op: cop,
+                a: ca,
+                b: cb,
+                target: exit,
+            } = fused[target as usize]
+            {
+                fused[j] = Op::IncLatch {
+                    iop,
+                    islot,
+                    ic,
+                    dst,
+                    cop,
+                    ca,
+                    cb,
+                    exit,
+                    fall: target + 1,
+                };
+            }
+        }
+    }
+
+    // Latch fusion: a backward `Jump` landing on a fused `CmpBr` (the
+    // `for`/`while` loop latch returning to its header test) becomes one
+    // dispatch per iteration. The `CmpBr` stays in place for loop entry,
+    // so this is a pure behavioral copy — even a branch *to* the old
+    // `Jump` index sees identical semantics (jump micro, then the test).
+    for j in 0..fused.len() {
+        if let Op::Jump {
+            target,
+            backedge: true,
+        } = fused[j]
+        {
+            if let Op::CmpBr {
+                op,
+                a,
+                b,
+                target: exit,
+            } = fused[target as usize]
+            {
+                fused[j] = Op::JumpCmpBr {
+                    op,
+                    a,
+                    b,
+                    exit,
+                    fall: target + 1,
+                };
+            }
+        }
+    }
+
+    ThreadedCode {
+        ops: fused.into_boxed_slice(),
+        opcodes: Box::new([]),
+        n_locals: unfused.n_locals,
+        max_stack: unfused.max_stack,
+        tables: Arc::clone(&unfused.tables),
+        unfused: Some(unfused),
+    }
+}
+
+fn intern_field<'c>(
+    image: &'c Image,
+    fields: &mut Vec<FieldTable>,
+    ids: &mut HashMap<&'c str, u16>,
+    name: &str,
+) -> u16 {
+    if let Some(&id) = ids.get(name) {
+        return id;
+    }
+    let offsets: Vec<u32> = image
+        .classes
+        .iter()
+        .map(|c| c.instance_offset(name).map_or(NO_FIELD, |o| o as u32))
+        .collect();
+    fields.push(FieldTable {
+        name: name.into(),
+        offsets: offsets.into_boxed_slice(),
+    });
+    let id = (fields.len() - 1) as u16;
+    // Borrow the name from the image when possible so the map key outlives
+    // this call; fall back to leaking nothing by keying on the table we
+    // just pushed is not possible with a HashMap<&str>, so only intern
+    // names that exist in some class layout (repeats of unknown names are
+    // rare and just get duplicate tables).
+    for class in &image.classes {
+        if let Some(f) = class.instance_fields.iter().find(|f| f.name == name) {
+            ids.insert(f.name.as_str(), id);
+            break;
+        }
+    }
+    id
+}
+
+fn flat_static(image: &Image, base: &[u32], cid: ClassId, off: u16) -> Option<u32> {
+    let class = image.classes.get(cid)?;
+    if (off as usize) < class.static_fields.len() {
+        Some(base[cid] + u32::from(off))
+    } else {
+        None
+    }
+}
+
+/// A suspended caller frame.
+struct SavedFrame {
+    code: Arc<ThreadedCode>,
+    mid: usize,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+struct TMachine<'i> {
+    image: &'i Image,
+    heap: Heap,
+    /// Flattened statics (all classes concatenated in [`ClassId`] order).
+    statics: Vec<Value>,
+    fuel: u64,
+    max_call_depth: usize,
+    stats: ExecStats,
+    profile: Profile,
+    output: Vec<String>,
+    profiler: Option<OpcodeProfiler>,
+    /// Per-execution memo of cache lookups (one per method, first call).
+    lowered: Vec<Option<Arc<ThreadedCode>>>,
+    /// Recycled (locals, stack) vectors — calls reuse allocations instead
+    /// of paying two mallocs per frame.
+    pool: Vec<(Vec<Value>, Vec<Value>)>,
+}
+
+/// Executes `image` from its `main` method on the threaded substrate.
+///
+/// Observably identical to [`crate::interp::run`] — including telemetry:
+/// the same `interp_run` trace span and `InterpRuns`/`InterpSteps`
+/// counters, so traced journals are byte-identical across exec modes.
+pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
+    let _trace = jtelemetry::trace_span("interp_run", Vec::new);
+    let mut machine = TMachine {
+        image,
+        heap: Heap::new(),
+        statics: image
+            .classes
+            .iter()
+            .flat_map(|c| c.static_fields.iter().map(|f| f.init))
+            .collect(),
+        fuel: config.fuel,
+        max_call_depth: config.max_call_depth,
+        stats: ExecStats::default(),
+        profile: Profile {
+            invocations: vec![0; image.methods.len()],
+            backedges: vec![0; image.methods.len()],
+        },
+        output: Vec::new(),
+        profiler: jtelemetry::profiling().then(OpcodeProfiler::new),
+        lowered: vec![None; image.methods.len()],
+        pool: Vec::new(),
+    };
+    // Class lock objects occupy ids 0..n_classes, so `ClassObj(c)` is
+    // `Ref(c)`.
+    for cid in 0..image.classes.len() {
+        machine.heap.alloc(cid, Vec::new());
+    }
+    let result = machine.run_from(image.main());
+    let mut error = result.err();
+    // A clean exit must leave every monitor released; a leaked monitor is
+    // the classic symptom of a broken lock optimization.
+    if error.is_none() {
+        for id in 0..machine.heap.len() {
+            if machine.heap.get(id).map_or(0, |o| o.monitor_depth) != 0 {
+                error = Some(ExecError::IllegalMonitorState);
+                break;
+            }
+        }
+    }
+    jtelemetry::count(jtelemetry::Counter::InterpRuns, 1);
+    jtelemetry::count(jtelemetry::Counter::InterpSteps, machine.stats.steps);
+    if let Some(profiler) = &machine.profiler {
+        profiler.flush();
+    }
+    Outcome {
+        output: machine.output,
+        error,
+        stats: machine.stats,
+        profile: machine.profile,
+    }
+}
+
+impl<'i> TMachine<'i> {
+    fn ensure(&mut self, mid: usize) -> Arc<ThreadedCode> {
+        if let Some(tc) = &self.lowered[mid] {
+            return Arc::clone(tc);
+        }
+        let tc = lookup_or_lower(self.image, mid);
+        // Profiled runs execute the unfused twin: opcode attribution
+        // samples individual steps, so every original instruction must
+        // dispatch individually. Unprofiled runs get the fused body.
+        let tc = if self.profiler.is_some() {
+            tc.unfused.clone().unwrap_or(tc)
+        } else {
+            tc
+        };
+        self.lowered[mid] = Some(Arc::clone(&tc));
+        tc
+    }
+
+    fn run_from(&mut self, main: MethodId) -> Result<(), ExecError> {
+        // Monomorphize the dispatch loop on "is a profiler attached":
+        // the unprofiled instantiation (the fuzzing hot path) carries no
+        // per-dispatch profiler check at all.
+        if self.profiler.is_some() {
+            self.run_from_inner::<true>(main)
+        } else {
+            self.run_from_inner::<false>(main)
+        }
+    }
+
+    fn run_from_inner<const PROFILED: bool>(&mut self, main: MethodId) -> Result<(), ExecError> {
+        let mut cur_code = self.ensure(main);
+        let mut cur_mid = main;
+        let mut pc = 0usize;
+        // Entry frame: counters bump exactly as the interpreter's
+        // `new_frame`, and like there, the entry frame does not update
+        // `max_depth`.
+        self.profile.invocations[main] += 1;
+        self.stats.calls += 1;
+        let mut locals = vec![Value::Null; cur_code.n_locals as usize];
+        let mut stack: Vec<Value> = Vec::with_capacity(cur_code.max_stack as usize);
+        let mut saved: Vec<SavedFrame> = Vec::with_capacity(16);
+        // Fuel and step counters live in locals for the whole dispatch
+        // loop: routing them through `self` costs a serialized memory
+        // round-trip per dispatch. Every exit from the loop (including
+        // errors) funnels through the single write-back below; panics
+        // (host bugs, watchdog aborts) discard the machine anyway.
+        let mut fuel = self.fuel;
+        let mut steps = self.stats.steps;
+
+        macro_rules! pop {
+            () => {
+                match stack.pop() {
+                    Some(v) => v,
+                    None => return Err(ExecError::VmCorrupt("operand stack underflow")),
+                }
+            };
+        }
+
+        /// One additional micro-step inside a superinstruction: exactly
+        /// the per-step accounting the unfused loop performs (fuel gate,
+        /// step count, watchdog poll cadence), so fused execution is
+        /// step-exact. Profiler attribution is absent by construction —
+        /// profiled runs execute the unfused twin.
+        macro_rules! tick {
+            () => {
+                if fuel == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                fuel -= 1;
+                steps += 1;
+                if steps & 0xFFF == 0 {
+                    jtelemetry::cancel::check("interpreter");
+                }
+            };
+        }
+
+        /// Batch accounting for a superinstruction's `$rest` micro-steps
+        /// beyond the prologue-ticked first one. When the whole group
+        /// fits before the next fuel wall *and* the next watchdog poll
+        /// boundary, account it in one shot and bind `$fast = true`;
+        /// the arm's [`mtick!`] sites then compile to no-ops and any
+        /// mid-group error rolls the overshoot back. Otherwise fall back
+        /// to per-micro ticking (`$fast = false`), which is bit-exact at
+        /// every boundary.
+        macro_rules! batched {
+            ($rest:expr, $fast:ident) => {
+                let rest: u64 = $rest;
+                let $fast = fuel >= rest && (steps & 0xFFF) + rest < 0x1000;
+                if $fast {
+                    fuel -= rest;
+                    steps += rest;
+                }
+            };
+        }
+
+        /// A [`tick!`] site inside a [`batched!`] superinstruction arm:
+        /// skipped on the batched fast path, exact on the slow path.
+        macro_rules! mtick {
+            ($fast:ident) => {
+                if !$fast {
+                    tick!();
+                }
+            };
+        }
+
+        /// Fetches a fused operand. `Stack` pops — underflow raises the
+        /// interpreter's exact corruption error.
+        macro_rules! fetch {
+            ($src:expr) => {
+                match $src {
+                    Src::Local(s) => locals[*s as usize],
+                    Src::Const(v) => *v,
+                    Src::Static(s) => self.statics[*s as usize],
+                    Src::Stack => pop!(),
+                }
+            };
+        }
+
+        /// Common frame-entry tail for the three call forms. `$recv` is the
+        /// fully resolved receiver (already validated), `$pops` the number
+        /// of stack slots holding receiver + args.
+        macro_rules! enter {
+            ($frame:lifetime, $mid:expr, $recv:expr, $argn:expr, $pops_recv:expr) => {{
+                let mid: usize = $mid;
+                let recv: Option<Value> = $recv;
+                let argn: usize = $argn;
+                if saved.len() + 1 >= self.max_call_depth {
+                    return Err(ExecError::StackOverflow);
+                }
+                let callee = self.ensure(mid);
+                self.profile.invocations[mid] += 1;
+                self.stats.calls += 1;
+                let (mut nlocals, mut nstack) = self.pool.pop().unwrap_or_default();
+                nlocals.clear();
+                nlocals.resize(callee.n_locals as usize, Value::Null);
+                nstack.clear();
+                nstack.reserve(callee.max_stack as usize);
+                let mut slot = 0usize;
+                if let Some(r) = recv {
+                    if nlocals.is_empty() {
+                        return Err(ExecError::VmCorrupt("no slot for receiver"));
+                    }
+                    nlocals[0] = r;
+                    slot = 1;
+                }
+                let base = stack.len() - argn;
+                for i in 0..argn {
+                    if slot >= nlocals.len() {
+                        return Err(ExecError::VmCorrupt("no slot for argument"));
+                    }
+                    nlocals[slot] = stack[base + i];
+                    slot += 1;
+                }
+                stack.truncate(base - usize::from($pops_recv));
+                saved.push(SavedFrame {
+                    code: std::mem::replace(&mut cur_code, callee),
+                    mid: cur_mid,
+                    pc: pc + 1,
+                    locals: std::mem::replace(&mut locals, nlocals),
+                    stack: std::mem::replace(&mut stack, nstack),
+                });
+                cur_mid = mid;
+                pc = 0;
+                self.stats.max_depth = self.stats.max_depth.max(saved.len() + 1);
+                continue $frame;
+            }};
+        }
+
+        macro_rules! ret {
+            ($frame:lifetime, $v:expr) => {{
+                let v: Value = $v;
+                match saved.pop() {
+                    Some(f) => {
+                        let old_locals = std::mem::replace(&mut locals, f.locals);
+                        let old_stack = std::mem::replace(&mut stack, f.stack);
+                        self.pool.push((old_locals, old_stack));
+                        cur_code = f.code;
+                        cur_mid = f.mid;
+                        pc = f.pc;
+                        stack.push(v);
+                        continue $frame;
+                    }
+                    None => return Ok(()),
+                }
+            }};
+        }
+
+        /// Per-dispatch prologue of every *plain* (unfused) arm: one
+        /// tick plus, in the `PROFILED` instantiation, per-opcode
+        /// attribution. Superinstruction arms account their whole width
+        /// through [`batched!`] instead and never run profiled (the
+        /// profiler executes the unfused twin), so the profiler check
+        /// vanishes from the unprofiled instantiation entirely.
+        macro_rules! pro {
+            () => {
+                tick!();
+                if PROFILED {
+                    if let Some(profiler) = &mut self.profiler {
+                        let idx = cur_code.opcodes[pc];
+                        if idx != NO_OPCODE {
+                            profiler.step(steps, idx as usize);
+                        }
+                    }
+                }
+            };
+        }
+
+        let mut dispatch = || -> Result<(), ExecError> {
+            // The outer loop re-borrows the current method's op array after
+            // every frame change (`enter!`/`ret!` reassign `cur_code` and
+            // `continue 'frame`); the inner loop then dispatches on a flat
+            // slice with the indirection hoisted out.
+            'frame: loop {
+                let ops: &[Op] = &cur_code.ops;
+                loop {
+                    debug_assert!(pc < ops.len(), "pc escaped the op array");
+                    // SAFETY: `pc` is always in bounds. Lowering clamps every
+                    // branch target into `0..=len-1` and appends a diverging
+                    // `Corrupt(Pc)` sentinel at `len-1`; the fused remap maps
+                    // targets onto group starts and latch `fall` indices onto
+                    // `cmpbr+1 <= len-1`; `enter!` sets `pc = 0` (every lowering
+                    // is non-empty), `ret!` restores `invoke_pc + 1 <= len-1`
+                    // (an `Invoke` is never the sentinel), and sequential
+                    // `pc += 1` from a non-sentinel op lands at most on the
+                    // sentinel, which returns before the next fetch.
+                    let cur_op = unsafe { ops.get_unchecked(pc) };
+                    match cur_op {
+                        Op::ConstVal(v) => {
+                            pro!();
+                            stack.push(*v);
+                        }
+                        Op::Load(s) => {
+                            pro!();
+                            let v = locals[*s as usize];
+                            stack.push(v);
+                        }
+                        Op::Store(s) => {
+                            pro!();
+                            let v = pop!();
+                            locals[*s as usize] = v;
+                        }
+                        Op::GetField(fi) => {
+                            pro!();
+                            let obj = pop!();
+                            match obj {
+                                Value::Null => return Err(ExecError::NullReference),
+                                Value::Ref(oid) => {
+                                    let object = self
+                                        .heap
+                                        .get(oid)
+                                        .ok_or(ExecError::VmCorrupt("dangling reference"))?;
+                                    let table = &cur_code.tables.fields[*fi as usize];
+                                    let off = table.offsets[object.class];
+                                    if off == NO_FIELD {
+                                        return Err(ExecError::NoSuchField {
+                                            class: self.image.classes[object.class].name.clone(),
+                                            field: table.name.to_string(),
+                                        });
+                                    }
+                                    stack.push(object.fields[off as usize]);
+                                }
+                                _ => {
+                                    return Err(ExecError::TypeMismatch(
+                                        "field access on non-object",
+                                    ))
+                                }
+                            }
+                        }
+                        Op::PutField(fi) => {
+                            pro!();
+                            let value = pop!();
+                            let obj = pop!();
+                            match obj {
+                                Value::Null => return Err(ExecError::NullReference),
+                                Value::Ref(oid) => {
+                                    let object = self
+                                        .heap
+                                        .get_mut(oid)
+                                        .ok_or(ExecError::VmCorrupt("dangling reference"))?;
+                                    let class = object.class;
+                                    let table = &cur_code.tables.fields[*fi as usize];
+                                    let off = table.offsets[class];
+                                    if off == NO_FIELD {
+                                        return Err(ExecError::NoSuchField {
+                                            class: self.image.classes[class].name.clone(),
+                                            field: table.name.to_string(),
+                                        });
+                                    }
+                                    object.fields[off as usize] = value;
+                                }
+                                _ => {
+                                    return Err(ExecError::TypeMismatch(
+                                        "field access on non-object",
+                                    ))
+                                }
+                            }
+                        }
+                        Op::GetStatic(slot) => {
+                            pro!();
+                            let v = self.statics[*slot as usize];
+                            stack.push(v);
+                        }
+                        Op::PutStatic(slot) => {
+                            pro!();
+                            let v = pop!();
+                            self.statics[*slot as usize] = v;
+                        }
+                        Op::Arith(op) => {
+                            pro!();
+                            let b = pop!();
+                            let a = pop!();
+                            stack.push(ops::arith(*op, a, b)?);
+                        }
+                        Op::Cmp(op) => {
+                            pro!();
+                            let b = pop!();
+                            let a = pop!();
+                            stack.push(ops::compare(*op, a, b)?);
+                        }
+                        Op::Neg => {
+                            pro!();
+                            let v = pop!();
+                            stack.push(ops::negate(v)?);
+                        }
+                        Op::Not => {
+                            pro!();
+                            let v = pop!();
+                            stack.push(ops::boolean_not(v)?);
+                        }
+                        Op::Jump { target, backedge } => {
+                            pro!();
+                            if *backedge {
+                                self.profile.backedges[cur_mid] += 1;
+                            }
+                            pc = *target as usize;
+                            continue;
+                        }
+                        Op::JumpIfFalse(target) => {
+                            pro!();
+                            let v = pop!();
+                            match v {
+                                Value::Bool(false) => {
+                                    pc = *target as usize;
+                                    continue;
+                                }
+                                Value::Bool(true) => {}
+                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            }
+                        }
+                        Op::Invoke(ci) => {
+                            pro!();
+                            let info = &cur_code.tables.calls[*ci as usize];
+                            let argn = info.argc as usize;
+                            if stack.len() < argn {
+                                return Err(ExecError::VmCorrupt("operand stack underflow"));
+                            }
+                            let recv = if info.pops_recv {
+                                if stack.len() < argn + 1 {
+                                    return Err(ExecError::VmCorrupt("operand stack underflow"));
+                                }
+                                Some(require_recv(stack[stack.len() - argn - 1])?)
+                            } else {
+                                None
+                            };
+                            match &info.action {
+                                CallAction::Fail(e) => return Err(e.clone()),
+                                CallAction::Goto { mid, needs_recv } => {
+                                    let recv = if *needs_recv {
+                                        Some(recv.ok_or(ExecError::NullReference)?)
+                                    } else {
+                                        None
+                                    };
+                                    let (mid, pops_recv) = (*mid as usize, info.pops_recv);
+                                    enter!('frame, mid, recv, argn, pops_recv)
+                                }
+                            }
+                        }
+                        Op::InvokeVirtual(vi) => {
+                            pro!();
+                            let vc = &cur_code.tables.vcalls[*vi as usize];
+                            let argn = vc.argc as usize;
+                            if stack.len() < argn + 1 {
+                                return Err(ExecError::VmCorrupt("operand stack underflow"));
+                            }
+                            let recv = require_recv(stack[stack.len() - argn - 1])?;
+                            let Value::Ref(oid) = recv else {
+                                return Err(ExecError::TypeMismatch("virtual call on non-object"));
+                            };
+                            let class = self
+                                .heap
+                                .get(oid)
+                                .ok_or(ExecError::VmCorrupt("dangling reference"))?
+                                .class;
+                            match vc.targets[class] {
+                                VTarget::NoMethod | VTarget::Arity => {
+                                    return Err(ExecError::NoSuchMethod {
+                                        class: self.image.classes[class].name.clone(),
+                                        method: vc.name.to_string(),
+                                    })
+                                }
+                                VTarget::Goto { mid, needs_recv } => {
+                                    let recv = needs_recv.then_some(recv);
+                                    enter!('frame, mid as usize, recv, argn, true)
+                                }
+                            }
+                        }
+                        Op::InvokeReflect(ri) => {
+                            pro!();
+                            self.stats.reflective_calls += 1;
+                            let rc = &cur_code.tables.rcalls[*ri as usize];
+                            let argn = rc.argc as usize;
+                            let pops = argn + usize::from(rc.pops_recv);
+                            if stack.len() < pops {
+                                return Err(ExecError::VmCorrupt("operand stack underflow"));
+                            }
+                            let recv_raw = rc.pops_recv.then(|| stack[stack.len() - argn - 1]);
+                            match &rc.action {
+                                CallAction::Fail(e) => return Err(e.clone()),
+                                CallAction::Goto { mid, needs_recv } => {
+                                    let recv = if *needs_recv {
+                                        match recv_raw {
+                                            Some(Value::Null) | None => {
+                                                return Err(ExecError::NullReference)
+                                            }
+                                            Some(v) => Some(require_recv(v)?),
+                                        }
+                                    } else {
+                                        None
+                                    };
+                                    let (mid, pops_recv) = (*mid as usize, rc.pops_recv);
+                                    enter!('frame, mid, recv, argn, pops_recv)
+                                }
+                            }
+                        }
+                        Op::New(cid) => {
+                            pro!();
+                            self.stats.allocations += 1;
+                            let defaults = self.image.classes[*cid as usize].field_defaults();
+                            let oid = self.heap.alloc(*cid as usize, defaults);
+                            stack.push(Value::Ref(oid));
+                        }
+                        Op::BoxInt => {
+                            pro!();
+                            self.stats.boxes += 1;
+                            match pop!() {
+                                Value::Int(v) => stack.push(Value::Boxed(v)),
+                                _ => return Err(ExecError::TypeMismatch("boxing a non-int")),
+                            }
+                        }
+                        Op::UnboxInt => {
+                            pro!();
+                            self.stats.unboxes += 1;
+                            match pop!() {
+                                Value::Boxed(v) => stack.push(Value::Int(v)),
+                                Value::Null => return Err(ExecError::NullReference),
+                                _ => return Err(ExecError::TypeMismatch("unboxing a non-Integer")),
+                            }
+                        }
+                        Op::MonitorEnter => {
+                            pro!();
+                            self.stats.monitor_enters += 1;
+                            match pop!() {
+                                Value::Ref(oid) => {
+                                    let obj = self
+                                        .heap
+                                        .get_mut(oid)
+                                        .ok_or(ExecError::VmCorrupt("dangling reference"))?;
+                                    obj.monitor_depth += 1;
+                                }
+                                Value::Null => return Err(ExecError::NullReference),
+                                _ => return Err(ExecError::TypeMismatch("monitor on non-object")),
+                            }
+                        }
+                        Op::MonitorExit => {
+                            pro!();
+                            self.stats.monitor_exits += 1;
+                            match pop!() {
+                                Value::Ref(oid) => {
+                                    let obj = self
+                                        .heap
+                                        .get_mut(oid)
+                                        .ok_or(ExecError::VmCorrupt("dangling reference"))?;
+                                    if obj.monitor_depth == 0 {
+                                        return Err(ExecError::IllegalMonitorState);
+                                    }
+                                    obj.monitor_depth -= 1;
+                                }
+                                Value::Null => return Err(ExecError::NullReference),
+                                _ => return Err(ExecError::TypeMismatch("monitor on non-object")),
+                            }
+                        }
+                        Op::Print => {
+                            pro!();
+                            self.stats.prints += 1;
+                            let v = pop!();
+                            self.output.push(v.to_string());
+                        }
+                        Op::Pop => {
+                            pro!();
+                            let _ = pop!();
+                        }
+                        Op::Dup => {
+                            pro!();
+                            match stack.last() {
+                                Some(v) => {
+                                    let v = *v;
+                                    stack.push(v);
+                                }
+                                None => {
+                                    return Err(ExecError::VmCorrupt("operand stack underflow"))
+                                }
+                            }
+                        }
+                        Op::ReturnV => {
+                            pro!();
+                            let v = pop!();
+                            ret!('frame, v)
+                        }
+                        Op::Return => {
+                            pro!();
+                            ret!('frame, Value::Null);
+                        }
+                        // ---- superinstructions ----
+                        //
+                        // The prologue above accounted for the group's first
+                        // constituent instruction; `tick!` accounts each further
+                        // one, interleaved exactly where the unfused loop would
+                        // (tick, then execute), so fuel exhaustion, watchdog
+                        // polls, and error step counts are bit-identical.
+                        Op::Push2 { a, b } => {
+                            batched!(2, fast);
+                            mtick!(fast);
+                            let av = fetch!(a);
+                            mtick!(fast);
+                            let bv = fetch!(b);
+                            stack.push(av);
+                            stack.push(bv);
+                        }
+                        Op::Move { src, dst } => {
+                            batched!(2, fast);
+                            mtick!(fast);
+                            let v = fetch!(src);
+                            mtick!(fast);
+                            match dst {
+                                Sink::Local(s) => locals[*s as usize] = v,
+                                Sink::Static(s) => self.statics[*s as usize] = v,
+                                Sink::Push => stack.push(v),
+                            }
+                        }
+                        Op::GetFieldL { slot, fi } => {
+                            batched!(2, fast);
+                            mtick!(fast);
+                            let obj = locals[*slot as usize];
+                            mtick!(fast);
+                            match obj {
+                                Value::Null => return Err(ExecError::NullReference),
+                                Value::Ref(oid) => {
+                                    let object = self
+                                        .heap
+                                        .get(oid)
+                                        .ok_or(ExecError::VmCorrupt("dangling reference"))?;
+                                    let table = &cur_code.tables.fields[*fi as usize];
+                                    let off = table.offsets[object.class];
+                                    if off == NO_FIELD {
+                                        return Err(ExecError::NoSuchField {
+                                            class: self.image.classes[object.class].name.clone(),
+                                            field: table.name.to_string(),
+                                        });
+                                    }
+                                    stack.push(object.fields[off as usize]);
+                                }
+                                _ => {
+                                    return Err(ExecError::TypeMismatch(
+                                        "field access on non-object",
+                                    ))
+                                }
+                            }
+                        }
+                        Op::Bin { op, a, b, sink } => {
+                            // Full micro width: fetches, the arith, and a
+                            // non-push sink.
+                            let sinkbit = u64::from(!matches!(sink, Sink::Push));
+                            let width = match (a, b) {
+                                (Src::Stack, Src::Stack) => 1,
+                                (Src::Stack, _) => 2,
+                                _ => 3,
+                            } + sinkbit;
+                            batched!(width, fast);
+                            mtick!(fast);
+                            // Operand order mirrors the unfused sequence: `a`
+                            // was fetched (or pushed) first. With a single fused
+                            // fetch the stack holds `a` and the fetch is `b`.
+                            let (av, bv) = match (a, b) {
+                                (Src::Stack, Src::Stack) => {
+                                    let bv = pop!();
+                                    (pop!(), bv)
+                                }
+                                (Src::Stack, bsrc) => {
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (pop!(), bv)
+                                }
+                                (asrc, bsrc) => {
+                                    let av = fetch!(asrc);
+                                    mtick!(fast);
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (av, bv)
+                                }
+                            };
+                            let res = match ops::arith(*op, av, bv) {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    // Batched accounting overshot the sink micro
+                                    // the unfused loop never reaches.
+                                    if fast {
+                                        fuel += sinkbit;
+                                        steps -= sinkbit;
+                                    }
+                                    return Err(e);
+                                }
+                            };
+                            match sink {
+                                Sink::Push => stack.push(res),
+                                Sink::Local(s) => {
+                                    mtick!(fast);
+                                    locals[*s as usize] = res;
+                                }
+                                Sink::Static(s) => {
+                                    mtick!(fast);
+                                    self.statics[*s as usize] = res;
+                                }
+                            }
+                        }
+                        Op::CmpBr { op, a, b, target } => {
+                            let width = match (a, b) {
+                                (Src::Stack, Src::Stack) => 2,
+                                (Src::Stack, _) => 3,
+                                _ => 4,
+                            };
+                            batched!(width, fast);
+                            mtick!(fast);
+                            let (av, bv) = match (a, b) {
+                                (Src::Stack, Src::Stack) => {
+                                    let bv = pop!();
+                                    (pop!(), bv)
+                                }
+                                (Src::Stack, bsrc) => {
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (pop!(), bv)
+                                }
+                                (asrc, bsrc) => {
+                                    let av = fetch!(asrc);
+                                    mtick!(fast);
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (av, bv)
+                                }
+                            };
+                            let res = match ops::compare(*op, av, bv) {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    if fast {
+                                        fuel += 1;
+                                        steps -= 1;
+                                    }
+                                    return Err(e);
+                                }
+                            };
+                            mtick!(fast);
+                            match res {
+                                Value::Bool(false) => {
+                                    pc = *target as usize;
+                                    continue;
+                                }
+                                Value::Bool(true) => {}
+                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            }
+                        }
+                        Op::JumpCmpBr {
+                            op,
+                            a,
+                            b,
+                            exit,
+                            fall,
+                        } => {
+                            // The fused loop latch: the backward `Jump` (the
+                            // first micro, which counts the backedge) plus the
+                            // `CmpBr` group it lands on.
+                            let width = match (a, b) {
+                                (Src::Stack, Src::Stack) => 3,
+                                (Src::Stack, _) => 4,
+                                _ => 5,
+                            };
+                            batched!(width, fast);
+                            mtick!(fast);
+                            self.profile.backedges[cur_mid] += 1;
+                            let (av, bv) = match (a, b) {
+                                (Src::Stack, Src::Stack) => {
+                                    mtick!(fast);
+                                    let bv = pop!();
+                                    (pop!(), bv)
+                                }
+                                (Src::Stack, bsrc) => {
+                                    mtick!(fast);
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (pop!(), bv)
+                                }
+                                (asrc, bsrc) => {
+                                    mtick!(fast);
+                                    let av = fetch!(asrc);
+                                    mtick!(fast);
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (av, bv)
+                                }
+                            };
+                            let res = match ops::compare(*op, av, bv) {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    if fast {
+                                        fuel += 1;
+                                        steps -= 1;
+                                    }
+                                    return Err(e);
+                                }
+                            };
+                            mtick!(fast);
+                            match res {
+                                Value::Bool(false) => {
+                                    pc = *exit as usize;
+                                    continue;
+                                }
+                                Value::Bool(true) => {
+                                    pc = *fall as usize;
+                                    continue;
+                                }
+                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            }
+                        }
+                        Op::Chain3 {
+                            a,
+                            b,
+                            c,
+                            op1,
+                            op2,
+                            right,
+                            sink,
+                        } => {
+                            let sinkbit = u64::from(!matches!(sink, Sink::Push));
+                            batched!(5 + sinkbit, fast);
+                            mtick!(fast);
+                            let av = fetch!(a);
+                            mtick!(fast);
+                            let bv = fetch!(b);
+                            let res = if *right {
+                                // `a op2 (b op1 c)` — micro order a b c op1 op2.
+                                mtick!(fast);
+                                let cv = fetch!(c);
+                                mtick!(fast);
+                                let r1 = match ops::arith(*op1, bv, cv) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        if fast {
+                                            fuel += 1 + sinkbit;
+                                            steps -= 1 + sinkbit;
+                                        }
+                                        return Err(e);
+                                    }
+                                };
+                                mtick!(fast);
+                                match ops::arith(*op2, av, r1) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        if fast {
+                                            fuel += sinkbit;
+                                            steps -= sinkbit;
+                                        }
+                                        return Err(e);
+                                    }
+                                }
+                            } else {
+                                // `(a op1 b) op2 c` — micro order a b op1 c op2.
+                                mtick!(fast);
+                                let r1 = match ops::arith(*op1, av, bv) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        if fast {
+                                            fuel += 2 + sinkbit;
+                                            steps -= 2 + sinkbit;
+                                        }
+                                        return Err(e);
+                                    }
+                                };
+                                mtick!(fast);
+                                let cv = fetch!(c);
+                                mtick!(fast);
+                                match ops::arith(*op2, r1, cv) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        if fast {
+                                            fuel += sinkbit;
+                                            steps -= sinkbit;
+                                        }
+                                        return Err(e);
+                                    }
+                                }
+                            };
+                            match sink {
+                                Sink::Push => stack.push(res),
+                                Sink::Local(s) => {
+                                    mtick!(fast);
+                                    locals[*s as usize] = res;
+                                }
+                                Sink::Static(s) => {
+                                    mtick!(fast);
+                                    self.statics[*s as usize] = res;
+                                }
+                            }
+                        }
+                        Op::IncLatch {
+                            iop,
+                            islot,
+                            ic,
+                            dst,
+                            cop,
+                            ca,
+                            cb,
+                            exit,
+                            fall,
+                        } => {
+                            // Micro order: load-islot const arith store jump
+                            // [fetch ca] [fetch cb] cmp br.
+                            let nf = match (ca, cb) {
+                                (Src::Stack, Src::Stack) => 0u64,
+                                (Src::Stack, _) => 1,
+                                _ => 2,
+                            };
+                            batched!(7 + nf, fast);
+                            mtick!(fast);
+                            let av = locals[*islot as usize];
+                            mtick!(fast);
+                            mtick!(fast);
+                            let r = match ops::arith(*iop, av, *ic) {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    if fast {
+                                        fuel += 4 + nf;
+                                        steps -= 4 + nf;
+                                    }
+                                    return Err(e);
+                                }
+                            };
+                            mtick!(fast);
+                            locals[*dst as usize] = r;
+                            mtick!(fast);
+                            self.profile.backedges[cur_mid] += 1;
+                            let (cav, cbv) = match (ca, cb) {
+                                (Src::Stack, Src::Stack) => {
+                                    mtick!(fast);
+                                    let bv = pop!();
+                                    (pop!(), bv)
+                                }
+                                (Src::Stack, bsrc) => {
+                                    mtick!(fast);
+                                    let bv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (pop!(), bv)
+                                }
+                                (asrc, bsrc) => {
+                                    mtick!(fast);
+                                    let cav = fetch!(asrc);
+                                    mtick!(fast);
+                                    let cbv = fetch!(bsrc);
+                                    mtick!(fast);
+                                    (cav, cbv)
+                                }
+                            };
+                            let res = match ops::compare(*cop, cav, cbv) {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    if fast {
+                                        fuel += 1;
+                                        steps -= 1;
+                                    }
+                                    return Err(e);
+                                }
+                            };
+                            mtick!(fast);
+                            match res {
+                                Value::Bool(false) => {
+                                    pc = *exit as usize;
+                                    continue;
+                                }
+                                Value::Bool(true) => {
+                                    pc = *fall as usize;
+                                    continue;
+                                }
+                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            }
+                        }
+                        Op::Corrupt(kind) => {
+                            pro!();
+                            return Err(ExecError::VmCorrupt(kind.msg()));
+                        }
+                        Op::HostPanic(what) => {
+                            pro!();
+                            match what {
+                                BadRef::Method => panic!("invalid method id in hand-built code"),
+                                BadRef::Class => panic!("invalid class id in hand-built code"),
+                            }
+                        }
+                    }
+                    pc += 1;
+                }
+            }
+        };
+        let result = dispatch();
+        self.fuel = fuel;
+        self.stats.steps = steps;
+        result
+    }
+}
+
+fn require_recv(v: Value) -> Result<Value, ExecError> {
+    match v {
+        Value::Null => Err(ExecError::NullReference),
+        Value::Ref(_) => Ok(v),
+        _ => Err(ExecError::TypeMismatch("receiver is not an object")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+
+    /// Interp and threaded agree on the full Outcome (output, error, stats,
+    /// profile) for a source program.
+    fn assert_equivalent(src: &str) {
+        let image = Image::build(&mjava::parse(src).unwrap()).unwrap();
+        let config = ExecConfig::default();
+        let threaded = run(&image, &config);
+        let interp = interp::run(&image, &config);
+        assert_eq!(threaded, interp, "substrates diverged on:\n{src}");
+    }
+
+    #[test]
+    fn matches_interp_on_core_behaviours() {
+        for src in [
+            "class T { static void main() { System.out.println(2 + 3 * 4); } }",
+            "class T { static void main() { int s = 0; for (int i = 0; i < 100; i++) { s = s + i; } System.out.println(s); } }",
+            "class T { int f; int bump(int d) { f = f + d; return f; } static void main() { T t = new T(); t.bump(5); System.out.println(t.bump(7)); } }",
+            "class T { static int s = 10; static void inc() { s = s + 1; } static void main() { T.inc(); T.inc(); System.out.println(s); } }",
+            "class T { static void main() { synchronized (T.class) { synchronized (T.class) { System.out.println(1); } } } }",
+            "class T { int f; int get(int d) { return f + d; } static void main() { T t = new T(); t.f = 40; System.out.println(Class.forName(\"T\").getDeclaredMethod(\"get\").invoke(t, 2)); } }",
+            "class T { static void main() { System.out.println(Class.forName(\"Nope\").getDeclaredMethod(\"g\").invoke(null)); } }",
+            "class T { static void main() { Integer b = Integer.valueOf(20); System.out.println(b.intValue() + 22); } }",
+            "class T { static void main() { System.out.println(1 / 0); } }",
+            "class T { int f; static void main() { T t = null; System.out.println(t.f); } }",
+            "class T { static int down(int n) { return T.down(n + 1); } static void main() { System.out.println(T.down(0)); } }",
+            "class T { static int fib(int n) { if (n < 2) { return n; } return T.fib(n - 1) + T.fib(n - 2); } static void main() { System.out.println(T.fib(15)); } }",
+            "class T { static void main() { System.out.println(2147483647 + 1); } }",
+            "class T { static int g() { synchronized (T.class) { return 5; } } static void main() { System.out.println(T.g()); } }",
+        ] {
+            assert_equivalent(src);
+        }
+    }
+
+    #[test]
+    fn matches_interp_on_all_builtin_seeds() {
+        for seed in mjava::samples::all_seeds() {
+            let image = Image::build(&seed.program).unwrap();
+            let config = ExecConfig::default();
+            let threaded = run(&image, &config);
+            let interp = interp::run(&image, &config);
+            assert_eq!(
+                threaded, interp,
+                "substrates diverged on seed {}",
+                seed.name
+            );
+            assert!(threaded.is_clean(), "seed {} errored", seed.name);
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_step_exact() {
+        let program =
+            mjava::parse("class T { static void main() { while (true) { int x = 1; } } }").unwrap();
+        let image = Image::build(&program).unwrap();
+        let config = ExecConfig {
+            fuel: 10_000,
+            ..ExecConfig::default()
+        };
+        let threaded = run(&image, &config);
+        let interp = interp::run(&image, &config);
+        assert_eq!(threaded.error, Some(ExecError::OutOfFuel));
+        assert_eq!(threaded, interp);
+        assert_eq!(threaded.stats.steps, 10_000);
+    }
+
+    #[test]
+    fn hand_built_dup_pop_and_direct_invoke() {
+        use crate::code::{Code, Instr};
+        let program =
+            mjava::parse("class T { int f; int get() { return f; } static void main() { } }")
+                .unwrap();
+        let mut image = Image::build(&program).unwrap();
+        let get = image.method_id("T", "get").unwrap();
+        let main = image.main();
+        let code = Code {
+            instrs: vec![
+                Instr::New(0),
+                Instr::Dup,
+                Instr::Dup,
+                Instr::ConstI(41),
+                Instr::PutField("f".into()),
+                Instr::Pop,
+                Instr::Invoke {
+                    method: get,
+                    argc: 0,
+                    has_recv: true,
+                },
+                Instr::ConstI(1),
+                Instr::Arith(crate::code::ArithOp::Add),
+                Instr::Print,
+                Instr::Return,
+            ],
+            n_locals: 0,
+            max_stack: 4,
+        };
+        image.install_code(main, code);
+        let threaded = run(&image, &ExecConfig::default());
+        let interp = interp::run(&image, &ExecConfig::default());
+        assert_eq!(threaded, interp);
+        assert_eq!(threaded.output, vec!["42"]);
+    }
+
+    #[test]
+    fn corrupt_code_matches_interp() {
+        use crate::code::{Code, Instr};
+        // (code, expected error) pairs exercising lowering-time rejection.
+        let cases: Vec<(Vec<Instr>, ExecError)> = vec![
+            (
+                vec![Instr::Pop, Instr::Return],
+                ExecError::VmCorrupt("operand stack underflow"),
+            ),
+            (
+                vec![Instr::Load(9), Instr::Return],
+                ExecError::VmCorrupt("local slot out of range"),
+            ),
+            (
+                vec![Instr::ConstI(1), Instr::Store(9), Instr::Return],
+                ExecError::VmCorrupt("local slot out of range"),
+            ),
+            (
+                vec![Instr::GetStatic(0, 7), Instr::Return],
+                ExecError::VmCorrupt("static slot out of range"),
+            ),
+            (
+                vec![Instr::Jump(99)],
+                ExecError::VmCorrupt("pc out of range"),
+            ),
+            (
+                vec![Instr::ConstI(1), Instr::Pop],
+                ExecError::VmCorrupt("pc out of range"),
+            ),
+        ];
+        for (instrs, want) in cases {
+            let program = mjava::parse("class T { static void main() { } }").unwrap();
+            let mut image = Image::build(&program).unwrap();
+            let main = image.main();
+            let max_stack = Code::compute_max_stack(&instrs);
+            image.install_code(
+                main,
+                Code {
+                    instrs,
+                    n_locals: 0,
+                    max_stack,
+                },
+            );
+            let threaded = run(&image, &ExecConfig::default());
+            let interp = interp::run(&image, &ExecConfig::default());
+            assert_eq!(threaded.error, Some(want));
+            assert_eq!(threaded, interp);
+        }
+    }
+
+    #[test]
+    fn profiler_attribution_matches_interp() {
+        let src = r#"
+            class T {
+                static int f(int i) { return i * 2; }
+                static void main() {
+                    int s = 0;
+                    for (int i = 0; i < 50; i++) { s = s + T.f(i); }
+                    System.out.println(s);
+                }
+            }
+        "#;
+        let image = Image::build(&mjava::parse(src).unwrap()).unwrap();
+        let mut snaps = Vec::new();
+        for threaded in [true, false] {
+            jtelemetry::install(jtelemetry::Session::from_spec(jtelemetry::SessionSpec {
+                manual: true,
+                trace: false,
+                profile: true,
+            }));
+            let o = if threaded {
+                run(&image, &ExecConfig::default())
+            } else {
+                interp::run(&image, &ExecConfig::default())
+            };
+            assert!(o.is_clean());
+            let snap = jtelemetry::take().unwrap().snapshot();
+            let total: u64 = snap.opcodes.iter().map(|op| op.hits).sum();
+            assert_eq!(total, o.stats.steps, "every step lands on one opcode");
+            snaps.push(snap.opcodes);
+        }
+        assert_eq!(snaps[0], snaps[1], "per-opcode tables must be identical");
+    }
+
+    #[test]
+    fn code_cache_shares_lowering_across_runs() {
+        cache_reset();
+        let image = Image::build(
+            &mjava::parse("class T { static void main() { System.out.println(3); } }").unwrap(),
+        )
+        .unwrap();
+        let _ = take_lookup_log();
+        let first = run(&image, &ExecConfig::default());
+        let log1 = take_lookup_log();
+        let stats1 = cache_stats();
+        let second = run(&image, &ExecConfig::default());
+        let log2 = take_lookup_log();
+        let stats2 = cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(log1, log2, "lookup keys are a pure function of the run");
+        assert_eq!(log1.len(), 1, "only main is ever called");
+        assert!(stats2.hits > stats1.hits, "second run hits the cache");
+        assert_eq!(stats2.misses, stats1.misses, "second run lowers nothing");
+    }
+
+    #[test]
+    fn install_code_invalidates_exactly_that_method() {
+        use crate::code::{Code, Instr};
+        cache_reset();
+        let mut image = Image::build(
+            &mjava::parse("class T { static void main() { System.out.println(3); } }").unwrap(),
+        )
+        .unwrap();
+        let _ = take_lookup_log();
+        let _ = run(&image, &ExecConfig::default());
+        let log_before = take_lookup_log();
+        image.install_code(
+            image.main(),
+            Code {
+                instrs: vec![Instr::ConstI(9), Instr::Print, Instr::Return],
+                n_locals: 0,
+                max_stack: 1,
+            },
+        );
+        let o = run(&image, &ExecConfig::default());
+        let log_after = take_lookup_log();
+        assert_eq!(o.output, vec!["9"]);
+        assert_ne!(log_before, log_after, "tier-up must change the cache key");
+    }
+}

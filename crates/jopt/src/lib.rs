@@ -42,4 +42,6 @@ pub mod pipeline;
 
 pub use event::{FlagSet, OptEvent, OptEventKind, TraceFlag};
 pub use phases::escape::EscapeState;
-pub use pipeline::{optimize, OptCx, OptLimits, OptOutcome, PhaseId};
+pub use pipeline::{
+    optimize, optimize_memo, source_fingerprint, OptCx, OptLimits, OptOutcome, PhaseId,
+};

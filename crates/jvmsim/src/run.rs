@@ -82,6 +82,19 @@ impl Verdict {
     }
 }
 
+/// Cache-lookup keys recorded during one JVM execution, in execution
+/// order. A pure function of the execution itself (not of live cache
+/// state), so the oracle can count hits and misses in canonical merge
+/// order — giving bit-identical telemetry at any worker count, even
+/// though the process-wide caches are warmed in scheduling order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheLog {
+    /// Threaded-code cache keys (one per first call of each method).
+    pub code: Vec<u64>,
+    /// Pipeline-memo keys (one per method compilation).
+    pub pipeline: Vec<u64>,
+}
+
 /// The full result of one JVM execution.
 #[derive(Debug, Clone)]
 pub struct JvmRun {
@@ -103,6 +116,8 @@ pub struct JvmRun {
     pub miscompiled_by: Vec<String>,
     /// Total interpreter steps across both runs — the simulated-time unit.
     pub steps: u64,
+    /// Cache-lookup keys from this execution (see [`CacheLog`]).
+    pub cache_log: CacheLog,
 }
 
 impl JvmRun {
@@ -137,9 +152,30 @@ impl fmt::Display for JvmRun {
 
 /// Executes `program` on the simulated JVM described by `spec`.
 pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -> JvmRun {
+    run_jvm_with_image(program, None, spec, options)
+}
+
+/// [`run_jvm`] with an optionally pre-built class image.
+///
+/// The differential oracle builds `program`'s image once per verdict and
+/// hands each of the eight pool JVMs a clone, instead of re-running class
+/// loading and load-time lowering eight times. `None` builds from source;
+/// behaviour is identical either way (the same build runs the same checks
+/// in the same order — it just runs once, on the caller).
+pub fn run_jvm_with_image(
+    program: &mjava::Program,
+    prebuilt: Option<Result<Image, jexec::BuildError>>,
+    spec: &JvmSpec,
+    options: &RunOptions,
+) -> JvmRun {
     // Opened before the fault check so an injected panic still leaves a
     // flight-recorder event naming the JVM that died.
     let _span = jtelemetry::span(jtelemetry::FlightKind::Vm, "vm_execution", &spec.name());
+    // Discard lookup keys left behind by an execution that died mid-run
+    // (injected panic, watchdog cancellation): this run's log must contain
+    // exactly this run's lookups.
+    let _ = jexec::threaded::take_lookup_log();
+    let _ = jopt::pipeline::take_lookup_log();
     // Fault injection decides up front, from (plan, jvm, program) alone,
     // what — if anything — goes wrong during this execution.
     let injected = options
@@ -161,7 +197,11 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
         _ => {}
     }
 
-    let mut run = run_jvm_inner(program, spec, options, &exec, injected);
+    let mut run = run_jvm_inner(program, prebuilt, spec, options, &exec, injected);
+    run.cache_log = CacheLog {
+        code: jexec::threaded::take_lookup_log(),
+        pipeline: jopt::pipeline::take_lookup_log(),
+    };
     if injected == Some(VmFault::LogCorruption) {
         if let Some(plan) = &options.fault {
             plan.corrupt_log(&spec.name(), &mjava::print(program), &mut run.log);
@@ -186,6 +226,7 @@ pub fn run_jvm(program: &mjava::Program, spec: &JvmSpec, options: &RunOptions) -
 
 fn run_jvm_inner(
     program: &mjava::Program,
+    prebuilt: Option<Result<Image, jexec::BuildError>>,
     spec: &JvmSpec,
     options: &RunOptions,
     exec: &ExecConfig,
@@ -205,6 +246,7 @@ fn run_jvm_inner(
         compiled: Vec::new(),
         miscompiled_by: Vec::new(),
         steps: 0,
+        cache_log: CacheLog::default(),
     };
 
     if injected == Some(VmFault::BuildFailure) {
@@ -213,7 +255,7 @@ fn run_jvm_inner(
         ));
         return run;
     }
-    let mut image = match Image::build(program) {
+    let mut image = match prebuilt.unwrap_or_else(|| Image::build(program)) {
         Ok(i) => i,
         Err(e) => {
             run.verdict = Verdict::InvalidProgram(e);
@@ -261,6 +303,13 @@ fn run_jvm_inner(
     // Compile. A crash during any compilation aborts the whole VM, exactly
     // like a real fatal error.
     let mut corrupted = false;
+    // One source fingerprint per execution: the pipeline memo's program
+    // key, shared by every method compiled below.
+    let program_fp = if c1_set.is_empty() && c2_set.is_empty() {
+        0
+    } else {
+        jopt::source_fingerprint(&mjava::print(program))
+    };
     for (tier_phases, tier_area, set) in [
         (&spec.c1_phases, Area::C1, &c1_set),
         (&spec.c2_phases, Area::C2, &c2_set),
@@ -268,8 +317,9 @@ fn run_jvm_inner(
         for &mid in set {
             let class_name = image.classes[image.methods[mid].class].name.clone();
             let method_name = image.methods[mid].name.clone();
-            let Some(out) = jopt::optimize(
+            let Some(out) = jopt::optimize_memo(
                 program,
+                program_fp,
                 &class_name,
                 &method_name,
                 tier_phases,

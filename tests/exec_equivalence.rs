@@ -1,0 +1,198 @@
+//! Cross-substrate equivalence: the closure-threaded executor
+//! (`jexec::threaded`, the default) and the reference `Instr`-matching
+//! interpreter (`jexec::interp`) must be observationally identical — not
+//! just same output, but same step counts, same error at the same
+//! instruction, same hotness profile, same `--profile` opcode tables,
+//! and byte-identical campaign journals.
+//!
+//! Three layers of evidence:
+//!
+//! * **Golden corpus** — the committed golden journals are reproduced
+//!   byte for byte under *both* `--exec-mode` settings (the substrate is
+//!   an execution detail, never journaled).
+//! * **Proptest sweep** — generated corpus programs agree on the full
+//!   [`jexec::Outcome`] (output, error, stats incl. step counts, hotness
+//!   profile) and on the profiler's per-opcode attribution tables, at
+//!   default fuel and under fuel exhaustion.
+//! * **Hang containment** — a cancelled watchdog token aborts both
+//!   substrates with the same timeout panic payload.
+
+use jexec::{ExecConfig, ExecMode};
+use mopfuzzer::{run_campaign_with_journal, CampaignConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Restores the process-wide default exec mode on drop, so a failing
+/// assertion cannot leak `Interp` into other tests in this binary.
+struct ModeGuard(ExecMode);
+
+impl ModeGuard {
+    fn set(mode: ExecMode) -> ModeGuard {
+        let guard = ModeGuard(jexec::default_exec_mode());
+        jexec::set_default_exec_mode(mode);
+        guard
+    }
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        jexec::set_default_exec_mode(self.0);
+    }
+}
+
+fn config_with_mode(mode: ExecMode) -> ExecConfig {
+    ExecConfig {
+        mode,
+        ..ExecConfig::default()
+    }
+}
+
+/// Both substrates reproduce the committed golden journals byte for
+/// byte. This is the end-to-end form of the invariant: the whole
+/// campaign pipeline (mutation, optimization, the 8-JVM differential
+/// oracle, journal encoding) is insensitive to `--exec-mode`.
+#[test]
+fn golden_journals_are_byte_identical_across_exec_modes() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let seeds = mopfuzzer::corpus::builtin();
+    let campaigns = [
+        (
+            "plain_v2.jsonl",
+            CampaignConfig {
+                iterations_per_seed: 10,
+                rounds: 6,
+                rng_seed: 2024,
+                ..CampaignConfig::new(6)
+            },
+        ),
+        (
+            "faulted_v2.jsonl",
+            CampaignConfig {
+                iterations_per_seed: 10,
+                rounds: 8,
+                rng_seed: 77,
+                ..CampaignConfig::new(8)
+            },
+        ),
+    ];
+    for (name, mut config) in campaigns {
+        if name.starts_with("faulted") {
+            config.fault = Some(jvmsim::FaultPlan::new(7, 0.25));
+        }
+        config.jobs = 2;
+        config.oracle_jobs = 4;
+        let golden = fs::read(golden_dir.join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        for mode in [ExecMode::Interp, ExecMode::Threaded] {
+            let _guard = ModeGuard::set(mode);
+            let path: PathBuf =
+                std::env::temp_dir().join(format!("mop_exec_eq_{}_{name}", std::process::id()));
+            run_campaign_with_journal(&seeds, &config, &path).unwrap();
+            let produced = fs::read(&path).unwrap();
+            fs::remove_file(&path).ok();
+            assert_eq!(
+                golden, produced,
+                "--exec-mode {mode:?} diverged from golden {name}: the \
+                 substrate must never be observable in journal bytes"
+            );
+        }
+    }
+}
+
+/// A pre-cancelled watchdog token aborts both substrates at the same
+/// poll point (steps & 0xFFF == 0) with the same timeout panic payload.
+#[test]
+fn hang_cancellation_aborts_both_substrates_identically() {
+    let src = r#"
+        class T {
+            static void main() {
+                int s = 0;
+                for (int i = 0; i < 2_000_000; i++) { s = s + 1; }
+                System.out.println(s);
+            }
+        }
+    "#;
+    let program = mjava::parse(src).unwrap();
+    let mut payloads = Vec::new();
+    for mode in [ExecMode::Interp, ExecMode::Threaded] {
+        let token = jtelemetry::cancel::CancelToken::new();
+        token.cancel();
+        let _guard = jtelemetry::cancel::install(&token);
+        let config = config_with_mode(mode);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            jexec::run_program(&program, &config)
+        }));
+        let payload = match result {
+            Ok(_) => panic!("{mode:?} ignored the cancelled token"),
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("timeout panics carry a String payload"),
+        };
+        assert!(
+            payload.starts_with(jtelemetry::cancel::TIMEOUT_PANIC_MARKER),
+            "{mode:?} panicked without the timeout marker: {payload}"
+        );
+        payloads.push(payload);
+    }
+    assert_eq!(
+        payloads[0], payloads[1],
+        "both substrates must classify the abort identically"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated corpus programs produce bit-identical [`jexec::Outcome`]s
+    /// (output, error, every stats counter incl. step count, hotness
+    /// profile) and identical `--profile` opcode-attribution tables on
+    /// both substrates.
+    #[test]
+    fn generated_programs_agree_across_substrates(gen_seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(gen_seed);
+        let program = mopfuzzer::corpus::generate(&mut rng, gen_seed as usize % 1000);
+        let mut runs = Vec::new();
+        for mode in [ExecMode::Interp, ExecMode::Threaded] {
+            jtelemetry::install(jtelemetry::Session::from_spec(jtelemetry::SessionSpec {
+                manual: true,
+                trace: false,
+                profile: true,
+            }));
+            let outcome = jexec::run_program(&program, &config_with_mode(mode))
+                .expect("generated program builds");
+            let opcodes = jtelemetry::take().unwrap().snapshot().opcodes;
+            runs.push((outcome, opcodes));
+        }
+        prop_assert_eq!(&runs[0].0, &runs[1].0, "outcomes diverged");
+        prop_assert_eq!(&runs[0].1, &runs[1].1, "opcode tables diverged");
+    }
+
+    /// Fuel exhaustion is step-exact: at any fuel budget both substrates
+    /// stop on the same instruction with the same partial output, stats,
+    /// and profile.
+    #[test]
+    fn fuel_exhaustion_is_step_exact_across_substrates(
+        gen_seed in any::<u64>(),
+        fuel in 1u64..4_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(gen_seed);
+        let program = mopfuzzer::corpus::generate(&mut rng, gen_seed as usize % 1000);
+        let mut outcomes = Vec::new();
+        for mode in [ExecMode::Interp, ExecMode::Threaded] {
+            let config = ExecConfig { fuel, ..config_with_mode(mode) };
+            outcomes.push(
+                jexec::run_program(&program, &config).expect("generated program builds"),
+            );
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        // When the budget is short enough to bite, both report it.
+        if let Some(err) = &outcomes[0].error {
+            prop_assert_eq!(err, &jexec::ExecError::OutOfFuel);
+            prop_assert_eq!(outcomes[0].stats.steps, fuel, "steps stop exactly at the budget");
+        }
+    }
+}
