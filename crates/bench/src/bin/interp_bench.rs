@@ -100,8 +100,10 @@ fn run() {
     // amortizes it exactly as campaigns do.
     let mut rows: Vec<Row> = Vec::new();
     let mut baseline_outcomes: Option<Vec<jexec::Outcome>> = None;
+    let mut leaf_inlined = 0u64;
     for mode in MODES {
         jexec::threaded::cache_reset();
+        let _ = jexec::threaded::take_inline_count();
         let config = ExecConfig {
             mode,
             ..ExecConfig::default()
@@ -134,6 +136,9 @@ fn run() {
                 "--exec-mode {} diverged from interp: substrate equivalence is broken",
                 mode_name(mode)
             ),
+        }
+        if mode == ExecMode::Threaded {
+            leaf_inlined = jexec::threaded::take_inline_count();
         }
         rows.push(Row {
             mode,
@@ -251,11 +256,12 @@ fn run() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"type\": \"mopfuzzer-interp-bench\",");
-    let _ = writeln!(json, "  \"version\": 1,");
+    let _ = writeln!(json, "  \"version\": 2,");
     let _ = writeln!(json, "  \"host\": {},", bench::host_meta_json());
     let _ = writeln!(json, "  \"programs\": {},", programs.len());
     let _ = writeln!(json, "  \"repeats\": {repeats},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"leaf_calls_inlined\": {leaf_inlined},");
     let _ = writeln!(json, "  \"execution\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -80,10 +80,14 @@ pub mod metrics {
 pub fn host_meta_json() -> String {
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
     format!(
-        "{{\"os\": \"{}\", \"arch\": \"{}\", \"available_parallelism\": {hw}, \
-         \"clock\": \"monotonic\"}}",
+        "{{\"os\": \"{}\", \"arch\": \"{}\", \"family\": \"{}\", \
+         \"pointer_width\": {}, \"available_parallelism\": {hw}, \
+         \"debug_assertions\": {}, \"clock\": \"monotonic\"}}",
         std::env::consts::OS,
-        std::env::consts::ARCH
+        std::env::consts::ARCH,
+        std::env::consts::FAMILY,
+        usize::BITS,
+        cfg!(debug_assertions)
     )
 }
 

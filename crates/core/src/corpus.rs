@@ -42,6 +42,79 @@ pub fn corpus(extra: usize, rng_seed: u64) -> Vec<Seed> {
     seeds
 }
 
+fn parsed(seeds: &[(&str, &str)]) -> Vec<Seed> {
+    seeds
+        .iter()
+        .map(|(name, src)| Seed {
+            name: (*name).to_string(),
+            program: mjava::parse(src)
+                .unwrap_or_else(|e| panic!("built-in seed {name} failed to parse: {e:?}")),
+        })
+        .collect()
+}
+
+/// Seeds biased toward 64-bit arithmetic at the representation
+/// boundaries: values whose low 32 bits collide with small ints, overflow
+/// wrap-around, and long-driven branches. Used by the substrate golden
+/// campaigns, where the threaded executor's untagged value encoding has
+/// the most room to go wrong.
+pub fn long_heavy_seeds() -> Vec<Seed> {
+    parsed(&[
+        (
+            "long_boundary_sum",
+            "class L { static void main() { long acc = 2147483646L; for (int i = 0; i < 6; i++) { acc = acc + 1L; System.out.println(acc); } acc = acc * 2L; System.out.println(acc); } }",
+        ),
+        (
+            "long_overflow_wrap",
+            "class L { static long scale(long x, int k) { return x * k; } static void main() { long v = 9223372036854775807L; v = L.scale(v, 3) + 2L; System.out.println(v); System.out.println(v / 7L); System.out.println(v % 7L); } }",
+        ),
+        (
+            "long_branchy",
+            "class L { static void main() { long hi = 4294967296L; long lo = 1L; int n = 0; for (int i = 0; i < 12; i++) { if (lo < hi) { lo = lo * 4L; n = n + 1; } else { lo = lo - hi; } } System.out.println(lo); System.out.println(n); } }",
+        ),
+    ])
+}
+
+/// Seeds biased toward deep and dense call trees: recursion near the
+/// depth limit, mutual recursion with mixed-width arguments, and hot
+/// loops over tiny leaf methods right at the inline-size threshold.
+pub fn deep_call_seeds() -> Vec<Seed> {
+    parsed(&[
+        (
+            "deep_recursion",
+            "class D { static long down(int n, long acc) { if (n < 1) { return acc; } return D.down(n - 1, acc + n); } static void main() { System.out.println(D.down(200, 0L)); } }",
+        ),
+        (
+            "mutual_recursion",
+            "class D { static int even(int n) { if (n < 1) { return 1; } return D.odd(n - 1); } static int odd(int n) { if (n < 1) { return 0; } return D.even(n - 1); } static void main() { System.out.println(D.even(120) + D.odd(121)); } }",
+        ),
+        (
+            "leaf_storm",
+            "class D { static int t1(int a) { return a + 1; } static int t2(int a, int b) { return a * b - 1; } static long t3(long a, int b) { return a + b; } static void main() { long s = 0L; for (int i = 0; i < 60; i++) { s = s + D.t3(s, D.t2(D.t1(i), 3)); } System.out.println(s); } }",
+        ),
+    ])
+}
+
+/// Seeds biased toward the reflective call path: `Class.forName` /
+/// `getDeclaredMethod` / `invoke` chains on static and instance targets,
+/// in loops, with boxed values crossing the reflective boundary.
+pub fn reflection_heavy_seeds() -> Vec<Seed> {
+    parsed(&[
+        (
+            "reflect_static_loop",
+            "class R { static int twice(int x) { return x + x; } static void main() { int s = 1; for (int i = 0; i < 8; i++) { s = s + R.twice(s); } System.out.println(Class.forName(\"R\").getDeclaredMethod(\"twice\").invoke(null, s)); } }",
+        ),
+        (
+            "reflect_instance_state",
+            "class R { int f; int bump(int d) { f = f + d; return f; } static void main() { R r = new R(); for (int i = 0; i < 10; i++) { Class.forName(\"R\").getDeclaredMethod(\"bump\").invoke(r, i); } System.out.println(r.f); } }",
+        ),
+        (
+            "reflect_boxed_mix",
+            "class R { static int unwrap(Integer b) { return b.intValue() + 1; } static void main() { Integer b = Integer.valueOf(20); System.out.println(R.unwrap(b)); System.out.println(Class.forName(\"R\").getDeclaredMethod(\"unwrap\").invoke(null, b)); } }",
+        ),
+    ])
+}
+
 /// Adapts a corpus store's entries to the campaign seed list, preserving
 /// store (admission) order so schedulers index entries stably.
 pub fn seeds_from_store(store: &jcorpus::Store) -> Vec<Seed> {

@@ -146,6 +146,9 @@ impl Accumulator {
                 jtelemetry::count(counter, n);
             }
         }
+        if run.cache_log.inlined > 0 {
+            jtelemetry::count(jtelemetry::Counter::LeafCallsInlined, run.cache_log.inlined);
+        }
     }
 
     /// Folds in the next run (in pool order). Returns the early-exit

@@ -1,0 +1,441 @@
+//! The untagged 64-bit slot representation used by the threaded substrate's
+//! register file.
+//!
+//! [`crate::value::Value`] is a 16-byte tagged enum; the threaded dispatch
+//! loop instead keeps every operand as a raw `u64` payload plus a one-byte
+//! [`Tag`], stored in the two parallel arrays of the register-file arena
+//! (`threaded::RegFile`). A [`Slot`] is the in-register pairing of the two
+//! while a value is being operated on.
+//!
+//! Packing is canonical so that identical values have identical bit
+//! patterns (slot equality on `(bits, tag)` is value equality):
+//!
+//! * `Int`/`Boxed` zero-extend their `i32` payload into the low 32 bits
+//!   (the high 32 bits are always zero);
+//! * `Long` is the raw two's-complement `i64`;
+//! * `Bool` is `0`/`1`;
+//! * `Ref` is the object id; `Null` is `0`.
+//!
+//! The operator functions here mirror [`crate::ops`] exactly — same
+//! results, same error values, same error priority. Every case that is not
+//! a hand-written fast path falls back to unpacking and calling the shared
+//! [`crate::ops`] implementation, so a semantic divergence is only possible
+//! in the fast paths, which the unit tests below sweep differentially
+//! against `ops` over the representation's hazard corners (`i32::MIN / -1`,
+//! wrap boundaries, sign extension across the `u64` packing, `Int(-1)` vs
+//! `Long(0xFFFF_FFFF)` bit collisions, masked shifts, `Null` vs `Ref(0)`).
+
+use crate::code::{ArithOp, CmpOp};
+use crate::error::ExecError;
+use crate::value::Value;
+
+/// Runtime type of a register-file slot. Lives in the arena's tag array,
+/// parallel to the `u64` payload array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Tag {
+    /// 32-bit integer; payload zero-extended into the low 32 bits.
+    Int = 0,
+    /// 64-bit integer; payload is the raw two's-complement bits.
+    Long = 1,
+    /// Boolean; payload is 0 or 1.
+    Bool = 2,
+    /// Boxed integer; payload packed like `Int`.
+    Boxed = 3,
+    /// Heap reference; payload is the object id.
+    Ref = 4,
+    /// Null reference; payload is 0.
+    Null = 5,
+}
+
+/// A register-file slot loaded into locals: raw payload + tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Slot {
+    pub bits: u64,
+    pub tag: Tag,
+}
+
+/// The canonical `Null` slot (also the fill value for fresh locals).
+pub(crate) const NULL: Slot = Slot {
+    bits: 0,
+    tag: Tag::Null,
+};
+
+#[inline]
+pub(crate) fn pack(v: Value) -> Slot {
+    match v {
+        Value::Int(x) => Slot {
+            bits: x as u32 as u64,
+            tag: Tag::Int,
+        },
+        Value::Long(x) => Slot {
+            bits: x as u64,
+            tag: Tag::Long,
+        },
+        Value::Bool(b) => Slot {
+            bits: u64::from(b),
+            tag: Tag::Bool,
+        },
+        Value::Boxed(x) => Slot {
+            bits: x as u32 as u64,
+            tag: Tag::Boxed,
+        },
+        Value::Ref(id) => Slot {
+            bits: id as u64,
+            tag: Tag::Ref,
+        },
+        Value::Null => NULL,
+    }
+}
+
+#[inline]
+pub(crate) fn unpack(s: Slot) -> Value {
+    match s.tag {
+        Tag::Int => Value::Int(s.bits as u32 as i32),
+        Tag::Long => Value::Long(s.bits as i64),
+        Tag::Bool => Value::Bool(s.bits != 0),
+        Tag::Boxed => Value::Boxed(s.bits as u32 as i32),
+        Tag::Ref => Value::Ref(s.bits as usize),
+        Tag::Null => Value::Null,
+    }
+}
+
+/// `Int` payload accessor: the canonical packing keeps the high 32 bits
+/// zero, so truncation recovers the exact `i32`.
+#[inline]
+pub(crate) fn as_i32(bits: u64) -> i32 {
+    bits as u32 as i32
+}
+
+#[inline]
+fn pack_i32(x: i32) -> Slot {
+    Slot {
+        bits: x as u32 as u64,
+        tag: Tag::Int,
+    }
+}
+
+#[inline]
+fn pack_i64(x: i64) -> Slot {
+    Slot {
+        bits: x as u64,
+        tag: Tag::Long,
+    }
+}
+
+#[inline]
+fn pack_bool(b: bool) -> Slot {
+    Slot {
+        bits: u64::from(b),
+        tag: Tag::Bool,
+    }
+}
+
+/// Typed accessor for operands statically proven `int` by the lowering-time
+/// type recovery: no tag dispatch at all, straight `i32` arithmetic on the
+/// raw payloads. Semantics identical to [`crate::ops::arith`] on
+/// `(Int, Int)`.
+#[inline]
+pub(crate) fn arith_ii(op: ArithOp, a: u64, b: u64) -> Result<Slot, ExecError> {
+    let (x, y) = (as_i32(a), as_i32(b));
+    let v = match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        ArithOp::Rem => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        ArithOp::And => x & y,
+        ArithOp::Or => x | y,
+        ArithOp::Xor => x ^ y,
+        ArithOp::Shl => x.wrapping_shl((y & 31) as u32),
+        ArithOp::Shr => x.wrapping_shr((y & 31) as u32),
+    };
+    Ok(pack_i32(v))
+}
+
+/// Typed accessor for comparisons statically proven `(int, int)`.
+#[inline]
+pub(crate) fn compare_ii(op: CmpOp, a: u64, b: u64) -> Slot {
+    let (x, y) = (as_i32(a), as_i32(b));
+    let r = match op {
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+    };
+    pack_bool(r)
+}
+
+#[inline]
+fn arith_ll(op: ArithOp, x: i64, y: i64) -> Result<Slot, ExecError> {
+    let v = match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        ArithOp::Rem => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        ArithOp::And => x & y,
+        ArithOp::Or => x | y,
+        ArithOp::Xor => x ^ y,
+        ArithOp::Shl => x.wrapping_shl((y & 63) as u32),
+        ArithOp::Shr => x.wrapping_shr((y & 63) as u32),
+    };
+    Ok(pack_i64(v))
+}
+
+/// Slot-level [`crate::ops::arith`]: tag-dispatched fast paths for the
+/// numeric cases, shared-`ops` fallback for everything else (including all
+/// error cases, so error values and priority can never drift).
+#[inline]
+pub(crate) fn arith(op: ArithOp, a: Slot, b: Slot) -> Result<Slot, ExecError> {
+    match (a.tag, b.tag) {
+        (Tag::Int, Tag::Int) => arith_ii(op, a.bits, b.bits),
+        (Tag::Long, Tag::Long) => arith_ll(op, a.bits as i64, b.bits as i64),
+        (Tag::Long, Tag::Int) => arith_ll(op, a.bits as i64, i64::from(as_i32(b.bits))),
+        (Tag::Int, Tag::Long) => arith_ll(op, i64::from(as_i32(a.bits)), b.bits as i64),
+        _ => crate::ops::arith(op, unpack(a), unpack(b)).map(pack),
+    }
+}
+
+/// Slot-level [`crate::ops::compare`]: fast paths for numeric ordering and
+/// same-kind equality (canonical packing makes bit equality value
+/// equality), fallback for the rest.
+#[inline]
+pub(crate) fn compare(op: CmpOp, a: Slot, b: Slot) -> Result<Slot, ExecError> {
+    let numeric = |s: Slot| -> Option<i64> {
+        match s.tag {
+            Tag::Int => Some(i64::from(as_i32(s.bits))),
+            Tag::Long => Some(s.bits as i64),
+            _ => None,
+        }
+    };
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        let r = match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        };
+        return Ok(pack_bool(r));
+    }
+    crate::ops::compare(op, unpack(a), unpack(b)).map(pack)
+}
+
+/// Slot-level [`crate::ops::negate`].
+#[inline]
+pub(crate) fn negate(v: Slot) -> Result<Slot, ExecError> {
+    match v.tag {
+        Tag::Int => Ok(pack_i32(as_i32(v.bits).wrapping_neg())),
+        Tag::Long => Ok(pack_i64((v.bits as i64).wrapping_neg())),
+        _ => Err(ExecError::TypeMismatch("negation operand kind")),
+    }
+}
+
+/// Slot-level [`crate::ops::boolean_not`].
+#[inline]
+pub(crate) fn boolean_not(v: Slot) -> Result<Slot, ExecError> {
+    match v.tag {
+        Tag::Bool => Ok(pack_bool(v.bits == 0)),
+        _ => Err(ExecError::TypeMismatch("not operand kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    /// The hazard corners of the packed representation: values whose bit
+    /// patterns collide or sit on wrap/sign boundaries.
+    fn hazard_values() -> Vec<Value> {
+        let ints = [
+            0i32,
+            1,
+            -1,
+            2,
+            -2,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            i32::MIN,
+            i32::MIN + 1,
+            i32::MAX,
+            i32::MAX - 1,
+        ];
+        let longs = [
+            0i64,
+            1,
+            -1,
+            i64::MIN,
+            i64::MIN + 1,
+            i64::MAX,
+            // Bit-collision hazards: as u64 payloads these equal the
+            // packings of Int(-1), Int(i32::MIN) and Ref(0)/Null.
+            0xFFFF_FFFFi64,
+            i64::from(i32::MIN as u32),
+            i64::from(i32::MIN),
+            i64::from(i32::MAX) + 1,
+        ];
+        let mut vs = Vec::new();
+        vs.extend(ints.iter().map(|&x| Value::Int(x)));
+        vs.extend(longs.iter().map(|&x| Value::Long(x)));
+        vs.extend(ints.iter().take(4).map(|&x| Value::Boxed(x)));
+        vs.push(Value::Boxed(i32::MIN));
+        vs.push(Value::Bool(false));
+        vs.push(Value::Bool(true));
+        vs.push(Value::Ref(0));
+        vs.push(Value::Ref(1));
+        vs.push(Value::Ref(usize::MAX >> 1));
+        vs.push(Value::Null);
+        vs
+    }
+
+    const ARITH_OPS: [ArithOp; 10] = [
+        ArithOp::Add,
+        ArithOp::Sub,
+        ArithOp::Mul,
+        ArithOp::Div,
+        ArithOp::Rem,
+        ArithOp::And,
+        ArithOp::Or,
+        ArithOp::Xor,
+        ArithOp::Shl,
+        ArithOp::Shr,
+    ];
+    const CMP_OPS: [CmpOp; 6] = [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ];
+
+    #[test]
+    fn pack_unpack_roundtrips() {
+        for v in hazard_values() {
+            assert_eq!(unpack(pack(v)), v, "roundtrip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn packing_is_canonical() {
+        // Equal values pack to equal (bits, tag); the dispatch loop's
+        // same-tag equality fast path depends on this.
+        for a in hazard_values() {
+            for b in hazard_values() {
+                assert_eq!(a == b, pack(a) == pack(b), "canonical packing {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arith_matches_ops_exhaustively() {
+        for a in hazard_values() {
+            for b in hazard_values() {
+                for op in ARITH_OPS {
+                    let want = ops::arith(op, a, b);
+                    let got = arith(op, pack(a), pack(b)).map(unpack);
+                    assert_eq!(got, want, "{op:?} {a:?} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compare_matches_ops_exhaustively() {
+        for a in hazard_values() {
+            for b in hazard_values() {
+                for op in CMP_OPS {
+                    let want = ops::compare(op, a, b);
+                    let got = compare(op, pack(a), pack(b)).map(unpack);
+                    assert_eq!(got, want, "{op:?} {a:?} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unary_matches_ops() {
+        for v in hazard_values() {
+            assert_eq!(negate(pack(v)).map(unpack), ops::negate(v), "neg {v:?}");
+            assert_eq!(
+                boolean_not(pack(v)).map(unpack),
+                ops::boolean_not(v),
+                "not {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_int_accessors_match_generic() {
+        let ints = [0, 1, -1, 2, -7, 31, 33, i32::MIN, i32::MAX];
+        for &x in &ints {
+            for &y in &ints {
+                let (a, b) = (pack(Value::Int(x)), pack(Value::Int(y)));
+                for op in ARITH_OPS {
+                    assert_eq!(
+                        arith_ii(op, a.bits, b.bits),
+                        arith(op, a, b),
+                        "{op:?} {x} {y}"
+                    );
+                }
+                for op in CMP_OPS {
+                    assert_eq!(
+                        Ok(compare_ii(op, a.bits, b.bits)),
+                        compare(op, a, b),
+                        "{op:?} {x} {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_collisions_do_not_confuse_tags() {
+        // Int(-1) and Long(0xFFFF_FFFF) share low bits but not a tag; the
+        // untagged payload alone must never decide semantics.
+        let a = pack(Value::Int(-1));
+        let b = pack(Value::Long(0xFFFF_FFFF));
+        assert_eq!(a.bits, b.bits);
+        assert_eq!(
+            compare(CmpOp::Eq, a, b).map(unpack),
+            Ok(Value::Bool(false)),
+            "-1 != 4294967295 after promotion"
+        );
+        // Null and Ref(0) share payload 0 but differ by tag.
+        let n = pack(Value::Null);
+        let r = pack(Value::Ref(0));
+        assert_eq!(n.bits, r.bits);
+        assert_eq!(compare(CmpOp::Eq, n, r).map(unpack), Ok(Value::Bool(false)));
+        // Bool(false) vs Int(0): arithmetic must reject, not coerce.
+        assert!(arith(ArithOp::Add, pack(Value::Bool(false)), pack(Value::Int(0))).is_err());
+    }
+}

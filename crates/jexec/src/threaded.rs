@@ -6,19 +6,38 @@
 //! * local and static slots are bounds-checked at lowering time (invalid
 //!   slots become [`Op::Corrupt`] ops that raise the interpreter's exact
 //!   error at the exact step it would occur);
-//! * constants are pre-boxed as [`Value`]s;
+//! * constants are pre-packed as untagged [`Slot`]s (see [`crate::slot`]);
 //! * branch targets are resolved to op indices, with out-of-range targets
 //!   redirected to a trailing "pc out of range" sentinel;
 //! * field names, virtual-call names, and reflective class/method names are
 //!   resolved into per-class offset and dispatch tables, replacing the
 //!   interpreter's per-access linear scans and hash lookups;
 //! * statically resolved calls that can only fail (arity mismatch, missing
-//!   receiver) carry their prebuilt error.
+//!   receiver) carry their prebuilt error;
+//! * a forward type-recovery pass ([`int_facts`]) proves which
+//!   `Arith`/`Cmp` sites always see two `int` operands; those lower to
+//!   the tag-free [`Op::ArithII`]/[`Op::CmpII`] fast ops.
+//!
+//! Values do not live in boxed [`Value`] vectors here: every operand is an
+//! untagged 64-bit payload plus a one-byte tag in a single contiguous
+//! register-file arena per execution (`RegFile`). A call frame is a
+//! `(base, floor, sp)` window into that arena — the receiver and arguments
+//! a caller pushes already sit where the callee's locals begin, so frame
+//! entry copies nothing in the common case and frame save/restore is three
+//! integers instead of two `Vec`s.
+//!
+//! On top of lowering, [`fuse`] builds superinstructions, and a final pass
+//! inlines tiny leaf callees at their statically resolved `Invoke` sites
+//! ([`Op::InlineCall`]): the callee's straight-line micro-ops execute in
+//! the caller's dispatch, with no frame push and no per-call code lookup.
+//! The process-wide code cache key covers the code fingerprints of every
+//! statically invoked callee, so a JIT [`Image::install_code`] on a leaf
+//! invalidates exactly the cached bodies that inlined it.
 //!
 //! Lowered bodies are shared through a process-wide lock-once code cache
-//! keyed by `(image shape fingerprint, method code fingerprint)`, so every
-//! `WorkPool` worker and every differential-pool JVM reuses lowering work,
-//! and a JIT [`Image::install_code`] invalidates exactly one method.
+//! keyed by `(image shape fingerprint, method+callee code fingerprints)`,
+//! so every `WorkPool` worker and every differential-pool JVM reuses
+//! lowering work.
 //!
 //! The dispatch loop preserves the interpreter's observable behaviour bit
 //! for bit: fuel accounting, step counts, the every-4096-steps cancellation
@@ -37,9 +56,9 @@ use crate::code::{ArithOp, CmpOp, Code, Instr, MethodId};
 use crate::error::ExecError;
 use crate::image::{Fnv, Image};
 use crate::interp::{opcode_index, ExecConfig, ExecStats, OpcodeProfiler, Outcome, Profile};
-use crate::ops;
+use crate::slot::{self, Slot, Tag, NULL};
 use crate::value::{ClassId, Heap, Value};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -56,9 +75,9 @@ const NO_FIELD: u32 = u32::MAX;
 /// hot array compact.
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    /// Push a pre-boxed constant (covers ConstI/ConstL/ConstB/ConstNull
+    /// Push a pre-packed constant (covers ConstI/ConstL/ConstB/ConstNull
     /// and ClassObj; the original opcode survives in the opcode array).
-    ConstVal(Value),
+    ConstVal(Slot),
     /// Load a local slot, validated at lowering time.
     Load(u16),
     /// Store into a local slot, validated at lowering time.
@@ -72,7 +91,12 @@ enum Op {
     /// Write a flattened static slot, validated at lowering time.
     PutStatic(u32),
     Arith(ArithOp),
+    /// [`Op::Arith`] whose operands are statically proven `int` by
+    /// [`int_facts`]: raw-payload `i32` arithmetic, no tag dispatch.
+    ArithII(ArithOp),
     Cmp(CmpOp),
+    /// [`Op::Cmp`] with statically proven `int` operands.
+    CmpII(CmpOp),
     Neg,
     Not,
     /// Unconditional jump; `backedge` is precomputed (`target <= pc`).
@@ -131,9 +155,11 @@ enum Op {
     /// Binary arithmetic with fused operand fetches and an optional
     /// fused store: `[fetch a] [fetch b] Arith [Store/PutStatic]`.
     /// `Src::Stack` operands pop (a fused `Arith; Store` tail has both
-    /// on the stack); `b` is only `Stack` when `a` is.
+    /// on the stack); `b` is only `Stack` when `a` is. `ii` carries the
+    /// constituent's proven-int flag.
     Bin {
         op: ArithOp,
+        ii: bool,
         a: Src,
         b: Src,
         sink: Sink,
@@ -142,6 +168,7 @@ enum Op {
     /// loop-header shape, one dispatch per iteration test.
     CmpBr {
         op: CmpOp,
+        ii: bool,
         a: Src,
         b: Src,
         target: u32,
@@ -154,6 +181,7 @@ enum Op {
     /// original `CmpBr` stays in place for loop entry.
     JumpCmpBr {
         op: CmpOp,
+        ii: bool,
         a: Src,
         b: Src,
         exit: u32,
@@ -170,6 +198,8 @@ enum Op {
         c: Src,
         op1: ArithOp,
         op2: ArithOp,
+        ii1: bool,
+        ii2: bool,
         right: bool,
         sink: Sink,
     },
@@ -181,15 +211,24 @@ enum Op {
     /// identically).
     IncLatch {
         iop: ArithOp,
+        iop_ii: bool,
         islot: u16,
-        ic: Value,
+        ic: Slot,
         dst: u16,
         cop: CmpOp,
+        cop_ii: bool,
         ca: Src,
         cb: Src,
         exit: u32,
         fall: u32,
     },
+    /// A statically resolved call to a tiny straight-line leaf method,
+    /// executed inline via the inlines table: no frame push, no code
+    /// lookup, one dispatch for the call plus per-micro ticks for the
+    /// callee's instructions — step accounting identical to the real
+    /// call. Fused bodies only; the unfused twin keeps the plain
+    /// [`Op::Invoke`] so profiled runs attribute callee opcodes normally.
+    InlineCall(u16),
 }
 
 /// Fused operand source. Slots are pre-validated (the fuser only folds
@@ -200,7 +239,7 @@ enum Src {
     Stack,
     Local(u16),
     Static(u32),
-    Const(Value),
+    Const(Slot),
 }
 
 /// Fused result destination.
@@ -232,6 +271,40 @@ impl CorruptKind {
 enum BadRef {
     Method,
     Class,
+}
+
+/// One micro-instruction of an inlined leaf body: the strict straight-line
+/// subset of [`Op`] a leaf may contain. Executes against the caller's
+/// register file with a private `(cbase, cfloor, csp)` window.
+#[derive(Debug, Clone, Copy)]
+enum LeafOp {
+    Const(Slot),
+    Load(u16),
+    Store(u16),
+    Arith(ArithOp),
+    Cmp(CmpOp),
+    Neg,
+    Not,
+    Dup,
+    Pop,
+    ReturnV,
+    Return,
+}
+
+/// An inline-expanded leaf callee: the frame geometry [`enter!`] would
+/// have set up, plus the translated body.
+#[derive(Debug)]
+struct InlineInfo {
+    /// The callee, for `Profile::invocations` attribution.
+    mid: u32,
+    argc: u8,
+    /// Whether the call pops (and the callee binds) a receiver. Only
+    /// `pops_recv == needs_recv` call sites inline, so one flag covers
+    /// both.
+    recv: bool,
+    n_locals: u16,
+    max_stack: u16,
+    body: Box<[LeafOp]>,
 }
 
 /// Per-class instance-field offsets for one field name.
@@ -305,6 +378,9 @@ pub struct ThreadedCode {
     n_locals: u16,
     max_stack: u16,
     tables: Arc<SideTables>,
+    /// Inline-expanded leaf callees referenced by [`Op::InlineCall`].
+    /// Empty on unfused bodies.
+    inlines: Box<[InlineInfo]>,
     /// The unfused twin of a fused body (`None` when self is unfused).
     /// Profiled runs execute it so per-opcode attribution, which samples
     /// individual steps, sees every original instruction.
@@ -328,12 +404,19 @@ pub struct CacheStats {
 /// cache never affects results or telemetry, so eviction is unobservable.
 const CACHE_CAP: usize = 16_384;
 
-/// `(image shape fingerprint, method code fingerprint)` -> lowered body.
+/// `(image shape fingerprint, combined code fingerprint)` -> lowered body.
+/// The combined fingerprint covers the method's own code plus the code of
+/// every statically invoked callee — leaf inlining copies callee bodies
+/// into the fused code, so `install_code` on a callee must invalidate its
+/// inliners too.
 type CodeMap = HashMap<(u64, u64), Arc<ThreadedCode>>;
 
 static CODE_CACHE: OnceLock<RwLock<CodeMap>> = OnceLock::new();
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Process-lifetime count of leaf calls executed inline (benches only;
+/// the deterministic per-run counter is [`take_inline_count`]).
+static INLINE_TOTAL: AtomicU64 = AtomicU64::new(0);
 
 fn cache() -> &'static RwLock<CodeMap> {
     CODE_CACHE.get_or_init(|| RwLock::new(HashMap::new()))
@@ -354,6 +437,9 @@ thread_local! {
     /// a pure function of the executions, independent of live cache state
     /// and worker scheduling.
     static LOOKUP_LOG: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Leaf calls executed inline by this thread since the last drain.
+    /// Like the lookup log, a pure function of the executions performed.
+    static INLINE_LOG: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Drains this thread's code-cache lookup log.
@@ -361,11 +447,30 @@ pub fn take_lookup_log() -> Vec<u64> {
     LOOKUP_LOG.with(|l| std::mem::take(&mut *l.borrow_mut()))
 }
 
+/// Drains this thread's count of leaf calls executed inline.
+pub fn take_inline_count() -> u64 {
+    INLINE_LOG.with(|c| c.replace(0))
+}
+
+/// Process-lifetime count of leaf calls executed inline.
+pub fn inline_total() -> u64 {
+    INLINE_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Renders a method's fused op array, one op per line (development
+/// tooling for inspecting what the fuser built; not a stable format).
+#[doc(hidden)]
+pub fn dump_fused(image: &Image, mid: MethodId) -> Vec<String> {
+    let tc = fuse(image, Arc::new(lower(image, mid)));
+    tc.ops.iter().map(|op| format!("{op:?}")).collect()
+}
+
 /// Empties the cache and zeroes its statistics (campaign start / benches).
 pub fn cache_reset() {
     cache_write().clear();
     CACHE_HITS.store(0, Ordering::Relaxed);
     CACHE_MISSES.store(0, Ordering::Relaxed);
+    INLINE_TOTAL.store(0, Ordering::Relaxed);
 }
 
 /// Live statistics of the process-wide cache.
@@ -379,11 +484,24 @@ pub fn cache_stats() -> CacheStats {
 
 /// Fetches (or lowers and publishes) the threaded body of one method.
 fn lookup_or_lower(image: &Image, mid: MethodId) -> Arc<ThreadedCode> {
-    let key = (image.shape_fp(), image.methods[mid].code_fp);
+    let m = &image.methods[mid];
     let mut h = Fnv::new();
-    h.u64(key.0);
-    h.u64(key.1);
-    LOOKUP_LOG.with(|l| l.borrow_mut().push(h.0));
+    h.u64(m.code_fp);
+    // Leaf inlining copies statically invoked callee bodies into this
+    // method's fused code, so the key covers their fingerprints too:
+    // `install_code` on a callee changes every inliner's key.
+    for instr in &m.code.instrs {
+        if let Instr::Invoke { method, .. } = instr {
+            if let Some(t) = image.methods.get(*method) {
+                h.u64(t.code_fp);
+            }
+        }
+    }
+    let key = (image.shape_fp(), h.0);
+    let mut lh = Fnv::new();
+    lh.u64(key.0);
+    lh.u64(key.1);
+    LOOKUP_LOG.with(|l| l.borrow_mut().push(lh.0));
     if let Some(tc) = cache_read().get(&key) {
         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(tc);
@@ -393,12 +511,290 @@ fn lookup_or_lower(image: &Image, mid: MethodId) -> Arc<ThreadedCode> {
     // racing writers insert interchangeable values and `or_insert` keeps
     // the first. The cache stores the fused body; its unfused twin rides
     // along inside for profiled runs.
-    let tc = Arc::new(fuse(Arc::new(lower(image, mid))));
+    let tc = Arc::new(fuse(image, Arc::new(lower(image, mid))));
     let mut map = cache_write();
     if map.len() >= CACHE_CAP {
         map.clear();
     }
     Arc::clone(map.entry(key).or_insert(tc))
+}
+
+/// Abstract operand kind for the lowering-time type recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum At {
+    Int,
+    Long,
+    Bool,
+    Any,
+}
+
+impl At {
+    fn join(self, other: At) -> At {
+        if self == other {
+            self
+        } else {
+            At::Any
+        }
+    }
+}
+
+/// Abstract machine state at one pc: the kind of every stack and local
+/// slot. Stack depth is exact — merges with mismatched depths abandon the
+/// analysis (see [`int_facts`]).
+#[derive(Clone, PartialEq)]
+struct AbsState {
+    stack: Vec<At>,
+    locals: Vec<At>,
+}
+
+/// Budget multiplier: the fixpoint visits at most `64 * n` worklist items
+/// before giving up (the lattice is tiny, so real code converges far
+/// earlier; this is a backstop for adversarial hand-built code).
+const FACTS_BUDGET_PER_INSTR: usize = 64;
+
+/// Instruction-count ceiling for running the recovery at all.
+const FACTS_MAX_INSTRS: usize = 2048;
+
+/// Lowering-time recovery of statically-`int` operand pairs: a forward
+/// abstract interpretation over `Code` tracking, per pc, the abstract kind
+/// of every stack and local slot. `facts[pc]` is true exactly when
+/// instruction `pc` is an `Arith`/`Cmp` whose two stack operands are
+/// proven `int` on every path — those lower to the tag-free
+/// [`Op::ArithII`]/[`Op::CmpII`].
+///
+/// Soundness over precision: locals start as `Any` (parameters and fields
+/// are untyped here), every unknown producer pushes `Any`, paths that must
+/// error before producing a value (abstract stack underflow, invalid
+/// slots, falling off the end) are terminal, and any merge with mismatched
+/// stack depths — impossible for compiler output, possible for hand-built
+/// code — abandons the analysis entirely. A missed fact only costs the
+/// generic tag-dispatched op; a wrong fact would be a miscompile, so every
+/// `ArithII`/`CmpII` dispatch debug-asserts its operand tags.
+fn int_facts(code: &Code) -> Vec<bool> {
+    let n = code.instrs.len();
+    let mut facts = vec![false; n];
+    if n == 0 || n > FACTS_MAX_INSTRS {
+        return facts;
+    }
+    let n_locals = code.n_locals as usize;
+    let mut states: Vec<Option<AbsState>> = vec![None; n];
+    states[0] = Some(AbsState {
+        stack: Vec::new(),
+        locals: vec![At::Any; n_locals],
+    });
+    let mut work = vec![0usize];
+    let mut budget = FACTS_BUDGET_PER_INSTR * n;
+    while let Some(pc) = work.pop() {
+        if budget == 0 {
+            return vec![false; n];
+        }
+        budget -= 1;
+        let Some(mut st) = states[pc].clone() else {
+            continue;
+        };
+        // Transfer: `None` from a pop means abstract underflow — real
+        // execution errors at this pc, so the path is terminal.
+        let mut succs: [Option<usize>; 2] = [None, None];
+        let fall = (pc + 1 < n).then_some(pc + 1);
+        let mut terminal = false;
+        macro_rules! popk {
+            () => {
+                match st.stack.pop() {
+                    Some(k) => k,
+                    None => {
+                        terminal = true;
+                        At::Any
+                    }
+                }
+            };
+        }
+        match &code.instrs[pc] {
+            Instr::ConstI(_) => {
+                st.stack.push(At::Int);
+                succs[0] = fall;
+            }
+            Instr::ConstL(_) => {
+                st.stack.push(At::Long);
+                succs[0] = fall;
+            }
+            Instr::ConstB(_) => {
+                st.stack.push(At::Bool);
+                succs[0] = fall;
+            }
+            Instr::ConstNull | Instr::ClassObj(_) => {
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::Load(s) => {
+                if (*s as usize) < n_locals {
+                    st.stack.push(st.locals[*s as usize]);
+                    succs[0] = fall;
+                }
+            }
+            Instr::Store(s) => {
+                let v = popk!();
+                if !terminal && (*s as usize) < n_locals {
+                    st.locals[*s as usize] = v;
+                    succs[0] = fall;
+                }
+            }
+            Instr::GetField(_) => {
+                let _ = popk!();
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::PutField(_) => {
+                let _ = popk!();
+                let _ = popk!();
+                succs[0] = fall;
+            }
+            Instr::GetStatic(..) => {
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::PutStatic(..) => {
+                let _ = popk!();
+                succs[0] = fall;
+            }
+            Instr::Arith(_) => {
+                let b = popk!();
+                let a = popk!();
+                let r = match (a, b) {
+                    (At::Int, At::Int) => At::Int,
+                    (At::Int | At::Long, At::Int | At::Long) => At::Long,
+                    (At::Bool, At::Bool) => At::Bool,
+                    _ => At::Any,
+                };
+                st.stack.push(r);
+                succs[0] = fall;
+            }
+            Instr::Cmp(_) => {
+                let _ = popk!();
+                let _ = popk!();
+                st.stack.push(At::Bool);
+                succs[0] = fall;
+            }
+            Instr::Neg => {
+                let v = popk!();
+                st.stack.push(match v {
+                    At::Int => At::Int,
+                    At::Long => At::Long,
+                    _ => At::Any,
+                });
+                succs[0] = fall;
+            }
+            Instr::Not => {
+                let _ = popk!();
+                st.stack.push(At::Bool);
+                succs[0] = fall;
+            }
+            Instr::Jump(t) => {
+                succs[0] = (*t < n).then_some(*t);
+            }
+            Instr::JumpIfFalse(t) => {
+                let _ = popk!();
+                succs[0] = fall;
+                succs[1] = (*t < n).then_some(*t);
+            }
+            Instr::Invoke { argc, has_recv, .. } => {
+                for _ in 0..(*argc as usize + usize::from(*has_recv)) {
+                    let _ = popk!();
+                }
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::InvokeVirtual { argc, .. } => {
+                for _ in 0..(*argc as usize + 1) {
+                    let _ = popk!();
+                }
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::InvokeReflect { argc, has_recv, .. } => {
+                for _ in 0..(*argc as usize + usize::from(*has_recv)) {
+                    let _ = popk!();
+                }
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::New(_) => {
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::BoxInt => {
+                let _ = popk!();
+                st.stack.push(At::Any);
+                succs[0] = fall;
+            }
+            Instr::UnboxInt => {
+                let _ = popk!();
+                st.stack.push(At::Int);
+                succs[0] = fall;
+            }
+            Instr::MonitorEnter | Instr::MonitorExit | Instr::Print | Instr::Pop => {
+                let _ = popk!();
+                succs[0] = fall;
+            }
+            Instr::Dup => {
+                match st.stack.last() {
+                    Some(&v) => st.stack.push(v),
+                    None => terminal = true,
+                }
+                succs[0] = fall;
+            }
+            Instr::ReturnV => {
+                let _ = popk!();
+            }
+            Instr::Return => {}
+        }
+        if terminal {
+            continue;
+        }
+        for succ in succs.into_iter().flatten() {
+            match &mut states[succ] {
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    work.push(succ);
+                }
+                Some(old) => {
+                    if old.stack.len() != st.stack.len() {
+                        // Depth mismatch: exact depth tracking is the
+                        // soundness backbone, so give up wholesale.
+                        return vec![false; n];
+                    }
+                    let mut changed = false;
+                    for (o, v) in old.stack.iter_mut().zip(&st.stack) {
+                        let j = o.join(*v);
+                        if j != *o {
+                            *o = j;
+                            changed = true;
+                        }
+                    }
+                    for (o, v) in old.locals.iter_mut().zip(&st.locals) {
+                        let j = o.join(*v);
+                        if j != *o {
+                            *o = j;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    for (pc, instr) in code.instrs.iter().enumerate() {
+        if matches!(instr, Instr::Arith(_) | Instr::Cmp(_)) {
+            if let Some(st) = &states[pc] {
+                let d = st.stack.len();
+                if d >= 2 && st.stack[d - 1] == At::Int && st.stack[d - 2] == At::Int {
+                    facts[pc] = true;
+                }
+            }
+        }
+    }
+    facts
 }
 
 /// Lowers one method's [`Code`] against its image. Infallible: anything the
@@ -408,6 +804,7 @@ fn lower(image: &Image, mid: MethodId) -> ThreadedCode {
     let code = &image.methods[mid].code;
     let n = code.instrs.len();
     let n_classes = image.classes.len();
+    let facts = int_facts(code);
 
     // Flattened static layout: base slot per class.
     let mut static_base = Vec::with_capacity(n_classes);
@@ -431,15 +828,18 @@ fn lower(image: &Image, mid: MethodId) -> ThreadedCode {
     for (pc, instr) in code.instrs.iter().enumerate() {
         opcodes.push(opcode_index(instr) as u8);
         let op = match instr {
-            Instr::ConstI(v) => Op::ConstVal(Value::Int(*v)),
-            Instr::ConstL(v) => Op::ConstVal(Value::Long(*v)),
-            Instr::ConstB(b) => Op::ConstVal(Value::Bool(*b)),
-            Instr::ConstNull => Op::ConstVal(Value::Null),
+            Instr::ConstI(v) => Op::ConstVal(slot::pack(Value::Int(*v))),
+            Instr::ConstL(v) => Op::ConstVal(slot::pack(Value::Long(*v))),
+            Instr::ConstB(b) => Op::ConstVal(slot::pack(Value::Bool(*b))),
+            Instr::ConstNull => Op::ConstVal(NULL),
             // Class lock objects occupy heap ids 0..n_classes, so the class
             // object is a plain reference — unvalidated, as in the
             // interpreter (a wild id only surfaces as a dangling reference
             // if used).
-            Instr::ClassObj(cid) => Op::ConstVal(Value::Ref(*cid)),
+            Instr::ClassObj(cid) => Op::ConstVal(Slot {
+                bits: *cid as u64,
+                tag: Tag::Ref,
+            }),
             Instr::Load(s) => {
                 if (*s as usize) < code.n_locals as usize {
                     Op::Load(*s)
@@ -461,15 +861,27 @@ fn lower(image: &Image, mid: MethodId) -> ThreadedCode {
                 Op::PutField(intern_field(image, &mut fields, &mut field_ids, name))
             }
             Instr::GetStatic(cid, off) => match flat_static(image, &static_base, *cid, *off) {
-                Some(slot) => Op::GetStatic(slot),
+                Some(flat) => Op::GetStatic(flat),
                 None => Op::Corrupt(CorruptKind::StaticSlot),
             },
             Instr::PutStatic(cid, off) => match flat_static(image, &static_base, *cid, *off) {
-                Some(slot) => Op::PutStatic(slot),
+                Some(flat) => Op::PutStatic(flat),
                 None => Op::Corrupt(CorruptKind::StaticSlot),
             },
-            Instr::Arith(op) => Op::Arith(*op),
-            Instr::Cmp(op) => Op::Cmp(*op),
+            Instr::Arith(op) => {
+                if facts[pc] {
+                    Op::ArithII(*op)
+                } else {
+                    Op::Arith(*op)
+                }
+            }
+            Instr::Cmp(op) => {
+                if facts[pc] {
+                    Op::CmpII(*op)
+                } else {
+                    Op::Cmp(*op)
+                }
+            }
             Instr::Neg => Op::Neg,
             Instr::Not => Op::Not,
             Instr::Jump(target) => Op::Jump {
@@ -611,18 +1023,20 @@ fn lower(image: &Image, mid: MethodId) -> ThreadedCode {
             vcalls: vcalls.into_boxed_slice(),
             rcalls: rcalls.into_boxed_slice(),
         }),
+        inlines: Box::new([]),
         unfused: None,
     }
 }
 
 /// Builds the fused body of an unfused lowering: maximal straight-line
 /// runs of fetch/arith/compare/store/branch ops collapse into the
-/// superinstructions at the tail of [`Op`], one dispatch each.
+/// superinstructions at the tail of [`Op`], one dispatch each, and
+/// statically resolved calls to tiny leaves become [`Op::InlineCall`]s.
 ///
 /// Groups never span a branch target (every target starts a group, so
 /// remapped jumps stay valid), and only ops already validated by
 /// [`lower`] participate — `Corrupt`/`HostPanic` ops are never folded.
-fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
+fn fuse(image: &Image, unfused: Arc<ThreadedCode>) -> ThreadedCode {
     let ops = &unfused.ops;
     let n = ops.len() - 1; // exclude the pc sentinel
     let mut is_target = vec![false; n + 1];
@@ -650,6 +1064,22 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
             _ => None,
         }
     };
+    // Arith/Cmp constituents carry their proven-int flag into the fused
+    // op so the superinstruction keeps the tag-free fast path.
+    let as_arith = |op: &Op| -> Option<(ArithOp, bool)> {
+        match op {
+            Op::Arith(o) => Some((*o, false)),
+            Op::ArithII(o) => Some((*o, true)),
+            _ => None,
+        }
+    };
+    let as_cmp = |op: &Op| -> Option<(CmpOp, bool)> {
+        match op {
+            Op::Cmp(o) => Some((*o, false)),
+            Op::CmpII(o) => Some((*o, true)),
+            _ => None,
+        }
+    };
 
     let mut fused: Vec<Op> = Vec::with_capacity(n + 1);
     let mut orig_to_fused = vec![u32::MAX; n + 1];
@@ -665,7 +1095,13 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
             } else if let Some(f1) = as_fetch(&ops[i + 1]) {
                 // Two-operator chains first (longest match): left-deep
                 // `F F A F A [S]` and right-deep `F F F A A [S]`.
-                let chain3 = |f2: Src, op1: ArithOp, op2: ArithOp, right: bool, at: usize| match (
+                let chain3 = |f2: Src,
+                              op1: ArithOp,
+                              ii1: bool,
+                              op2: ArithOp,
+                              ii2: bool,
+                              right: bool,
+                              at: usize| match (
                     free(at),
                     as_sink(ops.get(at).unwrap_or(&Op::Return)),
                 ) {
@@ -676,6 +1112,8 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                             c: f2,
                             op1,
                             op2,
+                            ii1,
+                            ii2,
                             right,
                             sink,
                         },
@@ -688,22 +1126,31 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                             c: f2,
                             op1,
                             op2,
+                            ii1,
+                            ii2,
                             right,
                             sink: Sink::Push,
                         },
                         at - i,
                     ),
                 };
-                match (free(i + 2), &ops[i + 2]) {
-                    (true, Op::Arith(op)) => match (
-                        free(i + 3).then(|| as_fetch(&ops[i + 3])).flatten(),
-                        free(i + 4).then(|| ops.get(i + 4)).flatten(),
-                    ) {
-                        (Some(f2), Some(Op::Arith(op2))) => chain3(f2, *op, *op2, false, i + 5),
+                if !free(i + 2) {
+                    (Op::Push2 { a: f0, b: f1 }, 2)
+                } else if let Some((op1, ii1)) = as_arith(&ops[i + 2]) {
+                    let f2 = free(i + 3).then(|| as_fetch(&ops[i + 3])).flatten();
+                    let a2 = free(i + 4)
+                        .then(|| ops.get(i + 4))
+                        .flatten()
+                        .and_then(as_arith);
+                    match (f2, a2) {
+                        (Some(f2), Some((op2, ii2))) => {
+                            chain3(f2, op1, ii1, op2, ii2, false, i + 5)
+                        }
                         _ => match (free(i + 3), as_sink(ops.get(i + 3).unwrap_or(&Op::Return))) {
                             (true, Some(sink)) => (
                                 Op::Bin {
-                                    op: *op,
+                                    op: op1,
+                                    ii: ii1,
                                     a: f0,
                                     b: f1,
                                     sink,
@@ -712,7 +1159,8 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                             ),
                             _ => (
                                 Op::Bin {
-                                    op: *op,
+                                    op: op1,
+                                    ii: ii1,
                                     a: f0,
                                     b: f1,
                                     sink: Sink::Push,
@@ -720,11 +1168,13 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                                 3,
                             ),
                         },
-                    },
-                    (true, Op::Cmp(op)) => match (free(i + 3), ops.get(i + 3)) {
+                    }
+                } else if let Some((cop, cii)) = as_cmp(&ops[i + 2]) {
+                    match (free(i + 3), ops.get(i + 3)) {
                         (true, Some(Op::JumpIfFalse(t))) => (
                             Op::CmpBr {
-                                op: *op,
+                                op: cop,
+                                ii: cii,
                                 a: f0,
                                 b: f1,
                                 target: *t,
@@ -732,49 +1182,57 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                             4,
                         ),
                         _ => (Op::Push2 { a: f0, b: f1 }, 2),
-                    },
-                    (true, third) => match (
-                        as_fetch(third),
-                        free(i + 3).then(|| ops.get(i + 3)).flatten(),
-                        free(i + 4).then(|| ops.get(i + 4)).flatten(),
+                    }
+                } else {
+                    match (
+                        as_fetch(&ops[i + 2]),
+                        free(i + 3)
+                            .then(|| ops.get(i + 3))
+                            .flatten()
+                            .and_then(as_arith),
+                        free(i + 4)
+                            .then(|| ops.get(i + 4))
+                            .flatten()
+                            .and_then(as_arith),
                     ) {
-                        (Some(f2), Some(Op::Arith(op1)), Some(Op::Arith(op2))) => {
-                            chain3(f2, *op1, *op2, true, i + 5)
+                        (Some(f2), Some((op1, ii1)), Some((op2, ii2))) => {
+                            chain3(f2, op1, ii1, op2, ii2, true, i + 5)
                         }
                         _ => (Op::Push2 { a: f0, b: f1 }, 2),
-                    },
-                    _ => (Op::Push2 { a: f0, b: f1 }, 2),
+                    }
                 }
             } else {
                 // Single fetch: it supplies the *second* operand (the
                 // first, if any, is already on the stack).
-                match &ops[i + 1] {
-                    Op::Arith(op) => {
-                        match (free(i + 2), as_sink(ops.get(i + 2).unwrap_or(&Op::Return))) {
-                            (true, Some(sink)) => (
-                                Op::Bin {
-                                    op: *op,
-                                    a: Src::Stack,
-                                    b: f0,
-                                    sink,
-                                },
-                                3,
-                            ),
-                            _ => (
-                                Op::Bin {
-                                    op: *op,
-                                    a: Src::Stack,
-                                    b: f0,
-                                    sink: Sink::Push,
-                                },
-                                2,
-                            ),
-                        }
+                if let Some((op, ii)) = as_arith(&ops[i + 1]) {
+                    match (free(i + 2), as_sink(ops.get(i + 2).unwrap_or(&Op::Return))) {
+                        (true, Some(sink)) => (
+                            Op::Bin {
+                                op,
+                                ii,
+                                a: Src::Stack,
+                                b: f0,
+                                sink,
+                            },
+                            3,
+                        ),
+                        _ => (
+                            Op::Bin {
+                                op,
+                                ii,
+                                a: Src::Stack,
+                                b: f0,
+                                sink: Sink::Push,
+                            },
+                            2,
+                        ),
                     }
-                    Op::Cmp(op) => match (free(i + 2), ops.get(i + 2)) {
+                } else if let Some((op, ii)) = as_cmp(&ops[i + 1]) {
+                    match (free(i + 2), ops.get(i + 2)) {
                         (true, Some(Op::JumpIfFalse(t))) => (
                             Op::CmpBr {
-                                op: *op,
+                                op,
+                                ii,
                                 a: Src::Stack,
                                 b: f0,
                                 target: *t,
@@ -782,35 +1240,39 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                             3,
                         ),
                         _ => (ops[i], 1),
-                    },
-                    Op::Store(s) => (
-                        Op::Move {
-                            src: f0,
-                            dst: Sink::Local(*s),
+                    }
+                } else {
+                    match &ops[i + 1] {
+                        Op::Store(s) => (
+                            Op::Move {
+                                src: f0,
+                                dst: Sink::Local(*s),
+                            },
+                            2,
+                        ),
+                        Op::PutStatic(s) => (
+                            Op::Move {
+                                src: f0,
+                                dst: Sink::Static(*s),
+                            },
+                            2,
+                        ),
+                        Op::GetField(fi) => match f0 {
+                            Src::Local(lsl) => (Op::GetFieldL { slot: lsl, fi: *fi }, 2),
+                            _ => (ops[i], 1),
                         },
-                        2,
-                    ),
-                    Op::PutStatic(s) => (
-                        Op::Move {
-                            src: f0,
-                            dst: Sink::Static(*s),
-                        },
-                        2,
-                    ),
-                    Op::GetField(fi) => match f0 {
-                        Src::Local(slot) => (Op::GetFieldL { slot, fi: *fi }, 2),
                         _ => (ops[i], 1),
-                    },
-                    _ => (ops[i], 1),
+                    }
                 }
             }
-        } else {
+        } else if let Some((op, ii)) = as_arith(&ops[i]) {
             // Stack-operand tails of larger expressions.
-            match &ops[i] {
-                Op::Arith(op) if free(i + 1) => match as_sink(&ops[i + 1]) {
+            if free(i + 1) {
+                match as_sink(&ops[i + 1]) {
                     Some(sink) => (
                         Op::Bin {
-                            op: *op,
+                            op,
+                            ii,
                             a: Src::Stack,
                             b: Src::Stack,
                             sink,
@@ -818,11 +1280,17 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                         2,
                     ),
                     None => (ops[i], 1),
-                },
-                Op::Cmp(op) if free(i + 1) => match &ops[i + 1] {
+                }
+            } else {
+                (ops[i], 1)
+            }
+        } else if let Some((op, ii)) = as_cmp(&ops[i]) {
+            if free(i + 1) {
+                match &ops[i + 1] {
                     Op::JumpIfFalse(t) => (
                         Op::CmpBr {
-                            op: *op,
+                            op,
+                            ii,
                             a: Src::Stack,
                             b: Src::Stack,
                             target: *t,
@@ -830,9 +1298,12 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
                         2,
                     ),
                     _ => (ops[i], 1),
-                },
-                _ => (ops[i], 1),
+                }
+            } else {
+                (ops[i], 1)
             }
+        } else {
+            (ops[i], 1)
         };
         fused.push(op);
         i += k;
@@ -863,6 +1334,7 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
         if let (
             Op::Bin {
                 op: iop,
+                ii: iop_ii,
                 a: Src::Local(islot),
                 b: Src::Const(ic),
                 sink: Sink::Local(dst),
@@ -875,6 +1347,7 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
         {
             if let Op::CmpBr {
                 op: cop,
+                ii: cop_ii,
                 a: ca,
                 b: cb,
                 target: exit,
@@ -882,10 +1355,12 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
             {
                 fused[j] = Op::IncLatch {
                     iop,
+                    iop_ii,
                     islot,
                     ic,
                     dst,
                     cop,
+                    cop_ii,
                     ca,
                     cb,
                     exit,
@@ -908,6 +1383,7 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
         {
             if let Op::CmpBr {
                 op,
+                ii,
                 a,
                 b,
                 target: exit,
@@ -915,11 +1391,36 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
             {
                 fused[j] = Op::JumpCmpBr {
                     op,
+                    ii,
                     a,
                     b,
                     exit,
                     fall: target + 1,
                 };
+            }
+        }
+    }
+
+    // Leaf-call inlining: a statically resolved `Invoke` of a tiny
+    // straight-line callee executes the callee's micro-ops in place —
+    // no frame push, no per-call code lookup. Fused bodies only; the
+    // unfused twin keeps the plain `Invoke` so profiled runs attribute
+    // the callee's opcodes individually. The code-cache key covers the
+    // callee fingerprints (see [`lookup_or_lower`]), so `install_code`
+    // on the callee invalidates this body.
+    let mut inlines: Vec<InlineInfo> = Vec::new();
+    for op in &mut fused {
+        if let Op::Invoke(ci) = op {
+            let info = &unfused.tables.calls[*ci as usize];
+            if let CallAction::Goto { mid, needs_recv } = &info.action {
+                if info.pops_recv == *needs_recv && inlines.len() < u16::MAX as usize {
+                    if let Some(inl) =
+                        build_leaf_inline(image, *mid as usize, info.argc, *needs_recv)
+                    {
+                        inlines.push(inl);
+                        *op = Op::InlineCall((inlines.len() - 1) as u16);
+                    }
+                }
             }
         }
     }
@@ -930,8 +1431,77 @@ fn fuse(unfused: Arc<ThreadedCode>) -> ThreadedCode {
         n_locals: unfused.n_locals,
         max_stack: unfused.max_stack,
         tables: Arc::clone(&unfused.tables),
+        inlines: inlines.into_boxed_slice(),
         unfused: Some(unfused),
     }
+}
+
+/// Cap on the instruction count of an inlinable leaf body.
+const LEAF_INLINE_MAX: usize = 8;
+
+/// Translates a callee into straight-line [`LeafOp`]s if it qualifies:
+/// short, free of branches/calls/heap ops, valid local slots, and provably
+/// terminated by a `Return`/`ReturnV` (so the executed micro sequence is
+/// exactly the prefix up to the first return — no pc-out-of-range tail).
+/// The receiver and arguments must fit its locals; otherwise the
+/// frame-entry errors would fire and the call site is left alone.
+fn build_leaf_inline(image: &Image, mid: usize, argc: u8, recv: bool) -> Option<InlineInfo> {
+    let code = &image.methods[mid].code;
+    let n_locals = code.n_locals as usize;
+    if code.instrs.is_empty()
+        || code.instrs.len() > LEAF_INLINE_MAX
+        || argc as usize + usize::from(recv) > n_locals
+    {
+        return None;
+    }
+    let mut body = Vec::with_capacity(code.instrs.len());
+    for instr in &code.instrs {
+        let lop = match instr {
+            Instr::ConstI(v) => LeafOp::Const(slot::pack(Value::Int(*v))),
+            Instr::ConstL(v) => LeafOp::Const(slot::pack(Value::Long(*v))),
+            Instr::ConstB(b) => LeafOp::Const(slot::pack(Value::Bool(*b))),
+            Instr::ConstNull => LeafOp::Const(NULL),
+            Instr::ClassObj(cid) => LeafOp::Const(Slot {
+                bits: *cid as u64,
+                tag: Tag::Ref,
+            }),
+            Instr::Load(s) if (*s as usize) < n_locals => LeafOp::Load(*s),
+            Instr::Store(s) if (*s as usize) < n_locals => LeafOp::Store(*s),
+            Instr::Arith(op) => LeafOp::Arith(*op),
+            Instr::Cmp(op) => LeafOp::Cmp(*op),
+            Instr::Neg => LeafOp::Neg,
+            Instr::Not => LeafOp::Not,
+            Instr::Dup => LeafOp::Dup,
+            Instr::Pop => LeafOp::Pop,
+            Instr::ReturnV => {
+                body.push(LeafOp::ReturnV);
+                return Some(InlineInfo {
+                    mid: mid as u32,
+                    argc,
+                    recv,
+                    n_locals: code.n_locals,
+                    max_stack: Code::compute_max_stack(&code.instrs),
+                    body: body.into_boxed_slice(),
+                });
+            }
+            Instr::Return => {
+                body.push(LeafOp::Return);
+                return Some(InlineInfo {
+                    mid: mid as u32,
+                    argc,
+                    recv,
+                    n_locals: code.n_locals,
+                    max_stack: Code::compute_max_stack(&code.instrs),
+                    body: body.into_boxed_slice(),
+                });
+            }
+            _ => return None,
+        };
+        body.push(lop);
+    }
+    // Fell off the end without a return: the real callee raises
+    // "pc out of range"; don't inline.
+    None
 }
 
 fn intern_field<'c>(
@@ -976,20 +1546,106 @@ fn flat_static(image: &Image, base: &[u32], cid: ClassId, off: u16) -> Option<u3
     }
 }
 
-/// A suspended caller frame.
+/// A suspended caller frame: three indices into the register-file arena
+/// plus the code handle — no per-frame vectors to save or restore.
 struct SavedFrame {
     code: Arc<ThreadedCode>,
     mid: usize,
     pc: usize,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
+    base: usize,
+    floor: usize,
+    sp: usize,
+}
+
+/// The per-execution register-file arena: every frame's locals and operand
+/// stack (and, in a second instance, the flattened statics) live in two
+/// parallel arrays — untagged `u64` payloads plus one-byte tags — instead
+/// of boxed `Vec<Value>`s. Frames are `(base, floor, sp)` windows into the
+/// arena; see [`TMachine::run_from_inner`].
+///
+/// Accessors skip bounds checks. The indices are validated structurally,
+/// not per-access: local slots are bounds-checked at lowering time against
+/// `n_locals`, and frame entry reserves `base + n_locals + max_stack`
+/// entries; static slots are bounds-checked at lowering time against the
+/// image's flattened static count, which the cache key's shape fingerprint
+/// pins; stack accesses sit below `sp`, which never exceeds `len` (pushes
+/// grow on full). Debug builds assert every access, and the CI `miri`
+/// pass executes the dispatch loop under those assertions.
+#[derive(Debug, Default)]
+struct RegFile {
+    bits: Vec<u64>,
+    tags: Vec<Tag>,
+}
+
+impl RegFile {
+    fn with_capacity(n: usize) -> Self {
+        RegFile {
+            bits: Vec::with_capacity(n),
+            tags: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Slot {
+        debug_assert!(i < self.bits.len(), "register read out of the arena");
+        // SAFETY: see the type docs — `i` is below a lowering-validated
+        // bound covered by `reserve_to` at frame entry, or below `sp`.
+        unsafe {
+            Slot {
+                bits: *self.bits.get_unchecked(i),
+                tag: *self.tags.get_unchecked(i),
+            }
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, s: Slot) {
+        debug_assert!(i < self.bits.len(), "register write out of the arena");
+        // SAFETY: as in `get`.
+        unsafe {
+            *self.bits.get_unchecked_mut(i) = s.bits;
+            *self.tags.get_unchecked_mut(i) = s.tag;
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, s: Slot) {
+        self.bits.push(s.bits);
+        self.tags.push(s.tag);
+    }
+
+    /// Grows the arena to at least `n` entries (zero/`Null` filled).
+    /// Never shrinks: returned frames leave their windows allocated for
+    /// the next call.
+    fn reserve_to(&mut self, n: usize) {
+        if n > self.bits.len() {
+            self.bits.resize(n, 0);
+            self.tags.resize(n, Tag::Null);
+        }
+    }
+
+    /// Shifts `n` entries starting at `dst + 1` down by one (discarding
+    /// the entry at `dst`): frame entry uses this when a static target
+    /// was invoked with an explicit receiver.
+    fn shift_down(&mut self, dst: usize, n: usize) {
+        self.bits.copy_within(dst + 1..dst + 1 + n, dst);
+        self.tags.copy_within(dst + 1..dst + 1 + n, dst);
+    }
 }
 
 struct TMachine<'i> {
     image: &'i Image,
     heap: Heap,
-    /// Flattened statics (all classes concatenated in [`ClassId`] order).
-    statics: Vec<Value>,
+    /// Flattened statics (all classes concatenated in [`ClassId`] order),
+    /// packed into slot form once at startup.
+    statics: RegFile,
+    /// The frame arena: all call frames' locals and operand stacks.
+    regs: RegFile,
     fuel: u64,
     max_call_depth: usize,
     stats: ExecStats,
@@ -998,9 +1654,9 @@ struct TMachine<'i> {
     profiler: Option<OpcodeProfiler>,
     /// Per-execution memo of cache lookups (one per method, first call).
     lowered: Vec<Option<Arc<ThreadedCode>>>,
-    /// Recycled (locals, stack) vectors — calls reuse allocations instead
-    /// of paying two mallocs per frame.
-    pool: Vec<(Vec<Value>, Vec<Value>)>,
+    /// Leaf calls executed inline this run (drained into the thread-local
+    /// log for telemetry; never part of the [`Outcome`]).
+    inlined: u64,
 }
 
 /// Executes `image` from its `main` method on the threaded substrate.
@@ -1010,14 +1666,17 @@ struct TMachine<'i> {
 /// counters, so traced journals are byte-identical across exec modes.
 pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
     let _trace = jtelemetry::trace_span("interp_run", Vec::new);
+    let mut statics = RegFile::default();
+    for class in &image.classes {
+        for f in &class.static_fields {
+            statics.push(slot::pack(f.init));
+        }
+    }
     let mut machine = TMachine {
         image,
         heap: Heap::new(),
-        statics: image
-            .classes
-            .iter()
-            .flat_map(|c| c.static_fields.iter().map(|f| f.init))
-            .collect(),
+        statics,
+        regs: RegFile::with_capacity(256),
         fuel: config.fuel,
         max_call_depth: config.max_call_depth,
         stats: ExecStats::default(),
@@ -1028,7 +1687,7 @@ pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
         output: Vec::new(),
         profiler: jtelemetry::profiling().then(OpcodeProfiler::new),
         lowered: vec![None; image.methods.len()],
-        pool: Vec::new(),
+        inlined: 0,
     };
     // Class lock objects occupy ids 0..n_classes, so `ClassObj(c)` is
     // `Ref(c)`.
@@ -1049,6 +1708,8 @@ pub fn run(image: &Image, config: &ExecConfig) -> Outcome {
     }
     jtelemetry::count(jtelemetry::Counter::InterpRuns, 1);
     jtelemetry::count(jtelemetry::Counter::InterpSteps, machine.stats.steps);
+    INLINE_LOG.with(|c| c.set(c.get() + machine.inlined));
+    INLINE_TOTAL.fetch_add(machine.inlined, Ordering::Relaxed);
     if let Some(profiler) = &machine.profiler {
         profiler.flush();
     }
@@ -1098,8 +1759,16 @@ impl<'i> TMachine<'i> {
         // `max_depth`.
         self.profile.invocations[main] += 1;
         self.stats.calls += 1;
-        let mut locals = vec![Value::Null; cur_code.n_locals as usize];
-        let mut stack: Vec<Value> = Vec::with_capacity(cur_code.max_stack as usize);
+        // The frame window: locals at `base..floor`, operand stack at
+        // `floor..sp` (sp = next free). Invariants: `floor <= sp <= len`,
+        // and `floor + max_stack` is reserved (pushes beyond grow).
+        let mut base = 0usize;
+        let mut floor = cur_code.n_locals as usize;
+        let mut sp = floor;
+        self.regs.reserve_to(floor + cur_code.max_stack as usize);
+        for i in 0..floor {
+            self.regs.set(i, NULL);
+        }
         let mut saved: Vec<SavedFrame> = Vec::with_capacity(16);
         // Fuel and step counters live in locals for the whole dispatch
         // loop: routing them through `self` costs a serialized memory
@@ -1110,12 +1779,25 @@ impl<'i> TMachine<'i> {
         let mut steps = self.stats.steps;
 
         macro_rules! pop {
-            () => {
-                match stack.pop() {
-                    Some(v) => v,
-                    None => return Err(ExecError::VmCorrupt("operand stack underflow")),
+            () => {{
+                if sp == floor {
+                    return Err(ExecError::VmCorrupt("operand stack underflow"));
                 }
-            };
+                sp -= 1;
+                self.regs.get(sp)
+            }};
+        }
+
+        macro_rules! push {
+            ($v:expr) => {{
+                let v: Slot = $v;
+                if sp == self.regs.len() {
+                    self.regs.push(v);
+                } else {
+                    self.regs.set(sp, v);
+                }
+                sp += 1;
+            }};
         }
 
         /// One additional micro-step inside a superinstruction: exactly
@@ -1170,59 +1852,99 @@ impl<'i> TMachine<'i> {
         macro_rules! fetch {
             ($src:expr) => {
                 match $src {
-                    Src::Local(s) => locals[*s as usize],
+                    Src::Local(s) => self.regs.get(base + *s as usize),
                     Src::Const(v) => *v,
-                    Src::Static(s) => self.statics[*s as usize],
+                    Src::Static(s) => self.statics.get(*s as usize),
                     Src::Stack => pop!(),
                 }
             };
         }
 
+        /// Slot arithmetic with the lowering-proven `int×int` fast path:
+        /// the flag came from [`int_facts`], so debug builds re-check the
+        /// tags it promised.
+        macro_rules! slot_arith {
+            ($op:expr, $ii:expr, $a:expr, $b:expr) => {{
+                if $ii {
+                    debug_assert!(
+                        $a.tag == Tag::Int && $b.tag == Tag::Int,
+                        "type recovery proved int operands"
+                    );
+                    slot::arith_ii($op, $a.bits, $b.bits)
+                } else {
+                    slot::arith($op, $a, $b)
+                }
+            }};
+        }
+
+        macro_rules! slot_cmp {
+            ($op:expr, $ii:expr, $a:expr, $b:expr) => {{
+                if $ii {
+                    debug_assert!(
+                        $a.tag == Tag::Int && $b.tag == Tag::Int,
+                        "type recovery proved int operands"
+                    );
+                    Ok(slot::compare_ii($op, $a.bits, $b.bits))
+                } else {
+                    slot::compare($op, $a, $b)
+                }
+            }};
+        }
+
         /// Common frame-entry tail for the three call forms. `$recv` is the
-        /// fully resolved receiver (already validated), `$pops` the number
-        /// of stack slots holding receiver + args.
+        /// fully resolved receiver (already validated), `$argn` the argument
+        /// count, `$pops_recv` whether a receiver slot leaves the stack.
+        ///
+        /// The receiver (when popped) and arguments already sit
+        /// contiguously at the top of the caller's stack window in
+        /// callee-local order, so the callee frame starts right on top of
+        /// them: no copying, just three index updates.
         macro_rules! enter {
             ($frame:lifetime, $mid:expr, $recv:expr, $argn:expr, $pops_recv:expr) => {{
                 let mid: usize = $mid;
-                let recv: Option<Value> = $recv;
+                let recv: Option<Slot> = $recv;
                 let argn: usize = $argn;
+                let pops_recv: bool = $pops_recv;
                 if saved.len() + 1 >= self.max_call_depth {
                     return Err(ExecError::StackOverflow);
                 }
                 let callee = self.ensure(mid);
                 self.profile.invocations[mid] += 1;
                 self.stats.calls += 1;
-                let (mut nlocals, mut nstack) = self.pool.pop().unwrap_or_default();
-                nlocals.clear();
-                nlocals.resize(callee.n_locals as usize, Value::Null);
-                nstack.clear();
-                nstack.reserve(callee.max_stack as usize);
-                let mut slot = 0usize;
-                if let Some(r) = recv {
-                    if nlocals.is_empty() {
-                        return Err(ExecError::VmCorrupt("no slot for receiver"));
-                    }
-                    nlocals[0] = r;
-                    slot = 1;
+                let n_locals = callee.n_locals as usize;
+                let has_recv = recv.is_some();
+                // A resolved receiver always came off the stack.
+                debug_assert!(pops_recv || !has_recv);
+                if has_recv && n_locals == 0 {
+                    return Err(ExecError::VmCorrupt("no slot for receiver"));
                 }
-                let base = stack.len() - argn;
-                for i in 0..argn {
-                    if slot >= nlocals.len() {
-                        return Err(ExecError::VmCorrupt("no slot for argument"));
-                    }
-                    nlocals[slot] = stack[base + i];
-                    slot += 1;
+                if argn + usize::from(has_recv) > n_locals {
+                    return Err(ExecError::VmCorrupt("no slot for argument"));
                 }
-                stack.truncate(base - usize::from($pops_recv));
+                let cbase = sp - argn - usize::from(pops_recv);
+                if pops_recv && !has_recv {
+                    // Static target invoked with an explicit receiver: the
+                    // receiver slot is discarded, arguments shift down one.
+                    self.regs.shift_down(cbase, argn);
+                }
+                let cfloor = cbase + n_locals;
+                self.regs.reserve_to(cfloor + callee.max_stack as usize);
+                for i in (cbase + argn + usize::from(has_recv))..cfloor {
+                    self.regs.set(i, NULL);
+                }
                 saved.push(SavedFrame {
                     code: std::mem::replace(&mut cur_code, callee),
                     mid: cur_mid,
                     pc: pc + 1,
-                    locals: std::mem::replace(&mut locals, nlocals),
-                    stack: std::mem::replace(&mut stack, nstack),
+                    base,
+                    floor,
+                    sp: cbase,
                 });
                 cur_mid = mid;
                 pc = 0;
+                base = cbase;
+                floor = cfloor;
+                sp = cfloor;
                 self.stats.max_depth = self.stats.max_depth.max(saved.len() + 1);
                 continue $frame;
             }};
@@ -1230,16 +1952,16 @@ impl<'i> TMachine<'i> {
 
         macro_rules! ret {
             ($frame:lifetime, $v:expr) => {{
-                let v: Value = $v;
+                let v: Slot = $v;
                 match saved.pop() {
                     Some(f) => {
-                        let old_locals = std::mem::replace(&mut locals, f.locals);
-                        let old_stack = std::mem::replace(&mut stack, f.stack);
-                        self.pool.push((old_locals, old_stack));
                         cur_code = f.code;
                         cur_mid = f.mid;
                         pc = f.pc;
-                        stack.push(v);
+                        base = f.base;
+                        floor = f.floor;
+                        sp = f.sp;
+                        push!(v);
                         continue $frame;
                     }
                     None => return Ok(()),
@@ -1289,27 +2011,27 @@ impl<'i> TMachine<'i> {
                     match cur_op {
                         Op::ConstVal(v) => {
                             pro!();
-                            stack.push(*v);
+                            push!(*v);
                         }
                         Op::Load(s) => {
                             pro!();
-                            let v = locals[*s as usize];
-                            stack.push(v);
+                            let v = self.regs.get(base + *s as usize);
+                            push!(v);
                         }
                         Op::Store(s) => {
                             pro!();
                             let v = pop!();
-                            locals[*s as usize] = v;
+                            self.regs.set(base + *s as usize, v);
                         }
                         Op::GetField(fi) => {
                             pro!();
                             let obj = pop!();
-                            match obj {
-                                Value::Null => return Err(ExecError::NullReference),
-                                Value::Ref(oid) => {
+                            match obj.tag {
+                                Tag::Null => return Err(ExecError::NullReference),
+                                Tag::Ref => {
                                     let object = self
                                         .heap
-                                        .get(oid)
+                                        .get(obj.bits as usize)
                                         .ok_or(ExecError::VmCorrupt("dangling reference"))?;
                                     let table = &cur_code.tables.fields[*fi as usize];
                                     let off = table.offsets[object.class];
@@ -1319,7 +2041,8 @@ impl<'i> TMachine<'i> {
                                             field: table.name.to_string(),
                                         });
                                     }
-                                    stack.push(object.fields[off as usize]);
+                                    let v = slot::pack(object.fields[off as usize]);
+                                    push!(v);
                                 }
                                 _ => {
                                     return Err(ExecError::TypeMismatch(
@@ -1332,12 +2055,12 @@ impl<'i> TMachine<'i> {
                             pro!();
                             let value = pop!();
                             let obj = pop!();
-                            match obj {
-                                Value::Null => return Err(ExecError::NullReference),
-                                Value::Ref(oid) => {
+                            match obj.tag {
+                                Tag::Null => return Err(ExecError::NullReference),
+                                Tag::Ref => {
                                     let object = self
                                         .heap
-                                        .get_mut(oid)
+                                        .get_mut(obj.bits as usize)
                                         .ok_or(ExecError::VmCorrupt("dangling reference"))?;
                                     let class = object.class;
                                     let table = &cur_code.tables.fields[*fi as usize];
@@ -1348,7 +2071,7 @@ impl<'i> TMachine<'i> {
                                             field: table.name.to_string(),
                                         });
                                     }
-                                    object.fields[off as usize] = value;
+                                    object.fields[off as usize] = slot::unpack(value);
                                 }
                                 _ => {
                                     return Err(ExecError::TypeMismatch(
@@ -1357,37 +2080,49 @@ impl<'i> TMachine<'i> {
                                 }
                             }
                         }
-                        Op::GetStatic(slot) => {
+                        Op::GetStatic(si) => {
                             pro!();
-                            let v = self.statics[*slot as usize];
-                            stack.push(v);
+                            let v = self.statics.get(*si as usize);
+                            push!(v);
                         }
-                        Op::PutStatic(slot) => {
+                        Op::PutStatic(si) => {
                             pro!();
                             let v = pop!();
-                            self.statics[*slot as usize] = v;
+                            self.statics.set(*si as usize, v);
                         }
                         Op::Arith(op) => {
                             pro!();
                             let b = pop!();
                             let a = pop!();
-                            stack.push(ops::arith(*op, a, b)?);
+                            push!(slot::arith(*op, a, b)?);
+                        }
+                        Op::ArithII(op) => {
+                            pro!();
+                            let b = pop!();
+                            let a = pop!();
+                            push!(slot_arith!(*op, true, a, b)?);
                         }
                         Op::Cmp(op) => {
                             pro!();
                             let b = pop!();
                             let a = pop!();
-                            stack.push(ops::compare(*op, a, b)?);
+                            push!(slot::compare(*op, a, b)?);
+                        }
+                        Op::CmpII(op) => {
+                            pro!();
+                            let b = pop!();
+                            let a = pop!();
+                            push!(slot_cmp!(*op, true, a, b)?);
                         }
                         Op::Neg => {
                             pro!();
                             let v = pop!();
-                            stack.push(ops::negate(v)?);
+                            push!(slot::negate(v)?);
                         }
                         Op::Not => {
                             pro!();
                             let v = pop!();
-                            stack.push(ops::boolean_not(v)?);
+                            push!(slot::boolean_not(v)?);
                         }
                         Op::Jump { target, backedge } => {
                             pro!();
@@ -1400,27 +2135,26 @@ impl<'i> TMachine<'i> {
                         Op::JumpIfFalse(target) => {
                             pro!();
                             let v = pop!();
-                            match v {
-                                Value::Bool(false) => {
-                                    pc = *target as usize;
-                                    continue;
-                                }
-                                Value::Bool(true) => {}
-                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            if v.tag != Tag::Bool {
+                                return Err(ExecError::TypeMismatch("branch on non-boolean"));
+                            }
+                            if v.bits == 0 {
+                                pc = *target as usize;
+                                continue;
                             }
                         }
                         Op::Invoke(ci) => {
                             pro!();
                             let info = &cur_code.tables.calls[*ci as usize];
                             let argn = info.argc as usize;
-                            if stack.len() < argn {
+                            if sp - floor < argn {
                                 return Err(ExecError::VmCorrupt("operand stack underflow"));
                             }
                             let recv = if info.pops_recv {
-                                if stack.len() < argn + 1 {
+                                if sp - floor < argn + 1 {
                                     return Err(ExecError::VmCorrupt("operand stack underflow"));
                                 }
-                                Some(require_recv(stack[stack.len() - argn - 1])?)
+                                Some(require_recv(self.regs.get(sp - argn - 1))?)
                             } else {
                                 None
                             };
@@ -1441,16 +2175,13 @@ impl<'i> TMachine<'i> {
                             pro!();
                             let vc = &cur_code.tables.vcalls[*vi as usize];
                             let argn = vc.argc as usize;
-                            if stack.len() < argn + 1 {
+                            if sp - floor < argn + 1 {
                                 return Err(ExecError::VmCorrupt("operand stack underflow"));
                             }
-                            let recv = require_recv(stack[stack.len() - argn - 1])?;
-                            let Value::Ref(oid) = recv else {
-                                return Err(ExecError::TypeMismatch("virtual call on non-object"));
-                            };
+                            let recv = require_recv(self.regs.get(sp - argn - 1))?;
                             let class = self
                                 .heap
-                                .get(oid)
+                                .get(recv.bits as usize)
                                 .ok_or(ExecError::VmCorrupt("dangling reference"))?
                                 .class;
                             match vc.targets[class] {
@@ -1472,18 +2203,16 @@ impl<'i> TMachine<'i> {
                             let rc = &cur_code.tables.rcalls[*ri as usize];
                             let argn = rc.argc as usize;
                             let pops = argn + usize::from(rc.pops_recv);
-                            if stack.len() < pops {
+                            if sp - floor < pops {
                                 return Err(ExecError::VmCorrupt("operand stack underflow"));
                             }
-                            let recv_raw = rc.pops_recv.then(|| stack[stack.len() - argn - 1]);
+                            let recv_raw = rc.pops_recv.then(|| self.regs.get(sp - argn - 1));
                             match &rc.action {
                                 CallAction::Fail(e) => return Err(e.clone()),
                                 CallAction::Goto { mid, needs_recv } => {
                                     let recv = if *needs_recv {
                                         match recv_raw {
-                                            Some(Value::Null) | None => {
-                                                return Err(ExecError::NullReference)
-                                            }
+                                            None => return Err(ExecError::NullReference),
                                             Some(v) => Some(require_recv(v)?),
                                         }
                                     } else {
@@ -1499,55 +2228,68 @@ impl<'i> TMachine<'i> {
                             self.stats.allocations += 1;
                             let defaults = self.image.classes[*cid as usize].field_defaults();
                             let oid = self.heap.alloc(*cid as usize, defaults);
-                            stack.push(Value::Ref(oid));
+                            push!(Slot {
+                                bits: oid as u64,
+                                tag: Tag::Ref,
+                            });
                         }
                         Op::BoxInt => {
                             pro!();
                             self.stats.boxes += 1;
-                            match pop!() {
-                                Value::Int(v) => stack.push(Value::Boxed(v)),
+                            let v = pop!();
+                            match v.tag {
+                                Tag::Int => push!(Slot {
+                                    bits: v.bits,
+                                    tag: Tag::Boxed,
+                                }),
                                 _ => return Err(ExecError::TypeMismatch("boxing a non-int")),
                             }
                         }
                         Op::UnboxInt => {
                             pro!();
                             self.stats.unboxes += 1;
-                            match pop!() {
-                                Value::Boxed(v) => stack.push(Value::Int(v)),
-                                Value::Null => return Err(ExecError::NullReference),
+                            let v = pop!();
+                            match v.tag {
+                                Tag::Boxed => push!(Slot {
+                                    bits: v.bits,
+                                    tag: Tag::Int,
+                                }),
+                                Tag::Null => return Err(ExecError::NullReference),
                                 _ => return Err(ExecError::TypeMismatch("unboxing a non-Integer")),
                             }
                         }
                         Op::MonitorEnter => {
                             pro!();
                             self.stats.monitor_enters += 1;
-                            match pop!() {
-                                Value::Ref(oid) => {
+                            let v = pop!();
+                            match v.tag {
+                                Tag::Ref => {
                                     let obj = self
                                         .heap
-                                        .get_mut(oid)
+                                        .get_mut(v.bits as usize)
                                         .ok_or(ExecError::VmCorrupt("dangling reference"))?;
                                     obj.monitor_depth += 1;
                                 }
-                                Value::Null => return Err(ExecError::NullReference),
+                                Tag::Null => return Err(ExecError::NullReference),
                                 _ => return Err(ExecError::TypeMismatch("monitor on non-object")),
                             }
                         }
                         Op::MonitorExit => {
                             pro!();
                             self.stats.monitor_exits += 1;
-                            match pop!() {
-                                Value::Ref(oid) => {
+                            let v = pop!();
+                            match v.tag {
+                                Tag::Ref => {
                                     let obj = self
                                         .heap
-                                        .get_mut(oid)
+                                        .get_mut(v.bits as usize)
                                         .ok_or(ExecError::VmCorrupt("dangling reference"))?;
                                     if obj.monitor_depth == 0 {
                                         return Err(ExecError::IllegalMonitorState);
                                     }
                                     obj.monitor_depth -= 1;
                                 }
-                                Value::Null => return Err(ExecError::NullReference),
+                                Tag::Null => return Err(ExecError::NullReference),
                                 _ => return Err(ExecError::TypeMismatch("monitor on non-object")),
                             }
                         }
@@ -1555,7 +2297,7 @@ impl<'i> TMachine<'i> {
                             pro!();
                             self.stats.prints += 1;
                             let v = pop!();
-                            self.output.push(v.to_string());
+                            self.output.push(slot::unpack(v).to_string());
                         }
                         Op::Pop => {
                             pro!();
@@ -1563,15 +2305,11 @@ impl<'i> TMachine<'i> {
                         }
                         Op::Dup => {
                             pro!();
-                            match stack.last() {
-                                Some(v) => {
-                                    let v = *v;
-                                    stack.push(v);
-                                }
-                                None => {
-                                    return Err(ExecError::VmCorrupt("operand stack underflow"))
-                                }
+                            if sp == floor {
+                                return Err(ExecError::VmCorrupt("operand stack underflow"));
                             }
+                            let v = self.regs.get(sp - 1);
+                            push!(v);
                         }
                         Op::ReturnV => {
                             pro!();
@@ -1580,7 +2318,7 @@ impl<'i> TMachine<'i> {
                         }
                         Op::Return => {
                             pro!();
-                            ret!('frame, Value::Null);
+                            ret!('frame, NULL);
                         }
                         // ---- superinstructions ----
                         //
@@ -1595,8 +2333,8 @@ impl<'i> TMachine<'i> {
                             let av = fetch!(a);
                             mtick!(fast);
                             let bv = fetch!(b);
-                            stack.push(av);
-                            stack.push(bv);
+                            push!(av);
+                            push!(bv);
                         }
                         Op::Move { src, dst } => {
                             batched!(2, fast);
@@ -1604,22 +2342,22 @@ impl<'i> TMachine<'i> {
                             let v = fetch!(src);
                             mtick!(fast);
                             match dst {
-                                Sink::Local(s) => locals[*s as usize] = v,
-                                Sink::Static(s) => self.statics[*s as usize] = v,
-                                Sink::Push => stack.push(v),
+                                Sink::Local(s) => self.regs.set(base + *s as usize, v),
+                                Sink::Static(s) => self.statics.set(*s as usize, v),
+                                Sink::Push => push!(v),
                             }
                         }
-                        Op::GetFieldL { slot, fi } => {
+                        Op::GetFieldL { slot: lsl, fi } => {
                             batched!(2, fast);
                             mtick!(fast);
-                            let obj = locals[*slot as usize];
+                            let obj = self.regs.get(base + *lsl as usize);
                             mtick!(fast);
-                            match obj {
-                                Value::Null => return Err(ExecError::NullReference),
-                                Value::Ref(oid) => {
+                            match obj.tag {
+                                Tag::Null => return Err(ExecError::NullReference),
+                                Tag::Ref => {
                                     let object = self
                                         .heap
-                                        .get(oid)
+                                        .get(obj.bits as usize)
                                         .ok_or(ExecError::VmCorrupt("dangling reference"))?;
                                     let table = &cur_code.tables.fields[*fi as usize];
                                     let off = table.offsets[object.class];
@@ -1629,7 +2367,8 @@ impl<'i> TMachine<'i> {
                                             field: table.name.to_string(),
                                         });
                                     }
-                                    stack.push(object.fields[off as usize]);
+                                    let v = slot::pack(object.fields[off as usize]);
+                                    push!(v);
                                 }
                                 _ => {
                                     return Err(ExecError::TypeMismatch(
@@ -1638,7 +2377,7 @@ impl<'i> TMachine<'i> {
                                 }
                             }
                         }
-                        Op::Bin { op, a, b, sink } => {
+                        Op::Bin { op, ii, a, b, sink } => {
                             // Full micro width: fetches, the arith, and a
                             // non-push sink.
                             let sinkbit = u64::from(!matches!(sink, Sink::Push));
@@ -1670,7 +2409,7 @@ impl<'i> TMachine<'i> {
                                     (av, bv)
                                 }
                             };
-                            let res = match ops::arith(*op, av, bv) {
+                            let res = match slot_arith!(*op, *ii, av, bv) {
                                 Ok(v) => v,
                                 Err(e) => {
                                     // Batched accounting overshot the sink micro
@@ -1683,18 +2422,24 @@ impl<'i> TMachine<'i> {
                                 }
                             };
                             match sink {
-                                Sink::Push => stack.push(res),
+                                Sink::Push => push!(res),
                                 Sink::Local(s) => {
                                     mtick!(fast);
-                                    locals[*s as usize] = res;
+                                    self.regs.set(base + *s as usize, res);
                                 }
                                 Sink::Static(s) => {
                                     mtick!(fast);
-                                    self.statics[*s as usize] = res;
+                                    self.statics.set(*s as usize, res);
                                 }
                             }
                         }
-                        Op::CmpBr { op, a, b, target } => {
+                        Op::CmpBr {
+                            op,
+                            ii,
+                            a,
+                            b,
+                            target,
+                        } => {
                             let width = match (a, b) {
                                 (Src::Stack, Src::Stack) => 2,
                                 (Src::Stack, _) => 3,
@@ -1720,7 +2465,7 @@ impl<'i> TMachine<'i> {
                                     (av, bv)
                                 }
                             };
-                            let res = match ops::compare(*op, av, bv) {
+                            let res = match slot_cmp!(*op, *ii, av, bv) {
                                 Ok(v) => v,
                                 Err(e) => {
                                     if fast {
@@ -1731,17 +2476,16 @@ impl<'i> TMachine<'i> {
                                 }
                             };
                             mtick!(fast);
-                            match res {
-                                Value::Bool(false) => {
-                                    pc = *target as usize;
-                                    continue;
-                                }
-                                Value::Bool(true) => {}
-                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            // `compare` only ever yields a boolean.
+                            debug_assert_eq!(res.tag, Tag::Bool);
+                            if res.bits == 0 {
+                                pc = *target as usize;
+                                continue;
                             }
                         }
                         Op::JumpCmpBr {
                             op,
+                            ii,
                             a,
                             b,
                             exit,
@@ -1779,7 +2523,7 @@ impl<'i> TMachine<'i> {
                                     (av, bv)
                                 }
                             };
-                            let res = match ops::compare(*op, av, bv) {
+                            let res = match slot_cmp!(*op, *ii, av, bv) {
                                 Ok(v) => v,
                                 Err(e) => {
                                     if fast {
@@ -1790,17 +2534,13 @@ impl<'i> TMachine<'i> {
                                 }
                             };
                             mtick!(fast);
-                            match res {
-                                Value::Bool(false) => {
-                                    pc = *exit as usize;
-                                    continue;
-                                }
-                                Value::Bool(true) => {
-                                    pc = *fall as usize;
-                                    continue;
-                                }
-                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
-                            }
+                            debug_assert_eq!(res.tag, Tag::Bool);
+                            pc = if res.bits == 0 {
+                                *exit as usize
+                            } else {
+                                *fall as usize
+                            };
+                            continue;
                         }
                         Op::Chain3 {
                             a,
@@ -1808,6 +2548,8 @@ impl<'i> TMachine<'i> {
                             c,
                             op1,
                             op2,
+                            ii1,
+                            ii2,
                             right,
                             sink,
                         } => {
@@ -1822,7 +2564,7 @@ impl<'i> TMachine<'i> {
                                 mtick!(fast);
                                 let cv = fetch!(c);
                                 mtick!(fast);
-                                let r1 = match ops::arith(*op1, bv, cv) {
+                                let r1 = match slot_arith!(*op1, *ii1, bv, cv) {
                                     Ok(v) => v,
                                     Err(e) => {
                                         if fast {
@@ -1833,7 +2575,7 @@ impl<'i> TMachine<'i> {
                                     }
                                 };
                                 mtick!(fast);
-                                match ops::arith(*op2, av, r1) {
+                                match slot_arith!(*op2, *ii2, av, r1) {
                                     Ok(v) => v,
                                     Err(e) => {
                                         if fast {
@@ -1846,7 +2588,7 @@ impl<'i> TMachine<'i> {
                             } else {
                                 // `(a op1 b) op2 c` — micro order a b op1 c op2.
                                 mtick!(fast);
-                                let r1 = match ops::arith(*op1, av, bv) {
+                                let r1 = match slot_arith!(*op1, *ii1, av, bv) {
                                     Ok(v) => v,
                                     Err(e) => {
                                         if fast {
@@ -1859,7 +2601,7 @@ impl<'i> TMachine<'i> {
                                 mtick!(fast);
                                 let cv = fetch!(c);
                                 mtick!(fast);
-                                match ops::arith(*op2, r1, cv) {
+                                match slot_arith!(*op2, *ii2, r1, cv) {
                                     Ok(v) => v,
                                     Err(e) => {
                                         if fast {
@@ -1871,23 +2613,25 @@ impl<'i> TMachine<'i> {
                                 }
                             };
                             match sink {
-                                Sink::Push => stack.push(res),
+                                Sink::Push => push!(res),
                                 Sink::Local(s) => {
                                     mtick!(fast);
-                                    locals[*s as usize] = res;
+                                    self.regs.set(base + *s as usize, res);
                                 }
                                 Sink::Static(s) => {
                                     mtick!(fast);
-                                    self.statics[*s as usize] = res;
+                                    self.statics.set(*s as usize, res);
                                 }
                             }
                         }
                         Op::IncLatch {
                             iop,
+                            iop_ii,
                             islot,
                             ic,
                             dst,
                             cop,
+                            cop_ii,
                             ca,
                             cb,
                             exit,
@@ -1902,10 +2646,10 @@ impl<'i> TMachine<'i> {
                             };
                             batched!(7 + nf, fast);
                             mtick!(fast);
-                            let av = locals[*islot as usize];
+                            let av = self.regs.get(base + *islot as usize);
                             mtick!(fast);
                             mtick!(fast);
-                            let r = match ops::arith(*iop, av, *ic) {
+                            let r = match slot_arith!(*iop, *iop_ii, av, *ic) {
                                 Ok(v) => v,
                                 Err(e) => {
                                     if fast {
@@ -1916,7 +2660,7 @@ impl<'i> TMachine<'i> {
                                 }
                             };
                             mtick!(fast);
-                            locals[*dst as usize] = r;
+                            self.regs.set(base + *dst as usize, r);
                             mtick!(fast);
                             self.profile.backedges[cur_mid] += 1;
                             let (cav, cbv) = match (ca, cb) {
@@ -1940,7 +2684,7 @@ impl<'i> TMachine<'i> {
                                     (cav, cbv)
                                 }
                             };
-                            let res = match ops::compare(*cop, cav, cbv) {
+                            let res = match slot_cmp!(*cop, *cop_ii, cav, cbv) {
                                 Ok(v) => v,
                                 Err(e) => {
                                     if fast {
@@ -1951,17 +2695,146 @@ impl<'i> TMachine<'i> {
                                 }
                             };
                             mtick!(fast);
-                            match res {
-                                Value::Bool(false) => {
-                                    pc = *exit as usize;
-                                    continue;
-                                }
-                                Value::Bool(true) => {
-                                    pc = *fall as usize;
-                                    continue;
-                                }
-                                _ => return Err(ExecError::TypeMismatch("branch on non-boolean")),
+                            debug_assert_eq!(res.tag, Tag::Bool);
+                            pc = if res.bits == 0 {
+                                *exit as usize
+                            } else {
+                                *fall as usize
+                            };
+                            continue;
+                        }
+                        Op::InlineCall(ix) => {
+                            // The `Invoke` micro (ticked by the prologue),
+                            // then the callee's straight-line body with
+                            // per-micro accounting — step-identical to the
+                            // real call, minus the frame push.
+                            pro!();
+                            let info = &cur_code.inlines[*ix as usize];
+                            let argn = info.argc as usize;
+                            let pops = argn + usize::from(info.recv);
+                            if sp - floor < pops {
+                                return Err(ExecError::VmCorrupt("operand stack underflow"));
                             }
+                            if info.recv {
+                                require_recv(self.regs.get(sp - argn - 1))?;
+                            }
+                            if saved.len() + 1 >= self.max_call_depth {
+                                return Err(ExecError::StackOverflow);
+                            }
+                            self.profile.invocations[info.mid as usize] += 1;
+                            self.stats.calls += 1;
+                            self.inlined += 1;
+                            // The callee window sits directly on the popped
+                            // receiver + arguments, exactly like `enter!`.
+                            let cbase = sp - pops;
+                            let cfloor = cbase + info.n_locals as usize;
+                            self.regs.reserve_to(cfloor + info.max_stack as usize);
+                            for i in (cbase + pops)..cfloor {
+                                self.regs.set(i, NULL);
+                            }
+                            self.stats.max_depth = self.stats.max_depth.max(saved.len() + 2);
+                            let body = &info.body;
+                            let total = body.len() as u64;
+                            batched!(total, fast);
+                            let mut done: u64 = 0;
+                            let mut csp = cfloor;
+                            let mut retv = NULL;
+                            /// Mid-body error exit: rolls back the batched
+                            /// overshoot for the micros never reached.
+                            macro_rules! ierr {
+                                ($e:expr) => {{
+                                    if fast {
+                                        let over = total - done;
+                                        fuel += over;
+                                        steps -= over;
+                                    }
+                                    return Err($e);
+                                }};
+                            }
+                            macro_rules! ipop {
+                                () => {{
+                                    if csp == cfloor {
+                                        ierr!(ExecError::VmCorrupt("operand stack underflow"));
+                                    }
+                                    csp -= 1;
+                                    self.regs.get(csp)
+                                }};
+                            }
+                            macro_rules! ipush {
+                                ($v:expr) => {{
+                                    let v: Slot = $v;
+                                    if csp == self.regs.len() {
+                                        self.regs.push(v);
+                                    } else {
+                                        self.regs.set(csp, v);
+                                    }
+                                    csp += 1;
+                                }};
+                            }
+                            'leaf: for lop in body.iter() {
+                                mtick!(fast);
+                                done += 1;
+                                match lop {
+                                    LeafOp::Const(v) => ipush!(*v),
+                                    LeafOp::Load(s) => {
+                                        let v = self.regs.get(cbase + *s as usize);
+                                        ipush!(v);
+                                    }
+                                    LeafOp::Store(s) => {
+                                        let v = ipop!();
+                                        self.regs.set(cbase + *s as usize, v);
+                                    }
+                                    LeafOp::Arith(op) => {
+                                        let b = ipop!();
+                                        let a = ipop!();
+                                        match slot::arith(*op, a, b) {
+                                            Ok(v) => ipush!(v),
+                                            Err(e) => ierr!(e),
+                                        }
+                                    }
+                                    LeafOp::Cmp(op) => {
+                                        let b = ipop!();
+                                        let a = ipop!();
+                                        match slot::compare(*op, a, b) {
+                                            Ok(v) => ipush!(v),
+                                            Err(e) => ierr!(e),
+                                        }
+                                    }
+                                    LeafOp::Neg => {
+                                        let v = ipop!();
+                                        match slot::negate(v) {
+                                            Ok(v) => ipush!(v),
+                                            Err(e) => ierr!(e),
+                                        }
+                                    }
+                                    LeafOp::Not => {
+                                        let v = ipop!();
+                                        match slot::boolean_not(v) {
+                                            Ok(v) => ipush!(v),
+                                            Err(e) => ierr!(e),
+                                        }
+                                    }
+                                    LeafOp::Dup => {
+                                        if csp == cfloor {
+                                            ierr!(ExecError::VmCorrupt("operand stack underflow"));
+                                        }
+                                        let v = self.regs.get(csp - 1);
+                                        ipush!(v);
+                                    }
+                                    LeafOp::Pop => {
+                                        let _ = ipop!();
+                                    }
+                                    LeafOp::ReturnV => {
+                                        retv = ipop!();
+                                        break 'leaf;
+                                    }
+                                    LeafOp::Return => {
+                                        break 'leaf;
+                                    }
+                                }
+                            }
+                            sp = cbase;
+                            push!(retv);
                         }
                         Op::Corrupt(kind) => {
                             pro!();
@@ -1986,10 +2859,10 @@ impl<'i> TMachine<'i> {
     }
 }
 
-fn require_recv(v: Value) -> Result<Value, ExecError> {
-    match v {
-        Value::Null => Err(ExecError::NullReference),
-        Value::Ref(_) => Ok(v),
+fn require_recv(v: Slot) -> Result<Slot, ExecError> {
+    match v.tag {
+        Tag::Null => Err(ExecError::NullReference),
+        Tag::Ref => Ok(v),
         _ => Err(ExecError::TypeMismatch("receiver is not an object")),
     }
 }
@@ -2026,6 +2899,14 @@ mod tests {
             "class T { static int fib(int n) { if (n < 2) { return n; } return T.fib(n - 1) + T.fib(n - 2); } static void main() { System.out.println(T.fib(15)); } }",
             "class T { static void main() { System.out.println(2147483647 + 1); } }",
             "class T { static int g() { synchronized (T.class) { return 5; } } static void main() { System.out.println(T.g()); } }",
+            // Representation hazards for the untagged slot encoding: long
+            // overflow, int/long width crossings, and values whose low 32
+            // bits collide with small ints.
+            "class T { static void main() { long a = 9223372036854775807L; System.out.println(a + 1L); } }",
+            "class T { static void main() { long a = 4294967296L; System.out.println(a / 2L); } }",
+            "class T { static long twice(long x) { return x + x; } static void main() { System.out.println(T.twice(3000000000L)); } }",
+            "class T { static void main() { long a = -1L; int b = -1; System.out.println(a == -1L); System.out.println(b == -1); } }",
+            "class T { static void main() { System.out.println(9000000000L % 7L); } }",
         ] {
             assert_equivalent(src);
         }
@@ -2228,5 +3109,106 @@ mod tests {
         let log_after = take_lookup_log();
         assert_eq!(o.output, vec!["9"]);
         assert_ne!(log_before, log_after, "tier-up must change the cache key");
+    }
+
+    /// Leaf inlining must be invisible in the step/fuel accounting: every
+    /// fuel budget from zero to "runs to completion" yields exactly the
+    /// interpreter's outcome, including mid-inlined-body fuel exhaustion.
+    #[test]
+    fn leaf_calls_inline_step_exact_under_fuel_sweep() {
+        let src = "class T { static int f(int a, int b) { return a * b + 1; } static void main() { int s = 0; for (int i = 0; i < 40; i++) { s = s + T.f(i, 3); } System.out.println(s); } }";
+        let image = Image::build(&mjava::parse(src).unwrap()).unwrap();
+        let full = interp::run(&image, &ExecConfig::default());
+        assert!(full.is_clean());
+        let total = full.stats.steps;
+        for fuel in (0..=total).step_by(7) {
+            let config = ExecConfig {
+                fuel,
+                ..ExecConfig::default()
+            };
+            let threaded = run(&image, &config);
+            let interp = interp::run(&image, &config);
+            assert_eq!(threaded, interp, "diverged at fuel {fuel}");
+        }
+    }
+
+    /// Inlining actually fires on tiny leaf calls, and installing new code
+    /// into the leaf re-lowers its callers (the cache key covers direct
+    /// callee fingerprints), so stale inlined bodies never execute.
+    #[test]
+    fn leaf_inlining_fires_and_is_invalidated_by_install_code() {
+        use crate::code::{Code, Instr};
+        cache_reset();
+        let src = "class T { static int one() { return 1; } static void main() { System.out.println(T.one() + T.one()); } }";
+        let mut image = Image::build(&mjava::parse(src).unwrap()).unwrap();
+        let one = image.method_id("T", "one").unwrap();
+        let _ = take_inline_count();
+        let o = run(&image, &ExecConfig::default());
+        assert_eq!(o.output, vec!["2"]);
+        assert_eq!(take_inline_count(), 2, "both call sites inline");
+        assert_eq!(o, interp::run(&image, &ExecConfig::default()));
+        image.install_code(
+            one,
+            Code {
+                instrs: vec![Instr::ConstI(9), Instr::ReturnV],
+                n_locals: 0,
+                max_stack: 1,
+            },
+        );
+        let o2 = run(&image, &ExecConfig::default());
+        assert_eq!(o2.output, vec!["18"], "caller re-lowered with new body");
+        assert_eq!(o2, interp::run(&image, &ExecConfig::default()));
+    }
+
+    /// The lowering-time type recovery only claims int×int when it proved
+    /// it on every path; a long operand anywhere must leave the generic op.
+    #[test]
+    fn int_fact_recovery_is_conservative() {
+        use crate::code::{ArithOp, Code, Instr};
+        let int_code = Code {
+            instrs: vec![
+                Instr::ConstI(1),
+                Instr::ConstI(2),
+                Instr::Arith(ArithOp::Add),
+                Instr::Print,
+                Instr::Return,
+            ],
+            n_locals: 0,
+            max_stack: 2,
+        };
+        assert!(int_facts(&int_code)[2], "int+int is provable");
+        let long_code = Code {
+            instrs: vec![
+                Instr::ConstI(1),
+                Instr::ConstL(2),
+                Instr::Arith(ArithOp::Add),
+                Instr::Print,
+                Instr::Return,
+            ],
+            n_locals: 0,
+            max_stack: 2,
+        };
+        assert!(!int_facts(&long_code)[2], "int+long must stay generic");
+        let merge_code = Code {
+            instrs: vec![
+                // A join point where one predecessor carries a long: the
+                // merged fact must drop to Any.
+                Instr::ConstB(true),
+                Instr::JumpIfFalse(4),
+                Instr::ConstI(7),
+                Instr::Jump(5),
+                Instr::ConstL(7),
+                Instr::ConstI(1),
+                Instr::Arith(ArithOp::Add),
+                Instr::Print,
+                Instr::Return,
+            ],
+            n_locals: 0,
+            max_stack: 2,
+        };
+        assert!(
+            !int_facts(&merge_code)[6],
+            "join of int and long is not int"
+        );
     }
 }

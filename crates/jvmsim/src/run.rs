@@ -93,6 +93,9 @@ pub struct CacheLog {
     pub code: Vec<u64>,
     /// Pipeline-memo keys (one per method compilation).
     pub pipeline: Vec<u64>,
+    /// Leaf calls the threaded substrate executed inline (framelessly).
+    /// A pure function of the execution, like the key logs.
+    pub inlined: u64,
 }
 
 /// The full result of one JVM execution.
@@ -176,6 +179,7 @@ pub fn run_jvm_with_image(
     // exactly this run's lookups.
     let _ = jexec::threaded::take_lookup_log();
     let _ = jopt::pipeline::take_lookup_log();
+    let _ = jexec::threaded::take_inline_count();
     // Fault injection decides up front, from (plan, jvm, program) alone,
     // what — if anything — goes wrong during this execution.
     let injected = options
@@ -201,6 +205,7 @@ pub fn run_jvm_with_image(
     run.cache_log = CacheLog {
         code: jexec::threaded::take_lookup_log(),
         pipeline: jopt::pipeline::take_lookup_log(),
+        inlined: jexec::threaded::take_inline_count(),
     };
     if injected == Some(VmFault::LogCorruption) {
         if let Some(plan) = &options.fault {

@@ -110,4 +110,21 @@ fn main() {
         "boxing",
         "class T { static void main() { int s = 0; for (int i = 0; i < 100000; i++) { Integer b = Integer.valueOf(i); s = s + b.intValue(); } System.out.println(s); } }",
     );
+    // Register-file / untagged-representation shapes: long arithmetic
+    // exercises the 64-bit slot encoding's non-fast paths, `leaf-inline`
+    // is a tiny static call the lowerer folds into the caller's frame
+    // window, and `deep-calls` stresses frame entry/exit — (base, floor,
+    // sp) bumps into the shared arena instead of per-frame vectors.
+    bench(
+        "long-arith",
+        "class T { static void main() { long s = 4294967296L; for (int i = 0; i < 200000; i++) { s = s + (s % 7L) - 3L; } System.out.println(s); } }",
+    );
+    bench(
+        "leaf-inline",
+        "class T { static int f(int a, int b) { return a * b + 1; } static void main() { int s = 0; for (int i = 0; i < 100000; i++) { s = s + T.f(i, 3); } System.out.println(s); } }",
+    );
+    bench(
+        "deep-calls",
+        "class T { static int down(int n, int acc) { if (n < 1) { return acc; } return T.down(n - 1, acc + n); } static void main() { int s = 0; for (int i = 0; i < 2000; i++) { s = s + T.down(120, 0); } System.out.println(s); } }",
+    );
 }

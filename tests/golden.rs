@@ -22,6 +22,7 @@
 //! then commit the diff alongside the change that explains it.
 
 use jvmsim::FaultPlan;
+use mopfuzzer::corpus::Seed;
 use mopfuzzer::{
     read_journal, resume_campaign_extended, run_campaign_with_journal, CampaignConfig,
     JournalWriter,
@@ -37,9 +38,17 @@ fn temp_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mop_golden_{}_{name}", std::process::id()))
 }
 
-/// The recorded campaigns. Configs are spelled out here because worker
-/// counts are not journaled — the journal is identical at any of them.
-fn golden_campaigns() -> Vec<(&'static str, CampaignConfig)> {
+/// The recorded campaigns, each with its seed corpus. Configs are spelled
+/// out here because worker counts are not journaled — the journal is
+/// identical at any of them.
+///
+/// Beyond the two engine-stability campaigns, three themed campaigns pin
+/// the execution substrate itself: `long_heavy` (untagged 64-bit value
+/// representation at the i32/i64 boundaries), `deep_call` (register-file
+/// frame windows under recursion and leaf-inline-threshold call storms),
+/// and `reflection` (the reflective invoke path's receiver and boxed-value
+/// crossings).
+fn golden_campaigns() -> Vec<(&'static str, CampaignConfig, Vec<Seed>)> {
     let plain = CampaignConfig {
         iterations_per_seed: 10,
         rounds: 6,
@@ -53,15 +62,38 @@ fn golden_campaigns() -> Vec<(&'static str, CampaignConfig)> {
         ..CampaignConfig::new(8)
     };
     faulted.fault = Some(FaultPlan::new(7, 0.25));
-    vec![("plain_v2.jsonl", plain), ("faulted_v2.jsonl", faulted)]
+    let themed = |rng_seed: u64| CampaignConfig {
+        iterations_per_seed: 6,
+        rounds: 4,
+        rng_seed,
+        ..CampaignConfig::new(4)
+    };
+    vec![
+        ("plain_v2.jsonl", plain, mopfuzzer::corpus::builtin()),
+        ("faulted_v2.jsonl", faulted, mopfuzzer::corpus::builtin()),
+        (
+            "long_heavy_v1.jsonl",
+            themed(4101),
+            mopfuzzer::corpus::long_heavy_seeds(),
+        ),
+        (
+            "deep_call_v1.jsonl",
+            themed(4102),
+            mopfuzzer::corpus::deep_call_seeds(),
+        ),
+        (
+            "reflection_v1.jsonl",
+            themed(4103),
+            mopfuzzer::corpus::reflection_heavy_seeds(),
+        ),
+    ]
 }
 
 /// Re-running the recorded campaign — with round-level and oracle-level
 /// parallelism on — reproduces the committed journal bytes.
 #[test]
 fn fresh_runs_reproduce_the_golden_journals() {
-    let seeds = mopfuzzer::corpus::builtin();
-    for (name, mut config) in golden_campaigns() {
+    for (name, mut config, seeds) in golden_campaigns() {
         let golden = fs::read(golden_dir().join(name))
             .unwrap_or_else(|e| panic!("missing golden {name}: {e} (see module docs)"));
         config.jobs = 2;
@@ -83,7 +115,7 @@ fn fresh_runs_reproduce_the_golden_journals() {
 /// live completion), in both cases with parallel workers.
 #[test]
 fn resume_reemits_the_golden_bytes() {
-    for (name, _) in golden_campaigns() {
+    for (name, _, _) in golden_campaigns() {
         let golden_path = golden_dir().join(name);
         let golden = fs::read(&golden_path)
             .unwrap_or_else(|e| panic!("missing golden {name}: {e} (see module docs)"));
@@ -122,11 +154,37 @@ fn resume_reemits_the_golden_bytes() {
 #[test]
 #[ignore = "regenerates the committed golden journals"]
 fn regenerate_golden_journals() {
-    let seeds = mopfuzzer::corpus::builtin();
     fs::create_dir_all(golden_dir()).unwrap();
-    for (name, config) in golden_campaigns() {
+    for (name, config, seeds) in golden_campaigns() {
         let path = golden_dir().join(name);
         run_campaign_with_journal(&seeds, &config, &path).unwrap();
         println!("wrote {}", path.display());
+    }
+}
+
+/// Worker counts are an execution detail: the themed substrate campaigns
+/// emit byte-identical journals at `--jobs 1` and `--jobs 4` (with the
+/// oracle pool width varied too).
+#[test]
+fn themed_campaigns_are_byte_identical_across_worker_counts() {
+    for (name, config, seeds) in golden_campaigns() {
+        if !name.ends_with("_v1.jsonl") {
+            continue;
+        }
+        let golden = fs::read(golden_dir().join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e} (see module docs)"));
+        for (jobs, oracle_jobs) in [(1, 1), (4, 4)] {
+            let mut config = config.clone();
+            config.jobs = jobs;
+            config.oracle_jobs = oracle_jobs;
+            let path = temp_path(&format!("j{jobs}_{name}"));
+            run_campaign_with_journal(&seeds, &config, &path).unwrap();
+            assert_eq!(
+                golden,
+                fs::read(&path).unwrap(),
+                "golden {name} diverged at --jobs {jobs} --oracle-jobs {oracle_jobs}"
+            );
+            fs::remove_file(&path).ok();
+        }
     }
 }
